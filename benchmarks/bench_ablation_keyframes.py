@@ -1,0 +1,116 @@
+"""Ablation: keyframe (screenshot) interval.
+
+Section 4.1: "since screenshots consume significantly more space, and they
+are only required as a starting point for playback, DejaView only takes
+screenshots at long intervals (e.g. every 10 minutes) and only if the
+screen has changed enough since the previous one."
+
+This bench sweeps the screenshot interval on one display-active workload
+and measures the trade the design targets: shorter intervals cost keyframe
+storage but bound the number of commands a browse must replay; longer
+intervals are nearly free but push browse latency up.  It also validates
+the change-fraction gate: a quiet desktop takes (almost) no keyframes
+regardless of the interval.
+"""
+
+from benchmarks.conftest import print_table
+from repro.common.clock import VirtualClock
+from repro.common.units import seconds
+from repro.desktop.dejaview import RecordingConfig
+from repro.display.playback import PlaybackEngine
+from repro.display.recorder import RecorderConfig
+from repro.workloads import get_workload
+
+INTERVALS_S = [2, 10, 60, 600]
+
+
+def _run_with_interval(interval_s):
+    workload = get_workload("cat")
+    recording = RecordingConfig(
+        record_index=False,
+        record_checkpoints=False,
+        recorder_config=RecorderConfig(
+            screenshot_interval_us=seconds(interval_s),
+            screenshot_min_change_fraction=0.02,
+        ),
+    )
+    run = workload.run(recording=recording, units=200)
+    record = run.dejaview.display_record()
+    # Browse latency: average of seeks across the record, cold cache.
+    engine = PlaybackEngine(record, clock=VirtualClock(), cache_capacity=0)
+    latencies = []
+    start = record.timeline.first_time_us
+    for i in range(1, 9):
+        target = start + (run.end_us - start) * i // 9
+        watch = engine.clock.stopwatch()
+        engine.seek(target)
+        latencies.append(watch.elapsed_us)
+    browse_us = sum(latencies) / len(latencies)
+    return {
+        "keyframes": len(record.timeline),
+        "keyframe_bytes": len(record.screenshot_bytes),
+        "log_bytes": len(record.log_bytes),
+        "browse_us": browse_us,
+    }
+
+
+def test_ablation_keyframe_interval(benchmark):
+    table = benchmark.pedantic(
+        lambda: {s: _run_with_interval(s) for s in INTERVALS_S},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [
+            "%ds" % s,
+            table[s]["keyframes"],
+            "%.2f" % (table[s]["keyframe_bytes"] / 1e6),
+            "%.2f" % (table[s]["log_bytes"] / 1e6),
+            "%.1f" % (table[s]["browse_us"] / 1000),
+        ]
+        for s in INTERVALS_S
+    ]
+    print_table(
+        "Ablation -- keyframe interval (cat workload)",
+        ["interval", "keyframes", "keyframe MB", "command-log MB",
+         "avg browse ms"],
+        rows,
+        note="Shorter intervals trade keyframe storage for browse latency; "
+             "the command log itself is unaffected.",
+    )
+
+    shortest, longest = INTERVALS_S[0], INTERVALS_S[-1]
+    # More keyframes at shorter intervals, costing more storage.
+    assert table[shortest]["keyframes"] > table[longest]["keyframes"]
+    assert table[shortest]["keyframe_bytes"] > table[longest]["keyframe_bytes"]
+    # The command log does not depend on the keyframe policy.
+    assert abs(table[shortest]["log_bytes"] - table[longest]["log_bytes"]) \
+        < 0.05 * table[longest]["log_bytes"]
+    # Browse latency benefits from denser keyframes.
+    assert table[shortest]["browse_us"] <= table[longest]["browse_us"]
+
+
+def test_change_gate_suppresses_keyframes_when_idle(benchmark):
+    """"only if the screen has changed enough since the previous one"."""
+    from repro.display.commands import Region, SolidFillCmd
+    from repro.display.driver import VirtualDisplayDriver
+    from repro.display.recorder import DisplayRecorder
+
+    def build():
+        clock = VirtualClock()
+        driver = VirtualDisplayDriver(64, 48, clock=clock)
+        recorder = DisplayRecorder(
+            64, 48, clock=clock,
+            config=RecorderConfig(screenshot_interval_us=seconds(1),
+                                  screenshot_min_change_fraction=0.05),
+        )
+        driver.attach_sink(recorder)
+        # A blinking cursor for two minutes: interval elapses 120 times,
+        # but the change gate keeps suppressing keyframes.
+        for _ in range(120):
+            driver.submit(SolidFillCmd(Region(0, 0, 2, 8), 0xFFFFFF))
+            driver.flush()
+            clock.advance_us(seconds(1))
+        return recorder
+
+    recorder = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(recorder.timeline) <= 3

@@ -1,0 +1,98 @@
+"""Figure 2: recording runtime overhead.
+
+For each application scenario, runs the workload with no recording, each
+recording component alone (display / checkpoint / index), and full
+recording, and reports execution time normalized to the no-recording
+baseline — the exact series of Figure 2.
+
+Paper shape being reproduced:
+
+* full-recording overhead below ~20 % everywhere except web;
+* web ≈ 2.15x, almost entirely index recording (Firefox generates
+  accessibility information on demand);
+* display recording ≈ 9 % for web, < 2 % elsewhere; ~0 for video;
+* checkpoint recording largest for make (~13 %), < 5 % elsewhere.
+"""
+
+from benchmarks.conftest import APP_SCENARIOS, print_table
+
+KINDS = ["none", "display", "checkpoint", "index", "full"]
+
+
+def _normalized(scenarios, name):
+    base = scenarios.get(name, "none").duration_us
+    return {
+        kind: scenarios.get(name, kind).duration_us / base for kind in KINDS
+    }
+
+
+def test_fig2_recording_overhead(benchmark, scenarios):
+    table = benchmark.pedantic(
+        lambda: {name: _normalized(scenarios, name) for name in APP_SCENARIOS},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [name] + ["%.3f" % table[name][kind] for kind in KINDS]
+        for name in APP_SCENARIOS
+    ]
+    print_table(
+        "Figure 2 -- recording runtime overhead (normalized execution time)",
+        ["scenario"] + KINDS,
+        rows,
+        note="Paper: web full ~2.15x driven by index recording; all other "
+             "scenarios < 1.2x; video ~1.0x.",
+    )
+
+    for name in APP_SCENARIOS:
+        t = table[name]
+        # Recording never speeds a workload up.
+        for kind in KINDS[1:]:
+            assert t[kind] >= 0.999, (name, kind)
+        if name != "web":
+            # "In all cases other than web browsing, the overhead was less
+            # than 20%."
+            assert t["full"] < 1.20, name
+
+    web = table["web"]
+    # "For web browsing, the overhead was about 115%."
+    assert 1.7 < web["full"] < 2.6
+    # "the indexing overhead is 99%, which accounts for almost all of the
+    # overhead of full recording."
+    assert web["index"] > 1.6
+    assert web["index"] - 1 > 0.6 * (web["full"] - 1)
+    # "The largest display recording overhead is 9% for the rapid fire web
+    # page download."
+    assert 1.03 < web["display"] < 1.15
+    assert all(table[n]["display"] < web["display"] for n in APP_SCENARIOS
+               if n != "web")
+
+    # Video: "the overhead of full recording is less than 1%".
+    assert table["video"]["full"] < 1.02
+
+    # Checkpoint: "the largest overhead is for make, which is 13%. For
+    # other applications, the checkpoint overhead is less than 5%."
+    make_ckpt = table["make"]["checkpoint"]
+    assert make_ckpt == max(table[n]["checkpoint"] for n in APP_SCENARIOS)
+    assert 1.04 < make_ckpt < 1.25
+
+    # gzip and octave produce little visual output.
+    assert table["gzip"]["display"] < 1.01
+    assert table["octave"]["display"] < 1.01
+
+
+def test_bench_display_recording_path(benchmark, scenarios):
+    """Wall-clock cost of recording one display command batch."""
+    import numpy as np
+
+    from repro.common.clock import VirtualClock
+    from repro.display.commands import RawCmd, Region
+    from repro.display.recorder import DisplayRecorder
+
+    recorder = DisplayRecorder(320, 240, clock=VirtualClock())
+    pixels = np.zeros((64, 64), dtype=np.uint32)
+    cmd = RawCmd(Region(0, 0, 64, 64), pixels)
+
+    def record_batch():
+        recorder.handle_commands([cmd] * 16, recorder.clock.now_us)
+
+    benchmark(record_batch)

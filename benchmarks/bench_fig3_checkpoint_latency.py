@@ -1,0 +1,122 @@
+"""Figure 3: total checkpoint latency, broken down by phase.
+
+For every scenario (full recording, 1 Hz checkpoints; policy for desktop),
+reports the average per-checkpoint time split into the paper's five bars:
+pre-checkpoint (pre-snapshot + pre-quiesce), quiesce, capture, file system
+snapshot, and writeback.  Downtime = quiesce + capture + fs snapshot.
+
+Paper shape being reproduced:
+
+* downtime below 10 ms for every application benchmark, ~20 ms for real
+  desktop usage (fewer policy-driven checkpoints -> more state each);
+* capture (the COW protect pass) is the largest downtime component, but
+  fs snapshot is up to half of downtime for untar;
+* pre-checkpoint + writeback dominate *total* checkpoint time, which
+  stays well under a second.
+"""
+
+from benchmarks.conftest import ALL_SCENARIOS, print_table
+from repro.common.units import ms
+
+
+def _avg_breakdown(run):
+    history = run.dejaview.engine.history
+    n = max(len(history), 1)
+
+    def avg(attr):
+        return sum(getattr(r, attr) for r in history) / n
+
+    return {
+        "pre_checkpoint": avg("pre_snapshot_us") + avg("pre_quiesce_us"),
+        "quiesce": avg("quiesce_us"),
+        "capture": avg("capture_us"),
+        "fs_snapshot": avg("fs_snapshot_us"),
+        "writeback": avg("writeback_us"),
+        "downtime": avg("quiesce_us") + avg("capture_us") + avg("fs_snapshot_us"),
+        "total": (avg("pre_snapshot_us") + avg("pre_quiesce_us")
+                  + avg("quiesce_us") + avg("capture_us")
+                  + avg("fs_snapshot_us") + avg("writeback_us")),
+        "count": len(history),
+    }
+
+
+def test_fig3_checkpoint_latency(benchmark, scenarios):
+    table = benchmark.pedantic(
+        lambda: {name: _avg_breakdown(scenarios.get(name))
+                 for name in ALL_SCENARIOS},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for name in ALL_SCENARIOS:
+        b = table[name]
+        rows.append([
+            name,
+            "%.2f" % (b["pre_checkpoint"] / 1000),
+            "%.2f" % (b["quiesce"] / 1000),
+            "%.2f" % (b["capture"] / 1000),
+            "%.2f" % (b["fs_snapshot"] / 1000),
+            "%.2f" % (b["writeback"] / 1000),
+            "%.2f" % (b["downtime"] / 1000),
+            "%.1f" % (b["total"] / 1000),
+            b["count"],
+        ])
+    print_table(
+        "Figure 3 -- checkpoint latency breakdown (avg ms per checkpoint)",
+        ["scenario", "pre-ckpt", "quiesce", "capture", "fs snap",
+         "writeback", "DOWNTIME", "total", "n"],
+        rows,
+        note="Paper: downtime < 10 ms for app benchmarks, ~20 ms for real "
+             "desktop usage; pre-checkpoint + writeback dominate the total.",
+    )
+
+    for name in ALL_SCENARIOS:
+        b = table[name]
+        assert b["count"] >= 3, name
+        if name == "desktop":
+            # "roughly 20 ms on average for real desktop usage" — and
+            # clearly larger than the application benchmarks.
+            assert ms(5) < b["downtime"] < ms(40)
+        else:
+            # "less than 10 ms for all application benchmarks".
+            assert b["downtime"] < ms(10), name
+        # "even the largest application downtimes are less than the typical
+        # system response time thresholds of 150 ms".
+        assert b["downtime"] < ms(150)
+        # Pre-checkpoint and writeback overlap execution; they dominate the
+        # total checkpoint time for the memory-heavy scenarios.
+        assert b["total"] < 1_000_000, name
+
+    # Desktop downtime exceeds every app benchmark's.
+    desktop = table["desktop"]["downtime"]
+    assert all(table[n]["downtime"] < desktop for n in ALL_SCENARIOS
+               if n != "desktop")
+
+    # Video: "the application downtime was only 5 ms" — small enough to fit
+    # between frames (41.7 ms budget).
+    assert table["video"]["downtime"] < ms(8)
+    assert scenarios.get("video").overran_units == 0
+
+    # untar: fs snapshot is a visibly larger share of downtime than in the
+    # memory-bound scenarios.
+    untar = table["untar"]
+    octave = table["octave"]
+    assert (untar["fs_snapshot"] / untar["downtime"]
+            > octave["fs_snapshot"] / octave["downtime"])
+
+
+def test_bench_single_checkpoint_wallclock(benchmark):
+    """Real wall-clock cost of one checkpoint of a small session."""
+    from tests.test_checkpoint_engine import make_rig
+
+    *_rest, engine, procs = make_rig(nprocs=4, pages_per_proc=64)
+    space = procs[0].address_space
+    region = space.regions()[0]
+    engine.checkpoint()
+    counter = [0]
+
+    def one_checkpoint():
+        counter[0] += 1
+        space.write(region.start, b"dirty %d" % counter[0])
+        engine.checkpoint()
+
+    benchmark(one_checkpoint)

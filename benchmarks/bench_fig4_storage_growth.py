@@ -1,0 +1,102 @@
+"""Figure 4: recording storage growth.
+
+For every scenario, reports the storage growth rate in MB/s decomposed the
+way the paper does: display state, display index, process checkpoints
+(uncompressed and compressed), and file system snapshot state.
+
+Paper shape being reproduced:
+
+* growth ranges from ~2.5 MB/s (gzip) to ~20 MB/s (octave) uncompressed;
+* checkpoints dominate every scenario except video (display dominates) and
+  untar (file system dominates);
+* compression brings most scenarios below ~6 MB/s;
+* real desktop usage is far cheaper than the application benchmarks
+  (bursty activity + checkpoint policy), comparable to an HDTV PVR
+  (~2.5 MB/s).
+"""
+
+from benchmarks.conftest import ALL_SCENARIOS, print_table
+
+MB = 1e6
+
+
+def test_fig4_storage_growth(benchmark, scenarios):
+    table = benchmark.pedantic(
+        lambda: {
+            name: scenarios.get(name).storage_growth_rates()
+            for name in ALL_SCENARIOS
+        },
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for name in ALL_SCENARIOS:
+        r = table[name]
+        total = r["display"] + r["index"] + r["checkpoint"] + r["fs"]
+        total_z = r["display"] + r["index"] + r["checkpoint_compressed"] + r["fs"]
+        rows.append([
+            name,
+            "%.2f" % (r["display"] / MB),
+            "%.3f" % (r["index"] / MB),
+            "%.2f" % (r["checkpoint"] / MB),
+            "%.2f" % (r["checkpoint_compressed"] / MB),
+            "%.2f" % (r["fs"] / MB),
+            "%.2f" % (total / MB),
+            "%.2f" % (total_z / MB),
+        ])
+    print_table(
+        "Figure 4 -- storage growth rate (MB/s)",
+        ["scenario", "display", "index", "ckpt", "ckpt(gz)", "fs",
+         "TOTAL", "TOTAL(gz)"],
+        rows,
+        note="Paper: 2.5 (gzip) to 20 (octave) MB/s uncompressed; video "
+             "dominated by display, untar by fs; desktop ~2.5 MB/s "
+             "uncompressed / ~0.6 compressed.",
+    )
+
+    r = table
+
+    def total(name):
+        x = r[name]
+        return x["display"] + x["index"] + x["checkpoint"] + x["fs"]
+
+    # Checkpoint state dominates everywhere except video and untar.
+    for name in ALL_SCENARIOS:
+        x = r[name]
+        if name == "video":
+            assert x["display"] > x["checkpoint"]
+        elif name == "untar":
+            assert x["fs"] > x["checkpoint"]
+        else:
+            assert x["checkpoint"] >= max(x["display"], x["fs"], x["index"]), name
+
+    # Octave is the most storage-hungry scenario; compression tames it.
+    assert total("octave") == max(total(n) for n in ALL_SCENARIOS)
+    assert r["octave"]["checkpoint"] > 10 * MB
+    assert r["octave"]["checkpoint_compressed"] < r["octave"]["checkpoint"] / 3
+
+    # gzip is the cheapest application benchmark.
+    app_totals = {n: total(n) for n in ALL_SCENARIOS if n != "desktop"}
+    assert app_totals["gzip"] == min(app_totals.values())
+
+    # Compression helps process state everywhere.
+    for name in ALL_SCENARIOS:
+        if r[name]["checkpoint"] > 0.1 * MB:
+            assert r[name]["checkpoint_compressed"] < r[name]["checkpoint"]
+
+    # Desktop (policy-driven) grows far slower than the worst benchmarks.
+    assert total("desktop") < total("octave") / 5
+    assert total("desktop") < 6 * MB  # HDTV-PVR ballpark
+
+
+def test_bench_checkpoint_image_serialization(benchmark):
+    """Wall-clock cost of serializing + compressing one checkpoint image."""
+    import zlib
+
+    from repro.checkpoint.image import CheckpointImage
+
+    image = CheckpointImage(1, 0, "bench")
+    for page in range(256):
+        image.pages[(1, 0x10000000, page)] = bytes(4096)
+    image.page_locations = {key: 1 for key in image.pages}
+
+    benchmark(lambda: zlib.compress(image.serialize(), 1))

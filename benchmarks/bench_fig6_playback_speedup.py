@@ -1,0 +1,75 @@
+"""Figure 6: playback speedup.
+
+Plays each scenario's entire display record at the fastest possible rate
+(command times ignored) and reports how many times faster than real time
+the record plays back.
+
+Paper shape being reproduced:
+
+* every scenario plays back at >10x real time, even the worst case (web /
+  iBench, which changes data at the full rate of display updates);
+* regular desktop usage plays back at >200x (sparse activity, command
+  pruning, keyframe seeks).
+"""
+
+from benchmarks.conftest import ALL_SCENARIOS, print_table
+from repro.common.clock import VirtualClock
+from repro.display.playback import PlaybackEngine
+
+
+def _speedup(run):
+    record = run.dejaview.display_record()
+    engine = PlaybackEngine(record, clock=VirtualClock())
+    start = record.timeline.first_time_us
+    _fb, stats = engine.play(start, run.end_us, fastest=True)
+    return stats
+
+
+def test_fig6_playback_speedup(benchmark, scenarios):
+    table = benchmark.pedantic(
+        lambda: {name: _speedup(scenarios.get(name))
+                 for name in ALL_SCENARIOS},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [
+            name,
+            "%.1f" % (table[name].recorded_duration_us / 1e6),
+            "%.3f" % (table[name].playback_duration_us / 1e6),
+            "%.0fx" % table[name].speedup,
+            table[name].commands_applied,
+        ]
+        for name in ALL_SCENARIOS
+    ]
+    print_table(
+        "Figure 6 -- playback speedup (fastest-rate playback of the full record)",
+        ["scenario", "recorded s", "playback s", "speedup", "commands"],
+        rows,
+        note="Paper: >10x worst case (web/iBench), >200x for regular "
+             "desktops.",
+    )
+
+    for name in ALL_SCENARIOS:
+        # "Even in the worst case, DejaView is able to display the visual
+        # record at over 10 times the speed at which it was recorded."
+        assert table[name].speedup > 10, name
+
+    # Command-dense records (web, constantly changing data) are the slowest
+    # to play back; the sparse desktop is the fastest by a wide margin.
+    web = table["web"].speedup
+    desktop = table["desktop"].speedup
+    assert web == min(t.speedup for t in table.values())
+    assert desktop > 200
+    assert desktop > 5 * web
+
+
+def test_bench_fastest_playback_wallclock(benchmark, scenarios):
+    """Wall-clock cost of replaying the video record at fastest rate."""
+    run = scenarios.get("video")
+    record = run.dejaview.display_record()
+
+    def play():
+        engine = PlaybackEngine(record, clock=VirtualClock())
+        engine.play(record.timeline.first_time_us, run.end_us, fastest=True)
+
+    benchmark.pedantic(play, rounds=3, iterations=1)

@@ -1,0 +1,62 @@
+"""Table 1: application scenarios.
+
+Validates that each workload generator exhibits the activity profile its
+Table 1 entry implies, and prints the scenario roster with measured
+characteristics (duration, display commands, text inserts, checkpoints,
+files written).
+"""
+
+from benchmarks.conftest import ALL_SCENARIOS, print_table
+
+
+def _describe(run):
+    dv = run.dejaview
+    return {
+        "duration_s": run.duration_seconds,
+        "display_cmds": dv.recorder.command_count if dv.recorder else 0,
+        "text_inserts": dv.database.insert_count if dv.database else 0,
+        "checkpoints": dv.checkpoint_count,
+        "processes": len(run.session.container.processes),
+    }
+
+
+def test_table1_scenario_roster(benchmark, scenarios):
+    benchmark.pedantic(
+        lambda: [scenarios.get(name) for name in ALL_SCENARIOS],
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for name in ALL_SCENARIOS:
+        run = scenarios.get(name)
+        d = _describe(run)
+        rows.append([
+            name,
+            "%.1f" % d["duration_s"],
+            d["display_cmds"],
+            d["text_inserts"],
+            d["checkpoints"],
+            d["processes"],
+        ])
+    print_table(
+        "Table 1 -- application scenarios (measured profile)",
+        ["scenario", "sim s", "display cmds", "text inserts",
+         "checkpoints", "processes"],
+        rows,
+        note="Roster mirrors Table 1; columns are this run's measurements.",
+    )
+    # Profile sanity: the scenarios must be distinguishable by their
+    # dominant activity, or every later figure is meaningless.
+    by_name = {name: _describe(scenarios.get(name)) for name in ALL_SCENARIOS}
+    assert by_name["video"]["display_cmds"] >= 480  # one per frame
+    assert by_name["cat"]["display_cmds"] > by_name["gzip"]["display_cmds"]
+    assert by_name["web"]["text_inserts"] > by_name["video"]["text_inserts"]
+    assert by_name["make"]["processes"] >= 3
+
+
+def test_bench_scenario_throughput(benchmark, scenarios):
+    """Wall-clock cost of running one gzip work unit end to end."""
+    from repro.workloads import run_scenario
+
+    benchmark.pedantic(
+        lambda: run_scenario("gzip", units=4), rounds=3, iterations=1
+    )

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Tuning the checkpoint policy (section 5.1.3).
+
+The policy's parameters are user-tunable and its rule set is extensible.
+This example runs the same interactive desktop workload under four
+configurations and compares checkpoint counts and storage growth:
+
+* fixed 1 Hz checkpointing (no policy — the paper's benchmark setting);
+* the default policy;
+* an aggressive policy (larger activity threshold, slower text rate);
+* the default policy extended with the paper's example custom rule:
+  "disable checkpoints when the load of the computer rises above a
+  certain level".
+"""
+
+from repro.checkpoint.policy import PolicyConfig
+from repro.common.units import seconds
+from repro.desktop.dejaview import RecordingConfig
+from repro.workloads import get_workload
+
+UNITS = 240
+
+
+def run_with(label, config):
+    workload = get_workload("desktop")
+    run = workload.run(recording=config, units=UNITS)
+    dv = run.dejaview
+    rates = run.storage_growth_rates()
+    taken = dv.checkpoint_count
+    print("%-22s checkpoints=%3d  ckpt growth=%.2f MB/s (%.2f gz)" % (
+        label, taken, rates["checkpoint"] / 1e6,
+        rates["checkpoint_compressed"] / 1e6))
+    return run
+
+
+def run_with_custom_rule():
+    """Install a load-shedding rule before the workload starts."""
+    from repro.desktop.dejaview import DejaView
+    from repro.desktop.session import DesktopSession
+
+    workload = get_workload("desktop")
+    session = DesktopSession()
+    dv = DejaView(session, RecordingConfig(use_policy=True))
+    dv.policy.add_rule(lambda ctx: False if ctx.system_load > 0.9 else None)
+    run = workload.run(units=UNITS, session=session, dejaview=dv)
+    rates = run.storage_growth_rates()
+    print("%-22s checkpoints=%3d  ckpt growth=%.2f MB/s (%.2f gz)" % (
+        "policy + load rule", dv.checkpoint_count,
+        rates["checkpoint"] / 1e6,
+        rates["checkpoint_compressed"] / 1e6))
+    return run
+
+
+def main():
+    print("desktop workload, %d one-second ticks:\n" % UNITS)
+    run_with("fixed 1 Hz (no policy)", RecordingConfig(use_policy=False))
+    default = run_with("default policy", RecordingConfig(use_policy=True))
+    aggressive = PolicyConfig(
+        low_activity_fraction=0.15,          # skip anything under 15 %
+        text_edit_interval_us=seconds(30),   # text checkpoints every 30 s
+    )
+    run_with("aggressive policy",
+             RecordingConfig(use_policy=True, policy_config=aggressive))
+    run_with_custom_rule()
+
+    stats = default.dejaview.policy.stats
+    print("\ndefault policy decisions: %d taken (%.0f%%), skips by reason:"
+          % (stats.total_taken, 100 * stats.taken_fraction()))
+    for reason, count in sorted(stats.skipped.items()):
+        print("  %-22s %3d (%.0f%% of skips)" % (
+            reason, count, 100 * stats.skip_fraction(reason)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: record a tiny desktop session, then search, browse, revive.
+
+Runs in a couple of seconds and exercises the whole public API surface:
+
+1. build a :class:`DesktopSession` and attach the :class:`DejaView`
+   recorder;
+2. drive a simulated editor through two "chapters" of work;
+3. full-text search the record and inspect the result screenshot;
+4. browse (seek) the display record to an arbitrary moment;
+5. *Take me back*: revive the session as it was mid-way and show that the
+   revived file system is the past one.
+"""
+
+from repro import DejaView, DesktopSession, Query
+from repro.common.units import format_bytes, seconds
+from repro.display.commands import Region
+
+
+def main():
+    session = DesktopSession(width=320, height=240)
+    dejaview = DejaView(session)
+    clock = session.clock
+
+    # --- Chapter 1: notes about project Alpha on a red background. ------
+    editor = session.launch("editor")
+    editor.focus()
+    editor.draw_fill(Region(0, 0, 320, 240), 0xAA1111)
+    note = editor.show_text("project alpha: kickoff meeting notes")
+    editor.write_file("/home/user/alpha.txt", b"alpha meeting notes v1")
+    dejaview.tick()
+    t_alpha = clock.now_us
+    clock.advance_us(seconds(5))
+
+    # --- Chapter 2: Alpha is renamed Beta; the old file is deleted. ------
+    editor.draw_fill(Region(0, 0, 320, 240), 0x11AA11)
+    editor.update_text(note, "project beta: renamed, alpha file removed")
+    session.fs.unlink("/home/user/alpha.txt")
+    dejaview.tick()
+    clock.advance_us(seconds(5))
+    dejaview.tick()
+
+    # --- Search: where did I see "alpha"? --------------------------------
+    results = dejaview.search(Query.keywords("alpha"))
+    print("search 'alpha' -> %d result(s)" % len(results))
+    for result in results:
+        print("  t=%.1fs  snippet=%r" % (result.timestamp_us / 1e6,
+                                         result.snippet))
+        shot = result.screenshot
+        print("  screenshot %dx%d, top-left pixel #%06x" % (
+            shot.width, shot.height, int(shot.pixels[0, 0])))
+
+    # --- Browse: PVR-style seek to the alpha moment. ----------------------
+    fb, stats = dejaview.browse(t_alpha)
+    print("browse t=%.1fs: replayed %d of %d commands, screen #%06x" % (
+        t_alpha / 1e6, stats.commands_applied, stats.commands_considered,
+        int(fb.pixels[0, 0])))
+
+    # --- Take me back: revive the alpha-era session. ----------------------
+    revived = dejaview.take_me_back(t_alpha)
+    mount = revived.container.mount
+    print("revived session %r in %.0f ms (%d processes)" % (
+        revived.container.name, revived.duration_us / 1e3, revived.processes))
+    print("  /home/user/alpha.txt exists again:",
+          mount.read_file("/home/user/alpha.txt").decode())
+    print("  live session still lacks it:",
+          not session.fs.exists("/home/user/alpha.txt"))
+
+    report = dejaview.storage_report()
+    print("record sizes: display=%s index=%s checkpoints=%s" % (
+        format_bytes(report["display"]),
+        format_bytes(report["index"]),
+        format_bytes(report["checkpoint_uncompressed"])))
+
+
+if __name__ == "__main__":
+    main()

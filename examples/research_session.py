@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: temporal cross-application search.
+
+Section 4.2: "Consider, for example, a user that is looking for the time
+when she started reading a paper, but all she recalls is that a particular
+web page was open at the same time."
+
+This example records a research session where a web page about Memex is
+open in the browser while a PDF paper is (later) opened in the reader,
+annotates a key passage with the combo key, and then:
+
+* finds the exact interval where the paper and the web page were both on
+  screen, using a two-clause query with per-application constraints;
+* finds the annotated passage via an annotation query;
+* revives the desktop at that moment and reads the paper's text out of the
+  revived session.
+"""
+
+from repro import Clause, DejaView, DesktopSession, Query
+from repro.common.units import seconds
+from repro.display.commands import Region
+
+
+def main():
+    session = DesktopSession()
+    dejaview = DejaView(session)
+    clock = session.clock
+
+    firefox = session.launch("firefox")
+    reader = session.launch("pdfreader")
+
+    # t=0: browsing the web about Memex.
+    firefox.focus()
+    firefox.draw_fill(Region(0, 0, 320, 120), 0x3355AA)
+    page = firefox.show_text(
+        "As We May Think: Vannevar Bush imagines the memex device"
+    )
+    dejaview.tick()
+    clock.advance_us(seconds(30))
+    dejaview.tick()
+
+    # t=30: the paper gets opened while the web page is still up.
+    reader.focus()
+    reader.draw_fill(Region(0, 120, 320, 120), 0xEEEEEE)
+    paper = reader.show_text(
+        "DejaView: a personal virtual computer recorder. We present a "
+        "WYSIWYS record of a desktop computing experience."
+    )
+    dejaview.tick()
+    clock.advance_us(seconds(20))
+
+    # The key passage gets annotated: select + combo key (section 4.4).
+    reader.annotate_selection(paper, "WYSIWYS record")
+    dejaview.tick()
+    clock.advance_us(seconds(20))
+
+    # t=70: the web page is closed; reading continues.
+    firefox.remove_text(page)
+    dejaview.tick()
+    clock.advance_us(seconds(30))
+    dejaview.tick()
+
+    # ------------------------------------------------------------------ #
+    # "When did I start reading the paper, while that memex page was open?"
+    query = Query(
+        clauses=(
+            Clause(all_of="dejaview recorder", app="pdfreader"),
+            Clause(all_of="memex", app="firefox"),
+        )
+    )
+    results = dejaview.search(query, render=False)
+    assert results, "the overlap interval must be found"
+    overlap = results[0].substream
+    print("paper+webpage overlap: %.0fs .. %.0fs (%.0f s long)" % (
+        overlap.start_us / 1e6, overlap.end_us / 1e6,
+        overlap.duration_us / 1e6))
+
+    # The annotated passage is retrievable on its own.
+    annotated = dejaview.search(Query.annotations(), render=False)
+    print("annotations found: %d (first snippet: %r)" % (
+        len(annotated), annotated[0].snippet[:50]))
+
+    # Revive the desktop at the moment the reading started.
+    revived = dejaview.take_me_back(overlap.start_us + seconds(1))
+    reader_clone = revived.container.process_by_vpid(reader.process.vpid)
+    print("revived at the reading moment: %s running as vpid %d" % (
+        reader_clone.name, reader_clone.vpid))
+    print("revive took %.0f ms, read %d pages across %d image(s)" % (
+        revived.duration_us / 1e3, revived.pages_restored,
+        revived.images_accessed))
+
+
+if __name__ == "__main__":
+    main()

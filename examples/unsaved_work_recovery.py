@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Recovering work that was never saved (sections 5.1.1 and 5.1.2).
+
+Two recovery stories the paper's file system design enables:
+
+1. **The deleted file** — a process is checkpointed while using
+   ``/tmp/foo``; the file is later deleted.  Reviving the checkpoint must
+   bring the file back, because the log-structured file system snapshot
+   bound to the checkpoint still reaches it.
+
+2. **The open-but-unlinked scratch file** — an application unlinks its
+   scratch file while holding it open (a classic editor pattern).  The
+   checkpoint engine *relinks* the inode into a hidden directory before
+   the snapshot, so the content survives without being copied into the
+   checkpoint image, and the revived process gets its unlinked-open file
+   descriptor back.
+"""
+
+from repro import DejaView, DesktopSession
+from repro.common.units import seconds
+from repro.fs.lfs import RELINK_DIR
+
+
+def main():
+    session = DesktopSession()
+    dejaview = DejaView(session)
+    clock = session.clock
+    editor = session.launch("editor")
+
+    # Story 1: a normal file, later deleted.
+    editor.write_file("/tmp/foo", b"important scratch data")
+
+    # Story 2: an open-but-unlinked scratch file.
+    editor.write_file("/tmp/editor-swap", b"unsaved buffer contents")
+    handle, fd_entry = editor.open_file("/tmp/editor-swap")
+    editor.unlink_open_file("/tmp/editor-swap", fd_entry)
+    print("live session: /tmp/editor-swap unlinked but still open; "
+          "fd reads %r" % handle.read().decode())
+
+    editor.show_text("editing session with unsaved work")
+    dejaview.tick()
+    t_checkpoint = clock.now_us
+    clock.advance_us(seconds(10))
+
+    # Disaster: the scratch file is deleted too.
+    session.fs.unlink("/tmp/foo")
+    dejaview.tick()
+    print("live session: /tmp/foo deleted ->",
+          session.fs.exists("/tmp/foo"))
+
+    # Take me back to just after the checkpoint.
+    revived = dejaview.take_me_back(t_checkpoint)
+    mount = revived.container.mount
+
+    # Story 1 resolution.
+    print("revived: /tmp/foo restored ->",
+          mount.read_file("/tmp/foo").decode())
+
+    # Story 2 resolution: the fd is back, marked unlinked, and the hidden
+    # relink entry has been removed again.
+    clone = revived.container.process_by_vpid(editor.process.vpid)
+    restored_fd = clone.open_files[fd_entry.fd]
+    print("revived: scratch fd %d restored, unlinked=%s, path=%s" % (
+        restored_fd.fd, restored_fd.unlinked, restored_fd.path))
+    relink_entries = [
+        name for name in mount.listdir(RELINK_DIR)
+    ] if mount.exists(RELINK_DIR) else []
+    print("revived: hidden relink directory is empty again ->",
+          relink_entries == [])
+    # The scratch file is not visible at its old path (it was unlinked at
+    # checkpoint time), exactly matching the checkpointed state.
+    print("revived: /tmp/editor-swap still unlinked ->",
+          not mount.exists("/tmp/editor-swap"))
+
+
+if __name__ == "__main__":
+    main()

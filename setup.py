@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The sandbox this reproduction targets has no network access and no `wheel`
+package, so PEP 660 editable installs (`pip install -e .` with build
+isolation) cannot build. `python setup.py develop` and
+`pip install -e . --no-build-isolation` both work through this shim; all
+real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

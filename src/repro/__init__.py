@@ -1,0 +1,74 @@
+"""DejaView reproduction: a personal virtual computer recorder.
+
+This library reproduces "DejaView: A Personal Virtual Computer Recorder"
+(Laadan, Baratto, Phung, Potter, Nieh -- SOSP 2007) as a fully simulated but
+algorithmically faithful system: a THINC-style virtual display, a
+Zap-style virtual execution environment with continuous low-downtime
+checkpointing, a NILFS-style log-structured + union file system, and an
+accessibility-driven temporal text index -- all on a deterministic virtual
+clock with a cost model calibrated to the paper's 2007 testbed.
+
+Quickstart::
+
+    from repro import DesktopSession, DejaView, Query
+
+    session = DesktopSession()
+    dejaview = DejaView(session)
+    editor = session.launch("editor")
+    editor.show_text("meeting notes: discuss DejaView reproduction")
+    dejaview.tick()
+
+    results = dejaview.search(Query.keywords("dejaview"))
+    revived = dejaview.take_me_back(session.clock.now_us)
+
+See ``examples/`` for runnable end-to-end scenarios and ``benchmarks/``
+for the harness that regenerates every figure of the paper's evaluation.
+"""
+
+from repro.checkpoint import (
+    CheckpointEngine,
+    CheckpointPolicy,
+    CheckpointStorage,
+    EngineOptions,
+    PolicyConfig,
+    ReviveManager,
+)
+from repro.common import CostModel, VirtualClock
+from repro.desktop import (
+    DejaView,
+    DesktopSession,
+    RecordingConfig,
+    SessionManager,
+    SimApplication,
+)
+from repro.display import Framebuffer, PlaybackEngine, Region
+from repro.index import Clause, Query, SearchEngine
+from repro.workloads import SCENARIOS, get_workload, run_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesktopSession",
+    "DejaView",
+    "RecordingConfig",
+    "SimApplication",
+    "SessionManager",
+    "Query",
+    "Clause",
+    "SearchEngine",
+    "PlaybackEngine",
+    "Framebuffer",
+    "Region",
+    "CheckpointEngine",
+    "EngineOptions",
+    "CheckpointPolicy",
+    "PolicyConfig",
+    "CheckpointStorage",
+    "ReviveManager",
+    "VirtualClock",
+    "CostModel",
+    "SCENARIOS",
+    "get_workload",
+    "run_scenario",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Text capture via accessibility interfaces (paper section 4.2).
+
+DejaView extracts on-screen text not from pixels (OCR was "slow and
+inaccurate") but from the accessibility infrastructure that GUI toolkits
+already expose for screen readers.  This package simulates that
+infrastructure and implements the paper's capture daemon:
+
+* :mod:`repro.access.toolkit` -- accessible component trees (roles, names,
+  text, states) owned by applications, with the expensive query semantics
+  of real AT interfaces (every component access round-trips to the app).
+* :mod:`repro.access.events` -- the synchronous accessibility event types
+  (text changed, node added/removed, focus, selection, key combo).
+* :mod:`repro.access.registry` -- the desktop-wide registry applications
+  register with and the daemon subscribes to.
+* :mod:`repro.access.daemon` -- the indexing daemon: a mirror tree plus a
+  hash table mapping accessible components to mirror nodes, so event
+  processing never traverses the real tree (section 4.2's key
+  optimization); feeds all text with context into the temporal index, and
+  implements explicit annotations (select text, press the combo key, and
+  the selection is indexed with an annotation attribute).
+"""
+
+from repro.access.daemon import IndexingDaemon
+from repro.access.events import AccessibilityEvent, EventType
+from repro.access.registry import DesktopRegistry
+from repro.access.toolkit import AccessibleApp, AccessibleNode, Role
+
+__all__ = [
+    "Role",
+    "AccessibleNode",
+    "AccessibleApp",
+    "AccessibilityEvent",
+    "EventType",
+    "DesktopRegistry",
+    "IndexingDaemon",
+]

@@ -1,0 +1,262 @@
+"""The indexing daemon (paper section 4.2).
+
+"DejaView uses a daemon to collect the text on the desktop and index it in
+a database."  Two properties of the accessibility layer make a naive daemon
+ruinously slow: events are synchronous (the app blocks until the handler
+returns), and querying real accessible trees costs a context-switch
+round-trip per component ("the latter can take a couple seconds and destroy
+interactive responsiveness").
+
+The daemon therefore keeps **a mirror tree** — "a number of data structures
+that exactly mirror the accessible state of the desktop" — plus **a hash
+table mapping accessible components to nodes in the mirror tree**, so each
+event is serviced by an O(1) lookup and a local update instead of a
+traversal of the real tree.  ``use_mirror_tree=False`` switches the daemon
+to the naive strategy (re-querying the real tree on every event) for the
+ablation benchmark.
+"""
+
+from repro.common.errors import IndexError_
+from repro.access.events import EventType
+from repro.access.toolkit import Role
+
+
+class MirrorNode:
+    """The daemon's local replica of one accessible component."""
+
+    __slots__ = ("node_id", "app_name", "role", "name", "text", "parent",
+                 "children", "properties")
+
+    def __init__(self, node_id, app_name, role, name="", text="",
+                 parent=None, properties=None):
+        self.node_id = node_id
+        self.app_name = app_name
+        self.role = role
+        self.name = name
+        self.text = text
+        self.parent = parent
+        self.children = []
+        self.properties = dict(properties or {})
+
+    def subtree(self):
+        yield self
+        for child in self.children:
+            yield from child.subtree()
+
+    def window_title(self):
+        """Name of the nearest enclosing window (context for the index)."""
+        node = self
+        while node is not None:
+            if node.role in (Role.WINDOW, Role.APPLICATION):
+                return node.name
+            node = node.parent
+        return ""
+
+
+class IndexingDaemon:
+    """Mirrors the desktop's accessible state and feeds the text index."""
+
+    ANNOTATE_COMBO = "ctrl+alt+a"
+
+    def __init__(self, registry, database, use_mirror_tree=True):
+        self.registry = registry
+        self.database = database
+        self.clock = registry.clock
+        self.costs = registry.costs
+        self.use_mirror_tree = use_mirror_tree
+        self._mirror = {}  # node_id -> MirrorNode (the hash table)
+        self._roots = {}  # app name -> MirrorNode
+        self._focused_app = None
+        self._last_selection = None  # (node_id, selected text)
+        self.events_processed = 0
+        self._subscription = registry.subscribe(self._on_event)
+        self._app_subscription = registry.subscribe_app_registration(
+            self._on_app_registered
+        )
+        self._startup_scan()
+
+    # ------------------------------------------------------------------ #
+    # Startup: one full (expensive) traversal of every real tree
+
+    def _startup_scan(self):
+        """"At startup, the daemon traverses all the applications, and
+        builds its own mirror tree.""" ""
+        for app in self.registry.apps():
+            if not app.accessible:
+                continue
+            self._adopt_app(app)
+
+    def _on_app_registered(self, app):
+        """An application launched after the daemon started: adopt it."""
+        if app.accessible:
+            self._adopt_app(app)
+
+    def _adopt_app(self, app):
+        for node in app.traverse_real_tree():  # charged at real-tree cost
+            parent = self._mirror.get(node.parent.node_id) if node.parent else None
+            self._add_mirror_node(
+                app.name,
+                node.node_id,
+                node.role,
+                node.name,
+                node.text,
+                parent,
+                node.properties,
+            )
+
+    def _add_mirror_node(self, app_name, node_id, role, name, text, parent,
+                         properties):
+        mirror = MirrorNode(node_id, app_name, role, name, text, parent,
+                            properties)
+        if parent is not None:
+            parent.children.append(mirror)
+        else:
+            self._roots[app_name] = mirror
+        self._mirror[node_id] = mirror
+        self.clock.advance_us(self.costs.ax_mirror_node_us)
+        if text:
+            self._open_text(mirror)
+        return mirror
+
+    # ------------------------------------------------------------------ #
+    # Event handling (synchronous: cost lands on the emitting app)
+
+    def _on_event(self, event):
+        self.events_processed += 1
+        if not self.use_mirror_tree:
+            self._handle_event_naive(event)
+            return
+        handler = {
+            EventType.NODE_ADDED: self._on_node_added,
+            EventType.NODE_REMOVED: self._on_node_removed,
+            EventType.TEXT_CHANGED: self._on_text_changed,
+            EventType.FOCUS_CHANGED: self._on_focus_changed,
+            EventType.TEXT_SELECTED: self._on_text_selected,
+            EventType.KEY_COMBO: self._on_key_combo,
+        }[event.type]
+        handler(event)
+
+    def _on_node_added(self, event):
+        detail = event.detail
+        parent = self._mirror.get(detail["parent_id"])
+        if parent is None:
+            raise IndexError_(
+                "event references unknown parent %d" % detail["parent_id"]
+            )
+        self._add_mirror_node(
+            event.app_name,
+            event.node_id,
+            Role(detail["role"]),
+            detail["name"],
+            detail["text"],
+            parent,
+            detail.get("properties"),
+        )
+
+    def _on_node_removed(self, event):
+        mirror = self._lookup(event.node_id)
+        for node in mirror.subtree():
+            self.database.close_occurrence(node.node_id)
+            self._mirror.pop(node.node_id, None)
+            self.clock.advance_us(self.costs.ax_mirror_node_us)
+        if mirror.parent is not None:
+            mirror.parent.children.remove(mirror)
+
+    def _on_text_changed(self, event):
+        mirror = self._lookup(event.node_id)
+        mirror.text = event.detail["new"]
+        if mirror.text:
+            self._open_text(mirror)
+        else:
+            self.database.close_occurrence(mirror.node_id)
+
+    def _on_focus_changed(self, event):
+        focused = event.detail["focused"]
+        if focused:
+            self._focused_app = event.app_name
+        elif self._focused_app == event.app_name:
+            self._focused_app = None
+        # Reopen the app's visible text so occurrences record the focus
+        # transition (focus is part of the indexed temporal context).
+        root = self._roots.get(event.app_name)
+        if root is None:
+            return
+        for node in root.subtree():
+            self.clock.advance_us(self.costs.ax_mirror_node_us)
+            if node.text:
+                self._open_text(node)
+
+    def _on_text_selected(self, event):
+        self._last_selection = (event.node_id, event.detail["selection"])
+
+    def _on_key_combo(self, event):
+        if event.detail.get("combo") != self.ANNOTATE_COMBO:
+            return
+        if self._last_selection is None:
+            return
+        node_id, selection = self._last_selection
+        if node_id in self._mirror:
+            self.database.annotate_node(node_id, annotation_text=selection)
+        self._last_selection = None
+
+    # ------------------------------------------------------------------ #
+    # Naive strategy (ablation): re-traverse the real tree per event
+
+    def _handle_event_naive(self, event):
+        app = self.registry.app(event.app_name)
+        if event.type is EventType.FOCUS_CHANGED:
+            if event.detail["focused"]:
+                self._focused_app = event.app_name
+        elif event.type is EventType.TEXT_SELECTED:
+            self._last_selection = (event.node_id, event.detail["selection"])
+        elif event.type is EventType.KEY_COMBO:
+            self._on_key_combo(event)
+            return
+        # The expensive part: walk the whole real tree to find the state.
+        seen = set()
+        for node in app.traverse_real_tree():
+            seen.add(node.node_id)
+            if node.text:
+                self.database.open_occurrence(
+                    node.node_id,
+                    node.text,
+                    app=event.app_name,
+                    window=node.name if node.role is Role.WINDOW else "",
+                    focused=self._focused_app == event.app_name,
+                    properties=node.properties,
+                )
+        if event.type is EventType.NODE_REMOVED and event.node_id not in seen:
+            self.database.close_occurrence(event.node_id)
+
+    # ------------------------------------------------------------------ #
+
+    def _lookup(self, node_id):
+        """The O(1) hash-table lookup that replaces tree traversal."""
+        self.clock.advance_us(self.costs.ax_mirror_node_us)
+        mirror = self._mirror.get(node_id)
+        if mirror is None:
+            raise IndexError_("no mirror node for component %d" % node_id)
+        return mirror
+
+    def _open_text(self, mirror):
+        self.database.open_occurrence(
+            mirror.node_id,
+            mirror.text,
+            app=mirror.app_name,
+            window=mirror.window_title(),
+            focused=self._focused_app == mirror.app_name,
+            properties=mirror.properties,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    def mirror_size(self):
+        return len(self._mirror)
+
+    def mirror_root(self, app_name):
+        return self._roots.get(app_name)
+
+    def shutdown(self):
+        self._subscription.cancel()
+        self._app_subscription.cancel()

@@ -1,0 +1,35 @@
+"""Accessibility event types.
+
+Events are delivered *synchronously*: "applications block until event
+delivery is finished" (section 4.2).  The daemon therefore keeps its
+handlers O(1) via the mirror tree; every microsecond spent in a handler is
+charged to the emitting application's timeline.
+"""
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class EventType(Enum):
+    NODE_ADDED = "node_added"
+    NODE_REMOVED = "node_removed"
+    TEXT_CHANGED = "text_changed"
+    FOCUS_CHANGED = "focus_changed"
+    TEXT_SELECTED = "text_selected"
+    KEY_COMBO = "key_combo"
+
+
+@dataclass
+class AccessibilityEvent:
+    """One event emitted by an application's accessibility layer."""
+
+    type: EventType
+    app_name: str
+    node_id: int
+    timestamp_us: int
+    #: Event-specific payload: new text, selection contents, combo name...
+    detail: dict = field(default_factory=dict)
+
+
+TOPIC = "accessibility"
+"""Event-bus topic accessibility events travel on."""

@@ -1,0 +1,189 @@
+"""Accessible component trees.
+
+Each application exposes a tree of accessible components ("the accessible
+components of applications are stored as trees", section 4.2).  Querying a
+component of the *real* tree is expensive — "only one component in the tree
+can be accessed at any point in time, and accessing each component requires
+continuous context switching between the daemon and the application" — which
+this simulation charges through :meth:`AccessibleApp.query_node`.
+
+Applications mutate their trees through the methods here, which emit
+synchronous accessibility events to the desktop registry.
+"""
+
+from enum import Enum
+
+from repro.common.errors import IndexError_
+from repro.access.events import AccessibilityEvent, EventType
+
+
+class Role(Enum):
+    APPLICATION = "application"
+    WINDOW = "window"
+    DOCUMENT = "document"
+    PARAGRAPH = "paragraph"
+    TEXT = "text"
+    LINK = "link"
+    MENU_ITEM = "menu_item"
+    BUTTON = "button"
+    TERMINAL = "terminal"
+
+
+class AccessibleNode:
+    """One component of an application's accessibility tree."""
+
+    __slots__ = ("node_id", "role", "name", "text", "children", "parent",
+                 "properties")
+
+    def __init__(self, node_id, role, name="", text="", properties=None):
+        self.node_id = node_id
+        self.role = role
+        self.name = name
+        self.text = text
+        self.children = []
+        self.parent = None
+        self.properties = dict(properties or {})
+
+    def subtree(self):
+        """Depth-first iteration over this node and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.subtree()
+
+    def subtree_size(self):
+        return sum(1 for _node in self.subtree())
+
+    def __repr__(self):
+        return "AccessibleNode(%d, %s, name=%r)" % (
+            self.node_id,
+            self.role.value,
+            self.name,
+        )
+
+
+class AccessibleApp:
+    """An application and its accessibility tree.
+
+    Mutations emit synchronous events through the registry; applications
+    without accessibility support (``accessible=False``, like the PDF
+    viewers the paper mentions) emit nothing, and their text is simply
+    invisible to the index — the limitation section 4.2 acknowledges.
+    """
+
+    def __init__(self, name, registry, clock, costs, accessible=True,
+                 event_generation_cost_us=0.0):
+        self.name = name
+        self.registry = registry
+        self.clock = clock
+        self.costs = costs
+        self.accessible = accessible
+        #: Extra per-event cost of *generating* the accessibility
+        #: information.  Most toolkits keep it up to date for free; Firefox
+        #: "creates its accessibility information on demand", which is why
+        #: the web benchmark's index-recording overhead is 99 % (section 6).
+        self.event_generation_cost_us = float(event_generation_cost_us)
+        self._next_node_id = 1
+        root_id = self._alloc_id()
+        self.root = AccessibleNode(root_id, Role.APPLICATION, name=name)
+        self._nodes = {root_id: self.root}
+        self.focused = False
+        registry.register_app(self)
+
+    def _alloc_id(self):
+        node_id = (hash(self.name) & 0xFFFF) * 1_000_000 + self._next_node_id
+        self._next_node_id += 1
+        return node_id
+
+    # ------------------------------------------------------------------ #
+    # Real-tree access (expensive: context switch per component)
+
+    def query_node(self, node_id):
+        """Fetch one component the way an AT client would: one round-trip."""
+        self.clock.advance_us(self.costs.ax_real_node_query_us)
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise IndexError_(
+                "no accessible node %d in %s" % (node_id, self.name)
+            )
+        return node
+
+    def traverse_real_tree(self):
+        """Walk the whole tree at real-tree cost (what the daemon avoids
+        doing per-event; it pays this once at startup)."""
+        nodes = []
+        for node in self.root.subtree():
+            self.clock.advance_us(self.costs.ax_real_node_query_us)
+            nodes.append(node)
+        return nodes
+
+    def node(self, node_id):
+        """Zero-cost internal access (the app touching its own widgets)."""
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise IndexError_(
+                "no accessible node %d in %s" % (node_id, self.name)
+            )
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Mutations (emit synchronous events)
+
+    def _emit(self, event_type, node_id, **detail):
+        if not self.accessible:
+            return
+        if not self.registry.has_clients():
+            # No AT client registered: the toolkit does not generate or
+            # deliver accessibility events at all (zero overhead when
+            # DejaView's indexing is disabled).
+            return
+        if self.event_generation_cost_us:
+            self.clock.advance_us(self.event_generation_cost_us)
+        self.registry.emit(
+            AccessibilityEvent(
+                type=event_type,
+                app_name=self.name,
+                node_id=node_id,
+                timestamp_us=self.clock.now_us,
+                detail=detail,
+            )
+        )
+
+    def add_node(self, parent, role, name="", text="", properties=None):
+        node = AccessibleNode(self._alloc_id(), role, name, text, properties)
+        node.parent = parent
+        parent.children.append(node)
+        self._nodes[node.node_id] = node
+        self._emit(
+            EventType.NODE_ADDED,
+            node.node_id,
+            parent_id=parent.node_id,
+            role=role.value,
+            name=name,
+            text=text,
+            properties=dict(node.properties),
+        )
+        return node
+
+    def remove_node(self, node):
+        if node is self.root:
+            raise IndexError_("cannot remove the application root")
+        for descendant in list(node.subtree()):
+            self._nodes.pop(descendant.node_id, None)
+        node.parent.children.remove(node)
+        self._emit(EventType.NODE_REMOVED, node.node_id)
+        node.parent = None
+
+    def set_text(self, node, text):
+        old = node.text
+        node.text = text
+        self._emit(EventType.TEXT_CHANGED, node.node_id, old=old, new=text)
+
+    def set_focus(self, focused=True):
+        self.focused = focused
+        self._emit(EventType.FOCUS_CHANGED, self.root.node_id, focused=focused)
+
+    def select_text(self, node, selection):
+        self._emit(EventType.TEXT_SELECTED, node.node_id, selection=selection)
+
+    def press_key_combo(self, combo):
+        self._emit(EventType.KEY_COMBO, self.root.node_id, combo=combo)

@@ -1,0 +1,53 @@
+"""Continuous checkpoint/revive machinery (paper section 5).
+
+This is DejaView's primary systems contribution: checkpointing a live,
+multi-process desktop session once per second with milliseconds of downtime,
+and reviving any past checkpoint into an independent, fully interactive
+session.
+
+* :mod:`repro.checkpoint.image` -- the checkpoint image format: process
+  state records, memory region metadata, saved pages, and the page-location
+  directory that makes incremental chains revivable.
+* :mod:`repro.checkpoint.storage` -- simulated checkpoint storage with
+  cached/uncached read paths (Figure 7 contrasts the two).
+* :mod:`repro.checkpoint.engine` -- the checkpoint engine: pre-snapshot,
+  pre-quiesce, quiesce, COW capture, file system snapshot, deferred
+  writeback; every optimization is individually toggleable for the
+  ablation benchmarks.
+* :mod:`repro.checkpoint.restore` -- revive: rebuild the process forest in
+  a fresh namespace, restore memory across the incremental chain, branch
+  the file system, reset external sockets.
+* :mod:`repro.checkpoint.policy` -- the display-driven checkpoint policy
+  (section 5.1.3).
+"""
+
+from repro.checkpoint.engine import (
+    CheckpointEngine,
+    CheckpointResult,
+    EngineOptions,
+)
+from repro.checkpoint.gc import PruneReport, prune_checkpoints, required_images
+from repro.checkpoint.image import CheckpointImage
+from repro.checkpoint.policy import CheckpointPolicy, PolicyConfig, PolicyDecision
+from repro.checkpoint.restore import DemandPager, ReviveManager, ReviveResult
+from repro.checkpoint.storage import CheckpointStorage
+from repro.checkpoint.verify import VerifyReport, verify_chain
+
+__all__ = [
+    "CheckpointImage",
+    "CheckpointStorage",
+    "CheckpointEngine",
+    "CheckpointResult",
+    "EngineOptions",
+    "ReviveManager",
+    "ReviveResult",
+    "DemandPager",
+    "CheckpointPolicy",
+    "PolicyConfig",
+    "PolicyDecision",
+    "prune_checkpoints",
+    "required_images",
+    "PruneReport",
+    "verify_chain",
+    "VerifyReport",
+]

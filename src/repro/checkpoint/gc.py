@@ -1,0 +1,78 @@
+"""Checkpoint pruning and storage reclamation.
+
+The paper leans on "continued exponential improvements in storage capacity"
+to keep everything forever; a practical deployment also wants to *prune*.
+Pruning a checkpoint has two parts, and both have dependencies:
+
+* **images** — an incremental image's pages may be the latest copy of pages
+  that *later* images' page-location directories still reference, so the
+  set of images that must be kept is the transitive owner set of the kept
+  checkpoints;
+* **file system snapshots** — the LFS snapshot bound to a pruned checkpoint
+  becomes unprotected, and the log cleaner can reclaim blocks reachable
+  only from unprotected history (the NILFS checkpoint/snapshot model).
+
+:func:`prune_checkpoints` performs both, safely.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.errors import CheckpointError
+
+
+@dataclass
+class PruneReport:
+    """Outcome of one pruning pass."""
+
+    kept_images: tuple
+    deleted_images: tuple
+    image_bytes_freed: int
+    fs_bytes_reclaimed: int
+
+
+def required_images(storage, keep_ids):
+    """The images that must be retained to revive every kept checkpoint.
+
+    Each kept image's page-location directory names the image holding each
+    page's latest copy; all of those owners are required (the directory is
+    already transitive, so one hop suffices).
+    """
+    required = set()
+    for checkpoint_id in keep_ids:
+        if checkpoint_id not in storage:
+            raise CheckpointError("cannot keep unknown checkpoint %d"
+                                  % checkpoint_id)
+        required.add(checkpoint_id)
+        image = storage.load(checkpoint_id, cached=True)
+        required.update(image.page_locations.values())
+    return required
+
+
+def prune_checkpoints(storage, fsstore, keep_ids):
+    """Delete every checkpoint not needed to revive ``keep_ids``.
+
+    Returns a :class:`PruneReport`.  The file system's checkpoint bindings
+    for deleted checkpoints are removed and the log cleaner runs, so both
+    image storage and log space shrink.
+    """
+    keep_ids = set(keep_ids)
+    required = required_images(storage, keep_ids)
+    deleted = []
+    freed = 0
+    fs = fsstore.fs
+    for image_id in storage.stored_ids():
+        if image_id in required:
+            continue
+        freed += storage.delete(image_id)
+        try:
+            fs.unprotect_checkpoint(image_id)
+        except Exception:
+            pass  # the image may predate the fs binding (tests)
+        deleted.append(image_id)
+    reclaimed = fs.collect_garbage(fs.protected_txns())
+    return PruneReport(
+        kept_images=tuple(sorted(required)),
+        deleted_images=tuple(sorted(deleted)),
+        image_bytes_freed=freed,
+        fs_bytes_reclaimed=reclaimed,
+    )

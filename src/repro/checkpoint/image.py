@@ -1,0 +1,180 @@
+"""Checkpoint image format.
+
+An image captures everything section 5.2 lists for revive: per-process run
+state, program name, scheduling parameters, credentials, pending and blocked
+signals, CPU registers, FPU state, ptrace information, file system
+namespace, open files, signal handling information, and virtual memory.
+
+Incremental images (section 5.1.2) save only the pages modified since the
+previous checkpoint.  To make any image in the chain revivable on its own,
+each image also carries a **page-location directory**: for every page
+resident at checkpoint time, the id of the image that holds its latest
+saved copy ("when the restoration process encounters a memory region that
+is contained in another file, as marked by its list of saved memory
+regions, it opens the appropriate file and retrieves the necessary pages").
+
+Serialization is TLV: a JSON metadata record (everything except page
+contents) followed by one record per saved page.  Page payloads dominate, as
+the paper observes ("the memory state of the processes dominates the
+checkpoint image").
+"""
+
+import json
+import struct
+
+from repro.common.errors import CheckpointError
+from repro.common.serial import RecordReader, RecordWriter
+
+STREAM_KIND_CHECKPOINT = 0xC4E7
+
+TAG_METADATA = 1
+TAG_PAGE = 2
+
+_PAGE_HEADER = struct.Struct("<IQI")  # vpid, region start, page index
+
+
+def _page_key_str(key):
+    vpid, region_start, page_index = key
+    return "%d:%d:%d" % (vpid, region_start, page_index)
+
+
+def _page_key_from_str(text):
+    vpid, region_start, page_index = text.split(":")
+    return (int(vpid), int(region_start), int(page_index))
+
+
+class CheckpointImage:
+    """One checkpoint of a container.
+
+    Attributes
+    ----------
+    checkpoint_id:
+        The monotonically increasing checkpoint counter; also recorded in
+        the file system log (section 5.1.1).
+    parent_id:
+        Previous checkpoint in the incremental chain (None for the first).
+    full:
+        True when every resident page is saved in this image.
+    fs_txn:
+        The file system snapshot transaction bound to this checkpoint.
+    processes:
+        Per-process state records (dicts; see ``Process`` snapshots).
+    regions:
+        ``{vpid: [region metadata, ...]}``.
+    pages:
+        ``{(vpid, region_start, page_index): bytes}`` saved in THIS image.
+    page_locations:
+        ``{(vpid, region_start, page_index): image_id}`` for every page
+        resident at checkpoint time.
+    """
+
+    def __init__(self, checkpoint_id, timestamp_us, container_name,
+                 parent_id=None, full=True, fs_txn=None):
+        self.checkpoint_id = checkpoint_id
+        self.timestamp_us = timestamp_us
+        self.container_name = container_name
+        self.parent_id = parent_id
+        self.full = full
+        self.fs_txn = fs_txn
+        self.processes = []
+        self.regions = {}
+        self.pages = {}
+        self.page_locations = {}
+        self.relinked_files = []  # [(vpid, fd, relink path), ...]
+
+    # ------------------------------------------------------------------ #
+    # Size accounting
+
+    @property
+    def saved_page_count(self):
+        return len(self.pages)
+
+    @property
+    def page_bytes(self):
+        return sum(len(content) for content in self.pages.values())
+
+    @property
+    def metadata_bytes(self):
+        return len(self._metadata_json())
+
+    @property
+    def nbytes(self):
+        """Uncompressed serialized size (approximate until serialized)."""
+        return self.metadata_bytes + self.page_bytes + 16 * len(self.pages)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+
+    def _metadata_json(self):
+        meta = {
+            "checkpoint_id": self.checkpoint_id,
+            "timestamp_us": self.timestamp_us,
+            "container_name": self.container_name,
+            "parent_id": self.parent_id,
+            "full": self.full,
+            "fs_txn": self.fs_txn,
+            "processes": self.processes,
+            "regions": {str(vpid): regs for vpid, regs in self.regions.items()},
+            "page_locations": {
+                _page_key_str(key): image_id
+                for key, image_id in self.page_locations.items()
+            },
+            "relinked_files": self.relinked_files,
+        }
+        return json.dumps(meta, separators=(",", ":")).encode("utf-8")
+
+    def serialize(self):
+        """Encode the image as a TLV byte stream."""
+        writer = RecordWriter(kind=STREAM_KIND_CHECKPOINT)
+        writer.write(TAG_METADATA, self._metadata_json())
+        for (vpid, region_start, page_index), content in sorted(self.pages.items()):
+            header = _PAGE_HEADER.pack(vpid, region_start, page_index)
+            writer.write(TAG_PAGE, header + content)
+        return writer.getvalue()
+
+    @classmethod
+    def deserialize(cls, data):
+        reader = RecordReader(data, expect_kind=STREAM_KIND_CHECKPOINT)
+        records = iter(reader)
+        try:
+            tag, payload, _off = next(records)
+        except StopIteration:
+            raise CheckpointError("empty checkpoint image")
+        if tag != TAG_METADATA:
+            raise CheckpointError("checkpoint image must begin with metadata")
+        meta = json.loads(payload.decode("utf-8"))
+        image = cls(
+            checkpoint_id=meta["checkpoint_id"],
+            timestamp_us=meta["timestamp_us"],
+            container_name=meta["container_name"],
+            parent_id=meta["parent_id"],
+            full=meta["full"],
+            fs_txn=meta["fs_txn"],
+        )
+        image.processes = meta["processes"]
+        image.regions = {int(vpid): regs for vpid, regs in meta["regions"].items()}
+        image.page_locations = {
+            _page_key_from_str(key): image_id
+            for key, image_id in meta["page_locations"].items()
+        }
+        image.relinked_files = [tuple(item) for item in meta["relinked_files"]]
+        for tag, payload, _off in records:
+            if tag != TAG_PAGE:
+                raise CheckpointError("unexpected record tag %d in image" % tag)
+            vpid, region_start, page_index = _PAGE_HEADER.unpack_from(payload)
+            image.pages[(vpid, region_start, page_index)] = payload[
+                _PAGE_HEADER.size :
+            ]
+        return image
+
+    def __repr__(self):
+        return (
+            "CheckpointImage(id=%d, %s, processes=%d, pages=%d, parent=%r)"
+            % (
+                self.checkpoint_id,
+                "full" if self.full else "incremental",
+                len(self.processes),
+                len(self.pages),
+                self.parent_id,
+            )
+        )

@@ -1,0 +1,180 @@
+"""Checkpoint policy (section 5.1.3).
+
+"Given the bursty nature of desktops ... the naive approach of taking
+checkpoints at regular intervals is suboptimal."  DejaView instead
+checkpoints *in response to display updates*, with:
+
+* a rate limit of at most one checkpoint per second by default;
+* skips while certain applications are active full screen with no user
+  input (screensaver, full-screen video);
+* skips while display activity stays below a threshold (default 5 % of the
+  screen) — blinking cursors, clocks, mouse movement;
+* an exception for keyboard input: even with low display activity,
+  checkpoints continue during text editing, rate-limited to one every ten
+  seconds ("roughly every 7 words" for a 40 wpm typist);
+* user-extensible custom rules (the paper's example: skip when system load
+  is high).
+
+The policy is a pure decision function over a :class:`PolicyContext`; the
+desktop orchestrator feeds it the display driver's activity stats each
+tick.  Decisions carry a *reason* so the effectiveness benchmark can
+reproduce the paper's skip breakdown (13 % no display activity, 69 % low
+display activity, 18 % text-edit rate limiting).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import PolicyError
+from repro.common.units import seconds
+
+# Decision reason codes.
+TAKE_DISPLAY = "display_activity"
+TAKE_TEXT_EDIT = "text_edit"
+SKIP_RATE_LIMIT = "rate_limit"
+SKIP_NO_DISPLAY = "no_display_activity"
+SKIP_LOW_DISPLAY = "low_display_activity"
+SKIP_TEXT_RATE = "text_edit_rate"
+SKIP_FULLSCREEN = "fullscreen_app"
+SKIP_CUSTOM = "custom_rule"
+
+
+@dataclass
+class PolicyConfig:
+    """Tunables — "the user may tune any of the parameters"."""
+
+    min_interval_us: int = seconds(1)
+    """At most one checkpoint per second by default."""
+
+    low_activity_fraction: float = 0.05
+    """Display changes below this screen fraction are 'trivial' (5 %)."""
+
+    text_edit_interval_us: int = seconds(10)
+    """Checkpoint rate during keyboard-driven low display activity."""
+
+    skip_fullscreen_apps: bool = True
+    """Skip while screensaver / full-screen video run without input."""
+
+
+@dataclass
+class PolicyContext:
+    """Everything the policy looks at for one decision."""
+
+    now_us: int
+    display_activity: object  # DisplayActivity from the driver
+    keyboard_input: bool = False
+    mouse_input: bool = False
+    fullscreen_video: bool = False
+    screensaver: bool = False
+    system_load: float = 0.0
+
+
+@dataclass
+class PolicyDecision:
+    take: bool
+    reason: str
+
+    def __bool__(self):
+        return self.take
+
+
+@dataclass
+class PolicyStats:
+    """Counts per decision reason (for the effectiveness experiment)."""
+
+    taken: dict = field(default_factory=dict)
+    skipped: dict = field(default_factory=dict)
+
+    def record(self, decision):
+        bucket = self.taken if decision.take else self.skipped
+        bucket[decision.reason] = bucket.get(decision.reason, 0) + 1
+
+    @property
+    def total_taken(self):
+        return sum(self.taken.values())
+
+    @property
+    def total_skipped(self):
+        return sum(self.skipped.values())
+
+    @property
+    def total(self):
+        return self.total_taken + self.total_skipped
+
+    def taken_fraction(self):
+        return self.total_taken / self.total if self.total else 0.0
+
+    def skip_fraction(self, reason):
+        """Fraction of *skips* attributed to one reason (how the paper
+        reports its 13 % / 69 % / 18 % breakdown)."""
+        total = self.total_skipped
+        return self.skipped.get(reason, 0) / total if total else 0.0
+
+
+class CheckpointPolicy:
+    """The decision engine.  Call :meth:`decide` once per candidate tick."""
+
+    def __init__(self, config=None):
+        self.config = config if config is not None else PolicyConfig()
+        self._last_checkpoint_us = None
+        self._custom_rules = []
+        self.stats = PolicyStats()
+
+    def add_rule(self, rule):
+        """Register a custom rule: ``rule(context) -> bool-or-None``.
+
+        Returning False vetoes the checkpoint (counted as SKIP_CUSTOM);
+        True or None passes to the built-in rules.  Example from the
+        paper: "disable checkpoints when the load of the computer rises
+        above a certain level".
+        """
+        if not callable(rule):
+            raise PolicyError("policy rules must be callable")
+        self._custom_rules.append(rule)
+
+    def decide(self, context):
+        """Decide whether to checkpoint now; records stats either way."""
+        decision = self._decide(context)
+        self.stats.record(decision)
+        if decision.take:
+            self._last_checkpoint_us = context.now_us
+        return decision
+
+    def _decide(self, ctx):
+        cfg = self.config
+        for rule in self._custom_rules:
+            if rule(ctx) is False:
+                return PolicyDecision(False, SKIP_CUSTOM)
+
+        activity = ctx.display_activity
+        has_display = activity is not None and activity.command_count > 0
+        since_last = (
+            None
+            if self._last_checkpoint_us is None
+            else ctx.now_us - self._last_checkpoint_us
+        )
+
+        # Rule: full-screen special applications without user input.
+        if cfg.skip_fullscreen_apps and (ctx.fullscreen_video or ctx.screensaver):
+            if not (ctx.keyboard_input or ctx.mouse_input):
+                return PolicyDecision(False, SKIP_FULLSCREEN)
+
+        # Rule: nothing changed on screen at all.
+        if not has_display and not ctx.keyboard_input:
+            return PolicyDecision(False, SKIP_NO_DISPLAY)
+
+        low_activity = (
+            not has_display or activity.changed_fraction < cfg.low_activity_fraction
+        )
+
+        if low_activity:
+            if ctx.keyboard_input:
+                # Text editing: keep recording, but at the reduced rate.
+                if since_last is not None and since_last < cfg.text_edit_interval_us:
+                    return PolicyDecision(False, SKIP_TEXT_RATE)
+                return PolicyDecision(True, TAKE_TEXT_EDIT)
+            return PolicyDecision(False, SKIP_LOW_DISPLAY)
+
+        # Significant display activity: checkpoint, rate-limited.
+        if since_last is not None and since_last < cfg.min_interval_us:
+            return PolicyDecision(False, SKIP_RATE_LIMIT)
+        return PolicyDecision(True, TAKE_DISPLAY)

@@ -1,0 +1,139 @@
+"""Checkpoint image storage.
+
+A simulated disk for checkpoint images.  It charges the cost model for
+writes and reads, tracks compressed and uncompressed sizes (Figure 4 shows
+both), and models the page cache: a *cached* read costs a memory copy, an
+*uncached* read costs seeks plus sequential transfer — the distinction
+behind Figure 7's two revive series ("reviving using checkpoint files that
+have been cached due to recent file access more commonly occurs when users
+revive a session at a time relatively close to the current time").
+
+Host-side, images are kept zlib-compressed regardless of the *accounting*
+mode, so long experiments stay memory-friendly.
+"""
+
+import zlib
+
+from repro.common.clock import VirtualClock
+from repro.common.costs import DEFAULT_COSTS
+from repro.common.errors import CheckpointError
+from repro.checkpoint.image import CheckpointImage
+
+
+class CheckpointStorage:
+    """Stores serialized checkpoint images on a simulated disk."""
+
+    def __init__(self, clock=None, costs=DEFAULT_COSTS, compress=False):
+        self.clock = clock if clock is not None else VirtualClock()
+        self.costs = costs
+        #: Whether the *accounted* storage format is compressed (the paper
+        #: reports both "Process" and "Process (Compressed)" growth rates).
+        self.compress = compress
+        self._blobs = {}  # image id -> zlib blob
+        self._sizes = {}  # image id -> (uncompressed, compressed)
+        self._meta_sizes = {}  # image id -> metadata record bytes
+        self._cached = set()
+        self.total_uncompressed_bytes = 0
+        self.total_compressed_bytes = 0
+        self.write_count = 0
+        self.read_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Write path
+
+    def store(self, image, charge_time=True):
+        """Serialize and write an image; returns bytes written (as
+        accounted, i.e. compressed when compression is enabled)."""
+        if image.checkpoint_id in self._blobs:
+            raise CheckpointError(
+                "checkpoint %d already stored" % image.checkpoint_id
+            )
+        raw = image.serialize()
+        blob = zlib.compress(raw, level=1)
+        self._blobs[image.checkpoint_id] = blob
+        self._sizes[image.checkpoint_id] = (len(raw), len(blob))
+        self._meta_sizes[image.checkpoint_id] = image.metadata_bytes
+        self.total_uncompressed_bytes += len(raw)
+        self.total_compressed_bytes += len(blob)
+        self.write_count += 1
+        written = len(blob) if self.compress else len(raw)
+        if charge_time:
+            if self.compress:
+                self.clock.advance_us(self.costs.compress_us(len(raw)))
+            self.clock.advance_us(
+                self.costs.disk_write_us(written, sequential=True)
+            )
+        # A freshly written image sits in the page cache.
+        self._cached.add(image.checkpoint_id)
+        return written
+
+    # ------------------------------------------------------------------ #
+    # Read path
+
+    def load(self, image_id, cached=None, metadata_only=False):
+        """Read and decode an image.
+
+        ``cached=None`` uses the storage's own cache state; True/False
+        force the hot/cold path (benchmarks force both).
+
+        ``metadata_only=True`` charges only for the image's metadata record
+        (process/region/page-location tables) — the demand-paged revive
+        path, which reads page payloads lazily later.  The returned object
+        still carries the pages (the host keeps images whole); only the
+        *accounted* I/O differs.
+        """
+        blob = self._blobs.get(image_id)
+        if blob is None:
+            raise CheckpointError("no stored checkpoint %d" % image_id)
+        uncompressed, compressed = self._sizes[image_id]
+        read_bytes = compressed if self.compress else uncompressed
+        if metadata_only:
+            read_bytes = min(read_bytes, self._meta_sizes[image_id])
+        if cached is None:
+            cached = image_id in self._cached
+        if cached:
+            self.clock.advance_us(read_bytes * self.costs.memcpy_us_per_byte)
+        else:
+            self.clock.advance_us(
+                self.costs.disk_read_us(read_bytes, sequential=False)
+            )
+            if not metadata_only:
+                self._cached.add(image_id)
+        self.read_count += 1
+        return CheckpointImage.deserialize(zlib.decompress(blob))
+
+    def is_cached(self, image_id):
+        return image_id in self._cached
+
+    def evict_all(self):
+        """Drop the page cache (forces the Figure 7 uncached path)."""
+        self._cached.clear()
+
+    def stored_ids(self):
+        return sorted(self._blobs)
+
+    def size_of(self, image_id):
+        """``(uncompressed, compressed)`` byte sizes of one image."""
+        if image_id not in self._sizes:
+            raise CheckpointError("no stored checkpoint %d" % image_id)
+        return self._sizes[image_id]
+
+    def delete(self, image_id):
+        """Remove a stored image (checkpoint pruning); returns the bytes
+        freed (as accounted)."""
+        if image_id not in self._blobs:
+            raise CheckpointError("no stored checkpoint %d" % image_id)
+        uncompressed, compressed = self._sizes.pop(image_id)
+        del self._blobs[image_id]
+        del self._meta_sizes[image_id]
+        self._cached.discard(image_id)
+        freed = compressed if self.compress else uncompressed
+        self.total_uncompressed_bytes -= uncompressed
+        self.total_compressed_bytes -= compressed
+        return freed
+
+    def __contains__(self, image_id):
+        return image_id in self._blobs
+
+    def __len__(self):
+        return len(self._blobs)

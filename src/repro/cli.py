@@ -1,0 +1,175 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro.cli scenarios
+    python -m repro.cli run web [--units N] [--no-display] [--no-index]
+                                [--no-checkpoints] [--policy] [--compress]
+    python -m repro.cli demo
+    python -m repro.cli figures
+
+``run`` executes one Table 1 scenario and prints a report: simulated
+duration, checkpoint latency summary, storage growth decomposition, and a
+sample search.  ``demo`` runs a 30-second guided record/search/revive tour.
+"""
+
+import argparse
+import sys
+
+from repro.common.units import format_bytes, format_duration_us, format_rate
+from repro.desktop.dejaview import RecordingConfig
+from repro.workloads import SCENARIOS, get_workload
+from repro.workloads import scenarios as _scenarios  # noqa: F401 (registry)
+
+FIGURES = {
+    "table1": "benchmarks/bench_table1_scenarios.py",
+    "fig2": "benchmarks/bench_fig2_overhead.py",
+    "fig3": "benchmarks/bench_fig3_checkpoint_latency.py",
+    "fig4": "benchmarks/bench_fig4_storage_growth.py",
+    "fig5": "benchmarks/bench_fig5_browse_search.py",
+    "fig6": "benchmarks/bench_fig6_playback_speedup.py",
+    "fig7": "benchmarks/bench_fig7_revive_latency.py",
+    "policy": "benchmarks/bench_policy_effectiveness.py",
+    "ablation": "benchmarks/bench_ablation_optimizations.py",
+    "screencast": "benchmarks/bench_baseline_screencast.py",
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DejaView reproduction (SOSP 2007) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="list the Table 1 workload scenarios")
+
+    run = sub.add_parser("run", help="run one scenario and print a report")
+    run.add_argument("scenario", help="scenario name (see 'scenarios')")
+    run.add_argument("--units", type=int, default=None,
+                     help="work units (default: the scenario's standard run)")
+    run.add_argument("--no-display", action="store_true",
+                     help="disable display recording")
+    run.add_argument("--no-index", action="store_true",
+                     help="disable text indexing")
+    run.add_argument("--no-checkpoints", action="store_true",
+                     help="disable checkpointing")
+    run.add_argument("--policy", action="store_true",
+                     help="checkpoint under the section 5.1.3 policy "
+                          "instead of fixed 1 Hz")
+    run.add_argument("--compress", action="store_true",
+                     help="account compressed checkpoint storage")
+
+    sub.add_parser("demo", help="record/search/revive guided tour")
+    sub.add_parser("figures", help="map of paper figures to bench files")
+    return parser
+
+
+def cmd_scenarios(_args, out):
+    get_workload("web")  # populate registry
+    print("Table 1 scenarios:", file=out)
+    for name in sorted(SCENARIOS):
+        workload = SCENARIOS[name]()
+        print("  %-8s %s (default %d units)" % (
+            name, workload.description, workload.default_units), file=out)
+    return 0
+
+
+def cmd_run(args, out):
+    workload = get_workload(args.scenario)
+    config = RecordingConfig(
+        record_display=not args.no_display,
+        record_index=not args.no_index,
+        record_checkpoints=not args.no_checkpoints,
+        use_policy=args.policy,
+        compress_checkpoints=args.compress,
+    )
+    if args.scenario == "desktop" and not args.no_checkpoints:
+        config.use_policy = True
+    print("running %s (%d units)..." % (
+        args.scenario, args.units or workload.default_units), file=out)
+    run = workload.run(recording=config, units=args.units)
+    dv = run.dejaview
+
+    print("simulated duration: %.2f s" % run.duration_seconds, file=out)
+    if dv.engine is not None and dv.engine.history:
+        history = dv.engine.history
+        avg_down = sum(r.downtime_us for r in history) / len(history)
+        max_down = max(r.downtime_us for r in history)
+        print("checkpoints: %d (avg downtime %s, max %s)" % (
+            len(history), format_duration_us(avg_down),
+            format_duration_us(max_down)), file=out)
+    rates = run.storage_growth_rates()
+    print("storage growth:", file=out)
+    for stream in ("display", "index", "checkpoint",
+                   "checkpoint_compressed", "fs"):
+        print("  %-22s %s" % (stream, format_rate(rates[stream])), file=out)
+    report = dv.storage_report()
+    print("record footprint: display=%s index=%s checkpoints=%s" % (
+        format_bytes(report["display"]),
+        format_bytes(report["index"]),
+        format_bytes(report["checkpoint_uncompressed"])), file=out)
+    if dv.database is not None and dv.database.vocabulary():
+        from repro.index.query import Query
+
+        word = dv.database.vocabulary()[len(dv.database.vocabulary()) // 2]
+        results = dv.search_engine().search(Query.keywords(word),
+                                            render=False, limit=3)
+        print("sample search %r: %d hit(s)" % (word, len(results)), file=out)
+    return 0
+
+
+def cmd_demo(_args, out):
+    from repro.common.units import seconds
+    from repro.desktop.dejaview import DejaView
+    from repro.desktop.session import DesktopSession
+    from repro.display.commands import Region
+    from repro.index.query import Query
+
+    session = DesktopSession()
+    dv = DejaView(session)
+    editor = session.launch("editor")
+    editor.focus()
+    editor.draw_fill(Region(0, 0, session.width, session.height), 0x204080)
+    editor.show_text("demo: the personal virtual computer recorder")
+    editor.write_file("/home/user/demo.txt", b"recorded demo file")
+    dv.tick()
+    t_then = session.clock.now_us
+    session.clock.advance_us(seconds(5))
+    session.fs.unlink("/home/user/demo.txt")
+    dv.tick()
+
+    print("recorded 5 s of desktop activity", file=out)
+    hits = dv.search(Query.keywords("recorder"), render=False)
+    print("search 'recorder': %d hit(s) at t=%.1fs" % (
+        len(hits), hits[0].timestamp_us / 1e6), file=out)
+    revived = dv.take_me_back(t_then)
+    print("revived %r; deleted file restored: %s" % (
+        revived.container.name,
+        revived.container.mount.read_file("/home/user/demo.txt").decode()),
+        file=out)
+    return 0
+
+
+def cmd_figures(_args, out):
+    print("paper experiment -> bench file (pytest <file> "
+          "--benchmark-only -s):", file=out)
+    for key, path in FIGURES.items():
+        print("  %-10s %s" % (key, path), file=out)
+    return 0
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    handler = {
+        "scenarios": cmd_scenarios,
+        "run": cmd_run,
+        "demo": cmd_demo,
+        "figures": cmd_figures,
+    }[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Shared infrastructure for the DejaView reproduction.
+
+This package hosts the pieces every subsystem relies on:
+
+* :mod:`repro.common.clock` -- the deterministic virtual clock that stands in
+  for wall-clock time on the paper's 2007 testbed.
+* :mod:`repro.common.events` -- a synchronous publish/subscribe event bus
+  (accessibility events in the paper are delivered synchronously, so the bus
+  is synchronous by design).
+* :mod:`repro.common.costs` -- the calibrated cost model translating abstract
+  operations (copying a page, seeking a disk, inserting an index token) into
+  simulated microseconds.
+* :mod:`repro.common.serial` -- a tag-length-value binary record codec used
+  by the display log and the checkpoint image format.
+* :mod:`repro.common.units` -- byte/time unit helpers.
+* :mod:`repro.common.errors` -- the exception hierarchy.
+"""
+
+from repro.common.clock import Stopwatch, VirtualClock
+from repro.common.costs import CostModel
+from repro.common.errors import (
+    CheckpointError,
+    DejaViewError,
+    DisplayError,
+    FileSystemError,
+    IndexError_,
+    ReviveError,
+    VexError,
+)
+from repro.common.events import EventBus
+from repro.common.serial import RecordReader, RecordWriter
+from repro.common.units import GiB, KiB, MiB, format_bytes, format_duration_us
+
+__all__ = [
+    "VirtualClock",
+    "Stopwatch",
+    "EventBus",
+    "CostModel",
+    "RecordReader",
+    "RecordWriter",
+    "KiB",
+    "MiB",
+    "GiB",
+    "format_bytes",
+    "format_duration_us",
+    "DejaViewError",
+    "DisplayError",
+    "VexError",
+    "CheckpointError",
+    "ReviveError",
+    "FileSystemError",
+    "IndexError_",
+]

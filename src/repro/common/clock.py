@@ -1,0 +1,96 @@
+"""Deterministic virtual clock.
+
+The paper reports wall-clock measurements taken on a 2007 desktop.  In this
+reproduction every subsystem charges its work to a shared
+:class:`VirtualClock` through the cost model, which makes all experiments
+deterministic and lets the benchmark harness report the same quantities the
+paper does (checkpoint downtime, browse latency, playback speedup, ...)
+independent of the machine the reproduction happens to run on.
+
+The clock only moves forward.  Components never read the host's time.
+"""
+
+from repro.common.units import US_PER_MS, US_PER_SEC
+
+
+class VirtualClock:
+    """A monotonically increasing simulated clock with microsecond ticks."""
+
+    def __init__(self, start_us=0):
+        if start_us < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now_us = int(start_us)
+
+    @property
+    def now_us(self):
+        """Current simulated time in microseconds."""
+        return self._now_us
+
+    @property
+    def now_ms(self):
+        """Current simulated time in (float) milliseconds."""
+        return self._now_us / US_PER_MS
+
+    @property
+    def now_seconds(self):
+        """Current simulated time in (float) seconds."""
+        return self._now_us / US_PER_SEC
+
+    def advance_us(self, delta_us):
+        """Move time forward by ``delta_us`` microseconds.
+
+        Fractional charges from the cost model are accepted and rounded to
+        the nearest whole microsecond; negative charges are rejected because
+        simulated time never flows backwards.
+        """
+        delta_us = int(round(delta_us))
+        if delta_us < 0:
+            raise ValueError("cannot advance the clock by a negative amount")
+        self._now_us += delta_us
+        return self._now_us
+
+    def advance_to_us(self, deadline_us):
+        """Move time forward to an absolute deadline (no-op if in the past)."""
+        if deadline_us > self._now_us:
+            self._now_us = int(deadline_us)
+        return self._now_us
+
+    def stopwatch(self):
+        """Start a :class:`Stopwatch` at the current instant."""
+        return Stopwatch(self)
+
+    def __repr__(self):
+        return "VirtualClock(t=%dus)" % self._now_us
+
+
+class Stopwatch:
+    """Measures elapsed simulated time between two instants.
+
+    >>> clock = VirtualClock()
+    >>> watch = clock.stopwatch()
+    >>> _ = clock.advance_us(1500)
+    >>> watch.elapsed_us
+    1500
+    """
+
+    def __init__(self, clock):
+        self._clock = clock
+        self._start_us = clock.now_us
+
+    @property
+    def start_us(self):
+        return self._start_us
+
+    @property
+    def elapsed_us(self):
+        return self._clock.now_us - self._start_us
+
+    @property
+    def elapsed_ms(self):
+        return self.elapsed_us / US_PER_MS
+
+    def restart(self):
+        """Reset the start point to now and return the previous elapsed time."""
+        elapsed = self.elapsed_us
+        self._start_us = self._clock.now_us
+        return elapsed

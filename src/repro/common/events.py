@@ -1,0 +1,82 @@
+"""Synchronous publish/subscribe event bus.
+
+The paper's accessibility infrastructure delivers events *synchronously*:
+"applications block until event delivery is finished" (section 4.2).  The bus
+therefore invokes every subscriber inline, on the publisher's (virtual)
+thread, and returns only once all handlers have run.  This property is what
+makes the mirror-tree optimization in :mod:`repro.access.daemon` matter: slow
+handlers directly stall the application that generated the event.
+"""
+
+from collections import defaultdict
+
+
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; use to unsubscribe."""
+
+    __slots__ = ("topic", "handler", "_bus", "_active")
+
+    def __init__(self, bus, topic, handler):
+        self._bus = bus
+        self.topic = topic
+        self.handler = handler
+        self._active = True
+
+    @property
+    def active(self):
+        return self._active
+
+    def cancel(self):
+        """Stop receiving events.  Idempotent."""
+        if self._active:
+            self._bus._remove(self)
+            self._active = False
+
+
+class EventBus:
+    """Topic-based synchronous event dispatch.
+
+    Handlers are invoked in subscription order.  A handler raising an
+    exception propagates to the publisher, mirroring the way a buggy
+    accessibility client can take down the application that emitted the
+    event.
+    """
+
+    def __init__(self):
+        self._subs = defaultdict(list)
+        self._published_count = 0
+
+    def subscribe(self, topic, handler):
+        """Register ``handler`` for ``topic`` and return a Subscription."""
+        if not callable(handler):
+            raise TypeError("handler must be callable")
+        sub = Subscription(self, topic, handler)
+        self._subs[topic].append(sub)
+        return sub
+
+    def publish(self, topic, event):
+        """Deliver ``event`` synchronously to every subscriber of ``topic``.
+
+        Returns the number of handlers that received the event.
+        """
+        self._published_count += 1
+        # Copy: a handler may subscribe/unsubscribe during delivery.
+        delivered = 0
+        for sub in list(self._subs.get(topic, ())):
+            if sub.active:
+                sub.handler(event)
+                delivered += 1
+        return delivered
+
+    def subscriber_count(self, topic):
+        return sum(1 for sub in self._subs.get(topic, ()) if sub.active)
+
+    @property
+    def published_count(self):
+        """Total number of publish() calls, for instrumentation."""
+        return self._published_count
+
+    def _remove(self, sub):
+        handlers = self._subs.get(sub.topic)
+        if handlers and sub in handlers:
+            handlers.remove(sub)

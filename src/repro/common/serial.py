@@ -1,0 +1,139 @@
+"""Tag-length-value (TLV) binary record codec.
+
+The display record log (section 4.1) and the checkpoint image format
+(section 5) are both append-only streams of typed binary records.  This
+module provides the shared framing: each record is
+
+    +--------+----------------+-----------------+
+    | tag:u32| length:u32     | payload (bytes) |
+    +--------+----------------+-----------------+
+
+in little-endian byte order, preceded once per stream by a magic header that
+identifies the stream kind and format version.  Streams are written to any
+file-like object with ``write``; in this reproduction that is usually a
+:class:`io.BytesIO` held by the simulated disk, but the format works equally
+against real files (the examples write real files).
+"""
+
+import io
+import struct
+
+_HEADER = struct.Struct("<4sHH")
+_RECORD = struct.Struct("<II")
+
+MAGIC = b"DJVW"
+FORMAT_VERSION = 1
+
+
+class StreamCorrupt(ValueError):
+    """The byte stream does not parse as a valid TLV record stream."""
+
+
+class RecordWriter:
+    """Appends TLV records to a binary stream.
+
+    Parameters
+    ----------
+    fileobj:
+        Writable binary file-like object.  If ``None``, an internal
+        :class:`io.BytesIO` is created and exposed via :attr:`fileobj`.
+    kind:
+        16-bit stream kind identifier written into the header (e.g. display
+        log vs checkpoint image), so readers can refuse mismatched streams.
+    """
+
+    def __init__(self, fileobj=None, kind=0):
+        self.fileobj = fileobj if fileobj is not None else io.BytesIO()
+        self.kind = kind
+        self._bytes_written = 0
+        header = _HEADER.pack(MAGIC, FORMAT_VERSION, kind)
+        self.fileobj.write(header)
+        self._bytes_written += len(header)
+
+    @property
+    def bytes_written(self):
+        """Total bytes emitted, including the stream header."""
+        return self._bytes_written
+
+    def write(self, tag, payload):
+        """Append one record; returns the offset at which it was written."""
+        if not 0 <= tag < 2**32:
+            raise ValueError("tag out of range: %r" % (tag,))
+        payload = bytes(payload)
+        offset = self._bytes_written
+        self.fileobj.write(_RECORD.pack(tag, len(payload)))
+        self.fileobj.write(payload)
+        self._bytes_written += _RECORD.size + len(payload)
+        return offset
+
+    def getvalue(self):
+        """Return the full stream bytes (only for BytesIO-backed writers)."""
+        return self.fileobj.getvalue()
+
+
+class RecordReader:
+    """Iterates TLV records from bytes or a readable binary stream."""
+
+    def __init__(self, data, expect_kind=None):
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            self.fileobj = io.BytesIO(bytes(data))
+        else:
+            self.fileobj = data
+        header = self.fileobj.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise StreamCorrupt("stream shorter than header")
+        magic, version, kind = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise StreamCorrupt("bad magic %r" % (magic,))
+        if version != FORMAT_VERSION:
+            raise StreamCorrupt("unsupported format version %d" % version)
+        if expect_kind is not None and kind != expect_kind:
+            raise StreamCorrupt(
+                "stream kind %d does not match expected %d" % (kind, expect_kind)
+            )
+        self.kind = kind
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        """Return the next ``(tag, payload, offset)`` triple."""
+        offset = self.fileobj.tell()
+        head = self.fileobj.read(_RECORD.size)
+        if not head:
+            raise StopIteration
+        if len(head) != _RECORD.size:
+            raise StreamCorrupt("truncated record header at offset %d" % offset)
+        tag, length = _RECORD.unpack(head)
+        payload = self.fileobj.read(length)
+        if len(payload) != length:
+            raise StreamCorrupt("truncated record payload at offset %d" % offset)
+        return tag, payload, offset
+
+    def seek_to(self, offset):
+        """Position the reader at a record offset previously returned by a
+        writer, so iteration resumes from that record."""
+        self.fileobj.seek(offset)
+        return self
+
+
+def read_at(data, offset):
+    """Random-access read of the single record at ``offset``.
+
+    ``data`` may be bytes or a seekable stream.  Returns ``(tag, payload)``.
+    This is how the playback engine fetches screenshots and commands located
+    via the timeline index without scanning the whole log.
+    """
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        fileobj = io.BytesIO(bytes(data))
+    else:
+        fileobj = data
+    fileobj.seek(offset)
+    head = fileobj.read(_RECORD.size)
+    if len(head) != _RECORD.size:
+        raise StreamCorrupt("no record at offset %d" % offset)
+    tag, length = _RECORD.unpack(head)
+    payload = fileobj.read(length)
+    if len(payload) != length:
+        raise StreamCorrupt("truncated record payload at offset %d" % offset)
+    return tag, payload

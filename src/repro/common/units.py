@@ -1,0 +1,68 @@
+"""Byte and time unit helpers.
+
+All simulated durations in this library are integer **microseconds** and all
+sizes are integer **bytes**.  These helpers keep call sites readable and give
+benchmarks a single place to format human-readable output.
+"""
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+US_PER_MS = 1000
+US_PER_SEC = 1_000_000
+MS_PER_SEC = 1000
+
+
+def ms(value):
+    """Convert milliseconds to microseconds."""
+    return int(value * US_PER_MS)
+
+
+def seconds(value):
+    """Convert seconds to microseconds."""
+    return int(value * US_PER_SEC)
+
+
+def us_to_ms(value_us):
+    """Convert microseconds to (float) milliseconds."""
+    return value_us / US_PER_MS
+
+
+def us_to_seconds(value_us):
+    """Convert microseconds to (float) seconds."""
+    return value_us / US_PER_SEC
+
+
+def format_bytes(nbytes):
+    """Render a byte count as a human-readable string.
+
+    >>> format_bytes(2048)
+    '2.0 KiB'
+    """
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return "%d B" % int(value)
+            return "%.1f %s" % (value, unit)
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_duration_us(duration_us):
+    """Render a simulated duration as a human-readable string.
+
+    >>> format_duration_us(1500)
+    '1.50 ms'
+    """
+    if duration_us < 1000:
+        return "%d us" % duration_us
+    if duration_us < US_PER_SEC:
+        return "%.2f ms" % (duration_us / US_PER_MS)
+    return "%.2f s" % (duration_us / US_PER_SEC)
+
+
+def format_rate(bytes_per_second):
+    """Render a storage growth rate as MB/s (decimal MB, as the paper does)."""
+    return "%.2f MB/s" % (bytes_per_second / 1e6)

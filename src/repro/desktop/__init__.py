@@ -1,0 +1,31 @@
+"""The DejaView desktop layer: the pieces users actually touch.
+
+* :mod:`repro.desktop.session` -- :class:`DesktopSession`: one user's
+  desktop: kernel + container + file system + virtual display +
+  accessibility registry, wired to a single virtual clock.
+* :mod:`repro.desktop.apps` -- :class:`SimApplication`: a simulated desktop
+  application that draws, exposes accessible text, dirties memory, does
+  file I/O and opens sockets — the interface workload generators drive.
+* :mod:`repro.desktop.dejaview` -- :class:`DejaView`: the recorder itself.
+  Attaches display recording, text indexing and continuous checkpointing to
+  a session; provides the user-facing verbs: play back, browse, search,
+  and *Take me back* (revive).
+"""
+
+from repro.desktop.apps import SimApplication
+from repro.desktop.dejaview import DejaView, RecordingConfig
+from repro.desktop.input import InputRouter, KeyEvent, MouseEvent
+from repro.desktop.manager import SessionManager, SessionTab
+from repro.desktop.session import DesktopSession
+
+__all__ = [
+    "DesktopSession",
+    "SimApplication",
+    "DejaView",
+    "RecordingConfig",
+    "SessionManager",
+    "SessionTab",
+    "InputRouter",
+    "KeyEvent",
+    "MouseEvent",
+]

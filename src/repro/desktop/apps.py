@@ -1,0 +1,242 @@
+"""Simulated desktop applications.
+
+A :class:`SimApplication` bundles everything one real application
+contributes to the recorded state:
+
+* a process in the session's container (memory, files, sockets);
+* an accessibility tree exposing its on-screen text;
+* drawing through the virtual display driver.
+
+Workload generators drive these objects; nothing below this layer knows
+which scenario is running.
+"""
+
+import numpy as np
+
+from repro.common.costs import PAGE_SIZE
+from repro.access.toolkit import AccessibleApp, Role
+from repro.display.commands import (
+    BitmapCmd,
+    CopyCmd,
+    RawCmd,
+    Region,
+    SolidFillCmd,
+    VideoFrameCmd,
+)
+from repro.vex.sockets import Socket, SocketState
+
+_GLYPH_H = 8
+_GLYPH_W = 5
+
+
+class SimApplication:
+    """One simulated application inside a desktop session."""
+
+    def __init__(self, session, name, accessible=True, nice=0):
+        self.session = session
+        self.name = name
+        self.process = session.container.spawn(
+            name, parent=session.init_process, nice=nice
+        )
+        self.ax = AccessibleApp(name, session.registry, session.clock,
+                                session.costs, accessible=accessible)
+        self.window = self.ax.add_node(
+            self.ax.root, Role.WINDOW, name="%s - window" % name
+        )
+        self._heap = self.process.address_space.mmap(1, name="heap")
+        self._heap_pages = 1
+        self._rng = np.random.default_rng(abs(hash(name)) % (2**32))
+        self._fill_cursor = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------ #
+    # Display
+
+    def draw(self, command):
+        self.session.driver.submit(command)
+
+    def draw_fill(self, region, color):
+        self.draw(SolidFillCmd(region, color))
+
+    def draw_raw(self, region, seed=None):
+        """Draw procedural pixel content (photos, video frames)."""
+        rng = self._rng if seed is None else np.random.default_rng(seed)
+        pixels = rng.integers(0, 2**32, size=(region.h, region.w),
+                              dtype=np.uint32)
+        self.draw(RawCmd(region, pixels))
+
+    def draw_video_frame(self, region, seed=None):
+        """Blit one decoded video frame (THINC's YUV 4:2:0 primitive)."""
+        rng = self._rng if seed is None else np.random.default_rng(seed)
+        region = Region(region.x, region.y, region.w & ~1, region.h & ~1)
+        luma = rng.integers(0, 256, size=(region.h, region.w), dtype=np.uint8)
+        self.draw(VideoFrameCmd(region, luma))
+
+    def draw_text_line(self, region, seed=0):
+        """Draw a line of text as a 1-bpp glyph bitmap (THINC BITMAP)."""
+        rng = np.random.default_rng(seed)
+        bits = rng.random((region.h, region.w)) > 0.55
+        self.draw(BitmapCmd(region, bits, fg=0xFFFFFF, bg=0x000000))
+
+    def scroll(self, region, lines_px):
+        """Scroll a region up by ``lines_px`` pixels (terminal output)."""
+        if lines_px <= 0 or lines_px >= region.h:
+            return
+        src = Region(region.x, region.y + lines_px, region.w,
+                     region.h - lines_px)
+        dst = Region(region.x, region.y, region.w, region.h - lines_px)
+        self.draw(CopyCmd(dst, src))
+
+    def flush_display(self):
+        return self.session.driver.flush()
+
+    # ------------------------------------------------------------------ #
+    # Accessible text
+
+    def show_text(self, text, role=Role.PARAGRAPH, parent=None,
+                  properties=None):
+        """Put text on screen (creates an accessible node)."""
+        return self.ax.add_node(parent or self.window, role, text=text,
+                                properties=properties)
+
+    def update_text(self, node, text):
+        self.ax.set_text(node, text)
+
+    def remove_text(self, node):
+        self.ax.remove_node(node)
+
+    def focus(self):
+        for other in self.session.apps.values():
+            if other is not self and other.ax.focused:
+                other.ax.set_focus(False)
+        self.ax.set_focus(True)
+
+    # ------------------------------------------------------------------ #
+    # Input handling (events routed from the viewer, section 2)
+
+    def handle_key(self, event):
+        """Default key handling: typed text accumulates in an accessible
+        input node (which is how typed annotations reach the index);
+        combination keys go to the accessibility layer."""
+        if event.combo:
+            self.ax.press_key_combo(event.combo)
+            return
+        if not event.text:
+            return
+        if getattr(self, "_input_node", None) is None:
+            self._input_node = self.show_text("")
+        current = self._input_node.text
+        self.update_text(self._input_node, current + event.text)
+
+    def handle_mouse(self, event):
+        """Default mouse handling: selections go to the accessibility
+        layer (feeding the select-then-combo annotation flow)."""
+        if event.kind == "select":
+            target = getattr(self, "_input_node", None) or self.window
+            self.ax.select_text(target, event.payload)
+
+    @property
+    def typed_text(self):
+        """Text accumulated from routed key events."""
+        node = getattr(self, "_input_node", None)
+        return node.text if node is not None else ""
+
+    def annotate_selection(self, node, selection):
+        """Select text and press the annotation combo (section 4.4)."""
+        from repro.access.daemon import IndexingDaemon
+
+        self.ax.select_text(node, selection)
+        self.ax.press_key_combo(IndexingDaemon.ANNOTATE_COMBO)
+
+    # ------------------------------------------------------------------ #
+    # Memory
+
+    def _page_content(self, compress_ratio=5.0):
+        """One page of content with a controlled zlib compressibility.
+
+        The paper's checkpoints compress roughly 4-5x with gzip; pages are
+        built from a random prefix (incompressible) padded with repetition
+        so the measured ratio lands near ``compress_ratio``.
+        """
+        random_bytes = max(16, int(PAGE_SIZE / compress_ratio))
+        head = self._rng.bytes(random_bytes)
+        pad = PAGE_SIZE - random_bytes
+        return head + bytes(pad)
+
+    def dirty_memory(self, nbytes, compress_ratio=5.0, hot=False):
+        """Write ``nbytes`` of fresh content over the app's working set,
+        growing the heap as needed (round-robin over pages, whole pages at
+        a time).  ``hot=True`` rewrites the *same* leading pages every call
+        (heap churn) instead of sweeping the working set — the pattern that
+        makes the checkpoint policy's skips save storage, since a skipped
+        interval coalesces many rewrites of one page into one saved copy."""
+        npages = max(1, nbytes // PAGE_SIZE)
+        if hot:
+            self._fill_cursor = 0
+        if npages > self._heap_pages:
+            # The working set must at least cover one write burst,
+            # otherwise every page of the burst lands on the same frame.
+            self.grow_memory((npages - self._heap_pages) * PAGE_SIZE,
+                             compress_ratio)
+        space = self.process.address_space
+        for _ in range(npages):
+            page_index = self._fill_cursor % self._heap_pages
+            space.write_page(self._heap, page_index,
+                             self._page_content(compress_ratio))
+            self._fill_cursor += 1
+
+    def grow_memory(self, nbytes, compress_ratio=5.0):
+        """Grow the resident working set by ``nbytes`` (new pages)."""
+        npages = max(1, nbytes // PAGE_SIZE)
+        space = self.process.address_space
+        space.mremap(self._heap.start, self._heap_pages + npages)
+        for i in range(npages):
+            space.write_page(self._heap, self._heap_pages + i,
+                             self._page_content(compress_ratio))
+        self._heap_pages += npages
+        self._fill_cursor = 0
+
+    @property
+    def resident_bytes(self):
+        return self.process.address_space.resident_bytes
+
+    # ------------------------------------------------------------------ #
+    # Files and I/O
+
+    def write_file(self, path, data, append=False):
+        self.session.fs.write_file(path, data, append=append)
+
+    def read_file(self, path):
+        return self.session.fs.read_file(path)
+
+    def open_file(self, path):
+        handle = self.session.fs.open(path)
+        entry = self.process.open_fd(path=path, inode=handle.inode_id)
+        return handle, entry
+
+    def unlink_open_file(self, path, entry):
+        """Delete a file the app still holds open (scratch-file pattern)."""
+        self.session.fs.unlink(path)
+        entry.unlinked = True
+
+    def blocking_io(self, duration_us):
+        """Enter uninterruptible disk I/O for ``duration_us``."""
+        self.process.begin_io(self.session.clock.now_us, duration_us)
+
+    def compute(self, duration_us):
+        """Burn CPU (charges the session clock)."""
+        self.session.clock.advance_us(duration_us)
+
+    def connect(self, remote, proto="tcp", internal=False):
+        sock = Socket(proto, "10.0.0.5:%d" % (40_000 + len(self.process.open_files)),
+                      remote, state=SocketState.ESTABLISHED, internal=internal)
+        entry = self.process.open_fd(kind="socket", socket=sock)
+        return sock, entry
+
+    # ------------------------------------------------------------------ #
+
+    def close(self):
+        self.session.registry.unregister_app(self.name)
+        self.process.exit(0)
+        self.session.container.reap(self.process)
+        self.closed = True

@@ -1,0 +1,234 @@
+"""The DejaView recorder: everything wired together.
+
+Attach a :class:`DejaView` to a :class:`~repro.desktop.session.DesktopSession`
+and it records the three streams the paper describes — display commands,
+on-screen text with context, and continuous checkpoints — and offers the
+user-facing verbs: playback, browse, search, and *Take me back*.
+
+The :class:`RecordingConfig` mirrors the experimental setup of section 6:
+each recording component can be enabled independently (Figure 2 measures
+display / checkpoint / index recording separately and combined), checkpoints
+can run at a fixed 1 Hz (the conservative benchmark configuration) or under
+the section 5.1.3 policy (the real-usage configuration), and checkpoint
+compression is a switch (Figure 4 reports both).
+"""
+
+from dataclasses import dataclass
+
+from repro.checkpoint.engine import CheckpointEngine, EngineOptions
+from repro.checkpoint.policy import CheckpointPolicy, PolicyConfig, PolicyContext
+from repro.checkpoint.restore import ReviveManager
+from repro.checkpoint.storage import CheckpointStorage
+from repro.common.errors import DejaViewError
+from repro.common.units import seconds
+from repro.access.daemon import IndexingDaemon
+from repro.display.playback import PlaybackEngine
+from repro.display.recorder import DisplayRecorder, RecorderConfig
+from repro.index.database import TemporalTextDatabase
+from repro.index.search import SearchEngine
+
+
+@dataclass
+class RecordingConfig:
+    """Which recording components run, and how."""
+
+    record_display: bool = True
+    record_index: bool = True
+    record_checkpoints: bool = True
+    use_policy: bool = False
+    """False = fixed 1 Hz checkpointing (the benchmarks' conservative
+    setting); True = the section 5.1.3 display-driven policy."""
+    policy_config: PolicyConfig = None
+    engine_options: EngineOptions = None
+    recorder_config: RecorderConfig = None
+    compress_checkpoints: bool = False
+    record_scale: float = 1.0
+    """Display recording resolution relative to the screen (section 4.1)."""
+    fixed_interval_us: int = seconds(1)
+    use_mirror_tree: bool = True
+    """False switches the indexing daemon to the naive re-traversal
+    strategy (ablation)."""
+
+
+@dataclass
+class TickReport:
+    """What happened during one recording tick."""
+
+    checkpointed: bool = False
+    checkpoint_result: object = None
+    policy_reason: str = None
+    display_commands: int = 0
+
+
+class DejaView:
+    """The personal virtual computer recorder."""
+
+    def __init__(self, session, config=None):
+        self.session = session
+        self.config = config if config is not None else RecordingConfig()
+        clock = session.clock
+        costs = session.costs
+
+        self.recorder = None
+        if self.config.record_display:
+            width = max(1, int(session.width * self.config.record_scale))
+            height = max(1, int(session.height * self.config.record_scale))
+            self.recorder = DisplayRecorder(
+                width, height, clock=clock, costs=costs,
+                config=self.config.recorder_config,
+            )
+            session.driver.attach_sink(self.recorder,
+                                       scale=self.config.record_scale)
+
+        self.database = None
+        self.daemon = None
+        if self.config.record_index:
+            self.database = TemporalTextDatabase(clock, costs=costs)
+            self.daemon = IndexingDaemon(
+                session.registry, self.database,
+                use_mirror_tree=self.config.use_mirror_tree,
+            )
+
+        self.storage = CheckpointStorage(
+            clock=clock, costs=costs,
+            compress=self.config.compress_checkpoints,
+        )
+        self.engine = None
+        self.policy = None
+        if self.config.record_checkpoints:
+            self.engine = CheckpointEngine(
+                session.kernel, session.container, session.fsstore,
+                self.storage, self.config.engine_options,
+            )
+            if self.config.use_policy:
+                self.policy = CheckpointPolicy(self.config.policy_config)
+        self.reviver = ReviveManager(session.kernel, session.fsstore,
+                                     self.storage)
+        self._last_checkpoint_us = None
+
+    # ------------------------------------------------------------------ #
+    # Recording loop
+
+    def tick(self, keyboard_input=False, mouse_input=False,
+             fullscreen_video=False, screensaver=False, system_load=0.0):
+        """One recording tick: flush the display and decide on a
+        checkpoint.  Workload generators call this after each burst of
+        application activity."""
+        report = TickReport()
+        report.display_commands = self.session.driver.flush()
+        activity = self.session.driver.drain_activity()
+        if self.engine is None:
+            return report
+        now = self.session.clock.now_us
+        if self.policy is not None:
+            decision = self.policy.decide(
+                PolicyContext(
+                    now_us=now,
+                    display_activity=activity,
+                    keyboard_input=keyboard_input,
+                    mouse_input=mouse_input,
+                    fullscreen_video=fullscreen_video,
+                    screensaver=screensaver,
+                    system_load=system_load,
+                )
+            )
+            report.policy_reason = decision.reason
+            take = decision.take
+        else:
+            # Fixed-rate mode: the paper's conservative benchmark setting,
+            # "checkpoint once per second" regardless of activity.
+            take = (
+                self._last_checkpoint_us is None
+                or now - self._last_checkpoint_us >= self.config.fixed_interval_us
+            )
+        if take:
+            report.checkpoint_result = self.engine.checkpoint()
+            report.checkpointed = True
+            self._last_checkpoint_us = now
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Playback / browse / search
+
+    def display_record(self):
+        """Snapshot the display record as recorded so far."""
+        if self.recorder is None:
+            raise DejaViewError("display recording is not enabled")
+        return self.recorder.finalize()
+
+    def playback_engine(self, cache_capacity=8, prune=True):
+        return PlaybackEngine(
+            self.display_record(), clock=self.session.clock,
+            costs=self.session.costs, cache_capacity=cache_capacity,
+            prune=prune,
+        )
+
+    def browse(self, time_us, engine=None):
+        """Skip the record to ``time_us`` (the slider operation)."""
+        engine = engine or self.playback_engine()
+        return engine.seek(time_us)
+
+    def playback(self, start_us, end_us, speed=1.0, fastest=False,
+                 engine=None):
+        engine = engine or self.playback_engine()
+        return engine.play(start_us, end_us, speed=speed, fastest=fastest)
+
+    def search_engine(self, cache_capacity=8):
+        if self.database is None:
+            raise DejaViewError("text indexing is not enabled")
+        playback = self.playback_engine(cache_capacity=cache_capacity) \
+            if self.recorder is not None else None
+        return SearchEngine(self.database, playback=playback,
+                            clock=self.session.clock)
+
+    def search(self, query, **kwargs):
+        """Search the record; results carry screenshots (section 4.4)."""
+        return self.search_engine().search(query, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Take me back
+
+    def checkpoint_before(self, time_us):
+        """The last checkpoint at or before ``time_us`` (section 5.2:
+        "DejaView searches for the last checkpoint that occurred before
+        that point in time")."""
+        if self.engine is None:
+            raise DejaViewError("checkpointing is not enabled")
+        candidate = None
+        for result in self.engine.history:
+            if result.timestamp_us <= time_us:
+                candidate = result
+            else:
+                break
+        if candidate is None:
+            raise DejaViewError(
+                "no checkpoint exists at or before t=%dus" % time_us
+            )
+        return candidate
+
+    def take_me_back(self, time_us, cached=None, network_enabled=False):
+        """Revive the session as it was at ``time_us``."""
+        candidate = self.checkpoint_before(time_us)
+        return self.reviver.revive(
+            candidate.checkpoint_id, cached=cached,
+            network_enabled=network_enabled,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Storage accounting (Figure 4)
+
+    def storage_report(self):
+        """Bytes recorded per stream so far."""
+        report = {
+            "display": self.recorder.total_nbytes if self.recorder else 0,
+            "index": self.database.approximate_bytes() if self.database else 0,
+            "checkpoint_uncompressed": self.storage.total_uncompressed_bytes,
+            "checkpoint_compressed": self.storage.total_compressed_bytes,
+            "fs_log": self.session.fs.log_bytes,
+            "fs_visible": self.session.fs.visible_bytes(),
+        }
+        return report
+
+    @property
+    def checkpoint_count(self):
+        return len(self.engine.history) if self.engine else 0

@@ -1,0 +1,70 @@
+"""Input routing: viewer → server → focused application.
+
+"The viewer acts as a portal to access the desktop, sending mouse and
+keyboard events to the server which passes them to the applications"
+(section 2).  Security note from the paper: "user input is not directly
+recorded; only the changes it effects on the display are kept" — the
+router therefore never logs events; typing becomes visible to the record
+only through the display updates and accessibility events it causes.
+
+This is also the substrate for the two annotation flows of section 4.4:
+typed text gets indexed because the focused application updates its
+accessible input node, and select-plus-combo-key messages the indexing
+daemon through the accessibility layer.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.errors import DejaViewError
+
+
+@dataclass(frozen=True)
+class KeyEvent:
+    """A run of typed text, or a combination key."""
+
+    text: str = ""
+    combo: str = None
+
+
+@dataclass(frozen=True)
+class MouseEvent:
+    """A pointer event.  ``kind`` is "click" or "select"; for selections,
+    ``payload`` carries the selected text."""
+
+    x: int
+    y: int
+    kind: str = "click"
+    payload: str = ""
+
+
+class InputRouter:
+    """Delivers viewer input to the focused application."""
+
+    def __init__(self, session):
+        self.session = session
+        self.keys_delivered = 0
+        self.mouse_delivered = 0
+
+    def _focused_app(self):
+        for app in self.session.apps.values():
+            if app.ax.focused:
+                return app
+        return None
+
+    def deliver_key(self, event):
+        """Route a key event to the focused application; returns it."""
+        app = self._focused_app()
+        if app is None:
+            raise DejaViewError("no application holds the input focus")
+        app.handle_key(event)
+        self.keys_delivered += 1
+        return app
+
+    def deliver_mouse(self, event):
+        """Route a mouse event to the focused application; returns it."""
+        app = self._focused_app()
+        if app is None:
+            raise DejaViewError("no application holds the input focus")
+        app.handle_mouse(event)
+        self.mouse_delivered += 1
+        return app

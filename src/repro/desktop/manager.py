@@ -1,0 +1,140 @@
+"""Multi-session viewer: tabs, clipboard, and revived-session displays.
+
+"When the user revives a past session, an additional viewer window is used
+to access the revived session, using a model similar to the tabs
+commonplace in today's web browsers. ... DejaView extends this concept by
+allowing simultaneous revival of multiple past sessions, that can run
+side-by-side independently of each other and of the current session.  The
+user can copy and paste content amongst her active sessions" (section 2).
+
+:class:`SessionManager` owns the tab list: tab 0 is the live desktop;
+*Take me back* opens a new tab whose viewer is initialized from the display
+record at the revived moment (the revived session's screen is exactly what
+the user was looking at).  A shared clipboard moves text across tabs.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.errors import DejaViewError
+from repro.display.viewer import Viewer
+
+
+@dataclass
+class SessionTab:
+    """One viewer tab: the live desktop or a revived session."""
+
+    name: str
+    kind: str  # "live" | "revived"
+    container: object
+    viewer: object
+    revive_result: object = None
+
+    @property
+    def mount(self):
+        return self.container.mount
+
+
+class SessionManager:
+    """The tabbed viewer plus the cross-session clipboard."""
+
+    def __init__(self, session, dejaview):
+        self.session = session
+        self.dejaview = dejaview
+        self.clipboard = None
+        live_viewer = session.viewer
+        if live_viewer is None:
+            live_viewer = Viewer(session.width, session.height,
+                                 clock=session.clock, costs=session.costs)
+            session.driver.attach_sink(live_viewer)
+            session.viewer = live_viewer
+        self.tabs = [
+            SessionTab(
+                name="live",
+                kind="live",
+                container=session.container,
+                viewer=live_viewer,
+            )
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Tabs
+
+    @property
+    def live_tab(self):
+        return self.tabs[0]
+
+    def tab(self, name):
+        for tab in self.tabs:
+            if tab.name == name:
+                return tab
+        raise DejaViewError("no session tab named %r" % name)
+
+    def take_me_back(self, time_us, cached=None, network_enabled=False,
+                     demand_paging=False):
+        """Revive at ``time_us`` in a new tab; returns the tab.
+
+        The new tab's viewer starts showing the recorded screen at the
+        revived moment, so the user resumes exactly what they were seeing.
+        """
+        result = self.dejaview.take_me_back(
+            time_us, cached=cached, network_enabled=network_enabled,
+        ) if not demand_paging else self.dejaview.reviver.revive(
+            self.dejaview.checkpoint_before(time_us).checkpoint_id,
+            cached=cached, network_enabled=network_enabled,
+            demand_paging=True,
+        )
+        viewer = Viewer(self.session.width, self.session.height,
+                        clock=self.session.clock, costs=self.session.costs)
+        if self.dejaview.recorder is not None:
+            try:
+                fb, _stats = self.dejaview.browse(time_us)
+                viewer.framebuffer = fb
+            except Exception:
+                pass  # no display record covering that instant
+        tab = SessionTab(
+            name=result.container.name,
+            kind="revived",
+            container=result.container,
+            viewer=viewer,
+            revive_result=result,
+        )
+        self.tabs.append(tab)
+        return tab
+
+    def close(self, tab):
+        """Close a revived tab and tear its container down."""
+        if tab.kind == "live":
+            raise DejaViewError("the live session tab cannot be closed")
+        self.tabs.remove(tab)
+        self.session.kernel.destroy_container(tab.container)
+
+    @property
+    def revived_tabs(self):
+        return [tab for tab in self.tabs if tab.kind == "revived"]
+
+    # ------------------------------------------------------------------ #
+    # Cross-session clipboard (section 2)
+
+    def copy(self, text):
+        """Copy text (from whichever tab the user selected it in)."""
+        self.clipboard = text
+        return text
+
+    def paste(self):
+        """The clipboard contents, usable in any tab."""
+        if self.clipboard is None:
+            raise DejaViewError("the clipboard is empty")
+        return self.clipboard
+
+    def copy_from_revived(self, tab, path):
+        """Convenience: copy a file's text out of a revived session —
+        the 'rescue old data into the present' workflow."""
+        if tab.kind != "revived":
+            raise DejaViewError("copy_from_revived needs a revived tab")
+        return self.copy(tab.mount.read_file(path).decode("utf-8", "replace"))
+
+    def paste_into_live_file(self, path):
+        """Paste the clipboard into a file in the live session."""
+        content = self.paste().encode("utf-8")
+        self.session.fs.write_file(path, content)
+        return path

@@ -1,0 +1,117 @@
+"""One user's desktop session.
+
+"DejaView consists of a server that runs a user's desktop environment
+including the window system and all applications, and a viewer application"
+(section 2).  A :class:`DesktopSession` assembles that server side: the
+simulated kernel, a container encapsulating the session, the log-structured
+file system, the virtual display driver with its display server process
+*inside* the container (so display state is part of every checkpoint —
+section 3), and the accessibility registry.
+"""
+
+from repro.common.clock import VirtualClock
+from repro.common.costs import DEFAULT_COSTS
+from repro.access.registry import DesktopRegistry
+from repro.display.driver import VirtualDisplayDriver
+from repro.display.viewer import Viewer
+from repro.fs.branch import BranchableStore
+from repro.vex.kernel import Kernel
+
+DEFAULT_WIDTH = 320
+DEFAULT_HEIGHT = 240
+
+
+class DesktopSession:
+    """The assembled desktop stack, on one virtual clock."""
+
+    def __init__(self, width=DEFAULT_WIDTH, height=DEFAULT_HEIGHT,
+                 costs=DEFAULT_COSTS, clock=None, name="desktop",
+                 attach_viewer=True):
+        self.clock = clock if clock is not None else VirtualClock()
+        self.costs = costs
+        self.kernel = Kernel(clock=self.clock, costs=costs)
+        self.container = self.kernel.create_container(name)
+        self.fsstore = BranchableStore(clock=self.clock, costs=costs)
+        self._populate_home()
+        self.container.mount = self.fsstore.fs
+        # The display server runs inside the container: its state is part
+        # of the session and therefore of every checkpoint.
+        self.init_process = self.container.spawn("init")
+        self.display_server = self.container.spawn(
+            "display-server", parent=self.init_process
+        )
+        self.container.namespace.bind("display", ":0", self.display_server)
+        self.driver = VirtualDisplayDriver(width, height, clock=self.clock,
+                                           costs=costs)
+        self.viewer = None
+        if attach_viewer:
+            self.viewer = Viewer(width, height, clock=self.clock, costs=costs)
+            self.driver.attach_sink(self.viewer)
+        self.registry = DesktopRegistry(self.clock, costs=costs)
+        self.apps = {}
+        from repro.desktop.input import InputRouter
+
+        self.input_router = InputRouter(self)
+
+    def _populate_home(self):
+        fs = self.fsstore.fs
+        fs.makedirs("/home/user")
+        fs.makedirs("/tmp")
+        fs.makedirs("/etc")
+        fs.create("/etc/hostname", b"dejaview-desktop\n")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def fs(self):
+        """The session's live file system."""
+        return self.fsstore.fs
+
+    @property
+    def width(self):
+        return self.driver.framebuffer.width
+
+    @property
+    def height(self):
+        return self.driver.framebuffer.height
+
+    def launch(self, name, accessible=True, nice=0):
+        """Launch a simulated application in this session."""
+        from repro.desktop.apps import SimApplication
+
+        app = SimApplication(self, name, accessible=accessible, nice=nice)
+        self.apps[name] = app
+        return app
+
+    def quit(self, name):
+        """Terminate an application and reap its process."""
+        app = self.apps.pop(name)
+        app.close()
+        return app
+
+    def idle(self, duration_us):
+        """Let simulated time pass with no activity."""
+        self.clock.advance_us(duration_us)
+
+    # ------------------------------------------------------------------ #
+    # Viewer input (section 2: the viewer forwards input to the server)
+
+    def type_text(self, text):
+        """Type into the focused application."""
+        from repro.desktop.input import KeyEvent
+
+        return self.input_router.deliver_key(KeyEvent(text=text))
+
+    def press_combo(self, combo):
+        """Press a combination key in the focused application."""
+        from repro.desktop.input import KeyEvent
+
+        return self.input_router.deliver_key(KeyEvent(combo=combo))
+
+    def select_text(self, selection, x=0, y=0):
+        """Select text with the mouse in the focused application."""
+        from repro.desktop.input import MouseEvent
+
+        return self.input_router.deliver_mouse(
+            MouseEvent(x=x, y=y, kind="select", payload=selection)
+        )

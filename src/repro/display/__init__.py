@@ -1,0 +1,74 @@
+"""Virtual display subsystem (paper section 4).
+
+DejaView's display stack is based on THINC: applications draw through a
+virtual display *driver* which translates drawing into a small set of
+low-level display protocol commands.  The driver duplicates the command
+stream to any number of sinks — the live viewer and the display recorder —
+and keeps the authoritative framebuffer ("all persistent display state is
+maintained by the display server; clients are simple and stateless").
+
+Modules
+-------
+commands
+    The THINC command set (RAW, COPY, SFILL, PFILL, BITMAP) and screen
+    regions.
+framebuffer
+    A numpy-backed pixel framebuffer; replay correctness is checked
+    bit-for-bit against it.
+protocol
+    Wire/log codec for commands (TLV payloads).
+driver
+    The virtual display driver: command queueing and merging, screen
+    scaling, sink fan-out.
+viewer
+    A stateless client that reconstructs the display from the command
+    stream.
+recorder
+    Append-only command log + periodic screenshots + timeline index
+    (section 4.1).
+timeline
+    Fixed-size-entry timeline file with binary search (section 4.1).
+playback
+    Seek / play / fast-forward / rewind with command pruning
+    (section 4.3).
+"""
+
+from repro.display.commands import (
+    BitmapCmd,
+    CopyCmd,
+    DisplayCommand,
+    PatternFillCmd,
+    RawCmd,
+    Region,
+    SolidFillCmd,
+    VideoFrameCmd,
+)
+from repro.display.driver import VirtualDisplayDriver
+from repro.display.framebuffer import Framebuffer
+from repro.display.playback import PlaybackEngine, PlaybackStats, SubstreamPlayer
+from repro.display.recorder import DisplayRecorder, RecorderConfig
+from repro.display.screencast import ScreencastRecorder
+from repro.display.timeline import TimelineEntry, TimelineIndex
+from repro.display.viewer import Viewer
+
+__all__ = [
+    "Region",
+    "DisplayCommand",
+    "RawCmd",
+    "CopyCmd",
+    "SolidFillCmd",
+    "PatternFillCmd",
+    "BitmapCmd",
+    "VideoFrameCmd",
+    "Framebuffer",
+    "VirtualDisplayDriver",
+    "Viewer",
+    "DisplayRecorder",
+    "RecorderConfig",
+    "ScreencastRecorder",
+    "TimelineIndex",
+    "TimelineEntry",
+    "PlaybackEngine",
+    "PlaybackStats",
+    "SubstreamPlayer",
+]

@@ -1,0 +1,478 @@
+"""THINC display command set.
+
+THINC translates all drawing into a small number of low-level commands that
+map directly onto operations video hardware implements (Baratto et al.,
+SOSP 2005).  DejaView records this command stream, so the command set is the
+unit of both recording and playback:
+
+========  ==================================================================
+RAW       Uncompressed pixel data for a region (the fallback).
+COPY      Copy a screen region to another location (scrolling, window move).
+SFILL     Fill a region with a single solid color.
+PFILL     Tile a region with a small pattern.
+BITMAP    Expand a 1-bit-per-pixel bitmap into fg/bg colors (text glyphs).
+========  ==================================================================
+
+Every command knows how to apply itself to a
+:class:`~repro.display.framebuffer.Framebuffer`, how large its encoded
+payload is (for storage accounting), whether it is *opaque* (fully
+determines the pixels of its target region — the property command pruning
+relies on), and how to rescale itself for reduced-resolution recording.
+"""
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import DisplayError
+
+
+@dataclass(frozen=True, order=True)
+class Region:
+    """An axis-aligned rectangle on the screen, in pixels.
+
+    ``x``/``y`` is the top-left corner; ``w``/``h`` the extent.  Regions are
+    immutable and hashable so they can key caches and sets.
+    """
+
+    x: int
+    y: int
+    w: int
+    h: int
+
+    def __post_init__(self):
+        if self.w < 0 or self.h < 0:
+            raise DisplayError("region extent must be non-negative: %r" % (self,))
+
+    @property
+    def area(self):
+        return self.w * self.h
+
+    @property
+    def x2(self):
+        """One past the right edge."""
+        return self.x + self.w
+
+    @property
+    def y2(self):
+        """One past the bottom edge."""
+        return self.y + self.h
+
+    def is_empty(self):
+        return self.w == 0 or self.h == 0
+
+    def contains(self, other):
+        """True if ``other`` lies entirely within this region."""
+        return (
+            self.x <= other.x
+            and self.y <= other.y
+            and self.x2 >= other.x2
+            and self.y2 >= other.y2
+        )
+
+    def intersects(self, other):
+        return not (
+            other.x >= self.x2
+            or other.x2 <= self.x
+            or other.y >= self.y2
+            or other.y2 <= self.y
+        )
+
+    def intersection(self, other):
+        """The overlapping region, or an empty region when disjoint."""
+        x = max(self.x, other.x)
+        y = max(self.y, other.y)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        if x2 <= x or y2 <= y:
+            return Region(x, y, 0, 0)
+        return Region(x, y, x2 - x, y2 - y)
+
+    def union_bounds(self, other):
+        """Smallest region covering both."""
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        x = min(self.x, other.x)
+        y = min(self.y, other.y)
+        x2 = max(self.x2, other.x2)
+        y2 = max(self.y2, other.y2)
+        return Region(x, y, x2 - x, y2 - y)
+
+    def scaled(self, factor):
+        """Scale by ``factor`` (e.g. 0.5 to halve resolution), snapping the
+        corners outward so no covered pixel is lost."""
+        if factor <= 0:
+            raise DisplayError("scale factor must be positive")
+        x = int(self.x * factor)
+        y = int(self.y * factor)
+        x2 = int(-(-self.x2 * factor // 1))  # ceil
+        y2 = int(-(-self.y2 * factor // 1))
+        return Region(x, y, max(0, x2 - x), max(0, y2 - y))
+
+    def clipped(self, width, height):
+        """Clip to a ``width`` x ``height`` screen."""
+        return self.intersection(Region(0, 0, width, height))
+
+
+_REGION = struct.Struct("<iiII")
+
+
+def _pack_region(region):
+    return _REGION.pack(region.x, region.y, region.w, region.h)
+
+
+def _unpack_region(data, offset=0):
+    x, y, w, h = _REGION.unpack_from(data, offset)
+    return Region(x, y, w, h), offset + _REGION.size
+
+
+class DisplayCommand:
+    """Base class for THINC display commands.
+
+    Subclasses define:
+
+    * :attr:`TAG` -- the wire tag used by :mod:`repro.display.protocol`.
+    * :meth:`apply` -- rasterize into a framebuffer.
+    * :meth:`encode_payload` / :meth:`decode_payload` -- the codec.
+    * :meth:`scaled` -- resolution scaling for reduced-quality recording.
+    """
+
+    TAG = None
+    #: Whether the command's output fully determines every pixel of its
+    #: region.  COPY is *not* opaque for pruning purposes: its output depends
+    #: on prior screen contents, so commands under it cannot be discarded.
+    OPAQUE = True
+
+    __slots__ = ("region",)
+
+    def __init__(self, region):
+        self.region = region
+
+    @property
+    def payload_size(self):
+        """Encoded payload size in bytes (storage accounting)."""
+        return len(self.encode_payload())
+
+    def apply(self, framebuffer):
+        raise NotImplementedError
+
+    def encode_payload(self):
+        raise NotImplementedError
+
+    @classmethod
+    def decode_payload(cls, data):
+        raise NotImplementedError
+
+    def scaled(self, factor):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "%s(region=%r)" % (type(self).__name__, self.region)
+
+    def __eq__(self, other):
+        return (
+            type(self) is type(other)
+            and self.region == other.region
+            and self.encode_payload() == other.encode_payload()
+        )
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.region))
+
+
+class RawCmd(DisplayCommand):
+    """Uncompressed pixel data for a region.
+
+    ``pixels`` is a ``(h, w)`` uint32 array.  RAW is THINC's fallback for
+    content no other command represents well (photographs, video frames).
+    """
+
+    TAG = 1
+    OPAQUE = True
+
+    __slots__ = ("pixels",)
+
+    def __init__(self, region, pixels):
+        super().__init__(region)
+        pixels = np.ascontiguousarray(pixels, dtype=np.uint32)
+        if pixels.shape != (region.h, region.w):
+            raise DisplayError(
+                "pixel block %r does not match region %r"
+                % (pixels.shape, region)
+            )
+        self.pixels = pixels
+
+    def apply(self, framebuffer):
+        framebuffer.blit(self.region, self.pixels)
+
+    def encode_payload(self):
+        return _pack_region(self.region) + self.pixels.tobytes()
+
+    @classmethod
+    def decode_payload(cls, data):
+        region, off = _unpack_region(data)
+        expected = region.w * region.h * 4
+        raw = data[off : off + expected]
+        if len(raw) != expected:
+            raise DisplayError("truncated RAW payload")
+        pixels = np.frombuffer(raw, dtype=np.uint32).reshape(region.h, region.w)
+        return cls(region, pixels)
+
+    def scaled(self, factor):
+        if factor == 1.0:
+            return self
+        new_region = Region(
+            int(self.region.x * factor),
+            int(self.region.y * factor),
+            max(1, int(self.region.w * factor)),
+            max(1, int(self.region.h * factor)),
+        )
+        ys = np.linspace(0, self.region.h - 1, new_region.h).astype(int)
+        xs = np.linspace(0, self.region.w - 1, new_region.w).astype(int)
+        return RawCmd(new_region, self.pixels[np.ix_(ys, xs)])
+
+
+class CopyCmd(DisplayCommand):
+    """Copy the pixels currently in ``src`` to ``region`` (the destination).
+
+    Used for scrolling and window movement.  The command is cheap to encode
+    (two rectangles) but depends on current screen state, so it cannot be
+    treated as opaque by the pruning pass and it pins earlier commands.
+    """
+
+    TAG = 2
+    OPAQUE = False
+
+    __slots__ = ("src",)
+
+    def __init__(self, region, src):
+        if (region.w, region.h) != (src.w, src.h):
+            raise DisplayError("copy source and destination sizes differ")
+        super().__init__(region)
+        self.src = src
+
+    def apply(self, framebuffer):
+        framebuffer.copy(self.src, self.region)
+
+    def encode_payload(self):
+        return _pack_region(self.region) + _pack_region(self.src)
+
+    @classmethod
+    def decode_payload(cls, data):
+        region, off = _unpack_region(data)
+        src, _ = _unpack_region(data, off)
+        return cls(region, src)
+
+    def scaled(self, factor):
+        if factor == 1.0:
+            return self
+        dst = self.region.scaled(factor)
+        src = Region(
+            int(self.src.x * factor), int(self.src.y * factor), dst.w, dst.h
+        )
+        return CopyCmd(dst, src)
+
+
+class SolidFillCmd(DisplayCommand):
+    """Fill a region with one solid color (e.g. the desktop background)."""
+
+    TAG = 3
+    OPAQUE = True
+
+    __slots__ = ("color",)
+
+    def __init__(self, region, color):
+        super().__init__(region)
+        self.color = int(color) & 0xFFFFFFFF
+
+    def apply(self, framebuffer):
+        framebuffer.fill(self.region, self.color)
+
+    def encode_payload(self):
+        return _pack_region(self.region) + struct.pack("<I", self.color)
+
+    @classmethod
+    def decode_payload(cls, data):
+        region, off = _unpack_region(data)
+        (color,) = struct.unpack_from("<I", data, off)
+        return cls(region, color)
+
+    def scaled(self, factor):
+        if factor == 1.0:
+            return self
+        return SolidFillCmd(self.region.scaled(factor), self.color)
+
+
+class PatternFillCmd(DisplayCommand):
+    """Tile a region with a small pattern (window decorations, hatching).
+
+    ``pattern`` is a ``(ph, pw)`` uint32 array, tiled with its (0, 0) texel
+    anchored at the region's top-left corner.
+    """
+
+    TAG = 4
+    OPAQUE = True
+
+    __slots__ = ("pattern",)
+
+    def __init__(self, region, pattern):
+        super().__init__(region)
+        pattern = np.ascontiguousarray(pattern, dtype=np.uint32)
+        if pattern.ndim != 2 or pattern.size == 0:
+            raise DisplayError("pattern must be a non-empty 2-D array")
+        self.pattern = pattern
+
+    def apply(self, framebuffer):
+        framebuffer.pattern_fill(self.region, self.pattern)
+
+    def encode_payload(self):
+        ph, pw = self.pattern.shape
+        return (
+            _pack_region(self.region)
+            + struct.pack("<II", ph, pw)
+            + self.pattern.tobytes()
+        )
+
+    @classmethod
+    def decode_payload(cls, data):
+        region, off = _unpack_region(data)
+        ph, pw = struct.unpack_from("<II", data, off)
+        off += 8
+        raw = data[off : off + ph * pw * 4]
+        pattern = np.frombuffer(raw, dtype=np.uint32).reshape(ph, pw)
+        return cls(region, pattern)
+
+    def scaled(self, factor):
+        if factor == 1.0:
+            return self
+        # The pattern itself is kept at native size; only the region scales.
+        return PatternFillCmd(self.region.scaled(factor), self.pattern)
+
+
+class BitmapCmd(DisplayCommand):
+    """Expand a 1-bpp bitmap into foreground/background colors.
+
+    This is how text glyphs travel in THINC.  ``bits`` is a ``(h, w)`` bool
+    array; True pixels take ``fg``, False pixels take ``bg``.
+    """
+
+    TAG = 5
+    OPAQUE = True
+
+    __slots__ = ("bits", "fg", "bg")
+
+    def __init__(self, region, bits, fg, bg):
+        super().__init__(region)
+        bits = np.ascontiguousarray(bits, dtype=bool)
+        if bits.shape != (region.h, region.w):
+            raise DisplayError("bitmap shape does not match region")
+        self.bits = bits
+        self.fg = int(fg) & 0xFFFFFFFF
+        self.bg = int(bg) & 0xFFFFFFFF
+
+    def apply(self, framebuffer):
+        block = np.where(self.bits, np.uint32(self.fg), np.uint32(self.bg))
+        framebuffer.blit(self.region, block)
+
+    def encode_payload(self):
+        packed = np.packbits(self.bits, axis=None).tobytes()
+        return (
+            _pack_region(self.region)
+            + struct.pack("<II", self.fg, self.bg)
+            + packed
+        )
+
+    @classmethod
+    def decode_payload(cls, data):
+        region, off = _unpack_region(data)
+        fg, bg = struct.unpack_from("<II", data, off)
+        off += 8
+        nbits = region.w * region.h
+        packed = np.frombuffer(data[off:], dtype=np.uint8)
+        bits = np.unpackbits(packed, count=nbits).astype(bool)
+        return cls(region, bits.reshape(region.h, region.w), fg, bg)
+
+    def scaled(self, factor):
+        if factor == 1.0:
+            return self
+        new_region = Region(
+            int(self.region.x * factor),
+            int(self.region.y * factor),
+            max(1, int(self.region.w * factor)),
+            max(1, int(self.region.h * factor)),
+        )
+        ys = np.linspace(0, self.region.h - 1, new_region.h).astype(int)
+        xs = np.linspace(0, self.region.w - 1, new_region.w).astype(int)
+        return BitmapCmd(new_region, self.bits[np.ix_(ys, xs)], self.fg, self.bg)
+
+
+class VideoFrameCmd(DisplayCommand):
+    """One video frame in planar YUV 4:2:0 (12 bits per pixel).
+
+    THINC provides a dedicated video primitive so full-screen playback
+    needs only one modest command per frame ("it requires only one command
+    for each video frame, resulting in 24 commands per second", section 6)
+    instead of a 32-bpp RAW covering the screen.  Only the luma plane is
+    rasterized into the (RGB) framebuffer; chroma travels in the payload
+    for size fidelity.
+    """
+
+    TAG = 6
+    OPAQUE = True
+
+    __slots__ = ("luma", "chroma")
+
+    def __init__(self, region, luma, chroma=None):
+        super().__init__(region)
+        luma = np.ascontiguousarray(luma, dtype=np.uint8)
+        if luma.shape != (region.h, region.w):
+            raise DisplayError("luma plane does not match region")
+        self.luma = luma
+        expected_chroma = (region.h // 2) * (region.w // 2) * 2
+        if chroma is None:
+            chroma = bytes(expected_chroma)
+        chroma = bytes(chroma)
+        if len(chroma) != expected_chroma:
+            raise DisplayError("chroma planes have the wrong size")
+        self.chroma = chroma
+
+    def apply(self, framebuffer):
+        y = self.luma.astype(np.uint32)
+        block = y | (y << 8) | (y << 16)
+        framebuffer.blit(self.region, block)
+
+    def encode_payload(self):
+        return _pack_region(self.region) + self.luma.tobytes() + self.chroma
+
+    @classmethod
+    def decode_payload(cls, data):
+        region, off = _unpack_region(data)
+        nluma = region.w * region.h
+        luma = np.frombuffer(
+            data[off : off + nluma], dtype=np.uint8
+        ).reshape(region.h, region.w)
+        chroma = data[off + nluma :]
+        return cls(region, luma, chroma)
+
+    def scaled(self, factor):
+        if factor == 1.0:
+            return self
+        new_region = Region(
+            int(self.region.x * factor),
+            int(self.region.y * factor),
+            max(2, int(self.region.w * factor) & ~1),
+            max(2, int(self.region.h * factor) & ~1),
+        )
+        ys = np.linspace(0, self.region.h - 1, new_region.h).astype(int)
+        xs = np.linspace(0, self.region.w - 1, new_region.w).astype(int)
+        return VideoFrameCmd(new_region, self.luma[np.ix_(ys, xs)])
+
+
+COMMAND_TYPES = {
+    cls.TAG: cls
+    for cls in (RawCmd, CopyCmd, SolidFillCmd, PatternFillCmd, BitmapCmd,
+                VideoFrameCmd)
+}

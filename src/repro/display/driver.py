@@ -1,0 +1,156 @@
+"""Virtual display driver.
+
+"Instead of providing a real driver for a particular display hardware,
+DejaView introduces a virtual display driver that intercepts drawing
+commands, records them, and redirects them to the DejaView client for
+display" (section 3).
+
+The driver:
+
+* owns the authoritative server framebuffer and rasterizes every command
+  into it (all persistent display state lives server-side);
+* keeps a pending-command queue with THINC's queueing/merging behaviour —
+  an opaque command that fully covers a queued command replaces it, so when
+  update frequency is limited "only the result of the last update is
+  logged" (section 4.1);
+* fans the flushed command stream out to registered sinks (the live viewer
+  and the display recorder), optionally rescaled per sink for
+  reduced-resolution recording or small-screen viewing;
+* tracks display activity statistics which the checkpoint policy consumes
+  (section 5.1.3: checkpoints are triggered by display updates).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import VirtualClock
+from repro.common.costs import DEFAULT_COSTS
+from repro.common.errors import DisplayError
+from repro.display.commands import Region
+from repro.display.framebuffer import Framebuffer
+
+
+@dataclass
+class DisplayActivity:
+    """Aggregate display activity since the last policy inspection."""
+
+    command_count: int = 0
+    changed_area: int = 0
+    screen_area: int = 0
+    fullscreen_updates: int = 0
+    bounds: Region = field(default_factory=lambda: Region(0, 0, 0, 0))
+
+    @property
+    def changed_fraction(self):
+        """Changed screen fraction; >1 means the screen changed repeatedly."""
+        if self.screen_area == 0:
+            return 0.0
+        return self.changed_area / self.screen_area
+
+    def merge_command(self, command, screen_area):
+        self.command_count += 1
+        self.changed_area += command.region.area
+        self.screen_area = screen_area
+        if command.region.area >= screen_area:
+            self.fullscreen_updates += 1
+        self.bounds = self.bounds.union_bounds(command.region)
+
+
+class VirtualDisplayDriver:
+    """The THINC-style virtual display driver with recording hooks."""
+
+    def __init__(self, width, height, clock=None, costs=DEFAULT_COSTS):
+        self.clock = clock if clock is not None else VirtualClock()
+        self.costs = costs
+        self.framebuffer = Framebuffer(width, height)
+        self._queue = []
+        self._sinks = []  # list of (sink, scale)
+        self._activity = DisplayActivity(screen_area=width * height)
+        self.total_commands = 0
+        self.total_payload_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Sink management
+
+    def attach_sink(self, sink, scale=1.0):
+        """Register a command consumer (viewer, recorder).
+
+        ``scale`` rescales commands for this sink only, implementing
+        independent record/view resolutions (section 4.1).
+        """
+        if scale <= 0:
+            raise DisplayError("sink scale must be positive")
+        self._sinks.append((sink, scale))
+        return sink
+
+    def detach_sink(self, sink):
+        self._sinks = [(s, f) for (s, f) in self._sinks if s is not sink]
+
+    # ------------------------------------------------------------------ #
+    # Drawing path
+
+    def submit(self, command):
+        """Accept one drawing command from an application.
+
+        The command is rasterized into the server framebuffer immediately
+        (the user must see it) and queued for sink delivery at the next
+        :meth:`flush`.
+        """
+        clipped = command.region.clipped(
+            self.framebuffer.width, self.framebuffer.height
+        )
+        if clipped.is_empty():
+            return
+        command.apply(self.framebuffer)
+        self.clock.advance_us(
+            self.costs.display_cmd_base_us
+            + command.payload_size * self.costs.display_us_per_payload_byte
+        )
+        self._merge_into_queue(command)
+        self._activity.merge_command(command, self.framebuffer.bounds.area)
+        self.total_commands += 1
+        self.total_payload_bytes += command.payload_size
+
+    def _merge_into_queue(self, command):
+        """THINC queue merging: drop queued commands fully covered by an
+        incoming opaque command — only the last update's result matters."""
+        if command.OPAQUE:
+            self._queue = [
+                queued
+                for queued in self._queue
+                if not command.region.contains(queued.region)
+            ]
+        self._queue.append(command)
+
+    def flush(self):
+        """Deliver the merged queue to every sink; returns commands sent."""
+        if not self._queue:
+            return 0
+        commands = self._queue
+        self._queue = []
+        timestamp_us = self.clock.now_us
+        for sink, scale in self._sinks:
+            if scale == 1.0:
+                delivery = commands
+            else:
+                delivery = [cmd.scaled(scale) for cmd in commands]
+            sink.handle_commands(delivery, timestamp_us)
+        return len(commands)
+
+    @property
+    def pending_count(self):
+        """Commands queued but not yet flushed (tests THINC merging)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # Activity statistics (consumed by the checkpoint policy)
+
+    def drain_activity(self):
+        """Return accumulated activity stats and reset the accumulator."""
+        activity = self._activity
+        self._activity = DisplayActivity(
+            screen_area=self.framebuffer.bounds.area
+        )
+        return activity
+
+    def peek_activity(self):
+        return self._activity

@@ -1,0 +1,146 @@
+"""Pixel framebuffer.
+
+The display server owns the authoritative framebuffer; viewers and playback
+reconstruct their own copies from the command stream.  Replay fidelity in the
+paper means the reconstructed screen is exactly what the user saw — here we
+enforce that literally: tests assert reconstructed framebuffers are
+bit-for-bit equal to the original (:meth:`Framebuffer.checksum`).
+
+Pixels are 32-bit values (0x00RRGGBB); the simulation never interprets the
+channels, so any packing works.
+"""
+
+import hashlib
+import struct
+
+import numpy as np
+
+from repro.common.errors import DisplayError
+from repro.display.commands import Region
+
+
+class Framebuffer:
+    """A ``height`` x ``width`` array of uint32 pixels."""
+
+    def __init__(self, width, height, fill=0):
+        if width <= 0 or height <= 0:
+            raise DisplayError("framebuffer dimensions must be positive")
+        self.width = int(width)
+        self.height = int(height)
+        self.pixels = np.full((self.height, self.width), fill, dtype=np.uint32)
+
+    @property
+    def nbytes(self):
+        """Size of the raw pixel data in bytes."""
+        return self.pixels.nbytes
+
+    @property
+    def bounds(self):
+        return Region(0, 0, self.width, self.height)
+
+    # ------------------------------------------------------------------ #
+    # Drawing primitives (used by the display commands)
+
+    def _clip(self, region):
+        clipped = region.clipped(self.width, self.height)
+        return clipped
+
+    def fill(self, region, color):
+        r = self._clip(region)
+        if r.is_empty():
+            return
+        self.pixels[r.y : r.y2, r.x : r.x2] = np.uint32(color)
+
+    def blit(self, region, block):
+        """Copy a ``(h, w)`` uint32 block into ``region`` (clipped)."""
+        r = self._clip(region)
+        if r.is_empty():
+            return
+        # Offset into the source block if the region was clipped.
+        oy, ox = r.y - region.y, r.x - region.x
+        self.pixels[r.y : r.y2, r.x : r.x2] = block[oy : oy + r.h, ox : ox + r.w]
+
+    def copy(self, src, dst):
+        """Copy the ``src`` rectangle's pixels to ``dst`` (same size)."""
+        if (src.w, src.h) != (dst.w, dst.h):
+            raise DisplayError("copy source and destination sizes differ")
+        s = self._clip(src)
+        if s.is_empty():
+            return
+        block = self.pixels[s.y : s.y2, s.x : s.x2].copy()
+        shifted = Region(dst.x + (s.x - src.x), dst.y + (s.y - src.y), s.w, s.h)
+        self.blit(shifted, block)
+
+    def pattern_fill(self, region, pattern):
+        r = self._clip(region)
+        if r.is_empty():
+            return
+        ph, pw = pattern.shape
+        reps_y = -(-r.h // ph)
+        reps_x = -(-r.w // pw)
+        tiled = np.tile(pattern, (reps_y, reps_x))
+        # Keep the pattern phase anchored to the *unclipped* region origin.
+        oy = (r.y - region.y) % ph
+        ox = (r.x - region.x) % pw
+        self.pixels[r.y : r.y2, r.x : r.x2] = tiled[oy : oy + r.h, ox : ox + r.w]
+
+    def read(self, region):
+        """Return a copy of the pixels in ``region`` (must be in bounds)."""
+        if not self.bounds.contains(region):
+            raise DisplayError("read outside framebuffer bounds: %r" % (region,))
+        return self.pixels[region.y : region.y2, region.x : region.x2].copy()
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+
+    def checksum(self):
+        """A stable digest of the full screen contents."""
+        return hashlib.sha1(self.pixels.tobytes()).hexdigest()
+
+    def snapshot_bytes(self):
+        """Serialize the full framebuffer (used for keyframe screenshots)."""
+        header = struct.pack("<II", self.width, self.height)
+        return header + self.pixels.tobytes()
+
+    @classmethod
+    def from_snapshot(cls, data):
+        width, height = struct.unpack_from("<II", data)
+        fb = cls(width, height)
+        raw = data[8 : 8 + width * height * 4]
+        if len(raw) != width * height * 4:
+            raise DisplayError("truncated framebuffer snapshot")
+        fb.pixels = (
+            np.frombuffer(raw, dtype=np.uint32).reshape(height, width).copy()
+        )
+        return fb
+
+    def clone(self):
+        fb = Framebuffer(self.width, self.height)
+        fb.pixels = self.pixels.copy()
+        return fb
+
+    def scaled(self, factor):
+        """Nearest-neighbour rescale (THINC screen scaling, section 4.1)."""
+        if factor == 1.0:
+            return self.clone()
+        new_w = max(1, int(self.width * factor))
+        new_h = max(1, int(self.height * factor))
+        ys = np.linspace(0, self.height - 1, new_h).astype(int)
+        xs = np.linspace(0, self.width - 1, new_w).astype(int)
+        fb = Framebuffer(new_w, new_h)
+        fb.pixels = self.pixels[np.ix_(ys, xs)].copy()
+        return fb
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Framebuffer)
+            and self.width == other.width
+            and self.height == other.height
+            and bool(np.array_equal(self.pixels, other.pixels))
+        )
+
+    def __hash__(self):  # pragma: no cover - framebuffers are not dict keys
+        return id(self)
+
+    def __repr__(self):
+        return "Framebuffer(%dx%d)" % (self.width, self.height)

@@ -1,0 +1,320 @@
+"""Playback engine (section 4.3).
+
+Supports the PVR operations: skip to an arbitrary time, play at the original
+rate or a scaled one, play at the fastest possible rate (for Figure 6's
+playback-speedup experiment), fast-forward, and rewind.
+
+Skipping to time ``T`` binary-searches the timeline index for the latest
+screenshot at or before ``T``, loads it, and replays only the commands
+between the screenshot and ``T``.  Before applying them, the engine *prunes*
+the command list: commands whose output is entirely overwritten by a later
+opaque command are discarded ("DejaView builds a list of commands that are
+pertinent to the contents of the screen by discarding those that are
+overwritten by newer ones").  COPY commands read prior screen state, so a
+kept COPY pins every earlier command (they cannot be pruned past it) — a
+conservative but correct approximation of the paper's dependency analysis.
+"""
+
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.common.clock import VirtualClock
+from repro.common.costs import DEFAULT_COSTS
+from repro.common.errors import DisplayError
+from repro.common.serial import read_at
+from repro.display.framebuffer import Framebuffer
+from repro.display.protocol import CommandLogReader
+
+_TS = struct.Struct("<Q")
+
+
+@dataclass
+class PlaybackStats:
+    """Outcome of a playback operation, in simulated time."""
+
+    recorded_duration_us: int
+    playback_duration_us: int
+    commands_considered: int
+    commands_applied: int
+
+    @property
+    def speedup(self):
+        """How much faster than real time the record was played."""
+        if self.playback_duration_us <= 0:
+            return float("inf")
+        return self.recorded_duration_us / self.playback_duration_us
+
+
+def prune_commands(commands):
+    """Drop commands fully overwritten by later opaque commands.
+
+    ``commands`` is a chronologically ordered list; the return value is the
+    chronologically ordered subset whose application yields the same final
+    framebuffer.
+    """
+    kept = []
+    covers = []  # regions of later kept opaque commands
+    copy_seen = False
+    for command in reversed(commands):
+        if not copy_seen and any(c.contains(command.region) for c in covers):
+            continue
+        kept.append(command)
+        if command.OPAQUE:
+            covers.append(command.region)
+        else:
+            # A COPY depends on earlier screen contents: stop pruning.
+            copy_seen = True
+    kept.reverse()
+    return kept
+
+
+class _KeyframeCache:
+    """LRU cache of decoded keyframes, keyed by screenshot offset.
+
+    "DejaView also caches screenshots for search results, using a LRU
+    scheme, where the cache size is tunable" (section 4.4).
+    """
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key, value):
+        if self.capacity <= 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+class PlaybackEngine:
+    """Reconstructs display state from a :class:`DisplayRecord`."""
+
+    def __init__(self, record, clock=None, costs=DEFAULT_COSTS,
+                 cache_capacity=8, prune=True, cold=False):
+        """``cold=True`` charges record reads at disk cost; the default
+        models the paper's measurement setting, where the record being
+        browsed was just written and still sits in the page cache."""
+        self.record = record
+        self.clock = clock if clock is not None else VirtualClock()
+        self.costs = costs
+        self.prune = prune
+        self.cold = cold
+        self._cache = _KeyframeCache(cache_capacity)
+
+    def _charge_read(self, nbytes):
+        if self.cold:
+            self.clock.advance_us(self.costs.disk_read_us(nbytes, sequential=False))
+        else:
+            self.clock.advance_us(nbytes * self.costs.memcpy_us_per_byte)
+
+    # ------------------------------------------------------------------ #
+    # Keyframe access
+
+    def _load_keyframe(self, entry):
+        """Decode the screenshot for a timeline entry (LRU-cached)."""
+        cached = self._cache.get(entry.screenshot_offset)
+        if cached is not None:
+            # Cached frames still cost a copy (the caller will mutate it).
+            self.clock.advance_us(
+                cached.nbytes * self.costs.memcpy_us_per_byte
+            )
+            return cached.clone()
+        tag, payload = read_at(self.record.screenshot_bytes, entry.screenshot_offset)
+        (shot_time,) = _TS.unpack_from(payload)
+        if shot_time != entry.time_us:
+            raise DisplayError(
+                "timeline entry time %d does not match screenshot %d"
+                % (entry.time_us, shot_time)
+            )
+        snapshot = payload[_TS.size :]
+        self._charge_read(len(snapshot))
+        # Decoding the keyframe into a framebuffer (the part the LRU cache
+        # saves on repeat visits).
+        self.clock.advance_us(len(snapshot) * self.costs.screenshot_us_per_byte)
+        fb = Framebuffer.from_snapshot(snapshot)
+        self._cache.put(entry.screenshot_offset, fb.clone())
+        return fb
+
+    def _commands_between(self, command_offset, start_us, end_us):
+        """Commands with start_us < t <= end_us, reading from an offset."""
+        result = []
+        reader = CommandLogReader(self.record.log_bytes).seek_to(command_offset)
+        bytes_read = 0
+        for command, timestamp_us, _offset in reader:
+            if timestamp_us > end_us:
+                break
+            bytes_read += command.payload_size
+            if timestamp_us > start_us:
+                result.append((command, timestamp_us))
+        # One positioning step, then a sequential scan of the log.
+        self._charge_read(bytes_read)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # PVR operations
+
+    def seek(self, time_us):
+        """Skip to ``time_us``: reconstruct and return the screen then.
+
+        Returns ``(framebuffer, stats)``.  This is the "browse" operation
+        measured in Figure 5.
+        """
+        index, entry = self.record.timeline.locate(time_us)
+        if entry is None:
+            raise DisplayError(
+                "requested time %d precedes the first screenshot" % time_us
+            )
+        fb = self._load_keyframe(entry)
+        timed = self._commands_between(entry.command_offset, entry.time_us, time_us)
+        commands = [cmd for cmd, _ts in timed]
+        to_apply = prune_commands(commands) if self.prune else commands
+        for command in to_apply:
+            command.apply(fb)
+            self.clock.advance_us(
+                self.costs.display_cmd_base_us
+                + command.payload_size * self.costs.display_us_per_payload_byte
+            )
+        stats = PlaybackStats(
+            recorded_duration_us=max(0, time_us - entry.time_us),
+            playback_duration_us=0,
+            commands_considered=len(commands),
+            commands_applied=len(to_apply),
+        )
+        return fb, stats
+
+    def play(self, start_us, end_us, speed=1.0, fastest=False):
+        """Play the record from ``start_us`` to ``end_us``.
+
+        ``speed`` scales the inter-command sleeps ("it can provide playback
+        at twice the normal rate by only allowing half as much time as
+        specified to elapse between commands"); ``fastest`` ignores command
+        times entirely and processes them as quickly as possible.
+
+        Returns ``(framebuffer, stats)`` where the stats carry the measured
+        speedup (Figure 6).
+        """
+        if speed <= 0:
+            raise DisplayError("playback speed must be positive")
+        first = self.record.timeline.first_time_us
+        if first is None:
+            raise DisplayError("empty record")
+        # Clamp into the record's range: playing "from the beginning"
+        # means from the first keyframe.
+        start_us = max(start_us, first)
+        watch = self.clock.stopwatch()
+        fb, _ = self.seek(start_us)
+        index, entry = self.record.timeline.locate(start_us)
+        timed = self._commands_between(entry.command_offset, start_us, end_us)
+        applied = 0
+        previous_ts = start_us
+        for command, timestamp_us in timed:
+            if not fastest:
+                gap_us = (timestamp_us - previous_ts) / speed
+                self.clock.advance_us(gap_us)
+                previous_ts = timestamp_us
+            command.apply(fb)
+            self.clock.advance_us(
+                self.costs.display_cmd_base_us
+                + command.payload_size * self.costs.display_us_per_payload_byte
+            )
+            applied += 1
+        stats = PlaybackStats(
+            recorded_duration_us=max(0, end_us - start_us),
+            playback_duration_us=watch.elapsed_us,
+            commands_considered=len(timed),
+            commands_applied=applied,
+        )
+        return fb, stats
+
+    def fast_forward(self, from_us, to_us):
+        """Fast-forward: play each keyframe in turn, then replay from the
+        last one before ``to_us`` (section 4.3)."""
+        if to_us < from_us:
+            raise DisplayError("fast_forward target precedes start")
+        shown = 0
+        for entry in self.record.timeline.entries_between(from_us, to_us):
+            fb = self._load_keyframe(entry)
+            self.clock.advance_us(
+                fb.nbytes * self.costs.display_us_per_payload_byte
+            )
+            shown += 1
+        fb, stats = self.seek(to_us)
+        return fb, stats, shown
+
+    def rewind(self, from_us, to_us):
+        """Rewind: like fast-forward but walking the keyframes backwards."""
+        if to_us > from_us:
+            raise DisplayError("rewind target follows start")
+        shown = 0
+        for entry in reversed(self.record.timeline.entries_between(to_us, from_us)):
+            fb = self._load_keyframe(entry)
+            self.clock.advance_us(
+                fb.nbytes * self.costs.display_us_per_payload_byte
+            )
+            shown += 1
+        fb, stats = self.seek(to_us)
+        return fb, stats, shown
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cache_stats(self):
+        return {"hits": self._cache.hits, "misses": self._cache.misses}
+
+
+class SubstreamPlayer:
+    """PVR controls restricted to one substream of the record.
+
+    "Substreams behave like a typical recording, where all the PVR
+    functionality is available, but restricted to that portion of time"
+    (section 4.4).  Every operation's time arguments are clamped into the
+    substream's window, so a search result can be explored like a small
+    self-contained recording.
+    """
+
+    def __init__(self, engine, start_us, end_us):
+        if end_us < start_us:
+            raise DisplayError("substream end precedes start")
+        self.engine = engine
+        self.start_us = start_us
+        self.end_us = end_us
+
+    @property
+    def duration_us(self):
+        return self.end_us - self.start_us
+
+    def _clamp(self, time_us):
+        return max(self.start_us, min(time_us, self.end_us))
+
+    def seek(self, time_us):
+        return self.engine.seek(self._clamp(time_us))
+
+    def play(self, start_us=None, end_us=None, speed=1.0, fastest=False):
+        start = self._clamp(start_us if start_us is not None else self.start_us)
+        end = self._clamp(end_us if end_us is not None else self.end_us)
+        return self.engine.play(start, end, speed=speed, fastest=fastest)
+
+    def fast_forward(self, from_us, to_us):
+        return self.engine.fast_forward(self._clamp(from_us), self._clamp(to_us))
+
+    def rewind(self, from_us, to_us):
+        return self.engine.rewind(self._clamp(from_us), self._clamp(to_us))
+
+    def first_frame(self):
+        return self.seek(self.start_us)
+
+    def last_frame(self):
+        return self.seek(self.end_us)

@@ -1,0 +1,80 @@
+"""Wire/log codec for display commands.
+
+The same encoding serves both the viewer connection and the on-disk display
+record ("both streams use the same set of commands", section 4.1).  Each
+encoded command is a TLV record whose tag is the command type and whose
+payload starts with a little-endian ``u64`` timestamp in simulated
+microseconds followed by the command's own payload.
+"""
+
+import struct
+
+from repro.common.errors import DisplayError
+from repro.common.serial import RecordReader, RecordWriter
+from repro.display.commands import COMMAND_TYPES
+
+STREAM_KIND_DISPLAY = 0x0D15
+"""Stream-kind header value for display command logs."""
+
+SCREENSHOT_TAG = 100
+"""Record tag for full-framebuffer keyframes within a screenshot stream."""
+
+_TS = struct.Struct("<Q")
+
+
+def encode_command(command, timestamp_us):
+    """Encode one command with its timestamp; returns ``(tag, payload)``."""
+    if command.TAG not in COMMAND_TYPES:
+        raise DisplayError("unknown command type %r" % (command,))
+    return command.TAG, _TS.pack(timestamp_us) + command.encode_payload()
+
+
+def decode_command(tag, payload):
+    """Inverse of :func:`encode_command`; returns ``(command, timestamp_us)``."""
+    cls = COMMAND_TYPES.get(tag)
+    if cls is None:
+        raise DisplayError("unknown display command tag %d" % tag)
+    (timestamp_us,) = _TS.unpack_from(payload)
+    command = cls.decode_payload(payload[_TS.size :])
+    return command, timestamp_us
+
+
+class CommandLogWriter:
+    """Appends timestamped commands to a display log stream."""
+
+    def __init__(self, fileobj=None):
+        self._writer = RecordWriter(fileobj, kind=STREAM_KIND_DISPLAY)
+        self.command_count = 0
+
+    @property
+    def bytes_written(self):
+        return self._writer.bytes_written
+
+    def append(self, command, timestamp_us):
+        """Write one command; returns its byte offset in the stream."""
+        tag, payload = encode_command(command, timestamp_us)
+        offset = self._writer.write(tag, payload)
+        self.command_count += 1
+        return offset
+
+    def getvalue(self):
+        return self._writer.getvalue()
+
+
+class CommandLogReader:
+    """Iterates ``(command, timestamp_us, offset)`` triples from a log."""
+
+    def __init__(self, data):
+        self._reader = RecordReader(data, expect_kind=STREAM_KIND_DISPLAY)
+
+    def seek_to(self, offset):
+        self._reader.seek_to(offset)
+        return self
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        tag, payload, offset = next(self._reader)
+        command, timestamp_us = decode_command(tag, payload)
+        return command, timestamp_us, offset

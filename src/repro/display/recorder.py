@@ -1,0 +1,177 @@
+"""Display recorder (section 4.1).
+
+The recorder is a driver sink.  It appends every display command to an
+append-only log ("recorded commands specify a particular operation to be
+performed on the current contents of the screen") and periodically writes a
+full screenshot keyframe, "only if the screen has changed enough since the
+previous one".  Screenshots are self-contained independent frames from which
+playback can start; commands are dependent frames — the MPEG analogy the
+paper draws.
+
+The recorder maintains its *own* framebuffer, reconstructed purely from the
+commands it receives.  This keeps it honest: if the driver's scaling or the
+codec ever corrupted the stream, the recorder's screenshots would diverge
+from the server's screen and the round-trip tests would fail.
+"""
+
+import struct
+from dataclasses import dataclass
+
+from repro.common.clock import VirtualClock
+from repro.common.costs import DEFAULT_COSTS
+from repro.common.serial import RecordWriter
+from repro.common.units import seconds
+from repro.display.commands import Region
+from repro.display.framebuffer import Framebuffer
+from repro.display.protocol import SCREENSHOT_TAG, CommandLogWriter
+from repro.display.timeline import TimelineEntry, TimelineIndex
+
+STREAM_KIND_SCREENSHOTS = 0x0D16
+
+
+@dataclass
+class RecorderConfig:
+    """Tunable recording quality knobs (section 2: "users can choose to
+    trade-off record quality versus storage consumption")."""
+
+    screenshot_interval_us: int = seconds(600)
+    """Minimum simulated time between keyframes (default 10 minutes)."""
+
+    screenshot_min_change_fraction: float = 0.02
+    """Skip the keyframe unless at least this fraction of the screen
+    changed since the previous one."""
+
+
+@dataclass
+class DisplayRecord:
+    """The finished record: everything playback needs."""
+
+    log_bytes: bytes
+    screenshot_bytes: bytes
+    timeline: TimelineIndex
+    width: int
+    height: int
+    start_us: int
+    end_us: int
+    command_count: int
+
+    @property
+    def duration_us(self):
+        return self.end_us - self.start_us
+
+    @property
+    def total_bytes(self):
+        return (
+            len(self.log_bytes)
+            + len(self.screenshot_bytes)
+            + self.timeline.nbytes
+        )
+
+
+class DisplayRecorder:
+    """Driver sink that produces a :class:`DisplayRecord`."""
+
+    def __init__(self, width, height, clock=None, costs=DEFAULT_COSTS,
+                 config=None):
+        self.clock = clock if clock is not None else VirtualClock()
+        self.costs = costs
+        self.config = config if config is not None else RecorderConfig()
+        self.framebuffer = Framebuffer(width, height)
+        self._log = CommandLogWriter()
+        self._shots = RecordWriter(kind=STREAM_KIND_SCREENSHOTS)
+        self.timeline = TimelineIndex()
+        # "changed enough" tracks the bounding box of changes since the
+        # previous keyframe, so a blinking cursor or ticking clock never
+        # triggers one no matter how long it blinks.
+        self._changed_bounds = Region(0, 0, 0, 0)
+        self._last_shot_us = None
+        self._start_us = self.clock.now_us
+        self._end_us = self.clock.now_us
+        # The initial keyframe provides "the initial state of the display
+        # that subsequent recorded commands modify" (section 4.1).
+        self._take_screenshot(force=True)
+
+    # ------------------------------------------------------------------ #
+    # Sink interface
+
+    def handle_commands(self, commands, timestamp_us):
+        for command in commands:
+            command.apply(self.framebuffer)
+            self._log.append(command, timestamp_us)
+            self.clock.advance_us(
+                self.costs.display_record_cmd_us
+                + command.payload_size * self.costs.display_log_us_per_byte
+            )
+            self._changed_bounds = self._changed_bounds.union_bounds(
+                command.region
+            )
+        self._end_us = max(self._end_us, timestamp_us)
+        self._maybe_screenshot(timestamp_us)
+
+    # ------------------------------------------------------------------ #
+    # Screenshots
+
+    def _maybe_screenshot(self, now_us):
+        due = (
+            self._last_shot_us is None
+            or now_us - self._last_shot_us >= self.config.screenshot_interval_us
+        )
+        changed_fraction = (
+            self._changed_bounds.area / self.framebuffer.bounds.area
+        )
+        if due and changed_fraction >= self.config.screenshot_min_change_fraction:
+            self._take_screenshot()
+
+    def _take_screenshot(self, force=False):
+        """Write a keyframe + timeline entry.  ``force`` bypasses the
+        change-fraction gate (used for the initial frame)."""
+        now_us = self.clock.now_us
+        snapshot = self.framebuffer.snapshot_bytes()
+        payload = struct.pack("<Q", now_us) + snapshot
+        shot_offset = self._shots.write(SCREENSHOT_TAG, payload)
+        self.clock.advance_us(len(snapshot) * self.costs.screenshot_us_per_byte)
+        self.timeline.append(
+            TimelineEntry(
+                time_us=now_us,
+                screenshot_offset=shot_offset,
+                command_offset=self._log.bytes_written,
+            )
+        )
+        self._last_shot_us = now_us
+        self._changed_bounds = Region(0, 0, 0, 0)
+
+    def force_screenshot(self):
+        """Public hook: take a keyframe now regardless of thresholds."""
+        self._take_screenshot(force=True)
+
+    # ------------------------------------------------------------------ #
+    # Accounting / output
+
+    @property
+    def log_nbytes(self):
+        return self._log.bytes_written
+
+    @property
+    def screenshot_nbytes(self):
+        return self._shots.bytes_written
+
+    @property
+    def total_nbytes(self):
+        return self.log_nbytes + self.screenshot_nbytes + self.timeline.nbytes
+
+    @property
+    def command_count(self):
+        return self._log.command_count
+
+    def finalize(self):
+        """Close the record and return the playback-ready bundle."""
+        return DisplayRecord(
+            log_bytes=self._log.getvalue(),
+            screenshot_bytes=self._shots.getvalue(),
+            timeline=self.timeline,
+            width=self.framebuffer.width,
+            height=self.framebuffer.height,
+            start_us=self._start_us,
+            end_us=self._end_us,
+            command_count=self._log.command_count,
+        )

@@ -1,0 +1,94 @@
+"""Screencast baseline recorder (paper section 7, related work).
+
+"Screencasting works by screen-scraping and taking screenshots of the
+display many times a second.  It requires higher overhead and more storage
+and bandwidth than DejaView's display recording, and the common approach of
+also using lossy JPEG or MPEG encoding to compensate further increases
+recording overhead, and decreases display quality."
+
+This module implements that baseline so the comparison can be measured: a
+:class:`ScreencastRecorder` is a driver sink that ignores the command
+stream's structure and instead grabs the full framebuffer ``fps`` times a
+second, optionally running each grab through a (zlib, stand-in for
+MPEG-class) encoder.  The comparison benchmark pits it against
+:class:`~repro.display.recorder.DisplayRecorder` on identical workloads.
+"""
+
+import struct
+import zlib
+
+from repro.common.clock import VirtualClock
+from repro.common.costs import DEFAULT_COSTS
+from repro.common.serial import RecordWriter
+from repro.display.framebuffer import Framebuffer
+
+STREAM_KIND_SCREENCAST = 0x0D17
+FRAME_TAG = 1
+
+
+class ScreencastRecorder:
+    """A driver sink that screen-scrapes at a fixed frame rate.
+
+    Unlike the THINC-based recorder it cannot know *what* changed, so every
+    grab serializes the entire screen; a cheap dirty check (framebuffer
+    checksum) lets it skip frames when literally nothing changed — the best
+    a screen-scraper can do.
+    """
+
+    def __init__(self, width, height, clock=None, costs=DEFAULT_COSTS,
+                 fps=10, encode=True):
+        self.clock = clock if clock is not None else VirtualClock()
+        self.costs = costs
+        self.fps = fps
+        self.encode = encode
+        self.framebuffer = Framebuffer(width, height)
+        self._stream = RecordWriter(kind=STREAM_KIND_SCREENCAST)
+        self._frame_interval_us = 1_000_000 // fps
+        self._next_grab_us = self.clock.now_us
+        self._last_checksum = None
+        self.frames_captured = 0
+        self.frames_skipped = 0
+        self.raw_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Sink interface: keep a mirror framebuffer current, grab on schedule.
+
+    def handle_commands(self, commands, timestamp_us):
+        for command in commands:
+            command.apply(self.framebuffer)
+        while timestamp_us >= self._next_grab_us:
+            self._grab(self._next_grab_us)
+            self._next_grab_us += self._frame_interval_us
+
+    def _grab(self, timestamp_us):
+        """Capture one full-screen frame."""
+        # Screen-scraping reads the whole framebuffer every time.
+        snapshot = self.framebuffer.snapshot_bytes()
+        self.clock.advance_us(len(snapshot) * self.costs.memcpy_us_per_byte)
+        checksum = self.framebuffer.checksum()
+        if checksum == self._last_checksum:
+            self.frames_skipped += 1
+            return
+        self._last_checksum = checksum
+        self.raw_bytes += len(snapshot)
+        if self.encode:
+            payload = zlib.compress(snapshot, 1)
+            self.clock.advance_us(self.costs.compress_us(len(snapshot)))
+        else:
+            payload = snapshot
+        self._stream.write(
+            FRAME_TAG, struct.pack("<Q", timestamp_us) + payload
+        )
+        self.clock.advance_us(
+            len(payload) * self.costs.display_log_us_per_byte
+        )
+        self.frames_captured += 1
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stored_bytes(self):
+        return self._stream.bytes_written
+
+    def getvalue(self):
+        return self._stream.getvalue()

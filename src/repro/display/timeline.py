@@ -1,0 +1,110 @@
+"""Timeline index file.
+
+"DejaView indexes recorded command and screenshot data using a special
+timeline file ... chronologically ordered, fixed-size entries of the time at
+which a screenshot was taken, the file location in which its data was
+stored, and the file location of the first display command that follows that
+screenshot" (section 4.1).
+
+Fixed-size entries make the file binary-searchable in O(log n) seeks, which
+is what gives browsing its interactive latency (section 4.3).
+"""
+
+import struct
+from dataclasses import dataclass
+
+from repro.common.errors import DisplayError
+
+_ENTRY = struct.Struct("<QQQ")
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One fixed-size timeline record."""
+
+    time_us: int
+    screenshot_offset: int
+    command_offset: int
+
+    def pack(self):
+        return _ENTRY.pack(self.time_us, self.screenshot_offset, self.command_offset)
+
+    @classmethod
+    def unpack(cls, data, offset=0):
+        time_us, shot_off, cmd_off = _ENTRY.unpack_from(data, offset)
+        return cls(time_us, shot_off, cmd_off)
+
+
+class TimelineIndex:
+    """Chronologically ordered, binary-searchable screenshot index."""
+
+    ENTRY_SIZE = _ENTRY.size
+
+    def __init__(self):
+        self._entries = []
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __getitem__(self, i):
+        return self._entries[i]
+
+    def append(self, entry):
+        """Append an entry; times must be non-decreasing (append-only log)."""
+        if self._entries and entry.time_us < self._entries[-1].time_us:
+            raise DisplayError(
+                "timeline entries must be chronologically ordered: "
+                "%d < %d" % (entry.time_us, self._entries[-1].time_us)
+            )
+        self._entries.append(entry)
+
+    def locate(self, time_us):
+        """Binary search: the entry with the maximum time <= ``time_us``.
+
+        Returns ``(index, entry)`` or ``(None, None)`` when the requested
+        time precedes the first screenshot.
+        """
+        lo, hi = 0, len(self._entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._entries[mid].time_us <= time_us:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return None, None
+        return lo - 1, self._entries[lo - 1]
+
+    def entries_between(self, start_us, end_us):
+        """All entries with start_us <= time <= end_us (for fast-forward)."""
+        return [e for e in self._entries if start_us <= e.time_us <= end_us]
+
+    @property
+    def first_time_us(self):
+        return self._entries[0].time_us if self._entries else None
+
+    @property
+    def last_time_us(self):
+        return self._entries[-1].time_us if self._entries else None
+
+    # ------------------------------------------------------------------ #
+    # Serialization (the on-disk "timeline file")
+
+    def to_bytes(self):
+        return b"".join(entry.pack() for entry in self._entries)
+
+    @classmethod
+    def from_bytes(cls, data):
+        if len(data) % _ENTRY.size != 0:
+            raise DisplayError("timeline file size is not a multiple of entry size")
+        index = cls()
+        for offset in range(0, len(data), _ENTRY.size):
+            index.append(TimelineEntry.unpack(data, offset))
+        return index
+
+    @property
+    def nbytes(self):
+        return len(self._entries) * _ENTRY.size

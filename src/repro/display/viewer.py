@@ -1,0 +1,77 @@
+"""Stateless display viewer (client).
+
+"All persistent display state is maintained by the display server; clients
+are simple and stateless" (section 3).  The viewer applies the commands it
+receives to a local framebuffer; it never talks back to the server except to
+forward input events.  Tests use the viewer to verify that the command
+stream alone reconstructs the server's screen bit-for-bit.
+
+The viewer can run at a reduced resolution (e.g. a PDA-sized screen) while
+the driver records at full resolution — the driver scales per sink, so a
+viewer attached with ``scale=0.25`` coexists with a full-fidelity recorder.
+"""
+
+from repro.common.costs import DEFAULT_COSTS
+from repro.display.framebuffer import Framebuffer
+
+
+class Viewer:
+    """A display sink that mirrors the desktop into its own framebuffer."""
+
+    def __init__(self, width, height, clock=None, costs=DEFAULT_COSTS):
+        self.framebuffer = Framebuffer(width, height)
+        self.clock = clock
+        self.costs = costs
+        self.commands_received = 0
+        self.last_update_us = None
+        self._paused = False
+        self._held = []  # command batches buffered while paused
+
+    def handle_commands(self, commands, timestamp_us):
+        """Sink interface: rasterize the batch into the local framebuffer.
+
+        While paused, batches are held and applied on resume — "pause the
+        display during live execution to view an item of interest"
+        (section 2) freezes the *viewer*, never the desktop.
+        """
+        if self._paused:
+            self._held.append((list(commands), timestamp_us))
+            return
+        self._apply(commands, timestamp_us)
+
+    def _apply(self, commands, timestamp_us):
+        for command in commands:
+            command.apply(self.framebuffer)
+            if self.clock is not None:
+                # The viewer competes for the same CPU as the server when
+                # they are co-located (the web benchmark in section 6 shows
+                # this contention).
+                self.clock.advance_us(
+                    self.costs.display_cmd_base_us
+                    + command.payload_size
+                    * self.costs.display_us_per_payload_byte
+                )
+        self.commands_received += len(commands)
+        self.last_update_us = timestamp_us
+
+    # ------------------------------------------------------------------ #
+    # Pause / resume (the slider's pause button)
+
+    @property
+    def paused(self):
+        return self._paused
+
+    def pause(self):
+        """Freeze the viewer; the live session keeps running."""
+        self._paused = True
+
+    def resume(self):
+        """Catch up on everything that happened while paused."""
+        self._paused = False
+        held, self._held = self._held, []
+        for commands, timestamp_us in held:
+            self._apply(commands, timestamp_us)
+        return len(held)
+
+    def checksum(self):
+        return self.framebuffer.checksum()

@@ -1,0 +1,38 @@
+"""File system substrate (paper sections 5.1.1 and 5.2).
+
+DejaView needs a file system whose state at every checkpoint can be
+recovered later, cheaply, and then branched into independently writable
+views for revived sessions.  The paper combines NILFS (a log-structured file
+system where "every modifying transaction results in a file system snapshot
+point") with UnionFS (to stack a writable layer on a read-only snapshot).
+
+* :mod:`repro.fs.lfs` -- the log-structured file system: versioned inodes
+  and directory entries, append-only data blocks, O(1) snapshots at any
+  transaction, checkpoint-counter association, dirty-block accounting for
+  the pre-snapshot/sync cost model, and relink support for open-unlinked
+  files.
+* :mod:`repro.fs.union` -- union mounts: read-only lower + writable upper,
+  copy-up on modification, whiteouts on deletion.
+* :mod:`repro.fs.branch` -- the branchable combination: any checkpoint
+  counter can be branched into a fresh read-write view, many times over,
+  each branch itself snapshotable.
+* :mod:`repro.fs.vfs` -- shared path helpers and the read-only view
+  interface.
+"""
+
+from repro.fs.branch import BranchableStore, RevivedStore
+from repro.fs.lfs import LogStructuredFS, SnapshotView
+from repro.fs.union import ReadOnlyUnionView, UnionMount
+from repro.fs.vfs import join_path, normalize_path, split_path
+
+__all__ = [
+    "LogStructuredFS",
+    "SnapshotView",
+    "UnionMount",
+    "ReadOnlyUnionView",
+    "BranchableStore",
+    "RevivedStore",
+    "normalize_path",
+    "split_path",
+    "join_path",
+]

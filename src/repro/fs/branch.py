@@ -1,0 +1,111 @@
+"""Branchable file system views.
+
+"DejaView's combination of unioning and file system snapshots provides a
+branchable file system to enable DejaView to create multiple revived
+sessions from a single checkpoint" (section 5.2).
+
+The :class:`BranchableStore` wraps the session's log-structured file system
+and hands out independent read-write branches rooted at any recorded
+checkpoint counter.  Branches never interfere: each gets its own writable
+upper layer, and the shared lower layer is an immutable snapshot.
+"""
+
+from repro.common.clock import VirtualClock
+from repro.common.costs import DEFAULT_COSTS
+from repro.fs.lfs import LogStructuredFS
+from repro.fs.union import ReadOnlyUnionView, UnionMount
+
+
+class BranchableStore:
+    """The session file system plus its revive branches."""
+
+    def __init__(self, clock=None, costs=DEFAULT_COSTS, fs=None):
+        self.clock = clock if clock is not None else VirtualClock()
+        self.costs = costs
+        self.fs = fs if fs is not None else LogStructuredFS(
+            clock=self.clock, costs=costs
+        )
+        self.branches = []
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint-side interface (called by the checkpoint engine)
+
+    def pre_snapshot_sync(self):
+        """Flush dirty blocks ahead of quiescing (section 5.1.2)."""
+        return self.fs.sync()
+
+    def take_snapshot(self, checkpoint_counter):
+        """Snapshot the live file system and bind it to a checkpoint."""
+        txn = self.fs.snapshot()
+        self.fs.associate_checkpoint(checkpoint_counter, txn)
+        return txn
+
+    # ------------------------------------------------------------------ #
+    # Revive-side interface
+
+    def branch_at(self, checkpoint_counter):
+        """Create an independent writable view of the file system exactly
+        as it was at ``checkpoint_counter``.
+
+        The branch's writable layer is itself a log-structured file system,
+        so "the revived session retains DejaView's ability to continuously
+        checkpoint session state and later revive it" (section 5.2).
+        """
+        lower = self.fs.view_for_checkpoint(checkpoint_counter)
+        upper = LogStructuredFS(clock=self.clock, costs=self.costs)
+        branch = UnionMount(lower, upper, clock=self.clock, costs=self.costs)
+        self.branches.append(branch)
+        return branch
+
+    @property
+    def branch_count(self):
+        return len(self.branches)
+
+
+class RevivedStore:
+    """Checkpoint-side file system store for a *revived* session.
+
+    A revived session's file system is a union mount: a read-only lower
+    snapshot plus a writable upper LFS.  To keep checkpointing the revived
+    session, only the upper layer needs snapshotting — the lower layer is
+    immutable by construction.  Branching a checkpoint of the revived
+    session stacks three layers: a fresh writable upper on top of
+    (upper-at-snapshot, original lower).
+
+    This is what section 5.2 means by "by using the same log structured
+    file system for the writable layer, the revived session retains
+    DejaView's ability to continuously checkpoint session state and later
+    revive it."
+    """
+
+    def __init__(self, mount, clock=None, costs=DEFAULT_COSTS):
+        self.mount = mount
+        self.clock = clock if clock is not None else mount.clock
+        self.costs = costs
+        self.branches = []
+
+    @property
+    def fs(self):
+        """The writable layer (where relinking etc. happens)."""
+        return self.mount.upper_fs
+
+    def pre_snapshot_sync(self):
+        return self.fs.sync()
+
+    def take_snapshot(self, checkpoint_counter):
+        txn = self.fs.snapshot()
+        self.fs.associate_checkpoint(checkpoint_counter, txn)
+        return txn
+
+    def branch_at(self, checkpoint_counter):
+        upper_view = self.fs.view_for_checkpoint(checkpoint_counter)
+        lower = ReadOnlyUnionView([upper_view, self.mount.lower])
+        fresh_upper = LogStructuredFS(clock=self.clock, costs=self.costs)
+        branch = UnionMount(lower, fresh_upper, clock=self.clock,
+                            costs=self.costs)
+        self.branches.append(branch)
+        return branch
+
+    @property
+    def branch_count(self):
+        return len(self.branches)

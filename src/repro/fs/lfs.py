@@ -1,0 +1,668 @@
+"""Log-structured file system with snapshot-at-every-transaction.
+
+Modelled on NILFS (Konishi et al., the paper's reference [20]): "all file
+system modifications append data to the disk, be it meta data updates,
+directory changes or syncing data blocks.  Thus, every modifying transaction
+results in a file system snapshot point" (section 5.1.1).
+
+Implementation: inodes and directory entries are *versioned* — every
+modifying operation bumps a global transaction counter and appends a new
+version; nothing is ever overwritten.  A snapshot is therefore just a
+transaction number, and reading "at snapshot s" resolves every version list
+at ``txn <= s``.  Data blocks are append-only and immutable.
+
+The checkpoint engine's hooks:
+
+* :meth:`LogStructuredFS.sync` — flush dirty blocks (the pre-snapshot of
+  section 5.1.2); cost scales with the number of unflushed blocks.
+* :meth:`LogStructuredFS.snapshot` — establish a snapshot point (any
+  remaining dirty blocks are flushed first, which is why pre-snapshotting
+  shrinks the in-downtime snapshot cost).
+* :meth:`LogStructuredFS.associate_checkpoint` — record the checkpoint
+  counter in the log, creating the "unique association between file system
+  snapshots and checkpoint images".
+* :meth:`LogStructuredFS.relink` — give an open-unlinked inode a directory
+  entry in a hidden directory so its contents survive into the snapshot
+  without being copied into the checkpoint image (section 5.1.2).
+"""
+
+from repro.common.clock import VirtualClock
+from repro.common.costs import DEFAULT_COSTS
+from repro.common.errors import FileSystemError, SnapshotError
+from repro.fs.vfs import join_path, normalize_path, path_components, split_path
+
+BLOCK_SIZE = 4096
+#: Approximate metadata bytes appended to the log per transaction.  NILFS
+#: logs inode-table and directory blocks alongside data, so metadata-heavy
+#: workloads (untar's thousands of small files) pay real log space per
+#: transaction — "it includes more overhead for file creation" (section 6).
+METADATA_RECORD_BYTES = 2048
+
+RELINK_DIR = "/.dejaview"
+"""Hidden directory used to relink open-unlinked files (section 5.1.2)."""
+
+WHITEOUT_PREFIX = ".wh."
+"""Prefix for union-mount whiteout entries (hidden from normal listings)."""
+
+ROOT_INODE = 1
+
+
+class _InodeVersion:
+    __slots__ = ("txn", "kind", "size", "blocks", "nlink", "mtime_us", "mode")
+
+    def __init__(self, txn, kind, size=0, blocks=(), nlink=1, mtime_us=0,
+                 mode=0o644):
+        self.txn = txn
+        self.kind = kind  # "file" | "dir"
+        self.size = size
+        self.blocks = tuple(blocks)
+        self.nlink = nlink
+        self.mtime_us = mtime_us
+        self.mode = mode
+
+
+class _Inode:
+    __slots__ = ("inode_id", "versions", "open_count")
+
+    def __init__(self, inode_id):
+        self.inode_id = inode_id
+        self.versions = []
+        self.open_count = 0
+
+    def current(self):
+        return self.versions[-1]
+
+    def at(self, txn):
+        """Latest version with version.txn <= txn, or None."""
+        lo, hi = 0, len(self.versions)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.versions[mid].txn <= txn:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return None
+        return self.versions[lo - 1]
+
+
+class FileHandle:
+    """An open file.  Reads resolve the inode's *current* state, so a file
+    unlinked while open remains readable — the case relinking handles."""
+
+    def __init__(self, fs, inode_id, path):
+        self._fs = fs
+        self.inode_id = inode_id
+        self.path = path
+        self.closed = False
+        fs._inodes[inode_id].open_count += 1
+
+    def read(self):
+        if self.closed:
+            raise FileSystemError("read on closed handle for %s" % self.path)
+        return self._fs._read_inode(self.inode_id)
+
+    def stat(self):
+        if self.closed:
+            raise FileSystemError("stat on closed handle for %s" % self.path)
+        return self._fs._stat_inode(self.inode_id)
+
+    def close(self):
+        if not self.closed:
+            self.closed = True
+            self._fs._inodes[self.inode_id].open_count -= 1
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class LogStructuredFS:
+    """The append-only, versioned file system."""
+
+    def __init__(self, clock=None, costs=DEFAULT_COSTS):
+        self.clock = clock if clock is not None else VirtualClock()
+        self.costs = costs
+        self._txn = 0
+        self._inodes = {}
+        self._next_inode = ROOT_INODE
+        self._blocks = {}  # block id -> bytes
+        self._next_block = 1
+        # (dir inode id, name) -> [(txn, child inode id or None), ...]
+        self._dentries = {}
+        # dir inode id -> set of names ever bound (listing support)
+        self._names = {}
+        # Accounting.
+        self.log_bytes = 0
+        self.reclaimed_bytes = 0
+        self._pending_blocks = 0
+        self._synced_txn = 0
+        self._last_snapshot_txn = 0
+        self._checkpoint_map = {}  # checkpoint counter -> txn
+        # Create the root directory and the hidden relink directory.
+        root = self._alloc_inode("dir")
+        assert root.inode_id == ROOT_INODE
+        self._mkdir_under(ROOT_INODE, RELINK_DIR[1:])
+
+    # ------------------------------------------------------------------ #
+    # Low-level helpers
+
+    def _alloc_inode(self, kind, mode=0o644):
+        inode = _Inode(self._next_inode)
+        self._next_inode += 1
+        self._inodes[inode.inode_id] = inode
+        self._begin_txn()
+        inode.versions.append(
+            _InodeVersion(self._txn, kind, mtime_us=self.clock.now_us, mode=mode)
+        )
+        if kind == "dir":
+            self._names.setdefault(inode.inode_id, set())
+        return inode
+
+    def _begin_txn(self):
+        self._txn += 1
+        self.log_bytes += METADATA_RECORD_BYTES
+        self.clock.advance_us(self.costs.fs_transaction_us)
+        return self._txn
+
+    def _bump_inode(self, inode, **changes):
+        cur = inode.current()
+        self._begin_txn()
+        inode.versions.append(
+            _InodeVersion(
+                self._txn,
+                changes.get("kind", cur.kind),
+                changes.get("size", cur.size),
+                changes.get("blocks", cur.blocks),
+                changes.get("nlink", cur.nlink),
+                self.clock.now_us,
+                changes.get("mode", cur.mode),
+            )
+        )
+
+    def _set_dentry(self, dir_inode_id, name, child_id):
+        self._begin_txn()
+        self._dentries.setdefault((dir_inode_id, name), []).append(
+            (self._txn, child_id)
+        )
+        self._names.setdefault(dir_inode_id, set()).add(name)
+
+    def _resolve_dentry(self, dir_inode_id, name, txn=None):
+        history = self._dentries.get((dir_inode_id, name))
+        if not history:
+            return None
+        if txn is None:
+            return history[-1][1]
+        result = None
+        for entry_txn, child in history:
+            if entry_txn <= txn:
+                result = child
+            else:
+                break
+        return result
+
+    def _append_blocks(self, data):
+        """Append data as new log blocks; returns the block id tuple."""
+        ids = []
+        for off in range(0, max(len(data), 1), BLOCK_SIZE) if data else []:
+            chunk = data[off : off + BLOCK_SIZE]
+            block_id = self._next_block
+            self._next_block += 1
+            self._blocks[block_id] = bytes(chunk)
+            ids.append(block_id)
+        nblocks = len(ids)
+        # Data lands in the log in whole blocks (log-structured layout).
+        self.log_bytes += nblocks * BLOCK_SIZE
+        # The disk transfer happens regardless of DejaView (the kernel
+        # writes dirty pages back eventually), so it is charged here, at
+        # append time.  sync()/snapshot() only add the flush bookkeeping.
+        self.clock.advance_us(
+            self.costs.disk_write_us(nblocks * BLOCK_SIZE, sequential=True)
+        )
+        self._pending_blocks += nblocks
+        return tuple(ids)
+
+    # ------------------------------------------------------------------ #
+    # Path resolution
+
+    def _lookup(self, path, txn=None):
+        """Resolve a path to an inode id at a transaction (None = current)."""
+        inode_id = ROOT_INODE
+        for name in path_components(path):
+            version = self._version_of(inode_id, txn)
+            if version is None or version.kind != "dir":
+                return None
+            inode_id = self._resolve_dentry(inode_id, name, txn)
+            if inode_id is None:
+                return None
+        if self._version_of(inode_id, txn) is None:
+            return None
+        return inode_id
+
+    def _version_of(self, inode_id, txn=None):
+        inode = self._inodes.get(inode_id)
+        if inode is None:
+            return None
+        return inode.current() if txn is None else inode.at(txn)
+
+    def _require(self, path, txn=None):
+        inode_id = self._lookup(path, txn)
+        if inode_id is None:
+            raise FileSystemError("no such file or directory: %s" % path)
+        return inode_id
+
+    # ------------------------------------------------------------------ #
+    # Public mutation API (current view only; snapshots are read-only)
+
+    def mkdir(self, path):
+        path = normalize_path(path)
+        parent_path, name = split_path(path)
+        parent_id = self._require(parent_path)
+        if self._resolve_dentry(parent_id, name) is not None:
+            raise FileSystemError("path already exists: %s" % path)
+        inode = self._alloc_inode("dir")
+        self._set_dentry(parent_id, name, inode.inode_id)
+        return inode.inode_id
+
+    def _mkdir_under(self, parent_id, name):
+        inode = self._alloc_inode("dir")
+        self._set_dentry(parent_id, name, inode.inode_id)
+        return inode.inode_id
+
+    def makedirs(self, path):
+        """Create a directory and any missing ancestors."""
+        path = normalize_path(path)
+        current = "/"
+        for name in path_components(path):
+            child = join_path(current, name)
+            if self._lookup(child) is None:
+                self.mkdir(child)
+            current = child
+        return self._require(path)
+
+    def create(self, path, data=b"", mode=0o644):
+        """Create a regular file with initial contents."""
+        path = normalize_path(path)
+        parent_path, name = split_path(path)
+        parent_id = self._require(parent_path)
+        if self._resolve_dentry(parent_id, name) is not None:
+            raise FileSystemError("path already exists: %s" % path)
+        inode = self._alloc_inode("file", mode)
+        blocks = self._append_blocks(bytes(data))
+        self._bump_inode(inode, size=len(data), blocks=blocks)
+        self._set_dentry(parent_id, name, inode.inode_id)
+        return inode.inode_id
+
+    def write_file(self, path, data, append=False):
+        """Write a file (replace contents, or append), creating if needed.
+
+        Log-structured semantics: new data always lands in new blocks; a
+        whole-file rewrite never touches old blocks (they remain reachable
+        from earlier snapshots).
+        """
+        path = normalize_path(path)
+        data = bytes(data)
+        inode_id = self._lookup(path)
+        if inode_id is None:
+            return self.create(path, data)
+        inode = self._inodes[inode_id]
+        cur = inode.current()
+        if cur.kind != "file":
+            raise FileSystemError("not a regular file: %s" % path)
+        if append:
+            old = self._read_inode(inode_id)
+            # Only the trailing partial block needs rewriting; whole old
+            # blocks can be reused (they are immutable).
+            keep = len(old) // BLOCK_SIZE
+            tail = old[keep * BLOCK_SIZE :] + data
+            blocks = cur.blocks[:keep] + self._append_blocks(tail)
+            size = len(old) + len(data)
+        else:
+            blocks = self._append_blocks(data)
+            size = len(data)
+        self._bump_inode(inode, size=size, blocks=blocks)
+        return inode_id
+
+    def write_at(self, path, offset, data):
+        """Positional write (read-modify-write of the affected blocks)."""
+        path = normalize_path(path)
+        inode_id = self._require(path)
+        old = self._read_inode(inode_id)
+        if offset > len(old):
+            old = old + bytes(offset - len(old))
+        new = old[:offset] + bytes(data) + old[offset + len(data) :]
+        inode = self._inodes[inode_id]
+        blocks = self._append_blocks(new)
+        self._bump_inode(inode, size=len(new), blocks=blocks)
+        return inode_id
+
+    def truncate(self, path, size=0):
+        path = normalize_path(path)
+        inode_id = self._require(path)
+        data = self._read_inode(inode_id)[:size]
+        inode = self._inodes[inode_id]
+        blocks = self._append_blocks(data)
+        self._bump_inode(inode, size=len(data), blocks=blocks)
+
+    def unlink(self, path):
+        """Remove a directory entry.  The inode's blocks remain in the log
+        (reachable from snapshots); open handles keep working."""
+        path = normalize_path(path)
+        parent_path, name = split_path(path)
+        parent_id = self._require(parent_path)
+        inode_id = self._resolve_dentry(parent_id, name)
+        if inode_id is None:
+            raise FileSystemError("no such file or directory: %s" % path)
+        inode = self._inodes[inode_id]
+        if inode.current().kind == "dir":
+            if self.listdir(path, include_hidden=True):
+                raise FileSystemError("directory not empty: %s" % path)
+        self._set_dentry(parent_id, name, None)
+        self._bump_inode(inode, nlink=max(0, inode.current().nlink - 1))
+        return inode_id
+
+    def rename(self, src, dst):
+        src = normalize_path(src)
+        dst = normalize_path(dst)
+        src_parent, src_name = split_path(src)
+        dst_parent, dst_name = split_path(dst)
+        src_parent_id = self._require(src_parent)
+        dst_parent_id = self._require(dst_parent)
+        inode_id = self._resolve_dentry(src_parent_id, src_name)
+        if inode_id is None:
+            raise FileSystemError("no such file or directory: %s" % src)
+        self._set_dentry(dst_parent_id, dst_name, inode_id)
+        self._set_dentry(src_parent_id, src_name, None)
+        return inode_id
+
+    def link(self, existing, new_path):
+        """Hard link: bind an existing inode under a second name."""
+        existing = normalize_path(existing)
+        new_path = normalize_path(new_path)
+        inode_id = self._require(existing)
+        parent_path, name = split_path(new_path)
+        parent_id = self._require(parent_path)
+        if self._resolve_dentry(parent_id, name) is not None:
+            raise FileSystemError("path already exists: %s" % new_path)
+        inode = self._inodes[inode_id]
+        self._set_dentry(parent_id, name, inode_id)
+        self._bump_inode(inode, nlink=inode.current().nlink + 1)
+        return inode_id
+
+    # ------------------------------------------------------------------ #
+    # Read API (works on the live view and, via txn, on snapshots)
+
+    def _read_inode(self, inode_id, txn=None):
+        version = self._version_of(inode_id, txn)
+        if version is None:
+            raise FileSystemError("inode %d absent at txn %r" % (inode_id, txn))
+        if version.kind != "file":
+            raise FileSystemError("inode %d is a directory" % inode_id)
+        data = b"".join(self._blocks[b] for b in version.blocks)
+        return data[: version.size]
+
+    def _stat_inode(self, inode_id, txn=None):
+        version = self._version_of(inode_id, txn)
+        if version is None:
+            raise FileSystemError("inode %d absent at txn %r" % (inode_id, txn))
+        return {
+            "inode": inode_id,
+            "kind": version.kind,
+            "size": version.size,
+            "nlink": version.nlink,
+            "mtime_us": version.mtime_us,
+            "mode": version.mode,
+        }
+
+    def read_file(self, path, txn=None):
+        return self._read_inode(self._require(path, txn), txn)
+
+    def stat(self, path, txn=None):
+        return self._stat_inode(self._require(path, txn), txn)
+
+    def exists(self, path, txn=None):
+        return self._lookup(normalize_path(path), txn) is not None
+
+    def is_dir(self, path, txn=None):
+        inode_id = self._lookup(normalize_path(path), txn)
+        if inode_id is None:
+            return False
+        return self._version_of(inode_id, txn).kind == "dir"
+
+    def listdir(self, path, txn=None, include_hidden=False):
+        path = normalize_path(path)
+        dir_id = self._require(path, txn)
+        version = self._version_of(dir_id, txn)
+        if version.kind != "dir":
+            raise FileSystemError("not a directory: %s" % path)
+        names = []
+        for name in sorted(self._names.get(dir_id, ())):
+            if self._resolve_dentry(dir_id, name, txn) is None:
+                continue
+            hidden = name.startswith(WHITEOUT_PREFIX) or (
+                path == "/" and name == RELINK_DIR[1:]
+            )
+            if hidden and not include_hidden:
+                continue
+            names.append(name)
+        return names
+
+    def walk_files(self, path="/", txn=None):
+        """Yield every regular file path under ``path`` (snapshot-aware)."""
+        stack = [normalize_path(path)]
+        while stack:
+            current = stack.pop()
+            for name in self.listdir(current, txn):
+                child = join_path(current, name)
+                if self.is_dir(child, txn):
+                    stack.append(child)
+                else:
+                    yield child
+
+    def open(self, path):
+        path = normalize_path(path)
+        return FileHandle(self, self._require(path), path)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot machinery (the checkpoint engine's interface)
+
+    @property
+    def pending_blocks(self):
+        """Dirty blocks not yet flushed to the log device."""
+        return self._pending_blocks
+
+    def sync(self):
+        """Flush dirty blocks (the *pre-snapshot*).  Returns blocks flushed."""
+        flushed = self._pending_blocks
+        if flushed:
+            self.clock.advance_us(flushed * self.costs.fs_block_sync_us)
+            self._pending_blocks = 0
+        self._synced_txn = self._txn
+        return flushed
+
+    def snapshot(self):
+        """Establish a snapshot point; returns the snapshot's txn id.
+
+        Any still-dirty blocks are flushed inside this call — which is why
+        the engine pre-syncs before quiescing: "it greatly reduces, and many
+        times eliminates, the amount of data needed to be written while the
+        processes are unresponsive" (section 5.1.2).
+        """
+        self.clock.advance_us(self.costs.fs_snapshot_base_us)
+        # Metadata finalization scales with the transactions accumulated
+        # since the previous snapshot (untar's thousands of file creations
+        # make the fs snapshot the biggest slice of its downtime).
+        txns_since = max(0, self._txn - self._last_snapshot_txn)
+        self.clock.advance_us(txns_since * self.costs.fs_snapshot_us_per_txn)
+        self.sync()
+        self._last_snapshot_txn = self._txn
+        return self._txn
+
+    def associate_checkpoint(self, counter, txn=None):
+        """Record the checkpoint counter in the log (section 5.1.1)."""
+        if counter in self._checkpoint_map:
+            raise SnapshotError("checkpoint counter %d already recorded" % counter)
+        self._checkpoint_map[counter] = self._txn if txn is None else txn
+        self.log_bytes += METADATA_RECORD_BYTES
+
+    def txn_for_checkpoint(self, counter):
+        if counter not in self._checkpoint_map:
+            raise SnapshotError("no snapshot recorded for checkpoint %d" % counter)
+        return self._checkpoint_map[counter]
+
+    def view_at(self, txn):
+        """A read-only view of the file system at a snapshot point."""
+        if txn > self._txn:
+            raise SnapshotError("snapshot txn %d is in the future" % txn)
+        return SnapshotView(self, txn)
+
+    def view_for_checkpoint(self, counter):
+        return self.view_at(self.txn_for_checkpoint(counter))
+
+    # ------------------------------------------------------------------ #
+    # Relinking open-unlinked files (section 5.1.2, optimization 2)
+
+    def relink(self, handle):
+        """Give an open-unlinked inode a name in the hidden relink
+        directory, so the upcoming snapshot retains its contents without
+        them being written into the checkpoint image."""
+        return self.relink_inode(handle.inode_id)
+
+    def relink_inode(self, inode_id):
+        """Inode-id variant of :meth:`relink` (the checkpoint engine works
+        from file descriptor records, which carry inode ids)."""
+        inode = self._inodes.get(inode_id)
+        if inode is None:
+            raise FileSystemError("relink of unknown inode")
+        if inode.current().nlink > 0:
+            return None  # still linked somewhere; nothing to do
+        name = "relink-%d" % inode_id
+        target = join_path(RELINK_DIR, name)
+        if self._lookup(target) is None:
+            relink_dir_id = self._require(RELINK_DIR)
+            self._set_dentry(relink_dir_id, name, inode_id)
+            self._bump_inode(inode, nlink=1)
+        return target
+
+    def unlink_relinked(self, target):
+        """Undo a relink after revive restores the open-unlinked state."""
+        self.unlink(target)
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+
+    @property
+    def current_txn(self):
+        return self._txn
+
+    def visible_bytes(self, txn=None):
+        """Total size of files visible at a snapshot (paper's 'visible
+        size'); excludes the hidden relink directory."""
+        return sum(
+            self.stat(path, txn)["size"] for path in self.walk_files("/", txn)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Garbage collection (NILFS model: checkpoints are reclaimable unless
+    # promoted to protected snapshots)
+
+    def collect_garbage(self, protected_txns):
+        """Reclaim log blocks not reachable from the live view or any
+        protected snapshot.
+
+        NILFS distinguishes plain *checkpoints* (reclaimable by the
+        cleaner) from *snapshots* (protected).  DejaView protects the
+        snapshots its checkpoint images reference; when old checkpoints
+        are pruned, their snapshots become unprotected and the cleaner can
+        reclaim the log space.  Returns the number of bytes reclaimed.
+        """
+        roots = set(protected_txns)
+        live_blocks = set()
+        # Blocks reachable from each protected snapshot...
+        for txn in roots:
+            live_blocks.update(self._blocks_at(txn))
+        # ...and from the live file system.
+        live_blocks.update(self._blocks_at(None))
+        # Open-but-unlinked inodes stay live regardless of directories.
+        for inode in self._inodes.values():
+            if inode.open_count > 0:
+                live_blocks.update(inode.current().blocks)
+        reclaimed = 0
+        for block_id in list(self._blocks):
+            if block_id not in live_blocks:
+                reclaimed += len(self._blocks.pop(block_id))
+        self.reclaimed_bytes += reclaimed
+        # The cleaner copies live data out of dying segments; charge a
+        # pass over the reclaimed volume.
+        self.clock.advance_us(reclaimed * self.costs.memcpy_us_per_byte)
+        return reclaimed
+
+    def _blocks_at(self, txn):
+        """All block ids reachable from the namespace at ``txn``."""
+        blocks = set()
+        stack = [ROOT_INODE]
+        seen = set()
+        while stack:
+            inode_id = stack.pop()
+            if inode_id in seen:
+                continue
+            seen.add(inode_id)
+            version = self._version_of(inode_id, txn)
+            if version is None:
+                continue
+            if version.kind == "file":
+                blocks.update(version.blocks)
+                continue
+            for name in self._names.get(inode_id, ()):
+                child = self._resolve_dentry(inode_id, name, txn)
+                if child is not None:
+                    stack.append(child)
+        return blocks
+
+    def unprotect_checkpoint(self, counter):
+        """Forget the snapshot binding of a pruned checkpoint."""
+        if counter not in self._checkpoint_map:
+            raise SnapshotError("no snapshot recorded for checkpoint %d" % counter)
+        del self._checkpoint_map[counter]
+
+    def protected_txns(self):
+        """The snapshot txns currently bound to checkpoints."""
+        return sorted(set(self._checkpoint_map.values()))
+
+    @property
+    def live_log_bytes(self):
+        """Log footprint after garbage collection."""
+        return self.log_bytes - self.reclaimed_bytes
+
+
+class SnapshotView:
+    """Read-only file system view at a fixed transaction.
+
+    Provides the read API only — "standard snapshotting file systems only
+    provide read-only snapshots" (section 5.2); writability comes from
+    stacking a union mount on top.
+    """
+
+    def __init__(self, fs, txn):
+        self._fs = fs
+        self.txn = txn
+
+    def read_file(self, path):
+        return self._fs.read_file(path, txn=self.txn)
+
+    def stat(self, path):
+        return self._fs.stat(path, txn=self.txn)
+
+    def exists(self, path):
+        return self._fs.exists(path, txn=self.txn)
+
+    def is_dir(self, path):
+        return self._fs.is_dir(path, txn=self.txn)
+
+    def listdir(self, path, include_hidden=False):
+        return self._fs.listdir(path, txn=self.txn, include_hidden=include_hidden)
+
+    def walk_files(self, path="/"):
+        return self._fs.walk_files(path, txn=self.txn)

@@ -1,0 +1,310 @@
+"""Union mounts: writable layer stacked on a read-only snapshot.
+
+Section 5.2: "DejaView leverages unioning file systems to join the
+read-only snapshot with a writable file system by stacking the latter on top
+of the former ... file system objects from the writable layer are always
+visible, while objects from the read-only layer are only visible if no
+corresponding object exists in the other layer."
+
+Semantics implemented here (matching UnionFS):
+
+* lookup order: upper layer first, then whiteout check, then lower layer;
+* modifying an object that exists only in the lower layer *copies it up*
+  to the upper layer first (charged per byte — the paper notes desktop
+  applications rarely modify large files in place, mostly rewriting them
+  wholesale, which skips the copy);
+* deletion of a lower-layer object creates a *whiteout* marker in the
+  upper layer.
+"""
+
+from repro.common.clock import VirtualClock
+from repro.common.costs import DEFAULT_COSTS
+from repro.common.errors import FileSystemError
+from repro.fs.lfs import WHITEOUT_PREFIX, LogStructuredFS
+from repro.fs.vfs import join_path, normalize_path, path_components, split_path
+
+
+def _whiteout_path(path):
+    parent, name = split_path(path)
+    return join_path(parent, WHITEOUT_PREFIX + name)
+
+
+class UnionMount:
+    """A read-write union of a read-only lower view and a writable upper.
+
+    ``lower`` is any object with the read API (usually a
+    :class:`~repro.fs.lfs.SnapshotView`); ``upper`` is a writable
+    :class:`~repro.fs.lfs.LogStructuredFS` (defaults to a fresh one, which
+    keeps revived sessions snapshotable — section 5.2).
+    """
+
+    def __init__(self, lower, upper=None, clock=None, costs=DEFAULT_COSTS):
+        self.lower = lower
+        self.clock = clock if clock is not None else VirtualClock()
+        self.costs = costs
+        self.upper = upper if upper is not None else LogStructuredFS(
+            clock=self.clock, costs=costs
+        )
+        self.copy_up_count = 0
+        self.copy_up_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Visibility helpers
+
+    def _whiteout_present(self, path):
+        """Is the path (or any ancestor) whited out in the upper layer?"""
+        current = "/"
+        for name in path_components(path):
+            child = join_path(current, name)
+            if self.upper.exists(_whiteout_path(child)):
+                return True
+            current = child
+        return False
+
+    def _in_upper(self, path):
+        return self.upper.exists(path)
+
+    def _in_lower(self, path):
+        return not self._whiteout_present(path) and self.lower.exists(path)
+
+    def exists(self, path):
+        path = normalize_path(path)
+        return self._in_upper(path) or self._in_lower(path)
+
+    def is_dir(self, path):
+        path = normalize_path(path)
+        if self._in_upper(path):
+            return self.upper.is_dir(path)
+        if self._in_lower(path):
+            return self.lower.is_dir(path)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Read API
+
+    def read_file(self, path):
+        path = normalize_path(path)
+        if self._in_upper(path):
+            return self.upper.read_file(path)
+        if self._in_lower(path):
+            return self.lower.read_file(path)
+        raise FileSystemError("no such file or directory: %s" % path)
+
+    def stat(self, path):
+        path = normalize_path(path)
+        if self._in_upper(path):
+            return self.upper.stat(path)
+        if self._in_lower(path):
+            return self.lower.stat(path)
+        raise FileSystemError("no such file or directory: %s" % path)
+
+    def listdir(self, path):
+        path = normalize_path(path)
+        if not self.exists(path):
+            raise FileSystemError("no such file or directory: %s" % path)
+        names = set()
+        if self._in_upper(path) and self.upper.is_dir(path):
+            names.update(self.upper.listdir(path))
+        if self._in_lower(path) and self.lower.is_dir(path):
+            for name in self.lower.listdir(path):
+                child = join_path(path, name)
+                if not self.upper.exists(_whiteout_path(child)):
+                    names.add(name)
+        return sorted(names)
+
+    def walk_files(self, path="/"):
+        stack = [normalize_path(path)]
+        while stack:
+            current = stack.pop()
+            for name in self.listdir(current):
+                child = join_path(current, name)
+                if self.is_dir(child):
+                    stack.append(child)
+                else:
+                    yield child
+
+    # ------------------------------------------------------------------ #
+    # Write API
+
+    def _ensure_upper_dirs(self, path):
+        """Materialize the parent chain of ``path`` in the upper layer."""
+        parent, _name = split_path(path)
+        current = "/"
+        for name in path_components(parent):
+            child = join_path(current, name)
+            if not self.upper.exists(child):
+                if not self._in_lower(child) or not self.lower.is_dir(child):
+                    raise FileSystemError("no such directory: %s" % child)
+                self.upper.mkdir(child)
+            current = child
+
+    def _copy_up(self, path):
+        """Copy a lower-layer file into the upper layer (section 5.2)."""
+        data = self.lower.read_file(path)
+        self._ensure_upper_dirs(path)
+        self.upper.create(path, data)
+        self.copy_up_count += 1
+        self.copy_up_bytes += len(data)
+        self.clock.advance_us(len(data) * self.costs.fs_copy_up_us_per_byte)
+
+    def _clear_whiteout(self, path):
+        wh = _whiteout_path(path)
+        if self.upper.exists(wh):
+            self.upper.unlink(wh)
+
+    def write_file(self, path, data, append=False):
+        path = normalize_path(path)
+        if not self._in_upper(path) and self._in_lower(path):
+            if append:
+                # Appending modifies existing content: copy-up required.
+                self._copy_up(path)
+            else:
+                # Whole-file rewrite: no need to copy old contents
+                # ("they overwrite files completely, which obviates the
+                # need to copy the file between the layers").
+                self._ensure_upper_dirs(path)
+        else:
+            self._ensure_upper_dirs(path)
+        self._clear_whiteout(path)
+        return self.upper.write_file(path, data, append=append)
+
+    def write_at(self, path, offset, data):
+        path = normalize_path(path)
+        if not self._in_upper(path):
+            if self._in_lower(path):
+                self._copy_up(path)
+            else:
+                raise FileSystemError("no such file or directory: %s" % path)
+        return self.upper.write_at(path, offset, data)
+
+    def mkdir(self, path):
+        path = normalize_path(path)
+        if self.exists(path):
+            raise FileSystemError("path already exists: %s" % path)
+        self._ensure_upper_dirs(path)
+        self._clear_whiteout(path)
+        return self.upper.mkdir(path)
+
+    def makedirs(self, path):
+        path = normalize_path(path)
+        current = "/"
+        for name in path_components(path):
+            child = join_path(current, name)
+            if not self.exists(child):
+                self.mkdir(child)
+            current = child
+
+    def unlink(self, path):
+        path = normalize_path(path)
+        existed_lower = self._in_lower(path)
+        existed_upper = self._in_upper(path)
+        if not existed_lower and not existed_upper:
+            raise FileSystemError("no such file or directory: %s" % path)
+        if existed_upper:
+            self.upper.unlink(path)
+        if existed_lower:
+            # Hide the lower object behind a whiteout marker.
+            self._ensure_upper_dirs(path)
+            wh = _whiteout_path(path)
+            if not self.upper.exists(wh):
+                self.upper.create(wh)
+
+    def rename(self, src, dst):
+        data = self.read_file(src)
+        self.write_file(dst, data)
+        self.unlink(src)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def upper_fs(self):
+        """The writable layer (itself snapshotable, enabling re-recording
+        of revived sessions — section 5.2)."""
+        return self.upper
+
+
+class ReadOnlyUnionView:
+    """A read-only union of stacked read-only layers (top first).
+
+    Used when a *revived* session is itself checkpointed and revived: the
+    second-generation revive's lower layer is the union of the first
+    revive's upper-layer snapshot stacked on the original snapshot.
+    Whiteouts in upper layers hide lower-layer objects, exactly as in the
+    writable union.
+    """
+
+    def __init__(self, layers):
+        if not layers:
+            raise FileSystemError("a union view needs at least one layer")
+        self.layers = list(layers)
+
+    def _covering_layer(self, path):
+        """The topmost layer where ``path`` is visible, or None."""
+        path = normalize_path(path)
+        for layer in self.layers:
+            if self._whiteout_in(layer, path):
+                return None
+            if layer.exists(path):
+                return layer
+        return None
+
+    @staticmethod
+    def _whiteout_in(layer, path):
+        current = "/"
+        for name in path_components(path):
+            child = join_path(current, name)
+            if layer.exists(_whiteout_path(child)):
+                return True
+            current = child
+        return False
+
+    def exists(self, path):
+        return self._covering_layer(path) is not None
+
+    def is_dir(self, path):
+        layer = self._covering_layer(path)
+        return layer.is_dir(path) if layer is not None else False
+
+    def read_file(self, path):
+        layer = self._covering_layer(path)
+        if layer is None:
+            raise FileSystemError("no such file or directory: %s" % path)
+        return layer.read_file(path)
+
+    def stat(self, path):
+        layer = self._covering_layer(path)
+        if layer is None:
+            raise FileSystemError("no such file or directory: %s" % path)
+        return layer.stat(path)
+
+    def listdir(self, path):
+        path = normalize_path(path)
+        if not self.exists(path):
+            raise FileSystemError("no such file or directory: %s" % path)
+        names = set()
+        for depth, layer in enumerate(self.layers):
+            if not (layer.exists(path) and layer.is_dir(path)):
+                continue
+            for name in layer.listdir(path):
+                if name.startswith(WHITEOUT_PREFIX):
+                    continue
+                child = join_path(path, name)
+                # Hidden if any layer above carries a whiteout for it.
+                hidden = any(
+                    upper.exists(_whiteout_path(child))
+                    for upper in self.layers[:depth]
+                )
+                if not hidden:
+                    names.add(name)
+        return sorted(names)
+
+    def walk_files(self, path="/"):
+        stack = [normalize_path(path)]
+        while stack:
+            current = stack.pop()
+            for name in self.listdir(current):
+                child = join_path(current, name)
+                if self.is_dir(child):
+                    stack.append(child)
+                else:
+                    yield child

@@ -1,0 +1,69 @@
+"""Shared path handling for the simulated file systems.
+
+All paths are absolute, ``/``-separated, and normalized before use.  The
+helpers here are deliberately strict: relative paths and ``..`` traversal
+are rejected rather than resolved, because nothing in the DejaView stack
+needs them and rejecting them keeps union-mount lookups unambiguous.
+"""
+
+from repro.common.errors import FileSystemError
+
+
+def normalize_path(path):
+    """Normalize an absolute path (collapse slashes, strip trailing slash).
+
+    >>> normalize_path('//a///b/')
+    '/a/b'
+    """
+    if not isinstance(path, str) or not path.startswith("/"):
+        raise FileSystemError("paths must be absolute strings: %r" % (path,))
+    parts = [part for part in path.split("/") if part]
+    for part in parts:
+        if part == "..":
+            raise FileSystemError("'..' traversal is not supported: %r" % path)
+        if part == ".":
+            raise FileSystemError("'.' segments are not supported: %r" % path)
+    return "/" + "/".join(parts)
+
+
+def split_path(path):
+    """Split a normalized path into ``(parent_path, basename)``.
+
+    >>> split_path('/a/b/c')
+    ('/a/b', 'c')
+    >>> split_path('/a')
+    ('/', 'a')
+    """
+    path = normalize_path(path)
+    if path == "/":
+        raise FileSystemError("the root has no parent")
+    parent, _, name = path.rpartition("/")
+    return (parent or "/", name)
+
+
+def join_path(parent, name):
+    """Join a parent path and a basename.
+
+    >>> join_path('/', 'a')
+    '/a'
+    >>> join_path('/a', 'b')
+    '/a/b'
+    """
+    if "/" in name:
+        raise FileSystemError("basename may not contain '/': %r" % name)
+    parent = normalize_path(parent)
+    if parent == "/":
+        return "/" + name
+    return parent + "/" + name
+
+
+def path_components(path):
+    """The list of components of a normalized path (root -> leaf).
+
+    >>> path_components('/a/b')
+    ['a', 'b']
+    """
+    path = normalize_path(path)
+    if path == "/":
+        return []
+    return path[1:].split("/")

@@ -1,0 +1,52 @@
+"""Temporal full-text index and search (paper sections 4.2 and 4.4).
+
+The paper indexes "the full state of the desktop's text over time" in a
+PostgreSQL + Tsearch2 database, so that *temporal relationships* between
+pieces of text become queryable ("the time when she started reading a paper
+while a particular web page was open").  This package implements those
+semantics directly:
+
+* :mod:`repro.index.tokenizer` -- text normalization and tokenization.
+* :mod:`repro.index.intervals` -- time-interval algebra (union, intersect,
+  subtract) used to evaluate temporal queries.
+* :mod:`repro.index.database` -- the temporal text database: occurrences
+  of text with context (app, window, focus, properties) and visibility
+  intervals, plus the inverted term index.
+* :mod:`repro.index.query` -- the query model: keyword clauses with
+  per-clause context constraints, combinable across applications, plus
+  time ranges, focus filters and annotation filters.
+* :mod:`repro.index.search` -- the search frontend: evaluates queries,
+  ranks results (chronological / persistence / frequency), renders result
+  screenshots through the playback engine with LRU caching, and folds
+  contiguous hits into substreams with first-last screenshots.
+"""
+
+from repro.index.database import Occurrence, TemporalTextDatabase
+from repro.index.intervals import (
+    clamp_intervals,
+    intersect_many,
+    intersect_two,
+    subtract,
+    total_duration,
+    union,
+)
+from repro.index.query import Clause, Query
+from repro.index.search import SearchEngine, SearchResult, Substream
+from repro.index.tokenizer import tokenize
+
+__all__ = [
+    "tokenize",
+    "union",
+    "intersect_two",
+    "intersect_many",
+    "subtract",
+    "clamp_intervals",
+    "total_duration",
+    "TemporalTextDatabase",
+    "Occurrence",
+    "Query",
+    "Clause",
+    "SearchEngine",
+    "SearchResult",
+    "Substream",
+]

@@ -1,0 +1,161 @@
+"""Temporal text database.
+
+Stores *occurrences*: a run of text visible on screen from ``start_us``
+until ``end_us`` (open while still visible), with the contextual
+information the accessibility layer provides — "the name and type of the
+application that generated the text, window focus, and special properties
+about the text (e.g. if it is a menu item or an HTML link)" (section 4.2).
+
+"By indexing the full state of the desktop's text over time, DejaView is
+able to access the temporal relationships and state transitions of all
+displayed text as database queries" — occurrences capture exactly those
+state transitions: a node's text change closes one occurrence and opens the
+next.
+
+An inverted index maps each token to the occurrences containing it; query
+evaluation in :mod:`repro.index.search` converts postings to visibility
+intervals and applies interval algebra.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.costs import DEFAULT_COSTS
+from repro.common.errors import IndexError_
+from repro.index.tokenizer import tokenize
+
+
+@dataclass
+class Occurrence:
+    """One visibility span of a piece of on-screen text."""
+
+    occ_id: int
+    node_id: int
+    app: str
+    window: str
+    text: str
+    tokens: frozenset
+    focused: bool
+    properties: dict
+    start_us: int
+    end_us: int = None  # None while the text is still on screen
+
+    def interval(self, now_us):
+        """The occurrence's visibility interval, closing open ones at
+        ``now_us`` (text still visible counts up to the present)."""
+        end = self.end_us if self.end_us is not None else now_us
+        return (self.start_us, max(end, self.start_us + 1))
+
+    @property
+    def is_annotation(self):
+        return bool(self.properties.get("annotation"))
+
+
+class TemporalTextDatabase:
+    """Occurrences + inverted token index."""
+
+    def __init__(self, clock, costs=DEFAULT_COSTS):
+        self.clock = clock
+        self.costs = costs
+        self._occurrences = {}  # occ id -> Occurrence
+        self._next_occ_id = 1
+        self._open_by_node = {}  # node id -> occ id
+        self._postings = {}  # token -> [occ ids]
+        self.insert_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Ingest (called by the indexing daemon)
+
+    def open_occurrence(self, node_id, text, app, window="", focused=False,
+                        properties=None):
+        """Record that ``text`` became visible on ``node_id`` now.
+
+        Any occurrence currently open for the node is closed first (a text
+        *change* is a state transition: old text disappears, new appears).
+        Returns the new occurrence, or None for token-free text.
+        """
+        self.close_occurrence(node_id)
+        tokens = frozenset(tokenize(text))
+        if not tokens:
+            return None
+        occ = Occurrence(
+            occ_id=self._next_occ_id,
+            node_id=node_id,
+            app=app,
+            window=window,
+            text=text,
+            tokens=tokens,
+            focused=focused,
+            properties=dict(properties or {}),
+            start_us=self.clock.now_us,
+        )
+        self._next_occ_id += 1
+        self._occurrences[occ.occ_id] = occ
+        self._open_by_node[node_id] = occ.occ_id
+        for token in tokens:
+            self._postings.setdefault(token, []).append(occ.occ_id)
+        self.insert_count += 1
+        self.clock.advance_us(len(tokens) * self.costs.index_token_us)
+        return occ
+
+    def close_occurrence(self, node_id):
+        """Record that the node's text left the screen now."""
+        occ_id = self._open_by_node.pop(node_id, None)
+        if occ_id is None:
+            return None
+        occ = self._occurrences[occ_id]
+        occ.end_us = self.clock.now_us
+        self.clock.advance_us(len(occ.tokens) * self.costs.index_token_us)
+        return occ
+
+    def annotate_node(self, node_id, annotation_text=None):
+        """Mark the node's current occurrence with the annotation
+        attribute (section 4.4's explicit annotation mechanism)."""
+        occ_id = self._open_by_node.get(node_id)
+        if occ_id is None:
+            raise IndexError_("no visible text on node %d to annotate" % node_id)
+        occ = self._occurrences[occ_id]
+        occ.properties["annotation"] = True
+        if annotation_text:
+            occ.properties["annotation_text"] = annotation_text
+        return occ
+
+    # ------------------------------------------------------------------ #
+    # Lookup (called by the search engine)
+
+    def postings_for(self, token):
+        """Occurrences containing ``token`` (charged per posting)."""
+        self.clock.advance_us(self.costs.index_query_term_us)
+        occ_ids = self._postings.get(token, ())
+        self.clock.advance_us(len(occ_ids) * self.costs.index_posting_us)
+        return [self._occurrences[occ_id] for occ_id in occ_ids]
+
+    def occurrence(self, occ_id):
+        return self._occurrences[occ_id]
+
+    def occurrences_for_node(self, node_id):
+        return [o for o in self._occurrences.values() if o.node_id == node_id]
+
+    def open_occurrences(self):
+        return [self._occurrences[i] for i in self._open_by_node.values()]
+
+    def all_occurrences(self):
+        return list(self._occurrences.values())
+
+    def vocabulary(self):
+        """All distinct indexed tokens."""
+        return sorted(self._postings)
+
+    def approximate_bytes(self):
+        """Approximate on-disk size of the index (storage accounting for
+        the Figure 4 experiment): row overhead per occurrence plus text,
+        plus one posting entry per (token, occurrence) pair."""
+        row_overhead = 48
+        posting_entry = 12
+        total = 0
+        for occ in self._occurrences.values():
+            total += row_overhead + len(occ.text.encode("utf-8"))
+            total += posting_entry * len(occ.tokens)
+        return total
+
+    def __len__(self):
+        return len(self._occurrences)

@@ -1,0 +1,103 @@
+"""Time-interval algebra.
+
+Temporal queries reduce to set operations over visibility intervals: a term
+is "satisfied" during the union of its occurrences' intervals; an AND of
+terms during the intersection; a NOT subtracts.  Intervals are half-open
+``(start_us, end_us)`` tuples with ``start < end``; functions return
+normalized (sorted, disjoint, non-empty) lists.
+"""
+
+
+def normalize(intervals):
+    """Sort and merge overlapping/adjacent intervals; drop empties."""
+    cleaned = [(s, e) for s, e in intervals if e > s]
+    if not cleaned:
+        return []
+    cleaned.sort()
+    merged = [cleaned[0]]
+    for start, end in cleaned[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def union(*interval_lists):
+    """Union of any number of interval lists."""
+    combined = []
+    for intervals in interval_lists:
+        combined.extend(intervals)
+    return normalize(combined)
+
+
+def intersect_two(a, b):
+    """Intersection of two normalized interval lists (merge scan)."""
+    out = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        start = max(a[i][0], b[j][0])
+        end = min(a[i][1], b[j][1])
+        if start < end:
+            out.append((start, end))
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def intersect_many(interval_lists):
+    """Intersection of a non-empty sequence of interval lists."""
+    interval_lists = list(interval_lists)
+    if not interval_lists:
+        return []
+    result = normalize(interval_lists[0])
+    for intervals in interval_lists[1:]:
+        result = intersect_two(result, normalize(intervals))
+        if not result:
+            break
+    return result
+
+
+def subtract(a, b):
+    """Intervals of ``a`` not covered by ``b`` (both normalized)."""
+    a = normalize(a)
+    b = normalize(b)
+    out = []
+    j = 0
+    for start, end in a:
+        cursor = start
+        while j < len(b) and b[j][1] <= cursor:
+            j += 1
+        k = j
+        while k < len(b) and b[k][0] < end:
+            b_start, b_end = b[k]
+            if b_start > cursor:
+                out.append((cursor, b_start))
+            cursor = max(cursor, b_end)
+            if cursor >= end:
+                break
+            k += 1
+        if cursor < end:
+            out.append((cursor, end))
+    return normalize(out)
+
+
+def clamp_intervals(intervals, start_us, end_us):
+    """Restrict intervals to the window [start_us, end_us)."""
+    return intersect_two(normalize(intervals), [(start_us, end_us)])
+
+
+def total_duration(intervals):
+    """Summed length of a normalized interval list."""
+    return sum(end - start for start, end in normalize(intervals))
+
+
+def contains_point(intervals, point):
+    """Is ``point`` inside any interval?"""
+    for start, end in intervals:
+        if start <= point < end:
+            return True
+    return False

@@ -1,0 +1,250 @@
+"""Search frontend (paper section 4.4).
+
+Evaluation pipeline:
+
+1. each clause's positive terms are resolved to occurrence postings,
+   filtered by the clause's context constraints, and converted to
+   visibility intervals (union per term across occurrences, intersection
+   across ``all_of`` terms, union across ``any_of`` terms, subtraction of
+   ``none_of``);
+2. clause intervals are intersected across the query's clauses and clamped
+   to the query's time range;
+3. each maximal satisfied interval becomes a :class:`Substream` ("when the
+   query is satisfied over a contiguous period of time, the result is
+   displayed in the form of a first-last screenshot"); representative
+   results are ranked by the requested criterion;
+4. screenshots are rendered offscreen through the playback engine — "the
+   operation is very similar to the visual playback ... with the
+   difference being that it is done completely offscreen" — with the
+   engine's LRU keyframe cache providing the section 4.4 speedup.
+"""
+
+from dataclasses import dataclass
+
+from repro.index.intervals import (
+    clamp_intervals,
+    intersect_many,
+    normalize,
+    subtract,
+    union,
+)
+
+ORDER_CHRONOLOGICAL = "time"
+ORDER_PERSISTENCE = "persistence"
+ORDER_FREQUENCY = "frequency"
+
+
+@dataclass
+class Substream:
+    """A maximal contiguous period during which the query was satisfied.
+
+    Substreams "behave like a typical recording, where all the PVR
+    functionality is available, but restricted to that portion of time."
+    """
+
+    start_us: int
+    end_us: int
+    first_screenshot: object = None
+    last_screenshot: object = None
+
+    @property
+    def duration_us(self):
+        return self.end_us - self.start_us
+
+
+@dataclass
+class SearchResult:
+    """One result: a moment in the record plus its presentation."""
+
+    timestamp_us: int
+    substream: Substream
+    snippet: str
+    score: float
+    screenshot: object = None
+
+
+class SearchEngine:
+    """Evaluates queries against the temporal database and renders
+    results through the playback engine."""
+
+    def __init__(self, database, playback=None, clock=None):
+        self.database = database
+        self.playback = playback
+        self.clock = clock if clock is not None else database.clock
+
+    # ------------------------------------------------------------------ #
+    # Interval evaluation
+
+    def _term_intervals(self, token, clause, now_us):
+        intervals = []
+        for occ in self.database.postings_for(token):
+            if clause.matches_context(occ):
+                intervals.append(occ.interval(now_us))
+        return normalize(intervals)
+
+    def _clause_intervals(self, clause, now_us):
+        parts = []
+        if clause.all_of:
+            parts.extend(
+                self._term_intervals(token, clause, now_us)
+                for token in clause.all_of
+            )
+        if clause.any_of:
+            parts.append(
+                union(
+                    *(
+                        self._term_intervals(token, clause, now_us)
+                        for token in clause.any_of
+                    )
+                )
+            )
+        if not parts and clause.annotations_only:
+            # Pure annotation clause: all annotated occurrences in context.
+            intervals = [
+                occ.interval(now_us)
+                for occ in self.database.all_occurrences()
+                if occ.is_annotation and clause.matches_context(occ)
+            ]
+            parts.append(normalize(intervals))
+        satisfied = intersect_many(parts) if parts else []
+        if clause.none_of:
+            banned = union(
+                *(
+                    self._term_intervals(token, clause, now_us)
+                    for token in clause.none_of
+                )
+            )
+            satisfied = subtract(satisfied, banned)
+        return satisfied
+
+    def satisfied_intervals(self, query, now_us=None):
+        """All time intervals during which the query is satisfied."""
+        now_us = now_us if now_us is not None else self.clock.now_us
+        intervals = intersect_many(
+            self._clause_intervals(clause, now_us) for clause in query.clauses
+        )
+        start = query.start_us if query.start_us is not None else 0
+        end = query.end_us if query.end_us is not None else now_us
+        return clamp_intervals(intervals, start, end)
+
+    # ------------------------------------------------------------------ #
+    # Result construction
+
+    def search(self, query, order_by=ORDER_CHRONOLOGICAL, limit=None,
+               render=True, now_us=None):
+        """Run a query; returns ranked :class:`SearchResult` objects."""
+        now_us = now_us if now_us is not None else self.clock.now_us
+        intervals = self.satisfied_intervals(query, now_us)
+        results = []
+        for start, end in intervals:
+            substream = Substream(start, end)
+            snippet = self._snippet_for(query, start, end)
+            results.append(
+                SearchResult(
+                    timestamp_us=start,
+                    substream=substream,
+                    snippet=snippet,
+                    score=self._score(query, start, end, order_by, now_us),
+                )
+            )
+        results.sort(key=self._sort_key(order_by))
+        if limit is not None:
+            results = results[:limit]
+        if render and self.playback is not None:
+            for result in results:
+                self._render(result)
+        return results
+
+    def _sort_key(self, order_by):
+        if order_by == ORDER_CHRONOLOGICAL:
+            return lambda r: r.timestamp_us
+        # Higher score first for the ranked orders.
+        return lambda r: (-r.score, r.timestamp_us)
+
+    def _score(self, query, start, end, order_by, now_us):
+        if order_by == ORDER_PERSISTENCE:
+            # "a user could be ... more interested in the records where the
+            # text appeared only briefly": shorter visibility scores higher.
+            return 1.0 / max(end - start, 1)
+        if order_by == ORDER_FREQUENCY:
+            count = 0
+            for clause in query.clauses:
+                for token in clause.all_of + clause.any_of:
+                    for occ in self.database.postings_for(token):
+                        occ_start, occ_end = occ.interval(now_us)
+                        if occ_start < end and occ_end > start:
+                            count += 1
+            return float(count)
+        return float(-start)
+
+    def _snippet_for(self, query, start, end):
+        """A short text snippet from an occurrence active in the window."""
+        for clause in query.clauses:
+            positives = clause.all_of + clause.any_of
+            for token in positives:
+                for occ in self.database.postings_for(token):
+                    occ_end = occ.end_us if occ.end_us is not None else end
+                    if occ.start_us < end and occ_end > start:
+                        text = occ.text.strip()
+                        return text[:160] + ("..." if len(text) > 160 else "")
+            if clause.annotations_only and not positives:
+                # Pure annotation clause: snippet from the annotated text.
+                for occ in self.database.all_occurrences():
+                    occ_end = occ.end_us if occ.end_us is not None else end
+                    if (occ.is_annotation and occ.start_us < end
+                            and occ_end > start
+                            and clause.matches_context(occ)):
+                        text = occ.properties.get("annotation_text",
+                                                  occ.text).strip()
+                        return text[:160] + ("..." if len(text) > 160 else "")
+        return ""
+
+    #: Render offset into a substream: text events and the display flush
+    #: that carries the matching pixels land within the same recording
+    #: tick, so the screenshot is taken slightly after the match starts.
+    RENDER_NUDGE_US = 500_000
+
+    def _render(self, result):
+        """Generate screenshots offscreen via the playback engine."""
+        substream = result.substream
+        start_point = min(
+            substream.start_us + self.RENDER_NUDGE_US, substream.end_us
+        )
+        playable_start = self._playable(start_point)
+        playable_end = self._playable(max(substream.end_us - 1, substream.start_us))
+        if playable_start is None:
+            return
+        fb, _stats = self.playback.seek(playable_start)
+        result.screenshot = fb
+        substream.first_screenshot = fb
+        if playable_end is not None and playable_end > playable_start:
+            last_fb, _stats = self.playback.seek(playable_end)
+            substream.last_screenshot = last_fb
+        else:
+            substream.last_screenshot = fb
+
+    def _playable(self, time_us):
+        """Clamp a query timestamp into the display record's range."""
+        timeline = self.playback.record.timeline
+        first = timeline.first_time_us
+        if first is None:
+            return None
+        if time_us < first:
+            return first
+        return min(time_us, self.playback.record.end_us)
+
+    def player_for(self, substream):
+        """PVR controls restricted to one search-result substream."""
+        from repro.display.playback import SubstreamPlayer
+
+        if self.playback is None:
+            raise ValueError("search engine has no playback attached")
+        start = self._playable(substream.start_us)
+        end = self._playable(substream.end_us)
+        return SubstreamPlayer(self.playback, start, end)
+
+    @property
+    def cache_stats(self):
+        if self.playback is None:
+            return {"hits": 0, "misses": 0}
+        return self.playback.cache_stats

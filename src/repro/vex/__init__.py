@@ -1,0 +1,53 @@
+"""Virtual execution environment (paper sections 3 and 5).
+
+DejaView builds on Zap: the user's desktop session runs inside a *container*
+— a private virtual namespace layered above the OS — so the whole session
+can be checkpointed and later revived even though the underlying OS
+resources change.  This package is the simulated kernel substrate those
+mechanisms run against:
+
+* :mod:`repro.vex.memory` -- paged virtual address spaces with protection
+  bits, write-fault interception, copy-on-write support and dirty-page
+  tracking (the foundation of incremental checkpointing, section 5.1.2).
+* :mod:`repro.vex.process` -- processes and threads with the full state
+  vector section 5.2 enumerates (registers, credentials, signals, open
+  files, scheduling parameters, ...).
+* :mod:`repro.vex.signals` -- signal numbers and delivery, including the
+  uninterruptible-sleep behaviour pre-quiescing works around.
+* :mod:`repro.vex.namespace` -- private virtual namespaces so concurrently
+  revived sessions can reuse the same resource names without conflict.
+* :mod:`repro.vex.sockets` -- TCP/UDP socket state and the revive-time
+  reset semantics of section 5.2.
+* :mod:`repro.vex.container` -- the virtual execution environment itself.
+* :mod:`repro.vex.kernel` -- the top-level simulated kernel that owns the
+  clock and the containers.
+"""
+
+from repro.vex.container import Container
+from repro.vex.kernel import Kernel
+from repro.vex.memory import AddressSpace, PageFault, SegmentationFault, VMRegion
+from repro.vex.namespace import Namespace
+from repro.vex.process import FileDescriptor, Process, ProcessState, Thread
+from repro.vex.signals import SIGCONT, SIGKILL, SIGSEGV, SIGSTOP, SIGUSR1
+from repro.vex.sockets import Socket, SocketState
+
+__all__ = [
+    "Kernel",
+    "Container",
+    "Namespace",
+    "Process",
+    "ProcessState",
+    "Thread",
+    "FileDescriptor",
+    "AddressSpace",
+    "VMRegion",
+    "PageFault",
+    "SegmentationFault",
+    "Socket",
+    "SocketState",
+    "SIGSTOP",
+    "SIGCONT",
+    "SIGKILL",
+    "SIGSEGV",
+    "SIGUSR1",
+]

@@ -1,0 +1,97 @@
+"""The virtual execution environment (container).
+
+A container encapsulates one user desktop session: its private namespace,
+its process forest, its file system mount and its network policy.  "This
+lightweight virtualization mechanism imposes low overhead as it operates
+above the OS instance to encapsulate only the user's desktop computing
+session, as opposed to an entire machine instance" (section 3).
+"""
+
+from repro.common.errors import ProcessError
+from repro.vex.namespace import Namespace
+from repro.vex.process import Process, ProcessState
+
+
+class Container:
+    """One virtual execution environment."""
+
+    def __init__(self, container_id, name, clock):
+        self.container_id = container_id
+        self.name = name
+        self.clock = clock
+        self.namespace = Namespace(container_id)
+        self.processes = []
+        #: Revived sessions start with network access disabled
+        #: (section 5.2); live sessions have it enabled.
+        self.network_enabled = True
+        #: Per-application network overrides: process name -> bool.
+        self.network_policy = {}
+        self.mount = None  # set by the desktop layer (a union/lfs view)
+        #: Callbacks invoked with each newly spawned process (the
+        #: checkpoint engine interposes on process creation — Zap-style
+        #: virtualization tracks every fork).
+        self.spawn_listeners = []
+
+    # ------------------------------------------------------------------ #
+    # Process management
+
+    def spawn(self, name, parent=None, vpid=None, uid=1000, gid=1000, nice=0):
+        """Create a process inside this container's namespace."""
+        if parent is not None and parent not in self.processes:
+            raise ProcessError("parent process is not in this container")
+        process = Process(vpid=0, name=name, parent=parent, uid=uid, gid=gid,
+                          nice=nice)
+        process.vpid = self.namespace.allocate_vpid(process, vpid)
+        if parent is not None:
+            parent.children.append(process)
+        self.processes.append(process)
+        for listener in self.spawn_listeners:
+            listener(process)
+        return process
+
+    def reap(self, process):
+        """Remove a zombie process from the container."""
+        if process.state is not ProcessState.ZOMBIE:
+            raise ProcessError("cannot reap a live process")
+        self.namespace.release_vpid(process.vpid)
+        self.processes.remove(process)
+        if process.parent is not None and process in process.parent.children:
+            process.parent.children.remove(process)
+
+    def live_processes(self):
+        return [p for p in self.processes if p.state is not ProcessState.ZOMBIE]
+
+    def process_by_vpid(self, vpid):
+        return self.namespace.lookup_vpid(vpid)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates used by the checkpoint engine
+
+    @property
+    def total_resident_pages(self):
+        return sum(p.address_space.resident_pages for p in self.live_processes())
+
+    @property
+    def total_dirty_pages(self):
+        return sum(
+            len(region.dirty)
+            for p in self.live_processes()
+            for region in p.address_space.regions()
+        )
+
+    def all_signalable(self, now_us):
+        """True when every live process can act on a stop signal now."""
+        return all(p.signalable(now_us) for p in self.live_processes())
+
+    def network_allowed_for(self, process_name):
+        """Effective network policy for an application (section 5.2)."""
+        if process_name in self.network_policy:
+            return self.network_policy[process_name]
+        return self.network_enabled
+
+    def __repr__(self):
+        return "Container(id=%d, name=%r, processes=%d)" % (
+            self.container_id,
+            self.name,
+            len(self.processes),
+        )

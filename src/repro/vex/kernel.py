@@ -1,0 +1,59 @@
+"""The simulated kernel.
+
+Owns the virtual clock, the cost model and the containers.  DejaView's
+checkpointer runs as "a privileged process outside of the user's virtual
+execution environment" (section 5.1.1); in this reproduction that role is
+played by the checkpoint engine, which holds a reference to the kernel and
+manipulates containers from the outside.
+"""
+
+from repro.common.clock import VirtualClock
+from repro.common.costs import DEFAULT_COSTS
+from repro.vex.container import Container
+from repro.vex.signals import SIGCONT, SIGSTOP
+
+
+class Kernel:
+    """Top-level simulated OS instance."""
+
+    def __init__(self, clock=None, costs=DEFAULT_COSTS):
+        self.clock = clock if clock is not None else VirtualClock()
+        self.costs = costs
+        self.containers = []
+        self._next_container_id = 1
+
+    def create_container(self, name):
+        container = Container(self._next_container_id, name, self.clock)
+        self._next_container_id += 1
+        self.containers.append(container)
+        return container
+
+    def destroy_container(self, container):
+        self.containers.remove(container)
+
+    # ------------------------------------------------------------------ #
+    # Signal plumbing used by the quiesce path
+
+    def signal_process(self, process, signum):
+        """Deliver a signal, charging its cost to the clock."""
+        self.clock.advance_us(self.costs.signal_deliver_us)
+        return process.deliver_signal(signum, self.clock.now_us)
+
+    def stop_all(self, container):
+        """SIGSTOP every live process; returns how many acted immediately."""
+        acted = 0
+        for process in container.live_processes():
+            if self.signal_process(process, SIGSTOP):
+                acted += 1
+        return acted
+
+    def continue_all(self, container):
+        for process in container.live_processes():
+            self.signal_process(process, SIGCONT)
+            # The freshly woken process may have queued signals from the
+            # quiesce window.
+            process.flush_pending_signals(self.clock.now_us)
+
+    def wait_until(self, deadline_us):
+        """Advance simulated time to a deadline (pre-quiesce waiting)."""
+        self.clock.advance_to_us(deadline_us)

@@ -1,0 +1,348 @@
+"""Paged virtual memory with protection, COW capture and dirty tracking.
+
+This module implements the memory substrate for the checkpoint optimizations
+of section 5.1.2:
+
+* Every process has an :class:`AddressSpace` of :class:`VMRegion` objects.
+* Page contents are real bytes, so checkpoints move (and account for) real
+  data, and revive correctness can be asserted bit-for-bit.
+* The checkpoint engine write-protects saved regions and marks the pages
+  with a **special flag**.  A write to a flagged page raises a fault that
+  the engine intercepts: it copies the original page (COW), clears the flag,
+  and lets the write proceed — all without the application noticing.  A
+  write fault on a page *not* carrying the flag is a genuine segmentation
+  violation and propagates.
+* Applications may call ``mmap``/``munmap``/``mprotect``/``mremap``
+  independently; the address space adjusts the incremental-checkpoint state
+  exactly as the paper describes (e.g. an application making a region
+  read-only clears the checkpoint flag so future faults reach the
+  application).
+"""
+
+from repro.common.costs import PAGE_SIZE
+from repro.common.errors import MemoryError_
+
+PROT_NONE = 0
+PROT_READ = 1
+PROT_WRITE = 2
+PROT_EXEC = 4
+
+
+class PageFault(Exception):
+    """Internal fault raised when a flagged (COW-marked) page is written.
+
+    Callers never see this: :meth:`AddressSpace.write` services it through
+    the registered fault handler and retries the access.
+    """
+
+    def __init__(self, region, page_index):
+        super().__init__("COW fault in %r page %d" % (region.name, page_index))
+        self.region = region
+        self.page_index = page_index
+
+
+class SegmentationFault(MemoryError_):
+    """A genuine access violation (unmapped address or protection breach)."""
+
+
+def _zero_page():
+    return bytes(PAGE_SIZE)
+
+
+class VMRegion:
+    """A contiguous run of pages with uniform protection.
+
+    ``start`` is a page-aligned virtual address; pages are stored sparsely
+    (unwritten pages read as zeros, as anonymous mappings do).
+    """
+
+    __slots__ = (
+        "start",
+        "npages",
+        "prot",
+        "name",
+        "pages",
+        "ckpt_flagged",
+        "dirty",
+    )
+
+    def __init__(self, start, npages, prot=PROT_READ | PROT_WRITE, name="anon"):
+        if start % PAGE_SIZE != 0:
+            raise MemoryError_("region start must be page-aligned")
+        if npages <= 0:
+            raise MemoryError_("region must span at least one page")
+        self.start = start
+        self.npages = npages
+        self.prot = prot
+        self.name = name
+        self.pages = {}  # page index -> bytes(PAGE_SIZE)
+        #: Pages write-protected by the checkpoint engine ("special flag").
+        self.ckpt_flagged = set()
+        #: Pages written since the flag set was last installed.
+        self.dirty = set()
+
+    @property
+    def end(self):
+        return self.start + self.npages * PAGE_SIZE
+
+    @property
+    def nbytes(self):
+        return self.npages * PAGE_SIZE
+
+    @property
+    def resident_pages(self):
+        """Pages that have ever been written (hold real content)."""
+        return len(self.pages)
+
+    def contains_addr(self, addr):
+        return self.start <= addr < self.end
+
+    def page_content(self, page_index):
+        """Content of one page (zeros if never written)."""
+        if not 0 <= page_index < self.npages:
+            raise MemoryError_(
+                "page %d outside region %r" % (page_index, self.name)
+            )
+        return self.pages.get(page_index, _zero_page())
+
+    def clone_for_checkpoint(self):
+        """Metadata-only copy used in checkpoint images."""
+        return {
+            "start": self.start,
+            "npages": self.npages,
+            "prot": self.prot,
+            "name": self.name,
+        }
+
+    def __repr__(self):
+        return "VMRegion(%s, start=%#x, npages=%d, prot=%d)" % (
+            self.name,
+            self.start,
+            self.npages,
+            self.prot,
+        )
+
+
+class AddressSpace:
+    """A process's virtual memory map."""
+
+    #: Where mmap starts handing out addresses.
+    MMAP_BASE = 0x1000_0000
+
+    def __init__(self):
+        self._regions = {}  # start -> VMRegion
+        self._next_addr = self.MMAP_BASE
+        self._fault_handler = None
+        #: Optional handler invoked on first touch of a non-resident page
+        #: (demand-paged revive, section 6's suggested improvement).
+        self._demand_handler = None
+        self.fault_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Region management (the intercepted syscalls)
+
+    def mmap(self, npages, prot=PROT_READ | PROT_WRITE, name="anon"):
+        """Map a fresh region; returns the region."""
+        start = self._next_addr
+        region = VMRegion(start, npages, prot, name)
+        self._regions[start] = region
+        self._next_addr = region.end + PAGE_SIZE  # guard gap
+        return region
+
+    def map_fixed(self, start, npages, prot=PROT_READ | PROT_WRITE, name="anon"):
+        """Map a region at an exact address (the revive path recreates the
+        checkpointed layout verbatim)."""
+        region = VMRegion(start, npages, prot, name)
+        for existing in self._regions.values():
+            if start < existing.end and region.end > existing.start:
+                raise MemoryError_(
+                    "fixed mapping overlaps %r" % (existing.name,)
+                )
+        self._regions[start] = region
+        self._next_addr = max(self._next_addr, region.end + PAGE_SIZE)
+        return region
+
+    def munmap(self, start):
+        """Unmap the region at ``start``.
+
+        The region simply disappears from the incremental state — the
+        engine's next checkpoint will no longer list it (section 5.1.2:
+        "if the application unmaps ... that region is removed").
+        """
+        region = self._regions.pop(start, None)
+        if region is None:
+            raise MemoryError_("munmap of unmapped address %#x" % start)
+        return region
+
+    def mprotect(self, start, prot):
+        """Change a region's protection.
+
+        Downgrading to read-only clears any checkpoint flags on the region
+        so that later faults propagate to the application instead of being
+        swallowed by the engine (section 5.1.2).
+        """
+        region = self._regions.get(start)
+        if region is None:
+            raise MemoryError_("mprotect of unmapped address %#x" % start)
+        region.prot = prot
+        if not prot & PROT_WRITE:
+            region.ckpt_flagged.clear()
+        return region
+
+    def mremap(self, start, new_npages):
+        """Grow or shrink a region in place.
+
+        Pages past the new end are discarded, along with their checkpoint
+        flags and dirty bits ("if it ... remaps a region, that region is
+        ... adjusted in the incremental state").
+        """
+        region = self._regions.get(start)
+        if region is None:
+            raise MemoryError_("mremap of unmapped address %#x" % start)
+        if new_npages <= 0:
+            raise MemoryError_("mremap to zero pages; use munmap")
+        if new_npages < region.npages:
+            for idx in list(region.pages):
+                if idx >= new_npages:
+                    del region.pages[idx]
+            region.ckpt_flagged = {i for i in region.ckpt_flagged if i < new_npages}
+            region.dirty = {i for i in region.dirty if i < new_npages}
+        region.npages = new_npages
+        return region
+
+    def regions(self):
+        """All regions, ordered by start address."""
+        return [self._regions[s] for s in sorted(self._regions)]
+
+    def find_region(self, addr):
+        for region in self._regions.values():
+            if region.contains_addr(addr):
+                return region
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Access path
+
+    def read(self, addr, nbytes):
+        """Read ``nbytes`` starting at ``addr`` (must stay in one region)."""
+        region = self.find_region(addr)
+        if region is None:
+            raise SegmentationFault("read of unmapped address %#x" % addr)
+        if not region.prot & PROT_READ:
+            raise SegmentationFault("read of PROT_NONE region %r" % region.name)
+        if addr + nbytes > region.end:
+            raise SegmentationFault("read crosses region end")
+        out = bytearray()
+        offset = addr - region.start
+        while nbytes > 0:
+            page_index, page_off = divmod(offset, PAGE_SIZE)
+            chunk = min(nbytes, PAGE_SIZE - page_off)
+            self._demand_fault(region, page_index)
+            page = region.page_content(page_index)
+            out += page[page_off : page_off + chunk]
+            offset += chunk
+            nbytes -= chunk
+        return bytes(out)
+
+    def write(self, addr, data):
+        """Write ``data`` at ``addr``, servicing COW faults transparently."""
+        region = self.find_region(addr)
+        if region is None:
+            raise SegmentationFault("write to unmapped address %#x" % addr)
+        if not region.prot & PROT_WRITE:
+            raise SegmentationFault(
+                "write to read-only region %r" % region.name
+            )
+        if addr + len(data) > region.end:
+            raise SegmentationFault("write crosses region end")
+        offset = addr - region.start
+        data = bytes(data)
+        pos = 0
+        while pos < len(data):
+            page_index, page_off = divmod(offset, PAGE_SIZE)
+            chunk = min(len(data) - pos, PAGE_SIZE - page_off)
+            self._touch_page(region, page_index)
+            page = bytearray(region.pages.get(page_index, _zero_page()))
+            page[page_off : page_off + chunk] = data[pos : pos + chunk]
+            region.pages[page_index] = bytes(page)
+            offset += chunk
+            pos += chunk
+        return len(data)
+
+    def write_page(self, region, page_index, content):
+        """Replace one whole page (the workload generators' fast path)."""
+        if len(content) != PAGE_SIZE:
+            raise MemoryError_("write_page requires exactly one page of data")
+        self._touch_page(region, page_index)
+        region.pages[page_index] = bytes(content)
+
+    def _demand_fault(self, region, page_index):
+        """First touch of a non-resident page under demand paging."""
+        if self._demand_handler is not None and page_index not in region.pages:
+            self._demand_handler(region, page_index)
+
+    def set_demand_handler(self, handler):
+        """Install (or clear) the demand-paging handler."""
+        self._demand_handler = handler
+
+    def _touch_page(self, region, page_index):
+        """Dirty bookkeeping + COW fault interception for one page write."""
+        self._demand_fault(region, page_index)
+        if page_index in region.ckpt_flagged:
+            # The engine's special flag is present: deliver the fault to the
+            # registered handler, which copies the page and clears the flag.
+            self.fault_count += 1
+            if self._fault_handler is None:
+                raise PageFault(region, page_index)
+            self._fault_handler(region, page_index)
+            region.ckpt_flagged.discard(page_index)
+        region.dirty.add(page_index)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint support
+
+    def set_fault_handler(self, handler):
+        """Install the engine's COW fault handler (or None to remove)."""
+        self._fault_handler = handler
+
+    def protect_resident_pages(self):
+        """Write-protect every resident page of every writable region and
+        mark it with the checkpoint flag.  Returns the number of pages
+        flagged (the cost driver for Figure 3's capture phase)."""
+        flagged = 0
+        for region in self._regions.values():
+            if not region.prot & PROT_WRITE:
+                continue
+            for page_index in region.pages:
+                region.ckpt_flagged.add(page_index)
+                flagged += 1
+        return flagged
+
+    def clear_checkpoint_flags(self):
+        for region in self._regions.values():
+            region.ckpt_flagged.clear()
+
+    def clear_dirty(self):
+        """Reset dirty-page bookkeeping (after a checkpoint captures it)."""
+        for region in self._regions.values():
+            region.dirty.clear()
+
+    def dirty_pages(self):
+        """``[(region, page_index), ...]`` written since the last clear."""
+        out = []
+        for region in self.regions():
+            for page_index in sorted(region.dirty):
+                out.append((region, page_index))
+        return out
+
+    @property
+    def resident_pages(self):
+        return sum(region.resident_pages for region in self._regions.values())
+
+    @property
+    def resident_bytes(self):
+        return self.resident_pages * PAGE_SIZE
+
+    @property
+    def mapped_bytes(self):
+        return sum(region.nbytes for region in self._regions.values())

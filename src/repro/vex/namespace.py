@@ -1,0 +1,89 @@
+"""Private virtual namespaces.
+
+"By providing a virtual namespace, revived sessions can use the same OS
+resource names as used before being checkpointed, even if they are mapped to
+different underlying OS resources upon revival.  By providing a private
+namespace, revived sessions from different points in time can run
+concurrently and use the same OS resource names inside their respective
+namespaces, yet not conflict among each other" (section 3).
+
+A :class:`Namespace` therefore maps *virtual* identifiers (vpids, IPC keys,
+display names) to the kernel's underlying objects.  Each container owns one.
+"""
+
+from repro.common.errors import NamespaceError
+
+
+class Namespace:
+    """Virtual pid + named-resource tables for one container."""
+
+    def __init__(self, namespace_id):
+        self.namespace_id = namespace_id
+        self._vpids = {}  # vpid -> Process
+        self._next_vpid = 1
+        self._resources = {}  # (kind, name) -> object
+
+    # ------------------------------------------------------------------ #
+    # Virtual pids
+
+    def allocate_vpid(self, process, vpid=None):
+        """Bind a process to a vpid.
+
+        When reviving, the original vpids are reinstated explicitly
+        (``vpid=...``); live sessions allocate sequentially.
+        """
+        if vpid is None:
+            vpid = self._next_vpid
+            while vpid in self._vpids:
+                vpid += 1
+        if vpid in self._vpids:
+            raise NamespaceError(
+                "vpid %d already in use in namespace %d"
+                % (vpid, self.namespace_id)
+            )
+        self._vpids[vpid] = process
+        self._next_vpid = max(self._next_vpid, vpid + 1)
+        return vpid
+
+    def release_vpid(self, vpid):
+        if vpid not in self._vpids:
+            raise NamespaceError("vpid %d not present" % vpid)
+        del self._vpids[vpid]
+
+    def lookup_vpid(self, vpid):
+        process = self._vpids.get(vpid)
+        if process is None:
+            raise NamespaceError(
+                "vpid %d not found in namespace %d" % (vpid, self.namespace_id)
+            )
+        return process
+
+    def vpids(self):
+        return sorted(self._vpids)
+
+    # ------------------------------------------------------------------ #
+    # Named resources (IPC keys, display sockets, ...)
+
+    def bind(self, kind, name, obj):
+        key = (kind, name)
+        if key in self._resources:
+            raise NamespaceError("%s %r already bound" % (kind, name))
+        self._resources[key] = obj
+
+    def resolve(self, kind, name):
+        key = (kind, name)
+        if key not in self._resources:
+            raise NamespaceError("%s %r not bound" % (kind, name))
+        return self._resources[key]
+
+    def unbind(self, kind, name):
+        key = (kind, name)
+        if key not in self._resources:
+            raise NamespaceError("%s %r not bound" % (kind, name))
+        del self._resources[key]
+
+    def bound_names(self, kind):
+        return sorted(name for (k, name) in self._resources if k == kind)
+
+    def __len__(self):
+        return len(self._vpids)

@@ -1,0 +1,222 @@
+"""Processes, threads and file descriptors.
+
+The state vector mirrors the list section 5.2 gives for what revive
+restores: "process run state, program name, scheduling parameters,
+credentials, pending and blocked signals, CPU registers, FPU state, ptrace
+information, file system namespace, list of open files, signal handling
+information, and virtual memory."
+"""
+
+from enum import Enum
+
+from repro.common.errors import ProcessError
+from repro.vex.memory import AddressSpace
+from repro.vex.signals import SIGCONT, SIGKILL, SIGSTOP, UNBLOCKABLE
+
+
+class ProcessState(Enum):
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    #: Blocked in an uninterruptible operation (e.g. disk I/O): signals are
+    #: queued but not acted upon until the operation completes.
+    UNINTERRUPTIBLE = "uninterruptible"
+    STOPPED = "stopped"
+    ZOMBIE = "zombie"
+
+
+class Thread:
+    """One thread of execution: CPU context only (memory is per-process)."""
+
+    __slots__ = ("tid", "registers", "fpu_state")
+
+    def __init__(self, tid, registers=None, fpu_state=b""):
+        self.tid = tid
+        self.registers = dict(registers or {"pc": 0, "sp": 0})
+        self.fpu_state = bytes(fpu_state)
+
+    def snapshot(self):
+        # fpu_state is hex-encoded so snapshots stay JSON-serializable in
+        # the checkpoint image's metadata record.
+        return {
+            "tid": self.tid,
+            "registers": dict(self.registers),
+            "fpu_state": self.fpu_state.hex(),
+        }
+
+    @classmethod
+    def from_snapshot(cls, data):
+        return cls(data["tid"], data["registers"], bytes.fromhex(data["fpu_state"]))
+
+
+class FileDescriptor:
+    """An open file table entry.
+
+    ``kind`` is ``"file"`` or ``"socket"``.  For files we keep the path, the
+    inode the path resolved to, the offset and whether the file has been
+    unlinked while open — the case the relinking optimization of
+    section 5.1.2 exists for.
+    """
+
+    __slots__ = ("fd", "kind", "path", "inode", "offset", "flags", "unlinked", "socket")
+
+    def __init__(self, fd, kind="file", path=None, inode=None, offset=0,
+                 flags=0, socket=None):
+        self.fd = fd
+        self.kind = kind
+        self.path = path
+        self.inode = inode
+        self.offset = offset
+        self.flags = flags
+        self.unlinked = False
+        self.socket = socket
+
+    def snapshot(self):
+        data = {
+            "fd": self.fd,
+            "kind": self.kind,
+            "path": self.path,
+            "inode": self.inode,
+            "offset": self.offset,
+            "flags": self.flags,
+            "unlinked": self.unlinked,
+        }
+        if self.socket is not None:
+            data["socket"] = self.socket.snapshot()
+        return data
+
+
+class Process:
+    """A simulated process inside a virtual execution environment."""
+
+    def __init__(self, vpid, name, parent=None, uid=1000, gid=1000, nice=0):
+        self.vpid = vpid
+        self.name = name
+        self.parent = parent
+        self.children = []
+        self.state = ProcessState.RUNNABLE
+        self.exit_code = None
+        # Scheduling and identity.
+        self.nice = nice
+        self.uid = uid
+        self.gid = gid
+        self.groups = [gid]
+        # Signals.
+        self.pending_signals = []
+        self.blocked_signals = set()
+        self.signal_handlers = {}  # signum -> name of handler (opaque)
+        # Threads (thread 0 is the main thread).
+        self._next_tid = 1
+        self.threads = [Thread(tid=0)]
+        # Ptrace.
+        self.ptraced_by = None
+        # Filesystem view.
+        self.cwd = "/"
+        self.open_files = {}  # fd -> FileDescriptor
+        self._next_fd = 3  # 0..2 reserved for std streams
+        # Memory.
+        self.address_space = AddressSpace()
+        # Uninterruptible-sleep bookkeeping: while the simulated clock is
+        # before busy_until_us, the process is in disk I/O.
+        self.busy_until_us = 0
+        # Set while quiesced by the checkpoint engine.
+        self._resume_state = None
+
+    # ------------------------------------------------------------------ #
+    # Threads
+
+    def spawn_thread(self, registers=None):
+        thread = Thread(self._next_tid, registers)
+        self._next_tid += 1
+        self.threads.append(thread)
+        return thread
+
+    # ------------------------------------------------------------------ #
+    # Files
+
+    def open_fd(self, kind="file", path=None, inode=None, flags=0, socket=None):
+        fd = self._next_fd
+        self._next_fd += 1
+        entry = FileDescriptor(fd, kind, path, inode, flags=flags, socket=socket)
+        self.open_files[fd] = entry
+        return entry
+
+    def close_fd(self, fd):
+        if fd not in self.open_files:
+            raise ProcessError("close of unknown fd %d in %s" % (fd, self.name))
+        return self.open_files.pop(fd)
+
+    # ------------------------------------------------------------------ #
+    # State transitions
+
+    def run_state_for(self, now_us):
+        """Effective state, accounting for uninterruptible I/O windows."""
+        if self.state in (ProcessState.STOPPED, ProcessState.ZOMBIE):
+            return self.state
+        if now_us < self.busy_until_us:
+            return ProcessState.UNINTERRUPTIBLE
+        return self.state
+
+    def begin_io(self, now_us, duration_us):
+        """Enter uninterruptible sleep until ``now + duration``."""
+        self.busy_until_us = max(self.busy_until_us, now_us + int(duration_us))
+
+    def signalable(self, now_us):
+        """Can the process act on a stop signal right now?  (pre-quiesce)"""
+        return self.run_state_for(now_us) not in (
+            ProcessState.UNINTERRUPTIBLE,
+            ProcessState.ZOMBIE,
+        )
+
+    def deliver_signal(self, signum, now_us):
+        """Deliver (or queue) a signal.
+
+        STOP/CONT act immediately when the process is signalable; while in
+        uninterruptible sleep, signals queue and act when the sleep ends
+        (callers re-deliver via :meth:`flush_pending_signals`).
+        """
+        if signum in self.blocked_signals and signum not in UNBLOCKABLE:
+            self.pending_signals.append(signum)
+            return False
+        if not self.signalable(now_us) and signum != SIGKILL:
+            self.pending_signals.append(signum)
+            return False
+        self._act_on_signal(signum)
+        return True
+
+    def flush_pending_signals(self, now_us):
+        """Re-attempt delivery of queued signals (e.g. after I/O ends)."""
+        if not self.signalable(now_us):
+            return 0
+        pending, self.pending_signals = self.pending_signals, []
+        acted = 0
+        for signum in pending:
+            if signum in self.blocked_signals and signum not in UNBLOCKABLE:
+                self.pending_signals.append(signum)
+                continue
+            self._act_on_signal(signum)
+            acted += 1
+        return acted
+
+    def _act_on_signal(self, signum):
+        if signum == SIGSTOP:
+            if self.state not in (ProcessState.ZOMBIE,):
+                self._resume_state = self.state
+                self.state = ProcessState.STOPPED
+        elif signum == SIGCONT:
+            if self.state is ProcessState.STOPPED:
+                self.state = self._resume_state or ProcessState.RUNNABLE
+                self._resume_state = None
+        elif signum == SIGKILL:
+            self.exit(-9)
+        # Other signals are recorded but have no modelled default action.
+
+    def exit(self, code=0):
+        self.state = ProcessState.ZOMBIE
+        self.exit_code = code
+
+    def __repr__(self):
+        return "Process(vpid=%d, name=%r, state=%s)" % (
+            self.vpid,
+            self.name,
+            self.state.value,
+        )

@@ -1,0 +1,44 @@
+"""Signals for the simulated kernel.
+
+Only the signals the checkpoint/restart machinery cares about are modelled.
+The semantics that matter to DejaView:
+
+* ``SIGSTOP`` / ``SIGCONT`` implement quiescing (section 5.1.1).
+* A process blocked in an *uninterruptible* state (e.g. waiting on disk
+  I/O) does not handle signals until the blocking operation completes —
+  this is exactly why DejaView pre-quiesces: "DejaView waits to quiesce the
+  session until either all the processes are ready to receive signals or a
+  configurable time has elapsed" (section 5.1.2).
+* ``SIGSEGV`` is the write-fault signal the incremental checkpoint
+  mechanism intercepts: faults on pages carrying the special checkpoint
+  flag are absorbed; genuine faults proceed "down the normal handling
+  path".
+"""
+
+SIGKILL = 9
+SIGSEGV = 11
+SIGUSR1 = 10
+SIGUSR2 = 12
+SIGTERM = 15
+SIGSTOP = 19
+SIGCONT = 18
+SIGCHLD = 17
+
+_NAMES = {
+    SIGKILL: "SIGKILL",
+    SIGSEGV: "SIGSEGV",
+    SIGUSR1: "SIGUSR1",
+    SIGUSR2: "SIGUSR2",
+    SIGTERM: "SIGTERM",
+    SIGSTOP: "SIGSTOP",
+    SIGCONT: "SIGCONT",
+    SIGCHLD: "SIGCHLD",
+}
+
+#: Signals that cannot be blocked or handled by the process.
+UNBLOCKABLE = frozenset({SIGKILL, SIGSTOP})
+
+
+def signal_name(signum):
+    """Human-readable name for a signal number."""
+    return _NAMES.get(signum, "SIG%d" % signum)

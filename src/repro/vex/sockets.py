@@ -1,0 +1,89 @@
+"""Socket state and revive semantics.
+
+Section 5.2: "when reviving a session, DejaView drops all external
+connections of stateful protocols, such as TCP, by resetting the state of
+their respective sockets; internal connections that are fully contained
+within the user's session, e.g. to localhost, remain intact. ... sockets
+that correspond to stateless protocols, such as UDP, are always restored
+precisely."
+"""
+
+from enum import Enum
+
+
+class SocketState(Enum):
+    CLOSED = "closed"
+    LISTENING = "listening"
+    ESTABLISHED = "established"
+    RESET = "reset"
+
+
+PROTO_TCP = "tcp"
+PROTO_UDP = "udp"
+
+
+class Socket:
+    """A simulated network socket."""
+
+    __slots__ = ("proto", "local", "remote", "state", "internal")
+
+    def __init__(self, proto, local, remote=None, state=SocketState.CLOSED,
+                 internal=False):
+        if proto not in (PROTO_TCP, PROTO_UDP):
+            raise ValueError("unknown protocol %r" % proto)
+        self.proto = proto
+        self.local = local
+        self.remote = remote
+        self.state = state
+        #: True when the connection is fully contained within the user's
+        #: session (e.g. to localhost).
+        self.internal = internal
+
+    @property
+    def is_stateful(self):
+        return self.proto == PROTO_TCP
+
+    def reset(self):
+        """RST the connection (what the application sees as a peer drop)."""
+        self.state = SocketState.RESET
+
+    def snapshot(self):
+        return {
+            "proto": self.proto,
+            "local": self.local,
+            "remote": self.remote,
+            "state": self.state.value,
+            "internal": self.internal,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data):
+        return cls(
+            proto=data["proto"],
+            local=data["local"],
+            remote=data["remote"],
+            state=SocketState(data["state"]),
+            internal=data["internal"],
+        )
+
+    def restore_for_revive(self):
+        """Apply section 5.2 revive semantics to this socket.
+
+        Returns ``True`` if the socket survived intact, ``False`` if it was
+        reset.  UDP and internal connections are restored precisely; external
+        stateful (TCP) connections are reset.
+        """
+        if self.is_stateful and not self.internal and \
+                self.state is SocketState.ESTABLISHED:
+            self.reset()
+            return False
+        return True
+
+    def __repr__(self):
+        return "Socket(%s %s->%s %s%s)" % (
+            self.proto,
+            self.local,
+            self.remote,
+            self.state.value,
+            " internal" if self.internal else "",
+        )

@@ -1,0 +1,41 @@
+"""Workload generators for the Table 1 application scenarios.
+
+Each generator drives a :class:`~repro.desktop.session.DesktopSession`
+through :class:`~repro.desktop.apps.SimApplication` objects, reproducing the
+activity *profile* of one paper scenario — how much display output, on-screen
+text, memory dirtying, process churn and file system traffic it generates,
+and whether it is throughput-driven (finish a fixed amount of work: web,
+untar, gzip, make, octave, cat) or paced in real time (video, desktop).
+
+========  ==========================================================
+web       Firefox / iBench: 54 page loads, display + index heavy,
+          browser memory grows steadily (the Figure 7 effect).
+video     Full-screen 24 fps movie playback: one command per frame,
+          display storage dominates, strict frame pacing.
+untar     Verbose untar of a kernel source tree: file system heavy,
+          scrolling terminal output.
+gzip      Compressing a large log file: disk-bound compute, almost
+          no display.
+make      Kernel build: process churn + dirty memory, moderate text.
+octave    Numerical benchmark: memory-dirtying compute, little I/O.
+cat       cat of a 17 MB log: display-intensive text scrolling.
+desktop   Real multi-application desktop usage driven by the
+          checkpoint policy (typing, browsing, idle, screensaver).
+========  ==========================================================
+"""
+
+from repro.workloads.generator import (
+    SCENARIOS,
+    ScenarioRun,
+    Workload,
+    get_workload,
+    run_scenario,
+)
+
+__all__ = [
+    "Workload",
+    "ScenarioRun",
+    "SCENARIOS",
+    "get_workload",
+    "run_scenario",
+]

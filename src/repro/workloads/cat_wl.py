@@ -1,0 +1,63 @@
+"""The cat scenario: dumping a large log to the terminal.
+
+Table 1: "cat a 17 MB system log file".  Profile highlights from
+section 6:
+
+* display-intensive: text pours onto the screen and the terminal scrolls
+  continuously, yet THINC's command merging keeps the logged command rate
+  modest (only the aggregate of each flush survives);
+* lots of on-screen text for the index (the terminal's visible buffer
+  changes constantly);
+* the file already exists — the scenario *reads*; file system growth is
+  minimal.
+"""
+
+from repro.common.units import KiB, MiB, ms
+from repro.display.commands import Region
+from repro.workloads.generator import Workload, register
+
+LOG_SIZE = 17 * MiB
+READ_PER_UNIT = 56 * KiB
+LINES_PER_UNIT = 3
+
+
+@register
+class CatWorkload(Workload):
+    name = "cat"
+    description = "cat of a 17 MB log file: fast terminal scroll"
+    default_units = 300
+
+    def setup(self, run):
+        app = run.session.launch("cat")
+        app.focus()
+        # The terminal emulator's scrollback buffer churns continuously.
+        app.grow_memory(6 * MiB)
+        run.session.fs.create("/home/user/syslog", bytes(LOG_SIZE))
+        run.cat = app
+        run.terminal_lines = [app.show_text("") for _ in range(6)]
+
+    def unit(self, run, index):
+        app = run.cat
+        session = run.session
+        # Read the next slice of the log.
+        if index % 16 == 0:
+            app.blocking_io(ms(3))
+        app.compute(ms(22))
+        # The terminal repaints: THINC merging leaves one scroll plus one
+        # merged band of new lines per flush.
+        app.scroll(Region(0, 0, session.width, session.height),
+                   LINES_PER_UNIT * 10)
+        band = Region(0, session.height - LINES_PER_UNIT * 10 - 2,
+                      session.width, LINES_PER_UNIT * 10)
+        app.draw_text_line(band, seed=index)
+        app.flush_display()
+        # The visible text buffer churns.
+        node = run.terminal_lines[index % len(run.terminal_lines)]
+        app.update_text(
+            node,
+            "syslog entry %d: daemon restarted pid %d status ok"
+            % (index, 1000 + index),
+        )
+        # Scrollback buffer churn in the terminal emulator.
+        app.dirty_memory(144 * KiB)
+        return {}

@@ -1,0 +1,142 @@
+"""The desktop scenario: real multi-application usage.
+
+Table 1: "16 hr of desktop usage by multiple users, including Firefox,
+GAIM, OpenOffice, Adobe Acrobat Reader, etc."  This is the scenario the
+checkpoint *policy* exists for: bursty activity with long quiet stretches.
+Section 6 reports the policy took checkpoints only ~20 % of the time, and
+attributed the skips 13 % to no display activity, 69 % to low display
+activity, and 18 % to the reduced text-editing rate.
+
+The generator is paced at one tick per simulated second and mixes four
+kinds of ticks with those approximate proportions:
+
+* **idle** (~10 %): nothing happens;
+* **ambient** (~55 %): trivial display updates — the clock, a blinking
+  cursor, GAIM's buddy list — well under the 5 % activity threshold;
+* **typing** (~15 %): keyboard input with small display changes
+  (OpenOffice document editing);
+* **active** (~20 %): real bursts — browsing, window switches, reading —
+  that repaint large parts of the screen.
+
+Runs under the policy by default (``default_recording``).
+"""
+
+import numpy as np
+
+from repro.common.units import KiB, MiB, seconds
+from repro.desktop.dejaview import RecordingConfig
+from repro.display.commands import Region
+from repro.workloads.generator import Workload, register
+
+TICK_US = seconds(1)
+
+
+@register
+class DesktopWorkload(Workload):
+    name = "desktop"
+    description = "multi-app interactive desktop usage under the policy"
+    default_units = 420  # seven simulated minutes
+    pace_us = TICK_US
+
+    def default_recording(self):
+        return RecordingConfig(use_policy=True)
+
+    def setup(self, run):
+        session = run.session
+        run.firefox = session.launch("firefox")
+        run.firefox.ax.event_generation_cost_us = 10_000.0
+        run.gaim = session.launch("gaim")
+        # A real desktop carries a long tail of background processes
+        # (panel, applets, session manager, terminals...); they contribute
+        # per-process state-save time to every checkpoint.
+        for i in range(14):
+            proc = session.container.spawn(
+                "daemon-%d" % i, parent=session.init_process
+            )
+            region = proc.address_space.mmap(64, name="daemon-heap")
+            proc.address_space.write(region.start, b"background daemon state")
+        run.office = session.launch("openoffice")
+        run.acrobat = session.launch("acroread", accessible=True)
+        run.office.focus()
+        run.firefox.grow_memory(6 * MiB)
+        run.office.grow_memory(8 * MiB)
+        session.fs.makedirs("/home/user/docs")
+        run.document = run.office.show_text("Quarterly report draft")
+        run.buddy = run.gaim.show_text("buddies online: 4")
+        run.clock_text = run.gaim.show_text("12:00")
+        run.doc_words = 0
+        run.rng = np.random.default_rng(16)
+        run.page = 0
+
+    def unit(self, run, index):
+        kind = run.rng.choice(
+            ["idle", "ambient", "typing", "active"],
+            p=[0.10, 0.55, 0.15, 0.20],
+        )
+        handler = getattr(self, "_tick_" + kind)
+        return handler(run, index)
+
+    # ------------------------------------------------------------------ #
+
+    def _tick_idle(self, run, index):
+        return {}
+
+    def _tick_ambient(self, run, index):
+        session = run.session
+        # The desktop clock advances; a cursor blinks.  Tiny regions only.
+        run.gaim.draw_fill(Region(session.width - 40, 0, 38, 10), 0x222222)
+        run.gaim.draw_fill(Region(100, 100, 2, 10), 0xFFFFFF)
+        run.gaim.flush_display()
+        # Background activity (browser timers, IM keepalives) keeps
+        # rewriting the same hot heap pages every second; the policy's
+        # skips coalesce those rewrites into far fewer saved copies.
+        run.firefox.dirty_memory(1 * MiB, hot=True)
+        if index % 60 == 0:
+            run.gaim.update_text(run.clock_text, "12:%02d" % (index // 60))
+        return {}
+
+    def _tick_typing(self, run, index):
+        session = run.session
+        run.doc_words += 1
+        # A word appears in the document: a small text band redraws.
+        run.office.draw_text_line(
+            Region(20, 60 + (run.doc_words % 12) * 10, 180, 10),
+            seed=index,
+        )
+        run.office.flush_display()
+        run.office.update_text(
+            run.document,
+            "Quarterly report draft revision with %d words so far"
+            % run.doc_words,
+        )
+        run.office.dirty_memory(96 * KiB, hot=True)
+        if run.doc_words % 40 == 0:
+            run.office.write_file("/home/user/docs/report.odt",
+                                  bytes(220 * KiB))
+        return {"keyboard_input": True}
+
+    def _tick_active(self, run, index):
+        session = run.session
+        app = run.firefox if index % 3 else run.acrobat
+        app.focus()
+        # A burst: repaint a large window area.
+        app.draw_fill(Region(0, 0, session.width, session.height // 2),
+                      0xEEEEEE)
+        for row in range(3):
+            app.draw_text_line(
+                Region(8, 8 + row * 14, session.width - 16, 12),
+                seed=index * 4 + row,
+            )
+        app.draw_raw(Region(30, 70, 64, 48), seed=index)
+        app.flush_display()
+        run.page += 1
+        app.show_text(
+            "reading item %d " % run.page
+            + " ".join("topic%d" % t for t in run.rng.integers(0, 300, 5))
+        )
+        app.dirty_memory(3 * MiB)
+        if index % 10 == 0:
+            run.gaim.update_text(
+                run.buddy, "friend says: see message %d" % index
+            )
+        return {"mouse_input": True}

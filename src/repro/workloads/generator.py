@@ -1,0 +1,176 @@
+"""Workload base machinery.
+
+A :class:`Workload` is a sequence of *work units*.  Throughput scenarios
+(web page loads, files untarred, compile steps) run their units
+back-to-back: simulated completion time grows with whatever overhead the
+recording components add, which is exactly what Figure 2 normalizes.
+Paced scenarios (video frames, interactive desktop ticks) have a deadline
+per unit: work that finishes early idles until the deadline, so overhead
+only shows up if a unit overruns (the paper's video result: <1 % overhead,
+no dropped frames).
+
+After every unit the workload calls :meth:`DejaView.tick` with the unit's
+input flags, which drives checkpointing (fixed-rate or policy)."""
+
+from dataclasses import dataclass
+
+from repro.common.errors import DejaViewError
+from repro.desktop.dejaview import DejaView, RecordingConfig
+from repro.desktop.session import DesktopSession
+
+
+@dataclass
+class ScenarioRun:
+    """The outcome of one workload execution."""
+
+    workload: str
+    session: DesktopSession
+    dejaview: DejaView
+    start_us: int
+    end_us: int
+    units: int
+    start_storage: dict
+    overran_units: int = 0
+
+    @property
+    def duration_us(self):
+        return self.end_us - self.start_us
+
+    @property
+    def duration_seconds(self):
+        return self.duration_us / 1e6
+
+    def storage_growth_rates(self):
+        """Per-stream storage growth in bytes per simulated second
+        (the Figure 4 quantities)."""
+        duration_s = max(self.duration_seconds, 1e-9)
+        end = self.dejaview.storage_report()
+        start = self.start_storage
+        fs_log_growth = end["fs_log"] - start["fs_log"]
+        fs_visible_growth = end["fs_visible"] - start["fs_visible"]
+        return {
+            "display": (end["display"] - start["display"]) / duration_s,
+            "index": (end["index"] - start["index"]) / duration_s,
+            "checkpoint": (
+                end["checkpoint_uncompressed"] - start["checkpoint_uncompressed"]
+            ) / duration_s,
+            "checkpoint_compressed": (
+                end["checkpoint_compressed"] - start["checkpoint_compressed"]
+            ) / duration_s,
+            # The paper reports fs snapshot overhead: total snapshot usage
+            # minus what is visible to the user at the end.
+            "fs": max(0.0, (fs_log_growth - max(0, fs_visible_growth)) / duration_s),
+            "fs_total": fs_log_growth / duration_s,
+        }
+
+
+class Workload:
+    """Base class for the Table 1 scenarios."""
+
+    #: Scenario name (Table 1).
+    name = None
+    #: Human description.
+    description = ""
+    #: Number of work units in a default run.
+    default_units = 100
+    #: Per-unit deadline in simulated us (None = throughput-driven).
+    pace_us = None
+
+    def default_recording(self):
+        """Recording configuration used when the caller passes none.
+        Throughput benchmarks use fixed 1 Hz checkpointing (the paper's
+        conservative setting); the desktop scenario overrides this to run
+        under the section 5.1.3 policy."""
+        return RecordingConfig()
+
+    def setup(self, run):
+        """Create the scenario's applications.  Called once."""
+
+    def unit(self, run, index):
+        """Execute one work unit.  Returns the tick flags dict (keyboard,
+        mouse, fullscreen_video, screensaver) or None."""
+        raise NotImplementedError
+
+    def teardown(self, run):
+        """Optional cleanup after the last unit."""
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, recording=None, units=None, session_kwargs=None,
+            dejaview=None, session=None):
+        """Execute the scenario; returns a :class:`ScenarioRun`.
+
+        ``recording`` is a :class:`RecordingConfig` (None = full recording);
+        pass a config with everything disabled to measure the baseline.
+        """
+        if self.name is None:
+            raise DejaViewError("workload subclass must set a name")
+        units = units if units is not None else self.default_units
+        if session is None:
+            session = DesktopSession(**(session_kwargs or {}))
+        if dejaview is None:
+            config = recording if recording is not None else self.default_recording()
+            dejaview = DejaView(session, config)
+        run = ScenarioRun(
+            workload=self.name,
+            session=session,
+            dejaview=dejaview,
+            start_us=session.clock.now_us,
+            end_us=session.clock.now_us,
+            units=units,
+            start_storage={},
+        )
+        self.setup(run)
+        # Measure from after setup: pre-created fixtures (e.g. gzip's input
+        # file) are not part of the scenario's recorded activity — flush
+        # them to disk so the first pre-snapshot doesn't pay for them.
+        session.fs.sync()
+        clock = session.clock
+        start = clock.now_us
+        run.start_us = start
+        run.start_storage = dejaview.storage_report()
+        for index in range(units):
+            deadline = (
+                start + (index + 1) * self.pace_us if self.pace_us else None
+            )
+            flags = self.unit(run, index) or {}
+            dejaview.tick(**flags)
+            if deadline is not None:
+                if clock.now_us > deadline:
+                    run.overran_units += 1
+                else:
+                    clock.advance_to_us(deadline)
+        self.teardown(run)
+        run.end_us = clock.now_us
+        return run
+
+
+def baseline_config():
+    """RecordingConfig with every component off (the Figure 2 baseline)."""
+    return RecordingConfig(
+        record_display=False, record_index=False, record_checkpoints=False
+    )
+
+
+SCENARIOS = {}
+
+
+def register(cls):
+    """Class decorator: add a workload to the scenario registry."""
+    SCENARIOS[cls.name] = cls
+    return cls
+
+
+def get_workload(name):
+    from repro.workloads import scenarios  # noqa: F401  (populates registry)
+
+    if name not in SCENARIOS:
+        raise DejaViewError(
+            "unknown scenario %r (have: %s)" % (name, ", ".join(sorted(SCENARIOS)))
+        )
+    return SCENARIOS[name]()
+
+
+def run_scenario(name, recording=None, units=None, **kwargs):
+    """Convenience: instantiate and run a registered scenario."""
+    return get_workload(name).run(recording=recording, units=units, **kwargs)

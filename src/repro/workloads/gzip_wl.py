@@ -1,0 +1,63 @@
+"""The gzip scenario: compressing a large access log.
+
+Table 1: "Compress a 1.8 GB Apache access log file".  Profile highlights
+from section 6:
+
+* compute + disk bound, with almost no display output, so display and
+  index recording overheads are ~0;
+* the storage growth rate is the smallest of the scenarios (~2.5 MB/s
+  uncompressed checkpoints) — gzip's working buffers are small;
+* "despite having its large file continually snapshotted, the file system
+  usage is small": appending to one big file costs little log metadata.
+
+The input is scaled to 48 MiB (the ratio between input size, buffer churn
+and output rate is what matters).
+"""
+
+from repro.common.units import KiB, MiB, ms
+from repro.display.commands import Region
+from repro.workloads.generator import Workload, register
+
+CHUNK_IN = 384 * KiB
+CHUNK_OUT = 96 * KiB
+
+
+@register
+class GzipWorkload(Workload):
+    name = "gzip"
+    description = "gzip of a (scaled) 48 MiB access log"
+    default_units = 128
+
+    def setup(self, run):
+        app = run.session.launch("gzip")
+        app.focus()
+        # gzip streams through a multi-MB window/dictionary buffer.
+        app.grow_memory(3 * MiB)
+        # The pre-existing input file (not counted in scenario growth).
+        run.session.fs.create("/home/user/access.log",
+                              bytes(self.default_units * CHUNK_IN))
+        run.session.fs.create("/home/user/access.log.gz", b"")
+        run.gzip = app
+        run.progress = app.show_text("gzip starting")
+
+    def unit(self, run, index):
+        app = run.gzip
+        # Read a chunk of the input: uninterruptible disk I/O.
+        app.blocking_io(ms(5))
+        run.session.clock.advance_to_us(app.process.busy_until_us)
+        # Compress it.
+        app.compute(ms(24))
+        app.dirty_memory(80 * KiB)
+        # Append the compressed output.
+        app.write_file("/home/user/access.log.gz", bytes(CHUNK_OUT),
+                       append=True)
+        # gzip prints nothing; the shell prompt blinks at most.
+        if index % 32 == 0:
+            app.draw_fill(Region(0, 0, 60, 10), 0x00FF00)
+            app.flush_display()
+            app.update_text(run.progress, "gzip %d%% done"
+                            % (100 * index // self.default_units))
+        return {}
+
+    def teardown(self, run):
+        run.gzip.write_file("/home/user/access.log.gz", b"", append=True)

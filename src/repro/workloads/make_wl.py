@@ -1,0 +1,91 @@
+"""The make scenario: building the Linux kernel.
+
+Table 1: "Build the 2.6.16.3 Linux kernel".  Profile highlights from
+section 6:
+
+* the largest *checkpoint* recording overhead (~13 %): compilers churn
+  processes and dirty memory fast, so every checkpoint has real work;
+* moderate terminal output (one line per compile step);
+* object files written continuously.
+
+Modelled as a stream of compile steps, each spawning a short-lived ``cc``
+process that dirties memory in its own address space before exiting a few
+steps later (so checkpoints always catch several live compilers).
+"""
+
+from repro.common.costs import PAGE_SIZE
+from repro.common.units import KiB, MiB, ms
+from repro.display.commands import Region
+from repro.workloads.generator import Workload, register
+
+CC_LIFETIME_UNITS = 3
+CC_DIRTY_BYTES = 1 * MiB + 256 * KiB
+OBJ_SIZE = 28 * KiB
+
+
+@register
+class MakeWorkload(Workload):
+    name = "make"
+    description = "kernel build: process churn + dirty compiler memory"
+    default_units = 240
+
+    def setup(self, run):
+        app = run.session.launch("make")
+        app.focus()
+        run.session.fs.makedirs("/home/user/build")
+        run.make = app
+        run.live_ccs = []  # [(spawned process, heap region, retire unit)]
+        run.terminal_lines = [app.show_text("") for _ in range(3)]
+
+    def _spawn_cc(self, run, index):
+        container = run.session.container
+        cc = container.spawn("cc-%d" % index, parent=run.make.process)
+        heap = cc.address_space.mmap(
+            CC_DIRTY_BYTES // PAGE_SIZE + 1, name="cc-heap"
+        )
+        run.live_ccs.append((cc, heap, index + CC_LIFETIME_UNITS))
+        return cc, heap
+
+    def _retire_due(self, run, index):
+        container = run.session.container
+        keep = []
+        for cc, heap, retire_at in run.live_ccs:
+            if index >= retire_at:
+                cc.exit(0)
+                container.reap(cc)
+            else:
+                keep.append((cc, heap, retire_at))
+        run.live_ccs = keep
+
+    def unit(self, run, index):
+        app = run.make
+        session = run.session
+        self._retire_due(run, index)
+        cc, heap = self._spawn_cc(run, index)
+
+        # The compiler runs: CPU plus fresh dirty pages in its own space,
+        # while make itself keeps parsing rules and dependency state.
+        app.compute(ms(32))
+        app.dirty_memory(256 * KiB)
+        content_pages = CC_DIRTY_BYTES // PAGE_SIZE
+        for page in range(content_pages):
+            cc.address_space.write_page(
+                heap, page, app._page_content(compress_ratio=5.0)
+            )
+
+        # Write the object file.
+        app.write_file("/home/user/build/obj%04d.o" % index, bytes(OBJ_SIZE))
+
+        # One build line on the terminal.
+        row = Region(0, session.height - 12, session.width, 10)
+        app.scroll(Region(0, 0, session.width, session.height), 10)
+        app.draw_text_line(row, seed=index)
+        app.flush_display()
+        app.update_text(run.terminal_lines[index % 3],
+                        "CC drivers/obj%04d.o" % index)
+        if index % 25 == 10:
+            app.blocking_io(ms(4))
+        return {}
+
+    def teardown(self, run):
+        self._retire_due(run, 10**9)

@@ -1,0 +1,43 @@
+"""The octave scenario: numerical computing.
+
+Table 1: "Octave 2.1.73 (MATLAB 4 clone) running Octave 2 numerical
+benchmark".  Profile highlights from section 6:
+
+* compute-bound with a large, hot working set: the highest checkpoint
+  storage growth of all scenarios (~20 MB/s uncompressed, ~4 MB/s
+  compressed — numerical state compresses well);
+* essentially no display output ("gzip and octave have essentially zero
+  display recording overhead since they produce little visual output").
+"""
+
+from repro.common.units import MiB, ms
+from repro.workloads.generator import Workload, register
+
+WORKING_SET = 24 * MiB
+DIRTY_PER_UNIT = 7 * MiB
+
+
+@register
+class OctaveWorkload(Workload):
+    name = "octave"
+    description = "Octave numerical benchmark: hot 24 MiB working set"
+    default_units = 50
+
+    def setup(self, run):
+        app = run.session.launch("octave")
+        app.focus()
+        app.grow_memory(WORKING_SET, compress_ratio=5.0)
+        run.octave = app
+        run.result_line = app.show_text("octave:1>")
+
+    def unit(self, run, index):
+        app = run.octave
+        # One iteration of the numerical kernel: CPU + matrix updates
+        # sweeping through the working set.
+        app.compute(ms(350))
+        app.dirty_memory(DIRTY_PER_UNIT, compress_ratio=5.0)
+        # A result line every few iterations.
+        if index % 5 == 0:
+            app.update_text(run.result_line,
+                            "ans(%d) = %.6f" % (index, 1.0 / (index + 1)))
+        return {}

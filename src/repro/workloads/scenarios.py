@@ -1,0 +1,19 @@
+"""Imports every scenario module so the registry is populated.
+
+``get_workload`` imports this module lazily; importing it directly also
+works for callers that want the registry filled eagerly::
+
+    from repro.workloads import scenarios  # noqa: F401
+    from repro.workloads import SCENARIOS
+"""
+
+from repro.workloads import (  # noqa: F401
+    cat_wl,
+    desktop_wl,
+    gzip_wl,
+    make_wl,
+    octave_wl,
+    untar,
+    video,
+    web,
+)

@@ -1,0 +1,54 @@
+"""The video scenario: full-screen MPEG2 movie playback.
+
+Table 1: "MPlayer 1.0rc1-4.1.2 playing Life of David Gale MPEG2 movie
+trailer at full-screen resolution".  Profile highlights from section 6:
+
+* each frame changes the entire display but needs only **one** display
+  command, "resulting in 24 commands per second, a relatively modest rate
+  of processing" — display recording overhead is essentially zero;
+* display state dominates storage (the checkpoint state of a single-process
+  player is small);
+* strict 24 fps pacing: DejaView must not cause dropped frames, and
+  checkpoint downtime (~5 ms in Figure 3) must fit between frames.
+"""
+
+from repro.common.units import KiB, MiB, ms
+from repro.display.commands import Region
+from repro.workloads.generator import Workload, register
+
+FPS = 24
+FRAME_US = 1_000_000 // FPS
+
+
+@register
+class VideoWorkload(Workload):
+    name = "video"
+    description = "MPlayer full-screen 24 fps movie playback"
+    default_units = 20 * FPS  # a 20-second clip
+    pace_us = FRAME_US
+
+    def setup(self, run):
+        app = run.session.launch("mplayer")
+        app.focus()
+        app.grow_memory(6 * MiB)
+        run.player = app
+        run.subtitle = app.show_text("movie trailer playing")
+
+    def unit(self, run, index):
+        app = run.player
+        session = run.session
+        # Decode the frame...
+        app.compute(ms(6))
+        # ...and blit it: one video command covering the whole screen.
+        app.draw_video_frame(
+            Region(0, 0, session.width, session.height), seed=index
+        )
+        app.flush_display()
+        # Small decoder state churn; the player allocates almost nothing.
+        if index % 12 == 0:
+            app.dirty_memory(192 * KiB)
+        # Subtitles change every couple of seconds.
+        if index % (2 * FPS) == 0:
+            app.update_text(run.subtitle, "subtitle line %d of the trailer"
+                            % (index // (2 * FPS)))
+        return {"fullscreen_video": True}

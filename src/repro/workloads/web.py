@@ -1,0 +1,102 @@
+"""The web scenario: Firefox running the iBench page-load benchmark.
+
+Table 1: "Firefox 2.0.0.1 running iBench web browsing benchmark to download
+54 web pages".  Profile highlights from section 6:
+
+* pages load "in rapid fire succession" — a worst case, not real browsing;
+* each page changes almost all of the screen, with many display commands,
+  so display recording costs ~9 % (server/viewer/recorder CPU contention);
+* Firefox generates accessibility information *on demand*, making index
+  recording the dominant overhead (~99 %, nearly doubling page latency);
+* the browser's memory footprint more than doubles over the run, which is
+  what makes late uncached revives slow in Figure 7.
+"""
+
+import numpy as np
+
+from repro.common.units import KiB, MiB, ms
+from repro.access.toolkit import Role
+from repro.display.commands import Region
+from repro.workloads.generator import Workload, register
+
+#: Extra per-event cost of Firefox's on-demand accessibility generation.
+FIREFOX_AX_GENERATION_US = 10_000.0
+
+PAGE_LINKS = 6
+PAGE_PARAGRAPHS = 8
+TEXT_ROWS = 18
+TEXT_COLS = 4
+IMAGES = 8
+
+
+@register
+class WebWorkload(Workload):
+    name = "web"
+    description = "Firefox 2.0.0.1 / iBench: 54 page downloads"
+    default_units = 54
+
+    def setup(self, run):
+        app = run.session.launch("firefox")
+        app.ax.event_generation_cost_us = FIREFOX_AX_GENERATION_US
+        app.focus()
+        app.grow_memory(8 * MiB)
+        run.session.fs.makedirs("/home/user/.cache")
+        run.browser = app
+        run.page_nodes = []
+        run.rng = np.random.default_rng(54)
+
+    def unit(self, run, index):
+        app = run.browser
+        session = run.session
+        width, height = session.width, session.height
+
+        # Network fetch + parse/layout: the ~0.28 s/page baseline.
+        app.blocking_io(ms(60))
+        session.clock.advance_to_us(app.process.busy_until_us)
+        app.compute(ms(180))
+
+        # Render: complex pages issue ~a hundred drawing commands and
+        # repaint nearly the whole screen.
+        app.draw_fill(Region(0, 0, width, height), 0xFFFFFF)
+        col_w = (width - 16) // TEXT_COLS
+        for row in range(TEXT_ROWS):
+            for col in range(TEXT_COLS):
+                band = Region(8 + col * col_w, 4 + row * 11, col_w - 4, 9)
+                app.draw_text_line(band, seed=index * 97 + row * TEXT_COLS + col)
+        for img in range(IMAGES):
+            app.draw_raw(
+                Region(12 + (img % 4) * 76, 204 + (img // 4) * 18, 64, 16),
+                seed=index * IMAGES + img,
+            )
+        app.flush_display()
+
+        # Accessibility: tear down the old page's subtree, build the new
+        # one (each event pays Firefox's on-demand generation cost).
+        for node in run.page_nodes:
+            app.remove_text(node)
+        run.page_nodes = []
+        for p in range(PAGE_PARAGRAPHS):
+            text = "page %d paragraph %d " % (index, p) + " ".join(
+                "word%d" % w for w in run.rng.integers(0, 5000, size=7)
+            )
+            run.page_nodes.append(app.show_text(text))
+        for l in range(PAGE_LINKS):
+            run.page_nodes.append(
+                app.show_text(
+                    "link%d-%d followme" % (index, l),
+                    role=Role.LINK,
+                    properties={"is_link": True},
+                )
+            )
+
+        # Memory: render caches + steady browser growth (the footprint
+        # more than doubles over the run — the Figure 7 effect).
+        app.dirty_memory(4 * MiB + 512 * KiB)
+        app.grow_memory(384 * KiB)
+
+        # Disk cache write.
+        app.write_file(
+            "/home/user/.cache/page%d.html" % index,
+            b"<html>" + bytes(90 * KiB),
+        )
+        return {"mouse_input": True}

@@ -1,0 +1,197 @@
+"""Integration tests: accessibility layer + indexing daemon (section 4.2)."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.costs import DEFAULT_COSTS
+from repro.common.errors import IndexError_
+from repro.access.daemon import IndexingDaemon
+from repro.access.registry import DesktopRegistry
+from repro.access.toolkit import AccessibleApp, Role
+from repro.index.database import TemporalTextDatabase
+from repro.index.tokenizer import tokenize
+
+
+def make_desktop(use_mirror=True):
+    clock = VirtualClock()
+    registry = DesktopRegistry(clock)
+    database = TemporalTextDatabase(clock)
+    app = AccessibleApp("editor", registry, clock, DEFAULT_COSTS)
+    window = app.add_node(app.root, Role.WINDOW, name="editor - untitled")
+    doc = app.add_node(window, Role.DOCUMENT, name="buffer")
+    daemon = IndexingDaemon(registry, database, use_mirror_tree=use_mirror)
+    return clock, registry, database, app, window, doc, daemon
+
+
+class TestTokenizer:
+    def test_basic(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_numbers_and_empty(self):
+        assert tokenize("x86-64 rocks") == ["x86", "64", "rocks"]
+        assert tokenize("") == []
+        assert tokenize("!!!") == []
+
+
+class TestStartupScan:
+    def test_mirror_matches_existing_tree(self):
+        _clock, _reg, _db, app, _w, _doc, daemon = make_desktop()
+        assert daemon.mirror_size() == app.root.subtree_size()
+
+    def test_existing_text_indexed_at_startup(self):
+        clock = VirtualClock()
+        registry = DesktopRegistry(clock)
+        database = TemporalTextDatabase(clock)
+        app = AccessibleApp("term", registry, clock, DEFAULT_COSTS)
+        node = app.add_node(app.root, Role.TERMINAL, text="boot message")
+        IndexingDaemon(registry, database)
+        assert len(database.postings_for("boot")) == 1
+
+    def test_inaccessible_app_skipped(self):
+        """Apps without accessibility support contribute no text — the
+        acknowledged limitation of section 4.2."""
+        clock = VirtualClock()
+        registry = DesktopRegistry(clock)
+        database = TemporalTextDatabase(clock)
+        app = AccessibleApp("xpdf", registry, clock, DEFAULT_COSTS,
+                            accessible=False)
+        app.add_node(app.root, Role.DOCUMENT, text="hidden pdf text")
+        IndexingDaemon(registry, database)
+        assert database.postings_for("hidden") == []
+
+
+class TestEventHandling:
+    def test_new_text_indexed(self):
+        _clock, _reg, db, app, _w, doc, _daemon = make_desktop()
+        node = app.add_node(doc, Role.PARAGRAPH, text="the quick brown fox")
+        assert len(db.postings_for("quick")) == 1
+
+    def test_text_change_closes_and_reopens(self):
+        clock, _reg, db, app, _w, doc, _daemon = make_desktop()
+        node = app.add_node(doc, Role.PARAGRAPH, text="first version")
+        clock.advance_us(1000)
+        app.set_text(node, "second version")
+        first = db.postings_for("first")[0]
+        second = db.postings_for("second")[0]
+        assert first.end_us is not None
+        assert second.end_us is None
+        assert first.end_us <= second.start_us
+
+    def test_node_removal_closes_subtree_occurrences(self):
+        clock, _reg, db, app, _w, doc, _daemon = make_desktop()
+        para = app.add_node(doc, Role.PARAGRAPH, text="parent text")
+        child = app.add_node(para, Role.TEXT, text="child text")
+        clock.advance_us(500)
+        app.remove_node(para)
+        for occ in db.all_occurrences():
+            assert occ.end_us is not None
+
+    def test_window_context_recorded(self):
+        _clock, _reg, db, app, _w, doc, _daemon = make_desktop()
+        app.add_node(doc, Role.PARAGRAPH, text="contextful words")
+        occ = db.postings_for("contextful")[0]
+        assert occ.app == "editor"
+        assert occ.window == "editor - untitled"
+
+    def test_properties_recorded(self):
+        _clock, _reg, db, app, _w, doc, _daemon = make_desktop()
+        app.add_node(doc, Role.LINK, text="click here",
+                     properties={"is_link": True})
+        occ = db.postings_for("click")[0]
+        assert occ.properties["is_link"]
+
+    def test_focus_transition_reopens_occurrences(self):
+        clock, _reg, db, app, _w, doc, _daemon = make_desktop()
+        app.add_node(doc, Role.PARAGRAPH, text="focused words")
+        assert not db.postings_for("focused")[-1].focused
+        clock.advance_us(1000)
+        app.set_focus(True)
+        open_occ = [o for o in db.postings_for("focused") if o.end_us is None]
+        assert len(open_occ) == 1
+        assert open_occ[0].focused
+
+    def test_empty_text_not_indexed(self):
+        _clock, _reg, db, app, _w, doc, _daemon = make_desktop()
+        before = len(db)
+        app.add_node(doc, Role.TEXT, text="   !!! ")
+        assert len(db) == before
+
+    def test_event_on_unknown_parent_raises(self):
+        _clock, reg, _db, app, _w, _doc, daemon = make_desktop()
+        from repro.access.events import AccessibilityEvent, EventType
+
+        bogus = AccessibilityEvent(
+            type=EventType.NODE_ADDED,
+            app_name="editor",
+            node_id=999,
+            timestamp_us=0,
+            detail={"parent_id": 424242, "role": "text", "name": "",
+                    "text": "x", "properties": {}},
+        )
+        with pytest.raises(IndexError_):
+            reg.emit(bogus)
+
+
+class TestAnnotations:
+    def test_select_and_combo_creates_annotation(self):
+        """Section 4.4: write text, select it, press the combo key."""
+        _clock, _reg, db, app, _w, doc, daemon = make_desktop()
+        node = app.add_node(doc, Role.PARAGRAPH,
+                            text="remember this important insight")
+        app.select_text(node, "important insight")
+        app.press_key_combo(IndexingDaemon.ANNOTATE_COMBO)
+        occ = db.postings_for("important")[0]
+        assert occ.is_annotation
+        assert occ.properties["annotation_text"] == "important insight"
+
+    def test_wrong_combo_ignored(self):
+        _clock, _reg, db, app, _w, doc, _daemon = make_desktop()
+        node = app.add_node(doc, Role.PARAGRAPH, text="some words")
+        app.select_text(node, "words")
+        app.press_key_combo("ctrl+c")
+        assert not db.postings_for("words")[0].is_annotation
+
+    def test_combo_without_selection_ignored(self):
+        _clock, _reg, db, app, _w, doc, _daemon = make_desktop()
+        app.add_node(doc, Role.PARAGRAPH, text="some words")
+        app.press_key_combo(IndexingDaemon.ANNOTATE_COMBO)
+        assert not db.postings_for("words")[0].is_annotation
+
+    def test_typed_annotation_is_searchable_text(self):
+        """"annotations can be simply created by the user by typing text in
+        some visible part of the screen.""" ""
+        _clock, _reg, db, app, _w, doc, _daemon = make_desktop()
+        app.add_node(doc, Role.TEXT, text="TODO-MARKER-XYZZY review budget")
+        assert len(db.postings_for("xyzzy")) == 1
+
+
+class TestMirrorTreePerformance:
+    def test_mirror_daemon_charges_less_per_event_than_naive(self):
+        """The section 4.2 optimization: O(1) hash lookup vs re-traversing
+        the real tree on every event."""
+        clock_m, _r1, _db1, app_m, _w1, doc_m, _d1 = make_desktop(use_mirror=True)
+        clock_n, _r2, _db2, app_n, _w2, doc_n, _d2 = make_desktop(use_mirror=False)
+        # Grow both trees so the naive traversal has real work to do.
+        for i in range(30):
+            app_m.add_node(doc_m, Role.TEXT, text="filler %d" % i)
+            app_n.add_node(doc_n, Role.TEXT, text="filler %d" % i)
+        node_m = app_m.add_node(doc_m, Role.PARAGRAPH, text="seed")
+        node_n = app_n.add_node(doc_n, Role.PARAGRAPH, text="seed")
+        start_m = clock_m.now_us
+        app_m.set_text(node_m, "updated text")
+        cost_mirror = clock_m.now_us - start_m
+        start_n = clock_n.now_us
+        app_n.set_text(node_n, "updated text")
+        cost_naive = clock_n.now_us - start_n
+        assert cost_mirror * 10 < cost_naive
+
+    def test_naive_daemon_still_indexes_correctly(self):
+        _clock, _reg, db, app, _w, doc, _daemon = make_desktop(use_mirror=False)
+        node = app.add_node(doc, Role.PARAGRAPH, text="naive but correct")
+        assert len(db.postings_for("naive")) >= 1
+
+    def test_shutdown_stops_indexing(self):
+        _clock, _reg, db, app, _w, doc, daemon = make_desktop()
+        daemon.shutdown()
+        app.add_node(doc, Role.TEXT, text="after shutdown")
+        assert db.postings_for("shutdown") == []

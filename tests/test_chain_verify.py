@@ -1,0 +1,150 @@
+"""Tests for checkpoint-chain verification, plus the cross-options
+fidelity matrix (every engine option combination must revive exactly)."""
+
+import pytest
+
+from repro.common.costs import PAGE_SIZE
+from repro.checkpoint.engine import EngineOptions
+from repro.checkpoint.gc import prune_checkpoints
+from repro.checkpoint.restore import ReviveManager
+from repro.checkpoint.verify import verify_chain
+
+from tests.test_checkpoint_engine import make_rig
+
+
+def _restore(storage, image):
+    """Replace a stored image (test helper for corruption injection)."""
+    storage._blobs.pop(image.checkpoint_id)
+    storage._sizes.pop(image.checkpoint_id)
+    storage._meta_sizes.pop(image.checkpoint_id)
+    storage.store(image, charge_time=False)
+
+
+def _chain(checkpoints=4, **kwargs):
+    kernel, container, fsstore, storage, engine, procs = make_rig(**kwargs)
+    space = procs[0].address_space
+    region = space.regions()[0]
+    for i in range(checkpoints):
+        space.write(region.start, b"round-%d" % i)
+        fsstore.fs.write_file("/home/user/f.txt", b"v%d" % i)
+        engine.checkpoint()
+    return kernel, container, fsstore, storage, engine, procs
+
+
+class TestVerifyChain:
+    def test_healthy_chain_verifies_clean(self):
+        _k, _c, fsstore, storage, _e, _p = _chain()
+        report = verify_chain(storage, fsstore)
+        assert report.ok, [str(i) for i in report.issues]
+        assert report.images_checked == 4
+        assert report.pages_checked > 0
+
+    def test_pruned_chain_still_verifies(self):
+        _k, _c, fsstore, storage, _e, _p = _chain()
+        prune_checkpoints(storage, fsstore, keep_ids=[4])
+        report = verify_chain(storage, fsstore)
+        assert report.ok, [str(i) for i in report.issues]
+
+    def test_deleted_base_image_detected_via_locations(self):
+        _k, _c, fsstore, storage, _e, _p = _chain()
+        storage.delete(1)  # the full image every incremental leans on
+        report = verify_chain(storage, fsstore)
+        assert report.issues_with("dangling-location")
+
+    def test_unresolvable_page_detected(self):
+        _k, _c, fsstore, storage, _e, _p = _chain()
+        image = storage.load(2)
+        bogus = (99, 0xAAAA000, 0)
+        image.page_locations[bogus] = 1
+        _restore(storage, image)
+        report = verify_chain(storage, fsstore)
+        assert report.issues_with("unresolvable-page")
+
+    def test_orphan_page_detected(self):
+        _k, _c, fsstore, storage, _e, _p = _chain()
+        image = storage.load(1)
+        image.pages[(42, 0xBBBB000, 0)] = bytes(PAGE_SIZE)
+        _restore(storage, image)
+        report = verify_chain(storage, fsstore)
+        assert report.issues_with("orphan-page")
+
+    def test_page_out_of_bounds_detected(self):
+        _k, _c, fsstore, storage, _e, procs = _chain()
+        image = storage.load(1)
+        vpid = procs[0].vpid
+        region_start = procs[0].address_space.regions()[0].start
+        image.pages[(vpid, region_start, 10_000)] = bytes(16)
+        _restore(storage, image)
+        report = verify_chain(storage, fsstore)
+        assert report.issues_with("page-out-of-bounds")
+
+    def test_full_with_parent_detected(self):
+        _k, _c, fsstore, storage, _e, _p = _chain()
+        image = storage.load(1)
+        image.parent_id = 3
+        _restore(storage, image)
+        report = verify_chain(storage, fsstore)
+        assert report.issues_with("full-with-parent")
+
+    def test_id_mismatch_detected(self):
+        _k, _c, fsstore, storage, _e, _p = _chain()
+        image = storage.load(3)
+        image.checkpoint_id = 30
+        storage._blobs[3] = storage._blobs.pop(3)  # keep under key 3
+        blob_key_3 = storage._blobs[3]
+        import zlib
+
+        storage._blobs[3] = zlib.compress(image.serialize(), 1)
+        report = verify_chain(storage, fsstore)
+        assert report.issues_with("id-mismatch")
+
+    def test_missing_fs_binding_detected(self):
+        _k, _c, fsstore, storage, _e, _p = _chain()
+        fsstore.fs.unprotect_checkpoint(2)
+        report = verify_chain(storage, fsstore)
+        assert report.issues_with("missing-fs-binding")
+
+    def test_fs_check_skipped_without_store(self):
+        _k, _c, fsstore, storage, _e, _p = _chain()
+        fsstore.fs.unprotect_checkpoint(2)
+        report = verify_chain(storage)  # no fsstore: binding not audited
+        assert report.ok
+
+    def test_issue_str(self):
+        from repro.checkpoint.verify import Issue
+
+        text = str(Issue("orphan-page", 3, "details"))
+        assert "orphan-page" in text and "image 3" in text
+
+
+OPTION_MATRIX = [
+    EngineOptions(use_cow=cow, use_incremental=inc, defer_writeback=defer)
+    for cow in (True, False)
+    for inc in (True, False)
+    for defer in (True, False)
+]
+
+
+@pytest.mark.parametrize("options", OPTION_MATRIX,
+                         ids=lambda o: "cow=%d,inc=%d,defer=%d" % (
+                             o.use_cow, o.use_incremental, o.defer_writeback))
+def test_fidelity_across_option_matrix(options):
+    """Every combination of the big three engine options must produce
+    byte-exact revives and a clean verification report."""
+    kernel, container, fsstore, storage, engine, procs = make_rig(
+        options=options, nprocs=2, pages_per_proc=4
+    )
+    space = procs[0].address_space
+    region = space.regions()[0]
+    expected = {}
+    for i in range(3):
+        space.write(region.start, b"matrix-%d" % i)
+        result = engine.checkpoint()
+        expected[result.checkpoint_id] = b"matrix-%d" % i
+    manager = ReviveManager(kernel, fsstore, storage)
+    for checkpoint_id, content in expected.items():
+        clone = manager.revive(checkpoint_id).container.process_by_vpid(
+            procs[0].vpid
+        )
+        assert clone.address_space.read(region.start, len(content)) == content
+    assert verify_chain(storage, fsstore).ok

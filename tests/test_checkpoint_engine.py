@@ -1,0 +1,314 @@
+"""Integration tests for the checkpoint engine (sections 5.1.1 / 5.1.2)."""
+
+from repro.common.clock import VirtualClock
+from repro.common.costs import PAGE_SIZE
+from repro.common.units import ms, seconds
+from repro.checkpoint.engine import CheckpointEngine, EngineOptions
+from repro.checkpoint.storage import CheckpointStorage
+from repro.fs.branch import BranchableStore
+from repro.vex.kernel import Kernel
+from repro.vex.process import ProcessState
+
+
+def make_rig(options=None, nprocs=3, pages_per_proc=8, compress=False):
+    """A kernel + container with writable memory + fs + engine."""
+    kernel = Kernel(clock=VirtualClock())
+    container = kernel.create_container("desktop")
+    fsstore = BranchableStore(clock=kernel.clock)
+    fsstore.fs.makedirs("/home/user")
+    storage = CheckpointStorage(clock=kernel.clock, compress=compress)
+    procs = []
+    init = container.spawn("init")
+    procs.append(init)
+    for i in range(nprocs - 1):
+        proc = container.spawn("app%d" % i, parent=init)
+        procs.append(proc)
+    for proc in procs:
+        region = proc.address_space.mmap(pages_per_proc, name="heap")
+        for page in range(pages_per_proc):
+            proc.address_space.write(
+                region.start + page * PAGE_SIZE,
+                ("%s-page-%d" % (proc.name, page)).encode(),
+            )
+    engine = CheckpointEngine(kernel, container, fsstore, storage, options)
+    return kernel, container, fsstore, storage, engine, procs
+
+
+class TestBasicCheckpoint:
+    def test_checkpoint_stores_image(self):
+        _k, _c, _f, storage, engine, _p = make_rig()
+        result = engine.checkpoint()
+        assert result.checkpoint_id == 1
+        assert 1 in storage
+        assert result.image_bytes > 0
+
+    def test_first_checkpoint_is_full(self):
+        *_rest, engine, procs = make_rig(nprocs=2, pages_per_proc=4)
+        result = engine.checkpoint()
+        assert result.full
+        assert result.saved_pages == 2 * 4
+
+    def test_processes_resumed_after_checkpoint(self):
+        _k, container, *_rest, engine, _p = make_rig()
+        engine.checkpoint()
+        assert all(
+            p.state is ProcessState.RUNNABLE for p in container.live_processes()
+        )
+
+    def test_checkpoint_counter_recorded_in_fs(self):
+        _k, _c, fsstore, _s, engine, _p = make_rig()
+        engine.checkpoint()
+        assert fsstore.fs.txn_for_checkpoint(1) > 0
+
+    def test_result_counts_processes(self):
+        *_rest, engine, procs = make_rig(nprocs=4)
+        result = engine.checkpoint()
+        assert result.process_count == 4
+
+    def test_history_accumulates(self):
+        *_rest, engine, _p = make_rig()
+        engine.checkpoint()
+        engine.checkpoint()
+        assert len(engine.history) == 2
+        assert engine.average_downtime_us() > 0
+
+    def test_image_roundtrips_through_storage(self):
+        _k, _c, _f, storage, engine, procs = make_rig(nprocs=2, pages_per_proc=2)
+        engine.checkpoint()
+        image = storage.load(1)
+        assert image.checkpoint_id == 1
+        assert len(image.processes) == 2
+        key = (procs[0].vpid, procs[0].address_space.regions()[0].start, 0)
+        assert image.pages[key].startswith(b"init-page-0")
+
+
+class TestIncremental:
+    def test_second_checkpoint_saves_only_dirty(self):
+        _k, _c, _f, _s, engine, procs = make_rig(nprocs=2, pages_per_proc=8)
+        engine.checkpoint()
+        # Dirty exactly two pages in one process.
+        space = procs[0].address_space
+        region = space.regions()[0]
+        space.write(region.start, b"modified")
+        space.write(region.start + 3 * PAGE_SIZE, b"modified")
+        result = engine.checkpoint()
+        assert not result.full
+        assert result.saved_pages == 2
+
+    def test_no_changes_saves_nothing(self):
+        *_rest, engine, _p = make_rig()
+        engine.checkpoint()
+        result = engine.checkpoint()
+        assert result.saved_pages == 0
+
+    def test_full_checkpoint_interval(self):
+        options = EngineOptions(full_checkpoint_interval=2)
+        *_rest, engine, _p = make_rig(options)
+        assert engine.checkpoint().full          # 1: first is always full
+        assert not engine.checkpoint().full      # 2: incremental
+        assert not engine.checkpoint().full      # 3: incremental
+        assert engine.checkpoint().full          # 4: interval reached
+
+    def test_incremental_disabled_always_full(self):
+        options = EngineOptions(use_incremental=False)
+        *_rest, engine, procs = make_rig(options, nprocs=2, pages_per_proc=4)
+        engine.checkpoint()
+        result = engine.checkpoint()
+        assert result.full
+        assert result.saved_pages == 8
+
+    def test_new_pages_after_checkpoint_are_saved(self):
+        _k, _c, _f, _s, engine, procs = make_rig(nprocs=1, pages_per_proc=2)
+        engine.checkpoint()
+        space = procs[0].address_space
+        region = space.mmap(2, name="fresh")
+        space.write(region.start, b"new data")
+        result = engine.checkpoint()
+        assert result.saved_pages == 1
+
+    def test_incremental_much_smaller_than_full(self):
+        """The storage argument for incremental checkpoints."""
+        _k, _c, _f, storage, engine, procs = make_rig(nprocs=2, pages_per_proc=64)
+        engine.checkpoint()
+        full_bytes = storage.size_of(1)[0]
+        space = procs[0].address_space
+        region = space.regions()[0]
+        space.write(region.start, b"tiny change")
+        engine.checkpoint()
+        incr_bytes = storage.size_of(2)[0]
+        assert incr_bytes < full_bytes / 10
+
+
+class TestCOW:
+    def test_saved_pages_are_protected_after_checkpoint(self):
+        *_rest, engine, procs = make_rig(nprocs=1, pages_per_proc=2)
+        engine.checkpoint()
+        region = procs[0].address_space.regions()[0]
+        assert region.ckpt_flagged == {0, 1}
+
+    def test_write_after_checkpoint_faults_once(self):
+        *_rest, engine, procs = make_rig(nprocs=1, pages_per_proc=2)
+        engine.checkpoint()
+        space = procs[0].address_space
+        region = space.regions()[0]
+        space.write(region.start, b"post-checkpoint")
+        assert space.fault_count == 1
+        assert 0 not in region.ckpt_flagged
+        assert 0 in region.dirty
+
+    def test_cow_preserves_original_content_in_image(self):
+        """A write landing between resume and writeback must not leak into
+        the checkpoint image — the COW copy holds the original."""
+        _k, _c, _f, storage, engine, procs = make_rig(nprocs=1, pages_per_proc=2)
+        space = procs[0].address_space
+        region = space.regions()[0]
+
+        def mutate_after_resume():
+            space.write(region.start, b"dirty-after-resume")
+
+        engine.checkpoint(on_resumed=mutate_after_resume)
+        image = storage.load(1)
+        key = (procs[0].vpid, region.start, 0)
+        assert image.pages[key].startswith(b"init-page-0")
+        # The live memory, by contrast, carries the new content.
+        assert space.read(region.start, 18) == b"dirty-after-resume"
+
+    def test_cow_disabled_copies_during_downtime(self):
+        options_cow = EngineOptions(use_cow=True)
+        options_copy = EngineOptions(use_cow=False)
+        *_r1, engine_cow, _p1 = make_rig(options_cow, nprocs=2, pages_per_proc=256)
+        *_r2, engine_copy, _p2 = make_rig(options_copy, nprocs=2, pages_per_proc=256)
+        cow = engine_cow.checkpoint()
+        copy = engine_copy.checkpoint()
+        assert cow.capture_us < copy.capture_us
+
+    def test_cow_image_matches_stop_and_copy_image(self):
+        """Both capture strategies must produce identical page contents."""
+        _k1, _c1, _f1, storage_cow, engine_cow, _p1 = make_rig(
+            EngineOptions(use_cow=True), nprocs=1, pages_per_proc=4
+        )
+        _k2, _c2, _f2, storage_copy, engine_copy, _p2 = make_rig(
+            EngineOptions(use_cow=False), nprocs=1, pages_per_proc=4
+        )
+        engine_cow.checkpoint()
+        engine_copy.checkpoint()
+        pages_cow = storage_cow.load(1).pages
+        pages_copy = storage_copy.load(1).pages
+        assert {k: v for k, v in pages_cow.items()} == {
+            k: v for k, v in pages_copy.items()
+        }
+
+
+class TestDowntimeOptimizations:
+    def test_downtime_under_10ms_with_optimizations(self):
+        """Figure 3's headline: downtime below 10 ms for app benchmarks."""
+        *_rest, engine, _p = make_rig(nprocs=5, pages_per_proc=32)
+        engine.checkpoint()
+        # Dirty a realistic per-second page count and checkpoint again.
+        result = engine.checkpoint()
+        assert result.downtime_us < ms(10)
+
+    def test_deferred_writeback_keeps_disk_out_of_downtime(self):
+        deferred = EngineOptions(defer_writeback=True)
+        sync = EngineOptions(defer_writeback=False)
+        *_r1, engine_d, _p1 = make_rig(deferred, nprocs=2, pages_per_proc=128)
+        *_r2, engine_s, _p2 = make_rig(sync, nprocs=2, pages_per_proc=128)
+        d = engine_d.checkpoint()
+        s = engine_s.checkpoint()
+        assert d.downtime_us < s.downtime_us
+        assert d.writeback_us > 0
+
+    def test_pre_snapshot_shrinks_fs_snapshot_downtime(self):
+        pre = EngineOptions(pre_snapshot=True)
+        nopre = EngineOptions(pre_snapshot=False)
+        _k1, _c1, fs1, _s1, engine1, _p1 = make_rig(pre)
+        _k2, _c2, fs2, _s2, engine2, _p2 = make_rig(nopre)
+        for fs in (fs1, fs2):
+            fs.fs.write_file("/home/user/out.dat", b"x" * (64 * 4096))
+        r1 = engine1.checkpoint()
+        r2 = engine2.checkpoint()
+        assert r1.fs_snapshot_us < r2.fs_snapshot_us
+        assert r1.pre_snapshot_us > 0
+
+    def test_pre_quiesce_moves_io_wait_out_of_downtime(self):
+        """A process mid-disk-I/O delays stopping; pre-quiescing absorbs
+        the wait before the stopped window starts."""
+        pre = EngineOptions(pre_quiesce=True, pre_quiesce_timeout_us=ms(100))
+        nopre = EngineOptions(pre_quiesce=False)
+        _k1, c1, _f1, _s1, engine1, p1 = make_rig(pre)
+        _k2, c2, _f2, _s2, engine2, p2 = make_rig(nopre)
+        p1[1].begin_io(_k1.clock.now_us, ms(20))
+        p2[1].begin_io(_k2.clock.now_us, ms(20))
+        r1 = engine1.checkpoint()
+        r2 = engine2.checkpoint()
+        assert r1.pre_quiesce_us >= ms(19)
+        assert r1.quiesce_us < r2.quiesce_us
+        assert r1.downtime_us < r2.downtime_us
+
+    def test_pre_quiesce_timeout_bounds_the_wait(self):
+        options = EngineOptions(pre_quiesce=True, pre_quiesce_timeout_us=ms(5))
+        kernel, _c, _f, _s, engine, procs = make_rig(options)
+        procs[1].begin_io(kernel.clock.now_us, seconds(10))
+        result = engine.checkpoint()
+        assert result.pre_quiesce_us <= ms(6)
+
+    def test_all_optimizations_beat_none(self):
+        """The ablation headline: the unoptimized engine's downtime is
+        orders of magnitude worse."""
+        optimized = EngineOptions()
+        unoptimized = EngineOptions(
+            use_cow=False,
+            use_incremental=False,
+            defer_writeback=False,
+            pre_snapshot=False,
+            pre_quiesce=False,
+        )
+        *_r1, engine_o, _p1 = make_rig(optimized, nprocs=3, pages_per_proc=256)
+        *_r2, engine_u, _p2 = make_rig(unoptimized, nprocs=3, pages_per_proc=256)
+        engine_o.checkpoint()
+        engine_u.checkpoint()
+        o = engine_o.checkpoint()
+        u = engine_u.checkpoint()
+        assert o.downtime_us * 10 < u.downtime_us
+
+    def test_estimated_buffer_tracks_recent_sizes(self):
+        *_rest, engine, _p = make_rig()
+        initial = engine.estimated_buffer_bytes
+        engine.checkpoint()
+        assert engine.estimated_buffer_bytes != initial
+
+
+class TestRelinking:
+    def test_unlinked_open_file_relinked_into_snapshot(self):
+        _k, _c, fsstore, storage, engine, procs = make_rig(nprocs=1)
+        fs = fsstore.fs
+        fs.create("/home/user/scratch", b"unsaved")
+        handle = fs.open("/home/user/scratch")
+        entry = procs[0].open_fd(path="/home/user/scratch", inode=handle.inode_id)
+        fs.unlink("/home/user/scratch")
+        entry.unlinked = True
+        engine.checkpoint()
+        image = storage.load(1)
+        assert len(image.relinked_files) == 1
+        vpid, fd, target = image.relinked_files[0]
+        view = fs.view_for_checkpoint(1)
+        assert view.read_file(target) == b"unsaved"
+
+    def test_linked_files_not_relinked(self):
+        _k, _c, fsstore, storage, engine, procs = make_rig(nprocs=1)
+        fs = fsstore.fs
+        fs.create("/home/user/kept", b"data")
+        handle = fs.open("/home/user/kept")
+        procs[0].open_fd(path="/home/user/kept", inode=handle.inode_id)
+        engine.checkpoint()
+        assert storage.load(1).relinked_files == []
+
+
+class TestCompression:
+    def test_compressed_storage_accounts_fewer_bytes(self):
+        _k1, _c1, _f1, storage_raw, engine_raw, _p1 = make_rig(compress=False)
+        _k2, _c2, _f2, storage_z, engine_z, _p2 = make_rig(compress=True)
+        engine_raw.checkpoint()
+        engine_z.checkpoint()
+        unc, comp = storage_z.size_of(1)
+        assert comp < unc

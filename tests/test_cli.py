@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_scenarios_lists_all_eight(self):
+        code, output = run_cli("scenarios")
+        assert code == 0
+        for name in ("web", "video", "untar", "gzip", "make", "octave",
+                     "cat", "desktop"):
+            assert name in output
+
+    def test_run_reports_checkpoints_and_storage(self):
+        code, output = run_cli("run", "gzip", "--units", "16")
+        assert code == 0
+        assert "checkpoints:" in output
+        assert "storage growth:" in output
+        assert "sample search" in output
+
+    def test_run_with_components_disabled(self):
+        code, output = run_cli(
+            "run", "gzip", "--units", "8",
+            "--no-display", "--no-index", "--no-checkpoints",
+        )
+        assert code == 0
+        assert "checkpoints:" not in output
+
+    def test_run_compress_flag(self):
+        code, output = run_cli("run", "octave", "--units", "4", "--compress")
+        assert code == 0
+
+    def test_run_policy_flag(self):
+        code, output = run_cli("run", "desktop", "--units", "30", "--policy")
+        assert code == 0
+
+    def test_run_unknown_scenario_errors(self):
+        from repro.common.errors import DejaViewError
+
+        with pytest.raises(DejaViewError):
+            run_cli("run", "quake3")
+
+    def test_demo(self):
+        code, output = run_cli("demo")
+        assert code == 0
+        assert "revived" in output
+        assert "deleted file restored" in output
+
+    def test_figures_map(self):
+        code, output = run_cli("figures")
+        assert code == 0
+        for path in FIGURES.values():
+            assert path in output
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,70 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now_us == 0
+
+    def test_custom_start(self):
+        assert VirtualClock(start_us=500).now_us == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start_us=-1)
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance_us(100)
+        clock.advance_us(250)
+        assert clock.now_us == 350
+
+    def test_advance_rounds_fractional_charges(self):
+        clock = VirtualClock()
+        clock.advance_us(1.6)
+        assert clock.now_us == 2
+
+    def test_advance_negative_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance_us(-5)
+
+    def test_advance_to_future_deadline(self):
+        clock = VirtualClock()
+        clock.advance_to_us(1000)
+        assert clock.now_us == 1000
+
+    def test_advance_to_past_deadline_is_noop(self):
+        clock = VirtualClock(start_us=2000)
+        clock.advance_to_us(1000)
+        assert clock.now_us == 2000
+
+    def test_unit_conversions(self):
+        clock = VirtualClock(start_us=1_500_000)
+        assert clock.now_ms == 1500.0
+        assert clock.now_seconds == 1.5
+
+
+class TestStopwatch:
+    def test_elapsed(self):
+        clock = VirtualClock()
+        watch = clock.stopwatch()
+        clock.advance_us(42)
+        assert watch.elapsed_us == 42
+        assert watch.elapsed_ms == 0.042
+
+    def test_restart_returns_prior_elapsed(self):
+        clock = VirtualClock()
+        watch = clock.stopwatch()
+        clock.advance_us(10)
+        assert watch.restart() == 10
+        clock.advance_us(5)
+        assert watch.elapsed_us == 5
+
+    def test_start_us_records_creation_instant(self):
+        clock = VirtualClock(start_us=77)
+        watch = clock.stopwatch()
+        assert watch.start_us == 77

@@ -1,0 +1,132 @@
+"""Property tests: mirror-tree consistency and temporal query semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import VirtualClock
+from repro.common.costs import DEFAULT_COSTS, CostModel
+from repro.access.daemon import IndexingDaemon
+from repro.access.registry import DesktopRegistry
+from repro.access.toolkit import AccessibleApp, Role
+from repro.index.database import TemporalTextDatabase
+from repro.index.query import Clause, Query
+from repro.index.search import SearchEngine
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 50), st.text(max_size=12)),
+        max_size=40,
+    )
+)
+def test_property_mirror_tree_tracks_real_tree(ops):
+    """After any event sequence, the daemon's mirror tree is an exact
+    replica of the application's accessible tree (the section 4.2
+    invariant that makes hash-map event handling sound)."""
+    clock = VirtualClock()
+    registry = DesktopRegistry(clock)
+    database = TemporalTextDatabase(clock)
+    app = AccessibleApp("app", registry, clock, DEFAULT_COSTS)
+    daemon = IndexingDaemon(registry, database)
+    nodes = [app.root]
+
+    for kind, pick, text in ops:
+        if kind == 0:  # add a node under a random existing parent
+            parent = nodes[pick % len(nodes)]
+            nodes.append(app.add_node(parent, Role.TEXT, text=text))
+        elif kind == 1:  # change a node's text
+            node = nodes[pick % len(nodes)]
+            if node is not app.root:
+                app.set_text(node, text)
+        else:  # remove a non-root subtree
+            node = nodes[pick % len(nodes)]
+            if node is not app.root and node.parent is not None:
+                removed = set(n.node_id for n in node.subtree())
+                app.remove_node(node)
+                nodes = [n for n in nodes if n.node_id not in removed]
+
+    real = {node.node_id: node.text for node in app.root.subtree()}
+    mirror_root = daemon.mirror_root("app")
+    mirrored = {node.node_id: node.text for node in mirror_root.subtree()}
+    assert mirrored == real
+    assert daemon.mirror_size() == len(real)
+
+
+_TIMELINE = st.lists(
+    st.tuples(
+        st.integers(0, 3),              # node id
+        st.sampled_from(["alpha", "beta", "alpha beta", "gamma", ""]),
+        st.integers(1, 20),             # dwell seconds
+        st.sampled_from(["appA", "appB"]),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=_TIMELINE, probe_step=st.integers(1, 7))
+def test_property_query_intervals_match_pointwise_model(events, probe_step):
+    """satisfied_intervals agrees with brute-force evaluation: at every
+    probe instant, the query holds iff the instant is inside one of the
+    returned intervals."""
+    clock = VirtualClock()
+    db = TemporalTextDatabase(
+        clock,
+        costs=CostModel(index_token_us=0, index_query_term_us=0,
+                        index_posting_us=0),
+    )
+    visible = {}  # node -> (tokens, app)
+    history = []  # (time, snapshot of visible dict)
+
+    for node, text, dwell, app in events:
+        db.open_occurrence(node, text, app=app)
+        tokens = frozenset(text.split()) if text else frozenset()
+        if tokens:
+            visible[node] = (tokens, app)
+        else:
+            visible.pop(node, None)
+        history.append((clock.now_us, dict(visible)))
+        clock.advance_us(dwell * 1_000_000)
+    end_us = clock.now_us
+
+    def visible_at(t):
+        state = {}
+        for when, snapshot in history:
+            if when <= t:
+                state = snapshot
+        return state
+
+    engine = SearchEngine(db)
+    queries = [
+        Query(clauses=(Clause(all_of="alpha"),)),
+        Query(clauses=(Clause(all_of="alpha beta"),)),
+        Query(clauses=(Clause(any_of=["alpha", "gamma"]),)),
+        Query(clauses=(Clause(all_of="alpha", none_of="gamma"),)),
+        Query(clauses=(Clause(all_of="alpha", app="appA"),)),
+    ]
+
+    def holds(query, state):
+        for clause in query.clauses:
+            tokens_by_ctx = [
+                tokens for tokens, app in state.values()
+                if clause.app is None or app == clause.app
+            ]
+            present = set().union(*tokens_by_ctx) if tokens_by_ctx else set()
+            if clause.all_of and not set(clause.all_of) <= present:
+                return False
+            if clause.any_of and not set(clause.any_of) & present:
+                return False
+            if clause.none_of and set(clause.none_of) & present:
+                return False
+        return True
+
+    for query in queries:
+        intervals = engine.satisfied_intervals(query, now_us=end_us)
+        for t in range(0, end_us, probe_step * 1_000_000):
+            inside = any(start <= t < end for start, end in intervals)
+            assert inside == holds(query, visible_at(t)), (
+                query, t, intervals
+            )

@@ -1,0 +1,132 @@
+"""Tests for demand-paged revive (the section 6 suggested improvement)."""
+
+from repro.common.costs import PAGE_SIZE
+from repro.checkpoint.restore import ReviveManager
+
+from tests.test_checkpoint_engine import make_rig
+
+
+def make_demand_rig(**kwargs):
+    kernel, container, fsstore, storage, engine, procs = make_rig(**kwargs)
+    manager = ReviveManager(kernel, fsstore, storage)
+    return kernel, container, fsstore, storage, engine, procs, manager
+
+
+class TestDemandPagedRevive:
+    def test_revive_latency_far_below_eager(self):
+        *_rest, engine, _procs, manager = make_demand_rig(
+            nprocs=3, pages_per_proc=512
+        )
+        engine.checkpoint()
+        eager = manager.revive(1, cached=False)
+        lazy = manager.revive(1, cached=False, demand_paging=True)
+        assert lazy.demand_paged
+        assert lazy.duration_us < eager.duration_us / 5
+
+    def test_no_pages_resident_until_touched(self):
+        *_rest, engine, procs, manager = make_demand_rig(
+            nprocs=1, pages_per_proc=8
+        )
+        engine.checkpoint()
+        result = manager.revive(1, demand_paging=True)
+        clone = result.container.process_by_vpid(procs[0].vpid)
+        assert clone.address_space.resident_pages == 0
+        assert result.pages_deferred == 8
+
+    def test_read_faults_in_correct_content(self):
+        *_rest, engine, procs, manager = make_demand_rig(
+            nprocs=1, pages_per_proc=4
+        )
+        engine.checkpoint()
+        result = manager.revive(1, demand_paging=True)
+        clone = result.container.process_by_vpid(procs[0].vpid)
+        region = clone.address_space.regions()[0]
+        data = clone.address_space.read(region.start, 11)
+        assert data == b"init-page-0"
+        assert result.pager.faults == 1
+        assert clone.address_space.resident_pages == 1
+
+    def test_write_to_unloaded_page_faults_first(self):
+        *_rest, engine, procs, manager = make_demand_rig(
+            nprocs=1, pages_per_proc=4
+        )
+        engine.checkpoint()
+        result = manager.revive(1, demand_paging=True)
+        clone = result.container.process_by_vpid(procs[0].vpid)
+        region = clone.address_space.regions()[0]
+        # Partial write: the rest of the page must carry checkpoint data.
+        clone.address_space.write(region.start + 2 * PAGE_SIZE + 100, b"XY")
+        page = clone.address_space.read(region.start + 2 * PAGE_SIZE, 11)
+        assert page == b"init-page-2"
+
+    def test_second_touch_of_same_page_no_refault(self):
+        *_rest, engine, procs, manager = make_demand_rig(
+            nprocs=1, pages_per_proc=4
+        )
+        engine.checkpoint()
+        result = manager.revive(1, demand_paging=True)
+        clone = result.container.process_by_vpid(procs[0].vpid)
+        region = clone.address_space.regions()[0]
+        clone.address_space.read(region.start, 4)
+        clone.address_space.read(region.start + 10, 4)
+        assert result.pager.faults == 1
+
+    def test_touch_all_converges_to_eager_content(self):
+        """After every page faults in, memory equals the eager revive's."""
+        *_rest, engine, procs, manager = make_demand_rig(
+            nprocs=2, pages_per_proc=6
+        )
+        engine.checkpoint()
+        eager = manager.revive(1)
+        lazy = manager.revive(1, demand_paging=True)
+        lazy.pager.touch_all()
+        assert lazy.pager.remaining() == 0
+        for proc in procs:
+            e = eager.container.process_by_vpid(proc.vpid)
+            l = lazy.container.process_by_vpid(proc.vpid)
+            for er, lr in zip(e.address_space.regions(),
+                              l.address_space.regions()):
+                assert er.pages == lr.pages
+
+    def test_demand_paging_works_across_incremental_chain(self):
+        *_rest, engine, procs, manager = make_demand_rig(
+            nprocs=1, pages_per_proc=4
+        )
+        space = procs[0].address_space
+        region = space.regions()[0]
+        engine.checkpoint()                 # full
+        space.write(region.start, b"updated-page-0")
+        engine.checkpoint()                 # incremental
+        result = manager.revive(2, demand_paging=True)
+        clone = result.container.process_by_vpid(procs[0].vpid)
+        # Page 0 comes from image 2, page 1 from image 1 — both lazily.
+        assert clone.address_space.read(region.start, 14) == b"updated-page-0"
+        assert clone.address_space.read(
+            region.start + PAGE_SIZE, 11
+        ) == b"init-page-1"
+
+    def test_fresh_pages_in_revived_session_do_not_fault(self):
+        *_rest, engine, procs, manager = make_demand_rig(
+            nprocs=1, pages_per_proc=2
+        )
+        engine.checkpoint()
+        result = manager.revive(1, demand_paging=True)
+        clone = result.container.process_by_vpid(procs[0].vpid)
+        fresh = clone.address_space.mmap(2, name="fresh")
+        clone.address_space.write(fresh.start, b"new work")
+        assert result.pager.faults == 0
+        assert clone.address_space.read(fresh.start, 8) == b"new work"
+
+    def test_total_lazy_io_exceeds_eager_sequential_read(self):
+        """The latency/throughput trade: loading everything by faults costs
+        more total time than one eager sequential read."""
+        kernel, *_rest, engine, _procs, manager = make_demand_rig(
+            nprocs=2, pages_per_proc=256
+        )
+        engine.checkpoint()
+        eager = manager.revive(1, cached=False)
+        lazy = manager.revive(1, cached=False, demand_paging=True)
+        watch = kernel.clock.stopwatch()
+        lazy.pager.touch_all()
+        lazy_total = lazy.duration_us + watch.elapsed_us
+        assert lazy_total > eager.duration_us

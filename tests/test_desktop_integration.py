@@ -1,0 +1,164 @@
+"""End-to-end integration tests: the full DejaView stack on a session."""
+
+import pytest
+
+from repro import (
+    DejaView,
+    DesktopSession,
+    Query,
+    RecordingConfig,
+)
+from repro.common.errors import DejaViewError
+from repro.common.units import seconds
+from repro.display.commands import Region
+
+
+def _session_with_recorder(config=None):
+    session = DesktopSession(width=64, height=48)
+    dejaview = DejaView(session, config)
+    return session, dejaview
+
+
+class TestSessionAssembly:
+    def test_display_server_inside_container(self):
+        session, _dv = _session_with_recorder()
+        assert session.container.namespace.resolve("display", ":0") \
+            is session.display_server
+
+    def test_launch_creates_process_and_ax_app(self):
+        session, _dv = _session_with_recorder()
+        app = session.launch("editor")
+        assert app.process in session.container.processes
+        assert session.registry.app("editor") is app.ax
+
+    def test_quit_reaps(self):
+        session, _dv = _session_with_recorder()
+        app = session.launch("editor")
+        session.quit("editor")
+        assert app.process not in session.container.processes
+        assert app.closed
+
+    def test_home_directory_populated(self):
+        session, _dv = _session_with_recorder()
+        assert session.fs.is_dir("/home/user")
+        assert session.fs.read_file("/etc/hostname").startswith(b"dejaview")
+
+
+class TestRecordingLifecycle:
+    def test_tick_checkpoints_at_fixed_rate(self):
+        session, dv = _session_with_recorder()
+        app = session.launch("editor")
+        for i in range(3):
+            app.draw_fill(Region(0, 0, 64, 48), i)
+            dv.tick()
+            session.clock.advance_us(seconds(1))
+        assert dv.checkpoint_count == 3
+
+    def test_tick_respects_fixed_interval(self):
+        session, dv = _session_with_recorder()
+        app = session.launch("editor")
+        for i in range(10):
+            app.draw_fill(Region(0, 0, 64, 48), i)
+            dv.tick()
+            session.clock.advance_us(seconds(1) // 5)
+        assert dv.checkpoint_count <= 3
+
+    def test_policy_mode_skips_quiet_ticks(self):
+        session, dv = _session_with_recorder(RecordingConfig(use_policy=True))
+        session.launch("editor")
+        for _ in range(5):
+            dv.tick()  # no display activity at all
+            session.clock.advance_us(seconds(1))
+        assert dv.checkpoint_count == 0
+        assert dv.policy.stats.total_skipped == 5
+
+    def test_disabled_components_raise_cleanly(self):
+        session, dv = _session_with_recorder(
+            RecordingConfig(record_display=False, record_index=False,
+                            record_checkpoints=False)
+        )
+        with pytest.raises(DejaViewError):
+            dv.display_record()
+        with pytest.raises(DejaViewError):
+            dv.search_engine()
+        with pytest.raises(DejaViewError):
+            dv.checkpoint_before(0)
+
+    def test_storage_report_keys(self):
+        _session, dv = _session_with_recorder()
+        report = dv.storage_report()
+        assert set(report) == {
+            "display", "index", "checkpoint_uncompressed",
+            "checkpoint_compressed", "fs_log", "fs_visible",
+        }
+
+
+class TestWYSIWYSLoop:
+    """The headline user journeys of section 2."""
+
+    def _record_story(self):
+        session, dv = _session_with_recorder()
+        editor = session.launch("editor")
+        editor.focus()
+        # Chapter 1: write some notes on a red screen.
+        editor.draw_fill(Region(0, 0, 64, 48), 0xFF0000)
+        note = editor.show_text("project alpha kickoff notes")
+        dv.tick()
+        t_alpha = session.clock.now_us
+        session.clock.advance_us(seconds(5))
+        # Chapter 2: replace with beta content on a green screen.
+        editor.draw_fill(Region(0, 0, 64, 48), 0x00FF00)
+        editor.update_text(note, "project beta retrospective")
+        session.fs.write_file("/home/user/beta.txt", b"beta doc")
+        dv.tick()
+        session.clock.advance_us(seconds(5))
+        dv.tick()
+        return session, dv, editor, t_alpha
+
+    def test_search_finds_past_text_with_screenshot(self):
+        session, dv, _editor, t_alpha = self._record_story()
+        results = dv.search(Query.keywords("alpha"))
+        assert len(results) == 1
+        shot = results[0].screenshot
+        assert int(shot.pixels[10, 10]) == 0xFF0000  # the red chapter
+
+    def test_search_then_take_me_back(self):
+        session, dv, editor, t_alpha = self._record_story()
+        results = dv.search(Query.keywords("alpha"), render=False)
+        hit_time = results[0].timestamp_us
+        revived = dv.take_me_back(max(hit_time, t_alpha))
+        # The revived session has the editor process, under its old vpid.
+        clone = revived.container.process_by_vpid(editor.process.vpid)
+        assert clone.name == "editor"
+        # And the revived fs lacks the file created later.
+        assert not revived.container.mount.exists("/home/user/beta.txt")
+
+    def test_browse_reaches_intermediate_state(self):
+        session, dv, _editor, t_alpha = self._record_story()
+        fb, _stats = dv.browse(t_alpha)
+        assert int(fb.pixels[5, 5]) == 0xFF0000
+
+    def test_playback_reproduces_live_screen(self):
+        session, dv, _editor, _t = self._record_story()
+        fb, stats = dv.playback(0, session.clock.now_us, fastest=True)
+        assert fb.checksum() == session.driver.framebuffer.checksum()
+        assert stats.speedup > 1
+
+    def test_take_me_back_before_any_checkpoint_rejected(self):
+        session, dv = _session_with_recorder()
+        with pytest.raises(DejaViewError):
+            dv.take_me_back(0)
+
+    def test_multiple_concurrent_revives(self):
+        """Section 2: "simultaneous revival of multiple past sessions"."""
+        session, dv, editor, t_alpha = self._record_story()
+        a = dv.take_me_back(t_alpha)
+        b = dv.take_me_back(session.clock.now_us)
+        assert a.container is not b.container
+        a.container.mount.write_file("/home/user/branch-a.txt", b"a")
+        assert not b.container.mount.exists("/home/user/branch-a.txt")
+
+    def test_revived_session_network_disabled(self):
+        session, dv, _editor, t_alpha = self._record_story()
+        revived = dv.take_me_back(t_alpha)
+        assert not revived.container.network_enabled

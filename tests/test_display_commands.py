@@ -1,0 +1,213 @@
+"""Unit tests for regions and the THINC command set."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DisplayError
+from repro.display.commands import (
+    COMMAND_TYPES,
+    BitmapCmd,
+    CopyCmd,
+    PatternFillCmd,
+    RawCmd,
+    Region,
+    SolidFillCmd,
+)
+from repro.display.framebuffer import Framebuffer
+from repro.display.protocol import decode_command, encode_command
+
+
+class TestRegion:
+    def test_area_and_edges(self):
+        r = Region(2, 3, 10, 20)
+        assert r.area == 200
+        assert (r.x2, r.y2) == (12, 23)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(DisplayError):
+            Region(0, 0, -1, 5)
+
+    def test_contains(self):
+        outer = Region(0, 0, 100, 100)
+        assert outer.contains(Region(10, 10, 20, 20))
+        assert outer.contains(outer)
+        assert not outer.contains(Region(90, 90, 20, 20))
+
+    def test_intersects_and_intersection(self):
+        a = Region(0, 0, 10, 10)
+        b = Region(5, 5, 10, 10)
+        assert a.intersects(b)
+        assert a.intersection(b) == Region(5, 5, 5, 5)
+
+    def test_disjoint_intersection_is_empty(self):
+        a = Region(0, 0, 10, 10)
+        b = Region(20, 20, 5, 5)
+        assert not a.intersects(b)
+        assert a.intersection(b).is_empty()
+
+    def test_touching_edges_do_not_intersect(self):
+        a = Region(0, 0, 10, 10)
+        b = Region(10, 0, 10, 10)
+        assert not a.intersects(b)
+
+    def test_union_bounds(self):
+        a = Region(0, 0, 10, 10)
+        b = Region(20, 20, 5, 5)
+        assert a.union_bounds(b) == Region(0, 0, 25, 25)
+
+    def test_union_bounds_with_empty(self):
+        a = Region(5, 5, 10, 10)
+        empty = Region(0, 0, 0, 0)
+        assert a.union_bounds(empty) == a
+        assert empty.union_bounds(a) == a
+
+    def test_scaled_covers_original_pixels(self):
+        r = Region(3, 3, 7, 7).scaled(0.5)
+        # ceil of right edge: (3+7)*0.5 = 5
+        assert r == Region(1, 1, 4, 4)
+
+    def test_scale_factor_must_be_positive(self):
+        with pytest.raises(DisplayError):
+            Region(0, 0, 1, 1).scaled(0)
+
+    def test_clipped(self):
+        r = Region(-5, -5, 20, 20).clipped(10, 10)
+        assert r == Region(0, 0, 10, 10)
+
+
+def _fb(w=64, h=48):
+    return Framebuffer(w, h)
+
+
+class TestSolidFill:
+    def test_apply(self):
+        fb = _fb()
+        SolidFillCmd(Region(0, 0, 64, 48), 0xAABBCC).apply(fb)
+        assert np.all(fb.pixels == 0xAABBCC)
+
+    def test_partial_fill(self):
+        fb = _fb()
+        SolidFillCmd(Region(10, 10, 5, 5), 7).apply(fb)
+        assert fb.pixels[12, 12] == 7
+        assert fb.pixels[0, 0] == 0
+
+    def test_roundtrip(self):
+        cmd = SolidFillCmd(Region(1, 2, 3, 4), 0xDEADBEEF)
+        decoded = SolidFillCmd.decode_payload(cmd.encode_payload())
+        assert decoded == cmd
+
+    def test_payload_is_tiny(self):
+        """SFILL is the efficiency argument of section 4.1: a full-screen
+        solid fill costs a constant few bytes, not w*h pixels."""
+        cmd = SolidFillCmd(Region(0, 0, 1024, 768), 0)
+        assert cmd.payload_size < 32
+
+
+class TestRaw:
+    def test_apply_and_roundtrip(self):
+        fb = _fb()
+        pixels = np.arange(20, dtype=np.uint32).reshape(4, 5)
+        cmd = RawCmd(Region(2, 3, 5, 4), pixels)
+        cmd.apply(fb)
+        assert np.array_equal(fb.pixels[3:7, 2:7], pixels)
+        decoded = RawCmd.decode_payload(cmd.encode_payload())
+        assert decoded == cmd
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DisplayError):
+            RawCmd(Region(0, 0, 5, 4), np.zeros((5, 5), dtype=np.uint32))
+
+    def test_scaled_halves_payload(self):
+        pixels = np.random.randint(0, 2**32, size=(40, 40), dtype=np.uint32)
+        cmd = RawCmd(Region(0, 0, 40, 40), pixels)
+        small = cmd.scaled(0.5)
+        assert small.region.w == 20 and small.region.h == 20
+        assert small.payload_size < cmd.payload_size
+
+
+class TestCopy:
+    def test_apply_moves_pixels(self):
+        fb = _fb()
+        SolidFillCmd(Region(0, 0, 8, 8), 0x11).apply(fb)
+        CopyCmd(Region(20, 20, 8, 8), Region(0, 0, 8, 8)).apply(fb)
+        assert np.all(fb.pixels[20:28, 20:28] == 0x11)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(DisplayError):
+            CopyCmd(Region(0, 0, 4, 4), Region(0, 0, 5, 5))
+
+    def test_not_opaque(self):
+        assert not CopyCmd.OPAQUE
+
+    def test_roundtrip(self):
+        cmd = CopyCmd(Region(1, 1, 4, 4), Region(9, 9, 4, 4))
+        assert CopyCmd.decode_payload(cmd.encode_payload()) == cmd
+
+    def test_scroll_semantics_overlapping(self):
+        """Scrolling copies must read the source before writing (no smear)."""
+        fb = _fb(8, 8)
+        fb.pixels[:] = np.arange(64, dtype=np.uint32).reshape(8, 8)
+        original = fb.pixels.copy()
+        CopyCmd(Region(0, 0, 8, 7), Region(0, 1, 8, 7)).apply(fb)
+        assert np.array_equal(fb.pixels[0:7, :], original[1:8, :])
+
+
+class TestPatternFill:
+    def test_apply_tiles_pattern(self):
+        fb = _fb(8, 8)
+        pattern = np.array([[1, 2], [3, 4]], dtype=np.uint32)
+        PatternFillCmd(Region(0, 0, 8, 8), pattern).apply(fb)
+        assert fb.pixels[0, 0] == 1
+        assert fb.pixels[0, 1] == 2
+        assert fb.pixels[1, 0] == 3
+        assert fb.pixels[5, 5] == 4
+
+    def test_roundtrip(self):
+        pattern = np.arange(16, dtype=np.uint32).reshape(4, 4)
+        cmd = PatternFillCmd(Region(3, 3, 9, 9), pattern)
+        assert PatternFillCmd.decode_payload(cmd.encode_payload()) == cmd
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(DisplayError):
+            PatternFillCmd(Region(0, 0, 4, 4), np.zeros((0, 2), dtype=np.uint32))
+
+
+class TestBitmap:
+    def test_apply_expands_fg_bg(self):
+        fb = _fb(8, 8)
+        bits = np.zeros((4, 4), dtype=bool)
+        bits[0, 0] = True
+        BitmapCmd(Region(0, 0, 4, 4), bits, fg=9, bg=5).apply(fb)
+        assert fb.pixels[0, 0] == 9
+        assert fb.pixels[1, 1] == 5
+
+    def test_roundtrip_non_multiple_of_eight(self):
+        bits = np.random.default_rng(1).random((5, 7)) > 0.5
+        cmd = BitmapCmd(Region(0, 0, 7, 5), bits, fg=1, bg=2)
+        decoded = BitmapCmd.decode_payload(cmd.encode_payload())
+        assert decoded == cmd
+        assert np.array_equal(decoded.bits, bits)
+
+    def test_payload_is_one_bit_per_pixel(self):
+        """BITMAP carries glyphs at ~1bpp, far smaller than RAW at 32bpp."""
+        bits = np.ones((16, 16), dtype=bool)
+        cmd = BitmapCmd(Region(0, 0, 16, 16), bits, 1, 0)
+        raw_size = 16 * 16 * 4
+        assert cmd.payload_size < raw_size / 4
+
+
+class TestProtocolCodec:
+    @pytest.mark.parametrize("tag", sorted(COMMAND_TYPES))
+    def test_all_tags_registered(self, tag):
+        assert COMMAND_TYPES[tag].TAG == tag
+
+    def test_encode_decode_with_timestamp(self):
+        cmd = SolidFillCmd(Region(0, 0, 2, 2), 3)
+        tag, payload = encode_command(cmd, 123456)
+        decoded, ts = decode_command(tag, payload)
+        assert decoded == cmd
+        assert ts == 123456
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(DisplayError):
+            decode_command(99, b"\x00" * 8)

@@ -1,0 +1,165 @@
+"""Unit tests for the virtual display driver and viewer."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import DisplayError
+from repro.display.commands import RawCmd, Region, SolidFillCmd
+from repro.display.driver import VirtualDisplayDriver
+from repro.display.viewer import Viewer
+
+
+class _CollectingSink:
+    def __init__(self):
+        self.batches = []
+
+    def handle_commands(self, commands, timestamp_us):
+        self.batches.append((list(commands), timestamp_us))
+
+
+def _driver(w=64, h=48):
+    return VirtualDisplayDriver(w, h, clock=VirtualClock())
+
+
+class TestSubmitAndFlush:
+    def test_submit_applies_immediately_to_server_framebuffer(self):
+        drv = _driver()
+        drv.submit(SolidFillCmd(Region(0, 0, 64, 48), 7))
+        assert np.all(drv.framebuffer.pixels == 7)
+
+    def test_submit_charges_clock(self):
+        drv = _driver()
+        before = drv.clock.now_us
+        drv.submit(SolidFillCmd(Region(0, 0, 64, 48), 7))
+        assert drv.clock.now_us > before
+
+    def test_flush_delivers_to_all_sinks(self):
+        drv = _driver()
+        a, b = _CollectingSink(), _CollectingSink()
+        drv.attach_sink(a)
+        drv.attach_sink(b)
+        drv.submit(SolidFillCmd(Region(0, 0, 4, 4), 1))
+        sent = drv.flush()
+        assert sent == 1
+        assert len(a.batches) == len(b.batches) == 1
+
+    def test_flush_empty_queue_is_noop(self):
+        drv = _driver()
+        sink = _CollectingSink()
+        drv.attach_sink(sink)
+        assert drv.flush() == 0
+        assert sink.batches == []
+
+    def test_detach_sink(self):
+        drv = _driver()
+        sink = _CollectingSink()
+        drv.attach_sink(sink)
+        drv.detach_sink(sink)
+        drv.submit(SolidFillCmd(Region(0, 0, 4, 4), 1))
+        drv.flush()
+        assert sink.batches == []
+
+    def test_fully_offscreen_command_dropped(self):
+        drv = _driver()
+        drv.submit(SolidFillCmd(Region(100, 100, 4, 4), 1))
+        assert drv.pending_count == 0
+
+
+class TestQueueMerging:
+    def test_covered_command_is_merged_away(self):
+        """THINC merging: an opaque command covering a queued one replaces
+        it, so only the last update's result is logged (section 4.1)."""
+        drv = _driver()
+        drv.submit(SolidFillCmd(Region(10, 10, 4, 4), 1))
+        drv.submit(SolidFillCmd(Region(0, 0, 64, 48), 2))
+        assert drv.pending_count == 1
+
+    def test_partial_overlap_not_merged(self):
+        drv = _driver()
+        drv.submit(SolidFillCmd(Region(0, 0, 10, 10), 1))
+        drv.submit(SolidFillCmd(Region(5, 5, 10, 10), 2))
+        assert drv.pending_count == 2
+
+    def test_merged_stream_still_reconstructs_screen(self):
+        drv = _driver()
+        viewer = Viewer(64, 48)
+        drv.attach_sink(viewer)
+        drv.submit(SolidFillCmd(Region(10, 10, 4, 4), 1))
+        drv.submit(SolidFillCmd(Region(0, 0, 64, 48), 2))
+        drv.flush()
+        assert viewer.checksum() == drv.framebuffer.checksum()
+
+
+class TestScaling:
+    def test_sink_scale_must_be_positive(self):
+        drv = _driver()
+        with pytest.raises(DisplayError):
+            drv.attach_sink(_CollectingSink(), scale=0)
+
+    def test_scaled_sink_receives_scaled_commands(self):
+        drv = _driver(64, 48)
+        sink = _CollectingSink()
+        drv.attach_sink(sink, scale=0.5)
+        drv.submit(SolidFillCmd(Region(0, 0, 64, 48), 3))
+        drv.flush()
+        (commands, _ts) = sink.batches[0]
+        assert commands[0].region == Region(0, 0, 32, 24)
+
+    def test_reduced_resolution_viewer_coexists_with_full_recording(self):
+        """Section 4.1: record at full resolution while viewing reduced."""
+        drv = _driver(64, 48)
+        small_viewer = Viewer(32, 24)
+        full_viewer = Viewer(64, 48)
+        drv.attach_sink(small_viewer, scale=0.5)
+        drv.attach_sink(full_viewer)
+        pixels = np.random.default_rng(0).integers(
+            0, 2**32, size=(48, 64), dtype=np.uint32
+        )
+        drv.submit(RawCmd(Region(0, 0, 64, 48), pixels))
+        drv.flush()
+        assert full_viewer.checksum() == drv.framebuffer.checksum()
+        assert small_viewer.framebuffer.width == 32
+
+
+class TestActivityTracking:
+    def test_drain_activity_resets(self):
+        drv = _driver()
+        drv.submit(SolidFillCmd(Region(0, 0, 64, 48), 1))
+        activity = drv.drain_activity()
+        assert activity.command_count == 1
+        assert activity.fullscreen_updates == 1
+        assert drv.peek_activity().command_count == 0
+
+    def test_changed_fraction(self):
+        drv = _driver(10, 10)
+        drv.submit(SolidFillCmd(Region(0, 0, 5, 5), 1))
+        activity = drv.drain_activity()
+        assert activity.changed_fraction == pytest.approx(0.25)
+
+    def test_bounds_accumulate(self):
+        drv = _driver()
+        drv.submit(SolidFillCmd(Region(0, 0, 2, 2), 1))
+        drv.submit(SolidFillCmd(Region(10, 10, 2, 2), 1))
+        activity = drv.drain_activity()
+        assert activity.bounds.contains(Region(0, 0, 2, 2))
+        assert activity.bounds.contains(Region(10, 10, 2, 2))
+
+    def test_empty_activity_changed_fraction_zero(self):
+        from repro.display.driver import DisplayActivity
+
+        assert DisplayActivity().changed_fraction == 0.0
+
+
+class TestViewer:
+    def test_tracks_command_count_and_timestamp(self):
+        viewer = Viewer(8, 8)
+        viewer.handle_commands([SolidFillCmd(Region(0, 0, 8, 8), 1)], 555)
+        assert viewer.commands_received == 1
+        assert viewer.last_update_us == 555
+
+    def test_viewer_with_clock_charges_processing(self):
+        clock = VirtualClock()
+        viewer = Viewer(8, 8, clock=clock)
+        viewer.handle_commands([SolidFillCmd(Region(0, 0, 8, 8), 1)], 0)
+        assert clock.now_us > 0

@@ -1,0 +1,229 @@
+"""Checkpoint engine edge cases: process churn, unmapping, zombies,
+storage interactions, and the end-to-end incremental-chain property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.costs import PAGE_SIZE
+from repro.common.errors import CheckpointError
+from repro.checkpoint.restore import ReviveManager
+
+from tests.test_checkpoint_engine import make_rig
+
+
+def make_revive_rig(**kwargs):
+    kernel, container, fsstore, storage, engine, procs = make_rig(**kwargs)
+    manager = ReviveManager(kernel, fsstore, storage)
+    return kernel, container, fsstore, storage, engine, procs, manager
+
+
+class TestProcessChurn:
+    def test_process_spawned_between_checkpoints_is_captured(self):
+        _k, container, _f, storage, engine, procs, manager = make_revive_rig()
+        engine.checkpoint()
+        newcomer = container.spawn("latecomer", parent=procs[0])
+        region = newcomer.address_space.mmap(2, name="heap")
+        newcomer.address_space.write(region.start, b"late data")
+        engine.checkpoint()
+        revived = manager.revive(2)
+        clone = revived.container.process_by_vpid(newcomer.vpid)
+        assert clone.name == "latecomer"
+        assert clone.address_space.read(region.start, 9) == b"late data"
+
+    def test_process_exited_between_checkpoints_not_in_new_image(self):
+        _k, container, _f, storage, engine, procs, manager = make_revive_rig(
+            nprocs=3
+        )
+        engine.checkpoint()
+        victim = procs[2]
+        victim.exit(0)
+        container.reap(victim)
+        engine.checkpoint()
+        revived = manager.revive(2)
+        with pytest.raises(Exception):
+            revived.container.process_by_vpid(victim.vpid)
+        # But the older checkpoint still revives it.
+        revived1 = manager.revive(1)
+        assert revived1.container.process_by_vpid(victim.vpid).name == victim.name
+
+    def test_zombie_at_checkpoint_time_excluded(self):
+        _k, container, _f, storage, engine, procs, _m = make_revive_rig(
+            nprocs=3
+        )
+        procs[2].exit(1)  # zombie, not yet reaped
+        result = engine.checkpoint()
+        assert result.process_count == 2
+
+    def test_fork_charges_interposition_overhead(self):
+        kernel, container, *_rest, engine, procs = make_rig()
+        before = kernel.clock.now_us
+        container.spawn("child", parent=procs[0])
+        assert kernel.clock.now_us - before >= kernel.costs.fork_interpose_us
+
+    def test_new_process_cow_handler_armed_immediately(self):
+        _k, container, _f, storage, engine, procs, manager = make_revive_rig()
+        child = container.spawn("child", parent=procs[0])
+        region = child.address_space.mmap(1)
+        child.address_space.write(region.start, b"original")
+        engine.checkpoint()
+
+        def mutate():
+            child.address_space.write(region.start, b"mutated!")
+
+        engine.checkpoint(on_resumed=mutate)
+        # Checkpoint 2 is incremental and child's page was clean: image 2
+        # should not contain it; revive(2) pulls it from image 1... but the
+        # key property: no crash and content fidelity.
+        revived = manager.revive(2)
+        clone = revived.container.process_by_vpid(child.vpid)
+        assert clone.address_space.read(region.start, 8) == b"original"
+
+
+class TestMemoryLayoutChanges:
+    def test_munmap_between_checkpoints_drops_pages_from_chain(self):
+        _k, _c, _f, storage, engine, procs, manager = make_revive_rig(
+            nprocs=1, pages_per_proc=4
+        )
+        space = procs[0].address_space
+        doomed = space.mmap(4, name="doomed")
+        space.write(doomed.start, b"temporary")
+        engine.checkpoint()
+        space.munmap(doomed.start)
+        engine.checkpoint()
+        revived = manager.revive(2)
+        clone = revived.container.process_by_vpid(procs[0].vpid)
+        assert clone.address_space.find_region(doomed.start) is None
+        # The first checkpoint still has it.
+        revived1 = manager.revive(1)
+        clone1 = revived1.container.process_by_vpid(procs[0].vpid)
+        assert clone1.address_space.read(doomed.start, 9) == b"temporary"
+
+    def test_mremap_shrink_between_checkpoints(self):
+        _k, _c, _f, _s, engine, procs, manager = make_revive_rig(
+            nprocs=1, pages_per_proc=2
+        )
+        space = procs[0].address_space
+        region = space.regions()[0]
+        big = space.mmap(8, name="big")
+        for page in range(8):
+            space.write(big.start + page * PAGE_SIZE, b"page%d" % page)
+        engine.checkpoint()
+        space.mremap(big.start, 2)
+        engine.checkpoint()
+        revived = manager.revive(2)
+        clone = revived.container.process_by_vpid(procs[0].vpid)
+        restored = clone.address_space.find_region(big.start)
+        assert restored.npages == 2
+        assert clone.address_space.read(big.start, 5) == b"page0"
+
+    def test_unmapped_region_before_writeback_raises(self):
+        """The documented limitation: unmapping a COW-pending region
+        between resume and writeback loses the data."""
+        _k, _c, _f, _s, engine, procs, _m = make_revive_rig(
+            nprocs=1, pages_per_proc=2
+        )
+        space = procs[0].address_space
+        region = space.regions()[0]
+
+        def unmap():
+            space.munmap(region.start)
+
+        with pytest.raises(CheckpointError):
+            engine.checkpoint(on_resumed=unmap)
+
+
+class TestStorageEdgeCases:
+    def test_duplicate_store_rejected(self):
+        _k, _c, _f, storage, engine, _p, _m = make_revive_rig()
+        engine.checkpoint()
+        image = storage.load(1)
+        with pytest.raises(CheckpointError):
+            storage.store(image)
+
+    def test_delete_unknown_rejected(self):
+        _k, _c, _f, storage, *_rest = make_revive_rig()
+        with pytest.raises(CheckpointError):
+            storage.delete(42)
+
+    def test_load_after_delete_rejected(self):
+        _k, _c, _f, storage, engine, _p, _m = make_revive_rig()
+        engine.checkpoint()
+        storage.delete(1)
+        with pytest.raises(CheckpointError):
+            storage.load(1)
+
+    def test_metadata_only_load_cheaper(self):
+        kernel, _c, _f, storage, engine, _p, _m = make_revive_rig(
+            nprocs=2, pages_per_proc=128
+        )
+        engine.checkpoint()
+        storage.evict_all()
+        watch = kernel.clock.stopwatch()
+        storage.load(1, cached=False, metadata_only=True)
+        meta_cost = watch.restart()
+        storage.evict_all()
+        storage.load(1, cached=False)
+        full_cost = watch.elapsed_us
+        assert meta_cost < full_cost / 3
+
+    def test_eviction_forces_cold_reads(self):
+        kernel, _c, _f, storage, engine, _p, _m = make_revive_rig()
+        engine.checkpoint()
+        assert storage.is_cached(1)
+        storage.evict_all()
+        assert not storage.is_cached(1)
+        storage.load(1)  # cold read re-caches
+        assert storage.is_cached(1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    script=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 7), st.binary(min_size=1, max_size=12)),
+        min_size=1, max_size=25,
+    ),
+    checkpoint_every=st.integers(min_value=1, max_value=5),
+)
+def test_property_every_checkpoint_in_chain_revives_exactly(script,
+                                                            checkpoint_every):
+    """End-to-end chain fidelity: interleave random page writes with
+    checkpoints, then revive *every* checkpoint and compare its memory
+    against the state recorded at that instant."""
+    _k, _c, _f, _s, engine, procs, manager = make_revive_rig(
+        nprocs=2, pages_per_proc=8
+    )
+    spaces = [p.address_space for p in procs]
+    regions = [s.regions()[0] for s in spaces]
+    expected = {}  # checkpoint id -> {(proc idx, page): content}
+
+    def snapshot_state():
+        state = {}
+        for i, region in enumerate(regions):
+            for page, content in region.pages.items():
+                state[(i, page)] = content
+        return state
+
+    for step, (proc_idx, page, data) in enumerate(script):
+        proc_idx %= len(spaces)
+        spaces[proc_idx].write(
+            regions[proc_idx].start + page * PAGE_SIZE, data
+        )
+        if step % checkpoint_every == 0:
+            result = engine.checkpoint()
+            expected[result.checkpoint_id] = snapshot_state()
+    if not expected:
+        result = engine.checkpoint()
+        expected[result.checkpoint_id] = snapshot_state()
+
+    for checkpoint_id, state in expected.items():
+        revived = manager.revive(checkpoint_id)
+        for i, proc in enumerate(procs):
+            clone = revived.container.process_by_vpid(proc.vpid)
+            region = clone.address_space.find_region(regions[i].start)
+            for (pidx, page), content in state.items():
+                if pidx != i:
+                    continue
+                assert region.pages.get(page) == content, (
+                    "checkpoint %d proc %d page %d" % (checkpoint_id, i, page)
+                )

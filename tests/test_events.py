@@ -1,0 +1,95 @@
+"""Unit tests for the synchronous event bus."""
+
+import pytest
+
+from repro.common.events import EventBus
+
+
+class TestEventBus:
+    def test_publish_delivers_to_subscriber(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("text", seen.append)
+        delivered = bus.publish("text", "hello")
+        assert delivered == 1
+        assert seen == ["hello"]
+
+    def test_publish_without_subscribers_returns_zero(self):
+        assert EventBus().publish("nobody", 1) == 0
+
+    def test_multiple_subscribers_in_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe("t", lambda e: order.append("a"))
+        bus.subscribe("t", lambda e: order.append("b"))
+        bus.publish("t", None)
+        assert order == ["a", "b"]
+
+    def test_topics_are_isolated(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("a", seen.append)
+        bus.publish("b", "x")
+        assert seen == []
+
+    def test_cancel_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        sub = bus.subscribe("t", seen.append)
+        sub.cancel()
+        bus.publish("t", 1)
+        assert seen == []
+        assert not sub.active
+
+    def test_cancel_is_idempotent(self):
+        bus = EventBus()
+        sub = bus.subscribe("t", lambda e: None)
+        sub.cancel()
+        sub.cancel()
+        assert bus.subscriber_count("t") == 0
+
+    def test_delivery_is_synchronous(self):
+        """Handlers run inline: the publisher observes their side effects
+        immediately after publish() returns (section 4.2 semantics)."""
+        bus = EventBus()
+        state = {"handled": False}
+
+        def handler(event):
+            state["handled"] = True
+
+        bus.subscribe("t", handler)
+        bus.publish("t", None)
+        assert state["handled"]
+
+    def test_handler_exception_propagates_to_publisher(self):
+        bus = EventBus()
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe("t", bad)
+        with pytest.raises(RuntimeError):
+            bus.publish("t", None)
+
+    def test_subscribe_during_delivery_does_not_receive_current_event(self):
+        bus = EventBus()
+        late = []
+
+        def handler(event):
+            bus.subscribe("t", late.append)
+
+        bus.subscribe("t", handler)
+        bus.publish("t", "first")
+        assert late == []
+        bus.publish("t", "second")
+        assert "second" in late
+
+    def test_non_callable_handler_rejected(self):
+        with pytest.raises(TypeError):
+            EventBus().subscribe("t", "not-callable")
+
+    def test_published_count(self):
+        bus = EventBus()
+        bus.publish("a", 1)
+        bus.publish("b", 2)
+        assert bus.published_count == 2

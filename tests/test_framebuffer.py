@@ -1,0 +1,106 @@
+"""Unit tests for the framebuffer."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DisplayError
+from repro.display.commands import Region
+from repro.display.framebuffer import Framebuffer
+
+
+class TestFramebuffer:
+    def test_dimensions_must_be_positive(self):
+        with pytest.raises(DisplayError):
+            Framebuffer(0, 10)
+
+    def test_initial_fill(self):
+        fb = Framebuffer(4, 4, fill=0xFF)
+        assert np.all(fb.pixels == 0xFF)
+
+    def test_nbytes(self):
+        assert Framebuffer(10, 10).nbytes == 400
+
+    def test_fill_clips_out_of_bounds(self):
+        fb = Framebuffer(10, 10)
+        fb.fill(Region(8, 8, 10, 10), 5)
+        assert fb.pixels[9, 9] == 5
+        assert fb.pixels[0, 0] == 0
+
+    def test_blit_clips_negative_origin(self):
+        fb = Framebuffer(10, 10)
+        block = np.arange(25, dtype=np.uint32).reshape(5, 5)
+        fb.blit(Region(-2, -2, 5, 5), block)
+        # Only the bottom-right 3x3 of the block lands on screen.
+        assert fb.pixels[0, 0] == block[2, 2]
+
+    def test_copy_same_size_required(self):
+        fb = Framebuffer(10, 10)
+        with pytest.raises(DisplayError):
+            fb.copy(Region(0, 0, 2, 2), Region(0, 0, 3, 3))
+
+    def test_read_returns_copy(self):
+        fb = Framebuffer(10, 10)
+        block = fb.read(Region(0, 0, 2, 2))
+        block[:] = 99
+        assert fb.pixels[0, 0] == 0
+
+    def test_read_out_of_bounds_rejected(self):
+        fb = Framebuffer(10, 10)
+        with pytest.raises(DisplayError):
+            fb.read(Region(5, 5, 10, 10))
+
+    def test_pattern_fill_phase_stable_under_clipping(self):
+        """Clipping a pattern fill must not shift the pattern phase."""
+        pattern = np.array([[1, 2], [3, 4]], dtype=np.uint32)
+        whole = Framebuffer(8, 8)
+        whole.pattern_fill(Region(-2, -2, 12, 12), pattern)
+        anchored = Framebuffer(8, 8)
+        anchored.pattern_fill(Region(0, 0, 8, 8), pattern)
+        assert whole.pixels[0, 0] == pattern[(0 - -2) % 2, (0 - -2) % 2]
+
+    def test_snapshot_roundtrip(self):
+        fb = Framebuffer(16, 12)
+        fb.pixels[:] = np.random.default_rng(0).integers(
+            0, 2**32, size=(12, 16), dtype=np.uint32
+        )
+        restored = Framebuffer.from_snapshot(fb.snapshot_bytes())
+        assert restored == fb
+
+    def test_snapshot_truncation_detected(self):
+        fb = Framebuffer(16, 12)
+        with pytest.raises(DisplayError):
+            Framebuffer.from_snapshot(fb.snapshot_bytes()[:-10])
+
+    def test_clone_is_independent(self):
+        fb = Framebuffer(4, 4)
+        clone = fb.clone()
+        clone.fill(Region(0, 0, 4, 4), 1)
+        assert fb.pixels[0, 0] == 0
+
+    def test_checksum_changes_with_content(self):
+        fb = Framebuffer(4, 4)
+        before = fb.checksum()
+        fb.fill(Region(0, 0, 1, 1), 1)
+        assert fb.checksum() != before
+
+    def test_scaled_down(self):
+        fb = Framebuffer(8, 8)
+        fb.pixels[:4, :4] = 1
+        small = fb.scaled(0.5)
+        assert (small.width, small.height) == (4, 4)
+        assert small.pixels[0, 0] == 1
+
+    def test_scaled_identity_returns_clone(self):
+        fb = Framebuffer(4, 4, fill=3)
+        clone = fb.scaled(1.0)
+        assert clone == fb
+        clone.fill(Region(0, 0, 4, 4), 0)
+        assert fb.pixels[0, 0] == 3
+
+    def test_equality(self):
+        a = Framebuffer(4, 4, fill=1)
+        b = Framebuffer(4, 4, fill=1)
+        c = Framebuffer(4, 5, fill=1)
+        assert a == b
+        assert a != c
+        assert a != "not a framebuffer"

@@ -1,0 +1,138 @@
+"""Tests for log-cleaner garbage collection and checkpoint pruning."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import CheckpointError, SnapshotError
+from repro.checkpoint.gc import prune_checkpoints, required_images
+from repro.checkpoint.restore import ReviveManager
+from repro.fs.lfs import BLOCK_SIZE, LogStructuredFS
+
+from tests.test_checkpoint_engine import make_rig
+
+
+class TestLfsGarbageCollection:
+    def test_unreachable_blocks_reclaimed(self):
+        fs = LogStructuredFS(clock=VirtualClock())
+        fs.create("/f", b"x" * (4 * BLOCK_SIZE))
+        fs.write_file("/f", b"y" * (4 * BLOCK_SIZE))  # old blocks now dead
+        reclaimed = fs.collect_garbage(protected_txns=[])
+        assert reclaimed == 4 * BLOCK_SIZE
+        assert fs.read_file("/f") == b"y" * (4 * BLOCK_SIZE)
+
+    def test_protected_snapshot_blocks_survive(self):
+        fs = LogStructuredFS(clock=VirtualClock())
+        fs.create("/f", b"v1" + bytes(BLOCK_SIZE))
+        snap = fs.snapshot()
+        fs.write_file("/f", b"v2" + bytes(BLOCK_SIZE))
+        reclaimed = fs.collect_garbage(protected_txns=[snap])
+        assert reclaimed == 0
+        assert fs.view_at(snap).read_file("/f").startswith(b"v1")
+
+    def test_unprotected_history_reclaimed_but_live_kept(self):
+        fs = LogStructuredFS(clock=VirtualClock())
+        fs.create("/f", b"v1" + bytes(BLOCK_SIZE))
+        fs.write_file("/f", b"v2" + bytes(BLOCK_SIZE))
+        fs.write_file("/f", b"v3" + bytes(BLOCK_SIZE))
+        reclaimed = fs.collect_garbage(protected_txns=[])
+        # v1 and v2 each stored BLOCK_SIZE+2 content bytes; both are dead.
+        assert reclaimed == 2 * (BLOCK_SIZE + 2)
+        assert fs.read_file("/f").startswith(b"v3")
+
+    def test_deleted_file_reclaimed_when_unprotected(self):
+        fs = LogStructuredFS(clock=VirtualClock())
+        fs.create("/dead", b"z" * (2 * BLOCK_SIZE))
+        fs.unlink("/dead")
+        reclaimed = fs.collect_garbage(protected_txns=[])
+        assert reclaimed == 2 * BLOCK_SIZE
+
+    def test_open_unlinked_file_not_reclaimed(self):
+        fs = LogStructuredFS(clock=VirtualClock())
+        fs.create("/scratch", b"held" + bytes(BLOCK_SIZE))
+        handle = fs.open("/scratch")
+        fs.unlink("/scratch")
+        reclaimed = fs.collect_garbage(protected_txns=[])
+        assert reclaimed == 0
+        assert handle.read().startswith(b"held")
+        handle.close()
+        assert fs.collect_garbage(protected_txns=[]) > 0
+
+    def test_live_log_bytes_shrinks(self):
+        fs = LogStructuredFS(clock=VirtualClock())
+        fs.create("/f", b"x" * (8 * BLOCK_SIZE))
+        fs.write_file("/f", b"y")
+        before = fs.live_log_bytes
+        fs.collect_garbage(protected_txns=[])
+        assert fs.live_log_bytes < before
+
+    def test_unprotect_and_protected_txns(self):
+        fs = LogStructuredFS(clock=VirtualClock())
+        fs.associate_checkpoint(1)
+        fs.associate_checkpoint(2)
+        assert len(fs.protected_txns()) >= 1
+        fs.unprotect_checkpoint(1)
+        with pytest.raises(SnapshotError):
+            fs.unprotect_checkpoint(1)
+
+
+class TestCheckpointPruning:
+    def _chain(self, checkpoints=4):
+        kernel, container, fsstore, storage, engine, procs = make_rig(
+            nprocs=1, pages_per_proc=8
+        )
+        space = procs[0].address_space
+        region = space.regions()[0]
+        fsstore.fs.create("/home/user/story.txt", b"v0")
+        for i in range(checkpoints):
+            space.write(region.start, b"round-%d" % i)
+            fsstore.fs.write_file("/home/user/story.txt",
+                                  b"v%d" % (i + 1) + bytes(BLOCK_SIZE))
+            engine.checkpoint()
+        manager = ReviveManager(kernel, fsstore, storage)
+        return kernel, fsstore, storage, engine, procs, manager
+
+    def test_required_images_follow_chain(self):
+        _k, _f, storage, _e, _p, _m = self._chain()
+        # Reviving checkpoint 3 needs image 1 (the full) for clean pages.
+        required = required_images(storage, [3])
+        assert 3 in required
+        assert 1 in required
+
+    def test_required_images_unknown_checkpoint(self):
+        _k, _f, storage, _e, _p, _m = self._chain()
+        with pytest.raises(CheckpointError):
+            required_images(storage, [99])
+
+    def test_prune_deletes_unneeded_images(self):
+        _k, fsstore, storage, _e, _p, _m = self._chain(checkpoints=4)
+        report = prune_checkpoints(storage, fsstore, keep_ids=[4])
+        # 4 needs the full image 1; 2 and 3 may go unless they own pages.
+        assert 4 in report.kept_images
+        assert 1 in report.kept_images
+        for deleted in report.deleted_images:
+            assert deleted not in storage
+
+    def test_kept_checkpoint_still_revivable_after_prune(self):
+        kernel, fsstore, storage, _e, procs, manager = self._chain(4)
+        prune_checkpoints(storage, fsstore, keep_ids=[4])
+        revive = manager.revive(4)
+        clone = revive.container.process_by_vpid(procs[0].vpid)
+        region = clone.address_space.regions()[0]
+        assert clone.address_space.read(region.start, 7) == b"round-3"
+        assert revive.container.mount.read_file(
+            "/home/user/story.txt"
+        ).startswith(b"v4")
+
+    def test_prune_reclaims_fs_space(self):
+        _k, fsstore, storage, _e, _p, _m = self._chain(4)
+        report = prune_checkpoints(storage, fsstore, keep_ids=[4])
+        assert report.fs_bytes_reclaimed > 0
+        assert report.image_bytes_freed > 0
+
+    def test_prune_everything_except_latest_full(self):
+        """Keeping only the latest checkpoint keeps the chain's full."""
+        _k, fsstore, storage, engine, _p, manager = self._chain(4)
+        before = len(storage)
+        report = prune_checkpoints(storage, fsstore, keep_ids=[4])
+        assert len(storage) < before
+        assert set(report.kept_images) == set(storage.stored_ids())

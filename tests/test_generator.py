@@ -1,0 +1,117 @@
+"""Tests for the workload base machinery (generator module)."""
+
+import pytest
+
+from repro.common.errors import DejaViewError
+from repro.common.units import ms, seconds
+from repro.desktop.dejaview import RecordingConfig
+from repro.workloads.generator import (
+    ScenarioRun,
+    Workload,
+    baseline_config,
+    register,
+)
+
+
+class _TickingWorkload(Workload):
+    name = "_ticking"
+    default_units = 5
+
+    def __init__(self, unit_cost_us=ms(100)):
+        self.unit_cost_us = unit_cost_us
+        self.units_run = 0
+        self.setup_calls = 0
+        self.teardown_calls = 0
+
+    def setup(self, run):
+        self.setup_calls += 1
+        run.app = run.session.launch("ticker")
+
+    def unit(self, run, index):
+        self.units_run += 1
+        run.session.clock.advance_us(self.unit_cost_us)
+        return {}
+
+    def teardown(self, run):
+        self.teardown_calls += 1
+
+
+class TestWorkloadRun:
+    def test_lifecycle_hooks_called(self):
+        workload = _TickingWorkload()
+        run = workload.run(recording=baseline_config())
+        assert workload.setup_calls == 1
+        assert workload.teardown_calls == 1
+        assert workload.units_run == 5
+
+    def test_units_override(self):
+        workload = _TickingWorkload()
+        run = workload.run(recording=baseline_config(), units=2)
+        assert workload.units_run == 2
+        assert run.units == 2
+
+    def test_duration_measured_after_setup(self):
+        workload = _TickingWorkload(unit_cost_us=ms(100))
+        run = workload.run(recording=baseline_config())
+        # 5 units x 100 ms; setup costs excluded.
+        assert ms(500) <= run.duration_us < ms(600)
+
+    def test_unnamed_workload_rejected(self):
+        class Nameless(Workload):
+            def unit(self, run, index):
+                return {}
+
+        with pytest.raises(DejaViewError):
+            Nameless().run()
+
+    def test_paced_workload_idles_to_deadline(self):
+        workload = _TickingWorkload(unit_cost_us=ms(10))
+        workload.pace_us = ms(200)
+        run = workload.run(recording=baseline_config(), units=4)
+        assert run.overran_units == 0
+        assert run.duration_us >= 4 * ms(200)
+
+    def test_paced_workload_detects_overruns(self):
+        workload = _TickingWorkload(unit_cost_us=ms(500))
+        workload.pace_us = ms(200)
+        run = workload.run(recording=baseline_config(), units=4)
+        assert run.overran_units == 4
+
+    def test_default_recording_used_when_none(self):
+        class PolicyWorkload(_TickingWorkload):
+            name = "_policy_ticking"
+
+            def default_recording(self):
+                return RecordingConfig(use_policy=True)
+
+        workload = PolicyWorkload()
+        run = workload.run()
+        assert run.dejaview.policy is not None
+
+    def test_explicit_recording_overrides_default(self):
+        workload = _TickingWorkload()
+        run = workload.run(recording=baseline_config())
+        assert run.dejaview.engine is None
+        assert run.dejaview.recorder is None
+
+    def test_storage_growth_rates_keys(self):
+        workload = _TickingWorkload()
+        run = workload.run()
+        rates = run.storage_growth_rates()
+        assert set(rates) == {
+            "display", "index", "checkpoint", "checkpoint_compressed",
+            "fs", "fs_total",
+        }
+        assert all(v >= 0 for v in rates.values())
+
+    def test_register_decorator(self):
+        from repro.workloads.generator import SCENARIOS
+
+        @register
+        class Extra(_TickingWorkload):
+            name = "_extra_registered"
+
+        try:
+            assert SCENARIOS["_extra_registered"] is Extra
+        finally:
+            del SCENARIOS["_extra_registered"]

@@ -1,0 +1,131 @@
+"""Checkpoint image format: roundtrips, corruption handling, fuzzing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CheckpointError
+from repro.common.serial import RecordWriter, StreamCorrupt
+from repro.checkpoint.image import (
+    STREAM_KIND_CHECKPOINT,
+    TAG_METADATA,
+    TAG_PAGE,
+    CheckpointImage,
+)
+
+
+def _image(pages=3):
+    image = CheckpointImage(
+        checkpoint_id=7,
+        timestamp_us=123456,
+        container_name="desktop",
+        parent_id=6,
+        full=False,
+        fs_txn=42,
+    )
+    image.processes = [{
+        "vpid": 1, "parent_vpid": None, "name": "init", "state": "runnable",
+        "nice": 0, "uid": 1000, "gid": 1000, "groups": [1000],
+        "pending_signals": [], "blocked_signals": [], "signal_handlers": {},
+        "threads": [{"tid": 0, "registers": {"pc": 0}, "fpu_state": ""}],
+        "ptraced_by": None, "cwd": "/", "open_files": [],
+    }]
+    image.regions = {1: [{"start": 0x1000_0000, "npages": 8, "prot": 3,
+                          "name": "heap"}]}
+    for page in range(pages):
+        key = (1, 0x1000_0000, page)
+        image.pages[key] = bytes([page]) * 64
+        image.page_locations[key] = 7
+    image.relinked_files = [(1, 3, "/.dejaview/relink-9")]
+    return image
+
+
+class TestImageRoundtrip:
+    def test_full_roundtrip(self):
+        image = _image()
+        restored = CheckpointImage.deserialize(image.serialize())
+        assert restored.checkpoint_id == 7
+        assert restored.parent_id == 6
+        assert not restored.full
+        assert restored.fs_txn == 42
+        assert restored.container_name == "desktop"
+        assert restored.processes == image.processes
+        assert restored.regions == image.regions
+        assert restored.pages == image.pages
+        assert restored.page_locations == image.page_locations
+        assert restored.relinked_files == image.relinked_files
+
+    def test_size_accounting(self):
+        image = _image(pages=4)
+        assert image.saved_page_count == 4
+        assert image.page_bytes == 4 * 64
+        assert image.metadata_bytes > 0
+        assert image.nbytes >= image.metadata_bytes + image.page_bytes
+
+    def test_empty_image_roundtrip(self):
+        image = CheckpointImage(1, 0, "empty")
+        restored = CheckpointImage.deserialize(image.serialize())
+        assert restored.pages == {}
+        assert restored.processes == []
+
+    def test_repr(self):
+        assert "incremental" in repr(_image())
+        full = CheckpointImage(1, 0, "x", full=True)
+        assert "full" in repr(full)
+
+
+class TestCorruption:
+    def test_empty_stream_rejected(self):
+        writer = RecordWriter(kind=STREAM_KIND_CHECKPOINT)
+        with pytest.raises(CheckpointError):
+            CheckpointImage.deserialize(writer.getvalue())
+
+    def test_wrong_first_tag_rejected(self):
+        writer = RecordWriter(kind=STREAM_KIND_CHECKPOINT)
+        writer.write(TAG_PAGE, b"\x00" * 16)
+        with pytest.raises(CheckpointError):
+            CheckpointImage.deserialize(writer.getvalue())
+
+    def test_unknown_tag_rejected(self):
+        image = CheckpointImage(1, 0, "x")
+        writer = RecordWriter(kind=STREAM_KIND_CHECKPOINT)
+        writer.write(TAG_METADATA, image._metadata_json())
+        writer.write(99, b"junk")
+        with pytest.raises(CheckpointError):
+            CheckpointImage.deserialize(writer.getvalue())
+
+    def test_wrong_stream_kind_rejected(self):
+        writer = RecordWriter(kind=0xBEEF)
+        writer.write(TAG_METADATA, b"{}")
+        with pytest.raises(StreamCorrupt):
+            CheckpointImage.deserialize(writer.getvalue())
+
+    def test_truncated_stream_rejected(self):
+        data = _image().serialize()
+        with pytest.raises((CheckpointError, StreamCorrupt)):
+            CheckpointImage.deserialize(data[: len(data) - 7])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pages=st.dictionaries(
+        st.tuples(
+            st.integers(min_value=1, max_value=99),
+            st.sampled_from([0x1000_0000, 0x2000_0000]),
+            st.integers(min_value=0, max_value=500),
+        ),
+        st.binary(min_size=0, max_size=128),
+        max_size=20,
+    ),
+    checkpoint_id=st.integers(min_value=1, max_value=10**6),
+    full=st.booleans(),
+)
+def test_property_image_roundtrip(pages, checkpoint_id, full):
+    image = CheckpointImage(checkpoint_id, 5, "fuzz", full=full)
+    image.pages = dict(pages)
+    image.page_locations = {key: checkpoint_id for key in pages}
+    restored = CheckpointImage.deserialize(image.serialize())
+    assert restored.pages == image.pages
+    assert restored.page_locations == image.page_locations
+    assert restored.checkpoint_id == checkpoint_id
+    assert restored.full == full

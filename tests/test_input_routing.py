@@ -1,0 +1,124 @@
+"""Tests for viewer input routing and the section 4.4 annotation flows."""
+
+import pytest
+
+from repro.common.errors import DejaViewError
+from repro.desktop.dejaview import DejaView, RecordingConfig
+from repro.desktop.input import KeyEvent, MouseEvent
+from repro.desktop.session import DesktopSession
+from repro.index.query import Query
+
+
+def _session():
+    session = DesktopSession(width=64, height=48)
+    dv = DejaView(session, RecordingConfig(record_display=False,
+                                           record_checkpoints=False))
+    return session, dv
+
+
+class TestInputRouting:
+    def test_typing_goes_to_focused_app(self):
+        session, _dv = _session()
+        editor = session.launch("editor")
+        other = session.launch("other")
+        editor.focus()
+        session.type_text("hello")
+        assert editor.typed_text == "hello"
+        assert other.typed_text == ""
+
+    def test_typing_accumulates(self):
+        session, _dv = _session()
+        editor = session.launch("editor")
+        editor.focus()
+        session.type_text("hello ")
+        session.type_text("world")
+        assert editor.typed_text == "hello world"
+
+    def test_focus_switch_redirects_input(self):
+        session, _dv = _session()
+        editor = session.launch("editor")
+        browser = session.launch("browser")
+        editor.focus()
+        session.type_text("to editor")
+        browser.focus()
+        session.type_text("to browser")
+        assert editor.typed_text == "to editor"
+        assert browser.typed_text == "to browser"
+
+    def test_no_focus_rejected(self):
+        session, _dv = _session()
+        session.launch("editor")  # never focused
+        with pytest.raises(DejaViewError):
+            session.type_text("lost")
+        with pytest.raises(DejaViewError):
+            session.select_text("lost")
+
+    def test_router_counts(self):
+        session, _dv = _session()
+        editor = session.launch("editor")
+        editor.focus()
+        session.type_text("a")
+        session.select_text("a")
+        assert session.input_router.keys_delivered == 1
+        assert session.input_router.mouse_delivered == 1
+
+    def test_empty_key_event_is_noop(self):
+        session, _dv = _session()
+        editor = session.launch("editor")
+        editor.focus()
+        session.input_router.deliver_key(KeyEvent())
+        assert editor.typed_text == ""
+
+    def test_click_event_is_accepted(self):
+        session, _dv = _session()
+        editor = session.launch("editor")
+        editor.focus()
+        session.input_router.deliver_mouse(MouseEvent(x=5, y=5))
+
+
+class TestTypedAnnotations:
+    def test_typed_text_is_indexed(self):
+        """"annotations can be simply created by the user by typing text in
+        some visible part of the screen since the indexing daemon will
+        automatically add it to the record stream.""" ""
+        session, dv = _session()
+        editor = session.launch("editor")
+        editor.focus()
+        session.type_text("REMEMBER-XYZZY budget meeting friday")
+        results = dv.search(Query.keywords("xyzzy"), render=False)
+        assert len(results) == 1
+
+    def test_select_and_combo_annotates_typed_text(self):
+        """The explicit flow: type, select with the mouse, press the
+        combination key (section 4.4)."""
+        from repro.access.daemon import IndexingDaemon
+
+        session, dv = _session()
+        editor = session.launch("editor")
+        editor.focus()
+        session.type_text("key insight about caching")
+        session.select_text("key insight")
+        session.press_combo(IndexingDaemon.ANNOTATE_COMBO)
+        results = dv.search(Query.annotations(), render=False)
+        assert len(results) == 1
+        assert "key insight" in results[0].snippet
+
+    def test_wrong_combo_does_not_annotate(self):
+        session, dv = _session()
+        editor = session.launch("editor")
+        editor.focus()
+        session.type_text("ordinary words")
+        session.select_text("ordinary")
+        session.press_combo("ctrl+s")
+        assert dv.search(Query.annotations(), render=False) == []
+
+    def test_input_not_recorded_directly(self):
+        """Section 2: "user input is not directly recorded; only the
+        changes it effects on the display are kept"."""
+        session, dv = _session()
+        editor = session.launch("editor")
+        editor.focus()
+        session.type_text("secret passphrase")
+        # The router keeps no transcript of events.
+        assert not hasattr(session.input_router, "log")
+        assert not hasattr(session.input_router, "events")

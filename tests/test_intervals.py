@@ -1,0 +1,121 @@
+"""Unit and property tests for interval algebra."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.intervals import (
+    clamp_intervals,
+    contains_point,
+    intersect_many,
+    intersect_two,
+    normalize,
+    subtract,
+    total_duration,
+    union,
+)
+
+
+class TestNormalize:
+    def test_merges_overlaps(self):
+        assert normalize([(0, 5), (3, 8)]) == [(0, 8)]
+
+    def test_merges_adjacent(self):
+        assert normalize([(0, 5), (5, 8)]) == [(0, 8)]
+
+    def test_keeps_gaps(self):
+        assert normalize([(0, 2), (5, 7)]) == [(0, 2), (5, 7)]
+
+    def test_drops_empty(self):
+        assert normalize([(3, 3), (5, 4)]) == []
+
+    def test_sorts(self):
+        assert normalize([(5, 7), (0, 2)]) == [(0, 2), (5, 7)]
+
+
+class TestOperations:
+    def test_union(self):
+        assert union([(0, 2)], [(1, 5)], [(10, 11)]) == [(0, 5), (10, 11)]
+
+    def test_intersect_two(self):
+        assert intersect_two([(0, 10)], [(5, 15)]) == [(5, 10)]
+
+    def test_intersect_disjoint(self):
+        assert intersect_two([(0, 2)], [(3, 5)]) == []
+
+    def test_intersect_many(self):
+        assert intersect_many([[(0, 10)], [(2, 8)], [(4, 20)]]) == [(4, 8)]
+
+    def test_intersect_many_empty_input(self):
+        assert intersect_many([]) == []
+
+    def test_subtract_middle(self):
+        assert subtract([(0, 10)], [(3, 5)]) == [(0, 3), (5, 10)]
+
+    def test_subtract_all(self):
+        assert subtract([(2, 4)], [(0, 10)]) == []
+
+    def test_subtract_nothing(self):
+        assert subtract([(0, 2)], [(5, 6)]) == [(0, 2)]
+
+    def test_subtract_multiple_holes(self):
+        assert subtract([(0, 10)], [(1, 2), (4, 6)]) == [(0, 1), (2, 4), (6, 10)]
+
+    def test_clamp(self):
+        assert clamp_intervals([(0, 10), (20, 30)], 5, 25) == [(5, 10), (20, 25)]
+
+    def test_total_duration(self):
+        assert total_duration([(0, 3), (10, 14)]) == 7
+
+    def test_contains_point(self):
+        assert contains_point([(0, 5)], 0)
+        assert not contains_point([(0, 5)], 5)
+        assert not contains_point([], 1)
+
+
+_intervals = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+    ).map(lambda t: (min(t), max(t))),
+    max_size=15,
+)
+
+
+def _points():
+    return range(0, 1001, 7)
+
+
+def _member(intervals, p):
+    return any(s <= p < e for s, e in intervals)
+
+
+@given(a=_intervals)
+def test_property_normalize_preserves_membership(a):
+    norm = normalize(a)
+    for p in _points():
+        assert _member(norm, p) == _member(a, p)
+    # Normalized lists are sorted and disjoint.
+    for (s1, e1), (s2, e2) in zip(norm, norm[1:]):
+        assert e1 < s2
+
+
+@given(a=_intervals, b=_intervals)
+def test_property_set_semantics(a, b):
+    """Union/intersection/subtraction agree with pointwise set logic."""
+    u = union(a, b)
+    i = intersect_two(normalize(a), normalize(b))
+    d = subtract(a, b)
+    for p in _points():
+        in_a, in_b = _member(a, p), _member(b, p)
+        assert _member(u, p) == (in_a or in_b)
+        assert _member(i, p) == (in_a and in_b)
+        assert _member(d, p) == (in_a and not in_b)
+
+
+@given(a=_intervals, b=_intervals)
+def test_property_duration_inclusion_exclusion(a, b):
+    union_d = total_duration(union(a, b))
+    a_d = total_duration(a)
+    b_d = total_duration(b)
+    i_d = total_duration(intersect_two(normalize(a), normalize(b)))
+    assert union_d == a_d + b_d - i_d

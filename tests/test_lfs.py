@@ -1,0 +1,382 @@
+"""Unit and property tests for the log-structured file system."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import FileSystemError, SnapshotError
+from repro.fs.lfs import BLOCK_SIZE, RELINK_DIR, LogStructuredFS
+from repro.fs.vfs import join_path, normalize_path, path_components, split_path
+
+
+def _fs():
+    return LogStructuredFS(clock=VirtualClock())
+
+
+class TestPaths:
+    def test_normalize(self):
+        assert normalize_path("//a///b/") == "/a/b"
+        assert normalize_path("/") == "/"
+
+    def test_relative_rejected(self):
+        with pytest.raises(FileSystemError):
+            normalize_path("a/b")
+
+    def test_dotdot_rejected(self):
+        with pytest.raises(FileSystemError):
+            normalize_path("/a/../b")
+
+    def test_split(self):
+        assert split_path("/a/b") == ("/a", "b")
+        assert split_path("/a") == ("/", "a")
+        with pytest.raises(FileSystemError):
+            split_path("/")
+
+    def test_join(self):
+        assert join_path("/", "a") == "/a"
+        assert join_path("/a", "b") == "/a/b"
+        with pytest.raises(FileSystemError):
+            join_path("/a", "b/c")
+
+    def test_components(self):
+        assert path_components("/a/b") == ["a", "b"]
+        assert path_components("/") == []
+
+
+class TestBasicOperations:
+    def test_create_and_read(self):
+        fs = _fs()
+        fs.create("/hello.txt", b"world")
+        assert fs.read_file("/hello.txt") == b"world"
+
+    def test_create_duplicate_rejected(self):
+        fs = _fs()
+        fs.create("/x", b"")
+        with pytest.raises(FileSystemError):
+            fs.create("/x", b"")
+
+    def test_mkdir_and_nested_files(self):
+        fs = _fs()
+        fs.mkdir("/docs")
+        fs.create("/docs/a.txt", b"a")
+        assert fs.listdir("/docs") == ["a.txt"]
+        assert fs.is_dir("/docs")
+        assert not fs.is_dir("/docs/a.txt")
+
+    def test_makedirs(self):
+        fs = _fs()
+        fs.makedirs("/a/b/c")
+        assert fs.is_dir("/a/b/c")
+        fs.makedirs("/a/b/c")  # idempotent
+
+    def test_write_file_replaces_content(self):
+        fs = _fs()
+        fs.write_file("/f", b"one")
+        fs.write_file("/f", b"two")
+        assert fs.read_file("/f") == b"two"
+
+    def test_append(self):
+        fs = _fs()
+        fs.write_file("/log", b"a" * 10)
+        fs.write_file("/log", b"b" * 10, append=True)
+        assert fs.read_file("/log") == b"a" * 10 + b"b" * 10
+
+    def test_append_across_block_boundary(self):
+        fs = _fs()
+        fs.write_file("/log", b"x" * (BLOCK_SIZE + 10))
+        fs.write_file("/log", b"y" * 20, append=True)
+        data = fs.read_file("/log")
+        assert len(data) == BLOCK_SIZE + 30
+        assert data.endswith(b"y" * 20)
+
+    def test_write_at(self):
+        fs = _fs()
+        fs.write_file("/f", b"abcdef")
+        fs.write_at("/f", 2, b"XY")
+        assert fs.read_file("/f") == b"abXYef"
+
+    def test_write_at_beyond_end_zero_fills(self):
+        fs = _fs()
+        fs.write_file("/f", b"ab")
+        fs.write_at("/f", 5, b"Z")
+        assert fs.read_file("/f") == b"ab\x00\x00\x00Z"
+
+    def test_truncate(self):
+        fs = _fs()
+        fs.write_file("/f", b"abcdef")
+        fs.truncate("/f", 3)
+        assert fs.read_file("/f") == b"abc"
+
+    def test_unlink(self):
+        fs = _fs()
+        fs.create("/f", b"x")
+        fs.unlink("/f")
+        assert not fs.exists("/f")
+        with pytest.raises(FileSystemError):
+            fs.read_file("/f")
+
+    def test_unlink_nonempty_dir_rejected(self):
+        fs = _fs()
+        fs.mkdir("/d")
+        fs.create("/d/f", b"")
+        with pytest.raises(FileSystemError):
+            fs.unlink("/d")
+
+    def test_unlink_empty_dir(self):
+        fs = _fs()
+        fs.mkdir("/d")
+        fs.unlink("/d")
+        assert not fs.exists("/d")
+
+    def test_rename(self):
+        fs = _fs()
+        fs.create("/old", b"data")
+        fs.rename("/old", "/new")
+        assert not fs.exists("/old")
+        assert fs.read_file("/new") == b"data"
+
+    def test_hard_link_shares_inode(self):
+        fs = _fs()
+        fs.create("/a", b"shared")
+        fs.link("/a", "/b")
+        assert fs.stat("/a")["inode"] == fs.stat("/b")["inode"]
+        assert fs.stat("/a")["nlink"] == 2
+        fs.unlink("/a")
+        assert fs.read_file("/b") == b"shared"
+
+    def test_stat(self):
+        fs = _fs()
+        fs.create("/f", b"12345")
+        st_ = fs.stat("/f")
+        assert st_["kind"] == "file"
+        assert st_["size"] == 5
+        assert st_["nlink"] == 1
+
+    def test_recreate_after_unlink(self):
+        fs = _fs()
+        fs.create("/f", b"one")
+        fs.unlink("/f")
+        fs.create("/f", b"two")
+        assert fs.read_file("/f") == b"two"
+
+    def test_walk_files(self):
+        fs = _fs()
+        fs.makedirs("/a/b")
+        fs.create("/a/x", b"")
+        fs.create("/a/b/y", b"")
+        assert sorted(fs.walk_files()) == ["/a/b/y", "/a/x"]
+
+    def test_large_file_blocks(self):
+        fs = _fs()
+        data = bytes(range(256)) * 64  # 16 KiB = 4 blocks
+        fs.create("/big", data)
+        assert fs.read_file("/big") == data
+
+
+class TestSnapshots:
+    def test_snapshot_preserves_old_content(self):
+        fs = _fs()
+        fs.create("/f", b"v1")
+        snap = fs.snapshot()
+        fs.write_file("/f", b"v2")
+        assert fs.read_file("/f") == b"v2"
+        assert fs.view_at(snap).read_file("/f") == b"v1"
+
+    def test_snapshot_preserves_deleted_file(self):
+        """The /tmp/foo scenario of section 5.1.1: a file deleted after a
+        checkpoint must still be readable from the snapshot."""
+        fs = _fs()
+        fs.create("/tmp-foo", b"precious")
+        snap = fs.snapshot()
+        fs.unlink("/tmp-foo")
+        view = fs.view_at(snap)
+        assert view.exists("/tmp-foo")
+        assert view.read_file("/tmp-foo") == b"precious"
+
+    def test_snapshot_does_not_see_future_files(self):
+        fs = _fs()
+        snap = fs.snapshot()
+        fs.create("/later", b"")
+        assert not fs.view_at(snap).exists("/later")
+
+    def test_every_transaction_is_a_snapshot_point(self):
+        """Core NILFS property: any txn value is a valid snapshot."""
+        fs = _fs()
+        fs.create("/f", b"v1")
+        txn_after_create = fs.current_txn
+        fs.write_file("/f", b"v2")
+        fs.write_file("/f", b"v3")
+        assert fs.view_at(txn_after_create).read_file("/f") == b"v1"
+
+    def test_future_snapshot_rejected(self):
+        fs = _fs()
+        with pytest.raises(SnapshotError):
+            fs.view_at(fs.current_txn + 1)
+
+    def test_checkpoint_association(self):
+        fs = _fs()
+        fs.create("/f", b"v1")
+        txn = fs.snapshot()
+        fs.associate_checkpoint(17, txn)
+        fs.write_file("/f", b"v2")
+        assert fs.view_for_checkpoint(17).read_file("/f") == b"v1"
+
+    def test_duplicate_checkpoint_counter_rejected(self):
+        fs = _fs()
+        fs.associate_checkpoint(1)
+        with pytest.raises(SnapshotError):
+            fs.associate_checkpoint(1)
+
+    def test_unknown_checkpoint_counter(self):
+        fs = _fs()
+        with pytest.raises(SnapshotError):
+            fs.txn_for_checkpoint(99)
+
+    def test_snapshot_listing(self):
+        fs = _fs()
+        fs.create("/a", b"")
+        snap = fs.snapshot()
+        fs.create("/b", b"")
+        assert fs.view_at(snap).listdir("/") == ["a"]
+        assert fs.listdir("/") == ["a", "b"]
+
+
+class TestSyncAccounting:
+    def test_pending_blocks_accumulate_and_flush(self):
+        fs = _fs()
+        fs.create("/f", b"x" * (2 * BLOCK_SIZE))
+        assert fs.pending_blocks == 2
+        assert fs.sync() == 2
+        assert fs.pending_blocks == 0
+
+    def test_sync_charges_clock(self):
+        fs = _fs()
+        fs.create("/f", b"x" * BLOCK_SIZE)
+        before = fs.clock.now_us
+        fs.sync()
+        assert fs.clock.now_us > before
+
+    def test_presync_shrinks_snapshot_work(self):
+        """Pre-snapshot sync means the snapshot itself flushes nothing."""
+        fs = _fs()
+        fs.create("/f", b"x" * (8 * BLOCK_SIZE))
+        fs.sync()
+        watch = fs.clock.stopwatch()
+        fs.snapshot()
+        synced_cost = watch.elapsed_us
+        fs2 = _fs()
+        fs2.create("/f", b"x" * (8 * BLOCK_SIZE))
+        watch2 = fs2.clock.stopwatch()
+        fs2.snapshot()
+        unsynced_cost = watch2.elapsed_us
+        assert synced_cost < unsynced_cost
+
+    def test_log_bytes_grow_monotonically(self):
+        fs = _fs()
+        before = fs.log_bytes
+        fs.create("/f", b"x" * 100)
+        mid = fs.log_bytes
+        fs.write_file("/f", b"y" * 100)
+        assert fs.log_bytes > mid > before
+
+    def test_visible_bytes_excludes_old_versions(self):
+        fs = _fs()
+        fs.create("/f", b"x" * 1000)
+        fs.write_file("/f", b"y" * 500)
+        assert fs.visible_bytes() == 500
+        # But the log keeps both versions (snapshot history).
+        assert fs.log_bytes > 1500
+
+
+class TestOpenUnlinkedAndRelink:
+    def test_open_file_survives_unlink(self):
+        fs = _fs()
+        fs.create("/tmp-data", b"still here")
+        handle = fs.open("/tmp-data")
+        fs.unlink("/tmp-data")
+        assert handle.read() == b"still here"
+        handle.close()
+        with pytest.raises(FileSystemError):
+            handle.read()
+
+    def test_relink_preserves_content_into_snapshot(self):
+        """Section 5.1.2 optimization 2: relink open-unlinked files so the
+        snapshot retains their contents."""
+        fs = _fs()
+        fs.create("/scratch", b"unsaved work")
+        handle = fs.open("/scratch")
+        fs.unlink("/scratch")
+        target = fs.relink(handle)
+        assert target.startswith(RELINK_DIR)
+        snap = fs.snapshot()
+        view = fs.view_at(snap)
+        assert view.read_file(target) == b"unsaved work"
+        # The relink directory stays hidden from normal listings.
+        assert RELINK_DIR[1:] not in fs.listdir("/")
+        assert RELINK_DIR[1:] in fs.listdir("/", include_hidden=True)
+
+    def test_relink_noop_for_still_linked_file(self):
+        fs = _fs()
+        fs.create("/f", b"x")
+        handle = fs.open("/f")
+        assert fs.relink(handle) is None
+
+    def test_unlink_relinked_restores_invisibility(self):
+        fs = _fs()
+        fs.create("/f", b"x")
+        handle = fs.open("/f")
+        fs.unlink("/f")
+        target = fs.relink(handle)
+        fs.unlink_relinked(target)
+        assert not fs.exists(target)
+        assert handle.read() == b"x"
+
+    def test_handle_stat(self):
+        fs = _fs()
+        fs.create("/f", b"abc")
+        with fs.open("/f") as handle:
+            assert handle.stat()["size"] == 3
+
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "write", "append", "unlink"]),
+        st.sampled_from(["/f0", "/f1", "/f2"]),
+        st.binary(max_size=64),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_OPS, snap_after=st.integers(min_value=0, max_value=40))
+def test_property_snapshot_isolation(ops, snap_after):
+    """A snapshot taken mid-sequence is immune to all later operations."""
+    fs = _fs()
+
+    def apply(op):
+        kind, path, data = op
+        try:
+            if kind == "create":
+                fs.create(path, data)
+            elif kind == "write":
+                fs.write_file(path, data)
+            elif kind == "append":
+                fs.write_file(path, data, append=True)
+            elif kind == "unlink":
+                fs.unlink(path)
+        except FileSystemError:
+            pass  # duplicate create / unlink of missing file etc.
+
+    cut = min(snap_after, len(ops))
+    for op in ops[:cut]:
+        apply(op)
+    snap = fs.snapshot()
+    frozen = {
+        path: fs.read_file(path, txn=snap) for path in fs.walk_files("/", txn=snap)
+    }
+    for op in ops[cut:]:
+        apply(op)
+    view = fs.view_at(snap)
+    assert {path: view.read_file(path) for path in view.walk_files("/")} == frozen

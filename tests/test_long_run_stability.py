@@ -1,0 +1,65 @@
+"""Long-run stability: a half-hour (simulated) desktop session.
+
+Exercises the whole stack continuously — policy-driven checkpointing,
+display recording, indexing — then verifies the record stays coherent end
+to end: playback fidelity, search, revives across the full span, and
+pruning down to a handful of checkpoints without breaking the survivors.
+"""
+
+from repro.checkpoint.gc import prune_checkpoints
+from repro.index.query import Query
+from repro.workloads import run_scenario
+
+
+class TestLongDesktopRun:
+    @classmethod
+    def setup_class(cls):
+        # 30 simulated minutes of policy-driven desktop usage.
+        cls.run = run_scenario("desktop", units=1800)
+        cls.dv = cls.run.dejaview
+
+    def test_policy_statistics_stay_in_band(self):
+        stats = self.dv.policy.stats
+        assert stats.total == 1800
+        assert 0.10 < stats.taken_fraction() < 0.35
+
+    def test_checkpoint_count_tracks_activity(self):
+        assert 150 < self.dv.checkpoint_count < 700
+
+    def test_downtime_stays_bounded_throughout(self):
+        history = self.dv.engine.history
+        # No checkpoint's downtime degrades over the session.
+        worst = max(r.downtime_us for r in history)
+        assert worst < 60_000  # 60 ms
+        late = history[len(history) // 2 :]
+        early = history[: len(history) // 2]
+        avg = lambda rs: sum(r.downtime_us for r in rs) / len(rs)
+        assert avg(late) < 3 * avg(early)
+
+    def test_full_playback_matches_live_screen(self):
+        fb, stats = self.dv.playback(0, self.run.end_us, fastest=True)
+        assert fb.checksum() == self.run.session.driver.framebuffer.checksum()
+        assert stats.speedup > 100
+
+    def test_search_spans_the_whole_session(self):
+        results = self.dv.search(Query.keywords("report"), render=False)
+        assert results
+        # The document text persisted across most of the session.
+        total = sum(r.substream.duration_us for r in results)
+        assert total > self.run.duration_us / 2
+
+    def test_revives_at_quarter_points(self):
+        span = self.run.end_us - self.run.start_us
+        for fraction in (0.25, 0.5, 0.75, 1.0):
+            t = self.run.start_us + int(span * fraction)
+            revived = self.dv.take_me_back(t)
+            assert revived.container.live_processes()
+
+    def test_prune_to_recent_history_keeps_latest_revivable(self):
+        history = self.dv.engine.history
+        keep = [r.checkpoint_id for r in history[-3:]]
+        report = prune_checkpoints(self.dv.storage, self.run.session.fsstore,
+                                   keep_ids=keep)
+        assert report.image_bytes_freed > 0
+        revived = self.dv.reviver.revive(keep[-1])
+        assert revived.container.live_processes()

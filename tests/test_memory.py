@@ -1,0 +1,214 @@
+"""Unit tests for the virtual memory substrate."""
+
+import pytest
+
+from repro.common.costs import PAGE_SIZE
+from repro.vex.memory import (
+    PROT_READ,
+    AddressSpace,
+    PageFault,
+    SegmentationFault,
+)
+
+
+def _space_with_region(npages=4):
+    space = AddressSpace()
+    region = space.mmap(npages, name="heap")
+    return space, region
+
+
+class TestMapping:
+    def test_mmap_allocates_disjoint_regions(self):
+        space = AddressSpace()
+        a = space.mmap(2)
+        b = space.mmap(2)
+        assert a.end <= b.start
+
+    def test_munmap_removes_region(self):
+        space, region = _space_with_region()
+        space.munmap(region.start)
+        assert space.find_region(region.start) is None
+
+    def test_munmap_unknown_address_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(Exception):
+            space.munmap(0x1234000)
+
+    def test_region_requires_positive_pages(self):
+        from repro.common.errors import MemoryError_
+        from repro.vex.memory import VMRegion
+
+        with pytest.raises(MemoryError_):
+            VMRegion(0, 0)
+
+    def test_region_start_must_be_aligned(self):
+        from repro.common.errors import MemoryError_
+        from repro.vex.memory import VMRegion
+
+        with pytest.raises(MemoryError_):
+            VMRegion(123, 1)
+
+
+class TestReadWrite:
+    def test_unwritten_pages_read_as_zero(self):
+        space, region = _space_with_region()
+        assert space.read(region.start, 16) == bytes(16)
+
+    def test_write_then_read(self):
+        space, region = _space_with_region()
+        space.write(region.start + 100, b"hello")
+        assert space.read(region.start + 100, 5) == b"hello"
+
+    def test_write_spanning_pages(self):
+        space, region = _space_with_region()
+        data = bytes(range(256)) * 20  # 5120 bytes > one page
+        addr = region.start + PAGE_SIZE - 100
+        space.write(addr, data)
+        assert space.read(addr, len(data)) == data
+
+    def test_write_unmapped_faults(self):
+        space = AddressSpace()
+        with pytest.raises(SegmentationFault):
+            space.write(0xDEAD000, b"x")
+
+    def test_read_unmapped_faults(self):
+        space = AddressSpace()
+        with pytest.raises(SegmentationFault):
+            space.read(0xDEAD000, 1)
+
+    def test_write_past_region_end_faults(self):
+        space, region = _space_with_region(1)
+        with pytest.raises(SegmentationFault):
+            space.write(region.end - 2, b"xxxx")
+
+    def test_write_to_readonly_region_faults(self):
+        space = AddressSpace()
+        region = space.mmap(1, prot=PROT_READ)
+        with pytest.raises(SegmentationFault):
+            space.write(region.start, b"x")
+
+    def test_write_page_requires_full_page(self):
+        space, region = _space_with_region()
+        from repro.common.errors import MemoryError_
+
+        with pytest.raises(MemoryError_):
+            space.write_page(region, 0, b"short")
+
+    def test_dirty_tracking(self):
+        space, region = _space_with_region()
+        space.write(region.start, b"x")
+        space.write(region.start + PAGE_SIZE, b"y")
+        dirty = space.dirty_pages()
+        assert [(r.name, i) for r, i in dirty] == [("heap", 0), ("heap", 1)]
+        space.clear_dirty()
+        assert space.dirty_pages() == []
+
+    def test_resident_accounting(self):
+        space, region = _space_with_region()
+        assert space.resident_pages == 0
+        space.write(region.start, b"x")
+        assert space.resident_pages == 1
+        assert space.resident_bytes == PAGE_SIZE
+        assert space.mapped_bytes == 4 * PAGE_SIZE
+
+
+class TestCheckpointProtection:
+    def test_protect_flags_resident_pages_only(self):
+        space, region = _space_with_region()
+        space.write(region.start, b"x")
+        flagged = space.protect_resident_pages()
+        assert flagged == 1
+        assert 0 in region.ckpt_flagged
+
+    def test_readonly_regions_not_flagged(self):
+        space = AddressSpace()
+        rw = space.mmap(1)
+        ro = space.mmap(1, prot=PROT_READ)
+        space.write(rw.start, b"x")
+        space.protect_resident_pages()
+        assert not ro.ckpt_flagged
+
+    def test_fault_handler_called_once_per_page(self):
+        space, region = _space_with_region()
+        space.write(region.start, b"original")
+        space.protect_resident_pages()
+        faults = []
+        space.set_fault_handler(lambda r, p: faults.append((r.name, p)))
+        space.write(region.start, b"new")
+        space.write(region.start + 8, b"more")  # same page, no second fault
+        assert faults == [("heap", 0)]
+
+    def test_fault_handler_sees_pre_write_content(self):
+        """The COW copy must capture the page as it was at checkpoint time."""
+        space, region = _space_with_region()
+        space.write(region.start, b"original")
+        space.protect_resident_pages()
+        captured = {}
+        space.set_fault_handler(
+            lambda r, p: captured.setdefault(p, r.page_content(p))
+        )
+        space.write(region.start, b"modified")
+        assert captured[0].startswith(b"original")
+
+    def test_unhandled_flagged_fault_raises_pagefault(self):
+        space, region = _space_with_region()
+        space.write(region.start, b"x")
+        space.protect_resident_pages()
+        with pytest.raises(PageFault):
+            space.write(region.start, b"y")
+
+    def test_clear_checkpoint_flags(self):
+        space, region = _space_with_region()
+        space.write(region.start, b"x")
+        space.protect_resident_pages()
+        space.clear_checkpoint_flags()
+        space.write(region.start, b"y")  # no fault
+        assert space.fault_count == 0
+
+
+class TestInterceptedSyscalls:
+    def test_mprotect_to_readonly_clears_flags(self):
+        """Section 5.1.2: an app downgrading protection must see future
+        faults itself, so the checkpoint flag is removed."""
+        space, region = _space_with_region()
+        space.write(region.start, b"x")
+        space.protect_resident_pages()
+        space.mprotect(region.start, PROT_READ)
+        assert not region.ckpt_flagged
+        with pytest.raises(SegmentationFault):
+            space.write(region.start, b"y")
+
+    def test_mprotect_unknown_region(self):
+        space = AddressSpace()
+        from repro.common.errors import MemoryError_
+
+        with pytest.raises(MemoryError_):
+            space.mprotect(0x5000, PROT_READ)
+
+    def test_mremap_shrink_discards_state(self):
+        space, region = _space_with_region(4)
+        space.write(region.start + 3 * PAGE_SIZE, b"tail")
+        space.protect_resident_pages()
+        space.mremap(region.start, 2)
+        assert region.npages == 2
+        assert 3 not in region.pages
+        assert 3 not in region.ckpt_flagged
+
+    def test_mremap_grow(self):
+        space, region = _space_with_region(2)
+        space.mremap(region.start, 8)
+        space.write(region.start + 7 * PAGE_SIZE, b"x")
+        assert space.read(region.start + 7 * PAGE_SIZE, 1) == b"x"
+
+    def test_mremap_to_zero_rejected(self):
+        space, region = _space_with_region()
+        from repro.common.errors import MemoryError_
+
+        with pytest.raises(MemoryError_):
+            space.mremap(region.start, 0)
+
+    def test_munmap_removes_from_incremental_state(self):
+        space, region = _space_with_region()
+        space.write(region.start, b"x")
+        space.munmap(region.start)
+        assert space.dirty_pages() == []

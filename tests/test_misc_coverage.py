@@ -1,0 +1,167 @@
+"""Coverage for remaining configuration paths and small behaviors:
+cold playback, naive-daemon DejaView mode, compressed checkpointing at the
+orchestrator level, lfs odds and ends, and the public API surface."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import FileSystemError
+from repro.common.units import seconds
+from repro.desktop.dejaview import DejaView, RecordingConfig
+from repro.desktop.session import DesktopSession
+from repro.display.commands import Region, SolidFillCmd
+from repro.display.playback import PlaybackEngine
+from repro.fs.lfs import LogStructuredFS
+
+
+class TestColdPlayback:
+    def _record(self):
+        session = DesktopSession(width=64, height=48)
+        dv = DejaView(session, RecordingConfig(record_index=False,
+                                               record_checkpoints=False))
+        app = session.launch("painter")
+        for i in range(20):
+            app.draw_fill(Region(0, 0, 64, 48), i)
+            dv.tick()
+            session.clock.advance_us(seconds(1))
+        return session, dv.display_record()
+
+    def test_cold_seek_slower_than_warm(self):
+        session, record = self._record()
+        warm = PlaybackEngine(record, clock=VirtualClock(), cache_capacity=0)
+        cold = PlaybackEngine(record, clock=VirtualClock(), cache_capacity=0,
+                              cold=True)
+        w1 = warm.clock.stopwatch()
+        warm.seek(session.clock.now_us)
+        warm_us = w1.elapsed_us
+        w2 = cold.clock.stopwatch()
+        cold.seek(session.clock.now_us)
+        cold_us = w2.elapsed_us
+        assert cold_us > warm_us
+
+    def test_cold_and_warm_reconstruct_identically(self):
+        session, record = self._record()
+        warm, _ = PlaybackEngine(record, clock=VirtualClock()).seek(
+            session.clock.now_us
+        )
+        cold, _ = PlaybackEngine(record, clock=VirtualClock(), cold=True).seek(
+            session.clock.now_us
+        )
+        assert warm == cold
+
+
+class TestDejaViewConfigurations:
+    def test_naive_daemon_mode(self):
+        session = DesktopSession(width=32, height=24)
+        dv = DejaView(session, RecordingConfig(record_display=False,
+                                               record_checkpoints=False,
+                                               use_mirror_tree=False))
+        app = session.launch("editor")
+        app.show_text("naive mode works")
+        from repro.index.query import Query
+
+        assert dv.search(Query.keywords("naive"), render=False)
+
+    def test_compressed_checkpoint_recording(self):
+        session = DesktopSession(width=32, height=24)
+        dv = DejaView(session, RecordingConfig(compress_checkpoints=True))
+        app = session.launch("editor")
+        app.dirty_memory(256 * 1024)
+        dv.tick()
+        report = dv.storage_report()
+        assert report["checkpoint_compressed"] > 0
+        assert report["checkpoint_compressed"] < report["checkpoint_uncompressed"]
+        # Revive still works from compressed storage.
+        revived = dv.take_me_back(session.clock.now_us)
+        assert revived.processes >= 1
+
+    def test_checkpoint_before_picks_latest_not_after(self):
+        session = DesktopSession(width=32, height=24)
+        dv = DejaView(session)
+        app = session.launch("editor")
+        times = []
+        for i in range(3):
+            app.draw_fill(Region(0, 0, 32, 24), i)
+            dv.tick()
+            times.append(session.clock.now_us)
+            session.clock.advance_us(seconds(2))
+        target = times[1] + seconds(1)
+        candidate = dv.checkpoint_before(target)
+        assert candidate.checkpoint_id == 2
+
+    def test_tick_without_engine_reports_commands(self):
+        session = DesktopSession(width=32, height=24)
+        dv = DejaView(session, RecordingConfig(record_checkpoints=False))
+        app = session.launch("editor")
+        app.draw_fill(Region(0, 0, 32, 24), 1)
+        report = dv.tick()
+        assert report.display_commands == 1
+        assert not report.checkpointed
+
+
+class TestLfsOddsAndEnds:
+    def test_rename_overwrites_destination_entry(self):
+        fs = LogStructuredFS(clock=VirtualClock())
+        fs.create("/a", b"a-content")
+        fs.create("/b", b"b-content")
+        fs.rename("/a", "/b")
+        assert fs.read_file("/b") == b"a-content"
+        assert not fs.exists("/a")
+
+    def test_link_to_missing_source_rejected(self):
+        fs = LogStructuredFS(clock=VirtualClock())
+        with pytest.raises(FileSystemError):
+            fs.link("/missing", "/new")
+
+    def test_link_over_existing_rejected(self):
+        fs = LogStructuredFS(clock=VirtualClock())
+        fs.create("/a", b"")
+        fs.create("/b", b"")
+        with pytest.raises(FileSystemError):
+            fs.link("/a", "/b")
+
+    def test_write_at_on_missing_file_rejected(self):
+        fs = LogStructuredFS(clock=VirtualClock())
+        with pytest.raises(FileSystemError):
+            fs.write_at("/missing", 0, b"x")
+
+    def test_truncate_to_zero(self):
+        fs = LogStructuredFS(clock=VirtualClock())
+        fs.create("/f", b"abcdef")
+        fs.truncate("/f")
+        assert fs.read_file("/f") == b""
+
+    def test_listdir_of_file_rejected(self):
+        fs = LogStructuredFS(clock=VirtualClock())
+        fs.create("/f", b"")
+        with pytest.raises(FileSystemError):
+            fs.listdir("/f")
+
+    def test_mkdir_missing_parent_rejected(self):
+        fs = LogStructuredFS(clock=VirtualClock())
+        with pytest.raises(FileSystemError):
+            fs.mkdir("/no/such/parent")
+
+
+class TestPublicApi:
+    def test_all_names_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_doctests_of_pure_helpers(self):
+        import doctest
+
+        import repro.common.units as units
+        import repro.fs.vfs as vfs
+        import repro.index.tokenizer as tokenizer
+
+        for module in (units, vfs, tokenizer):
+            failures, _tests = doctest.testmod(module)
+            assert failures == 0, module.__name__
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

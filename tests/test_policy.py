@@ -1,0 +1,155 @@
+"""Unit tests for the checkpoint policy (section 5.1.3)."""
+
+import pytest
+
+from repro.common.errors import PolicyError
+from repro.checkpoint.policy import (
+    SKIP_CUSTOM,
+    SKIP_FULLSCREEN,
+    SKIP_LOW_DISPLAY,
+    SKIP_NO_DISPLAY,
+    SKIP_RATE_LIMIT,
+    SKIP_TEXT_RATE,
+    TAKE_DISPLAY,
+    TAKE_TEXT_EDIT,
+    CheckpointPolicy,
+    PolicyConfig,
+    PolicyContext,
+)
+from repro.display.driver import DisplayActivity
+
+
+def activity(commands=10, changed=None, screen=100_000):
+    act = DisplayActivity(screen_area=screen)
+    act.command_count = commands
+    act.changed_area = changed if changed is not None else screen
+    return act
+
+
+def ctx(now_s=0.0, act=None, keyboard=False, mouse=False, video=False,
+        saver=False, load=0.0):
+    return PolicyContext(
+        now_us=int(now_s * 1_000_000),
+        display_activity=act,
+        keyboard_input=keyboard,
+        mouse_input=mouse,
+        fullscreen_video=video,
+        screensaver=saver,
+        system_load=load,
+    )
+
+
+class TestBuiltinRules:
+    def test_big_display_change_triggers_checkpoint(self):
+        policy = CheckpointPolicy()
+        decision = policy.decide(ctx(act=activity()))
+        assert decision.take
+        assert decision.reason == TAKE_DISPLAY
+
+    def test_rate_limited_to_once_per_second(self):
+        policy = CheckpointPolicy()
+        assert policy.decide(ctx(0.0, activity()))
+        assert policy.decide(ctx(0.5, activity())).reason == SKIP_RATE_LIMIT
+        assert policy.decide(ctx(1.1, activity())).take
+
+    def test_no_display_activity_skips(self):
+        policy = CheckpointPolicy()
+        decision = policy.decide(ctx(act=None))
+        assert not decision.take
+        assert decision.reason == SKIP_NO_DISPLAY
+        decision = policy.decide(ctx(act=activity(commands=0, changed=0)))
+        assert decision.reason == SKIP_NO_DISPLAY
+
+    def test_low_display_activity_skips(self):
+        """Blinking cursor / clock updates: below 5 % of the screen."""
+        policy = CheckpointPolicy()
+        decision = policy.decide(ctx(act=activity(changed=1000)))  # 1 %
+        assert not decision.take
+        assert decision.reason == SKIP_LOW_DISPLAY
+
+    def test_threshold_boundary(self):
+        policy = CheckpointPolicy(PolicyConfig(low_activity_fraction=0.05))
+        assert policy.decide(ctx(act=activity(changed=5000))).take  # exactly 5 %
+
+    def test_keyboard_overrides_low_activity(self):
+        """Text editing checkpoints despite tiny display changes."""
+        policy = CheckpointPolicy()
+        decision = policy.decide(ctx(act=activity(changed=100), keyboard=True))
+        assert decision.take
+        assert decision.reason == TAKE_TEXT_EDIT
+
+    def test_text_edit_rate_is_ten_seconds(self):
+        policy = CheckpointPolicy()
+        assert policy.decide(ctx(0, activity(changed=100), keyboard=True)).take
+        d = policy.decide(ctx(5, activity(changed=100), keyboard=True))
+        assert d.reason == SKIP_TEXT_RATE
+        assert policy.decide(ctx(11, activity(changed=100), keyboard=True)).take
+
+    def test_keyboard_with_no_display_still_checkpoints(self):
+        policy = CheckpointPolicy()
+        decision = policy.decide(ctx(act=None, keyboard=True))
+        assert decision.take
+        assert decision.reason == TAKE_TEXT_EDIT
+
+    def test_fullscreen_video_skips(self):
+        policy = CheckpointPolicy()
+        decision = policy.decide(ctx(act=activity(), video=True))
+        assert not decision.take
+        assert decision.reason == SKIP_FULLSCREEN
+
+    def test_screensaver_skips(self):
+        policy = CheckpointPolicy()
+        decision = policy.decide(ctx(act=activity(), saver=True))
+        assert decision.reason == SKIP_FULLSCREEN
+
+    def test_fullscreen_with_user_input_checkpoints(self):
+        """Input during full-screen video re-enables checkpointing."""
+        policy = CheckpointPolicy()
+        decision = policy.decide(ctx(act=activity(), video=True, mouse=True))
+        assert decision.take
+
+    def test_fullscreen_skip_disabled_by_config(self):
+        policy = CheckpointPolicy(PolicyConfig(skip_fullscreen_apps=False))
+        assert policy.decide(ctx(act=activity(), video=True)).take
+
+
+class TestCustomRules:
+    def test_load_rule_vetoes(self):
+        """The paper's example: skip when system load is high."""
+        policy = CheckpointPolicy()
+        policy.add_rule(lambda c: False if c.system_load > 0.9 else None)
+        decision = policy.decide(ctx(act=activity(), load=0.95))
+        assert not decision.take
+        assert decision.reason == SKIP_CUSTOM
+        assert policy.decide(ctx(1.5, act=activity(), load=0.1)).take
+
+    def test_non_callable_rule_rejected(self):
+        with pytest.raises(PolicyError):
+            CheckpointPolicy().add_rule("rule")
+
+
+class TestStats:
+    def test_stats_track_reasons(self):
+        policy = CheckpointPolicy()
+        policy.decide(ctx(0, activity()))
+        policy.decide(ctx(0.2, activity()))
+        policy.decide(ctx(0.4, act=None))
+        policy.decide(ctx(0.6, activity(changed=10)))
+        stats = policy.stats
+        assert stats.total == 4
+        assert stats.total_taken == 1
+        assert stats.skipped[SKIP_RATE_LIMIT] == 1
+        assert stats.skipped[SKIP_NO_DISPLAY] == 1
+        assert stats.skipped[SKIP_LOW_DISPLAY] == 1
+
+    def test_fractions(self):
+        policy = CheckpointPolicy()
+        policy.decide(ctx(0, activity()))
+        policy.decide(ctx(0.1, act=None))
+        assert policy.stats.taken_fraction() == pytest.approx(0.5)
+        assert policy.stats.skip_fraction(SKIP_NO_DISPLAY) == 1.0
+
+    def test_empty_stats(self):
+        policy = CheckpointPolicy()
+        assert policy.stats.taken_fraction() == 0.0
+        assert policy.stats.skip_fraction(SKIP_NO_DISPLAY) == 0.0

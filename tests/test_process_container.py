@@ -1,0 +1,268 @@
+"""Unit tests for processes, signals, namespaces and containers."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import NamespaceError, ProcessError
+from repro.vex.container import Container
+from repro.vex.kernel import Kernel
+from repro.vex.namespace import Namespace
+from repro.vex.process import Process, ProcessState
+from repro.vex.signals import SIGCONT, SIGKILL, SIGSTOP, SIGUSR1, signal_name
+from repro.vex.sockets import Socket, SocketState
+
+
+class TestProcessSignals:
+    def test_stop_and_continue(self):
+        proc = Process(1, "app")
+        proc.deliver_signal(SIGSTOP, now_us=0)
+        assert proc.state is ProcessState.STOPPED
+        proc.deliver_signal(SIGCONT, now_us=0)
+        assert proc.state is ProcessState.RUNNABLE
+
+    def test_uninterruptible_process_queues_stop(self):
+        """Disk I/O delays signal handling — the pre-quiesce motivation."""
+        proc = Process(1, "app")
+        proc.begin_io(now_us=0, duration_us=1000)
+        assert proc.run_state_for(500) is ProcessState.UNINTERRUPTIBLE
+        assert not proc.deliver_signal(SIGSTOP, now_us=500)
+        assert proc.state is not ProcessState.STOPPED
+        # After the I/O completes, flushing delivers the queued stop.
+        assert proc.flush_pending_signals(now_us=2000) == 1
+        assert proc.state is ProcessState.STOPPED
+
+    def test_sigkill_acts_even_during_io(self):
+        proc = Process(1, "app")
+        proc.begin_io(now_us=0, duration_us=1000)
+        proc.deliver_signal(SIGKILL, now_us=500)
+        assert proc.state is ProcessState.ZOMBIE
+        assert proc.exit_code == -9
+
+    def test_blocked_signal_queues(self):
+        proc = Process(1, "app")
+        proc.blocked_signals.add(SIGUSR1)
+        assert not proc.deliver_signal(SIGUSR1, now_us=0)
+        assert SIGUSR1 in proc.pending_signals
+        # Flushing with the signal still blocked keeps it pending.
+        proc.flush_pending_signals(now_us=0)
+        assert SIGUSR1 in proc.pending_signals
+
+    def test_sigstop_cannot_be_blocked(self):
+        proc = Process(1, "app")
+        proc.blocked_signals.add(SIGSTOP)
+        proc.deliver_signal(SIGSTOP, now_us=0)
+        assert proc.state is ProcessState.STOPPED
+
+    def test_cont_restores_prior_state(self):
+        proc = Process(1, "app")
+        proc.state = ProcessState.RUNNING
+        proc.deliver_signal(SIGSTOP, now_us=0)
+        proc.deliver_signal(SIGCONT, now_us=0)
+        assert proc.state is ProcessState.RUNNING
+
+    def test_signal_name(self):
+        assert signal_name(SIGSTOP) == "SIGSTOP"
+        assert signal_name(42) == "SIG42"
+
+    def test_signalable(self):
+        proc = Process(1, "app")
+        assert proc.signalable(0)
+        proc.begin_io(0, 100)
+        assert not proc.signalable(50)
+        assert proc.signalable(200)
+
+    def test_threads(self):
+        proc = Process(1, "app")
+        t = proc.spawn_thread({"pc": 42})
+        assert t.tid == 1
+        assert len(proc.threads) == 2
+        snap = t.snapshot()
+        from repro.vex.process import Thread
+
+        restored = Thread.from_snapshot(snap)
+        assert restored.registers == {"pc": 42}
+
+    def test_fds(self):
+        proc = Process(1, "app")
+        entry = proc.open_fd(path="/tmp/x", inode=5)
+        assert entry.fd == 3
+        assert proc.close_fd(entry.fd) is entry
+        with pytest.raises(ProcessError):
+            proc.close_fd(entry.fd)
+
+
+class TestNamespace:
+    def test_vpid_allocation_sequential(self):
+        ns = Namespace(1)
+        p1, p2 = Process(0, "a"), Process(0, "b")
+        assert ns.allocate_vpid(p1) == 1
+        assert ns.allocate_vpid(p2) == 2
+
+    def test_explicit_vpid_for_revive(self):
+        ns = Namespace(1)
+        proc = Process(0, "a")
+        assert ns.allocate_vpid(proc, vpid=42) == 42
+        assert ns.lookup_vpid(42) is proc
+
+    def test_duplicate_vpid_rejected(self):
+        ns = Namespace(1)
+        ns.allocate_vpid(Process(0, "a"), vpid=5)
+        with pytest.raises(NamespaceError):
+            ns.allocate_vpid(Process(0, "b"), vpid=5)
+
+    def test_two_namespaces_can_reuse_vpids(self):
+        """The core revive property: same names, different namespaces."""
+        ns_a, ns_b = Namespace(1), Namespace(2)
+        ns_a.allocate_vpid(Process(0, "a"), vpid=7)
+        ns_b.allocate_vpid(Process(0, "b"), vpid=7)
+        assert ns_a.lookup_vpid(7).name == "a"
+        assert ns_b.lookup_vpid(7).name == "b"
+
+    def test_release_and_lookup_missing(self):
+        ns = Namespace(1)
+        ns.allocate_vpid(Process(0, "a"), vpid=3)
+        ns.release_vpid(3)
+        with pytest.raises(NamespaceError):
+            ns.lookup_vpid(3)
+        with pytest.raises(NamespaceError):
+            ns.release_vpid(3)
+
+    def test_named_resources(self):
+        ns = Namespace(1)
+        ns.bind("display", ":0", "server-object")
+        assert ns.resolve("display", ":0") == "server-object"
+        assert ns.bound_names("display") == [":0"]
+        with pytest.raises(NamespaceError):
+            ns.bind("display", ":0", "other")
+        ns.unbind("display", ":0")
+        with pytest.raises(NamespaceError):
+            ns.resolve("display", ":0")
+
+
+class TestContainer:
+    def _container(self):
+        return Container(1, "desktop", VirtualClock())
+
+    def test_spawn_builds_forest(self):
+        c = self._container()
+        init = c.spawn("init")
+        child = c.spawn("xserver", parent=init)
+        assert child in init.children
+        assert c.process_by_vpid(child.vpid) is child
+
+    def test_spawn_foreign_parent_rejected(self):
+        c = self._container()
+        other = Process(9, "foreign")
+        with pytest.raises(ProcessError):
+            c.spawn("child", parent=other)
+
+    def test_reap_zombie(self):
+        c = self._container()
+        init = c.spawn("init")
+        child = c.spawn("app", parent=init)
+        child.exit(0)
+        c.reap(child)
+        assert child not in c.processes
+        assert child not in init.children
+
+    def test_reap_live_rejected(self):
+        c = self._container()
+        proc = c.spawn("app")
+        with pytest.raises(ProcessError):
+            c.reap(proc)
+
+    def test_live_processes_excludes_zombies(self):
+        c = self._container()
+        a = c.spawn("a")
+        b = c.spawn("b")
+        b.exit(1)
+        assert c.live_processes() == [a]
+
+    def test_aggregate_page_counts(self):
+        c = self._container()
+        proc = c.spawn("app")
+        region = proc.address_space.mmap(4)
+        proc.address_space.write(region.start, b"data")
+        assert c.total_resident_pages == 1
+        assert c.total_dirty_pages == 1
+
+    def test_all_signalable(self):
+        c = self._container()
+        proc = c.spawn("app")
+        assert c.all_signalable(0)
+        proc.begin_io(0, 1000)
+        assert not c.all_signalable(500)
+
+    def test_network_policy(self):
+        c = self._container()
+        c.network_enabled = False
+        assert not c.network_allowed_for("firefox")
+        c.network_policy["firefox"] = True
+        assert c.network_allowed_for("firefox")
+        assert not c.network_allowed_for("mail")
+
+
+class TestKernel:
+    def test_stop_all_and_continue_all(self):
+        kernel = Kernel()
+        c = kernel.create_container("desktop")
+        procs = [c.spawn("p%d" % i) for i in range(3)]
+        assert kernel.stop_all(c) == 3
+        assert all(p.state is ProcessState.STOPPED for p in procs)
+        kernel.continue_all(c)
+        assert all(p.state is ProcessState.RUNNABLE for p in procs)
+
+    def test_signals_charge_clock(self):
+        kernel = Kernel()
+        c = kernel.create_container("desktop")
+        c.spawn("p")
+        before = kernel.clock.now_us
+        kernel.stop_all(c)
+        assert kernel.clock.now_us > before
+
+    def test_destroy_container(self):
+        kernel = Kernel()
+        c = kernel.create_container("x")
+        kernel.destroy_container(c)
+        assert kernel.containers == []
+
+    def test_wait_until(self):
+        kernel = Kernel()
+        kernel.wait_until(5000)
+        assert kernel.clock.now_us == 5000
+
+
+class TestSockets:
+    def test_external_tcp_reset_on_revive(self):
+        sock = Socket("tcp", "10.0.0.5:3000", "93.184.216.34:80",
+                      state=SocketState.ESTABLISHED)
+        assert not sock.restore_for_revive()
+        assert sock.state is SocketState.RESET
+
+    def test_internal_tcp_survives(self):
+        sock = Socket("tcp", "127.0.0.1:6000", "127.0.0.1:35000",
+                      state=SocketState.ESTABLISHED, internal=True)
+        assert sock.restore_for_revive()
+        assert sock.state is SocketState.ESTABLISHED
+
+    def test_udp_always_restored(self):
+        sock = Socket("udp", "10.0.0.5:1234", "8.8.8.8:53",
+                      state=SocketState.ESTABLISHED)
+        assert sock.restore_for_revive()
+        assert sock.state is SocketState.ESTABLISHED
+
+    def test_non_established_tcp_untouched(self):
+        sock = Socket("tcp", "0.0.0.0:80", state=SocketState.LISTENING)
+        assert sock.restore_for_revive()
+        assert sock.state is SocketState.LISTENING
+
+    def test_snapshot_roundtrip(self):
+        sock = Socket("tcp", "a:1", "b:2", state=SocketState.ESTABLISHED)
+        restored = Socket.from_snapshot(sock.snapshot())
+        assert restored.proto == "tcp"
+        assert restored.remote == "b:2"
+        assert restored.state is SocketState.ESTABLISHED
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            Socket("sctp", "a:1")

@@ -1,0 +1,339 @@
+"""Integration tests: display recording and playback (sections 4.1, 4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import DisplayError
+from repro.common.units import seconds
+from repro.display.commands import (
+    BitmapCmd,
+    CopyCmd,
+    RawCmd,
+    Region,
+    SolidFillCmd,
+)
+from repro.display.driver import VirtualDisplayDriver
+from repro.display.playback import PlaybackEngine, prune_commands
+from repro.display.recorder import DisplayRecorder, RecorderConfig
+
+W, H = 64, 48
+
+
+def _rig(config=None):
+    clock = VirtualClock()
+    driver = VirtualDisplayDriver(W, H, clock=clock)
+    recorder = DisplayRecorder(W, H, clock=clock, config=config)
+    driver.attach_sink(recorder)
+    return clock, driver, recorder
+
+
+def _random_commands(rng, n):
+    commands = []
+    for _ in range(n):
+        kind = rng.integers(0, 4)
+        x, y = int(rng.integers(0, W - 8)), int(rng.integers(0, H - 8))
+        w, h = int(rng.integers(1, 8)), int(rng.integers(1, 8))
+        region = Region(x, y, w, h)
+        if kind == 0:
+            commands.append(SolidFillCmd(region, int(rng.integers(0, 2**32))))
+        elif kind == 1:
+            pixels = rng.integers(0, 2**32, size=(h, w), dtype=np.uint32)
+            commands.append(RawCmd(region, pixels))
+        elif kind == 2:
+            bits = rng.random((h, w)) > 0.5
+            commands.append(BitmapCmd(region, bits, 0xFFFFFF, 0))
+        else:
+            sx, sy = int(rng.integers(0, W - w)), int(rng.integers(0, H - h))
+            commands.append(CopyCmd(region, Region(sx, sy, w, h)))
+    return commands
+
+
+class TestRecorder:
+    def test_initial_screenshot_taken(self):
+        _clock, _driver, recorder = _rig()
+        assert len(recorder.timeline) == 1
+
+    def test_commands_logged(self):
+        clock, driver, recorder = _rig()
+        driver.submit(SolidFillCmd(Region(0, 0, 8, 8), 1))
+        driver.flush()
+        assert recorder.command_count == 1
+
+    def test_screenshot_requires_interval_and_change(self):
+        config = RecorderConfig(
+            screenshot_interval_us=seconds(10),
+            screenshot_min_change_fraction=0.5,
+        )
+        clock, driver, recorder = _rig(config)
+        # Interval passed but change too small: no screenshot.
+        clock.advance_us(seconds(11))
+        driver.submit(SolidFillCmd(Region(0, 0, 2, 2), 1))
+        driver.flush()
+        assert len(recorder.timeline) == 1
+        # Now a big change: screenshot due.
+        driver.submit(SolidFillCmd(Region(0, 0, W, H), 2))
+        driver.flush()
+        assert len(recorder.timeline) == 2
+
+    def test_no_display_activity_records_nothing(self):
+        """"If the screen does not change ... nothing is recorded.""" ""
+        clock, driver, recorder = _rig()
+        before = recorder.log_nbytes
+        clock.advance_us(seconds(60))
+        driver.flush()
+        assert recorder.log_nbytes == before
+
+    def test_storage_scales_with_activity_not_time(self):
+        config = RecorderConfig(screenshot_interval_us=seconds(3600))
+        _clock1, driver1, rec1 = _rig(config)
+        _clock2, driver2, rec2 = _rig(config)
+        for _ in range(10):
+            driver1.submit(SolidFillCmd(Region(0, 0, 4, 4), 1))
+            driver1.flush()
+        for _ in range(100):
+            driver2.submit(SolidFillCmd(Region(0, 0, 4, 4), 1))
+            driver2.flush()
+        assert rec2.log_nbytes > rec1.log_nbytes
+
+    def test_force_screenshot(self):
+        _clock, _driver, recorder = _rig()
+        recorder.force_screenshot()
+        assert len(recorder.timeline) == 2
+
+    def test_finalize_bundles_everything(self):
+        clock, driver, recorder = _rig()
+        driver.submit(SolidFillCmd(Region(0, 0, 8, 8), 1))
+        driver.flush()
+        record = recorder.finalize()
+        assert record.command_count == 1
+        assert record.width == W and record.height == H
+        assert record.total_bytes > 0
+
+
+class TestPlaybackSeek:
+    def test_seek_reconstructs_current_screen(self):
+        clock, driver, recorder = _rig()
+        rng = np.random.default_rng(7)
+        for cmd in _random_commands(rng, 60):
+            driver.submit(cmd)
+            driver.flush()
+            clock.advance_us(10_000)
+        engine = PlaybackEngine(recorder.finalize())
+        fb, stats = engine.seek(clock.now_us)
+        assert fb.checksum() == driver.framebuffer.checksum()
+
+    def test_seek_to_intermediate_time(self):
+        clock, driver, recorder = _rig()
+        driver.submit(SolidFillCmd(Region(0, 0, W, H), 1))
+        driver.flush()
+        mid_us = clock.now_us
+        mid_checksum = driver.framebuffer.checksum()
+        clock.advance_us(seconds(1))
+        driver.submit(SolidFillCmd(Region(0, 0, W, H), 2))
+        driver.flush()
+        engine = PlaybackEngine(recorder.finalize())
+        fb, _stats = engine.seek(mid_us)
+        assert fb.checksum() == mid_checksum
+
+    def test_seek_before_first_screenshot_rejected(self):
+        clock = VirtualClock(start_us=seconds(5))
+        driver = VirtualDisplayDriver(W, H, clock=clock)
+        recorder = DisplayRecorder(W, H, clock=clock)
+        driver.attach_sink(recorder)
+        engine = PlaybackEngine(recorder.finalize())
+        with pytest.raises(DisplayError):
+            engine.seek(0)
+
+    def test_pruning_reduces_applied_commands(self):
+        clock, driver, recorder = _rig()
+        for color in range(30):
+            driver.submit(SolidFillCmd(Region(0, 0, W, H), color))
+            driver.flush()
+            clock.advance_us(10_000)
+        engine = PlaybackEngine(recorder.finalize())
+        fb, stats = engine.seek(clock.now_us)
+        assert stats.commands_applied < stats.commands_considered
+        assert fb.checksum() == driver.framebuffer.checksum()
+
+    def test_unpruned_playback_agrees(self):
+        clock, driver, recorder = _rig()
+        rng = np.random.default_rng(3)
+        for cmd in _random_commands(rng, 40):
+            driver.submit(cmd)
+            driver.flush()
+            clock.advance_us(5_000)
+        record = recorder.finalize()
+        pruned, _ = PlaybackEngine(record, prune=True).seek(clock.now_us)
+        naive, _ = PlaybackEngine(record, prune=False).seek(clock.now_us)
+        assert pruned == naive
+
+    def test_keyframe_cache_hits_on_repeat_seek(self):
+        clock, driver, recorder = _rig()
+        driver.submit(SolidFillCmd(Region(0, 0, W, H), 1))
+        driver.flush()
+        engine = PlaybackEngine(recorder.finalize())
+        engine.seek(clock.now_us)
+        engine.seek(clock.now_us)
+        assert engine.cache_stats["hits"] >= 1
+
+    def test_cached_seek_is_faster(self):
+        """LRU screenshot caching "provides significant speedup ... going
+        back to specific points in time" (section 4.4)."""
+        clock, driver, recorder = _rig()
+        driver.submit(SolidFillCmd(Region(0, 0, W, H), 1))
+        driver.flush()
+        engine = PlaybackEngine(recorder.finalize())
+        watch = engine.clock.stopwatch()
+        engine.seek(clock.now_us)
+        uncached_us = watch.restart()
+        engine.seek(clock.now_us)
+        cached_us = watch.elapsed_us
+        assert cached_us < uncached_us
+
+
+class TestPlaybackPlay:
+    def _record_session(self, n=50, gap_us=40_000):
+        clock, driver, recorder = _rig()
+        rng = np.random.default_rng(11)
+        for cmd in _random_commands(rng, n):
+            driver.submit(cmd)
+            driver.flush()
+            clock.advance_us(gap_us)
+        return clock, driver, recorder.finalize()
+
+    def test_play_at_normal_rate_takes_about_recorded_time(self):
+        clock, _driver, record = self._record_session()
+        engine = PlaybackEngine(record)
+        _fb, stats = engine.play(0, clock.now_us, speed=1.0)
+        assert stats.playback_duration_us >= stats.recorded_duration_us * 0.9
+
+    def test_play_double_speed_halves_waits(self):
+        clock, _driver, record = self._record_session()
+        _fb1, normal = PlaybackEngine(record).play(0, clock.now_us, speed=1.0)
+        _fb2, double = PlaybackEngine(record).play(0, clock.now_us, speed=2.0)
+        assert double.playback_duration_us < normal.playback_duration_us
+
+    def test_fastest_playback_is_faster_than_realtime(self):
+        clock, _driver, record = self._record_session()
+        _fb, stats = PlaybackEngine(record).play(0, clock.now_us, fastest=True)
+        assert stats.speedup > 1.0
+
+    def test_play_final_screen_matches_live(self):
+        clock, driver, record = self._record_session()
+        fb, _stats = PlaybackEngine(record).play(0, clock.now_us, fastest=True)
+        assert fb.checksum() == driver.framebuffer.checksum()
+
+    def test_invalid_speed_rejected(self):
+        _clock, _driver, record = self._record_session(n=2)
+        with pytest.raises(DisplayError):
+            PlaybackEngine(record).play(0, 1, speed=0)
+
+
+class TestFastForwardRewind:
+    def _long_session(self):
+        config = RecorderConfig(
+            screenshot_interval_us=seconds(5),
+            screenshot_min_change_fraction=0.01,
+        )
+        clock, driver, recorder = _rig(config)
+        for i in range(20):
+            driver.submit(SolidFillCmd(Region(0, 0, W, H), i))
+            driver.flush()
+            clock.advance_us(seconds(2))
+        return clock, driver, recorder
+
+    def test_fast_forward_shows_keyframes(self):
+        clock, driver, recorder = self._long_session()
+        engine = PlaybackEngine(recorder.finalize())
+        fb, _stats, shown = engine.fast_forward(0, clock.now_us)
+        assert shown >= 2
+        assert fb.checksum() == driver.framebuffer.checksum()
+
+    def test_rewind_reaches_earlier_state(self):
+        clock, driver, recorder = self._long_session()
+        target_us = seconds(9)
+        engine = PlaybackEngine(recorder.finalize())
+        fb, _stats, shown = engine.rewind(clock.now_us, target_us)
+        replay, _ = PlaybackEngine(recorder.finalize()).seek(target_us)
+        assert fb == replay
+
+    def test_fast_forward_backwards_rejected(self):
+        clock, _driver, recorder = self._long_session()
+        engine = PlaybackEngine(recorder.finalize())
+        with pytest.raises(DisplayError):
+            engine.fast_forward(clock.now_us, 0)
+
+    def test_rewind_forwards_rejected(self):
+        clock, _driver, recorder = self._long_session()
+        engine = PlaybackEngine(recorder.finalize())
+        with pytest.raises(DisplayError):
+            engine.rewind(0, clock.now_us)
+
+
+class TestPruneCommands:
+    def test_covered_command_dropped(self):
+        commands = [
+            SolidFillCmd(Region(10, 10, 4, 4), 1),
+            SolidFillCmd(Region(0, 0, W, H), 2),
+        ]
+        kept = prune_commands(commands)
+        assert kept == [commands[1]]
+
+    def test_copy_pins_earlier_commands(self):
+        commands = [
+            SolidFillCmd(Region(0, 0, 8, 8), 1),
+            CopyCmd(Region(20, 20, 8, 8), Region(0, 0, 8, 8)),
+            SolidFillCmd(Region(0, 0, W, H), 2),
+        ]
+        # The final fill covers everything, so both earlier commands can go.
+        kept = prune_commands(commands)
+        assert kept == [commands[2]]
+
+    def test_copy_kept_preserves_dependencies(self):
+        commands = [
+            SolidFillCmd(Region(0, 0, 8, 8), 1),
+            SolidFillCmd(Region(0, 0, 8, 8), 3),
+            CopyCmd(Region(20, 20, 8, 8), Region(0, 0, 8, 8)),
+        ]
+        kept = prune_commands(commands)
+        # The copy survives and pins everything before it.
+        assert kept == commands
+
+    def test_empty_list(self):
+        assert prune_commands([]) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31), n=st.integers(1, 80))
+def test_property_replay_reproduces_screen_exactly(seed, n):
+    """WYSIWYS core invariant: for any command sequence, seeking to the end
+    of the record reproduces the live screen bit-for-bit."""
+    clock, driver, recorder = _rig()
+    rng = np.random.default_rng(seed)
+    for cmd in _random_commands(rng, n):
+        driver.submit(cmd)
+        driver.flush()
+        clock.advance_us(int(rng.integers(0, 50_000)))
+    engine = PlaybackEngine(recorder.finalize())
+    fb, _stats = engine.seek(clock.now_us)
+    assert fb.checksum() == driver.framebuffer.checksum()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31), n=st.integers(1, 60))
+def test_property_prune_preserves_final_framebuffer(seed, n):
+    """Pruning must never change the reconstructed screen."""
+    rng = np.random.default_rng(seed)
+    commands = _random_commands(rng, n)
+    from repro.display.framebuffer import Framebuffer
+
+    full = Framebuffer(W, H)
+    for cmd in commands:
+        cmd.apply(full)
+    pruned = Framebuffer(W, H)
+    for cmd in prune_commands(commands):
+        cmd.apply(pruned)
+    assert full == pruned

@@ -1,0 +1,164 @@
+"""Re-recording revived sessions (section 5.2).
+
+"By using the same log structured file system for the writable layer, the
+revived session retains DejaView's ability to continuously checkpoint
+session state and later revive it."  These tests checkpoint a *revived*
+container and revive second-generation sessions from it.
+"""
+
+import pytest
+
+from repro.checkpoint.engine import CheckpointEngine
+from repro.checkpoint.restore import ReviveManager
+from repro.checkpoint.storage import CheckpointStorage
+from repro.fs.branch import RevivedStore
+from repro.fs.union import ReadOnlyUnionView
+
+from tests.test_checkpoint_engine import make_rig
+
+
+def first_generation():
+    """A session with one checkpoint, revived once."""
+    kernel, container, fsstore, storage, engine, procs = make_rig(
+        nprocs=2, pages_per_proc=4
+    )
+    fsstore.fs.create("/home/user/gen0.txt", b"generation zero")
+    engine.checkpoint()
+    manager = ReviveManager(kernel, fsstore, storage)
+    revive = manager.revive(1)
+    return kernel, fsstore, storage, engine, procs, manager, revive
+
+
+class TestReadOnlyUnionView:
+    def _view(self):
+        from repro.common.clock import VirtualClock
+        from repro.fs.lfs import LogStructuredFS
+
+        clock = VirtualClock()
+        lower = LogStructuredFS(clock=clock)
+        lower.create("/base.txt", b"base")
+        lower.create("/shadowed.txt", b"old")
+        lower.create("/deleted.txt", b"gone")
+        lower_view = lower.view_at(lower.snapshot())
+        upper = LogStructuredFS(clock=clock)
+        upper.create("/shadowed.txt", b"new")
+        upper.create("/.wh.deleted.txt", b"")
+        upper.create("/fresh.txt", b"fresh")
+        upper_view = upper.view_at(upper.snapshot())
+        return ReadOnlyUnionView([upper_view, lower_view])
+
+    def test_requires_layers(self):
+        from repro.common.errors import FileSystemError
+
+        with pytest.raises(FileSystemError):
+            ReadOnlyUnionView([])
+
+    def test_upper_shadows_lower(self):
+        view = self._view()
+        assert view.read_file("/shadowed.txt") == b"new"
+
+    def test_lower_visible_through(self):
+        view = self._view()
+        assert view.read_file("/base.txt") == b"base"
+
+    def test_whiteout_hides_lower(self):
+        view = self._view()
+        assert not view.exists("/deleted.txt")
+        with pytest.raises(Exception):
+            view.read_file("/deleted.txt")
+
+    def test_listdir_merges_and_hides(self):
+        view = self._view()
+        assert view.listdir("/") == ["base.txt", "fresh.txt", "shadowed.txt"]
+
+    def test_walk_files(self):
+        view = self._view()
+        assert sorted(view.walk_files()) == [
+            "/base.txt", "/fresh.txt", "/shadowed.txt",
+        ]
+
+    def test_stat_and_is_dir(self):
+        view = self._view()
+        assert view.stat("/fresh.txt")["size"] == 5
+        assert view.is_dir("/")
+        assert not view.is_dir("/fresh.txt")
+
+
+class TestRerecordRevived:
+    def test_checkpoint_revived_session(self):
+        kernel, _fsstore, _storage, _engine, procs, _mgr, revive = \
+            first_generation()
+        container2 = revive.container
+        mount2 = container2.mount
+        # The revived session does new work.
+        mount2.write_file("/home/user/gen1.txt", b"generation one")
+        clone = container2.process_by_vpid(procs[0].vpid)
+        region = clone.address_space.regions()[0]
+        clone.address_space.write(region.start, b"gen1 memory")
+        # Attach a fresh engine to the revived container.
+        store2 = RevivedStore(mount2)
+        storage2 = CheckpointStorage(clock=kernel.clock)
+        engine2 = CheckpointEngine(kernel, container2, store2, storage2)
+        result = engine2.checkpoint()
+        assert result.checkpoint_id == 1
+        assert 1 in storage2
+
+    def test_second_generation_revive(self):
+        kernel, _fsstore, _storage, _engine, procs, _mgr, revive = \
+            first_generation()
+        container2 = revive.container
+        mount2 = container2.mount
+        mount2.write_file("/home/user/gen1.txt", b"generation one")
+        clone = container2.process_by_vpid(procs[0].vpid)
+        region = clone.address_space.regions()[0]
+        clone.address_space.write(region.start, b"gen1 memory")
+
+        store2 = RevivedStore(mount2)
+        storage2 = CheckpointStorage(clock=kernel.clock)
+        engine2 = CheckpointEngine(kernel, container2, store2, storage2)
+        engine2.checkpoint()
+        # Divergence after the checkpoint.
+        mount2.write_file("/home/user/gen1.txt", b"changed later")
+        clone.address_space.write(region.start, b"later memory")
+
+        manager2 = ReviveManager(kernel, store2, storage2)
+        revive2 = manager2.revive(1)
+        container3 = revive2.container
+        mount3 = container3.mount
+        # Generation-2 sees: gen0 file (original lower), gen1 file at its
+        # checkpointed content, and the checkpointed memory.
+        assert mount3.read_file("/home/user/gen0.txt") == b"generation zero"
+        assert mount3.read_file("/home/user/gen1.txt") == b"generation one"
+        grandclone = container3.process_by_vpid(procs[0].vpid)
+        assert grandclone.address_space.read(region.start, 11) == b"gen1 memory"
+
+    def test_second_generation_is_isolated(self):
+        kernel, _fsstore, _storage, _engine, procs, _mgr, revive = \
+            first_generation()
+        container2 = revive.container
+        mount2 = container2.mount
+        mount2.write_file("/home/user/gen1.txt", b"generation one")
+        store2 = RevivedStore(mount2)
+        storage2 = CheckpointStorage(clock=kernel.clock)
+        engine2 = CheckpointEngine(kernel, container2, store2, storage2)
+        engine2.checkpoint()
+        manager2 = ReviveManager(kernel, store2, storage2)
+        a = manager2.revive(1).container.mount
+        b = manager2.revive(1).container.mount
+        a.write_file("/home/user/gen2.txt", b"branch a")
+        assert not b.exists("/home/user/gen2.txt")
+        assert not mount2.exists("/home/user/gen2.txt")
+
+    def test_deletion_in_revived_session_propagates_to_gen2(self):
+        kernel, _fsstore, _storage, _engine, _procs, _mgr, revive = \
+            first_generation()
+        container2 = revive.container
+        mount2 = container2.mount
+        mount2.unlink("/home/user/gen0.txt")  # whiteout in gen1's upper
+        store2 = RevivedStore(mount2)
+        storage2 = CheckpointStorage(clock=kernel.clock)
+        engine2 = CheckpointEngine(kernel, container2, store2, storage2)
+        engine2.checkpoint()
+        manager2 = ReviveManager(kernel, store2, storage2)
+        mount3 = manager2.revive(1).container.mount
+        assert not mount3.exists("/home/user/gen0.txt")

@@ -1,0 +1,101 @@
+"""Additional revive fidelity and failure-path tests."""
+
+import pytest
+
+from repro.common.errors import ReviveError
+from repro.checkpoint.restore import ReviveManager
+
+from tests.test_checkpoint_engine import make_rig
+
+
+def rig(**kwargs):
+    kernel, container, fsstore, storage, engine, procs = make_rig(**kwargs)
+    return kernel, container, fsstore, storage, engine, procs, \
+        ReviveManager(kernel, fsstore, storage)
+
+
+class TestStateVectorFidelity:
+    def test_identity_and_scheduling_survive(self):
+        _k, container, _f, _s, engine, procs, manager = rig(nprocs=1)
+        proc = procs[0]
+        proc.uid, proc.gid = 501, 20
+        proc.groups = [20, 80]
+        proc.nice = -5
+        engine.checkpoint()
+        clone = manager.revive(1).container.process_by_vpid(proc.vpid)
+        assert (clone.uid, clone.gid) == (501, 20)
+        assert clone.groups == [20, 80]
+        assert clone.nice == -5
+
+    def test_ptrace_relationship_survives(self):
+        _k, container, _f, _s, engine, procs, manager = rig(nprocs=2)
+        debugger, debuggee = procs[0], procs[1]
+        debuggee.ptraced_by = debugger.vpid
+        engine.checkpoint()
+        clone = manager.revive(1).container.process_by_vpid(debuggee.vpid)
+        assert clone.ptraced_by == debugger.vpid
+
+    def test_pending_signals_survive(self):
+        _k, container, _f, _s, engine, procs, manager = rig(nprocs=1)
+        proc = procs[0]
+        proc.blocked_signals.add(10)
+        proc.deliver_signal(10, now_us=0)  # blocked -> queued
+        assert proc.pending_signals == [10]
+        engine.checkpoint()
+        clone = manager.revive(1).container.process_by_vpid(proc.vpid)
+        assert clone.pending_signals == [10]
+        assert 10 in clone.blocked_signals
+
+    def test_fd_offsets_and_flags_survive(self):
+        _k, container, _f, _s, engine, procs, manager = rig(nprocs=1)
+        entry = procs[0].open_fd(path="/etc/hostname", inode=2, flags=0o400)
+        entry.offset = 17
+        engine.checkpoint()
+        clone = manager.revive(1).container.process_by_vpid(procs[0].vpid)
+        restored = clone.open_files[entry.fd]
+        assert restored.offset == 17
+        assert restored.flags == 0o400
+        assert restored.path == "/etc/hostname"
+
+    def test_new_fds_in_revived_session_do_not_collide(self):
+        _k, container, _f, _s, engine, procs, manager = rig(nprocs=1)
+        entry = procs[0].open_fd(path="/a", inode=1)
+        engine.checkpoint()
+        clone = manager.revive(1).container.process_by_vpid(procs[0].vpid)
+        fresh = clone.open_fd(path="/b", inode=2)
+        assert fresh.fd > entry.fd
+
+
+class TestReviveFailurePaths:
+    def test_missing_page_in_owner_image_raises(self):
+        _k, _c, _f, storage, engine, procs, manager = rig(
+            nprocs=1, pages_per_proc=2
+        )
+        engine.checkpoint()
+        # Corrupt the stored image: claim a page lives in image 1 that it
+        # does not contain.
+        image = storage.load(1)
+        bogus_key = (procs[0].vpid, 0xDEAD000, 0)
+        image.page_locations[bogus_key] = 1
+        # Region for the bogus page does not exist -> ReviveError.
+        storage._blobs.pop(1)
+        storage._sizes.pop(1)
+        storage._meta_sizes.pop(1)
+        storage.store(image, charge_time=False)
+        with pytest.raises(ReviveError):
+            manager.revive(1)
+
+    def test_image_referencing_unknown_vpid_raises(self):
+        _k, _c, _f, storage, engine, procs, manager = rig(
+            nprocs=1, pages_per_proc=2
+        )
+        engine.checkpoint()
+        image = storage.load(1)
+        image.regions[999] = [{"start": 0x5000000, "npages": 1, "prot": 3,
+                               "name": "ghost"}]
+        storage._blobs.pop(1)
+        storage._sizes.pop(1)
+        storage._meta_sizes.pop(1)
+        storage.store(image, charge_time=False)
+        with pytest.raises(ReviveError):
+            manager.revive(1)

@@ -1,0 +1,57 @@
+"""End-to-end smoke matrix: every scenario stays searchable, browsable and
+revivable after a short full-recording run, and its checkpoint chain passes
+integrity verification."""
+
+import pytest
+
+from repro.checkpoint.verify import verify_chain
+from repro.workloads import run_scenario
+
+SMOKE_UNITS = {
+    "web": 6,
+    "video": 48,
+    "untar": 120,
+    "gzip": 24,
+    "make": 30,
+    "octave": 6,
+    "cat": 60,
+    "desktop": 40,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(SMOKE_UNITS))
+def scenario_run(request):
+    name = request.param
+    return run_scenario(name, units=SMOKE_UNITS[name])
+
+
+class TestScenarioSmoke:
+    def test_recorded_time_advanced(self, scenario_run):
+        assert scenario_run.duration_us > 0
+
+    def test_display_record_replays_bit_exact(self, scenario_run):
+        dv = scenario_run.dejaview
+        fb, _stats = dv.playback(0, scenario_run.end_us, fastest=True)
+        live = scenario_run.session.driver.framebuffer
+        assert fb.checksum() == live.checksum()
+
+    def test_checkpoint_chain_verifies(self, scenario_run):
+        report = verify_chain(scenario_run.dejaview.storage,
+                              scenario_run.session.fsstore)
+        assert report.ok, [str(issue) for issue in report.issues]
+
+    def test_final_state_revivable(self, scenario_run):
+        dv = scenario_run.dejaview
+        if dv.checkpoint_count == 0:
+            pytest.skip("policy took no checkpoints in this short run")
+        revived = dv.take_me_back(scenario_run.end_us)
+        assert revived.container.live_processes()
+        # The revived fs view serves reads.
+        assert revived.container.mount.exists("/home/user")
+
+    def test_browse_mid_run(self, scenario_run):
+        mid = (scenario_run.start_us + scenario_run.end_us) // 2
+        record = scenario_run.dejaview.display_record()
+        target = max(mid, record.timeline.first_time_us)
+        fb, _stats = scenario_run.dejaview.browse(target)
+        assert fb.width == record.width

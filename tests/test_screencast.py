@@ -1,0 +1,72 @@
+"""Unit tests for the screencast baseline recorder (section 7)."""
+
+from repro.common.clock import VirtualClock
+from repro.display.commands import Region, SolidFillCmd
+from repro.display.driver import VirtualDisplayDriver
+from repro.display.screencast import ScreencastRecorder
+
+
+def _rig(fps=10, encode=True):
+    clock = VirtualClock()
+    driver = VirtualDisplayDriver(32, 24, clock=clock)
+    cast = ScreencastRecorder(32, 24, clock=clock, fps=fps, encode=encode)
+    driver.attach_sink(cast)
+    return clock, driver, cast
+
+
+class TestScreencastRecorder:
+    def test_grabs_at_frame_rate(self):
+        clock, driver, cast = _rig(fps=10)
+        for i in range(10):
+            driver.submit(SolidFillCmd(Region(0, 0, 32, 24), i))
+            driver.flush()
+            clock.advance_us(100_000)  # 0.1 s = one frame period
+        assert cast.frames_captured >= 9
+
+    def test_unchanged_frames_skipped(self):
+        clock, driver, cast = _rig(fps=10)
+        driver.submit(SolidFillCmd(Region(0, 0, 32, 24), 7))
+        driver.flush()
+        clock.advance_us(1_000_000)  # ten frame periods, nothing changes
+        driver.submit(SolidFillCmd(Region(0, 0, 32, 24), 7))  # same color
+        driver.flush()
+        assert cast.frames_skipped >= 8
+
+    def test_encoding_reduces_stored_bytes(self):
+        _c1, d1, raw = _rig(encode=False)
+        _c2, d2, enc = _rig(encode=True)
+        for driver in (d1, d2):
+            driver.submit(SolidFillCmd(Region(0, 0, 32, 24), 3))
+            driver.flush()
+        for cast, driver, clock in ((raw, d1, d1.clock), (enc, d2, d2.clock)):
+            clock.advance_us(200_000)
+            driver.submit(SolidFillCmd(Region(0, 0, 32, 24), 9))
+            driver.flush()
+        assert enc.stored_bytes < raw.stored_bytes
+        assert raw.raw_bytes == enc.raw_bytes
+
+    def test_grab_charges_clock(self):
+        clock, driver, cast = _rig()
+        before = clock.now_us
+        driver.submit(SolidFillCmd(Region(0, 0, 32, 24), 1))
+        driver.flush()
+        clock.advance_us(100_000)
+        driver.submit(SolidFillCmd(Region(0, 0, 32, 24), 2))
+        driver.flush()
+        assert clock.now_us > before + 100_000
+
+    def test_stream_has_header(self):
+        _clock, _driver, cast = _rig()
+        assert cast.getvalue().startswith(b"DJVW")
+
+    def test_every_grab_costs_full_screen(self):
+        """The structural weakness vs command recording: a 1-pixel change
+        still costs a full-frame grab."""
+        clock, driver, cast = _rig(encode=False)
+        driver.submit(SolidFillCmd(Region(0, 0, 32, 24), 1))
+        driver.flush()
+        clock.advance_us(100_000)
+        driver.submit(SolidFillCmd(Region(0, 0, 1, 1), 2))  # one pixel
+        driver.flush()
+        frame_bytes = 32 * 24 * 4
+        assert cast.raw_bytes >= 2 * frame_bytes

@@ -1,0 +1,327 @@
+"""Integration tests for the temporal database, queries and search
+(sections 4.2 and 4.4)."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import IndexError_, QueryError
+from repro.common.units import seconds
+from repro.display.commands import Region, SolidFillCmd
+from repro.display.driver import VirtualDisplayDriver
+from repro.display.playback import PlaybackEngine
+from repro.display.recorder import DisplayRecorder
+from repro.index.database import TemporalTextDatabase
+from repro.index.query import Clause, Query
+from repro.index.search import (
+    ORDER_FREQUENCY,
+    ORDER_PERSISTENCE,
+    SearchEngine,
+)
+
+
+from repro.common.costs import CostModel
+
+#: Cost model with free index operations, so scripted tests can assert
+#: exact timestamps (the ingest cost otherwise nudges the clock by a few
+#: microseconds per insert).
+FREE_INDEX = CostModel(index_token_us=0, index_query_term_us=0,
+                       index_posting_us=0)
+
+
+def _db(clock=None):
+    clock = clock if clock is not None else VirtualClock()
+    return TemporalTextDatabase(clock, costs=FREE_INDEX)
+
+
+class TestDatabase:
+    def test_open_records_context(self):
+        db = _db()
+        occ = db.open_occurrence(1, "Hello World", app="firefox",
+                                 window="news", focused=True)
+        assert occ.tokens == frozenset({"hello", "world"})
+        assert occ.focused and occ.app == "firefox"
+
+    def test_open_closes_previous_for_node(self):
+        db = _db()
+        first = db.open_occurrence(1, "one", app="a")
+        db.clock.advance_us(100)
+        second = db.open_occurrence(1, "two", app="a")
+        assert first.end_us == second.start_us
+
+    def test_tokenless_text_ignored(self):
+        db = _db()
+        assert db.open_occurrence(1, "!!!", app="a") is None
+
+    def test_close_unknown_node_is_noop(self):
+        db = _db()
+        assert db.close_occurrence(42) is None
+
+    def test_annotate_requires_visible_text(self):
+        db = _db()
+        with pytest.raises(IndexError_):
+            db.annotate_node(1)
+
+    def test_interval_open_occurrence_counts_to_now(self):
+        db = _db()
+        occ = db.open_occurrence(1, "still here", app="a")
+        db.clock.advance_us(5000)
+        assert occ.interval(db.clock.now_us) == (0, 5000)
+
+    def test_vocabulary(self):
+        db = _db()
+        db.open_occurrence(1, "alpha beta", app="a")
+        assert db.vocabulary() == ["alpha", "beta"]
+
+    def test_postings_charge_clock(self):
+        # Default (non-free) cost model: queries must consume time.
+        db = TemporalTextDatabase(VirtualClock())
+        db.open_occurrence(1, "word", app="a")
+        before = db.clock.now_us
+        db.postings_for("word")
+        assert db.clock.now_us > before
+
+
+class TestQueryModel:
+    def test_keywords_constructor_tokenizes(self):
+        q = Query.keywords("Linux Kernel", app="firefox")
+        assert q.clauses[0].all_of == ("linux", "kernel")
+        assert q.clauses[0].app == "firefox"
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(QueryError):
+            Clause()
+
+    def test_non_indexable_term_rejected(self):
+        with pytest.raises(QueryError):
+            Clause(all_of="!!!")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            Query(clauses=())
+
+    def test_empty_time_range_rejected(self):
+        with pytest.raises(QueryError):
+            Query.keywords("x", start_us=10, end_us=10)
+
+    def test_annotation_query(self):
+        q = Query.annotations()
+        assert q.clauses[0].annotations_only
+
+
+class TestSearchEvaluation:
+    def _timeline_db(self):
+        """A scripted desktop: paper text and a web page overlapping."""
+        clock = VirtualClock()
+        db = TemporalTextDatabase(clock, costs=FREE_INDEX)
+        # t=0: web page appears in firefox.
+        db.open_occurrence(1, "memex vannevar bush article", app="firefox",
+                           window="history of computing")
+        clock.advance_us(seconds(10))
+        # t=10: paper opened in the editor.
+        db.open_occurrence(2, "dejaview personal virtual computer recorder",
+                           app="editor", window="paper.pdf", focused=True)
+        clock.advance_us(seconds(10))
+        # t=20: web page closed.
+        db.close_occurrence(1)
+        clock.advance_us(seconds(10))
+        # t=30: paper closed.
+        db.close_occurrence(2)
+        clock.advance_us(seconds(5))
+        return clock, db
+
+    def test_single_keyword(self):
+        clock, db = self._timeline_db()
+        engine = SearchEngine(db)
+        intervals = engine.satisfied_intervals(Query.keywords("memex"))
+        assert intervals == [(0, seconds(20))]
+
+    def test_and_across_terms(self):
+        clock, db = self._timeline_db()
+        engine = SearchEngine(db)
+        intervals = engine.satisfied_intervals(Query.keywords("memex bush"))
+        assert intervals == [(0, seconds(20))]
+
+    def test_temporal_relationship_across_apps(self):
+        """The paper's motivating query: when was the paper open while the
+        web page was also on screen?"""
+        clock, db = self._timeline_db()
+        engine = SearchEngine(db)
+        query = Query(
+            clauses=(
+                Clause(all_of="dejaview", app="editor"),
+                Clause(all_of="memex", app="firefox"),
+            )
+        )
+        intervals = engine.satisfied_intervals(query)
+        assert intervals == [(seconds(10), seconds(20))]
+
+    def test_app_constraint_excludes_other_apps(self):
+        clock, db = self._timeline_db()
+        engine = SearchEngine(db)
+        q = Query(clauses=(Clause(all_of="memex", app="editor"),))
+        assert engine.satisfied_intervals(q) == []
+
+    def test_focused_only(self):
+        clock, db = self._timeline_db()
+        engine = SearchEngine(db)
+        q = Query(clauses=(Clause(all_of="dejaview", focused_only=True),))
+        assert engine.satisfied_intervals(q) == [(seconds(10), seconds(30))]
+        q2 = Query(clauses=(Clause(all_of="memex", focused_only=True),))
+        assert engine.satisfied_intervals(q2) == []
+
+    def test_none_of_subtracts(self):
+        clock, db = self._timeline_db()
+        engine = SearchEngine(db)
+        q = Query(clauses=(Clause(all_of="memex", none_of="dejaview"),))
+        assert engine.satisfied_intervals(q) == [(0, seconds(10))]
+
+    def test_any_of(self):
+        clock, db = self._timeline_db()
+        engine = SearchEngine(db)
+        q = Query(clauses=(Clause(any_of=["memex", "dejaview"]),))
+        assert engine.satisfied_intervals(q) == [(0, seconds(30))]
+
+    def test_time_range_limits(self):
+        clock, db = self._timeline_db()
+        engine = SearchEngine(db)
+        q = Query.keywords("memex", start_us=seconds(5), end_us=seconds(12))
+        assert engine.satisfied_intervals(q) == [(seconds(5), seconds(12))]
+
+    def test_open_occurrence_satisfied_until_now(self):
+        clock = VirtualClock()
+        db = TemporalTextDatabase(clock, costs=FREE_INDEX)
+        db.open_occurrence(1, "persistent", app="a")
+        clock.advance_us(seconds(3))
+        engine = SearchEngine(db)
+        assert engine.satisfied_intervals(Query.keywords("persistent")) == [
+            (0, seconds(3))
+        ]
+
+    def test_missing_term_no_results(self):
+        clock, db = self._timeline_db()
+        engine = SearchEngine(db)
+        assert engine.satisfied_intervals(Query.keywords("absent")) == []
+
+    def test_annotation_search(self):
+        clock = VirtualClock()
+        db = TemporalTextDatabase(clock, costs=FREE_INDEX)
+        db.open_occurrence(1, "plain text", app="a")
+        db.open_occurrence(2, "important note", app="a")
+        db.annotate_node(2)
+        clock.advance_us(seconds(1))
+        engine = SearchEngine(db)
+        intervals = engine.satisfied_intervals(Query.annotations())
+        assert intervals == [(0, seconds(1))]
+
+
+class TestSearchResults:
+    def _scripted(self):
+        clock = VirtualClock()
+        db = TemporalTextDatabase(clock, costs=FREE_INDEX)
+        # A word visible briefly, then again for a long time.
+        db.open_occurrence(1, "ephemeral flash", app="a")
+        clock.advance_us(seconds(1))
+        db.close_occurrence(1)
+        clock.advance_us(seconds(10))
+        db.open_occurrence(2, "ephemeral persists", app="a")
+        clock.advance_us(seconds(100))
+        db.close_occurrence(2)
+        return clock, db
+
+    def test_results_chronological_by_default(self):
+        clock, db = self._scripted()
+        engine = SearchEngine(db)
+        results = engine.search(Query.keywords("ephemeral"), render=False)
+        assert len(results) == 2
+        assert results[0].timestamp_us < results[1].timestamp_us
+
+    def test_persistence_ranking_prefers_brief(self):
+        """"more interested in the records where the text appeared only
+        briefly" (section 4.2)."""
+        clock, db = self._scripted()
+        engine = SearchEngine(db)
+        results = engine.search(
+            Query.keywords("ephemeral"), order_by=ORDER_PERSISTENCE,
+            render=False,
+        )
+        assert results[0].substream.duration_us < results[1].substream.duration_us
+
+    def test_frequency_ranking(self):
+        clock, db = self._scripted()
+        engine = SearchEngine(db)
+        results = engine.search(
+            Query.keywords("ephemeral"), order_by=ORDER_FREQUENCY, render=False
+        )
+        assert len(results) == 2
+        assert results[0].score >= results[1].score
+
+    def test_limit(self):
+        clock, db = self._scripted()
+        engine = SearchEngine(db)
+        results = engine.search(Query.keywords("ephemeral"), render=False,
+                                limit=1)
+        assert len(results) == 1
+
+    def test_snippet_contains_matched_text(self):
+        clock, db = self._scripted()
+        engine = SearchEngine(db)
+        results = engine.search(Query.keywords("flash"), render=False)
+        assert "flash" in results[0].snippet
+
+
+class TestScreenshotRendering:
+    def _full_rig(self):
+        """Database + display record sharing one clock."""
+        clock = VirtualClock()
+        db = TemporalTextDatabase(clock, costs=FREE_INDEX)
+        driver = VirtualDisplayDriver(64, 48, clock=clock)
+        recorder = DisplayRecorder(64, 48, clock=clock)
+        driver.attach_sink(recorder)
+        # t=0: blue screen + text A.
+        driver.submit(SolidFillCmd(Region(0, 0, 64, 48), 0x0000FF))
+        driver.flush()
+        db.open_occurrence(1, "alpha content", app="a")
+        clock.advance_us(seconds(5))
+        # t=5: red screen + text B.
+        driver.submit(SolidFillCmd(Region(0, 0, 64, 48), 0xFF0000))
+        driver.flush()
+        db.close_occurrence(1)
+        db.open_occurrence(2, "beta content", app="a")
+        clock.advance_us(seconds(5))
+        db.close_occurrence(2)
+        record = recorder.finalize()
+        playback = PlaybackEngine(record, clock=VirtualClock())
+        return clock, db, playback, driver
+
+    def test_results_carry_screenshots(self):
+        clock, db, playback, _driver = self._full_rig()
+        engine = SearchEngine(db, playback=playback, clock=clock)
+        results = engine.search(Query.keywords("alpha"))
+        assert results[0].screenshot is not None
+        # The screenshot shows the blue screen from the alpha period.
+        assert int(results[0].screenshot.pixels[10, 10]) == 0x0000FF
+
+    def test_substream_first_last_screenshots(self):
+        """Contiguous satisfaction renders as a first-last pair."""
+        clock, db, playback, _driver = self._full_rig()
+        engine = SearchEngine(db, playback=playback, clock=clock)
+        q = Query(clauses=(Clause(any_of=["alpha", "beta"]),))
+        results = engine.search(q)
+        sub = results[0].substream
+        assert sub.first_screenshot is not None
+        assert sub.last_screenshot is not None
+        assert int(sub.first_screenshot.pixels[0, 0]) == 0x0000FF
+        assert int(sub.last_screenshot.pixels[0, 0]) == 0xFF0000
+
+    def test_repeat_search_hits_screenshot_cache(self):
+        clock, db, playback, _driver = self._full_rig()
+        engine = SearchEngine(db, playback=playback, clock=clock)
+        engine.search(Query.keywords("alpha"))
+        engine.search(Query.keywords("alpha"))
+        assert engine.cache_stats["hits"] >= 1
+
+    def test_render_disabled_skips_screenshots(self):
+        clock, db, playback, _driver = self._full_rig()
+        engine = SearchEngine(db, playback=playback, clock=clock)
+        results = engine.search(Query.keywords("alpha"), render=False)
+        assert results[0].screenshot is None

@@ -1,0 +1,113 @@
+"""Unit tests for the TLV record codec."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.serial import (
+    RecordReader,
+    RecordWriter,
+    StreamCorrupt,
+    read_at,
+)
+
+
+class TestRecordWriter:
+    def test_header_written_on_construction(self):
+        writer = RecordWriter(kind=7)
+        data = writer.getvalue()
+        assert data.startswith(b"DJVW")
+        assert writer.bytes_written == len(data)
+
+    def test_write_returns_offset(self):
+        writer = RecordWriter()
+        off1 = writer.write(1, b"abc")
+        off2 = writer.write(2, b"defg")
+        assert off2 > off1 > 0
+
+    def test_tag_out_of_range_rejected(self):
+        writer = RecordWriter()
+        with pytest.raises(ValueError):
+            writer.write(-1, b"")
+        with pytest.raises(ValueError):
+            writer.write(2**32, b"")
+
+    def test_external_fileobj(self):
+        buf = io.BytesIO()
+        writer = RecordWriter(buf)
+        writer.write(5, b"payload")
+        assert buf.getvalue().startswith(b"DJVW")
+
+
+class TestRecordReader:
+    def test_roundtrip(self):
+        writer = RecordWriter(kind=3)
+        writer.write(10, b"first")
+        writer.write(20, b"second")
+        records = list(RecordReader(writer.getvalue(), expect_kind=3))
+        assert [(t, p) for t, p, _o in records] == [(10, b"first"), (20, b"second")]
+
+    def test_offsets_support_random_access(self):
+        writer = RecordWriter()
+        writer.write(1, b"aaa")
+        off = writer.write(2, b"bbb")
+        tag, payload = read_at(writer.getvalue(), off)
+        assert (tag, payload) == (2, b"bbb")
+
+    def test_seek_to_resumes_iteration(self):
+        writer = RecordWriter()
+        writer.write(1, b"x")
+        off = writer.write(2, b"y")
+        writer.write(3, b"z")
+        reader = RecordReader(writer.getvalue()).seek_to(off)
+        tags = [t for t, _p, _o in reader]
+        assert tags == [2, 3]
+
+    def test_kind_mismatch_rejected(self):
+        writer = RecordWriter(kind=1)
+        with pytest.raises(StreamCorrupt):
+            RecordReader(writer.getvalue(), expect_kind=2)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(StreamCorrupt):
+            RecordReader(b"XXXX\x01\x00\x00\x00")
+
+    def test_short_stream_rejected(self):
+        with pytest.raises(StreamCorrupt):
+            RecordReader(b"DJ")
+
+    def test_truncated_payload_detected(self):
+        writer = RecordWriter()
+        writer.write(1, b"full-payload")
+        data = writer.getvalue()[:-3]
+        reader = RecordReader(data)
+        with pytest.raises(StreamCorrupt):
+            list(reader)
+
+    def test_read_at_bad_offset(self):
+        writer = RecordWriter()
+        writer.write(1, b"x")
+        with pytest.raises(StreamCorrupt):
+            read_at(writer.getvalue(), len(writer.getvalue()))
+
+    def test_empty_stream_iterates_nothing(self):
+        writer = RecordWriter()
+        assert list(RecordReader(writer.getvalue())) == []
+
+
+@given(
+    records=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=2**32 - 1), st.binary(max_size=200)),
+        max_size=30,
+    )
+)
+def test_property_tlv_roundtrip(records):
+    """Any sequence of (tag, payload) records survives a write/read cycle."""
+    writer = RecordWriter(kind=9)
+    offsets = [writer.write(tag, payload) for tag, payload in records]
+    out = [(t, p) for t, p, _o in RecordReader(writer.getvalue(), expect_kind=9)]
+    assert out == records
+    for offset, (tag, payload) in zip(offsets, records):
+        assert read_at(writer.getvalue(), offset) == (tag, payload)

@@ -1,0 +1,142 @@
+"""Tests for the tabbed multi-session viewer and clipboard (section 2)."""
+
+import pytest
+
+from repro.common.errors import DejaViewError
+from repro.common.units import seconds
+from repro.desktop.dejaview import DejaView
+from repro.desktop.manager import SessionManager
+from repro.desktop.session import DesktopSession
+from repro.display.commands import Region
+
+
+def story():
+    session = DesktopSession(width=64, height=48)
+    dv = DejaView(session)
+    manager = SessionManager(session, dv)
+    editor = session.launch("editor")
+    editor.focus()
+    editor.draw_fill(Region(0, 0, 64, 48), 0xCC0000)
+    editor.show_text("old draft wording")
+    editor.write_file("/home/user/draft.txt", b"the original phrasing")
+    dv.tick()
+    t_old = session.clock.now_us
+    session.clock.advance_us(seconds(5))
+    editor.draw_fill(Region(0, 0, 64, 48), 0x00CC00)
+    session.fs.write_file("/home/user/draft.txt", b"rewritten")
+    dv.tick()
+    session.clock.advance_us(seconds(1))
+    return session, dv, manager, editor, t_old
+
+
+class TestTabs:
+    def test_live_tab_exists(self):
+        session, dv, manager, *_ = story()
+        assert manager.live_tab.kind == "live"
+        assert manager.live_tab.container is session.container
+
+    def test_take_me_back_opens_tab(self):
+        _s, _dv, manager, _e, t_old = story()
+        tab = manager.take_me_back(t_old)
+        assert tab.kind == "revived"
+        assert tab in manager.revived_tabs
+        assert len(manager.tabs) == 2
+
+    def test_revived_tab_viewer_shows_the_past_screen(self):
+        _s, _dv, manager, _e, t_old = story()
+        tab = manager.take_me_back(t_old)
+        assert int(tab.viewer.framebuffer.pixels[5, 5]) == 0xCC0000
+
+    def test_multiple_tabs_side_by_side(self):
+        session, _dv, manager, _e, t_old = story()
+        a = manager.take_me_back(t_old)
+        b = manager.take_me_back(session.clock.now_us)
+        assert a.container is not b.container
+        assert len(manager.revived_tabs) == 2
+        # Divergence: each tab's file system is independent.
+        a.mount.write_file("/home/user/only-a.txt", b"a")
+        assert not b.mount.exists("/home/user/only-a.txt")
+
+    def test_tab_lookup_by_name(self):
+        _s, _dv, manager, _e, t_old = story()
+        tab = manager.take_me_back(t_old)
+        assert manager.tab(tab.name) is tab
+        with pytest.raises(DejaViewError):
+            manager.tab("nope")
+
+    def test_close_revived_tab(self):
+        session, _dv, manager, _e, t_old = story()
+        tab = manager.take_me_back(t_old)
+        manager.close(tab)
+        assert tab not in manager.tabs
+        assert tab.container not in session.kernel.containers
+
+    def test_live_tab_cannot_close(self):
+        _s, _dv, manager, *_ = story()
+        with pytest.raises(DejaViewError):
+            manager.close(manager.live_tab)
+
+    def test_demand_paged_tab(self):
+        _s, _dv, manager, _e, t_old = story()
+        tab = manager.take_me_back(t_old, demand_paging=True)
+        assert tab.revive_result.demand_paged
+
+
+class TestClipboard:
+    def test_copy_paste_across_sessions(self):
+        """The headline flow: rescue old text into the live session."""
+        session, _dv, manager, _e, t_old = story()
+        tab = manager.take_me_back(t_old)
+        manager.copy_from_revived(tab, "/home/user/draft.txt")
+        manager.paste_into_live_file("/home/user/recovered.txt")
+        assert session.fs.read_file("/home/user/recovered.txt") \
+            == b"the original phrasing"
+        # The live draft keeps its newer content.
+        assert session.fs.read_file("/home/user/draft.txt") == b"rewritten"
+
+    def test_empty_clipboard_rejected(self):
+        _s, _dv, manager, *_ = story()
+        with pytest.raises(DejaViewError):
+            manager.paste()
+
+    def test_copy_from_live_tab_rejected_via_revived_helper(self):
+        _s, _dv, manager, *_ = story()
+        with pytest.raises(DejaViewError):
+            manager.copy_from_revived(manager.live_tab, "/etc/hostname")
+
+    def test_plain_copy_paste(self):
+        _s, _dv, manager, *_ = story()
+        manager.copy("snippet")
+        assert manager.paste() == "snippet"
+
+
+class TestViewerPause:
+    def test_pause_freezes_viewer_not_session(self):
+        session, dv, manager, editor, _t = story()
+        viewer = manager.live_tab.viewer
+        frozen = viewer.checksum()
+        viewer.pause()
+        editor.draw_fill(Region(0, 0, 64, 48), 0x0000FF)
+        session.driver.flush()
+        # The desktop moved on; the viewer did not.
+        assert viewer.checksum() == frozen
+        assert int(session.driver.framebuffer.pixels[0, 0]) == 0x0000FF
+
+    def test_resume_catches_up(self):
+        session, dv, manager, editor, _t = story()
+        viewer = manager.live_tab.viewer
+        viewer.pause()
+        editor.draw_fill(Region(0, 0, 64, 48), 0x0000FF)
+        session.driver.flush()
+        held = viewer.resume()
+        assert held == 1
+        assert viewer.checksum() == session.driver.framebuffer.checksum()
+
+    def test_pause_flag(self):
+        _s, _dv, manager, *_ = story()
+        viewer = manager.live_tab.viewer
+        assert not viewer.paused
+        viewer.pause()
+        assert viewer.paused
+        viewer.resume()
+        assert not viewer.paused

@@ -1,0 +1,125 @@
+"""Tests for substream-restricted PVR playback (section 4.4)."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import DisplayError
+from repro.common.units import seconds
+from repro.display.commands import Region, SolidFillCmd
+from repro.display.driver import VirtualDisplayDriver
+from repro.display.playback import PlaybackEngine, SubstreamPlayer
+from repro.display.recorder import DisplayRecorder, RecorderConfig
+
+
+def _record_colors(n=10, gap_s=2):
+    """A record that shows color i during [i*gap, (i+1)*gap)."""
+    clock = VirtualClock()
+    driver = VirtualDisplayDriver(32, 24, clock=clock)
+    recorder = DisplayRecorder(
+        32, 24, clock=clock,
+        config=RecorderConfig(screenshot_interval_us=seconds(5),
+                              screenshot_min_change_fraction=0.01),
+    )
+    driver.attach_sink(recorder)
+    for i in range(n):
+        driver.submit(SolidFillCmd(Region(0, 0, 32, 24), i + 1))
+        driver.flush()
+        clock.advance_us(seconds(gap_s))
+    return clock, recorder.finalize()
+
+
+class TestSubstreamPlayer:
+    def _player(self, start_s, end_s):
+        clock, record = _record_colors()
+        engine = PlaybackEngine(record, clock=VirtualClock())
+        return SubstreamPlayer(engine, seconds(start_s), seconds(end_s))
+
+    def test_invalid_window_rejected(self):
+        clock, record = _record_colors()
+        engine = PlaybackEngine(record, clock=VirtualClock())
+        with pytest.raises(DisplayError):
+            SubstreamPlayer(engine, seconds(5), seconds(1))
+
+    def test_duration(self):
+        player = self._player(4, 10)
+        assert player.duration_us == seconds(6)
+
+    def test_seek_clamps_to_window(self):
+        player = self._player(4, 10)
+        # Color i+1 is submitted at ~i*2s (plus sub-ms cost drift), so at
+        # the window start (4 s) color 2 is showing, and at the end (10 s)
+        # color 5.
+        fb, _ = player.seek(0)
+        assert int(fb.pixels[0, 0]) == 2
+        fb, _ = player.seek(seconds(100))
+        assert int(fb.pixels[0, 0]) == 5
+
+    def test_seek_inside_window_passes_through(self):
+        player = self._player(4, 10)
+        fb, _ = player.seek(seconds(7))
+        assert int(fb.pixels[0, 0]) == 4
+
+    def test_first_last_frames(self):
+        player = self._player(4, 10)
+        first, _ = player.first_frame()
+        last, _ = player.last_frame()
+        assert int(first.pixels[0, 0]) == 2
+        assert int(last.pixels[0, 0]) == 5
+
+    def test_play_defaults_to_whole_substream(self):
+        player = self._player(4, 10)
+        fb, stats = player.play(fastest=True)
+        assert stats.recorded_duration_us == seconds(6)
+        assert int(fb.pixels[0, 0]) == 5
+
+    def test_play_cannot_escape_window(self):
+        player = self._player(4, 10)
+        _fb, stats = player.play(0, seconds(100), fastest=True)
+        assert stats.recorded_duration_us == seconds(6)
+
+    def test_fast_forward_and_rewind_clamped(self):
+        player = self._player(4, 10)
+        fb, _stats, _shown = player.fast_forward(0, seconds(100))
+        assert int(fb.pixels[0, 0]) == 5
+        fb, _stats, _shown = player.rewind(seconds(100), 0)
+        assert int(fb.pixels[0, 0]) == 2
+
+
+class TestSearchIntegration:
+    def test_player_for_search_result(self):
+        """A search hit can be explored as its own little recording."""
+        from repro.common.costs import CostModel
+        from repro.index.database import TemporalTextDatabase
+        from repro.index.query import Query
+        from repro.index.search import SearchEngine
+
+        clock = VirtualClock()
+        driver = VirtualDisplayDriver(32, 24, clock=clock)
+        recorder = DisplayRecorder(32, 24, clock=clock)
+        driver.attach_sink(recorder)
+        db = TemporalTextDatabase(
+            clock, costs=CostModel(index_token_us=0, index_query_term_us=0,
+                                   index_posting_us=0)
+        )
+        driver.submit(SolidFillCmd(Region(0, 0, 32, 24), 0xBEEF))
+        driver.flush()
+        db.open_occurrence(1, "substream demo text", app="a")
+        clock.advance_us(seconds(8))
+        db.close_occurrence(1)
+        engine = SearchEngine(
+            db, playback=PlaybackEngine(recorder.finalize(),
+                                        clock=VirtualClock()),
+        )
+        results = engine.search(Query.keywords("substream"), render=False)
+        player = engine.player_for(results[0].substream)
+        fb, stats = player.play(fastest=True)
+        assert int(fb.pixels[0, 0]) == 0xBEEF
+
+    def test_player_requires_playback(self):
+        from repro.index.database import TemporalTextDatabase
+        from repro.index.search import SearchEngine, Substream
+
+        engine = SearchEngine(TemporalTextDatabase(VirtualClock()),
+                              playback=None)
+        with pytest.raises(ValueError):
+            engine.player_for(Substream(0, 10))

@@ -1,0 +1,100 @@
+"""Unit tests for the timeline index."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import DisplayError
+from repro.display.timeline import TimelineEntry, TimelineIndex
+
+
+def _index(times):
+    index = TimelineIndex()
+    for i, t in enumerate(times):
+        index.append(TimelineEntry(t, i * 100, i * 200))
+    return index
+
+
+class TestTimelineIndex:
+    def test_append_and_len(self):
+        index = _index([0, 10, 20])
+        assert len(index) == 3
+        assert index[1].time_us == 10
+
+    def test_out_of_order_append_rejected(self):
+        index = _index([10])
+        with pytest.raises(DisplayError):
+            index.append(TimelineEntry(5, 0, 0))
+
+    def test_equal_times_allowed(self):
+        index = _index([10, 10])
+        assert len(index) == 2
+
+    def test_locate_exact(self):
+        index = _index([0, 10, 20])
+        i, entry = index.locate(10)
+        assert entry.time_us == 10
+
+    def test_locate_between(self):
+        index = _index([0, 10, 20])
+        _i, entry = index.locate(15)
+        assert entry.time_us == 10
+
+    def test_locate_after_last(self):
+        index = _index([0, 10, 20])
+        _i, entry = index.locate(10_000)
+        assert entry.time_us == 20
+
+    def test_locate_before_first(self):
+        index = _index([10, 20])
+        i, entry = index.locate(5)
+        assert (i, entry) == (None, None)
+
+    def test_locate_empty(self):
+        assert TimelineIndex().locate(5) == (None, None)
+
+    def test_entries_between(self):
+        index = _index([0, 10, 20, 30])
+        times = [e.time_us for e in index.entries_between(10, 20)]
+        assert times == [10, 20]
+
+    def test_first_last(self):
+        index = _index([3, 9])
+        assert index.first_time_us == 3
+        assert index.last_time_us == 9
+        assert TimelineIndex().first_time_us is None
+
+    def test_serialization_roundtrip(self):
+        index = _index([0, 10, 20])
+        restored = TimelineIndex.from_bytes(index.to_bytes())
+        assert list(restored) == list(index)
+
+    def test_fixed_size_entries(self):
+        index = _index([0, 10])
+        assert len(index.to_bytes()) == 2 * TimelineIndex.ENTRY_SIZE
+        assert index.nbytes == 2 * TimelineIndex.ENTRY_SIZE
+
+    def test_corrupt_size_rejected(self):
+        with pytest.raises(DisplayError):
+            TimelineIndex.from_bytes(b"\x00" * (TimelineIndex.ENTRY_SIZE + 1))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=60))
+def test_property_locate_matches_linear_scan(times):
+    """Binary search over the timeline must agree with a linear scan for
+    every probe point (the section 4.3 seek correctness property)."""
+    times = sorted(times)
+    index = _index(times)
+    probes = set(times) | {0, times[0] - 1, times[-1] + 1, times[len(times) // 2] + 1}
+    for probe in probes:
+        if probe < 0:
+            continue
+        _i, entry = index.locate(probe)
+        expected = None
+        for t in times:
+            if t <= probe:
+                expected = t
+        if expected is None:
+            assert entry is None
+        else:
+            assert entry.time_us == expected

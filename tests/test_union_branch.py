@@ -1,0 +1,216 @@
+"""Unit tests for union mounts and branchable stores (section 5.2)."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import FileSystemError
+from repro.fs.branch import BranchableStore
+from repro.fs.lfs import LogStructuredFS
+from repro.fs.union import UnionMount
+
+
+def _mount():
+    clock = VirtualClock()
+    lower_fs = LogStructuredFS(clock=clock)
+    lower_fs.makedirs("/home/user")
+    lower_fs.create("/home/user/notes.txt", b"original notes")
+    lower_fs.create("/home/user/big.bin", b"B" * 10_000)
+    snap = lower_fs.snapshot()
+    mount = UnionMount(lower_fs.view_at(snap), clock=clock)
+    return mount, lower_fs
+
+
+class TestVisibility:
+    def test_lower_files_visible(self):
+        mount, _ = _mount()
+        assert mount.exists("/home/user/notes.txt")
+        assert mount.read_file("/home/user/notes.txt") == b"original notes"
+
+    def test_upper_shadows_lower(self):
+        mount, _ = _mount()
+        mount.write_file("/home/user/notes.txt", b"edited")
+        assert mount.read_file("/home/user/notes.txt") == b"edited"
+
+    def test_listdir_merges_layers(self):
+        mount, _ = _mount()
+        mount.write_file("/home/user/new.txt", b"")
+        names = mount.listdir("/home/user")
+        assert set(names) == {"notes.txt", "big.bin", "new.txt"}
+
+    def test_missing_path_errors(self):
+        mount, _ = _mount()
+        with pytest.raises(FileSystemError):
+            mount.read_file("/nope")
+        with pytest.raises(FileSystemError):
+            mount.stat("/nope")
+        with pytest.raises(FileSystemError):
+            mount.listdir("/nope")
+
+    def test_stat_prefers_upper(self):
+        mount, _ = _mount()
+        mount.write_file("/home/user/notes.txt", b"four")
+        assert mount.stat("/home/user/notes.txt")["size"] == 4
+
+    def test_is_dir(self):
+        mount, _ = _mount()
+        assert mount.is_dir("/home/user")
+        assert not mount.is_dir("/home/user/notes.txt")
+        assert not mount.is_dir("/absent")
+
+
+class TestCopyUp:
+    def test_whole_file_rewrite_skips_copy_up(self):
+        """Desktop apps overwrite files completely, "which obviates the
+        need to copy the file between the layers" (section 5.2)."""
+        mount, _ = _mount()
+        mount.write_file("/home/user/big.bin", b"tiny")
+        assert mount.copy_up_count == 0
+
+    def test_append_triggers_copy_up(self):
+        mount, _ = _mount()
+        mount.write_file("/home/user/notes.txt", b" more", append=True)
+        assert mount.copy_up_count == 1
+        assert mount.read_file("/home/user/notes.txt") == b"original notes more"
+
+    def test_write_at_triggers_copy_up(self):
+        mount, _ = _mount()
+        mount.write_at("/home/user/notes.txt", 0, b"X")
+        assert mount.copy_up_count == 1
+        assert mount.read_file("/home/user/notes.txt") == b"Xriginal notes"
+
+    def test_copy_up_charges_clock(self):
+        mount, _ = _mount()
+        before = mount.clock.now_us
+        mount.write_file("/home/user/big.bin", b"x", append=True)
+        assert mount.clock.now_us > before
+        assert mount.copy_up_bytes == 10_000
+
+    def test_lower_layer_never_modified(self):
+        mount, lower_fs = _mount()
+        mount.write_file("/home/user/notes.txt", b"edited")
+        mount.unlink("/home/user/big.bin")
+        assert mount.lower.read_file("/home/user/notes.txt") == b"original notes"
+        assert mount.lower.exists("/home/user/big.bin")
+
+
+class TestWhiteouts:
+    def test_unlink_lower_file_hides_it(self):
+        mount, _ = _mount()
+        mount.unlink("/home/user/notes.txt")
+        assert not mount.exists("/home/user/notes.txt")
+        assert "notes.txt" not in mount.listdir("/home/user")
+
+    def test_unlink_missing_rejected(self):
+        mount, _ = _mount()
+        with pytest.raises(FileSystemError):
+            mount.unlink("/absent")
+
+    def test_recreate_after_whiteout(self):
+        mount, _ = _mount()
+        mount.unlink("/home/user/notes.txt")
+        mount.write_file("/home/user/notes.txt", b"reborn")
+        assert mount.read_file("/home/user/notes.txt") == b"reborn"
+
+    def test_unlink_upper_only_file(self):
+        mount, _ = _mount()
+        mount.write_file("/home/user/tmp.txt", b"")
+        mount.unlink("/home/user/tmp.txt")
+        assert not mount.exists("/home/user/tmp.txt")
+
+    def test_unlink_file_in_both_layers(self):
+        mount, _ = _mount()
+        mount.write_file("/home/user/notes.txt", b"shadow")
+        mount.unlink("/home/user/notes.txt")
+        assert not mount.exists("/home/user/notes.txt")
+
+    def test_whiteouts_hidden_from_listing(self):
+        mount, _ = _mount()
+        mount.unlink("/home/user/notes.txt")
+        for name in mount.listdir("/home/user"):
+            assert not name.startswith(".wh.")
+
+
+class TestDirectoriesAndRename:
+    def test_mkdir_and_write(self):
+        mount, _ = _mount()
+        mount.mkdir("/home/user/newdir")
+        mount.write_file("/home/user/newdir/f", b"x")
+        assert mount.read_file("/home/user/newdir/f") == b"x"
+
+    def test_mkdir_existing_rejected(self):
+        mount, _ = _mount()
+        with pytest.raises(FileSystemError):
+            mount.mkdir("/home/user")
+
+    def test_makedirs(self):
+        mount, _ = _mount()
+        mount.makedirs("/home/user/a/b/c")
+        assert mount.is_dir("/home/user/a/b/c")
+
+    def test_rename_lower_file(self):
+        mount, _ = _mount()
+        mount.rename("/home/user/notes.txt", "/home/user/renamed.txt")
+        assert not mount.exists("/home/user/notes.txt")
+        assert mount.read_file("/home/user/renamed.txt") == b"original notes"
+
+    def test_walk_files(self):
+        mount, _ = _mount()
+        mount.write_file("/home/user/extra.txt", b"")
+        files = set(mount.walk_files("/home/user"))
+        assert files == {
+            "/home/user/notes.txt",
+            "/home/user/big.bin",
+            "/home/user/extra.txt",
+        }
+
+
+class TestBranchableStore:
+    def _store(self):
+        store = BranchableStore(clock=VirtualClock())
+        store.fs.makedirs("/home")
+        store.fs.create("/home/doc.txt", b"v1")
+        return store
+
+    def test_branch_sees_checkpoint_state(self):
+        store = self._store()
+        store.take_snapshot(1)
+        store.fs.write_file("/home/doc.txt", b"v2")
+        branch = store.branch_at(1)
+        assert branch.read_file("/home/doc.txt") == b"v1"
+
+    def test_branches_are_independent(self):
+        """Multiple revived sessions from one checkpoint diverge freely."""
+        store = self._store()
+        store.take_snapshot(1)
+        a = store.branch_at(1)
+        b = store.branch_at(1)
+        a.write_file("/home/doc.txt", b"branch-a")
+        b.write_file("/home/doc.txt", b"branch-b")
+        assert a.read_file("/home/doc.txt") == b"branch-a"
+        assert b.read_file("/home/doc.txt") == b"branch-b"
+        assert store.fs.read_file("/home/doc.txt") == b"v1"
+        assert store.branch_count == 2
+
+    def test_branch_upper_is_snapshotable(self):
+        """A revived session can itself be checkpointed (section 5.2)."""
+        store = self._store()
+        store.take_snapshot(1)
+        branch = store.branch_at(1)
+        branch.write_file("/home/doc.txt", b"divergent")
+        inner_snap = branch.upper_fs.snapshot()
+        branch.write_file("/home/doc.txt", b"later")
+        view = branch.upper_fs.view_at(inner_snap)
+        assert view.read_file("/home/doc.txt") == b"divergent"
+
+    def test_multiple_checkpoints_branch_differently(self):
+        store = self._store()
+        store.take_snapshot(1)
+        store.fs.write_file("/home/doc.txt", b"v2")
+        store.take_snapshot(2)
+        assert store.branch_at(1).read_file("/home/doc.txt") == b"v1"
+        assert store.branch_at(2).read_file("/home/doc.txt") == b"v2"
+
+    def test_pre_snapshot_sync_flushes(self):
+        store = self._store()
+        assert store.pre_snapshot_sync() >= 0
+        assert store.fs.pending_blocks == 0

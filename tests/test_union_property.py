@@ -1,0 +1,70 @@
+"""Property test: the union mount agrees with a plain dict model.
+
+Random sequences of write/unlink/mkdir operations are applied both to a
+:class:`UnionMount` (over a snapshot lower layer) and to a dictionary
+model; file contents and listings must agree at every step, and the lower
+layer must remain untouched throughout.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import FileSystemError
+from repro.fs.lfs import LogStructuredFS
+from repro.fs.union import UnionMount
+
+FILES = ["/a.txt", "/b.txt", "/docs/c.txt", "/docs/d.txt"]
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "append", "unlink"]),
+        st.sampled_from(FILES),
+        st.binary(min_size=1, max_size=16),
+    ),
+    max_size=40,
+)
+
+
+def _build_lower():
+    clock = VirtualClock()
+    lower = LogStructuredFS(clock=clock)
+    lower.makedirs("/docs")
+    lower.create("/a.txt", b"lower-a")
+    lower.create("/docs/c.txt", b"lower-c")
+    snap = lower.snapshot()
+    return lower, lower.view_at(snap), clock
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=_ops)
+def test_property_union_matches_dict_model(ops):
+    lower_fs, lower_view, clock = _build_lower()
+    mount = UnionMount(lower_view, clock=clock)
+    model = {"/a.txt": b"lower-a", "/docs/c.txt": b"lower-c"}
+
+    for kind, path, data in ops:
+        if kind == "write":
+            mount.write_file(path, data)
+            model[path] = data
+        elif kind == "append":
+            if path in model:
+                mount.write_file(path, data, append=True)
+                model[path] = model[path] + data
+        elif kind == "unlink":
+            if path in model:
+                mount.unlink(path)
+                del model[path]
+            else:
+                try:
+                    mount.unlink(path)
+                except FileSystemError:
+                    pass
+
+        # Full-state agreement after every operation.
+        assert set(mount.walk_files("/")) == set(model)
+        for file_path, content in model.items():
+            assert mount.read_file(file_path) == content
+        # The lower layer never changes.
+        assert lower_view.read_file("/a.txt") == b"lower-a"
+        assert lower_view.read_file("/docs/c.txt") == b"lower-c"

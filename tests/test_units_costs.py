@@ -1,0 +1,86 @@
+"""Unit tests for unit helpers and the cost model."""
+
+import pytest
+
+from repro.common import costs as costs_mod
+from repro.common.costs import PAGE_SIZE, CostModel, sanity_check
+from repro.common.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    format_duration_us,
+    format_rate,
+    ms,
+    seconds,
+    us_to_ms,
+    us_to_seconds,
+)
+
+
+class TestUnits:
+    def test_byte_constants(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_time_conversions(self):
+        assert ms(1.5) == 1500
+        assert seconds(2) == 2_000_000
+        assert us_to_ms(2500) == 2.5
+        assert us_to_seconds(500_000) == 0.5
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.0 KiB"
+        assert format_bytes(3 * MiB) == "3.0 MiB"
+
+    def test_format_duration(self):
+        assert format_duration_us(900) == "900 us"
+        assert format_duration_us(1500) == "1.50 ms"
+        assert format_duration_us(2_000_000) == "2.00 s"
+
+    def test_format_rate(self):
+        assert format_rate(2_500_000) == "2.50 MB/s"
+
+
+class TestCostModel:
+    def test_defaults_are_sane(self):
+        assert sanity_check(CostModel())
+
+    def test_mirror_tree_must_beat_real_tree(self):
+        model = CostModel(ax_mirror_node_us=1000.0)
+        with pytest.raises(ValueError):
+            sanity_check(model)
+
+    def test_negative_constant_rejected(self):
+        model = CostModel(page_copy_us=-1)
+        with pytest.raises(ValueError):
+            sanity_check(model)
+
+    def test_disk_write_sequential_vs_random(self):
+        model = CostModel()
+        seq = model.disk_write_us(1 * MiB)
+        rand = model.disk_write_us(1 * MiB, sequential=False)
+        assert rand == seq + model.disk_seek_us
+
+    def test_disk_read(self):
+        model = CostModel()
+        assert model.disk_read_us(1000) == 1000 * model.disk_read_us_per_byte
+
+    def test_pages_for(self):
+        assert CostModel.pages_for(0) == 0
+        assert CostModel.pages_for(1) == 1
+        assert CostModel.pages_for(PAGE_SIZE) == 1
+        assert CostModel.pages_for(PAGE_SIZE + 1) == 2
+
+    def test_copy_protect_compress_helpers(self):
+        model = CostModel()
+        assert model.copy_pages_us(10) == 10 * model.page_copy_us
+        assert model.protect_pages_us(10) == 10 * model.page_protect_us
+        assert model.compress_us(100) == 100 * model.zlib_compress_us_per_byte
+
+    def test_effective_bandwidth_reported_in_mb_s(self):
+        bw = costs_mod.effective_disk_bandwidth_mb_s()
+        # 2007-era SATA: tens of MB/s, not GB/s and not floppy speed.
+        assert 20 < bw < 200

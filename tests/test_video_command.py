@@ -1,0 +1,76 @@
+"""Tests for the THINC video primitive (VideoFrameCmd)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DisplayError
+from repro.display.commands import Region, VideoFrameCmd
+from repro.display.framebuffer import Framebuffer
+from repro.display.protocol import decode_command, encode_command
+
+
+def _frame(w=16, h=12, seed=0):
+    rng = np.random.default_rng(seed)
+    luma = rng.integers(0, 256, size=(h, w), dtype=np.uint8)
+    return VideoFrameCmd(Region(0, 0, w, h), luma)
+
+
+class TestVideoFrameCmd:
+    def test_apply_expands_luma_to_gray(self):
+        fb = Framebuffer(16, 12)
+        luma = np.full((12, 16), 0x7F, dtype=np.uint8)
+        VideoFrameCmd(Region(0, 0, 16, 12), luma).apply(fb)
+        assert int(fb.pixels[0, 0]) == 0x7F7F7F
+
+    def test_payload_is_12_bits_per_pixel(self):
+        """YUV 4:2:0: 1 byte luma + 0.5 byte chroma per pixel — the reason
+        video recording costs ~4 MB/s rather than raw 32-bpp rates."""
+        cmd = _frame(32, 32)
+        region_header = 16
+        assert cmd.payload_size == region_header + 32 * 32 * 3 // 2
+
+    def test_roundtrip(self):
+        cmd = _frame(seed=3)
+        decoded = VideoFrameCmd.decode_payload(cmd.encode_payload())
+        assert decoded == cmd
+        assert np.array_equal(decoded.luma, cmd.luma)
+
+    def test_protocol_roundtrip_with_timestamp(self):
+        cmd = _frame(seed=5)
+        tag, payload = encode_command(cmd, 777)
+        decoded, ts = decode_command(tag, payload)
+        assert ts == 777
+        assert decoded == cmd
+
+    def test_luma_shape_mismatch_rejected(self):
+        with pytest.raises(DisplayError):
+            VideoFrameCmd(Region(0, 0, 8, 8),
+                          np.zeros((4, 4), dtype=np.uint8))
+
+    def test_chroma_size_validated(self):
+        luma = np.zeros((8, 8), dtype=np.uint8)
+        with pytest.raises(DisplayError):
+            VideoFrameCmd(Region(0, 0, 8, 8), luma, chroma=b"short")
+
+    def test_scaled_halves_payload(self):
+        cmd = _frame(32, 32)
+        small = cmd.scaled(0.5)
+        assert small.region.w == 16 and small.region.h == 16
+        assert small.payload_size < cmd.payload_size
+
+    def test_scaled_keeps_even_dimensions(self):
+        """4:2:0 chroma subsampling needs even plane dimensions."""
+        cmd = _frame(30, 22)
+        small = cmd.scaled(0.37)
+        assert small.region.w % 2 == 0
+        assert small.region.h % 2 == 0
+
+    def test_is_opaque_for_pruning(self):
+        assert VideoFrameCmd.OPAQUE
+
+    def test_full_screen_video_prunes_to_last_frame(self):
+        from repro.display.playback import prune_commands
+
+        frames = [_frame(seed=i) for i in range(10)]
+        kept = prune_commands(frames)
+        assert kept == [frames[-1]]

@@ -1,0 +1,180 @@
+"""Tests for the Table 1 workload generators.
+
+Short runs (a fraction of the default units) validate each scenario's
+*profile*: which storage stream dominates, which recording component costs
+the most, and that the recorded session stays searchable/revivable.
+"""
+
+import pytest
+
+from repro.desktop.dejaview import RecordingConfig
+from repro.index.query import Query
+from repro.workloads import SCENARIOS, get_workload, run_scenario
+from repro.workloads.generator import baseline_config
+
+
+def small(name, units, recording=None):
+    return run_scenario(name, recording=recording, units=units)
+
+
+class TestRegistry:
+    def test_all_eight_scenarios_registered(self):
+        get_workload("web")  # force registry population
+        assert set(SCENARIOS) == {
+            "web", "video", "untar", "gzip", "make", "octave", "cat",
+            "desktop",
+        }
+
+    def test_unknown_scenario_rejected(self):
+        from repro.common.errors import DejaViewError
+
+        with pytest.raises(DejaViewError):
+            get_workload("quake3")
+
+
+class TestScenarioProfiles:
+    def test_video_storage_dominated_by_display(self):
+        run = small("video", units=72)
+        rates = run.storage_growth_rates()
+        assert rates["display"] > rates["checkpoint"]
+        assert rates["display"] > rates["fs"]
+
+    def test_video_frames_not_dropped(self):
+        run = small("video", units=72)
+        assert run.overran_units == 0
+
+    def test_octave_storage_dominated_by_checkpoints(self):
+        run = small("octave", units=10)
+        rates = run.storage_growth_rates()
+        assert rates["checkpoint"] > 10 * rates["display"]
+        assert rates["checkpoint"] > 5e6  # tens of MB/s scale
+
+    def test_octave_compresses_well(self):
+        run = small("octave", units=10)
+        rates = run.storage_growth_rates()
+        assert rates["checkpoint_compressed"] < rates["checkpoint"] / 3
+
+    def test_untar_storage_dominated_by_fs(self):
+        run = small("untar", units=300)
+        rates = run.storage_growth_rates()
+        assert rates["fs"] > rates["checkpoint"]
+        assert rates["fs"] > rates["display"]
+
+    def test_untar_creates_the_tree(self):
+        run = small("untar", units=100)
+        files = list(run.session.fs.walk_files("/home/user/src"))
+        assert len(files) == 100
+
+    def test_gzip_low_overall_footprint(self):
+        run = small("gzip", units=32)
+        rates = run.storage_growth_rates()
+        assert rates["display"] < 0.1e6
+        assert rates["index"] < 0.1e6
+        # The big input file exists but predates measurement.
+        assert run.session.fs.stat("/home/user/access.log")["size"] > 10e6
+
+    def test_make_spawns_and_retires_compilers(self):
+        run = small("make", units=30)
+        names = [p.name for p in run.session.container.live_processes()]
+        assert not any(name.startswith("cc-") for name in names)
+        assert run.session.fs.exists("/home/user/build/obj0010.o")
+
+    def test_web_memory_grows(self):
+        run = small("web", units=20)
+        assert run.browser.resident_bytes > 8 * 2**20
+
+    def test_cat_display_heavy_relative_to_fs(self):
+        run = small("cat", units=80)
+        rates = run.storage_growth_rates()
+        assert rates["display"] > rates["fs"]
+
+    def test_scenarios_checkpoint_once_per_second(self):
+        run = small("octave", units=10)
+        # ~0.35 s of work per unit -> at most one checkpoint per second.
+        assert run.dejaview.checkpoint_count <= run.duration_seconds + 1
+
+
+class TestOverheadOrdering:
+    """Figure 2's qualitative statements, on shortened runs."""
+
+    def test_web_index_recording_is_dominant_overhead(self):
+        base = small("web", units=12, recording=baseline_config()).duration_us
+        index_only = small(
+            "web", units=12,
+            recording=RecordingConfig(record_display=False,
+                                      record_checkpoints=False),
+        ).duration_us
+        display_only = small(
+            "web", units=12,
+            recording=RecordingConfig(record_index=False,
+                                      record_checkpoints=False),
+        ).duration_us
+        assert index_only / base > 1.5          # ~doubles page latency
+        assert 1.0 < display_only / base < 1.2  # ~9 %
+
+    def test_video_full_recording_negligible(self):
+        base = small("video", units=48, recording=baseline_config()).duration_us
+        full = small("video", units=48).duration_us
+        assert full / base < 1.02
+
+    def test_make_checkpoint_overhead_exceeds_gzip(self):
+        def ckpt_overhead(name, units):
+            base = small(name, units, recording=baseline_config()).duration_us
+            ckpt = small(
+                name, units,
+                recording=RecordingConfig(record_display=False,
+                                          record_index=False),
+            ).duration_us
+            return ckpt / base
+
+        assert ckpt_overhead("make", 40) > ckpt_overhead("gzip", 32)
+
+
+class TestDesktopScenario:
+    def test_runs_under_policy(self):
+        run = small("desktop", units=120)
+        stats = run.dejaview.policy.stats
+        assert stats.total == 120
+        assert 0.05 < stats.taken_fraction() < 0.45
+
+    def test_skip_reason_mix_matches_paper_ordering(self):
+        """Section 6: low display activity is the top skip reason."""
+        run = small("desktop", units=300)
+        stats = run.dejaview.policy.stats
+        from repro.checkpoint.policy import (
+            SKIP_LOW_DISPLAY,
+            SKIP_NO_DISPLAY,
+            SKIP_TEXT_RATE,
+        )
+
+        low = stats.skip_fraction(SKIP_LOW_DISPLAY)
+        none = stats.skip_fraction(SKIP_NO_DISPLAY)
+        text = stats.skip_fraction(SKIP_TEXT_RATE)
+        assert low > none
+        assert low > text
+        assert low > 0.4
+
+    def test_desktop_session_is_searchable(self):
+        run = small("desktop", units=90)
+        results = run.dejaview.search(Query.keywords("report"), render=False)
+        assert results
+
+    def test_desktop_revivable_mid_run(self):
+        run = small("desktop", units=90)
+        dv = run.dejaview
+        assert dv.checkpoint_count >= 1
+        revived = dv.take_me_back(run.end_us)
+        assert revived.container.live_processes()
+
+
+class TestScenarioRunAccounting:
+    def test_duration_positive(self):
+        run = small("gzip", units=8)
+        assert run.duration_us > 0
+        assert run.duration_seconds == pytest.approx(run.duration_us / 1e6)
+
+    def test_setup_excluded_from_growth(self):
+        """gzip's pre-created 48 MiB input must not count as growth."""
+        run = small("gzip", units=8)
+        rates = run.storage_growth_rates()
+        assert rates["fs_total"] < 5e6
