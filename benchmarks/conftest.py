@@ -10,7 +10,16 @@ implementation's core operations.
 
 Scenario runs are expensive, so they are cached per (scenario, recording
 configuration, units) for the whole pytest session.
+
+At the end of every bench session, the telemetry snapshot of each cached
+scenario run is written to ``BENCH_telemetry.json`` in the pytest root —
+one entry per (scenario, kind, compress, units) — so CI and offline
+analysis can inspect counters, histogram summaries, and span totals
+without re-running the workloads.
 """
+
+import json
+import os
 
 import pytest
 
@@ -70,10 +79,37 @@ class ScenarioCache:
                                            units=units)
         return self._runs[key]
 
+    def telemetry_report(self):
+        """JSON-ready telemetry snapshots of every cached run."""
+        report = {}
+        for (name, kind, compress, units), run in sorted(self._runs.items()):
+            label = "%s/%s%s/units=%d" % (
+                name, kind, "+compress" if compress else "", units)
+            report[label] = run.dejaview.telemetry_snapshot(span_limit=2)
+        return report
+
+
+#: The session's cache, kept module-global so pytest_sessionfinish can dump
+#: its telemetry even though fixtures are already torn down by then.
+_SESSION_CACHE = [None]
+
 
 @pytest.fixture(scope="session")
 def scenarios():
-    return ScenarioCache()
+    cache = ScenarioCache()
+    _SESSION_CACHE[0] = cache
+    return cache
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write ``BENCH_telemetry.json`` after a bench run (artifact for CI)."""
+    cache = _SESSION_CACHE[0]
+    if cache is None or not cache._runs:
+        return
+    path = os.path.join(str(session.config.rootpath),
+                        "BENCH_telemetry.json")
+    with open(path, "w") as fh:
+        json.dump(cache.telemetry_report(), fh, indent=2, default=str)
 
 
 _CAPTURE_MANAGER = [None]

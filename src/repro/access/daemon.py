@@ -17,6 +17,7 @@ ablation benchmark.
 """
 
 from repro.common.errors import IndexError_
+from repro.common.telemetry import resolve_telemetry
 from repro.access.events import EventType
 from repro.access.toolkit import Role
 
@@ -58,12 +59,20 @@ class IndexingDaemon:
 
     ANNOTATE_COMBO = "ctrl+alt+a"
 
-    def __init__(self, registry, database, use_mirror_tree=True):
+    def __init__(self, registry, database, use_mirror_tree=True,
+                 telemetry=None):
         self.registry = registry
         self.database = database
         self.clock = registry.clock
         self.costs = registry.costs
         self.use_mirror_tree = use_mirror_tree
+        self.telemetry = resolve_telemetry(telemetry)
+        metrics = self.telemetry.metrics
+        self._m_events = metrics.counter("daemon.events_processed")
+        self._m_hits = metrics.counter("daemon.mirror_hits")
+        self._m_misses = metrics.counter("daemon.mirror_misses")
+        self._m_retraversals = metrics.counter("daemon.retraversals")
+        self._g_mirror = metrics.gauge("daemon.mirror_size")
         self._mirror = {}  # node_id -> MirrorNode (the hash table)
         self._roots = {}  # app name -> MirrorNode
         self._focused_app = None
@@ -113,6 +122,7 @@ class IndexingDaemon:
         else:
             self._roots[app_name] = mirror
         self._mirror[node_id] = mirror
+        self._g_mirror.set(len(self._mirror))
         self.clock.advance_us(self.costs.ax_mirror_node_us)
         if text:
             self._open_text(mirror)
@@ -123,6 +133,7 @@ class IndexingDaemon:
 
     def _on_event(self, event):
         self.events_processed += 1
+        self._m_events.inc()
         if not self.use_mirror_tree:
             self._handle_event_naive(event)
             return
@@ -159,6 +170,7 @@ class IndexingDaemon:
             self.database.close_occurrence(node.node_id)
             self._mirror.pop(node.node_id, None)
             self.clock.advance_us(self.costs.ax_mirror_node_us)
+        self._g_mirror.set(len(self._mirror))
         if mirror.parent is not None:
             mirror.parent.children.remove(mirror)
 
@@ -203,6 +215,7 @@ class IndexingDaemon:
     # Naive strategy (ablation): re-traverse the real tree per event
 
     def _handle_event_naive(self, event):
+        self._m_retraversals.inc()
         app = self.registry.app(event.app_name)
         if event.type is EventType.FOCUS_CHANGED:
             if event.detail["focused"]:
@@ -235,7 +248,9 @@ class IndexingDaemon:
         self.clock.advance_us(self.costs.ax_mirror_node_us)
         mirror = self._mirror.get(node_id)
         if mirror is None:
+            self._m_misses.inc()
             raise IndexError_("no mirror node for component %d" % node_id)
+        self._m_hits.inc()
         return mirror
 
     def _open_text(self, mirror):

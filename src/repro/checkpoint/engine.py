@@ -32,6 +32,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.common.errors import CheckpointError, FileSystemError
+from repro.common.telemetry import resolve_telemetry
 from repro.common.units import ms
 from repro.checkpoint.image import CheckpointImage
 from repro.vex.process import ProcessState
@@ -92,7 +93,8 @@ class CheckpointResult:
 class CheckpointEngine:
     """Continuously checkpoints one container."""
 
-    def __init__(self, kernel, container, fsstore, storage, options=None):
+    def __init__(self, kernel, container, fsstore, storage, options=None,
+                 telemetry=None):
         self.kernel = kernel
         self.container = container
         self.fsstore = fsstore
@@ -100,6 +102,15 @@ class CheckpointEngine:
         self.options = options if options is not None else EngineOptions()
         self.clock = kernel.clock
         self.costs = kernel.costs
+        self.telemetry = resolve_telemetry(telemetry)
+        metrics = self.telemetry.metrics
+        self._m_checkpoints = metrics.counter("checkpoint.count")
+        self._m_full = metrics.counter("checkpoint.full_count")
+        self._m_pages = metrics.counter("checkpoint.pages_saved")
+        self._m_cow_faults = metrics.counter("checkpoint.cow_faults")
+        self._m_bytes = metrics.counter("checkpoint.image_bytes")
+        self._m_downtime = metrics.histogram("checkpoint.downtime_us")
+        self._m_total = metrics.histogram("checkpoint.total_us")
         self._next_id = 1
         self._last_image_id = None
         self._checkpoints_since_full = 0
@@ -138,6 +149,7 @@ class CheckpointEngine:
             key = (vpid, region.start, page_index)
             if self._capture_keys is not None and key in self._capture_keys:
                 self._cow_pending.setdefault(key, region.page_content(page_index))
+            self._m_cow_faults.inc()
             self.clock.advance_us(self.costs.cow_fault_us)
 
         return handler
@@ -157,6 +169,7 @@ class CheckpointEngine:
         opts = self.options
         clock = self.clock
         container = self.container
+        telemetry = self.telemetry
         checkpoint_id = self._next_id
         self._next_id += 1
 
@@ -166,85 +179,103 @@ class CheckpointEngine:
             full=False,
         )
 
-        # Phase 0a: pre-snapshot file system sync (outside downtime).
-        if opts.pre_snapshot:
-            watch = clock.stopwatch()
-            self.fsstore.pre_snapshot_sync()
-            result.pre_snapshot_us = watch.elapsed_us
+        with telemetry.span("checkpoint", checkpoint_id=checkpoint_id) as ckpt_span:
+            # Phase 0a: pre-snapshot file system sync (outside downtime).
+            if opts.pre_snapshot:
+                with telemetry.span("checkpoint.pre_snapshot"):
+                    watch = clock.stopwatch()
+                    self.fsstore.pre_snapshot_sync()
+                    result.pre_snapshot_us = watch.elapsed_us
 
-        # Phase 0b: pre-quiesce — wait for uninterruptible processes.
-        if opts.pre_quiesce:
-            watch = clock.stopwatch()
-            deadline = clock.now_us + opts.pre_quiesce_timeout_us
-            while not container.all_signalable(clock.now_us):
-                pending = [
-                    p.busy_until_us
-                    for p in container.live_processes()
-                    if not p.signalable(clock.now_us)
-                ]
-                target = min(min(pending), deadline)
-                clock.advance_to_us(target)
-                if clock.now_us >= deadline:
-                    break
-            result.pre_quiesce_us = watch.elapsed_us
+            # Phase 0b: pre-quiesce — wait for uninterruptible processes.
+            if opts.pre_quiesce:
+                with telemetry.span("checkpoint.pre_quiesce"):
+                    watch = clock.stopwatch()
+                    deadline = clock.now_us + opts.pre_quiesce_timeout_us
+                    while not container.all_signalable(clock.now_us):
+                        pending = [
+                            p.busy_until_us
+                            for p in container.live_processes()
+                            if not p.signalable(clock.now_us)
+                        ]
+                        target = min(min(pending), deadline)
+                        clock.advance_to_us(target)
+                        if clock.now_us >= deadline:
+                            break
+                    result.pre_quiesce_us = watch.elapsed_us
 
-        # Phase 1: quiesce (downtime begins here).
-        watch = clock.stopwatch()
-        self.kernel.stop_all(container)
-        # Processes still in uninterruptible sleep stop only when their
-        # operation completes; without pre-quiesce this wait is *in* the
-        # stopped window and the user feels it.
-        for process in container.live_processes():
-            while process.state is not ProcessState.STOPPED:
-                clock.advance_to_us(process.busy_until_us)
-                clock.advance_us(self.costs.context_switch_us)
-                process.flush_pending_signals(clock.now_us)
-        result.quiesce_us = watch.elapsed_us
+            # Phase 1: quiesce (downtime begins here).
+            with telemetry.span("checkpoint.quiesce"):
+                watch = clock.stopwatch()
+                self.kernel.stop_all(container)
+                # Processes still in uninterruptible sleep stop only when
+                # their operation completes; without pre-quiesce this wait
+                # is *in* the stopped window and the user feels it.
+                for process in container.live_processes():
+                    while process.state is not ProcessState.STOPPED:
+                        clock.advance_to_us(process.busy_until_us)
+                        clock.advance_us(self.costs.context_switch_us)
+                        process.flush_pending_signals(clock.now_us)
+                result.quiesce_us = watch.elapsed_us
 
-        # Phase 2: capture execution state.
-        watch = clock.stopwatch()
-        full = (
-            not opts.use_incremental
-            or self._last_image_id is None
-            or self._checkpoints_since_full >= opts.full_checkpoint_interval
-        )
-        result.full = full
-        image = CheckpointImage(
-            checkpoint_id=checkpoint_id,
-            timestamp_us=clock.now_us,
-            container_name=container.name,
-            parent_id=None if full else self._last_image_id,
-            full=full,
-        )
-        save_keys = self._capture(image, full)
-        result.saved_pages = len(save_keys)
-        result.process_count = len(image.processes)
-        result.capture_us = watch.elapsed_us
+            # Phase 2: capture execution state.
+            full = (
+                not opts.use_incremental
+                or self._last_image_id is None
+                or self._checkpoints_since_full >= opts.full_checkpoint_interval
+            )
+            result.full = full
+            with telemetry.span("checkpoint.capture", full=full):
+                watch = clock.stopwatch()
+                image = CheckpointImage(
+                    checkpoint_id=checkpoint_id,
+                    timestamp_us=clock.now_us,
+                    container_name=container.name,
+                    parent_id=None if full else self._last_image_id,
+                    full=full,
+                )
+                save_keys = self._capture(image, full)
+                result.saved_pages = len(save_keys)
+                result.process_count = len(image.processes)
+                result.capture_us = watch.elapsed_us
 
-        # Phase 3: file system snapshot, bound to this checkpoint.
-        watch = clock.stopwatch()
-        image.fs_txn = self.fsstore.take_snapshot(checkpoint_id)
-        result.fs_snapshot_us = watch.elapsed_us
+            # Phase 3: file system snapshot, bound to this checkpoint.
+            with telemetry.span("checkpoint.fs_snapshot"):
+                watch = clock.stopwatch()
+                image.fs_txn = self.fsstore.take_snapshot(checkpoint_id)
+                result.fs_snapshot_us = watch.elapsed_us
 
-        if not opts.defer_writeback:
-            # Unoptimized: the image is written while processes are stopped,
-            # and the disk time lands in the downtime window.
-            watch = clock.stopwatch()
-            self._writeback(image, save_keys, result, deferred=False)
-            result.capture_us += watch.elapsed_us
+            if not opts.defer_writeback:
+                # Unoptimized: the image is written while processes are
+                # stopped, and the disk time lands in the downtime window.
+                with telemetry.span("checkpoint.writeback", deferred=False):
+                    watch = clock.stopwatch()
+                    self._writeback(image, save_keys, result, deferred=False)
+                    result.capture_us += watch.elapsed_us
 
-        # Phase 4: resume.
-        self.kernel.continue_all(container)
+            # Phase 4: resume.
+            self.kernel.continue_all(container)
 
-        if on_resumed is not None and opts.defer_writeback:
-            on_resumed()
+            if on_resumed is not None and opts.defer_writeback:
+                on_resumed()
 
-        if opts.defer_writeback:
-            self._writeback(image, save_keys, result, deferred=True)
+            if opts.defer_writeback:
+                with telemetry.span("checkpoint.writeback", deferred=True):
+                    self._writeback(image, save_keys, result, deferred=True)
+
+            ckpt_span.set("full", full)
+            ckpt_span.set("saved_pages", result.saved_pages)
 
         self._last_image_id = checkpoint_id
         self._checkpoints_since_full = 0 if full else self._checkpoints_since_full + 1
         self.history.append(result)
+        self._m_checkpoints.inc()
+        if full:
+            self._m_full.inc()
+        self._m_pages.inc(result.saved_pages)
+        self._m_bytes.inc(result.image_bytes)
+        self._m_downtime.observe(result.downtime_us)
+        self._m_total.observe(result.total_us)
         return result
 
     # ------------------------------------------------------------------ #

@@ -17,6 +17,7 @@ Reviving a checkpointed desktop session:
 from dataclasses import dataclass
 
 from repro.common.errors import ReviveError
+from repro.common.telemetry import resolve_telemetry
 from repro.vex.process import ProcessState
 from repro.vex.sockets import Socket
 
@@ -62,6 +63,8 @@ class DemandPager:
         self._page_owner = page_owner  # key -> owning image id
         self._images = images  # image id -> loaded image (grows lazily)
         self._cached = cached
+        self._m_faults = manager.telemetry.metrics.counter(
+            "revive.demand_faults")
         self.faults = 0
         self.pages_loaded = 0
 
@@ -100,6 +103,7 @@ class DemandPager:
         clock.advance_us(costs.page_restore_us)
         self.faults += 1
         self.pages_loaded += 1
+        self._m_faults.inc()
 
     def touch_all(self):
         """Fault in every remaining page (used by tests/benchmarks to
@@ -119,12 +123,18 @@ class DemandPager:
 class ReviveManager:
     """Revives checkpoints into fresh containers."""
 
-    def __init__(self, kernel, fsstore, storage):
+    def __init__(self, kernel, fsstore, storage, telemetry=None):
         self.kernel = kernel
         self.fsstore = fsstore
         self.storage = storage
         self.clock = kernel.clock
         self.costs = kernel.costs
+        self.telemetry = resolve_telemetry(telemetry)
+        metrics = self.telemetry.metrics
+        self._m_revives = metrics.counter("revive.count")
+        self._m_pages = metrics.counter("revive.pages_restored")
+        self._m_bytes = metrics.counter("revive.bytes_read")
+        self._m_duration = metrics.histogram("revive.duration_us")
         self._revive_count = 0
 
     def revive(self, checkpoint_id, cached=None, network_enabled=False,
@@ -142,6 +152,19 @@ class ReviveManager:
         applications touch them.  Revive *latency* drops dramatically;
         total I/O is higher (random page-sized reads).
         """
+        with self.telemetry.span("revive", checkpoint_id=checkpoint_id,
+                                 demand_paging=demand_paging) as span:
+            result = self._revive(checkpoint_id, cached, network_enabled,
+                                  demand_paging)
+            span.set("pages_restored", result.pages_restored)
+            span.set("bytes_read", result.bytes_read)
+        self._m_revives.inc()
+        self._m_pages.inc(result.pages_restored)
+        self._m_bytes.inc(result.bytes_read)
+        self._m_duration.observe(result.duration_us)
+        return result
+
+    def _revive(self, checkpoint_id, cached, network_enabled, demand_paging):
         watch = self.clock.stopwatch()
         if cached is False:
             self.storage.evict_all()

@@ -5,15 +5,22 @@ Usage::
     python -m repro.cli scenarios
     python -m repro.cli run web [--units N] [--no-display] [--no-index]
                                 [--no-checkpoints] [--policy] [--compress]
+    python -m repro.cli stats web [--units N]
     python -m repro.cli demo
     python -m repro.cli figures
 
 ``run`` executes one Table 1 scenario and prints a report: simulated
 duration, checkpoint latency summary, storage growth decomposition, and a
-sample search.  ``demo`` runs a 30-second guided record/search/revive tour.
+sample search.  ``stats`` runs a scenario and prints its telemetry
+snapshot (counters, histogram summaries, recent span trees).  ``demo``
+runs a 30-second guided record/search/revive tour.
+
+``--json`` (accepted globally or after any subcommand) switches ``run``
+and ``stats`` to machine-readable JSON on stdout.
 """
 
 import argparse
+import json
 import sys
 
 from repro.common.units import format_bytes, format_duration_us, format_rate
@@ -35,19 +42,34 @@ FIGURES = {
 }
 
 
+def _add_scenario_args(sub):
+    """Scenario selection shared by ``run`` and ``stats``: a positional
+    name or an equivalent ``--scenario`` option."""
+    sub.add_argument("scenario", nargs="?", default=None,
+                     help="scenario name (see 'scenarios')")
+    sub.add_argument("--scenario", dest="scenario_opt", default=None,
+                     metavar="NAME",
+                     help="scenario name (alternative to the positional)")
+    sub.add_argument("--units", type=int, default=None,
+                     help="work units (default: the scenario's standard run)")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DejaView reproduction (SOSP 2007) command line",
     )
+    # Global: accepted before the subcommand; the per-subcommand copies
+    # below use SUPPRESS so "repro run web --json" works too without the
+    # subparser default overwriting this one.
+    parser.add_argument("--json", action="store_true", default=False,
+                        help="emit machine-readable JSON (run / stats)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("scenarios", help="list the Table 1 workload scenarios")
 
     run = sub.add_parser("run", help="run one scenario and print a report")
-    run.add_argument("scenario", help="scenario name (see 'scenarios')")
-    run.add_argument("--units", type=int, default=None,
-                     help="work units (default: the scenario's standard run)")
+    _add_scenario_args(run)
     run.add_argument("--no-display", action="store_true",
                      help="disable display recording")
     run.add_argument("--no-index", action="store_true",
@@ -60,9 +82,44 @@ def build_parser():
     run.add_argument("--compress", action="store_true",
                      help="account compressed checkpoint storage")
 
+    stats = sub.add_parser(
+        "stats", help="run one scenario and print its telemetry snapshot")
+    _add_scenario_args(stats)
+    stats.add_argument("--spans", type=int, default=4,
+                       help="recent root spans to include (default 4)")
+
     sub.add_parser("demo", help="record/search/revive guided tour")
     sub.add_parser("figures", help="map of paper figures to bench files")
+    for command in sub.choices.values():
+        command.add_argument("--json", action="store_true",
+                             default=argparse.SUPPRESS,
+                             help=argparse.SUPPRESS)
     return parser
+
+
+def _resolve_scenario(args):
+    name = args.scenario_opt or args.scenario
+    if name is None:
+        print("error: a scenario is required (positional or --scenario)",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return name
+
+
+def _run_scenario(args):
+    """Build the recording config and run the workload (run / stats)."""
+    name = _resolve_scenario(args)
+    workload = get_workload(name)
+    config = RecordingConfig(
+        record_display=not getattr(args, "no_display", False),
+        record_index=not getattr(args, "no_index", False),
+        record_checkpoints=not getattr(args, "no_checkpoints", False),
+        use_policy=getattr(args, "policy", False),
+        compress_checkpoints=getattr(args, "compress", False),
+    )
+    if name == "desktop" and config.record_checkpoints:
+        config.use_policy = True
+    return name, workload.run(recording=config, units=args.units)
 
 
 def cmd_scenarios(_args, out):
@@ -75,22 +132,43 @@ def cmd_scenarios(_args, out):
     return 0
 
 
-def cmd_run(args, out):
-    workload = get_workload(args.scenario)
-    config = RecordingConfig(
-        record_display=not args.no_display,
-        record_index=not args.no_index,
-        record_checkpoints=not args.no_checkpoints,
-        use_policy=args.policy,
-        compress_checkpoints=args.compress,
-    )
-    if args.scenario == "desktop" and not args.no_checkpoints:
-        config.use_policy = True
-    print("running %s (%d units)..." % (
-        args.scenario, args.units or workload.default_units), file=out)
-    run = workload.run(recording=config, units=args.units)
-    dv = run.dejaview
+def _sample_search(dv):
+    """Run one mid-vocabulary keyword search (exercises the query path so
+    telemetry reports index latency); returns (word, hit count) or None."""
+    if dv.database is None or not dv.database.vocabulary():
+        return None
+    from repro.index.query import Query
 
+    vocabulary = dv.database.vocabulary()
+    word = vocabulary[len(vocabulary) // 2]
+    results = dv.search_engine().search(Query.keywords(word),
+                                        render=False, limit=3)
+    return {"word": word, "hits": len(results)}
+
+
+def cmd_run(args, out):
+    if args.json:
+        name, run = _run_scenario(args)
+        dv = run.dejaview
+        sample = _sample_search(dv)
+        report = {
+            "scenario": name,
+            "simulated_seconds": run.duration_seconds,
+            "checkpoints": dv.checkpoint_count,
+            "storage_growth_rates": run.storage_growth_rates(),
+            "storage_report": dv.storage_report(),
+            "telemetry": dv.telemetry_snapshot(),
+        }
+        if sample is not None:
+            report["sample_search"] = sample
+        json.dump(report, out, indent=2, default=str)
+        print(file=out)
+        return 0
+    name = _resolve_scenario(args)
+    units = args.units or get_workload(name).default_units
+    print("running %s (%d units)..." % (name, units), file=out)
+    _name, run = _run_scenario(args)
+    dv = run.dejaview
     print("simulated duration: %.2f s" % run.duration_seconds, file=out)
     if dv.engine is not None and dv.engine.history:
         history = dv.engine.history
@@ -109,13 +187,55 @@ def cmd_run(args, out):
         format_bytes(report["display"]),
         format_bytes(report["index"]),
         format_bytes(report["checkpoint_uncompressed"])), file=out)
-    if dv.database is not None and dv.database.vocabulary():
-        from repro.index.query import Query
+    sample = _sample_search(dv)
+    if sample is not None:
+        print("sample search %r: %d hit(s)" % (
+            sample["word"], sample["hits"]), file=out)
+    return 0
 
-        word = dv.database.vocabulary()[len(dv.database.vocabulary()) // 2]
-        results = dv.search_engine().search(Query.keywords(word),
-                                            render=False, limit=3)
-        print("sample search %r: %d hit(s)" % (word, len(results)), file=out)
+
+def _format_span(span_dict, out, depth=0):
+    wall = span_dict.get("wall_ns")
+    print("  %s%-28s virtual=%-12s wall=%s" % (
+        "  " * depth,
+        span_dict.get("name", "?"),
+        format_duration_us(span_dict.get("virtual_us") or 0),
+        "%.3f ms" % (wall / 1e6) if wall is not None else "?"), file=out)
+    for child in span_dict.get("children", ()):
+        _format_span(child, out, depth + 1)
+
+
+def cmd_stats(args, out):
+    name, run = _run_scenario(args)
+    _sample_search(run.dejaview)  # exercise the query path for its metrics
+    snapshot = run.dejaview.telemetry_snapshot(span_limit=args.spans)
+    if args.json:
+        snapshot["scenario"] = name
+        json.dump(snapshot, out, indent=2, default=str)
+        print(file=out)
+        return 0
+    print("telemetry for %s scenario:" % name, file=out)
+    print("counters:", file=out)
+    for key, value in sorted(snapshot["counters"].items()):
+        print("  %-36s %d" % (key, value), file=out)
+    print("gauges:", file=out)
+    for key, value in sorted(snapshot["gauges"].items()):
+        print("  %-36s %s" % (key, value), file=out)
+    print("histograms (count / p50 / p95 / max):", file=out)
+    for key, summary in sorted(snapshot["histograms"].items()):
+        if not summary["count"]:
+            continue
+        print("  %-36s %d / %.0f / %.0f / %.0f" % (
+            key, summary["count"], summary["p50"], summary["p95"],
+            summary["max"]), file=out)
+    bus = snapshot["event_bus"]
+    print("event bus: published=%d delivered=%d errors=%d" % (
+        bus["published"], bus["delivered"], bus["errors"]), file=out)
+    spans = snapshot["spans"]
+    print("spans: %d total, %d retained; most recent roots:" % (
+        spans["span_count"], spans["retained_roots"]), file=out)
+    for root in spans["recent_roots"]:
+        _format_span(root, out)
     return 0
 
 
@@ -165,6 +285,7 @@ def main(argv=None, out=None):
     handler = {
         "scenarios": cmd_scenarios,
         "run": cmd_run,
+        "stats": cmd_stats,
         "demo": cmd_demo,
         "figures": cmd_figures,
     }[args.command]

@@ -14,6 +14,10 @@ This package hosts the pieces every subsystem relies on:
   by the display log and the checkpoint image format.
 * :mod:`repro.common.units` -- byte/time unit helpers.
 * :mod:`repro.common.errors` -- the exception hierarchy.
+* :mod:`repro.common.telemetry` -- the injectable metrics registry
+  (counters, gauges, percentile histograms) with a guarded no-op fast path.
+* :mod:`repro.common.tracing` -- nested spans stamped with both virtual and
+  wall-clock time.
 """
 
 from repro.common.clock import Stopwatch, VirtualClock
@@ -29,6 +33,14 @@ from repro.common.errors import (
 )
 from repro.common.events import EventBus
 from repro.common.serial import RecordReader, RecordWriter
+from repro.common.telemetry import (
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+)
+from repro.common.tracing import Span, Tracer
 from repro.common.units import GiB, KiB, MiB, format_bytes, format_duration_us
 
 __all__ = [
@@ -36,6 +48,13 @@ __all__ = [
     "Stopwatch",
     "EventBus",
     "CostModel",
+    "Telemetry",
+    "MetricsRegistry",
+    "Tracer",
+    "Span",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "set_telemetry",
     "RecordReader",
     "RecordWriter",
     "KiB",

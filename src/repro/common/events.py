@@ -45,6 +45,8 @@ class EventBus:
     def __init__(self):
         self._subs = defaultdict(list)
         self._published_count = 0
+        self._delivered_count = 0
+        self._error_count = 0
 
     def subscribe(self, topic, handler):
         """Register ``handler`` for ``topic`` and return a Subscription."""
@@ -57,15 +59,24 @@ class EventBus:
     def publish(self, topic, event):
         """Deliver ``event`` synchronously to every subscriber of ``topic``.
 
-        Returns the number of handlers that received the event.
+        Returns the number of handlers that received the event.  A handler
+        is counted as delivered-to *before* it runs, so an exception (which
+        still propagates to the publisher, as in the real accessibility
+        stack) cannot silently corrupt the delivery accounting; the failure
+        itself is tallied in :attr:`error_count`.
         """
         self._published_count += 1
         # Copy: a handler may subscribe/unsubscribe during delivery.
         delivered = 0
         for sub in list(self._subs.get(topic, ())):
             if sub.active:
-                sub.handler(event)
                 delivered += 1
+                self._delivered_count += 1
+                try:
+                    sub.handler(event)
+                except BaseException:
+                    self._error_count += 1
+                    raise
         return delivered
 
     def subscriber_count(self, topic):
@@ -75,6 +86,17 @@ class EventBus:
     def published_count(self):
         """Total number of publish() calls, for instrumentation."""
         return self._published_count
+
+    @property
+    def delivered_count(self):
+        """Total (publish, handler) deliveries, including ones whose
+        handler subsequently raised."""
+        return self._delivered_count
+
+    @property
+    def error_count(self):
+        """Handler invocations that raised out of publish()."""
+        return self._error_count
 
     def _remove(self, sub):
         handlers = self._subs.get(sub.topic)

@@ -1,0 +1,319 @@
+"""Unified telemetry: a process-wide but injectable metrics registry.
+
+Every subsystem of the reproduction charges *simulated* time to the shared
+:class:`~repro.common.clock.VirtualClock`; this module is the second half of
+the observability story — counting what happened and how long it took, in
+both virtual and wall time, so the evaluation harness and the CLI can report
+where time and bytes go without each bench keeping ad-hoc dicts.
+
+Design rules:
+
+* **Telemetry never charges the clock.**  Instruments only read state, so a
+  run with telemetry enabled and one with it disabled produce bit-identical
+  simulated results (tested in ``tests/test_telemetry.py``).
+* **The disabled path is a guarded no-op.**  :class:`NullRegistry` hands out
+  shared inert instruments; call sites cache instrument handles once at
+  construction, so a disabled ``counter.inc()`` is a single empty method
+  call (micro-benched in ``benchmarks/bench_telemetry_overhead.py``).
+* **Process-wide but injectable.**  Components accept ``telemetry=None``
+  and fall back to :func:`get_telemetry` (a module-level default, initially
+  disabled).  :class:`~repro.desktop.dejaview.DejaView` builds one enabled
+  :class:`Telemetry` per recording session and injects it everywhere, so
+  concurrent sessions never share counters.
+
+Metric naming scheme (see DESIGN.md "Observability"): dotted lowercase
+``<subsystem>.<quantity>[_<unit>]``, e.g. ``checkpoint.downtime_us``,
+``daemon.mirror_hits``, ``fs.blocks_written``.  Span-derived histograms are
+``span.<span name>.virtual_us`` / ``.wall_ns``.
+"""
+
+import math
+
+from repro.common.tracing import NULL_TRACER, Tracer
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name):
+        self.name = name
+        self._value = 0
+
+    def inc(self, amount=1):
+        self._value += amount
+
+    @property
+    def value(self):
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (e.g. mirror-tree size)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name):
+        self.name = name
+        self._value = 0
+
+    def set(self, value):
+        self._value = value
+
+    def add(self, amount=1):
+        self._value += amount
+
+    @property
+    def value(self):
+        return self._value
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile of an ascending list (q in [0, 100]).
+
+    ``percentile([1..100], 95) == 95`` — the rank is ``ceil(q/100 * n)``,
+    clamped to the ends, which keeps the math exact on the known
+    distributions the tests assert against.
+    """
+    if not sorted_values:
+        return None
+    rank = math.ceil((q / 100.0) * len(sorted_values))
+    rank = min(max(rank, 1), len(sorted_values))
+    return sorted_values[rank - 1]
+
+
+class Histogram:
+    """Distribution of observed values with percentile summaries.
+
+    Raw observations are kept (bounded by ``max_samples``, oldest halved
+    out) — at the reproduction's scale a scenario run observes thousands of
+    values, not millions, and exact percentiles beat approximate sketches
+    for regression-testing the cost model.
+    """
+
+    __slots__ = ("name", "_values", "_count", "_sum", "_min", "_max",
+                 "max_samples")
+
+    def __init__(self, name, max_samples=65536):
+        self.name = name
+        self.max_samples = max_samples
+        self._values = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = None
+        self._max = None
+
+    def observe(self, value):
+        self._count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        self._values.append(value)
+        if len(self._values) > self.max_samples:
+            # Decimate the oldest half; totals/min/max stay exact, the
+            # percentile summary becomes recent-weighted.
+            del self._values[: len(self._values) // 2]
+
+    @property
+    def count(self):
+        return self._count
+
+    @property
+    def sum(self):
+        return self._sum
+
+    def summary(self):
+        """count / sum / min / max / mean / p50 / p95 / p99."""
+        if self._count == 0:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "mean": None, "p50": None, "p95": None, "p99": None}
+        ordered = sorted(self._values)
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self._sum / self._count,
+            "p50": percentile(ordered, 50),
+            "p95": percentile(ordered, 95),
+            "p99": percentile(ordered, 99),
+        }
+
+
+class _NullInstrument:
+    """Shared inert counter/gauge/histogram for the disabled fast path."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def add(self, amount=1):
+        pass
+
+    def observe(self, value):
+        pass
+
+    def summary(self):
+        return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                "mean": None, "p50": None, "p95": None, "p99": None}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one recording session."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    # -- instrument accessors (get-or-create; handles are cacheable) ----- #
+
+    def counter(self, name):
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name):
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name):
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self):
+        """JSON-ready dump of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self):
+        """Forget every instrument (new recording session)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __len__(self):
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: every accessor returns the shared inert
+    instrument, and nothing is ever recorded."""
+
+    enabled = False
+
+    def counter(self, name):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name):
+        return _NULL_INSTRUMENT
+
+    def snapshot(self):
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+class Telemetry:
+    """One session's metrics registry + tracer, behind a single handle.
+
+    ``Telemetry(clock)`` is enabled; ``Telemetry(enabled=False)`` (or the
+    shared :data:`NULL_TELEMETRY`) is the no-op variant.  The tracer needs
+    the session's virtual clock to dual-stamp spans; a disabled instance
+    needs no clock at all.
+    """
+
+    def __init__(self, clock=None, enabled=True, keep_spans=256):
+        if enabled and clock is None:
+            raise ValueError("enabled telemetry needs a virtual clock")
+        self.enabled = enabled
+        self.clock = clock
+        if enabled:
+            self.metrics = MetricsRegistry()
+            self.tracer = Tracer(clock, registry=self.metrics,
+                                 keep=keep_spans)
+        else:
+            self.metrics = NULL_REGISTRY
+            self.tracer = NULL_TRACER
+
+    # -- convenience passthroughs --------------------------------------- #
+
+    def counter(self, name):
+        return self.metrics.counter(name)
+
+    def gauge(self, name):
+        return self.metrics.gauge(name)
+
+    def histogram(self, name):
+        return self.metrics.histogram(name)
+
+    def span(self, name, **attributes):
+        return self.tracer.span(name, **attributes)
+
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, span_limit=8):
+        """The machine-readable telemetry snapshot (CLI ``--json``)."""
+        snap = {"enabled": self.enabled}
+        snap.update(self.metrics.snapshot())
+        snap["spans"] = self.tracer.snapshot(limit=span_limit)
+        return snap
+
+    def reset(self):
+        self.metrics.reset()
+        self.tracer.reset()
+
+
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+_default_telemetry = NULL_TELEMETRY
+
+
+def get_telemetry():
+    """The process-wide default telemetry (disabled unless installed)."""
+    return _default_telemetry
+
+
+def set_telemetry(telemetry):
+    """Install a process-wide default; returns the previous one."""
+    global _default_telemetry
+    previous = _default_telemetry
+    _default_telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+    return previous
+
+
+def resolve_telemetry(telemetry):
+    """``telemetry`` if given, else the process-wide default."""
+    return telemetry if telemetry is not None else _default_telemetry

@@ -1,0 +1,235 @@
+"""Nested spans stamped with virtual *and* wall-clock time.
+
+The paper's evaluation reports *simulated* latencies (the virtual clock is
+what stands in for the 2007 testbed), while ROADMAP's performance work needs
+the *real* cost of this implementation.  A :class:`Span` therefore carries
+two intervals for the same piece of work:
+
+* ``virtual_us`` — elapsed :class:`~repro.common.clock.VirtualClock` time,
+  i.e. what the paper's figures would show;
+* ``wall_ns`` — elapsed ``time.perf_counter_ns()`` time, i.e. what this
+  Python implementation actually spent.
+
+Spans nest: the checkpoint engine opens one ``checkpoint`` span per
+checkpoint with one child span per pipeline phase, so a single trace shows
+where both kinds of time went in one pass.
+
+Tracing never *charges* the virtual clock — it only reads it — so enabling
+or disabling a tracer can never change simulated results.  The
+:class:`NullTracer` is the guarded no-op fast path: its ``span()`` returns a
+shared reusable context manager whose enter/exit do nothing, so an
+uninstrumented run pays one attribute lookup and two empty calls per span
+site.
+"""
+
+import time
+from collections import deque
+
+
+class Span:
+    """One timed operation, possibly with nested children."""
+
+    __slots__ = ("name", "attributes", "parent", "children",
+                 "start_virtual_us", "end_virtual_us",
+                 "start_wall_ns", "end_wall_ns")
+
+    def __init__(self, name, start_virtual_us, start_wall_ns, parent=None,
+                 attributes=None):
+        self.name = name
+        self.parent = parent
+        self.children = []
+        self.attributes = dict(attributes or {})
+        self.start_virtual_us = start_virtual_us
+        self.end_virtual_us = None
+        self.start_wall_ns = start_wall_ns
+        self.end_wall_ns = None
+
+    def set(self, key, value):
+        """Attach an attribute to the span (e.g. pages saved)."""
+        self.attributes[key] = value
+        return self
+
+    @property
+    def finished(self):
+        return self.end_virtual_us is not None
+
+    @property
+    def virtual_us(self):
+        """Elapsed simulated time (None while the span is open)."""
+        if self.end_virtual_us is None:
+            return None
+        return self.end_virtual_us - self.start_virtual_us
+
+    @property
+    def wall_ns(self):
+        """Elapsed host time in nanoseconds (None while open)."""
+        if self.end_wall_ns is None:
+            return None
+        return self.end_wall_ns - self.start_wall_ns
+
+    def to_dict(self):
+        """JSON-ready representation, children included."""
+        record = {
+            "name": self.name,
+            "start_virtual_us": self.start_virtual_us,
+            "virtual_us": self.virtual_us,
+            "wall_ns": self.wall_ns,
+        }
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        if self.children:
+            record["children"] = [c.to_dict() for c in self.children]
+        return record
+
+    def __repr__(self):
+        return "Span(%r, virtual_us=%r, wall_ns=%r, children=%d)" % (
+            self.name, self.virtual_us, self.wall_ns, len(self.children))
+
+
+class _SpanContext:
+    """Context manager opening/closing one span on a tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "span")
+
+    def __init__(self, tracer, name, attributes):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self.span = None
+
+    def __enter__(self):
+        self.span = self._tracer._begin(self._name, self._attributes)
+        return self.span
+
+    def __exit__(self, *exc):
+        self._tracer._end(self.span)
+        return False
+
+
+class Tracer:
+    """Produces nested spans on one virtual clock.
+
+    ``registry`` (optional, a :class:`~repro.common.telemetry.MetricsRegistry`)
+    receives two histogram observations per finished span —
+    ``span.<name>.virtual_us`` and ``span.<name>.wall_ns`` — so percentile
+    summaries survive even after old raw spans rotate out of the bounded
+    ``roots`` buffer.
+    """
+
+    enabled = True
+
+    def __init__(self, clock, registry=None, keep=256):
+        self.clock = clock
+        self.registry = registry
+        #: Most recent finished root spans (bounded; oldest dropped).
+        self.roots = deque(maxlen=keep)
+        self.span_count = 0
+        self._active = None
+
+    # ------------------------------------------------------------------ #
+
+    def span(self, name, **attributes):
+        """Open a span: ``with tracer.span("checkpoint.quiesce"): ...``"""
+        return _SpanContext(self, name, attributes)
+
+    @property
+    def current(self):
+        """The innermost open span (None outside any span)."""
+        return self._active
+
+    def _begin(self, name, attributes):
+        span = Span(
+            name,
+            start_virtual_us=self.clock.now_us,
+            start_wall_ns=time.perf_counter_ns(),
+            parent=self._active,
+            attributes=attributes,
+        )
+        if self._active is not None:
+            self._active.children.append(span)
+        self._active = span
+        return span
+
+    def _end(self, span):
+        span.end_virtual_us = self.clock.now_us
+        span.end_wall_ns = time.perf_counter_ns()
+        self._active = span.parent
+        if span.parent is None:
+            self.roots.append(span)
+        self.span_count += 1
+        if self.registry is not None:
+            self.registry.histogram(
+                "span.%s.virtual_us" % span.name).observe(span.virtual_us)
+            self.registry.histogram(
+                "span.%s.wall_ns" % span.name).observe(span.wall_ns)
+
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, limit=8):
+        """JSON-ready trace state: totals plus the last ``limit`` roots."""
+        roots = list(self.roots)[-limit:] if limit is not None \
+            else list(self.roots)
+        return {
+            "span_count": self.span_count,
+            "retained_roots": len(self.roots),
+            "recent_roots": [r.to_dict() for r in roots],
+        }
+
+    def reset(self):
+        self.roots.clear()
+        self.span_count = 0
+        self._active = None
+
+
+class _NullSpan:
+    """Inert span: every mutation is a no-op."""
+
+    __slots__ = ()
+    name = ""
+    attributes = {}
+    children = ()
+    parent = None
+    virtual_us = None
+    wall_ns = None
+    finished = False
+
+    def set(self, key, value):
+        return self
+
+    def to_dict(self):
+        return {}
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NULL_SPAN
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled fast path: span() hands back one shared no-op context."""
+
+    enabled = False
+    span_count = 0
+    roots = ()
+    current = None
+
+    def span(self, name, **attributes):
+        return _NULL_SPAN_CONTEXT
+
+    def snapshot(self, limit=8):
+        return {"span_count": 0, "retained_roots": 0, "recent_roots": []}
+
+    def reset(self):
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -13,13 +13,14 @@ the section 5.1.3 policy (the real-usage configuration), and checkpoint
 compression is a switch (Figure 4 reports both).
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.checkpoint.engine import CheckpointEngine, EngineOptions
 from repro.checkpoint.policy import CheckpointPolicy, PolicyConfig, PolicyContext
 from repro.checkpoint.restore import ReviveManager
 from repro.checkpoint.storage import CheckpointStorage
 from repro.common.errors import DejaViewError
+from repro.common.telemetry import NULL_TELEMETRY, Telemetry
 from repro.common.units import seconds
 from repro.access.daemon import IndexingDaemon
 from repro.display.playback import PlaybackEngine
@@ -38,10 +39,14 @@ class RecordingConfig:
     use_policy: bool = False
     """False = fixed 1 Hz checkpointing (the benchmarks' conservative
     setting); True = the section 5.1.3 display-driven policy."""
-    policy_config: PolicyConfig = None
-    engine_options: EngineOptions = None
-    recorder_config: RecorderConfig = None
+    policy_config: PolicyConfig = field(default_factory=PolicyConfig)
+    engine_options: EngineOptions = field(default_factory=EngineOptions)
+    recorder_config: RecorderConfig = field(default_factory=RecorderConfig)
     compress_checkpoints: bool = False
+    telemetry_enabled: bool = True
+    """Metrics + tracing for this recording session.  Telemetry never
+    charges the virtual clock, so disabling it changes no recorded
+    behavior — only whether anything is counted."""
     record_scale: float = 1.0
     """Display recording resolution relative to the screen (section 4.1)."""
     fixed_interval_us: int = seconds(1)
@@ -58,16 +63,32 @@ class TickReport:
     checkpoint_result: object = None
     policy_reason: str = None
     display_commands: int = 0
+    span: object = None
+    """The tick's telemetry :class:`~repro.common.tracing.Span` (virtual +
+    wall timings, with the checkpoint's phase spans nested inside); None
+    when telemetry is disabled."""
 
 
 class DejaView:
     """The personal virtual computer recorder."""
 
-    def __init__(self, session, config=None):
+    def __init__(self, session, config=None, telemetry=None):
         self.session = session
         self.config = config if config is not None else RecordingConfig()
         clock = session.clock
         costs = session.costs
+
+        # One telemetry hub per recording session (injectable for tests and
+        # for sharing a registry across sessions); everything below gets it.
+        if telemetry is not None:
+            self.telemetry = telemetry
+        elif self.config.telemetry_enabled:
+            self.telemetry = Telemetry(clock)
+        else:
+            self.telemetry = NULL_TELEMETRY
+        bind = getattr(session.fs, "bind_telemetry", None)
+        if bind is not None:  # revived sessions may expose a union mount
+            bind(self.telemetry)
 
         self.recorder = None
         if self.config.record_display:
@@ -76,6 +97,7 @@ class DejaView:
             self.recorder = DisplayRecorder(
                 width, height, clock=clock, costs=costs,
                 config=self.config.recorder_config,
+                telemetry=self.telemetry,
             )
             session.driver.attach_sink(self.recorder,
                                        scale=self.config.record_scale)
@@ -83,10 +105,12 @@ class DejaView:
         self.database = None
         self.daemon = None
         if self.config.record_index:
-            self.database = TemporalTextDatabase(clock, costs=costs)
+            self.database = TemporalTextDatabase(clock, costs=costs,
+                                                 telemetry=self.telemetry)
             self.daemon = IndexingDaemon(
                 session.registry, self.database,
                 use_mirror_tree=self.config.use_mirror_tree,
+                telemetry=self.telemetry,
             )
 
         self.storage = CheckpointStorage(
@@ -99,11 +123,16 @@ class DejaView:
             self.engine = CheckpointEngine(
                 session.kernel, session.container, session.fsstore,
                 self.storage, self.config.engine_options,
+                telemetry=self.telemetry,
             )
             if self.config.use_policy:
                 self.policy = CheckpointPolicy(self.config.policy_config)
         self.reviver = ReviveManager(session.kernel, session.fsstore,
-                                     self.storage)
+                                     self.storage,
+                                     telemetry=self.telemetry)
+        self._m_ticks = self.telemetry.metrics.counter("tick.count")
+        self._m_tick_commands = self.telemetry.metrics.counter(
+            "tick.display_commands")
         self._last_checkpoint_us = None
 
     # ------------------------------------------------------------------ #
@@ -115,36 +144,42 @@ class DejaView:
         checkpoint.  Workload generators call this after each burst of
         application activity."""
         report = TickReport()
-        report.display_commands = self.session.driver.flush()
-        activity = self.session.driver.drain_activity()
-        if self.engine is None:
-            return report
-        now = self.session.clock.now_us
-        if self.policy is not None:
-            decision = self.policy.decide(
-                PolicyContext(
-                    now_us=now,
-                    display_activity=activity,
-                    keyboard_input=keyboard_input,
-                    mouse_input=mouse_input,
-                    fullscreen_video=fullscreen_video,
-                    screensaver=screensaver,
-                    system_load=system_load,
+        with self.telemetry.span("tick") as span:
+            report.span = span if span.name else None
+            report.display_commands = self.session.driver.flush()
+            activity = self.session.driver.drain_activity()
+            self._m_ticks.inc()
+            self._m_tick_commands.inc(report.display_commands)
+            if self.engine is None:
+                return report
+            now = self.session.clock.now_us
+            if self.policy is not None:
+                decision = self.policy.decide(
+                    PolicyContext(
+                        now_us=now,
+                        display_activity=activity,
+                        keyboard_input=keyboard_input,
+                        mouse_input=mouse_input,
+                        fullscreen_video=fullscreen_video,
+                        screensaver=screensaver,
+                        system_load=system_load,
+                    )
                 )
-            )
-            report.policy_reason = decision.reason
-            take = decision.take
-        else:
-            # Fixed-rate mode: the paper's conservative benchmark setting,
-            # "checkpoint once per second" regardless of activity.
-            take = (
-                self._last_checkpoint_us is None
-                or now - self._last_checkpoint_us >= self.config.fixed_interval_us
-            )
-        if take:
-            report.checkpoint_result = self.engine.checkpoint()
-            report.checkpointed = True
-            self._last_checkpoint_us = now
+                report.policy_reason = decision.reason
+                take = decision.take
+            else:
+                # Fixed-rate mode: the paper's conservative benchmark setting,
+                # "checkpoint once per second" regardless of activity.
+                take = (
+                    self._last_checkpoint_us is None
+                    or now - self._last_checkpoint_us >= self.config.fixed_interval_us
+                )
+            if take:
+                report.checkpoint_result = self.engine.checkpoint()
+                report.checkpointed = True
+                self._last_checkpoint_us = now
+            span.set("checkpointed", report.checkpointed)
+            span.set("display_commands", report.display_commands)
         return report
 
     # ------------------------------------------------------------------ #
@@ -160,7 +195,7 @@ class DejaView:
         return PlaybackEngine(
             self.display_record(), clock=self.session.clock,
             costs=self.session.costs, cache_capacity=cache_capacity,
-            prune=prune,
+            prune=prune, telemetry=self.telemetry,
         )
 
     def browse(self, time_us, engine=None):
@@ -179,7 +214,8 @@ class DejaView:
         playback = self.playback_engine(cache_capacity=cache_capacity) \
             if self.recorder is not None else None
         return SearchEngine(self.database, playback=playback,
-                            clock=self.session.clock)
+                            clock=self.session.clock,
+                            telemetry=self.telemetry)
 
     def search(self, query, **kwargs):
         """Search the record; results carry screenshots (section 4.4)."""
@@ -213,6 +249,23 @@ class DejaView:
             candidate.checkpoint_id, cached=cached,
             network_enabled=network_enabled,
         )
+
+    # ------------------------------------------------------------------ #
+    # Observability
+
+    def telemetry_snapshot(self, span_limit=8):
+        """JSON-ready view of everything the session's telemetry saw:
+        counters, gauges, histogram summaries, recent span trees, plus the
+        event bus's delivery accounting.  Empty (``enabled: False``) when
+        telemetry is disabled."""
+        snap = self.telemetry.snapshot(span_limit=span_limit)
+        bus = self.session.registry.bus
+        snap["event_bus"] = {
+            "published": bus.published_count,
+            "delivered": bus.delivered_count,
+            "errors": bus.error_count,
+        }
+        return snap
 
     # ------------------------------------------------------------------ #
     # Storage accounting (Figure 4)

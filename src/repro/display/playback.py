@@ -23,6 +23,7 @@ from repro.common.clock import VirtualClock
 from repro.common.costs import DEFAULT_COSTS
 from repro.common.errors import DisplayError
 from repro.common.serial import read_at
+from repro.common.telemetry import resolve_telemetry
 from repro.display.framebuffer import Framebuffer
 from repro.display.protocol import CommandLogReader
 
@@ -76,18 +77,24 @@ class _KeyframeCache:
     scheme, where the cache size is tunable" (section 4.4).
     """
 
-    def __init__(self, capacity):
+    def __init__(self, capacity, hit_counter=None, miss_counter=None):
         self.capacity = capacity
         self._entries = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self._m_hits = hit_counter
+        self._m_misses = miss_counter
 
     def get(self, key):
         if key in self._entries:
             self._entries.move_to_end(key)
             self.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
             return self._entries[key]
         self.misses += 1
+        if self._m_misses is not None:
+            self._m_misses.inc()
         return None
 
     def put(self, key, value):
@@ -103,7 +110,7 @@ class PlaybackEngine:
     """Reconstructs display state from a :class:`DisplayRecord`."""
 
     def __init__(self, record, clock=None, costs=DEFAULT_COSTS,
-                 cache_capacity=8, prune=True, cold=False):
+                 cache_capacity=8, prune=True, cold=False, telemetry=None):
         """``cold=True`` charges record reads at disk cost; the default
         models the paper's measurement setting, where the record being
         browsed was just written and still sits in the page cache."""
@@ -112,7 +119,17 @@ class PlaybackEngine:
         self.costs = costs
         self.prune = prune
         self.cold = cold
-        self._cache = _KeyframeCache(cache_capacity)
+        self.telemetry = resolve_telemetry(telemetry)
+        metrics = self.telemetry.metrics
+        self._m_seeks = metrics.counter("playback.seeks")
+        self._m_considered = metrics.counter("playback.commands_considered")
+        self._m_applied = metrics.counter("playback.commands_applied")
+        self._m_seek_us = metrics.histogram("playback.seek_us")
+        self._cache = _KeyframeCache(
+            cache_capacity,
+            hit_counter=metrics.counter("playback.cache_hits"),
+            miss_counter=metrics.counter("playback.cache_misses"),
+        )
 
     def _charge_read(self, nbytes):
         if self.cold:
@@ -172,27 +189,35 @@ class PlaybackEngine:
         Returns ``(framebuffer, stats)``.  This is the "browse" operation
         measured in Figure 5.
         """
-        index, entry = self.record.timeline.locate(time_us)
-        if entry is None:
-            raise DisplayError(
-                "requested time %d precedes the first screenshot" % time_us
+        with self.telemetry.span("playback.seek") as span:
+            watch = self.clock.stopwatch()
+            index, entry = self.record.timeline.locate(time_us)
+            if entry is None:
+                raise DisplayError(
+                    "requested time %d precedes the first screenshot" % time_us
+                )
+            fb = self._load_keyframe(entry)
+            timed = self._commands_between(entry.command_offset, entry.time_us,
+                                           time_us)
+            commands = [cmd for cmd, _ts in timed]
+            to_apply = prune_commands(commands) if self.prune else commands
+            for command in to_apply:
+                command.apply(fb)
+                self.clock.advance_us(
+                    self.costs.display_cmd_base_us
+                    + command.payload_size * self.costs.display_us_per_payload_byte
+                )
+            stats = PlaybackStats(
+                recorded_duration_us=max(0, time_us - entry.time_us),
+                playback_duration_us=0,
+                commands_considered=len(commands),
+                commands_applied=len(to_apply),
             )
-        fb = self._load_keyframe(entry)
-        timed = self._commands_between(entry.command_offset, entry.time_us, time_us)
-        commands = [cmd for cmd, _ts in timed]
-        to_apply = prune_commands(commands) if self.prune else commands
-        for command in to_apply:
-            command.apply(fb)
-            self.clock.advance_us(
-                self.costs.display_cmd_base_us
-                + command.payload_size * self.costs.display_us_per_payload_byte
-            )
-        stats = PlaybackStats(
-            recorded_duration_us=max(0, time_us - entry.time_us),
-            playback_duration_us=0,
-            commands_considered=len(commands),
-            commands_applied=len(to_apply),
-        )
+            self._m_seeks.inc()
+            self._m_considered.inc(len(commands))
+            self._m_applied.inc(len(to_apply))
+            self._m_seek_us.observe(watch.elapsed_us)
+            span.set("commands_applied", len(to_apply))
         return fb, stats
 
     def play(self, start_us, end_us, speed=1.0, fastest=False):

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.common.clock import VirtualClock
 from repro.common.costs import DEFAULT_COSTS
 from repro.common.serial import RecordWriter
+from repro.common.telemetry import resolve_telemetry
 from repro.common.units import seconds
 from repro.display.commands import Region
 from repro.display.framebuffer import Framebuffer
@@ -72,10 +73,16 @@ class DisplayRecorder:
     """Driver sink that produces a :class:`DisplayRecord`."""
 
     def __init__(self, width, height, clock=None, costs=DEFAULT_COSTS,
-                 config=None):
+                 config=None, telemetry=None):
         self.clock = clock if clock is not None else VirtualClock()
         self.costs = costs
         self.config = config if config is not None else RecorderConfig()
+        self.telemetry = resolve_telemetry(telemetry)
+        metrics = self.telemetry.metrics
+        self._m_commands = metrics.counter("display.commands_logged")
+        self._m_log_bytes = metrics.counter("display.log_bytes")
+        self._m_keyframes = metrics.counter("display.keyframes")
+        self._m_keyframe_bytes = metrics.counter("display.keyframe_bytes")
         self.framebuffer = Framebuffer(width, height)
         self._log = CommandLogWriter()
         self._shots = RecordWriter(kind=STREAM_KIND_SCREENSHOTS)
@@ -98,6 +105,8 @@ class DisplayRecorder:
         for command in commands:
             command.apply(self.framebuffer)
             self._log.append(command, timestamp_us)
+            self._m_commands.inc()
+            self._m_log_bytes.inc(command.payload_size)
             self.clock.advance_us(
                 self.costs.display_record_cmd_us
                 + command.payload_size * self.costs.display_log_us_per_byte
@@ -129,6 +138,8 @@ class DisplayRecorder:
         snapshot = self.framebuffer.snapshot_bytes()
         payload = struct.pack("<Q", now_us) + snapshot
         shot_offset = self._shots.write(SCREENSHOT_TAG, payload)
+        self._m_keyframes.inc()
+        self._m_keyframe_bytes.inc(len(snapshot))
         self.clock.advance_us(len(snapshot) * self.costs.screenshot_us_per_byte)
         self.timeline.append(
             TimelineEntry(

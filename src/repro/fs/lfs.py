@@ -29,6 +29,7 @@ The checkpoint engine's hooks:
 from repro.common.clock import VirtualClock
 from repro.common.costs import DEFAULT_COSTS
 from repro.common.errors import FileSystemError, SnapshotError
+from repro.common.telemetry import resolve_telemetry
 from repro.fs.vfs import join_path, normalize_path, path_components, split_path
 
 BLOCK_SIZE = 4096
@@ -122,9 +123,10 @@ class FileHandle:
 class LogStructuredFS:
     """The append-only, versioned file system."""
 
-    def __init__(self, clock=None, costs=DEFAULT_COSTS):
+    def __init__(self, clock=None, costs=DEFAULT_COSTS, telemetry=None):
         self.clock = clock if clock is not None else VirtualClock()
         self.costs = costs
+        self.bind_telemetry(resolve_telemetry(telemetry))
         self._txn = 0
         self._inodes = {}
         self._next_inode = ROOT_INODE
@@ -146,6 +148,18 @@ class LogStructuredFS:
         assert root.inode_id == ROOT_INODE
         self._mkdir_under(ROOT_INODE, RELINK_DIR[1:])
 
+    def bind_telemetry(self, telemetry):
+        """(Re)attach a telemetry sink.  The file system is created by the
+        session before the recorder exists, so :class:`DejaView` rebinds it
+        to the recording session's telemetry at attach time."""
+        self.telemetry = telemetry
+        metrics = telemetry.metrics
+        self._m_txns = metrics.counter("fs.txns")
+        self._m_blocks = metrics.counter("fs.blocks_written")
+        self._m_snapshots = metrics.counter("fs.snapshots")
+        self._m_synced = metrics.counter("fs.blocks_synced")
+        self._m_reclaimed = metrics.counter("fs.cleaner_reclaimed_bytes")
+
     # ------------------------------------------------------------------ #
     # Low-level helpers
 
@@ -164,6 +178,7 @@ class LogStructuredFS:
     def _begin_txn(self):
         self._txn += 1
         self.log_bytes += METADATA_RECORD_BYTES
+        self._m_txns.inc()
         self.clock.advance_us(self.costs.fs_transaction_us)
         return self._txn
 
@@ -215,6 +230,7 @@ class LogStructuredFS:
         nblocks = len(ids)
         # Data lands in the log in whole blocks (log-structured layout).
         self.log_bytes += nblocks * BLOCK_SIZE
+        self._m_blocks.inc(nblocks)
         # The disk transfer happens regardless of DejaView (the kernel
         # writes dirty pages back eventually), so it is charged here, at
         # append time.  sync()/snapshot() only add the flush bookkeeping.
@@ -477,6 +493,7 @@ class LogStructuredFS:
         """Flush dirty blocks (the *pre-snapshot*).  Returns blocks flushed."""
         flushed = self._pending_blocks
         if flushed:
+            self._m_synced.inc(flushed)
             self.clock.advance_us(flushed * self.costs.fs_block_sync_us)
             self._pending_blocks = 0
         self._synced_txn = self._txn
@@ -490,6 +507,7 @@ class LogStructuredFS:
         times eliminates, the amount of data needed to be written while the
         processes are unresponsive" (section 5.1.2).
         """
+        self._m_snapshots.inc()
         self.clock.advance_us(self.costs.fs_snapshot_base_us)
         # Metadata finalization scales with the transactions accumulated
         # since the previous snapshot (untar's thousands of file creations
@@ -594,6 +612,7 @@ class LogStructuredFS:
             if block_id not in live_blocks:
                 reclaimed += len(self._blocks.pop(block_id))
         self.reclaimed_bytes += reclaimed
+        self._m_reclaimed.inc(reclaimed)
         # The cleaner copies live data out of dying segments; charge a
         # pass over the reclaimed volume.
         self.clock.advance_us(reclaimed * self.costs.memcpy_us_per_byte)

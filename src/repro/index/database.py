@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.common.costs import DEFAULT_COSTS
 from repro.common.errors import IndexError_
+from repro.common.telemetry import resolve_telemetry
 from repro.index.tokenizer import tokenize
 
 
@@ -53,9 +54,15 @@ class Occurrence:
 class TemporalTextDatabase:
     """Occurrences + inverted token index."""
 
-    def __init__(self, clock, costs=DEFAULT_COSTS):
+    def __init__(self, clock, costs=DEFAULT_COSTS, telemetry=None):
         self.clock = clock
         self.costs = costs
+        self.telemetry = resolve_telemetry(telemetry)
+        metrics = self.telemetry.metrics
+        self._m_inserts = metrics.counter("index.inserts")
+        self._m_closes = metrics.counter("index.closes")
+        self._m_postings_scanned = metrics.counter("index.postings_scanned")
+        self._m_tokens = metrics.histogram("index.tokens_per_insert")
         self._occurrences = {}  # occ id -> Occurrence
         self._next_occ_id = 1
         self._open_by_node = {}  # node id -> occ id
@@ -94,6 +101,8 @@ class TemporalTextDatabase:
         for token in tokens:
             self._postings.setdefault(token, []).append(occ.occ_id)
         self.insert_count += 1
+        self._m_inserts.inc()
+        self._m_tokens.observe(len(tokens))
         self.clock.advance_us(len(tokens) * self.costs.index_token_us)
         return occ
 
@@ -104,6 +113,7 @@ class TemporalTextDatabase:
             return None
         occ = self._occurrences[occ_id]
         occ.end_us = self.clock.now_us
+        self._m_closes.inc()
         self.clock.advance_us(len(occ.tokens) * self.costs.index_token_us)
         return occ
 
@@ -126,6 +136,7 @@ class TemporalTextDatabase:
         """Occurrences containing ``token`` (charged per posting)."""
         self.clock.advance_us(self.costs.index_query_term_us)
         occ_ids = self._postings.get(token, ())
+        self._m_postings_scanned.inc(len(occ_ids))
         self.clock.advance_us(len(occ_ids) * self.costs.index_posting_us)
         return [self._occurrences[occ_id] for occ_id in occ_ids]
 

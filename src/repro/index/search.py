@@ -21,6 +21,7 @@ Evaluation pipeline:
 
 from dataclasses import dataclass
 
+from repro.common.telemetry import resolve_telemetry
 from repro.index.intervals import (
     clamp_intervals,
     intersect_many,
@@ -67,10 +68,16 @@ class SearchEngine:
     """Evaluates queries against the temporal database and renders
     results through the playback engine."""
 
-    def __init__(self, database, playback=None, clock=None):
+    def __init__(self, database, playback=None, clock=None, telemetry=None):
         self.database = database
         self.playback = playback
         self.clock = clock if clock is not None else database.clock
+        self.telemetry = resolve_telemetry(telemetry)
+        metrics = self.telemetry.metrics
+        self._m_queries = metrics.counter("index.queries")
+        self._m_results = metrics.counter("index.results")
+        self._m_query_us = metrics.histogram("index.query_us")
+        self._m_render_us = metrics.histogram("index.render_us")
 
     # ------------------------------------------------------------------ #
     # Interval evaluation
@@ -134,25 +141,33 @@ class SearchEngine:
                render=True, now_us=None):
         """Run a query; returns ranked :class:`SearchResult` objects."""
         now_us = now_us if now_us is not None else self.clock.now_us
-        intervals = self.satisfied_intervals(query, now_us)
-        results = []
-        for start, end in intervals:
-            substream = Substream(start, end)
-            snippet = self._snippet_for(query, start, end)
-            results.append(
-                SearchResult(
-                    timestamp_us=start,
-                    substream=substream,
-                    snippet=snippet,
-                    score=self._score(query, start, end, order_by, now_us),
+        with self.telemetry.span("search.query") as span:
+            watch = self.clock.stopwatch()
+            intervals = self.satisfied_intervals(query, now_us)
+            results = []
+            for start, end in intervals:
+                substream = Substream(start, end)
+                snippet = self._snippet_for(query, start, end)
+                results.append(
+                    SearchResult(
+                        timestamp_us=start,
+                        substream=substream,
+                        snippet=snippet,
+                        score=self._score(query, start, end, order_by, now_us),
+                    )
                 )
-            )
-        results.sort(key=self._sort_key(order_by))
-        if limit is not None:
-            results = results[:limit]
-        if render and self.playback is not None:
-            for result in results:
-                self._render(result)
+            results.sort(key=self._sort_key(order_by))
+            if limit is not None:
+                results = results[:limit]
+            self._m_query_us.observe(watch.elapsed_us)
+            if render and self.playback is not None:
+                render_watch = self.clock.stopwatch()
+                for result in results:
+                    self._render(result)
+                self._m_render_us.observe(render_watch.elapsed_us)
+            self._m_queries.inc()
+            self._m_results.inc(len(results))
+            span.set("results", len(results))
         return results
 
     def _sort_key(self, order_by):

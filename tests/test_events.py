@@ -93,3 +93,88 @@ class TestEventBus:
         bus.publish("a", 1)
         bus.publish("b", 2)
         assert bus.published_count == 2
+
+    def test_delivered_count_across_topics(self):
+        bus = EventBus()
+        bus.subscribe("a", lambda e: None)
+        bus.subscribe("a", lambda e: None)
+        bus.subscribe("b", lambda e: None)
+        bus.publish("a", 1)
+        bus.publish("b", 2)
+        bus.publish("c", 3)  # no subscribers
+        assert bus.published_count == 3
+        assert bus.delivered_count == 3
+        assert bus.error_count == 0
+
+    def test_delivery_counted_even_when_handler_raises(self):
+        """A raising handler was still *delivered to*: the return value,
+        delivered_count, and error_count must all reflect that instead of
+        silently losing the delivery."""
+        bus = EventBus()
+        seen = []
+        bus.subscribe("t", seen.append)
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe("t", bad)
+        bus.subscribe("t", seen.append)  # never reached: exception aborts
+        with pytest.raises(RuntimeError):
+            bus.publish("t", "x")
+        assert seen == ["x"]
+        assert bus.delivered_count == 2  # first handler + the raising one
+        assert bus.error_count == 1
+        # The publisher can retry; accounting keeps accruing consistently.
+        with pytest.raises(RuntimeError):
+            bus.publish("t", "y")
+        assert bus.delivered_count == 4
+        assert bus.error_count == 2
+
+    def test_cancel_self_during_delivery(self):
+        """A handler cancelling its own subscription mid-delivery still
+        finishes the current event, then stops receiving."""
+        bus = EventBus()
+        seen = []
+        holder = {}
+
+        def once(event):
+            seen.append(event)
+            holder["sub"].cancel()
+
+        holder["sub"] = bus.subscribe("t", once)
+        assert bus.publish("t", 1) == 1
+        assert bus.publish("t", 2) == 0
+        assert seen == [1]
+        assert bus.delivered_count == 1
+
+    def test_cancel_other_during_delivery_skips_it(self):
+        """Cancelling a later subscriber while the same event is being
+        delivered prevents its invocation (the copied snapshot is
+        re-checked via ``sub.active``) — and it is not counted."""
+        bus = EventBus()
+        seen = []
+        subs = {}
+
+        def canceller(event):
+            seen.append("canceller")
+            subs["victim"].cancel()
+
+        bus.subscribe("t", canceller)
+        subs["victim"] = bus.subscribe(
+            "t", lambda e: seen.append("victim"))
+        delivered = bus.publish("t", None)
+        assert seen == ["canceller"]
+        assert delivered == 1
+        assert bus.delivered_count == 1
+
+    def test_subscribe_during_delivery_counts_next_publish(self):
+        bus = EventBus()
+
+        def handler(event):
+            if bus.subscriber_count("t") == 1:
+                bus.subscribe("t", lambda e: None)
+
+        bus.subscribe("t", handler)
+        assert bus.publish("t", None) == 1
+        assert bus.publish("t", None) == 2
+        assert bus.delivered_count == 3

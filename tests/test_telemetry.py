@@ -1,0 +1,339 @@
+"""Tests for the observability layer: metrics, tracing, and the
+guarantee that telemetry never changes simulated behavior."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.common.clock import VirtualClock
+from repro.common.telemetry import (
+    NULL_TELEMETRY,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Telemetry,
+    get_telemetry,
+    percentile,
+    resolve_telemetry,
+    set_telemetry,
+)
+from repro.common.tracing import NullTracer, Tracer
+
+
+class TestPercentiles:
+    def test_nearest_rank_on_1_to_100(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 95) == 95
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+
+    def test_small_distributions(self):
+        assert percentile([7], 50) == 7
+        assert percentile([7], 99) == 7
+        assert percentile([1, 2], 50) == 1
+        assert percentile([1, 2], 95) == 2
+
+    def test_empty(self):
+        assert percentile([], 50) is None
+
+    def test_histogram_summary_known_distribution(self):
+        h = Histogram("t")
+        for v in range(1, 101):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["sum"] == 5050
+        assert s["min"] == 1 and s["max"] == 100
+        assert s["mean"] == 50.5
+        assert s["p50"] == 50
+        assert s["p95"] == 95
+        assert s["p99"] == 99
+
+    def test_histogram_order_independent(self):
+        h = Histogram("t")
+        for v in reversed(range(1, 101)):
+            h.observe(v)
+        assert h.summary()["p95"] == 95
+
+    def test_histogram_bounded_memory_keeps_totals_exact(self):
+        h = Histogram("t", max_samples=100)
+        for v in range(1, 1001):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 1000
+        assert s["sum"] == sum(range(1, 1001))
+        assert s["min"] == 1 and s["max"] == 1000
+        assert len(h._values) <= 100
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert len(reg) == 3
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_between_sessions(self):
+        reg = MetricsRegistry()
+        handle = reg.counter("c")
+        handle.inc(5)
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.snapshot()["counters"] == {}
+        # A fresh handle after reset starts from zero.
+        assert reg.counter("c").value == 0
+        assert reg.counter("c") is not handle
+
+    def test_null_registry_records_nothing(self):
+        reg = NullRegistry()
+        counter = reg.counter("c")
+        counter.inc(100)
+        reg.histogram("h").observe(1)
+        reg.gauge("g").set(9)
+        assert reg.snapshot() == {"counters": {}, "gauges": {},
+                                  "histograms": {}}
+        assert counter.value == 0
+        assert len(reg) == 0
+
+    def test_null_instruments_are_shared(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.counter("b") is reg.histogram("h")
+
+
+class TestTracer:
+    def test_span_nesting_and_ordering(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with tracer.span("outer") as outer:
+            clock.advance_us(10)
+            with tracer.span("first") as first:
+                clock.advance_us(3)
+            with tracer.span("second") as second:
+                clock.advance_us(4)
+            clock.advance_us(1)
+        assert outer.children == [first, second]
+        assert first.parent is outer and second.parent is outer
+        assert outer.virtual_us == 18
+        assert first.virtual_us == 3
+        assert second.virtual_us == 4
+        assert first.start_virtual_us < second.start_virtual_us
+        assert list(tracer.roots) == [outer]
+        assert tracer.span_count == 3
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer(VirtualClock())
+        assert tracer.current is None
+        with tracer.span("a") as a:
+            assert tracer.current is a
+            with tracer.span("b") as b:
+                assert tracer.current is b
+            assert tracer.current is a
+        assert tracer.current is None
+
+    def test_wall_clock_stamps(self):
+        tracer = Tracer(VirtualClock())
+        with tracer.span("w") as span:
+            pass
+        assert span.wall_ns >= 0
+        assert span.end_wall_ns >= span.start_wall_ns
+
+    def test_span_attributes_and_to_dict(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with tracer.span("op", kind="test") as span:
+            clock.advance_us(2)
+            span.set("pages", 7)
+        record = span.to_dict()
+        assert record["name"] == "op"
+        assert record["virtual_us"] == 2
+        assert record["attributes"] == {"kind": "test", "pages": 7}
+
+    def test_roots_bounded(self):
+        tracer = Tracer(VirtualClock(), keep=4)
+        for i in range(10):
+            with tracer.span("s%d" % i):
+                pass
+        assert len(tracer.roots) == 4
+        assert tracer.span_count == 10
+        assert tracer.snapshot(limit=2)["retained_roots"] == 4
+
+    def test_registry_receives_span_histograms(self):
+        clock = VirtualClock()
+        reg = MetricsRegistry()
+        tracer = Tracer(clock, registry=reg)
+        with tracer.span("op"):
+            clock.advance_us(5)
+        summary = reg.histogram("span.op.virtual_us").summary()
+        assert summary["count"] == 1 and summary["max"] == 5
+        assert reg.histogram("span.op.wall_ns").count == 1
+
+    def test_reset(self):
+        tracer = Tracer(VirtualClock())
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.span_count == 0
+        assert not tracer.roots
+
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        with tracer.span("anything", k=1) as span:
+            span.set("x", 1)
+        assert tracer.span_count == 0
+        assert span.to_dict() == {}
+        assert tracer.snapshot()["recent_roots"] == []
+
+
+class TestTelemetryHandle:
+    def test_enabled_requires_clock(self):
+        with pytest.raises(ValueError):
+            Telemetry()
+
+    def test_disabled_needs_no_clock(self):
+        t = Telemetry(enabled=False)
+        assert not t.enabled
+        assert t.snapshot()["counters"] == {}
+
+    def test_snapshot_combines_metrics_and_spans(self):
+        clock = VirtualClock()
+        t = Telemetry(clock)
+        t.counter("c").inc()
+        with t.span("op"):
+            clock.advance_us(1)
+        snap = t.snapshot()
+        assert snap["enabled"] is True
+        assert snap["counters"]["c"] == 1
+        assert snap["spans"]["span_count"] == 1
+        assert snap["spans"]["recent_roots"][0]["name"] == "op"
+
+    def test_default_is_disabled_and_installable(self):
+        assert get_telemetry() is NULL_TELEMETRY
+        assert resolve_telemetry(None) is NULL_TELEMETRY
+        custom = Telemetry(VirtualClock())
+        previous = set_telemetry(custom)
+        try:
+            assert get_telemetry() is custom
+            assert resolve_telemetry(None) is custom
+            assert resolve_telemetry(NULL_TELEMETRY) is NULL_TELEMETRY
+        finally:
+            set_telemetry(previous)
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_noop_path_adds_zero_counters(self):
+        """Regression: instrumented subsystems built without telemetry
+        must leave the null registry completely empty."""
+        from repro.desktop.dejaview import RecordingConfig
+        from repro.workloads import run_scenario
+
+        run = run_scenario(
+            "gzip",
+            recording=RecordingConfig(telemetry_enabled=False), units=4)
+        assert run.dejaview.telemetry is NULL_TELEMETRY
+        snap = NULL_TELEMETRY.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+        assert snap["spans"]["span_count"] == 0
+
+
+class TestEndToEnd:
+    def test_disabled_vs_enabled_identical_simulation(self):
+        from repro.desktop.dejaview import RecordingConfig
+        from repro.workloads import run_scenario
+
+        on = run_scenario("gzip", recording=RecordingConfig(), units=4)
+        off = run_scenario(
+            "gzip",
+            recording=RecordingConfig(telemetry_enabled=False), units=4)
+        assert on.duration_us == off.duration_us
+        assert on.dejaview.storage_report() == off.dejaview.storage_report()
+
+    def test_session_telemetry_snapshot(self):
+        from repro.desktop.dejaview import RecordingConfig
+        from repro.workloads import run_scenario
+
+        run = run_scenario("gzip", recording=RecordingConfig(), units=4)
+        snap = run.dejaview.telemetry_snapshot(span_limit=2)
+        assert snap["counters"]["checkpoint.count"] >= 1
+        assert "daemon.mirror_hits" in snap["counters"]
+        assert "daemon.mirror_misses" in snap["counters"]
+        assert snap["histograms"]["checkpoint.downtime_us"]["count"] >= 1
+        assert snap["event_bus"]["published"] >= 1
+        assert snap["event_bus"]["delivered"] >= 1
+        assert len(snap["spans"]["recent_roots"]) <= 2
+        # A tick root carries the checkpoint phase spans beneath it.
+        names = set()
+
+        def collect(span):
+            names.add(span["name"])
+            for child in span.get("children", ()):
+                collect(child)
+
+        for root in snap["spans"]["recent_roots"]:
+            collect(root)
+        assert "tick" in names
+
+    def test_checkpoint_phase_spans(self):
+        from repro.desktop.dejaview import RecordingConfig
+        from repro.workloads import run_scenario
+
+        run = run_scenario("gzip", recording=RecordingConfig(), units=4)
+        hists = run.dejaview.telemetry_snapshot()["histograms"]
+        for phase in ("pre_snapshot", "pre_quiesce", "quiesce", "capture",
+                      "fs_snapshot", "writeback"):
+            assert hists["span.checkpoint.%s.virtual_us" % phase]["count"] >= 1
+            assert hists["span.checkpoint.%s.wall_ns" % phase]["count"] >= 1
+
+
+class TestCliStats:
+    def _run(self, *argv):
+        out = io.StringIO()
+        code = cli_main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_stats_text(self):
+        code, output = self._run("stats", "gzip", "--units", "4")
+        assert code == 0
+        assert "checkpoint.count" in output
+        assert "event bus:" in output
+
+    def test_stats_json(self):
+        code, output = self._run("stats", "gzip", "--units", "4", "--json")
+        assert code == 0
+        data = json.loads(output)
+        assert data["enabled"] is True
+        assert data["scenario"] == "gzip"
+        assert data["counters"]["checkpoint.count"] >= 1
+        assert "index.query_us" in data["histograms"]
+
+    def test_run_json_global_flag_position(self):
+        code, output = self._run("--json", "run", "--scenario", "gzip",
+                                 "--units", "4")
+        assert code == 0
+        data = json.loads(output)
+        assert data["scenario"] == "gzip"
+        assert data["telemetry"]["enabled"] is True
+        assert "event_bus" in data["telemetry"]
+
+    def test_run_json_trailing_flag_position(self):
+        code, output = self._run("run", "gzip", "--units", "4", "--json")
+        assert code == 0
+        assert json.loads(output)["checkpoints"] >= 1
+
+    def test_scenario_required(self):
+        with pytest.raises(SystemExit):
+            self._run("run", "--units", "4")
