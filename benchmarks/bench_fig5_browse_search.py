@@ -15,15 +15,39 @@ Paper shape being reproduced: search <= ~10 ms for app benchmarks and
 ~200 ms for the desktop — all interactive.
 """
 
+import json
+import os
+
 import numpy as np
 
 from benchmarks.conftest import ALL_SCENARIOS, print_table
 from repro.common.clock import VirtualClock
-from repro.common.units import ms
+from repro.common.telemetry import Telemetry, percentile
+from repro.common.units import ms, seconds
 from repro.display.playback import PlaybackEngine
 from repro.display.protocol import CommandLogReader
+from repro.index.database import TemporalTextDatabase
 from repro.index.query import Clause, Query
 from repro.index.search import SearchEngine
+
+ARTIFACT_SCHEMA = "dejaview.bench_fig5/v1"
+ARTIFACT_NAME = "BENCH_fig5.json"
+
+
+def _update_artifact(rootpath, section, payload):
+    """Merge one section into ``BENCH_fig5.json`` (tests may run alone)."""
+    path = os.path.join(str(rootpath), ARTIFACT_NAME)
+    data = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    data["schema"] = ARTIFACT_SCHEMA
+    data[section] = payload
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, default=str)
 
 SEARCH_SCENARIOS = [n for n in ALL_SCENARIOS if n not in ("gzip", "octave")]
 """gzip and octave put almost no text on screen; like the paper's Figure 5
@@ -84,7 +108,7 @@ def _desktop_queries(run, rng, count=10):
     return queries
 
 
-def _search_latency(run, queries):
+def _search_latencies(run, queries):
     database = run.dejaview.database
     engine = SearchEngine(database, playback=None)
     latencies = []
@@ -92,10 +116,10 @@ def _search_latency(run, queries):
         watch = database.clock.stopwatch()
         engine.search(query, render=False)
         latencies.append(watch.elapsed_us)
-    return sum(latencies) / len(latencies) if latencies else 0.0
+    return latencies
 
 
-def test_fig5_browse_and_search(benchmark, scenarios):
+def test_fig5_browse_and_search(benchmark, scenarios, request):
     def build():
         rng = np.random.default_rng(5)
         table = {}
@@ -107,13 +131,27 @@ def test_fig5_browse_and_search(benchmark, scenarios):
                     queries = _desktop_queries(run, rng)
                 else:
                     queries = _app_queries(run.dejaview.database, rng)
-                search = _search_latency(run, queries)
+                latencies = _search_latencies(run, queries)
+                search = (sum(latencies) / len(latencies)
+                          if latencies else 0.0)
             else:
+                latencies = []
                 search = None
-            table[name] = {"browse": browse, "search": search}
+            table[name] = {"browse": browse, "search": search,
+                           "latencies": latencies}
         return table
 
     table = benchmark.pedantic(build, rounds=1, iterations=1)
+    _update_artifact(request.config.rootpath, "search_latency_us", {
+        name: {
+            "queries": len(entry["latencies"]),
+            "mean": entry["search"],
+            "p50": percentile(sorted(entry["latencies"]), 50),
+            "p95": percentile(sorted(entry["latencies"]), 95),
+            "browse_mean": entry["browse"],
+        }
+        for name, entry in table.items()
+    })
     rows = [
         [
             name,
@@ -165,3 +203,89 @@ def test_bench_query_wallclock(benchmark, scenarios):
     engine = SearchEngine(run.dejaview.database, playback=None)
     query = Query.keywords("report")
     benchmark(lambda: engine.search(query, render=False))
+
+
+def _result_fingerprint(results):
+    return [
+        (r.timestamp_us, r.substream.start_us, r.substream.end_us,
+         r.snippet, r.score)
+        for r in results
+    ]
+
+
+def test_fig5_windowed_query_pruning(request):
+    """Epoch-partitioned postings: a query over the last 10% of a long
+    recording scans a small fraction of the posting list, and repeated
+    identical queries are served bit-identically from the interval cache.
+
+    This is the before/after story of the query-path overhaul: the seed
+    implementation rescanned every posting from time zero regardless of
+    the query window (scanned == total), so ``postings_scanned_windowed /
+    postings_total`` is the pruning factor directly.
+    """
+    clock = VirtualClock()
+    telemetry = Telemetry(clock)
+    db = TemporalTextDatabase(clock, telemetry=telemetry)
+    # A long "day": 1200 short-lived occurrences spread over two simulated
+    # hours (120 one-minute epochs at the default bucket width).
+    for i in range(1200):
+        db.open_occurrence(1, "needle event %d" % i, app="firefox")
+        clock.advance_us(seconds(3))
+        db.close_occurrence(1)
+        clock.advance_us(seconds(3))
+    end_us = clock.now_us
+    scanned = telemetry.metrics.counter("index.postings_scanned")
+    pruned = telemetry.metrics.counter("index.postings_pruned")
+    skipped = telemetry.metrics.counter("index.buckets_skipped")
+    hits = telemetry.metrics.counter("index.interval_cache_hits")
+    engine = SearchEngine(db, playback=None, telemetry=telemetry)
+    postings_total = db.posting_count("needle")
+
+    # Cold, unwindowed: the full-history scan the seed always paid.
+    before = scanned.value
+    full_results = engine.search(Query.keywords("needle"), render=False)
+    scanned_full = scanned.value - before
+    assert scanned_full == postings_total
+
+    # Windowed over the last 10% of the recording: scans only the buckets
+    # overlapping the window.
+    window_start = int(end_us * 0.9)
+    query = Query.keywords("needle", start_us=window_start, end_us=end_us)
+    before_scanned, before_pruned = scanned.value, pruned.value
+    before_skipped = skipped.value
+    cold = engine.search(query, render=False)
+    scanned_windowed = scanned.value - before_scanned
+    pruned_windowed = pruned.value - before_pruned
+    skipped_windowed = skipped.value - before_skipped
+    assert cold, "the window contains matches"
+    assert scanned_windowed <= postings_total
+    assert scanned_windowed < 0.25 * scanned_full, (
+        "windowed query must scan < 25%% of the seed's postings "
+        "(scanned %d of %d)" % (scanned_windowed, postings_total))
+    assert skipped_windowed > 0
+
+    # Repeat the identical query: served from the interval cache, with
+    # bit-identical results and no further posting scans.
+    before_scanned, before_hits = scanned.value, hits.value
+    warm = engine.search(query, render=False)
+    cache_hits = hits.value - before_hits
+    assert cache_hits > 0
+    assert scanned.value == before_scanned
+    assert _result_fingerprint(warm) == _result_fingerprint(cold)
+
+    _update_artifact(request.config.rootpath, "windowed_pruning", {
+        "recording_us": end_us,
+        "window_start_us": window_start,
+        "window_end_us": end_us,
+        "postings_total": postings_total,
+        "postings_scanned_full": scanned_full,
+        "postings_scanned_windowed": scanned_windowed,
+        "postings_pruned_windowed": pruned_windowed,
+        "buckets_skipped_windowed": skipped_windowed,
+        "scan_fraction": scanned_windowed / float(postings_total),
+        "interval_cache_hits": cache_hits,
+        "repeat_results_identical":
+            _result_fingerprint(warm) == _result_fingerprint(cold),
+        "windowed_results": len(cold),
+        "full_results": len(full_results),
+    })

@@ -184,10 +184,17 @@ class IndexingDaemon:
 
     def _on_focus_changed(self, event):
         focused = event.detail["focused"]
+        previous = self._focused_app
         if focused:
             self._focused_app = event.app_name
         elif self._focused_app == event.app_name:
             self._focused_app = None
+        if self._focused_app == previous:
+            # No transition (e.g. a repeated focus grab by the already
+            # focused application): the indexed context is unchanged, so
+            # skip the subtree replay instead of churning the database
+            # with identical reopens.
+            return
         # Reopen the app's visible text so occurrences record the focus
         # transition (focus is part of the indexed temporal context).
         root = self._roots.get(event.app_name)

@@ -133,17 +133,30 @@ def cmd_scenarios(_args, out):
 
 
 def _sample_search(dv):
-    """Run one mid-vocabulary keyword search (exercises the query path so
-    telemetry reports index latency); returns (word, hit count) or None."""
+    """Exercise the query path so telemetry reports index latency and the
+    query-planner counters: one full-history keyword search, one windowed
+    search over the recording's second half (populates
+    ``index.buckets_skipped`` / ``index.postings_pruned``), and a repeat
+    of the windowed query (populates ``index.interval_cache_hits``).
+    Returns a summary dict or None when there is no indexed text."""
     if dv.database is None or not dv.database.vocabulary():
         return None
     from repro.index.query import Query
 
-    vocabulary = dv.database.vocabulary()
+    database = dv.database
+    vocabulary = database.vocabulary()
     word = vocabulary[len(vocabulary) // 2]
-    results = dv.search_engine().search(Query.keywords(word),
-                                        render=False, limit=3)
-    return {"word": word, "hits": len(results)}
+    engine = dv.search_engine()
+    results = engine.search(Query.keywords(word), render=False, limit=3)
+    sample = {"word": word, "hits": len(results)}
+    end_us = database.clock.now_us
+    if end_us > 1:
+        windowed_query = Query.keywords(word, start_us=end_us // 2,
+                                        end_us=end_us)
+        windowed = engine.search(windowed_query, render=False, limit=3)
+        engine.search(windowed_query, render=False, limit=3)  # cache hit
+        sample["windowed_hits"] = len(windowed)
+    return sample
 
 
 def cmd_run(args, out):

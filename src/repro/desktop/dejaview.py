@@ -25,7 +25,7 @@ from repro.common.units import seconds
 from repro.access.daemon import IndexingDaemon
 from repro.display.playback import PlaybackEngine
 from repro.display.recorder import DisplayRecorder, RecorderConfig
-from repro.index.database import TemporalTextDatabase
+from repro.index.database import DEFAULT_EPOCH_WIDTH_US, TemporalTextDatabase
 from repro.index.search import SearchEngine
 
 
@@ -49,6 +49,10 @@ class RecordingConfig:
     behavior — only whether anything is counted."""
     record_scale: float = 1.0
     """Display recording resolution relative to the screen (section 4.1)."""
+    index_epoch_us: int = DEFAULT_EPOCH_WIDTH_US
+    """Width of the text index's posting-list time buckets.  Windowed
+    queries scan only the buckets overlapping their time range, so smaller
+    epochs prune more for narrow windows at the price of more buckets."""
     fixed_interval_us: int = seconds(1)
     use_mirror_tree: bool = True
     """False switches the indexing daemon to the naive re-traversal
@@ -105,8 +109,10 @@ class DejaView:
         self.database = None
         self.daemon = None
         if self.config.record_index:
-            self.database = TemporalTextDatabase(clock, costs=costs,
-                                                 telemetry=self.telemetry)
+            self.database = TemporalTextDatabase(
+                clock, costs=costs, telemetry=self.telemetry,
+                epoch_width_us=self.config.index_epoch_us,
+            )
             self.daemon = IndexingDaemon(
                 session.registry, self.database,
                 use_mirror_tree=self.config.use_mirror_tree,

@@ -21,14 +21,21 @@ semantics directly:
   contiguous hits into substreams with first-last screenshots.
 """
 
-from repro.index.database import Occurrence, TemporalTextDatabase
+from repro.index.database import (
+    DEFAULT_EPOCH_WIDTH_US,
+    Occurrence,
+    TemporalTextDatabase,
+)
 from repro.index.intervals import (
     clamp_intervals,
     intersect_many,
     intersect_two,
+    overlaps_window,
+    span,
     subtract,
     total_duration,
     union,
+    with_open_intervals,
 )
 from repro.index.query import Clause, Query
 from repro.index.search import SearchEngine, SearchResult, Substream
@@ -42,6 +49,10 @@ __all__ = [
     "subtract",
     "clamp_intervals",
     "total_duration",
+    "overlaps_window",
+    "span",
+    "with_open_intervals",
+    "DEFAULT_EPOCH_WIDTH_US",
     "TemporalTextDatabase",
     "Occurrence",
     "Query",

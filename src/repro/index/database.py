@@ -15,6 +15,25 @@ next.
 An inverted index maps each token to the occurrences containing it; query
 evaluation in :mod:`repro.index.search` converts postings to visibility
 intervals and applies interval algebra.
+
+Posting lists are **partitioned into fixed-width time epochs** so that a
+time-bounded query only scans — and is only charged virtual cost for —
+the buckets overlapping its window.  An occurrence is registered in the
+bucket of its ``start_us`` when it opens, and back-filled into every
+further bucket its visibility interval covers when it closes; occurrences
+still open are tracked separately per token (they extend to "now" and
+therefore overlap any window that begins before they end).  The result is
+that windowed retrieval touches a superset of the occurrences overlapping
+the window and *none* of the history outside it: query cost scales with
+the window, not with the length of the recording.
+
+Two secondary structures support the rest of the query path:
+
+* a **per-node occurrence index**, so ``occurrences_for_node`` is a
+  direct lookup instead of a full-table scan;
+* a monotonically increasing **mutation epoch**, bumped by every write
+  (open, close, annotate), which the search engine's interval cache uses
+  for invalidation.
 """
 
 from dataclasses import dataclass
@@ -22,7 +41,13 @@ from dataclasses import dataclass
 from repro.common.costs import DEFAULT_COSTS
 from repro.common.errors import IndexError_
 from repro.common.telemetry import resolve_telemetry
+from repro.common.units import seconds
 from repro.index.tokenizer import tokenize
+
+DEFAULT_EPOCH_WIDTH_US = seconds(60)
+"""Default posting-bucket width.  One minute keeps bucket counts small for
+the benchmark scenarios (minutes of simulated time) while still letting a
+"last few minutes of a long day" query skip almost all of the history."""
 
 
 @dataclass
@@ -51,23 +76,73 @@ class Occurrence:
         return bool(self.properties.get("annotation"))
 
 
-class TemporalTextDatabase:
-    """Occurrences + inverted token index."""
+class _TokenPostings:
+    """One token's posting list, partitioned into time-epoch buckets.
 
-    def __init__(self, clock, costs=DEFAULT_COSTS, telemetry=None):
+    ``order`` holds every occurrence id exactly once in insertion order
+    (ascending, since ids are allocated monotonically) — the full-history
+    scan path.  ``buckets`` maps epoch number to the ids visible during
+    that epoch (start bucket at open; the remaining covered buckets are
+    back-filled at close).  ``open_ids`` are occurrences not yet closed:
+    they only have their start bucket, but extend to "now", so windowed
+    scans consider them separately.
+    """
+
+    __slots__ = ("order", "buckets", "open_ids")
+
+    def __init__(self):
+        self.order = []
+        self.buckets = {}
+        self.open_ids = []
+
+
+class TemporalTextDatabase:
+    """Occurrences + epoch-partitioned inverted token index."""
+
+    def __init__(self, clock, costs=DEFAULT_COSTS, telemetry=None,
+                 epoch_width_us=DEFAULT_EPOCH_WIDTH_US):
+        if epoch_width_us <= 0:
+            raise ValueError("epoch width must be positive")
         self.clock = clock
         self.costs = costs
+        self.epoch_width_us = int(epoch_width_us)
         self.telemetry = resolve_telemetry(telemetry)
         metrics = self.telemetry.metrics
         self._m_inserts = metrics.counter("index.inserts")
         self._m_closes = metrics.counter("index.closes")
         self._m_postings_scanned = metrics.counter("index.postings_scanned")
+        self._m_postings_pruned = metrics.counter("index.postings_pruned")
+        self._m_buckets_skipped = metrics.counter("index.buckets_skipped")
+        self._m_noop_reopens = metrics.counter("index.noop_reopens")
         self._m_tokens = metrics.histogram("index.tokens_per_insert")
         self._occurrences = {}  # occ id -> Occurrence
         self._next_occ_id = 1
         self._open_by_node = {}  # node id -> occ id
-        self._postings = {}  # token -> [occ ids]
+        self._index = {}  # token -> _TokenPostings
+        self._by_node = {}  # node id -> [occ ids] (insertion order)
         self.insert_count = 0
+        self.mutation_epoch = 0
+        """Bumped by every write (open / close / annotate); the search
+        engine's interval cache is valid only while this is unchanged."""
+
+    # ------------------------------------------------------------------ #
+    # Epoch arithmetic
+
+    def _epoch(self, time_us):
+        return max(int(time_us), 0) // self.epoch_width_us
+
+    def window_key(self, window):
+        """The ``(first_epoch, last_epoch)`` bucket range a window maps
+        to — the cache-key component for windowed retrieval (two windows
+        with the same key scan exactly the same buckets).  ``None`` for
+        a full-history scan; ``last_epoch`` is None for an open-ended
+        window."""
+        if window is None:
+            return None
+        start_us, end_us = window
+        first = self._epoch(start_us)
+        last = None if end_us is None else self._epoch(max(end_us - 1, 0))
+        return (first, last)
 
     # ------------------------------------------------------------------ #
     # Ingest (called by the indexing daemon)
@@ -78,8 +153,25 @@ class TemporalTextDatabase:
 
         Any occurrence currently open for the node is closed first (a text
         *change* is a state transition: old text disappears, new appears).
-        Returns the new occurrence, or None for token-free text.
+        Re-signalling identical state is **not** a transition: if the
+        node's open occurrence already has the same text and context, it is
+        left open untouched (the accessibility layer replays subtrees on
+        focus events, and the naive ablation daemon replays whole trees —
+        closing and reopening an identical occurrence would split its
+        visibility interval into adjacent pieces that interval algebra
+        merges right back, at real ingest cost for nothing).
+        Returns the occurrence (new or still-open), or None for token-free
+        text.
         """
+        properties = dict(properties or {})
+        open_id = self._open_by_node.get(node_id)
+        if open_id is not None:
+            occ = self._occurrences[open_id]
+            if (occ.text == text and occ.app == app
+                    and occ.window == window and occ.focused == focused
+                    and occ.properties == properties):
+                self._m_noop_reopens.inc()
+                return occ
         self.close_occurrence(node_id)
         tokens = frozenset(tokenize(text))
         if not tokens:
@@ -92,15 +184,23 @@ class TemporalTextDatabase:
             text=text,
             tokens=tokens,
             focused=focused,
-            properties=dict(properties or {}),
+            properties=properties,
             start_us=self.clock.now_us,
         )
         self._next_occ_id += 1
         self._occurrences[occ.occ_id] = occ
         self._open_by_node[node_id] = occ.occ_id
+        self._by_node.setdefault(node_id, []).append(occ.occ_id)
+        start_epoch = self._epoch(occ.start_us)
         for token in tokens:
-            self._postings.setdefault(token, []).append(occ.occ_id)
+            postings = self._index.get(token)
+            if postings is None:
+                postings = self._index[token] = _TokenPostings()
+            postings.order.append(occ.occ_id)
+            postings.buckets.setdefault(start_epoch, []).append(occ.occ_id)
+            postings.open_ids.append(occ.occ_id)
         self.insert_count += 1
+        self.mutation_epoch += 1
         self._m_inserts.inc()
         self._m_tokens.observe(len(tokens))
         self.clock.advance_us(len(tokens) * self.costs.index_token_us)
@@ -113,6 +213,18 @@ class TemporalTextDatabase:
             return None
         occ = self._occurrences[occ_id]
         occ.end_us = self.clock.now_us
+        # Back-fill the epochs the occurrence's interval covers beyond its
+        # start bucket, so windowed scans over any part of its visibility
+        # still find it.
+        first_epoch = self._epoch(occ.start_us)
+        effective_end = max(occ.end_us, occ.start_us + 1)
+        last_epoch = self._epoch(effective_end - 1)
+        for token in occ.tokens:
+            postings = self._index[token]
+            postings.open_ids.remove(occ_id)
+            for epoch in range(first_epoch + 1, last_epoch + 1):
+                postings.buckets.setdefault(epoch, []).append(occ_id)
+        self.mutation_epoch += 1
         self._m_closes.inc()
         self.clock.advance_us(len(occ.tokens) * self.costs.index_token_us)
         return occ
@@ -127,24 +239,73 @@ class TemporalTextDatabase:
         occ.properties["annotation"] = True
         if annotation_text:
             occ.properties["annotation_text"] = annotation_text
+        self.mutation_epoch += 1
         return occ
 
     # ------------------------------------------------------------------ #
     # Lookup (called by the search engine)
 
-    def postings_for(self, token):
-        """Occurrences containing ``token`` (charged per posting)."""
+    def posting_count(self, token):
+        """Total postings for ``token`` — O(1) planner metadata (a
+        maintained length, not a scan), so selectivity ordering is free."""
+        postings = self._index.get(token)
+        return len(postings.order) if postings is not None else 0
+
+    def postings_for(self, token, window=None):
+        """Occurrences containing ``token``, as an immutable tuple.
+
+        With ``window=(start_us, end_us)`` (``end_us`` may be None for
+        open-ended), only the epoch buckets overlapping the window are
+        scanned and charged; everything outside is pruned without cost.
+        The windowed result is the set of occurrences whose visibility
+        interval *could* overlap the window (bucket-granular, so a small
+        superset) in insertion order — callers clamp intervals exactly.
+        """
         self.clock.advance_us(self.costs.index_query_term_us)
-        occ_ids = self._postings.get(token, ())
-        self._m_postings_scanned.inc(len(occ_ids))
-        self.clock.advance_us(len(occ_ids) * self.costs.index_posting_us)
-        return [self._occurrences[occ_id] for occ_id in occ_ids]
+        postings = self._index.get(token)
+        if postings is None:
+            return ()
+        if window is None:
+            occ_ids = postings.order
+            self._m_postings_scanned.inc(len(occ_ids))
+            self.clock.advance_us(len(occ_ids) * self.costs.index_posting_us)
+            return tuple(self._occurrences[i] for i in occ_ids)
+        first_epoch, last_epoch = self.window_key(window)
+        end_us = window[1]
+        seen = set()
+        scanned = 0
+        buckets_visited = 0
+        for epoch, occ_ids in postings.buckets.items():
+            if epoch < first_epoch or (last_epoch is not None
+                                       and epoch > last_epoch):
+                continue
+            buckets_visited += 1
+            scanned += len(occ_ids)
+            seen.update(occ_ids)
+        # Still-open occurrences extend to "now": any that began before
+        # the window's end overlaps it, even if its start bucket lies
+        # before the scanned range.
+        for occ_id in postings.open_ids:
+            if occ_id not in seen:
+                if end_us is None or self._occurrences[occ_id].start_us < end_us:
+                    scanned += 1
+                    seen.add(occ_id)
+        self._m_postings_scanned.inc(scanned)
+        self._m_postings_pruned.inc(len(postings.order) - len(seen))
+        self._m_buckets_skipped.inc(len(postings.buckets) - buckets_visited)
+        self.clock.advance_us(scanned * self.costs.index_posting_us)
+        return tuple(self._occurrences[i] for i in sorted(seen))
 
     def occurrence(self, occ_id):
         return self._occurrences[occ_id]
 
     def occurrences_for_node(self, node_id):
-        return [o for o in self._occurrences.values() if o.node_id == node_id]
+        """All occurrences recorded for ``node_id``, via the per-node
+        secondary index — charged per occurrence returned, never a
+        full-table scan."""
+        occ_ids = self._by_node.get(node_id, ())
+        self.clock.advance_us(len(occ_ids) * self.costs.index_posting_us)
+        return tuple(self._occurrences[i] for i in occ_ids)
 
     def open_occurrences(self):
         return [self._occurrences[i] for i in self._open_by_node.values()]
@@ -154,7 +315,7 @@ class TemporalTextDatabase:
 
     def vocabulary(self):
         """All distinct indexed tokens."""
-        return sorted(self._postings)
+        return sorted(self._index)
 
     def approximate_bytes(self):
         """Approximate on-disk size of the index (storage accounting for

@@ -49,15 +49,20 @@ def intersect_two(a, b):
 
 
 def intersect_many(interval_lists):
-    """Intersection of a non-empty sequence of interval lists."""
+    """Intersection of a non-empty sequence of interval lists.
+
+    Short-circuits: once the running intersection is empty, later lists
+    are never touched (not even normalized) — the query planner feeds
+    posting-derived lists in ascending-cost order to exploit this.
+    """
     interval_lists = list(interval_lists)
     if not interval_lists:
         return []
     result = normalize(interval_lists[0])
     for intervals in interval_lists[1:]:
-        result = intersect_two(result, normalize(intervals))
         if not result:
             break
+        result = intersect_two(result, normalize(intervals))
     return result
 
 
@@ -101,3 +106,45 @@ def contains_point(intervals, point):
         if start <= point < end:
             return True
     return False
+
+
+def overlaps_window(start_us, end_us, window_start_us, window_end_us):
+    """Does the half-open interval ``[start_us, end_us)`` overlap the
+    half-open window ``[window_start_us, window_end_us)``?
+
+    ``window_end_us=None`` means an open-ended window (to "now"), the
+    shape the query planner passes down when a query has a start bound
+    but no end bound.
+    """
+    if window_end_us is not None and start_us >= window_end_us:
+        return False
+    return end_us > window_start_us
+
+
+def span(intervals):
+    """Bounding ``(start, end)`` of a normalized interval list, or None.
+
+    The planner uses the span of an already-intersected partial result to
+    tighten the retrieval window for the remaining terms.
+    """
+    if not intervals:
+        return None
+    return (intervals[0][0], intervals[-1][1])
+
+
+def with_open_intervals(closed, open_starts, now_us):
+    """Materialize a term's full interval set at query time.
+
+    ``closed`` is the normalized interval list of occurrences that have
+    ended; ``open_starts`` are the start times of occurrences still on
+    screen, which count up to ``now_us`` (matching
+    :meth:`~repro.index.database.Occurrence.interval` semantics).  Kept
+    separate so the interval cache stays valid as ``now_us`` advances:
+    only the open tail depends on the query instant.
+    """
+    if not open_starts:
+        return closed
+    return union(
+        closed,
+        [(start, max(now_us, start + 1)) for start in open_starts],
+    )

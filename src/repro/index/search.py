@@ -17,6 +17,27 @@ Evaluation pipeline:
    operation is very similar to the visual playback ... with the
    difference being that it is done completely offscreen" — with the
    engine's LRU keyframe cache providing the section 4.4 speedup.
+
+The read path is built to scale with *result size*, not history size:
+
+* **Windowed retrieval** — a query's time range is threaded down into
+  posting retrieval, so the database only scans (and only charges virtual
+  cost for) the epoch buckets overlapping the window.
+* **Interval cache** — each term's resolved postings and normalized
+  intervals are cached per ``(token, context-signature, window key)``,
+  invalidated by the database's mutation epoch.  Open occurrences are kept
+  as bare start times and materialized against "now" per query, so cache
+  entries stay valid as time advances.
+* **Selectivity-ordered planning** — ``all_of`` terms are intersected
+  rarest-first (shortest posting list first, using O(1) posting counts),
+  so an empty intersection short-circuits before the expensive common
+  terms are ever retrieved.
+* **Single-pass evaluation** — the occurrences touched while building
+  intervals are captured per clause, and snippets plus frequency scores
+  are computed from that capture.  The seed implementation re-ran
+  ``postings_for`` per result for both (O(results × tokens × postings),
+  virtual cost re-charged each scan); now postings are paid for exactly
+  once per query.
 """
 
 from dataclasses import dataclass
@@ -25,9 +46,11 @@ from repro.common.telemetry import resolve_telemetry
 from repro.index.intervals import (
     clamp_intervals,
     intersect_many,
+    intersect_two,
     normalize,
     subtract,
     union,
+    with_open_intervals,
 )
 
 ORDER_CHRONOLOGICAL = "time"
@@ -64,9 +87,56 @@ class SearchResult:
     screenshot: object = None
 
 
+class _TermEntry:
+    """Cached resolution of one ``(token, context, window)`` triple.
+
+    ``occs`` is the raw (context-unfiltered) posting tuple — snippets and
+    frequency scores need it.  ``closed`` / ``open_starts`` are the
+    context-filtered interval data: closed occurrences pre-normalized,
+    open occurrences as start times to be materialized against the query's
+    "now" (so the entry does not go stale merely because time passed).
+    """
+
+    __slots__ = ("mutation_epoch", "occs", "closed", "open_starts")
+
+    def __init__(self, mutation_epoch, occs, closed, open_starts):
+        self.mutation_epoch = mutation_epoch
+        self.occs = occs
+        self.closed = closed
+        self.open_starts = open_starts
+
+    def intervals(self, now_us):
+        return with_open_intervals(self.closed, self.open_starts, now_us)
+
+
+class _ClauseCapture:
+    """Occurrences touched while evaluating one clause, kept for the
+    result-construction pass (snippets, frequency scores).
+
+    ``terms`` maps a positive term's position in the clause (``all_of``
+    first, then ``any_of``) to its raw posting tuple — positional so the
+    planner can evaluate out of order while snippets still scan terms in
+    the user's order.  ``annotations`` holds the matched occurrences of a
+    pure annotation clause.
+    """
+
+    __slots__ = ("terms", "annotations")
+
+    def __init__(self):
+        self.terms = {}
+        self.annotations = None
+
+    def ordered_postings(self):
+        for position in sorted(self.terms):
+            yield self.terms[position]
+
+
 class SearchEngine:
     """Evaluates queries against the temporal database and renders
     results through the playback engine."""
+
+    #: Interval-cache capacity (entries); oldest evicted first.
+    CACHE_CAPACITY = 1024
 
     def __init__(self, database, playback=None, clock=None, telemetry=None):
         self.database = database
@@ -78,61 +148,144 @@ class SearchEngine:
         self._m_results = metrics.counter("index.results")
         self._m_query_us = metrics.histogram("index.query_us")
         self._m_render_us = metrics.histogram("index.render_us")
+        self._m_cache_hits = metrics.counter("index.interval_cache_hits")
+        self._m_cache_misses = metrics.counter("index.interval_cache_misses")
+        self._m_shortcircuits = metrics.counter("index.planner_shortcircuits")
+        self._interval_cache = {}
+
+    # ------------------------------------------------------------------ #
+    # Term resolution (cached)
+
+    def _term_entry(self, token, clause, window, window_key):
+        """Resolve one term to postings + intervals, through the cache."""
+        key = (token, clause.app, clause.focused_only,
+               clause.annotations_only, window_key)
+        entry = self._interval_cache.get(key)
+        if (entry is not None
+                and entry.mutation_epoch == self.database.mutation_epoch):
+            self._m_cache_hits.inc()
+            return entry
+        self._m_cache_misses.inc()
+        occs = self.database.postings_for(token, window=window)
+        closed = []
+        open_starts = []
+        for occ in occs:
+            if clause.matches_context(occ):
+                if occ.end_us is None:
+                    open_starts.append(occ.start_us)
+                else:
+                    closed.append(
+                        (occ.start_us, max(occ.end_us, occ.start_us + 1))
+                    )
+        entry = _TermEntry(self.database.mutation_epoch, occs,
+                           normalize(closed), tuple(open_starts))
+        if key in self._interval_cache:
+            del self._interval_cache[key]  # stale: replace, keep recency
+        elif len(self._interval_cache) >= self.CACHE_CAPACITY:
+            self._interval_cache.pop(next(iter(self._interval_cache)))
+        self._interval_cache[key] = entry
+        return entry
 
     # ------------------------------------------------------------------ #
     # Interval evaluation
 
-    def _term_intervals(self, token, clause, now_us):
-        intervals = []
-        for occ in self.database.postings_for(token):
-            if clause.matches_context(occ):
-                intervals.append(occ.interval(now_us))
-        return normalize(intervals)
+    @staticmethod
+    def _query_window(query):
+        """The retrieval window to thread down into the database, or None
+        for an unbounded query (full-history scan)."""
+        if query.start_us is None and query.end_us is None:
+            return None
+        start = query.start_us if query.start_us is not None else 0
+        return (start, query.end_us)
 
-    def _clause_intervals(self, clause, now_us):
-        parts = []
+    def _clause_intervals(self, clause, now_us, window, window_key):
+        """Evaluate one clause; returns (intervals, capture)."""
+        capture = _ClauseCapture()
+        satisfied = None  # None = unconstrained (no positive part yet)
         if clause.all_of:
-            parts.extend(
-                self._term_intervals(token, clause, now_us)
-                for token in clause.all_of
+            # Selectivity-ordered plan: intersect rarest terms first so an
+            # empty intersection short-circuits before the common (long
+            # posting list) terms are retrieved.  Posting counts are O(1)
+            # metadata, so planning itself is free.
+            order = sorted(
+                range(len(clause.all_of)),
+                key=lambda i: (self.database.posting_count(clause.all_of[i]),
+                               i),
             )
+            if self.database.posting_count(clause.all_of[order[0]]) == 0:
+                # A conjunct with no postings at all: nothing to retrieve.
+                self._m_shortcircuits.inc()
+                return [], capture
+            for position in order:
+                entry = self._term_entry(clause.all_of[position], clause,
+                                         window, window_key)
+                capture.terms[position] = entry.occs
+                term_intervals = entry.intervals(now_us)
+                satisfied = (term_intervals if satisfied is None
+                             else intersect_two(satisfied, term_intervals))
+                if not satisfied:
+                    self._m_shortcircuits.inc()
+                    return [], capture
         if clause.any_of:
-            parts.append(
-                union(
-                    *(
-                        self._term_intervals(token, clause, now_us)
-                        for token in clause.any_of
-                    )
-                )
-            )
-        if not parts and clause.annotations_only:
+            base = len(clause.all_of)
+            parts = []
+            for offset, token in enumerate(clause.any_of):
+                entry = self._term_entry(token, clause, window, window_key)
+                capture.terms[base + offset] = entry.occs
+                parts.append(entry.intervals(now_us))
+            any_intervals = union(*parts)
+            satisfied = (any_intervals if satisfied is None
+                         else intersect_two(satisfied, any_intervals))
+            if not satisfied:
+                return [], capture
+        if satisfied is None and clause.annotations_only:
             # Pure annotation clause: all annotated occurrences in context.
-            intervals = [
-                occ.interval(now_us)
-                for occ in self.database.all_occurrences()
+            matched = tuple(
+                occ for occ in self.database.all_occurrences()
                 if occ.is_annotation and clause.matches_context(occ)
-            ]
-            parts.append(normalize(intervals))
-        satisfied = intersect_many(parts) if parts else []
-        if clause.none_of:
+            )
+            capture.annotations = matched
+            satisfied = normalize([occ.interval(now_us) for occ in matched])
+        if satisfied is None:
+            satisfied = []
+        if satisfied and clause.none_of:
             banned = union(
                 *(
-                    self._term_intervals(token, clause, now_us)
+                    self._term_entry(token, clause, window,
+                                     window_key).intervals(now_us)
                     for token in clause.none_of
                 )
             )
             satisfied = subtract(satisfied, banned)
-        return satisfied
+        return satisfied, capture
+
+    def _evaluate(self, query, now_us):
+        """One pass over the query: returns (intervals, clause captures).
+
+        Clauses are intersected incrementally — an empty clause empties
+        the whole conjunction, so later clauses are never retrieved.
+        """
+        window = self._query_window(query)
+        window_key = self.database.window_key(window)
+        captures = []
+        clause_interval_lists = []
+        for clause in query.clauses:
+            satisfied, capture = self._clause_intervals(
+                clause, now_us, window, window_key)
+            captures.append(capture)
+            if not satisfied:
+                return [], captures
+            clause_interval_lists.append(satisfied)
+        intervals = intersect_many(clause_interval_lists)
+        start = query.start_us if query.start_us is not None else 0
+        end = query.end_us if query.end_us is not None else now_us
+        return clamp_intervals(intervals, start, end), captures
 
     def satisfied_intervals(self, query, now_us=None):
         """All time intervals during which the query is satisfied."""
         now_us = now_us if now_us is not None else self.clock.now_us
-        intervals = intersect_many(
-            self._clause_intervals(clause, now_us) for clause in query.clauses
-        )
-        start = query.start_us if query.start_us is not None else 0
-        end = query.end_us if query.end_us is not None else now_us
-        return clamp_intervals(intervals, start, end)
+        intervals, _captures = self._evaluate(query, now_us)
+        return intervals
 
     # ------------------------------------------------------------------ #
     # Result construction
@@ -143,17 +296,17 @@ class SearchEngine:
         now_us = now_us if now_us is not None else self.clock.now_us
         with self.telemetry.span("search.query") as span:
             watch = self.clock.stopwatch()
-            intervals = self.satisfied_intervals(query, now_us)
+            intervals, captures = self._evaluate(query, now_us)
             results = []
             for start, end in intervals:
                 substream = Substream(start, end)
-                snippet = self._snippet_for(query, start, end)
                 results.append(
                     SearchResult(
                         timestamp_us=start,
                         substream=substream,
-                        snippet=snippet,
-                        score=self._score(query, start, end, order_by, now_us),
+                        snippet=self._snippet_from(captures, start, end),
+                        score=self._score_from(captures, start, end,
+                                               order_by, now_us),
                     )
                 )
             results.sort(key=self._sort_key(order_by))
@@ -176,39 +329,41 @@ class SearchEngine:
         # Higher score first for the ranked orders.
         return lambda r: (-r.score, r.timestamp_us)
 
-    def _score(self, query, start, end, order_by, now_us):
+    def _score_from(self, captures, start, end, order_by, now_us):
         if order_by == ORDER_PERSISTENCE:
             # "a user could be ... more interested in the records where the
             # text appeared only briefly": shorter visibility scores higher.
             return 1.0 / max(end - start, 1)
         if order_by == ORDER_FREQUENCY:
+            # Counted from the evaluation capture: the postings were paid
+            # for once while building intervals, never rescanned per
+            # result.
             count = 0
-            for clause in query.clauses:
-                for token in clause.all_of + clause.any_of:
-                    for occ in self.database.postings_for(token):
+            for capture in captures:
+                for occs in capture.ordered_postings():
+                    for occ in occs:
                         occ_start, occ_end = occ.interval(now_us)
                         if occ_start < end and occ_end > start:
                             count += 1
             return float(count)
         return float(-start)
 
-    def _snippet_for(self, query, start, end):
-        """A short text snippet from an occurrence active in the window."""
-        for clause in query.clauses:
-            positives = clause.all_of + clause.any_of
-            for token in positives:
-                for occ in self.database.postings_for(token):
+    def _snippet_from(self, captures, start, end):
+        """A short text snippet from an occurrence active in the window,
+        chosen from the occurrences captured during evaluation (clause
+        order, then the clause's term order, then posting order)."""
+        for capture in captures:
+            for occs in capture.ordered_postings():
+                for occ in occs:
                     occ_end = occ.end_us if occ.end_us is not None else end
                     if occ.start_us < end and occ_end > start:
                         text = occ.text.strip()
                         return text[:160] + ("..." if len(text) > 160 else "")
-            if clause.annotations_only and not positives:
+            if capture.annotations is not None:
                 # Pure annotation clause: snippet from the annotated text.
-                for occ in self.database.all_occurrences():
+                for occ in capture.annotations:
                     occ_end = occ.end_us if occ.end_us is not None else end
-                    if (occ.is_annotation and occ.start_us < end
-                            and occ_end > start
-                            and clause.matches_context(occ)):
+                    if occ.start_us < end and occ_end > start:
                         text = occ.properties.get("annotation_text",
                                                   occ.text).strip()
                         return text[:160] + ("..." if len(text) > 160 else "")

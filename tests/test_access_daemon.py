@@ -57,7 +57,7 @@ class TestStartupScan:
                             accessible=False)
         app.add_node(app.root, Role.DOCUMENT, text="hidden pdf text")
         IndexingDaemon(registry, database)
-        assert database.postings_for("hidden") == []
+        assert database.postings_for("hidden") == ()
 
 
 class TestEventHandling:
@@ -194,4 +194,4 @@ class TestMirrorTreePerformance:
         _clock, _reg, db, app, _w, doc, daemon = make_desktop()
         daemon.shutdown()
         app.add_node(doc, Role.TEXT, text="after shutdown")
-        assert db.postings_for("shutdown") == []
+        assert db.postings_for("shutdown") == ()

@@ -1,5 +1,7 @@
 """Unit and property tests for interval algebra."""
 
+import random
+
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -9,9 +11,12 @@ from repro.index.intervals import (
     intersect_many,
     intersect_two,
     normalize,
+    overlaps_window,
+    span,
     subtract,
     total_duration,
     union,
+    with_open_intervals,
 )
 
 
@@ -70,6 +75,122 @@ class TestOperations:
         assert contains_point([(0, 5)], 0)
         assert not contains_point([(0, 5)], 5)
         assert not contains_point([], 1)
+
+
+class TestSubtractEdgeCases:
+    def test_adjacent_before_is_untouched(self):
+        # b ends exactly where a begins: half-open, so no overlap.
+        assert subtract([(5, 10)], [(0, 5)]) == [(5, 10)]
+
+    def test_adjacent_after_is_untouched(self):
+        assert subtract([(5, 10)], [(10, 15)]) == [(5, 10)]
+
+    def test_nested_hole(self):
+        assert subtract([(0, 100)], [(40, 60)]) == [(0, 40), (60, 100)]
+
+    def test_a_nested_in_b(self):
+        assert subtract([(40, 60)], [(0, 100)]) == []
+
+    def test_exact_match_removes_everything(self):
+        assert subtract([(3, 9)], [(3, 9)]) == []
+
+    def test_hole_touching_start(self):
+        assert subtract([(0, 10)], [(0, 4)]) == [(4, 10)]
+
+    def test_hole_touching_end(self):
+        assert subtract([(0, 10)], [(6, 10)]) == [(0, 6)]
+
+    def test_unnormalized_inputs_are_normalized_first(self):
+        assert subtract([(5, 8), (0, 6)], [(2, 2), (3, 4)]) == [(0, 3), (4, 8)]
+
+
+class TestClampEdgeCases:
+    def test_clamp_to_empty_window(self):
+        assert clamp_intervals([(0, 5)], 5, 5) == []
+
+    def test_clamp_fully_outside_produces_empty(self):
+        assert clamp_intervals([(0, 5)], 5, 10) == []
+        assert clamp_intervals([(10, 20)], 0, 10) == []
+
+    def test_clamp_trims_both_ends(self):
+        assert clamp_intervals([(0, 100)], 40, 60) == [(40, 60)]
+
+
+class _PoisonIntervals:
+    """Iterating this list-alike fails the test: intersect_many must not
+    touch interval lists after the running intersection is empty."""
+
+    def __iter__(self):
+        raise AssertionError("short-circuit did not happen")
+
+
+class TestIntersectManyShortCircuit:
+    def test_later_lists_untouched_after_empty(self):
+        result = intersect_many([[(0, 2)], [(5, 9)], _PoisonIntervals()])
+        assert result == []
+
+    def test_empty_first_list_short_circuits(self):
+        assert intersect_many([[], _PoisonIntervals()]) == []
+
+
+class TestWindowedHelpers:
+    def test_overlaps_window_half_open(self):
+        assert overlaps_window(0, 5, 4, 10)
+        assert not overlaps_window(0, 5, 5, 10)
+        assert not overlaps_window(10, 12, 5, 10)
+
+    def test_overlaps_window_open_ended(self):
+        assert overlaps_window(100, 200, 50, None)
+        assert overlaps_window(0, 60, 50, None)
+        assert not overlaps_window(0, 50, 50, None)
+
+    def test_span(self):
+        assert span([]) is None
+        assert span([(3, 7), (10, 20)]) == (3, 20)
+
+    def test_with_open_intervals_materializes_at_now(self):
+        assert with_open_intervals([(0, 5)], (8,), 20) == [(0, 5), (8, 20)]
+
+    def test_with_open_intervals_no_open_is_identity(self):
+        closed = [(0, 5)]
+        assert with_open_intervals(closed, (), 20) is closed
+
+    def test_with_open_intervals_zero_length_open_gets_minimum_width(self):
+        # An occurrence opened at the query instant still counts for one
+        # microsecond (matching Occurrence.interval semantics).
+        assert with_open_intervals([], (20,), 20) == [(20, 21)]
+
+
+class TestRandomizedOracle:
+    """Round-trip union/intersect/subtract against a brute-force
+    point-sampling oracle over randomized inputs (seeded, satellite of
+    the query-path overhaul)."""
+
+    def _random_intervals(self, rng, max_end=400):
+        out = []
+        for _ in range(rng.randrange(0, 12)):
+            start = rng.randrange(0, max_end)
+            end = rng.randrange(0, max_end)
+            out.append((min(start, end), max(start, end)))
+        return out
+
+    def test_round_trip_against_point_oracle(self):
+        rng = random.Random(0xDE7A)
+        for _ in range(200):
+            a = self._random_intervals(rng)
+            b = self._random_intervals(rng)
+            in_a = lambda p: any(s <= p < e for s, e in a)  # noqa: E731
+            in_b = lambda p: any(s <= p < e for s, e in b)  # noqa: E731
+            u = union(a, b)
+            i = intersect_two(normalize(a), normalize(b))
+            d = subtract(a, b)
+            # (a ∪ b) \ b ∪ (a ∩ b) == a, pointwise.
+            round_trip = union(subtract(u, b), i)
+            for p in range(0, 401, 3):
+                assert contains_point(u, p) == (in_a(p) or in_b(p))
+                assert contains_point(i, p) == (in_a(p) and in_b(p))
+                assert contains_point(d, p) == (in_a(p) and not in_b(p))
+                assert contains_point(round_trip, p) == in_a(p)
 
 
 _intervals = st.lists(

@@ -5,6 +5,7 @@ import pytest
 
 from repro.common.clock import VirtualClock
 from repro.common.errors import IndexError_, QueryError
+from repro.common.telemetry import Telemetry
 from repro.common.units import seconds
 from repro.display.commands import Region, SolidFillCmd
 from repro.display.driver import VirtualDisplayDriver
@@ -79,6 +80,140 @@ class TestDatabase:
         before = db.clock.now_us
         db.postings_for("word")
         assert db.clock.now_us > before
+
+    def test_postings_are_immutable(self):
+        db = _db()
+        db.open_occurrence(1, "alpha", app="a")
+        postings = db.postings_for("alpha")
+        assert isinstance(postings, tuple)
+        with pytest.raises((TypeError, AttributeError)):
+            postings.append(None)
+
+    def test_mutation_epoch_bumps_on_writes(self):
+        db = _db()
+        epoch0 = db.mutation_epoch
+        db.open_occurrence(1, "alpha", app="a")
+        epoch1 = db.mutation_epoch
+        assert epoch1 > epoch0
+        db.annotate_node(1)
+        epoch2 = db.mutation_epoch
+        assert epoch2 > epoch1
+        db.close_occurrence(1)
+        assert db.mutation_epoch > epoch2
+        # Reads never bump the epoch.
+        before = db.mutation_epoch
+        db.postings_for("alpha")
+        db.occurrences_for_node(1)
+        assert db.mutation_epoch == before
+
+    def test_noop_reopen_is_deduplicated(self):
+        db = _db()
+        first = db.open_occurrence(1, "same text", app="a", window="w",
+                                   focused=True)
+        db.clock.advance_us(1000)
+        epoch = db.mutation_epoch
+        again = db.open_occurrence(1, "same text", app="a", window="w",
+                                   focused=True)
+        assert again is first
+        assert first.end_us is None  # still the same open occurrence
+        assert len(db) == 1
+        assert db.mutation_epoch == epoch
+
+    def test_context_change_still_reopens(self):
+        db = _db()
+        first = db.open_occurrence(1, "same text", app="a", focused=False)
+        db.clock.advance_us(1000)
+        second = db.open_occurrence(1, "same text", app="a", focused=True)
+        assert second is not first
+        assert first.end_us == second.start_us
+
+
+class TestEpochPartitioning:
+    def _long_db(self, costs=FREE_INDEX, occurrences=100, gap_us=seconds(30)):
+        """Closed occurrences of 'needle' spread far apart in time."""
+        clock = VirtualClock()
+        telemetry = Telemetry(clock)
+        db = TemporalTextDatabase(clock, costs=costs, telemetry=telemetry)
+        for i in range(occurrences):
+            db.open_occurrence(1, "needle item %d" % i, app="a")
+            clock.advance_us(gap_us // 2)
+            db.close_occurrence(1)
+            clock.advance_us(gap_us - gap_us // 2)
+        return clock, db, telemetry
+
+    def test_windowed_postings_match_full_scan_filtered(self):
+        clock, db, _tel = self._long_db()
+        window = (int(clock.now_us * 0.8), clock.now_us)
+        full = db.postings_for("needle")
+        windowed = db.postings_for("needle", window=window)
+        overlapping = {
+            occ.occ_id for occ in full
+            if occ.start_us < window[1]
+            and (occ.end_us is None or occ.end_us > window[0])
+        }
+        returned = {occ.occ_id for occ in windowed}
+        # Bucket granularity may add near-window occurrences, never lose
+        # one that overlaps the window.
+        assert overlapping <= returned
+        assert len(windowed) < len(full)
+
+    def test_windowed_postings_charge_less(self):
+        clock, db, _tel = self._long_db(costs=CostModel())
+        window = (int(clock.now_us * 0.9), clock.now_us)
+        watch = clock.stopwatch()
+        db.postings_for("needle")
+        full_cost = watch.restart()
+        db.postings_for("needle", window=window)
+        windowed_cost = watch.elapsed_us
+        assert windowed_cost < full_cost
+
+    def test_open_occurrence_found_by_any_later_window(self):
+        clock, db, _tel = self._long_db()
+        db.open_occurrence(2, "needle persists", app="a")
+        clock.advance_us(seconds(600))
+        window = (clock.now_us - seconds(10), clock.now_us)
+        windowed = db.postings_for("needle", window=window)
+        assert any(occ.end_us is None for occ in windowed)
+
+    def test_pruning_counters(self):
+        clock, db, telemetry = self._long_db()
+        metrics = telemetry.metrics
+        skipped0 = metrics.counter("index.buckets_skipped").value
+        pruned0 = metrics.counter("index.postings_pruned").value
+        db.postings_for("needle", window=(clock.now_us - seconds(60),
+                                          clock.now_us))
+        assert metrics.counter("index.buckets_skipped").value > skipped0
+        assert metrics.counter("index.postings_pruned").value > pruned0
+
+    def test_occurrences_for_node_avoids_full_table_scan(self):
+        """Regression: the per-node secondary index means looking up one
+        node's occurrences charges per occurrence returned, never a
+        full-table scan over all occurrences."""
+        clock = VirtualClock()
+        costs = CostModel()
+        db = TemporalTextDatabase(clock, costs=costs)
+        for i in range(200):
+            db.open_occurrence(100 + i, "filler row %d" % i, app="a")
+        for text in ("one", "two", "three"):
+            db.open_occurrence(1, text, app="a")
+        watch = clock.stopwatch()
+        occs = db.occurrences_for_node(1)
+        cost = watch.elapsed_us
+        assert len(occs) == 3
+        assert {o.text for o in occs} == {"one", "two", "three"}
+        # Charged for the three returned rows only — far below even a
+        # single term lookup, and independent of the 200 other rows.
+        assert cost == int(round(len(occs) * costs.index_posting_us))
+        assert cost < costs.index_query_term_us
+
+    def test_window_key_stable_within_epoch(self):
+        clock = VirtualClock()
+        db = TemporalTextDatabase(clock, epoch_width_us=seconds(60))
+        key_a = db.window_key((seconds(61), seconds(100)))
+        key_b = db.window_key((seconds(70), seconds(119)))
+        assert key_a == key_b == (1, 1)
+        assert db.window_key(None) is None
+        assert db.window_key((seconds(30), None)) == (0, None)
 
 
 class TestQueryModel:
@@ -267,6 +402,178 @@ class TestSearchResults:
         engine = SearchEngine(db)
         results = engine.search(Query.keywords("flash"), render=False)
         assert "flash" in results[0].snippet
+
+
+class TestPlannerAndCache:
+    def _rig(self, costs=FREE_INDEX):
+        """Database and engine sharing one telemetry sink, so database
+        counters (postings_scanned) and engine counters (cache hits,
+        planner short-circuits) are visible together."""
+        clock = VirtualClock()
+        telemetry = Telemetry(clock)
+        db = TemporalTextDatabase(clock, costs=costs, telemetry=telemetry)
+        engine = SearchEngine(db, playback=None, telemetry=telemetry)
+        return clock, db, engine, telemetry.metrics
+
+    def test_rarest_first_skips_common_term_postings(self):
+        """Two rare disjoint conjuncts empty the intersection before the
+        common term's long posting list is ever retrieved."""
+        clock, db, engine, metrics = self._rig()
+        for i in range(300):
+            db.open_occurrence(1000 + i, "common filler %d" % i, app="a")
+        db.open_occurrence(1, "rareone marker", app="a")
+        clock.advance_us(seconds(1))
+        db.close_occurrence(1)
+        clock.advance_us(seconds(5))
+        db.open_occurrence(2, "raretwo marker", app="a")
+        clock.advance_us(seconds(1))
+        db.close_occurrence(2)
+        scanned = metrics.counter("index.postings_scanned")
+        shortcircuits = metrics.counter("index.planner_shortcircuits")
+        before_scanned = scanned.value
+        before_sc = shortcircuits.value
+        q = Query(clauses=(Clause(all_of=["common", "rareone", "raretwo"]),))
+        assert engine.search(q, render=False) == []
+        # Only the two single-posting rare terms were scanned; the
+        # 300-posting common term never was.
+        assert scanned.value - before_scanned == 2
+        assert shortcircuits.value > before_sc
+
+    def test_zero_posting_conjunct_retrieves_nothing(self):
+        clock, db, engine, metrics = self._rig()
+        for i in range(50):
+            db.open_occurrence(1000 + i, "common filler %d" % i, app="a")
+        scanned = metrics.counter("index.postings_scanned")
+        misses = metrics.counter("index.interval_cache_misses")
+        before_scanned, before_misses = scanned.value, misses.value
+        q = Query(clauses=(Clause(all_of=["common", "neverindexed"]),))
+        assert engine.search(q, render=False) == []
+        assert scanned.value == before_scanned
+        assert misses.value == before_misses
+
+    @staticmethod
+    def _fingerprint(results):
+        return [
+            (r.timestamp_us, r.substream.start_us, r.substream.end_us,
+             r.snippet, r.score)
+            for r in results
+        ]
+
+    def test_repeat_query_hits_cache_bit_identically(self):
+        clock, db, engine, metrics = self._rig()
+        db.open_occurrence(1, "memex trail", app="firefox")
+        clock.advance_us(seconds(2))
+        db.close_occurrence(1)
+        clock.advance_us(seconds(1))
+        hits = metrics.counter("index.interval_cache_hits")
+        scanned = metrics.counter("index.postings_scanned")
+        q = Query.keywords("memex trail")
+        cold = engine.search(q, render=False)
+        before_hits, before_scanned = hits.value, scanned.value
+        warm = engine.search(q, render=False)
+        assert hits.value > before_hits
+        assert scanned.value == before_scanned  # no postings rescanned
+        assert self._fingerprint(warm) == self._fingerprint(cold)
+
+    def test_cache_entry_tracks_open_occurrences_across_time(self):
+        """A cached term with a still-open occurrence stays correct as the
+        clock advances: open starts are materialized per query."""
+        clock, db, engine, metrics = self._rig()
+        db.open_occurrence(1, "livetext", app="a")
+        clock.advance_us(seconds(2))
+        first = engine.satisfied_intervals(Query.keywords("livetext"))
+        assert first == [(0, seconds(2))]
+        clock.advance_us(seconds(3))
+        hits = metrics.counter("index.interval_cache_hits")
+        before = hits.value
+        second = engine.satisfied_intervals(Query.keywords("livetext"))
+        assert hits.value > before  # served from cache...
+        assert second == [(0, seconds(5))]  # ...yet extends to the new now
+
+    def test_mutation_invalidates_cache(self):
+        clock, db, engine, metrics = self._rig()
+        db.open_occurrence(1, "alpha", app="a")
+        clock.advance_us(seconds(1))
+        db.close_occurrence(1)
+        q = Query.keywords("alpha")
+        assert engine.satisfied_intervals(q) == [(0, seconds(1))]
+        clock.advance_us(seconds(4))
+        db.open_occurrence(2, "alpha again", app="a")
+        clock.advance_us(seconds(1))
+        misses = metrics.counter("index.interval_cache_misses")
+        before = misses.value
+        # The write bumped the mutation epoch: the stale entry is replaced
+        # and the new occurrence is visible.
+        assert engine.satisfied_intervals(q) == [
+            (0, seconds(1)), (seconds(5), seconds(6))
+        ]
+        assert misses.value > before
+
+    def test_windowed_search_scans_fewer_postings(self):
+        clock, db, engine, metrics = self._rig()
+        for i in range(200):
+            db.open_occurrence(1, "beacon %d" % i, app="a")
+            clock.advance_us(seconds(30))
+            db.close_occurrence(1)
+            clock.advance_us(seconds(30))
+        end = clock.now_us
+        scanned = metrics.counter("index.postings_scanned")
+        before = scanned.value
+        results = engine.search(
+            Query.keywords("beacon", start_us=int(end * 0.95), end_us=end),
+            render=False,
+        )
+        assert results
+        assert scanned.value - before < db.posting_count("beacon") // 4
+
+    def _frequency_db(self, costs):
+        clock = VirtualClock()
+        db = TemporalTextDatabase(clock, costs=costs)
+        for node in (1, 2, 3):
+            db.open_occurrence(node, "repeated token %d" % node, app="a")
+            clock.advance_us(seconds(2))
+        for node in (1, 2, 3):
+            db.close_occurrence(node)
+        clock.advance_us(seconds(1))
+        return clock, db
+
+    def test_frequency_ranking_charges_no_extra_postings(self):
+        """Regression for the seed's double-charge: ORDER_FREQUENCY used to
+        re-run postings_for per result; now scores come from the capture,
+        so a frequency search costs exactly what a chronological one does."""
+        costs = CostModel()
+        clock_c, db_c = self._frequency_db(costs)
+        clock_f, db_f = self._frequency_db(costs)
+        q = Query.keywords("repeated")
+        watch_c = clock_c.stopwatch()
+        chrono = SearchEngine(db_c).search(q, render=False)
+        cost_chrono = watch_c.elapsed_us
+        watch_f = clock_f.stopwatch()
+        ranked = SearchEngine(db_f).search(q, order_by=ORDER_FREQUENCY,
+                                           render=False)
+        cost_freq = watch_f.elapsed_us
+        assert len(chrono) == len(ranked) > 0
+        assert ranked[0].score > 0
+        assert cost_freq == cost_chrono
+
+    def test_snippet_uses_capture_not_rescans(self):
+        """Snippets are built from the evaluation capture: after the
+        evaluation pass, constructing N results charges no further
+        posting scans."""
+        clock, db, engine, metrics = self._rig(costs=CostModel())
+        for i in range(10):
+            db.open_occurrence(1, "needle fragment %d" % i, app="a")
+            clock.advance_us(seconds(2))
+            db.close_occurrence(1)
+            clock.advance_us(seconds(2))
+        scanned = metrics.counter("index.postings_scanned")
+        results = engine.search(Query.keywords("needle"), render=False)
+        per_query_scans = scanned.value
+        assert len(results) == 10
+        assert all("needle" in r.snippet for r in results)
+        # One evaluation pass scanned the term's postings exactly once —
+        # not once per result (the seed charged 1 + len(results) scans).
+        assert per_query_scans == db.posting_count("needle")
 
 
 class TestScreenshotRendering:
