@@ -16,6 +16,7 @@ one empty bound-method call.  This file verifies that promise two ways:
 import time
 
 from repro.common.clock import VirtualClock
+from repro.common.faults import NULL_FAULTS
 from repro.common.telemetry import NULL_TELEMETRY, Telemetry
 from repro.desktop.dejaview import RecordingConfig
 from repro.workloads import run_scenario
@@ -62,6 +63,44 @@ def test_bench_enabled_span(benchmark):
                 pass
 
     benchmark(spin)
+
+
+def test_bench_disabled_failpoint_check(benchmark):
+    """Fault checks follow the same no-op contract as telemetry: an
+    unconfigured recording binds NULL_FAULTS, whose check() is one empty
+    bound-method call per instrumented site."""
+
+    def spin():
+        for _ in range(OPS):
+            NULL_FAULTS.check("storage.store.pre_commit")
+
+    benchmark(spin)
+
+
+def test_disabled_failpoint_check_is_cheap():
+    """The no-op fault check must cost well under a microsecond per
+    call — the same envelope as a disabled telemetry instrument."""
+    rounds = 200_000
+    check = NULL_FAULTS.check
+    start = time.perf_counter_ns()
+    for _ in range(rounds):
+        check("storage.store.pre_commit")
+    elapsed_ns = time.perf_counter_ns() - start
+    per_op_ns = elapsed_ns / rounds
+    assert per_op_ns < 1000, "no-op fault check took %.0f ns" % per_op_ns
+    # The null plan accumulates nothing.
+    assert NULL_FAULTS.hit_snapshot() == {}
+
+
+def test_no_fault_plan_run_is_bit_identical():
+    """An unconfigured fault plan changes no recorded behavior: the
+    NULL_FAULTS fast path never charges the clock or perturbs state."""
+    default = run_scenario("gzip", recording=RecordingConfig(), units=6)
+    explicit = run_scenario(
+        "gzip", recording=RecordingConfig(fault_plan=None), units=6)
+    assert default.duration_us == explicit.duration_us
+    assert default.dejaview.storage_report() \
+        == explicit.dejaview.storage_report()
 
 
 def test_disabled_instruments_are_cheap():

@@ -465,6 +465,29 @@ class CheckpointEngine:
     def last_checkpoint_id(self):
         return self._last_image_id
 
+    def recover_after_crash(self):
+        """Resynchronize with storage after crash recovery dropped images.
+
+        The running page-location directory (and the incremental parent
+        pointer) may reference images that storage recovery deleted, which
+        would poison every later incremental checkpoint with dangling
+        locations.  Reset them so the next checkpoint is a self-contained
+        full image, drop crashed entries from history, and clear any
+        in-flight COW capture state the crash interrupted.
+        """
+        stored = set(self.storage.stored_ids())
+        removed = [r for r in self.history
+                   if r.checkpoint_id not in stored]
+        self.history = [r for r in self.history
+                        if r.checkpoint_id in stored]
+        self._last_image_id = (self.history[-1].checkpoint_id
+                               if self.history else None)
+        self._page_locations = {}
+        self._checkpoints_since_full = self.options.full_checkpoint_interval
+        self._capture_keys = None
+        self._cow_pending.clear()
+        return {"history_dropped": [r.checkpoint_id for r in removed]}
+
     def average_downtime_us(self):
         if not self.history:
             return 0.0

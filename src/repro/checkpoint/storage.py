@@ -10,26 +10,48 @@ revive a session at a time relatively close to the current time").
 
 Host-side, images are kept zlib-compressed regardless of the *accounting*
 mode, so long experiments stay memory-friendly.
+
+Durability: each stored blob carries a fixed-size trailer — magic,
+uncompressed length, compressed length, CRC-32 of the compressed bytes —
+so a write torn by a crash (the ``storage.store.pre_commit`` failpoint)
+is detected on read instead of silently misdecoding.  :meth:`recover`
+drops torn blobs and then repairs the checkpoint chain with
+:func:`repro.checkpoint.verify.verify_chain` until the survivors verify
+clean.  ``store`` is transactional: all fault/charge steps that can
+raise happen before any accounting is mutated, so a failed store leaves
+the totals untouched (and never double-counts on retry).
 """
 
+import struct
 import zlib
 
 from repro.common.clock import VirtualClock
 from repro.common.costs import DEFAULT_COSTS
-from repro.common.errors import CheckpointError
+from repro.common.errors import CheckpointError, SnapshotError
+from repro.common.faults import InjectedCrash, resolve_faults
 from repro.checkpoint.image import CheckpointImage
+
+#: Blob trailer: magic, uncompressed length, compressed length, CRC-32 of
+#: the compressed payload.  Written after the payload, so a torn write is
+#: missing (or truncating) it — exactly how it is detected.
+_TRAILER = struct.Struct("<4sIII")
+TRAILER_MAGIC = b"DJCK"
+
+FP_STORE_PRE_COMMIT = "storage.store.pre_commit"
 
 
 class CheckpointStorage:
     """Stores serialized checkpoint images on a simulated disk."""
 
-    def __init__(self, clock=None, costs=DEFAULT_COSTS, compress=False):
+    def __init__(self, clock=None, costs=DEFAULT_COSTS, compress=False,
+                 faults=None):
         self.clock = clock if clock is not None else VirtualClock()
         self.costs = costs
         #: Whether the *accounted* storage format is compressed (the paper
         #: reports both "Process" and "Process (Compressed)" growth rates).
         self.compress = compress
-        self._blobs = {}  # image id -> zlib blob
+        self.faults = resolve_faults(faults)
+        self._blobs = {}  # image id -> framed blob (zlib payload + trailer)
         self._sizes = {}  # image id -> (uncompressed, compressed)
         self._meta_sizes = {}  # image id -> metadata record bytes
         self._cached = set()
@@ -38,34 +60,81 @@ class CheckpointStorage:
         self.write_count = 0
         self.read_count = 0
 
+    def bind_faults(self, faults):
+        self.faults = resolve_faults(faults)
+
     # ------------------------------------------------------------------ #
     # Write path
 
     def store(self, image, charge_time=True):
         """Serialize and write an image; returns bytes written (as
-        accounted, i.e. compressed when compression is enabled)."""
+        accounted, i.e. compressed when compression is enabled).
+
+        Transactional: everything that can raise (the failpoint check,
+        the cost-model charges) runs before any byte of accounting state
+        is mutated, so a failed store leaves the totals consistent.  An
+        injected *crash* instead commits a deliberately torn frame — the
+        on-disk state a real mid-write power cut leaves — before
+        propagating.
+        """
         if image.checkpoint_id in self._blobs:
             raise CheckpointError(
                 "checkpoint %d already stored" % image.checkpoint_id
             )
         raw = image.serialize()
         blob = zlib.compress(raw, level=1)
-        self._blobs[image.checkpoint_id] = blob
-        self._sizes[image.checkpoint_id] = (len(raw), len(blob))
-        self._meta_sizes[image.checkpoint_id] = image.metadata_bytes
-        self.total_uncompressed_bytes += len(raw)
-        self.total_compressed_bytes += len(blob)
-        self.write_count += 1
+        frame = blob + _TRAILER.pack(
+            TRAILER_MAGIC, len(raw), len(blob), zlib.crc32(blob))
         written = len(blob) if self.compress else len(raw)
+        try:
+            # A transient fault (InjectedFault/IOError) raises here,
+            # before any mutation: the store simply did not happen.
+            self.faults.check(FP_STORE_PRE_COMMIT)
+        except InjectedCrash:
+            # The host died mid-write: half the frame made it to disk,
+            # trailer missing.  No cache entry — the machine is gone.
+            torn = frame[:max(1, len(frame) // 2)]
+            self._blobs[image.checkpoint_id] = torn
+            self._sizes[image.checkpoint_id] = (0, len(torn))
+            self._meta_sizes[image.checkpoint_id] = 0
+            self.total_compressed_bytes += len(torn)
+            raise
         if charge_time:
             if self.compress:
                 self.clock.advance_us(self.costs.compress_us(len(raw)))
             self.clock.advance_us(
                 self.costs.disk_write_us(written, sequential=True)
             )
+        self._blobs[image.checkpoint_id] = frame
+        self._sizes[image.checkpoint_id] = (len(raw), len(blob))
+        self._meta_sizes[image.checkpoint_id] = image.metadata_bytes
+        self.total_uncompressed_bytes += len(raw)
+        self.total_compressed_bytes += len(blob)
+        self.write_count += 1
         # A freshly written image sits in the page cache.
         self._cached.add(image.checkpoint_id)
         return written
+
+    # ------------------------------------------------------------------ #
+    # Frame integrity
+
+    def blob_ok(self, image_id):
+        """Validate one stored frame's trailer; ``(ok, reason)``."""
+        frame = self._blobs.get(image_id)
+        if frame is None:
+            return False, "missing"
+        if len(frame) <= _TRAILER.size:
+            return False, "torn: frame shorter than trailer"
+        magic, _raw_len, blob_len, crc = _TRAILER.unpack(
+            frame[-_TRAILER.size:])
+        if magic != TRAILER_MAGIC:
+            return False, "torn: trailer magic missing"
+        blob = frame[:-_TRAILER.size]
+        if blob_len != len(blob):
+            return False, "torn: payload length mismatch"
+        if crc != zlib.crc32(blob):
+            return False, "corrupt: payload checksum mismatch"
+        return True, None
 
     # ------------------------------------------------------------------ #
     # Read path
@@ -81,10 +150,21 @@ class CheckpointStorage:
         path, which reads page payloads lazily later.  The returned object
         still carries the pages (the host keeps images whole); only the
         *accounted* I/O differs.
+
+        A torn or corrupt frame raises :class:`CheckpointError` (after
+        charging for the attempted read — the seek still happened).
         """
-        blob = self._blobs.get(image_id)
-        if blob is None:
+        frame = self._blobs.get(image_id)
+        if frame is None:
             raise CheckpointError("no stored checkpoint %d" % image_id)
+        ok, reason = self.blob_ok(image_id)
+        if not ok:
+            self.clock.advance_us(
+                self.costs.disk_read_us(len(frame), sequential=False))
+            self.read_count += 1
+            raise CheckpointError(
+                "checkpoint %d unreadable (%s)" % (image_id, reason))
+        blob = frame[:-_TRAILER.size]
         uncompressed, compressed = self._sizes[image_id]
         read_bytes = compressed if self.compress else uncompressed
         if metadata_only:
@@ -131,6 +211,69 @@ class CheckpointStorage:
         self.total_uncompressed_bytes -= uncompressed
         self.total_compressed_bytes -= compressed
         return freed
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+
+    def recover(self, fsstore=None):
+        """Post-crash fsck of the image store.
+
+        Phase 1 scans every frame's trailer and drops torn/corrupt
+        blobs.  Phase 2 runs :func:`verify_chain` and deletes any image
+        it flags (an image with dangling page locations or a broken
+        parent chain cannot revive), iterating to a fixpoint because a
+        deletion can strand dependants.  When ``fsstore`` is given, the
+        file-system snapshot bindings of dropped checkpoints are
+        unprotected so the LFS cleaner can reclaim them.
+
+        Returns a report dict; ``verify_ok`` is True when the surviving
+        store passes a final verification pass.
+        """
+        from repro.checkpoint.verify import verify_chain
+
+        report = {
+            "torn_dropped": [],
+            "chain_dropped": [],
+            "verify_ok": True,
+            "remaining": 0,
+        }
+
+        def drop(image_id):
+            del self._blobs[image_id]
+            if image_id in self._sizes:
+                uncompressed, compressed = self._sizes.pop(image_id)
+                self.total_uncompressed_bytes -= uncompressed
+                self.total_compressed_bytes -= compressed
+            self._meta_sizes.pop(image_id, None)
+            self._cached.discard(image_id)
+            if fsstore is not None:
+                try:
+                    fsstore.fs.unprotect_checkpoint(image_id)
+                except SnapshotError:
+                    pass
+
+        for image_id in self.stored_ids():
+            ok, reason = self.blob_ok(image_id)
+            if not ok:
+                drop(image_id)
+                report["torn_dropped"].append({"image_id": image_id,
+                                               "reason": reason})
+
+        # Chain repair to fixpoint: each pass can only delete, so the
+        # loop is bounded by the number of stored images.
+        verdict = verify_chain(self, fsstore)
+        for _ in range(len(self._blobs)):
+            flagged = sorted({issue.image_id for issue in verdict.issues
+                              if issue.image_id in self._blobs})
+            if not flagged:
+                break
+            for image_id in flagged:
+                drop(image_id)
+                report["chain_dropped"].append(image_id)
+            verdict = verify_chain(self, fsstore)
+        report["verify_ok"] = verdict.ok
+        report["remaining"] = len(self._blobs)
+        return report
 
     def __contains__(self, image_id):
         return image_id in self._blobs

@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli run web [--units N] [--no-display] [--no-index]
                                 [--no-checkpoints] [--policy] [--compress]
     python -m repro.cli stats web [--units N]
+    python -m repro.cli doctor web [--faults SPEC] [--seed N]
     python -m repro.cli demo
     python -m repro.cli figures
 
@@ -87,6 +88,22 @@ def build_parser():
     _add_scenario_args(stats)
     stats.add_argument("--spans", type=int, default=4,
                        help="recent root spans to include (default 4)")
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="run a scenario under fault injection, then recover and "
+             "verify the record (fsck for the whole recording)")
+    _add_scenario_args(doctor)
+    doctor.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault plan, e.g. 'lfs.append.mid_block:after=3' or "
+             "'recorder.log.append:mode=io,p=0.2,repeat;"
+             "storage.store.pre_commit:after=2' "
+             "(default: no faults, recovery still runs)")
+    doctor.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for probabilistic fault rules")
+    doctor.add_argument("--list-failpoints", action="store_true",
+                        help="print the registered failpoint catalog and exit")
 
     sub.add_parser("demo", help="record/search/revive guided tour")
     sub.add_parser("figures", help="map of paper figures to bench files")
@@ -252,6 +269,113 @@ def cmd_stats(args, out):
     return 0
 
 
+def cmd_doctor(args, out):
+    """Run a scenario under fault injection, then recover and verify:
+    the whole-record fsck.  Exit status 1 when the surviving checkpoint
+    chain fails verification."""
+    from repro.checkpoint.verify import verify_chain
+    from repro.common.faults import FAILPOINTS, FaultPlan, InjectedCrash
+    from repro.desktop.dejaview import DejaView
+    from repro.desktop.session import DesktopSession
+
+    if args.list_failpoints:
+        if args.json:
+            json.dump({"failpoints": FAILPOINTS}, out, indent=2)
+            print(file=out)
+            return 0
+        print("registered failpoints:", file=out)
+        for site in sorted(FAILPOINTS):
+            print("  %-32s %s" % (site, FAILPOINTS[site]), file=out)
+        return 0
+
+    name = _resolve_scenario(args)
+    workload = get_workload(name)
+    plan = (FaultPlan.parse(args.faults, seed=args.seed)
+            if args.faults else FaultPlan(seed=args.seed))
+    config = RecordingConfig(fault_plan=plan)
+    # Build the session and recorder up front (instead of letting the
+    # workload build them) so the references survive an injected crash.
+    session = DesktopSession()
+    dv = DejaView(session, config)
+    crash = None
+    try:
+        workload.run(units=args.units, session=session, dejaview=dv)
+    except InjectedCrash as exc:
+        crash = exc
+    except IOError as exc:
+        # A transient injected fault escaped the workload driver; real
+        # applications would retry.  Recovery still runs.
+        crash = exc
+
+    recovery = dv.recover()
+    verdict = verify_chain(dv.storage, session.fsstore)
+    playback_ok = None
+    if dv.recorder is not None:
+        record = dv.display_record()
+        if len(record.timeline):
+            engine = dv.playback_engine()
+            engine.play(record.start_us, record.end_us, fastest=True)
+            playback_ok = True
+    search_hits = None
+    if dv.database is not None and dv.database.vocabulary():
+        from repro.index.query import Query
+
+        vocabulary = dv.database.vocabulary()
+        word = vocabulary[len(vocabulary) // 2]
+        search_hits = len(dv.search(Query.keywords(word), render=False))
+
+    summary = {
+        "scenario": name,
+        "faults": args.faults,
+        "crash": str(crash) if crash is not None else None,
+        "fault_hits": plan.hit_snapshot(),
+        "recovery": recovery,
+        "chain_verified": verdict.ok,
+        "issues": [str(issue) for issue in verdict.issues],
+        "checkpoints_surviving": len(dv.storage),
+        "playback_ok": playback_ok,
+        "search_hits": search_hits,
+    }
+    if args.json:
+        json.dump(summary, out, indent=2, default=str)
+        print(file=out)
+        return 0 if verdict.ok else 1
+
+    print("doctor: %s scenario, faults=%s" % (name, args.faults or "none"),
+          file=out)
+    if crash is not None:
+        print("injected: %s" % crash, file=out)
+    fired = {site: counts for site, counts in plan.hit_snapshot().items()
+             if counts["hits"]}
+    for site, counts in sorted(fired.items()):
+        print("  %-32s hits=%-5d fired=%d" % (
+            site, counts["hits"], counts["fired"]), file=out)
+    storage_report = recovery.get("storage", {})
+    print("recovery: torn=%d chain-dropped=%d surviving=%d" % (
+        len(storage_report.get("torn_dropped", ())),
+        len(storage_report.get("chain_dropped", ())),
+        len(dv.storage)), file=out)
+    if "display" in recovery:
+        display = recovery["display"]
+        print("display: dropped %d log + %d screenshot bytes, "
+              "%d timeline entries" % (
+                  display["log_bytes_dropped"],
+                  display["screenshot_bytes_dropped"],
+                  display["timeline_entries_dropped"]), file=out)
+    if "index" in recovery:
+        print("index: dropped %d uncommitted, rebuilt %d postings" % (
+            len(recovery["index"]["uncommitted_dropped"]),
+            recovery["index"]["postings_rebuilt"]), file=out)
+    print("chain verify: %s" % ("ok" if verdict.ok else "FAILED"), file=out)
+    for issue in verdict.issues:
+        print("  %s" % issue, file=out)
+    if playback_ok:
+        print("playback: ok (end to end)", file=out)
+    if search_hits is not None:
+        print("search: %d hit(s), no errors" % search_hits, file=out)
+    return 0 if verdict.ok else 1
+
+
 def cmd_demo(_args, out):
     from repro.common.units import seconds
     from repro.desktop.dejaview import DejaView
@@ -299,6 +423,7 @@ def main(argv=None, out=None):
         "scenarios": cmd_scenarios,
         "run": cmd_run,
         "stats": cmd_stats,
+        "doctor": cmd_doctor,
         "demo": cmd_demo,
         "figures": cmd_figures,
     }[args.command]

@@ -16,6 +16,9 @@ This package hosts the pieces every subsystem relies on:
 * :mod:`repro.common.errors` -- the exception hierarchy.
 * :mod:`repro.common.telemetry` -- the injectable metrics registry
   (counters, gauges, percentile histograms) with a guarded no-op fast path.
+* :mod:`repro.common.faults` -- deterministic failpoint injection
+  (named crash/IO fault sites with seeded triggers) behind the same
+  no-op fast-path pattern as telemetry.
 * :mod:`repro.common.tracing` -- nested spans stamped with both virtual and
   wall-clock time.
 """
@@ -30,9 +33,18 @@ from repro.common.errors import (
     IndexError_,
     ReviveError,
     VexError,
+    VirtualMemoryError,
 )
 from repro.common.events import EventBus
-from repro.common.serial import RecordReader, RecordWriter
+from repro.common.faults import (
+    NULL_FAULTS,
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+    registered_failpoints,
+    resolve_faults,
+)
+from repro.common.serial import RecordReader, RecordWriter, StreamCorrupt
 from repro.common.telemetry import (
     NULL_TELEMETRY,
     MetricsRegistry,
@@ -57,6 +69,13 @@ __all__ = [
     "set_telemetry",
     "RecordReader",
     "RecordWriter",
+    "StreamCorrupt",
+    "FaultPlan",
+    "NULL_FAULTS",
+    "InjectedCrash",
+    "InjectedFault",
+    "registered_failpoints",
+    "resolve_faults",
     "KiB",
     "MiB",
     "GiB",
@@ -69,4 +88,5 @@ __all__ = [
     "ReviveError",
     "FileSystemError",
     "IndexError_",
+    "VirtualMemoryError",
 ]

@@ -22,10 +22,11 @@ class ProcessError(VexError):
     """A process-level operation failed (bad pid, invalid state transition)."""
 
 
-class MemoryError_(VexError):
+class VirtualMemoryError(VexError):
     """A virtual-memory operation failed (bad address, protection mismatch).
 
-    Named with a trailing underscore to avoid shadowing the builtin.
+    Historically exported as ``MemoryError_`` (trailing underscore to
+    avoid shadowing the builtin); that alias is deprecated.
     """
 
 
@@ -62,3 +63,15 @@ class QueryError(IndexError_):
 
 class PolicyError(DejaViewError):
     """A checkpoint-policy rule was misconfigured."""
+
+
+def __getattr__(name):
+    if name == "MemoryError_":
+        import warnings
+
+        warnings.warn(
+            "MemoryError_ is deprecated; use VirtualMemoryError",
+            DeprecationWarning, stacklevel=2,
+        )
+        return VirtualMemoryError
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

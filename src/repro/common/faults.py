@@ -1,0 +1,283 @@
+"""Deterministic fault injection (failpoints).
+
+The record is only as valuable as its durability: playback, search, and
+*Take me back* all assume the display log, checkpoint images, and LFS
+snapshots survive the host dying mid-write.  To test that without real
+power cuts, the write paths are instrumented with *failpoints* — named
+sites where a :class:`FaultPlan` can deterministically fire a fault:
+
+* ``mode="crash"`` raises :class:`InjectedCrash`, modelling the host
+  dying at that instant.  The instrumented site leaves a *realistically
+  torn* artifact (partial blob, truncated record, half-updated index)
+  before re-raising, exactly as a kill -9 would.  ``InjectedCrash``
+  derives from :class:`BaseException` so it sails through the blanket
+  ``except Exception`` handlers of intermediate layers, like a real
+  crash would.
+* ``mode="io"`` raises :class:`InjectedFault` (an ``IOError``),
+  modelling a transient write error.  Instrumented sites either check
+  *before* mutating or roll back, so a transient fault never tears
+  state — callers may retry.
+
+Triggers are deterministic: fire on the Nth hit (``after``), with seeded
+probability (``probability`` against an injected ``random.Random``), one
+shot (``once=True``) or on every eligible hit.  Per-site hit/fired
+counters surface through the existing :class:`MetricsRegistry` when a
+registry is bound (``faults.hit.<site>`` / ``faults.fired.<site>``).
+
+The no-op fast path mirrors :mod:`repro.common.telemetry`: subsystems
+default to the shared :data:`NULL_FAULTS` plan whose ``check`` does
+nothing, so an unconfigured recording pays no measurable overhead.
+Fault checks never charge the virtual clock — like telemetry, injection
+machinery is outside the simulated cost model.
+"""
+
+import random
+
+from repro.common.errors import DejaViewError
+
+#: Canonical catalog of failpoint sites.  Registration lives here (not at
+#: subsystem import time) so ``registered_failpoints()`` is complete even
+#: before any subsystem module has been imported, and so the crash-point
+#: sweep can enumerate every site it must exercise.
+FAILPOINTS = {
+    "storage.store.pre_commit":
+        "CheckpointStorage.store, after serialization but before the "
+        "blob and its accounting are committed (crash leaves a torn "
+        "half-written blob frame)",
+    "lfs.append.mid_block":
+        "LogStructuredFS block append, mid-way through the chunk loop "
+        "(crash leaves orphan blocks, the last one partial, with the "
+        "inode never bumped)",
+    "recorder.log.append":
+        "DisplayRecorder command-log append (crash leaves a torn TLV "
+        "record at the log tail)",
+    "recorder.screenshot.mid_write":
+        "DisplayRecorder screenshot write (crash leaves a torn keyframe "
+        "record with no timeline entry)",
+    "index.ingest.post_open":
+        "TemporalTextDatabase.open_occurrence, mid-way through posting "
+        "insertion (crash leaves a partially indexed, uncommitted "
+        "occurrence)",
+    "index.close.mid_backfill":
+        "TemporalTextDatabase.close_occurrence, mid-way through epoch "
+        "bucket back-fill (crash leaves unback-filled buckets)",
+}
+
+
+def registered_failpoints():
+    """All registered failpoint site names, sorted."""
+    return sorted(FAILPOINTS)
+
+
+class FaultSpecError(DejaViewError):
+    """A fault-plan specification was malformed or named an unknown site."""
+
+
+class InjectedCrash(BaseException):
+    """The simulated host died at a failpoint (kill -9 semantics).
+
+    Derives from :class:`BaseException` so blanket ``except Exception``
+    recovery code in intermediate layers cannot swallow it — nothing
+    survives a real crash either.
+    """
+
+    def __init__(self, site, hit):
+        super().__init__("injected crash at %s (hit %d)" % (site, hit))
+        self.site = site
+        self.hit = hit
+
+
+class InjectedFault(IOError):
+    """A transient I/O error fired at a failpoint; the operation may be
+    retried."""
+
+    def __init__(self, site, hit):
+        super().__init__("injected fault at %s (hit %d)" % (site, hit))
+        self.site = site
+        self.hit = hit
+
+
+class FaultRule:
+    """One trigger: fire ``mode`` at ``site`` on the ``after``-th eligible
+    hit, gated by ``probability`` against the plan's seeded RNG."""
+
+    __slots__ = ("site", "mode", "after", "probability", "once",
+                 "eligible_hits", "fired")
+
+    def __init__(self, site, mode="crash", after=1, probability=1.0,
+                 once=True):
+        if site not in FAILPOINTS:
+            raise FaultSpecError(
+                "unknown failpoint %r (registered: %s)"
+                % (site, ", ".join(registered_failpoints())))
+        if mode not in ("crash", "io"):
+            raise FaultSpecError("unknown fault mode %r" % (mode,))
+        if after < 1:
+            raise FaultSpecError("after must be >= 1, got %r" % (after,))
+        if not 0.0 < probability <= 1.0:
+            raise FaultSpecError(
+                "probability must be in (0, 1], got %r" % (probability,))
+        self.site = site
+        self.mode = mode
+        self.after = after
+        self.probability = probability
+        self.once = once
+        self.eligible_hits = 0
+        self.fired = 0
+
+
+class _NullFaultPlan:
+    """Shared inert plan: ``check`` is a no-op attribute lookup + call.
+
+    Mirrors telemetry's null registry so the unconfigured hot path stays
+    free of branches and dict traffic.
+    """
+
+    active = False
+
+    def __bool__(self):
+        return False
+
+    def check(self, site):
+        return None
+
+    def hit_snapshot(self):
+        return {}
+
+
+NULL_FAULTS = _NullFaultPlan()
+
+
+def resolve_faults(faults):
+    """``faults`` if given, else the shared no-op plan (the telemetry
+    ``resolve_telemetry`` pattern)."""
+    return faults if faults is not None else NULL_FAULTS
+
+
+class FaultPlan:
+    """A deterministic set of fault rules plus per-site hit accounting.
+
+    An empty plan is still useful: it counts hits per site (the crash
+    sweep runs one as an *observer* to learn how often each site fires
+    in a clean run before choosing where to crash).
+    """
+
+    active = True
+
+    def __init__(self, rules=None, rng=None, seed=0):
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.rules = []
+        self.hits = {}
+        self._rules_by_site = {}
+        self._metrics = None
+        self._m_hit = {}
+        self._m_fired = {}
+        for rule in (rules or ()):
+            self._register(rule)
+
+    # -------------------------------------------------------------- #
+    # Construction
+
+    def add(self, site, mode="crash", after=1, probability=1.0, once=True):
+        """Register one rule; returns it (for inspecting ``fired``)."""
+        rule = FaultRule(site, mode=mode, after=after,
+                         probability=probability, once=once)
+        self._register(rule)
+        return rule
+
+    def _register(self, rule):
+        self.rules.append(rule)
+        self._rules_by_site.setdefault(rule.site, []).append(rule)
+
+    @classmethod
+    def parse(cls, spec, rng=None, seed=0):
+        """Build a plan from a compact text spec.
+
+        ``spec`` is ``;``-separated rules, each
+        ``site[:key=value[,key=value...]]`` — e.g.
+        ``"lfs.append.mid_block:after=3"`` or
+        ``"recorder.log.append:mode=io,p=0.2,repeat"``.  Keys: ``after``
+        (int), ``mode`` (``crash``/``io``), ``p``/``probability``
+        (float), ``repeat`` (fire on every eligible hit, not just once).
+        """
+        plan = cls(rng=rng, seed=seed)
+        for part in spec.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            site, _, opts = part.partition(":")
+            kwargs = {}
+            for opt in filter(None, (o.strip() for o in opts.split(","))):
+                key, has_value, value = opt.partition("=")
+                if key == "repeat" and not has_value:
+                    kwargs["once"] = False
+                elif key == "after":
+                    kwargs["after"] = int(value)
+                elif key == "mode":
+                    kwargs["mode"] = value
+                elif key in ("p", "probability"):
+                    kwargs["probability"] = float(value)
+                else:
+                    raise FaultSpecError(
+                        "unknown fault option %r in %r" % (opt, part))
+            plan.add(site, **kwargs)
+        return plan
+
+    # -------------------------------------------------------------- #
+    # Telemetry
+
+    def bind_telemetry(self, metrics):
+        """Surface per-site hit/fired counters through ``metrics``."""
+        self._metrics = metrics
+        for site in FAILPOINTS:
+            self._m_hit[site] = metrics.counter("faults.hit.%s" % site)
+            self._m_fired[site] = metrics.counter("faults.fired.%s" % site)
+
+    # -------------------------------------------------------------- #
+    # The hot path
+
+    def check(self, site):
+        """Count a hit at ``site`` and fire any matching rule.
+
+        Raises :class:`InjectedCrash` or :class:`InjectedFault` when a
+        rule triggers; otherwise returns None.  Never charges the
+        virtual clock.
+        """
+        hit = self.hits.get(site, 0) + 1
+        self.hits[site] = hit
+        counter = self._m_hit.get(site)
+        if counter is not None:
+            counter.inc()
+        for rule in self._rules_by_site.get(site, ()):
+            if rule.once and rule.fired:
+                continue
+            rule.eligible_hits += 1
+            if rule.eligible_hits < rule.after:
+                continue
+            if rule.probability < 1.0 and self.rng.random() >= rule.probability:
+                continue
+            rule.fired += 1
+            fired = self._m_fired.get(site)
+            if fired is not None:
+                fired.inc()
+            if rule.mode == "crash":
+                raise InjectedCrash(site, hit)
+            raise InjectedFault(site, hit)
+        return None
+
+    # -------------------------------------------------------------- #
+    # Introspection
+
+    def fired(self, site=None):
+        """Total fires, for one site or overall."""
+        rules = self._rules_by_site.get(site, ()) if site else self.rules
+        return sum(rule.fired for rule in rules)
+
+    def hit_snapshot(self):
+        """Per-site ``{"hits": n, "fired": m}`` map (every registered
+        site appears, even if never hit) — the CI fault-matrix artifact."""
+        return {
+            site: {"hits": self.hits.get(site, 0),
+                   "fired": self.fired(site)}
+            for site in registered_failpoints()
+        }

@@ -4,25 +4,36 @@ The display record log (section 4.1) and the checkpoint image format
 (section 5) are both append-only streams of typed binary records.  This
 module provides the shared framing: each record is
 
-    +--------+----------------+-----------------+
-    | tag:u32| length:u32     | payload (bytes) |
-    +--------+----------------+-----------------+
+    +--------+------------+-----------------+---------+
+    | tag:u32| length:u32 | payload (bytes) | crc:u32 |
+    +--------+------------+-----------------+---------+
 
 in little-endian byte order, preceded once per stream by a magic header that
-identifies the stream kind and format version.  Streams are written to any
-file-like object with ``write``; in this reproduction that is usually a
-:class:`io.BytesIO` held by the simulated disk, but the format works equally
-against real files (the examples write real files).
+identifies the stream kind and format version.  The trailing CRC-32 covers
+the record header and payload, so a record torn by a crash mid-write is
+detected (truncated or mismatched checksum) rather than silently misparsed.
+Format version 2 added the checksum trailer; version-1 streams are rejected.
+
+Streams are written to any file-like object with ``write``; in this
+reproduction that is usually a :class:`io.BytesIO` held by the simulated
+disk, but the format works equally against real files.
+
+Crash-recovery helpers: :meth:`RecordWriter.write_torn` deliberately emits a
+partial record (fault injection), :meth:`RecordWriter.truncate_to` discards a
+torn tail, and :func:`scan_valid_prefix` finds the longest valid prefix of a
+possibly-torn stream.
 """
 
 import io
 import struct
+import zlib
 
 _HEADER = struct.Struct("<4sHH")
 _RECORD = struct.Struct("<II")
+_CRC = struct.Struct("<I")
 
 MAGIC = b"DJVW"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
 class StreamCorrupt(ValueError):
@@ -61,14 +72,61 @@ class RecordWriter:
             raise ValueError("tag out of range: %r" % (tag,))
         payload = bytes(payload)
         offset = self._bytes_written
-        self.fileobj.write(_RECORD.pack(tag, len(payload)))
+        head = _RECORD.pack(tag, len(payload))
+        self.fileobj.write(head)
         self.fileobj.write(payload)
-        self._bytes_written += _RECORD.size + len(payload)
+        self.fileobj.write(_CRC.pack(zlib.crc32(head + payload)))
+        self._bytes_written += _RECORD.size + len(payload) + _CRC.size
         return offset
+
+    def write_torn(self, tag, payload, keep=0.5):
+        """Append a deliberately torn record: the header plus only a
+        ``keep`` fraction of the payload, with no checksum trailer —
+        exactly what a crash mid-``write`` leaves behind.  Fault
+        injection only; returns the offset of the torn record."""
+        payload = bytes(payload)
+        offset = self._bytes_written
+        head = _RECORD.pack(tag, len(payload))
+        partial = payload[:int(len(payload) * keep)]
+        self.fileobj.write(head)
+        self.fileobj.write(partial)
+        self._bytes_written += _RECORD.size + len(partial)
+        return offset
+
+    def truncate_to(self, offset):
+        """Discard everything at and after ``offset`` (recovery: drop a
+        torn tail).  Returns the number of bytes dropped."""
+        if not _HEADER.size <= offset <= self._bytes_written:
+            raise ValueError("truncate offset %d outside stream" % offset)
+        dropped = self._bytes_written - offset
+        self.fileobj.seek(offset)
+        self.fileobj.truncate()
+        self._bytes_written = offset
+        return dropped
 
     def getvalue(self):
         """Return the full stream bytes (only for BytesIO-backed writers)."""
         return self.fileobj.getvalue()
+
+
+def _read_record(fileobj, offset):
+    """Read and verify one record at the stream's current position."""
+    head = fileobj.read(_RECORD.size)
+    if not head:
+        return None
+    if len(head) != _RECORD.size:
+        raise StreamCorrupt("truncated record header at offset %d" % offset)
+    tag, length = _RECORD.unpack(head)
+    payload = fileobj.read(length)
+    if len(payload) != length:
+        raise StreamCorrupt("truncated record payload at offset %d" % offset)
+    trailer = fileobj.read(_CRC.size)
+    if len(trailer) != _CRC.size:
+        raise StreamCorrupt("truncated record checksum at offset %d" % offset)
+    (crc,) = _CRC.unpack(trailer)
+    if crc != zlib.crc32(head + payload):
+        raise StreamCorrupt("record checksum mismatch at offset %d" % offset)
+    return tag, payload
 
 
 class RecordReader:
@@ -99,15 +157,10 @@ class RecordReader:
     def __next__(self):
         """Return the next ``(tag, payload, offset)`` triple."""
         offset = self.fileobj.tell()
-        head = self.fileobj.read(_RECORD.size)
-        if not head:
+        record = _read_record(self.fileobj, offset)
+        if record is None:
             raise StopIteration
-        if len(head) != _RECORD.size:
-            raise StreamCorrupt("truncated record header at offset %d" % offset)
-        tag, length = _RECORD.unpack(head)
-        payload = self.fileobj.read(length)
-        if len(payload) != length:
-            raise StreamCorrupt("truncated record payload at offset %d" % offset)
+        tag, payload = record
         return tag, payload, offset
 
     def seek_to(self, offset):
@@ -129,11 +182,32 @@ def read_at(data, offset):
     else:
         fileobj = data
     fileobj.seek(offset)
-    head = fileobj.read(_RECORD.size)
-    if len(head) != _RECORD.size:
+    record = _read_record(fileobj, offset)
+    if record is None:
         raise StreamCorrupt("no record at offset %d" % offset)
-    tag, length = _RECORD.unpack(head)
-    payload = fileobj.read(length)
-    if len(payload) != length:
-        raise StreamCorrupt("truncated record payload at offset %d" % offset)
-    return tag, payload
+    return record
+
+
+def scan_valid_prefix(data, expect_kind=None):
+    """Find the longest valid prefix of a possibly-torn stream.
+
+    Returns ``(end_offset, records)`` where ``records`` is a list of
+    ``(tag, payload, offset)`` triples that parse and checksum cleanly
+    and ``end_offset`` is the first byte past the last valid record —
+    the offset to :meth:`RecordWriter.truncate_to` during recovery.
+    Raises :class:`StreamCorrupt` only if the stream *header* itself is
+    invalid (nothing is salvageable then).
+    """
+    reader = RecordReader(data, expect_kind=expect_kind)
+    records = []
+    end_offset = _HEADER.size
+    while True:
+        try:
+            record = next(reader, None)
+        except StreamCorrupt:
+            break
+        if record is None:
+            break
+        records.append(record)
+        end_offset = reader.fileobj.tell()
+    return end_offset, records

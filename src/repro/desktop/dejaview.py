@@ -19,7 +19,8 @@ from repro.checkpoint.engine import CheckpointEngine, EngineOptions
 from repro.checkpoint.policy import CheckpointPolicy, PolicyConfig, PolicyContext
 from repro.checkpoint.restore import ReviveManager
 from repro.checkpoint.storage import CheckpointStorage
-from repro.common.errors import DejaViewError
+from repro.common.errors import CheckpointError, DejaViewError, ReviveError
+from repro.common.faults import resolve_faults
 from repro.common.telemetry import NULL_TELEMETRY, Telemetry
 from repro.common.units import seconds
 from repro.access.daemon import IndexingDaemon
@@ -57,6 +58,10 @@ class RecordingConfig:
     use_mirror_tree: bool = True
     """False switches the indexing daemon to the naive re-traversal
     strategy (ablation)."""
+    fault_plan: object = None
+    """A :class:`~repro.common.faults.FaultPlan` injected into every
+    write path (crash/IO fault testing).  ``None`` — the default — binds
+    the shared no-op plan, which adds no measurable overhead."""
 
 
 @dataclass
@@ -94,6 +99,16 @@ class DejaView:
         if bind is not None:  # revived sessions may expose a union mount
             bind(self.telemetry)
 
+        # One fault plan per recording session, shared by every write
+        # path (same injection pattern as telemetry; NULL_FAULTS when
+        # none is configured).
+        self.faults = resolve_faults(self.config.fault_plan)
+        if self.faults.active:
+            self.faults.bind_telemetry(self.telemetry.metrics)
+        bind_faults = getattr(session.fs, "bind_faults", None)
+        if bind_faults is not None:
+            bind_faults(self.faults)
+
         self.recorder = None
         if self.config.record_display:
             width = max(1, int(session.width * self.config.record_scale))
@@ -101,7 +116,7 @@ class DejaView:
             self.recorder = DisplayRecorder(
                 width, height, clock=clock, costs=costs,
                 config=self.config.recorder_config,
-                telemetry=self.telemetry,
+                telemetry=self.telemetry, faults=self.faults,
             )
             session.driver.attach_sink(self.recorder,
                                        scale=self.config.record_scale)
@@ -112,6 +127,7 @@ class DejaView:
             self.database = TemporalTextDatabase(
                 clock, costs=costs, telemetry=self.telemetry,
                 epoch_width_us=self.config.index_epoch_us,
+                faults=self.faults,
             )
             self.daemon = IndexingDaemon(
                 session.registry, self.database,
@@ -122,6 +138,7 @@ class DejaView:
         self.storage = CheckpointStorage(
             clock=clock, costs=costs,
             compress=self.config.compress_checkpoints,
+            faults=self.faults,
         )
         self.engine = None
         self.policy = None
@@ -139,6 +156,10 @@ class DejaView:
         self._m_ticks = self.telemetry.metrics.counter("tick.count")
         self._m_tick_commands = self.telemetry.metrics.counter(
             "tick.display_commands")
+        self._m_revive_fallbacks = self.telemetry.metrics.counter(
+            "revive.fallbacks")
+        self._m_recoveries = self.telemetry.metrics.counter(
+            "recover.sessions")
         self._last_checkpoint_us = None
 
     # ------------------------------------------------------------------ #
@@ -249,12 +270,69 @@ class DejaView:
         return candidate
 
     def take_me_back(self, time_us, cached=None, network_enabled=False):
-        """Revive the session as it was at ``time_us``."""
-        candidate = self.checkpoint_before(time_us)
-        return self.reviver.revive(
-            candidate.checkpoint_id, cached=cached,
-            network_enabled=network_enabled,
-        )
+        """Revive the session as it was at ``time_us``.
+
+        Falls back over progressively older checkpoints when the newest
+        candidate is torn, corrupt, or fails to revive (counted as
+        ``revive.fallbacks``) — a damaged image costs temporal precision,
+        never the whole operation.
+        """
+        if self.engine is None:
+            raise DejaViewError("checkpointing is not enabled")
+        candidates = [result for result in self.engine.history
+                      if result.timestamp_us <= time_us]
+        if not candidates:
+            raise DejaViewError(
+                "no checkpoint exists at or before t=%dus" % time_us
+            )
+        last_error = None
+        for candidate in reversed(candidates):
+            image_id = candidate.checkpoint_id
+            ok = image_id in self.storage and self.storage.blob_ok(image_id)[0]
+            if ok:
+                try:
+                    return self.reviver.revive(
+                        image_id, cached=cached,
+                        network_enabled=network_enabled,
+                    )
+                except (ReviveError, CheckpointError) as exc:
+                    last_error = exc
+            self._m_revive_fallbacks.inc()
+        raise ReviveError(
+            "no checkpoint at or before t=%dus survived verification"
+            % time_us
+        ) from last_error
+
+    # ------------------------------------------------------------------ #
+    # Crash recovery
+
+    def recover(self):
+        """Post-crash recovery across every recorded stream (the reopen
+        path: run this after an unclean shutdown, before recording
+        resumes).
+
+        Order matters only for the checkpoint store, whose chain repair
+        wants the file system recovered first (bindings resolve against
+        the recovered log).  Returns a per-subsystem report dict;
+        ``report["ok"]`` is True when the surviving checkpoint chain
+        verifies clean.
+        """
+        with self.telemetry.span("recover"):
+            report = {"ok": True}
+            fs_recover = getattr(self.session.fs, "recover", None)
+            if fs_recover is not None:
+                report["fs"] = fs_recover()
+            report["storage"] = self.storage.recover(
+                fsstore=self.session.fsstore)
+            report["ok"] = report["storage"]["verify_ok"]
+            if self.engine is not None:
+                report["engine"] = self.engine.recover_after_crash()
+            if self.recorder is not None:
+                report["display"] = self.recorder.recover()
+            if self.database is not None:
+                report["index"] = self.database.recover()
+            self._m_recoveries.inc()
+        return report
 
     # ------------------------------------------------------------------ #
     # Observability

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from repro.common.clock import VirtualClock
 from repro.common.costs import DEFAULT_COSTS
 from repro.common.errors import DisplayError
-from repro.common.serial import read_at
+from repro.common.serial import StreamCorrupt, read_at
 from repro.common.telemetry import resolve_telemetry
 from repro.display.framebuffer import Framebuffer
 from repro.display.protocol import CommandLogReader
@@ -125,6 +125,8 @@ class PlaybackEngine:
         self._m_considered = metrics.counter("playback.commands_considered")
         self._m_applied = metrics.counter("playback.commands_applied")
         self._m_seek_us = metrics.histogram("playback.seek_us")
+        self._m_segments_skipped = metrics.counter("display.segments_skipped")
+        self._last_anchor = None
         self._cache = _KeyframeCache(
             cache_capacity,
             hit_counter=metrics.counter("playback.cache_hits"),
@@ -165,17 +167,42 @@ class PlaybackEngine:
         self._cache.put(entry.screenshot_offset, fb.clone())
         return fb
 
+    def _load_anchor(self, index):
+        """Load a playback anchor: the keyframe at timeline ``index``, or
+        — when its record is torn/corrupt — the nearest earlier one that
+        decodes.  Skipped segments are counted, never raised: a torn
+        record costs fidelity, not playback.  Returns ``(fb, entry)``;
+        ``(None, None)`` when no keyframe at or before ``index`` loads.
+        """
+        while index is not None and index >= 0:
+            entry = self.record.timeline[index]
+            try:
+                fb = self._load_keyframe(entry)
+            except (StreamCorrupt, DisplayError):
+                self._m_segments_skipped.inc()
+                index -= 1
+                continue
+            return fb, entry
+        return None, None
+
     def _commands_between(self, command_offset, start_us, end_us):
-        """Commands with start_us < t <= end_us, reading from an offset."""
+        """Commands with start_us < t <= end_us, reading from an offset
+        (``None`` scans from the start of the log).  A torn record ends
+        the scan — everything past it is unreadable anyway."""
         result = []
-        reader = CommandLogReader(self.record.log_bytes).seek_to(command_offset)
+        reader = CommandLogReader(self.record.log_bytes)
+        if command_offset is not None:
+            reader.seek_to(command_offset)
         bytes_read = 0
-        for command, timestamp_us, _offset in reader:
-            if timestamp_us > end_us:
-                break
-            bytes_read += command.payload_size
-            if timestamp_us > start_us:
-                result.append((command, timestamp_us))
+        try:
+            for command, timestamp_us, _offset in reader:
+                if timestamp_us > end_us:
+                    break
+                bytes_read += command.payload_size
+                if timestamp_us > start_us:
+                    result.append((command, timestamp_us))
+        except StreamCorrupt:
+            self._m_segments_skipped.inc()
         # One positioning step, then a sequential scan of the log.
         self._charge_read(bytes_read)
         return result
@@ -196,9 +223,18 @@ class PlaybackEngine:
                 raise DisplayError(
                     "requested time %d precedes the first screenshot" % time_us
                 )
-            fb = self._load_keyframe(entry)
-            timed = self._commands_between(entry.command_offset, entry.time_us,
-                                           time_us)
+            fb, anchor = self._load_anchor(index)
+            self._last_anchor = anchor
+            if anchor is not None:
+                anchor_time = anchor.time_us
+                timed = self._commands_between(anchor.command_offset,
+                                               anchor_time, time_us)
+            else:
+                # Every keyframe at or before time_us is corrupt: start
+                # from a blank screen and replay the surviving log.
+                fb = Framebuffer(self.record.width, self.record.height)
+                anchor_time = 0
+                timed = self._commands_between(None, -1, time_us)
             commands = [cmd for cmd, _ts in timed]
             to_apply = prune_commands(commands) if self.prune else commands
             for command in to_apply:
@@ -208,7 +244,7 @@ class PlaybackEngine:
                     + command.payload_size * self.costs.display_us_per_payload_byte
                 )
             stats = PlaybackStats(
-                recorded_duration_us=max(0, time_us - entry.time_us),
+                recorded_duration_us=max(0, time_us - anchor_time),
                 playback_duration_us=0,
                 commands_considered=len(commands),
                 commands_applied=len(to_apply),
@@ -241,8 +277,10 @@ class PlaybackEngine:
         start_us = max(start_us, first)
         watch = self.clock.stopwatch()
         fb, _ = self.seek(start_us)
-        index, entry = self.record.timeline.locate(start_us)
-        timed = self._commands_between(entry.command_offset, start_us, end_us)
+        anchor = self._last_anchor  # the keyframe seek actually used
+        timed = self._commands_between(
+            anchor.command_offset if anchor is not None else None,
+            start_us, end_us)
         applied = 0
         previous_ts = start_us
         for command, timestamp_us in timed:
@@ -271,7 +309,11 @@ class PlaybackEngine:
             raise DisplayError("fast_forward target precedes start")
         shown = 0
         for entry in self.record.timeline.entries_between(from_us, to_us):
-            fb = self._load_keyframe(entry)
+            try:
+                fb = self._load_keyframe(entry)
+            except (StreamCorrupt, DisplayError):
+                self._m_segments_skipped.inc()
+                continue
             self.clock.advance_us(
                 fb.nbytes * self.costs.display_us_per_payload_byte
             )
@@ -285,7 +327,11 @@ class PlaybackEngine:
             raise DisplayError("rewind target follows start")
         shown = 0
         for entry in reversed(self.record.timeline.entries_between(to_us, from_us)):
-            fb = self._load_keyframe(entry)
+            try:
+                fb = self._load_keyframe(entry)
+            except (StreamCorrupt, DisplayError):
+                self._m_segments_skipped.inc()
+                continue
             self.clock.advance_us(
                 fb.nbytes * self.costs.display_us_per_payload_byte
             )

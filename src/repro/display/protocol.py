@@ -10,7 +10,7 @@ microseconds followed by the command's own payload.
 import struct
 
 from repro.common.errors import DisplayError
-from repro.common.serial import RecordReader, RecordWriter
+from repro.common.serial import RecordReader, RecordWriter, scan_valid_prefix
 from repro.display.commands import COMMAND_TYPES
 
 STREAM_KIND_DISPLAY = 0x0D15
@@ -56,6 +56,22 @@ class CommandLogWriter:
         offset = self._writer.write(tag, payload)
         self.command_count += 1
         return offset
+
+    def append_torn(self, command, timestamp_us):
+        """Write a deliberately torn record — the bytes a crash
+        mid-append leaves behind (fault injection only).  Not counted as
+        a logged command."""
+        tag, payload = encode_command(command, timestamp_us)
+        return self._writer.write_torn(tag, payload)
+
+    def recover(self):
+        """Truncate any torn tail off the log; returns bytes dropped.
+        ``command_count`` is recounted from the surviving records."""
+        end_offset, records = scan_valid_prefix(
+            self.getvalue(), expect_kind=STREAM_KIND_DISPLAY)
+        dropped = self._writer.truncate_to(end_offset)
+        self.command_count = len(records)
+        return dropped
 
     def getvalue(self):
         return self._writer.getvalue()

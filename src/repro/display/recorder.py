@@ -19,7 +19,8 @@ from dataclasses import dataclass
 
 from repro.common.clock import VirtualClock
 from repro.common.costs import DEFAULT_COSTS
-from repro.common.serial import RecordWriter
+from repro.common.faults import InjectedCrash, resolve_faults
+from repro.common.serial import RecordWriter, scan_valid_prefix
 from repro.common.telemetry import resolve_telemetry
 from repro.common.units import seconds
 from repro.display.commands import Region
@@ -28,6 +29,9 @@ from repro.display.protocol import SCREENSHOT_TAG, CommandLogWriter
 from repro.display.timeline import TimelineEntry, TimelineIndex
 
 STREAM_KIND_SCREENSHOTS = 0x0D16
+
+FP_LOG_APPEND = "recorder.log.append"
+FP_SHOT_MID_WRITE = "recorder.screenshot.mid_write"
 
 
 @dataclass
@@ -73,16 +77,18 @@ class DisplayRecorder:
     """Driver sink that produces a :class:`DisplayRecord`."""
 
     def __init__(self, width, height, clock=None, costs=DEFAULT_COSTS,
-                 config=None, telemetry=None):
+                 config=None, telemetry=None, faults=None):
         self.clock = clock if clock is not None else VirtualClock()
         self.costs = costs
         self.config = config if config is not None else RecorderConfig()
         self.telemetry = resolve_telemetry(telemetry)
+        self.faults = resolve_faults(faults)
         metrics = self.telemetry.metrics
         self._m_commands = metrics.counter("display.commands_logged")
         self._m_log_bytes = metrics.counter("display.log_bytes")
         self._m_keyframes = metrics.counter("display.keyframes")
         self._m_keyframe_bytes = metrics.counter("display.keyframe_bytes")
+        self._m_torn_dropped = metrics.counter("display.torn_records_dropped")
         self.framebuffer = Framebuffer(width, height)
         self._log = CommandLogWriter()
         self._shots = RecordWriter(kind=STREAM_KIND_SCREENSHOTS)
@@ -103,6 +109,15 @@ class DisplayRecorder:
 
     def handle_commands(self, commands, timestamp_us):
         for command in commands:
+            try:
+                # A transient fault raises here, before the command is
+                # applied or logged: the command is simply lost in
+                # transit and framebuffer and log stay consistent.
+                self.faults.check(FP_LOG_APPEND)
+            except InjectedCrash:
+                # Crash mid-append: a torn TLV record at the log tail.
+                self._log.append_torn(command, timestamp_us)
+                raise
             command.apply(self.framebuffer)
             self._log.append(command, timestamp_us)
             self._m_commands.inc()
@@ -137,6 +152,14 @@ class DisplayRecorder:
         now_us = self.clock.now_us
         snapshot = self.framebuffer.snapshot_bytes()
         payload = struct.pack("<Q", now_us) + snapshot
+        try:
+            # A transient fault skips this keyframe (raises before any
+            # write); a later screenshot resynchronizes the stream.
+            self.faults.check(FP_SHOT_MID_WRITE)
+        except InjectedCrash:
+            # Crash mid-write: a torn keyframe with no timeline entry.
+            self._shots.write_torn(SCREENSHOT_TAG, payload)
+            raise
         shot_offset = self._shots.write(SCREENSHOT_TAG, payload)
         self._m_keyframes.inc()
         self._m_keyframe_bytes.inc(len(snapshot))
@@ -154,6 +177,45 @@ class DisplayRecorder:
     def force_screenshot(self):
         """Public hook: take a keyframe now regardless of thresholds."""
         self._take_screenshot(force=True)
+
+    # ------------------------------------------------------------------ #
+    # Crash recovery
+
+    def recover(self):
+        """Post-crash repair of the display streams.
+
+        Scans both streams from the tail, truncates torn records,
+        recounts commands, drops timeline entries whose offsets dangle
+        past the surviving data (torn writes only ever invalidate the
+        tail), and takes a fresh keyframe so continued recording is
+        anchored to a clean, self-contained frame.
+        """
+        log_dropped = self._log.recover()
+        shot_end, shot_records = scan_valid_prefix(
+            self._shots.getvalue(), expect_kind=STREAM_KIND_SCREENSHOTS)
+        shots_dropped = self._shots.truncate_to(shot_end)
+        valid_offsets = {offset for _tag, _payload, offset in shot_records}
+        log_end = self._log.bytes_written
+        dangling = self.timeline.truncate_tail(
+            lambda entry: entry.screenshot_offset in valid_offsets
+            and entry.command_offset <= log_end
+        )
+        torn_records = (1 if log_dropped else 0) + (1 if shots_dropped else 0)
+        self._m_torn_dropped.inc(torn_records)
+        self._last_shot_us = self.timeline.last_time_us
+        # The recovery scan reads both stream tails once.
+        self.clock.advance_us(self.costs.disk_read_us(
+            max(log_dropped + shots_dropped, 1), sequential=True))
+        # Re-anchor the stream: whatever the torn tail lost, playback of
+        # everything from here on starts at a clean keyframe.
+        self._changed_bounds = self.framebuffer.bounds
+        self._take_screenshot(force=True)
+        return {
+            "log_bytes_dropped": log_dropped,
+            "screenshot_bytes_dropped": shots_dropped,
+            "timeline_entries_dropped": len(dangling),
+            "command_count": self._log.command_count,
+        }
 
     # ------------------------------------------------------------------ #
     # Accounting / output

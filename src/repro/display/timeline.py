@@ -82,6 +82,19 @@ class TimelineIndex:
         """All entries with start_us <= time <= end_us (for fast-forward)."""
         return [e for e in self._entries if start_us <= e.time_us <= end_us]
 
+    def truncate_tail(self, keep):
+        """Drop the maximal suffix of entries failing ``keep(entry)``.
+
+        Crash recovery: a torn write invalidates record offsets only at
+        the *tail* of the streams, so dangling entries form a suffix.
+        Returns the dropped entries (oldest first).
+        """
+        dropped = []
+        while self._entries and not keep(self._entries[-1]):
+            dropped.append(self._entries.pop())
+        dropped.reverse()
+        return dropped
+
     @property
     def first_time_us(self):
         return self._entries[0].time_us if self._entries else None
@@ -97,9 +110,17 @@ class TimelineIndex:
         return b"".join(entry.pack() for entry in self._entries)
 
     @classmethod
-    def from_bytes(cls, data):
-        if len(data) % _ENTRY.size != 0:
-            raise DisplayError("timeline file size is not a multiple of entry size")
+    def from_bytes(cls, data, recover=False):
+        """Decode a timeline file.  With ``recover=True`` a trailing
+        partial entry (a torn write) is silently dropped instead of
+        failing the whole file — fixed-size entries mean a crash can
+        only tear the tail."""
+        remainder = len(data) % _ENTRY.size
+        if remainder:
+            if not recover:
+                raise DisplayError(
+                    "timeline file size is not a multiple of entry size")
+            data = data[: len(data) - remainder]
         index = cls()
         for offset in range(0, len(data), _ENTRY.size):
             index.append(TimelineEntry.unpack(data, offset))

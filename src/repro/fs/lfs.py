@@ -29,6 +29,7 @@ The checkpoint engine's hooks:
 from repro.common.clock import VirtualClock
 from repro.common.costs import DEFAULT_COSTS
 from repro.common.errors import FileSystemError, SnapshotError
+from repro.common.faults import InjectedCrash, resolve_faults
 from repro.common.telemetry import resolve_telemetry
 from repro.fs.vfs import join_path, normalize_path, path_components, split_path
 
@@ -46,6 +47,8 @@ WHITEOUT_PREFIX = ".wh."
 """Prefix for union-mount whiteout entries (hidden from normal listings)."""
 
 ROOT_INODE = 1
+
+FP_APPEND_MID_BLOCK = "lfs.append.mid_block"
 
 
 class _InodeVersion:
@@ -123,10 +126,12 @@ class FileHandle:
 class LogStructuredFS:
     """The append-only, versioned file system."""
 
-    def __init__(self, clock=None, costs=DEFAULT_COSTS, telemetry=None):
+    def __init__(self, clock=None, costs=DEFAULT_COSTS, telemetry=None,
+                 faults=None):
         self.clock = clock if clock is not None else VirtualClock()
         self.costs = costs
         self.bind_telemetry(resolve_telemetry(telemetry))
+        self.bind_faults(faults)
         self._txn = 0
         self._inodes = {}
         self._next_inode = ROOT_INODE
@@ -159,6 +164,12 @@ class LogStructuredFS:
         self._m_snapshots = metrics.counter("fs.snapshots")
         self._m_synced = metrics.counter("fs.blocks_synced")
         self._m_reclaimed = metrics.counter("fs.cleaner_reclaimed_bytes")
+
+    def bind_faults(self, faults):
+        """(Re)attach a fault plan.  Like telemetry, the file system is
+        created by the session before the recorder exists, so
+        :class:`DejaView` rebinds it at attach time."""
+        self.faults = resolve_faults(faults)
 
     # ------------------------------------------------------------------ #
     # Low-level helpers
@@ -220,9 +231,34 @@ class LogStructuredFS:
 
     def _append_blocks(self, data):
         """Append data as new log blocks; returns the block id tuple."""
+        chunks = (
+            [data[off : off + BLOCK_SIZE]
+             for off in range(0, len(data), BLOCK_SIZE)]
+            if data else []
+        )
+        try:
+            # A transient fault raises before any block lands: the append
+            # never happened and the caller may retry.
+            self.faults.check(FP_APPEND_MID_BLOCK)
+        except InjectedCrash:
+            # Crash mid-append: a prefix of the blocks made it to the
+            # log, the last of them partial, and the inode version that
+            # would reference them was never written — orphan blocks,
+            # exactly what recover() reclaims.
+            torn = list(chunks[: max(1, (len(chunks) + 1) // 2)]) \
+                if chunks else []
+            if torn:
+                torn[-1] = torn[-1][: max(1, len(torn[-1]) // 2)]
+            for chunk in torn:
+                block_id = self._next_block
+                self._next_block += 1
+                self._blocks[block_id] = bytes(chunk)
+            self.log_bytes += len(torn) * BLOCK_SIZE
+            self._m_blocks.inc(len(torn))
+            self._pending_blocks += len(torn)
+            raise
         ids = []
-        for off in range(0, max(len(data), 1), BLOCK_SIZE) if data else []:
-            chunk = data[off : off + BLOCK_SIZE]
+        for chunk in chunks:
             block_id = self._next_block
             self._next_block += 1
             self._blocks[block_id] = bytes(chunk)
@@ -654,6 +690,53 @@ class LogStructuredFS:
     def live_log_bytes(self):
         """Log footprint after garbage collection."""
         return self.log_bytes - self.reclaimed_bytes
+
+    # ------------------------------------------------------------------ #
+    # Crash recovery
+
+    def recover(self):
+        """Post-crash log recovery (the NILFS mount-time roll-forward).
+
+        A crash mid-append leaves *orphan* blocks: data blocks that made
+        it into the log (the last possibly partial) whose inode version
+        was never written, because versions are appended only after
+        their blocks.  The version lists are therefore the table of
+        record — recovery reclaims unreferenced blocks, defensively
+        drops tail inode versions that reference missing blocks, and
+        resets the dirty-block counter.
+        """
+        referenced = set()
+        for inode in self._inodes.values():
+            for version in inode.versions:
+                referenced.update(version.blocks)
+        orphans = 0
+        for block_id in list(self._blocks):
+            if block_id not in referenced:
+                del self._blocks[block_id]
+                orphans += 1
+        reclaimed = orphans * BLOCK_SIZE
+        if reclaimed:
+            self.reclaimed_bytes += reclaimed
+            self._m_reclaimed.inc(reclaimed)
+        torn_versions = 0
+        for inode in self._inodes.values():
+            while len(inode.versions) > 1 and any(
+                block_id not in self._blocks
+                for block_id in inode.versions[-1].blocks
+            ):
+                inode.versions.pop()
+                torn_versions += 1
+        self._pending_blocks = 0
+        # Recovery scans the log tail once.
+        self.clock.advance_us(
+            self.costs.disk_read_us(max(reclaimed, BLOCK_SIZE),
+                                    sequential=True)
+        )
+        return {
+            "orphan_blocks": orphans,
+            "orphan_bytes": reclaimed,
+            "torn_versions": torn_versions,
+        }
 
 
 class SnapshotView:

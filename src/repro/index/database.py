@@ -40,9 +40,13 @@ from dataclasses import dataclass
 
 from repro.common.costs import DEFAULT_COSTS
 from repro.common.errors import IndexError_
+from repro.common.faults import InjectedFault, resolve_faults
 from repro.common.telemetry import resolve_telemetry
 from repro.common.units import seconds
 from repro.index.tokenizer import tokenize
+
+FP_INGEST_POST_OPEN = "index.ingest.post_open"
+FP_CLOSE_MID_BACKFILL = "index.close.mid_backfill"
 
 DEFAULT_EPOCH_WIDTH_US = seconds(60)
 """Default posting-bucket width.  One minute keeps bucket counts small for
@@ -64,6 +68,10 @@ class Occurrence:
     properties: dict
     start_us: int
     end_us: int = None  # None while the text is still on screen
+    committed: bool = True
+    """False only while the occurrence's postings are being inserted; a
+    crash mid-insert leaves it False, and :meth:`TemporalTextDatabase.
+    recover` drops such partially indexed occurrences."""
 
     def interval(self, now_us):
         """The occurrence's visibility interval, closing open ones at
@@ -100,13 +108,14 @@ class TemporalTextDatabase:
     """Occurrences + epoch-partitioned inverted token index."""
 
     def __init__(self, clock, costs=DEFAULT_COSTS, telemetry=None,
-                 epoch_width_us=DEFAULT_EPOCH_WIDTH_US):
+                 epoch_width_us=DEFAULT_EPOCH_WIDTH_US, faults=None):
         if epoch_width_us <= 0:
             raise ValueError("epoch width must be positive")
         self.clock = clock
         self.costs = costs
         self.epoch_width_us = int(epoch_width_us)
         self.telemetry = resolve_telemetry(telemetry)
+        self.faults = resolve_faults(faults)
         metrics = self.telemetry.metrics
         self._m_inserts = metrics.counter("index.inserts")
         self._m_closes = metrics.counter("index.closes")
@@ -186,19 +195,45 @@ class TemporalTextDatabase:
             focused=focused,
             properties=properties,
             start_us=self.clock.now_us,
+            committed=False,
         )
         self._next_occ_id += 1
         self._occurrences[occ.occ_id] = occ
         self._open_by_node[node_id] = occ.occ_id
         self._by_node.setdefault(node_id, []).append(occ.occ_id)
         start_epoch = self._epoch(occ.start_us)
-        for token in tokens:
-            postings = self._index.get(token)
-            if postings is None:
-                postings = self._index[token] = _TokenPostings()
-            postings.order.append(occ.occ_id)
-            postings.buckets.setdefault(start_epoch, []).append(occ.occ_id)
-            postings.open_ids.append(occ.occ_id)
+        ordered = sorted(tokens)
+        fire_at = len(ordered) // 2
+        try:
+            for position, token in enumerate(ordered):
+                if position == fire_at:
+                    # A crash here leaves a partially indexed occurrence
+                    # with committed=False — recover() drops it.  A
+                    # transient fault is rolled back below instead.
+                    self.faults.check(FP_INGEST_POST_OPEN)
+                postings = self._index.get(token)
+                if postings is None:
+                    postings = self._index[token] = _TokenPostings()
+                postings.order.append(occ.occ_id)
+                postings.buckets.setdefault(start_epoch, []).append(occ.occ_id)
+                postings.open_ids.append(occ.occ_id)
+        except InjectedFault:
+            # Transient I/O error: roll the insert back entirely — it
+            # never happened, and the caller may retry.
+            for token in ordered:
+                postings = self._index.get(token)
+                if postings is None:
+                    continue
+                if postings.order and postings.order[-1] == occ.occ_id:
+                    postings.order.pop()
+                    postings.buckets[start_epoch].pop()
+                    postings.open_ids.pop()
+            del self._occurrences[occ.occ_id]
+            del self._open_by_node[node_id]
+            self._by_node[node_id].remove(occ.occ_id)
+            self._next_occ_id = occ.occ_id
+            raise
+        occ.committed = True
         self.insert_count += 1
         self.mutation_epoch += 1
         self._m_inserts.inc()
@@ -219,11 +254,33 @@ class TemporalTextDatabase:
         first_epoch = self._epoch(occ.start_us)
         effective_end = max(occ.end_us, occ.start_us + 1)
         last_epoch = self._epoch(effective_end - 1)
-        for token in occ.tokens:
-            postings = self._index[token]
-            postings.open_ids.remove(occ_id)
-            for epoch in range(first_epoch + 1, last_epoch + 1):
-                postings.buckets.setdefault(epoch, []).append(occ_id)
+        ordered = sorted(occ.tokens)
+        fire_at = len(ordered) // 2
+        backfilled = []
+        try:
+            for position, token in enumerate(ordered):
+                if position == fire_at:
+                    # A crash here leaves the close half-applied: end_us
+                    # set, some tokens back-filled, the rest still open —
+                    # recover() rebuilds the index and finishes the job.
+                    # A transient fault is rolled back below instead.
+                    self.faults.check(FP_CLOSE_MID_BACKFILL)
+                postings = self._index[token]
+                postings.open_ids.remove(occ_id)
+                for epoch in range(first_epoch + 1, last_epoch + 1):
+                    postings.buckets.setdefault(epoch, []).append(occ_id)
+                backfilled.append(token)
+        except InjectedFault:
+            # Transient I/O error: undo the partial close; the occurrence
+            # stays open and the daemon will close it again later.
+            for token in backfilled:
+                postings = self._index[token]
+                postings.open_ids.append(occ_id)
+                for epoch in range(first_epoch + 1, last_epoch + 1):
+                    postings.buckets[epoch].remove(occ_id)
+            occ.end_us = None
+            self._open_by_node[node_id] = occ_id
+            raise
         self.mutation_epoch += 1
         self._m_closes.inc()
         self.clock.advance_us(len(occ.tokens) * self.costs.index_token_us)
@@ -241,6 +298,58 @@ class TemporalTextDatabase:
             occ.properties["annotation_text"] = annotation_text
         self.mutation_epoch += 1
         return occ
+
+    # ------------------------------------------------------------------ #
+    # Crash recovery
+
+    def recover(self):
+        """Post-crash repair of the index.
+
+        The occurrence table is the table of record (an occurrence is
+        fully described by its own row); the inverted index is derived
+        data.  Recovery drops occurrences left uncommitted by a crash
+        mid-insert, then rebuilds the inverted index from the surviving
+        table — which also finishes any back-fill a crash mid-close left
+        half-applied.  Bumps the mutation epoch so interval caches
+        invalidate.
+        """
+        dropped = []
+        for occ_id, occ in list(self._occurrences.items()):
+            if occ.committed:
+                continue
+            del self._occurrences[occ_id]
+            if self._open_by_node.get(occ.node_id) == occ_id:
+                del self._open_by_node[occ.node_id]
+            node_ids = self._by_node.get(occ.node_id)
+            if node_ids and occ_id in node_ids:
+                node_ids.remove(occ_id)
+            dropped.append(occ_id)
+        self._index = {}
+        postings_rebuilt = 0
+        for occ_id in sorted(self._occurrences):
+            occ = self._occurrences[occ_id]
+            first_epoch = self._epoch(occ.start_us)
+            if occ.end_us is None:
+                last_epoch = first_epoch
+            else:
+                effective_end = max(occ.end_us, occ.start_us + 1)
+                last_epoch = self._epoch(effective_end - 1)
+            for token in sorted(occ.tokens):
+                postings = self._index.get(token)
+                if postings is None:
+                    postings = self._index[token] = _TokenPostings()
+                postings.order.append(occ_id)
+                for epoch in range(first_epoch, last_epoch + 1):
+                    postings.buckets.setdefault(epoch, []).append(occ_id)
+                if occ.end_us is None:
+                    postings.open_ids.append(occ_id)
+                postings_rebuilt += 1
+        self.mutation_epoch += 1
+        self.clock.advance_us(postings_rebuilt * self.costs.index_token_us)
+        return {
+            "uncommitted_dropped": dropped,
+            "postings_rebuilt": postings_rebuilt,
+        }
 
     # ------------------------------------------------------------------ #
     # Lookup (called by the search engine)

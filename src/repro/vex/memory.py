@@ -20,7 +20,7 @@ of section 5.1.2:
 """
 
 from repro.common.costs import PAGE_SIZE
-from repro.common.errors import MemoryError_
+from repro.common.errors import VirtualMemoryError
 
 PROT_NONE = 0
 PROT_READ = 1
@@ -41,7 +41,7 @@ class PageFault(Exception):
         self.page_index = page_index
 
 
-class SegmentationFault(MemoryError_):
+class SegmentationFault(VirtualMemoryError):
     """A genuine access violation (unmapped address or protection breach)."""
 
 
@@ -68,9 +68,9 @@ class VMRegion:
 
     def __init__(self, start, npages, prot=PROT_READ | PROT_WRITE, name="anon"):
         if start % PAGE_SIZE != 0:
-            raise MemoryError_("region start must be page-aligned")
+            raise VirtualMemoryError("region start must be page-aligned")
         if npages <= 0:
-            raise MemoryError_("region must span at least one page")
+            raise VirtualMemoryError("region must span at least one page")
         self.start = start
         self.npages = npages
         self.prot = prot
@@ -100,7 +100,7 @@ class VMRegion:
     def page_content(self, page_index):
         """Content of one page (zeros if never written)."""
         if not 0 <= page_index < self.npages:
-            raise MemoryError_(
+            raise VirtualMemoryError(
                 "page %d outside region %r" % (page_index, self.name)
             )
         return self.pages.get(page_index, _zero_page())
@@ -155,7 +155,7 @@ class AddressSpace:
         region = VMRegion(start, npages, prot, name)
         for existing in self._regions.values():
             if start < existing.end and region.end > existing.start:
-                raise MemoryError_(
+                raise VirtualMemoryError(
                     "fixed mapping overlaps %r" % (existing.name,)
                 )
         self._regions[start] = region
@@ -171,7 +171,7 @@ class AddressSpace:
         """
         region = self._regions.pop(start, None)
         if region is None:
-            raise MemoryError_("munmap of unmapped address %#x" % start)
+            raise VirtualMemoryError("munmap of unmapped address %#x" % start)
         return region
 
     def mprotect(self, start, prot):
@@ -183,7 +183,7 @@ class AddressSpace:
         """
         region = self._regions.get(start)
         if region is None:
-            raise MemoryError_("mprotect of unmapped address %#x" % start)
+            raise VirtualMemoryError("mprotect of unmapped address %#x" % start)
         region.prot = prot
         if not prot & PROT_WRITE:
             region.ckpt_flagged.clear()
@@ -198,9 +198,9 @@ class AddressSpace:
         """
         region = self._regions.get(start)
         if region is None:
-            raise MemoryError_("mremap of unmapped address %#x" % start)
+            raise VirtualMemoryError("mremap of unmapped address %#x" % start)
         if new_npages <= 0:
-            raise MemoryError_("mremap to zero pages; use munmap")
+            raise VirtualMemoryError("mremap to zero pages; use munmap")
         if new_npages < region.npages:
             for idx in list(region.pages):
                 if idx >= new_npages:
@@ -272,7 +272,7 @@ class AddressSpace:
     def write_page(self, region, page_index, content):
         """Replace one whole page (the workload generators' fast path)."""
         if len(content) != PAGE_SIZE:
-            raise MemoryError_("write_page requires exactly one page of data")
+            raise VirtualMemoryError("write_page requires exactly one page of data")
         self._touch_page(region, page_index)
         region.pages[page_index] = bytes(content)
 

@@ -1,0 +1,125 @@
+"""Shared machinery for the crash-recovery sweep and the fault fuzzer.
+
+The driver below is a deterministic scripted desktop workload that touches
+every instrumented write path each unit: display commands (command log +
+keyframes), accessible text (index open/close), file writes (LFS block
+appends), and ticks (checkpoint store).  Determinism matters: the fuzz
+tests compare a faulted run against a clean run of the *same* script, so
+nothing here may depend on wall time or unseeded randomness.
+"""
+
+import json
+import os
+
+from repro.common.units import seconds
+from repro.desktop.dejaview import DejaView, RecordingConfig
+from repro.desktop.session import DesktopSession
+from repro.display.commands import Region
+from repro.display.recorder import RecorderConfig
+
+WORDS = ["alpha", "beta", "gamma", "delta",
+         "epsilon", "zeta", "theta", "kappa"]
+COLORS = [0xFF0000, 0x00FF00, 0x0000FF, 0xFFFF00, 0x00FFFF, 0xFF00FF]
+
+
+def build_session(fault_plan=None):
+    """A small session configured so every failpoint is reachable.
+
+    Keyframes every simulated second (the default ten-minute interval
+    would leave ``recorder.screenshot.mid_write`` unexercised by a short
+    drive).
+    """
+    session = DesktopSession(width=64, height=48)
+    config = RecordingConfig(
+        fault_plan=fault_plan,
+        recorder_config=RecorderConfig(screenshot_interval_us=seconds(1)),
+    )
+    dejaview = DejaView(session, config)
+    return session, dejaview
+
+
+def unit_text(index):
+    """The deterministic text shown during unit ``index``."""
+    return "%s unit%d notes" % (WORDS[index % len(WORDS)], index)
+
+
+def drive(session, dejaview, units=8, resilient=False, progress=None,
+          after_unit=None):
+    """Run the scripted workload for ``units`` units.
+
+    ``resilient=True`` swallows transient ``IOError`` per operation (the
+    application gives up on that operation and moves on), which is how a
+    robust desktop reacts to write errors; :class:`InjectedCrash` always
+    propagates — nothing survives the host dying.  ``progress`` (a dict)
+    gets ``progress["units"]`` bumped after each fully completed unit, so
+    a caller catching a crash knows how far the script got.  ``after_unit``
+    is called with the unit index after each completed unit (clean runs
+    use it to snapshot per-unit state for truncation comparisons).
+    """
+    editor = session.apps.get("editor")
+    if editor is None:
+        editor = session.launch("editor")
+        editor.focus()
+
+    def op(fn, *args, **kwargs):
+        try:
+            return fn(*args, **kwargs)
+        except IOError:
+            if not resilient:
+                raise
+            return None
+
+    nodes = []
+    for i in range(units):
+        op(editor.draw_fill,
+           Region(0, 0, session.width, session.height),
+           COLORS[i % len(COLORS)])
+        node = op(editor.show_text, unit_text(i))
+        if node is not None:
+            nodes.append(node)
+        op(editor.write_file, "/home/user/unit-%d.txt" % i,
+           (b"unit %d contents\n" % i) * 40)
+        if i % 2 == 1 and nodes:
+            # Exercise occurrence close (epoch back-fill) on odd units.
+            op(editor.remove_text, nodes.pop(0))
+        op(dejaview.tick)
+        session.clock.advance_us(seconds(1))
+        if progress is not None:
+            progress["units"] = i + 1
+        if after_unit is not None:
+            after_unit(i)
+    return editor
+
+
+def summarize(session, dejaview):
+    """Comparable facts about the recorded state (the fuzz invariants)."""
+    database = dejaview.database
+    return {
+        "checkpoint_ids": [r.checkpoint_id for r in dejaview.engine.history],
+        "timeline_entries": len(dejaview.recorder.timeline),
+        "command_count": dejaview.recorder.command_count,
+        "texts": sorted(occ.text for occ in database.all_occurrences()),
+        "posting_counts": {token: database.posting_count(token)
+                           for token in database.vocabulary()},
+    }
+
+
+def record_fault_matrix(plan):
+    """Merge ``plan``'s hit snapshot into the CI fault-matrix artifact.
+
+    No-op unless ``FAULT_MATRIX_PATH`` is set (the CI fault-matrix job
+    sets it; local runs stay clean).
+    """
+    path = os.environ.get("FAULT_MATRIX_PATH")
+    if not path:
+        return
+    merged = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            merged = json.load(handle)
+    for site, counts in plan.hit_snapshot().items():
+        entry = merged.setdefault(site, {"hits": 0, "fired": 0})
+        entry["hits"] += counts["hits"]
+        entry["fired"] += counts["fired"]
+    with open(path, "w") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)

@@ -87,14 +87,18 @@ class TestVerifyChain:
         assert report.issues_with("full-with-parent")
 
     def test_id_mismatch_detected(self):
+        import zlib
+
+        from repro.checkpoint.storage import TRAILER_MAGIC, _TRAILER
+
         _k, _c, fsstore, storage, _e, _p = _chain()
         image = storage.load(3)
         image.checkpoint_id = 30
-        storage._blobs[3] = storage._blobs.pop(3)  # keep under key 3
-        blob_key_3 = storage._blobs[3]
-        import zlib
-
-        storage._blobs[3] = zlib.compress(image.serialize(), 1)
+        raw = image.serialize()
+        blob = zlib.compress(raw, 1)
+        trailer = _TRAILER.pack(TRAILER_MAGIC, len(raw), len(blob),
+                                zlib.crc32(blob))
+        storage._blobs[3] = blob + trailer  # forged image kept under key 3
         report = verify_chain(storage, fsstore)
         assert report.issues_with("id-mismatch")
 

@@ -1,0 +1,262 @@
+"""Crash-point sweep: crash at every registered failpoint, reopen, recover.
+
+For each site in :func:`registered_failpoints` the sweep runs the scripted
+desktop workload with a one-shot crash armed mid-drive, catches the
+simulated host death, then reopens the same recorded state and runs
+:meth:`DejaView.recover`.  Afterwards the surviving record must be fully
+usable: the checkpoint chain verifies, playback completes end-to-end,
+search answers without errors and returns a subset of the clean run's
+results, and *Take me back* still revives.
+
+An observer run (an empty :class:`FaultPlan` counts hits but never fires)
+establishes per-site hit counts first, so each crash is armed at the
+midpoint of the site's activity — inside the drive, not during session
+construction.
+"""
+
+import warnings
+import zlib
+
+import pytest
+
+from repro import Query
+from repro.checkpoint.verify import verify_chain
+from repro.common.faults import (
+    FAILPOINTS,
+    FaultPlan,
+    FaultSpecError,
+    InjectedCrash,
+    InjectedFault,
+    NULL_FAULTS,
+    registered_failpoints,
+    resolve_faults,
+)
+
+from tests.faulthelpers import (
+    WORDS,
+    build_session,
+    drive,
+    record_fault_matrix,
+    summarize,
+)
+
+UNITS = 8
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    """One clean drive observed by an empty fault plan.
+
+    Yields per-site hit counts split into construction-time and
+    drive-time, plus the clean record's comparable facts and per-word
+    search result counts.
+    """
+    observer = FaultPlan()
+    session, dejaview = build_session(fault_plan=observer)
+    pre_drive = dict(observer.hits)
+    drive(session, dejaview, units=UNITS)
+    facts = summarize(session, dejaview)
+    facts["search_counts"] = {
+        word: len(dejaview.search(Query.keywords(word), render=False))
+        for word in WORDS
+    }
+    return {
+        "pre_drive": pre_drive,
+        "total": dict(observer.hits),
+        "facts": facts,
+    }
+
+
+class TestCrashSweep:
+    @pytest.mark.parametrize("site", registered_failpoints())
+    def test_crash_then_recover(self, site, clean_run):
+        pre = clean_run["pre_drive"].get(site, 0)
+        total = clean_run["total"].get(site, 0)
+        # Coverage guarantee: the driver must actually reach every
+        # registered site during the drive, else the sweep proves nothing.
+        assert total > pre, \
+            "failpoint %s is never hit by the sweep driver" % site
+
+        # Arm the crash at the midpoint of the site's drive-time activity
+        # (strictly after construction, so the DejaView reference exists
+        # to reopen).
+        after = pre + max(1, (total - pre) // 2)
+        plan = FaultPlan()
+        rule = plan.add(site, mode="crash", after=after)
+
+        holder = {}
+        with pytest.raises(InjectedCrash):
+            session, dejaview = build_session(fault_plan=plan)
+            holder["session"] = session
+            holder["dejaview"] = dejaview
+            drive(session, dejaview, units=UNITS)
+        assert rule.fired == 1
+        session = holder["session"]
+        dejaview = holder["dejaview"]
+
+        # Reopen: recover every stream, then demand full usability.
+        report = dejaview.recover()
+        record_fault_matrix(plan)
+        assert report["ok"], report
+
+        chain = verify_chain(dejaview.storage, session.fsstore)
+        assert chain.ok, chain.issues
+
+        record = dejaview.display_record()
+        engine = dejaview.playback_engine()
+        framebuffer, _stats = engine.play(record.start_us, record.end_us,
+                                          fastest=True)
+        assert framebuffer is not None
+
+        clean_counts = clean_run["facts"]["search_counts"]
+        for word in WORDS:
+            results = dejaview.search(Query.keywords(word), render=False)
+            assert len(results) <= clean_counts[word]
+
+        if dejaview.engine.history:
+            revived = dejaview.take_me_back(session.clock.now_us)
+            assert revived.container is not session.container
+
+
+class TestReviveFallback:
+    def test_torn_newest_checkpoint_falls_back(self):
+        session, dejaview = build_session()
+        drive(session, dejaview, units=4)
+        history = dejaview.engine.history
+        assert len(history) >= 2
+        newest = history[-1].checkpoint_id
+        # Tear the newest blob mid-frame, as a crash would.
+        blob = dejaview.storage._blobs[newest]
+        dejaview.storage._blobs[newest] = blob[:max(1, len(blob) // 3)]
+        fallbacks = dejaview.telemetry.metrics.counter("revive.fallbacks")
+        before = fallbacks.value
+        revived = dejaview.take_me_back(session.clock.now_us)
+        assert revived.container is not session.container
+        assert fallbacks.value > before
+
+    def test_blob_ok_flags_torn_and_corrupt(self):
+        session, dejaview = build_session()
+        drive(session, dejaview, units=2)
+        image_id = dejaview.engine.history[-1].checkpoint_id
+        ok, _reason = dejaview.storage.blob_ok(image_id)
+        assert ok
+        blob = dejaview.storage._blobs[image_id]
+        dejaview.storage._blobs[image_id] = blob[:len(blob) // 2]
+        ok, reason = dejaview.storage.blob_ok(image_id)
+        assert not ok and reason
+        # Bit-flip corruption (full length, bad checksum) is also caught.
+        flipped = bytearray(blob)
+        flipped[0] ^= 0xFF
+        dejaview.storage._blobs[image_id] = bytes(flipped)
+        ok, reason = dejaview.storage.blob_ok(image_id)
+        assert not ok and "checksum" in reason
+
+
+class TestFaultPlanUnit:
+    def test_registered_failpoints_sorted_and_documented(self):
+        sites = registered_failpoints()
+        assert sites == sorted(sites)
+        assert all(FAILPOINTS[site] for site in sites)
+
+    def test_parse_round_trip(self):
+        plan = FaultPlan.parse(
+            "lfs.append.mid_block:after=3;"
+            "recorder.log.append:mode=io,p=0.25,repeat"
+        )
+        assert len(plan.rules) == 2
+        first, second = plan.rules
+        assert (first.site, first.mode, first.after) == \
+            ("lfs.append.mid_block", "crash", 3)
+        assert (second.site, second.mode, second.once) == \
+            ("recorder.log.append", "io", False)
+        assert second.probability == 0.25
+
+    def test_parse_rejects_unknown_site(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse("no.such.site")
+
+    def test_parse_rejects_unknown_option(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse("lfs.append.mid_block:bogus=1")
+
+    def test_rule_validation(self):
+        plan = FaultPlan()
+        with pytest.raises(FaultSpecError):
+            plan.add("lfs.append.mid_block", mode="explode")
+        with pytest.raises(FaultSpecError):
+            plan.add("lfs.append.mid_block", after=0)
+        with pytest.raises(FaultSpecError):
+            plan.add("lfs.append.mid_block", probability=0.0)
+
+    def test_after_counts_eligible_hits(self):
+        plan = FaultPlan()
+        plan.add("recorder.log.append", mode="io", after=3)
+        plan.check("recorder.log.append")
+        plan.check("recorder.log.append")
+        with pytest.raises(InjectedFault):
+            plan.check("recorder.log.append")
+        # once=True: no further fires.
+        plan.check("recorder.log.append")
+        assert plan.fired("recorder.log.append") == 1
+        assert plan.hits["recorder.log.append"] == 4
+
+    def test_probability_is_deterministic_under_seed(self):
+        def fire_pattern(seed):
+            plan = FaultPlan(seed=seed)
+            plan.add("recorder.log.append", mode="io", probability=0.5,
+                     once=False)
+            pattern = []
+            for _ in range(32):
+                try:
+                    plan.check("recorder.log.append")
+                    pattern.append(False)
+                except InjectedFault:
+                    pattern.append(True)
+            return pattern
+
+        assert fire_pattern(7) == fire_pattern(7)
+        assert any(fire_pattern(7))
+        assert not all(fire_pattern(7))
+
+    def test_null_plan_is_inert(self):
+        assert resolve_faults(None) is NULL_FAULTS
+        assert not NULL_FAULTS.active
+        assert not NULL_FAULTS
+        assert NULL_FAULTS.check("storage.store.pre_commit") is None
+        assert NULL_FAULTS.hit_snapshot() == {}
+
+    def test_hit_snapshot_covers_every_site(self):
+        plan = FaultPlan()
+        plan.check("lfs.append.mid_block")
+        snap = plan.hit_snapshot()
+        assert sorted(snap) == registered_failpoints()
+        assert snap["lfs.append.mid_block"] == {"hits": 1, "fired": 0}
+        assert snap["storage.store.pre_commit"] == {"hits": 0, "fired": 0}
+
+    def test_injected_crash_escapes_blanket_except(self):
+        plan = FaultPlan()
+        plan.add("storage.store.pre_commit", mode="crash")
+        with pytest.raises(InjectedCrash):
+            try:
+                plan.check("storage.store.pre_commit")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("InjectedCrash must not be an Exception")
+
+
+class TestDeprecatedAlias:
+    def test_memory_error_alias_warns_and_resolves(self):
+        from repro.common import errors
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(DeprecationWarning):
+                errors.MemoryError_  # noqa: B018
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert errors.MemoryError_ is errors.VirtualMemoryError
+
+    def test_unknown_attribute_still_raises(self):
+        from repro.common import errors
+
+        with pytest.raises(AttributeError):
+            errors.NoSuchThing  # noqa: B018

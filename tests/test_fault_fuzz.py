@@ -1,0 +1,188 @@
+"""Seeded fault fuzzing: random fault plans over the scripted workload.
+
+Two layers of invariants:
+
+* **Crash-only fuzz** compares the recovered state against per-unit
+  snapshots of a clean run of the same deterministic script.  A crash
+  during unit *k+1* must recover to a state sandwiched between the clean
+  run truncated at unit *k* (nothing committed before the crash may be
+  lost) and the full clean run (nothing may be invented).
+* **Mixed fuzz** adds transient ``IOError`` rules the driver absorbs
+  per-operation, so the two runs' scripts diverge; the invariants weaken
+  to upper bounds plus full post-recovery usability (chain verifies,
+  playback completes, search answers).
+
+Seeds are fixed for reproducibility; ``FAULT_SEED`` adds one more seed
+from the environment (the CI fault-matrix job uses it to vary coverage
+across jobs without editing the file).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro import Query
+from repro.checkpoint.verify import verify_chain
+from repro.common.faults import FaultPlan, InjectedCrash, registered_failpoints
+
+from tests.faulthelpers import (
+    WORDS,
+    build_session,
+    drive,
+    record_fault_matrix,
+    summarize,
+)
+
+UNITS = 8
+
+SEEDS = [101, 202, 303]
+if os.environ.get("FAULT_SEED"):
+    SEEDS = SEEDS + [int(os.environ["FAULT_SEED"])]
+
+
+@pytest.fixture(scope="module")
+def clean_snapshots():
+    """The clean run's comparable facts after every unit (index ``k``
+    holds the state once unit ``k`` completed), plus the final facts."""
+    session, dejaview = build_session()
+    snapshots = []
+    drive(session, dejaview, units=UNITS,
+          after_unit=lambda i: snapshots.append(summarize(session, dejaview)))
+    return {"per_unit": snapshots, "final": summarize(session, dejaview)}
+
+
+def _assert_usable(session, dejaview, clean_final):
+    """Post-recovery usability: the recovered record must serve every
+    user-facing verb without errors, and never invent state the clean
+    run does not have."""
+    chain = verify_chain(dejaview.storage, session.fsstore)
+    assert chain.ok, chain.issues
+
+    record = dejaview.display_record()
+    engine = dejaview.playback_engine()
+    framebuffer, _stats = engine.play(record.start_us, record.end_us,
+                                      fastest=True)
+    assert framebuffer is not None
+
+    facts = summarize(session, dejaview)
+    assert len(facts["checkpoint_ids"]) <= len(clean_final["checkpoint_ids"])
+    # recover() appends one re-anchor keyframe, hence the +1.
+    assert facts["timeline_entries"] <= clean_final["timeline_entries"] + 1
+    assert set(facts["texts"]) <= set(clean_final["texts"])
+    for token, count in facts["posting_counts"].items():
+        assert count <= clean_final["posting_counts"].get(token, 0), token
+
+    for word in WORDS:
+        dejaview.search(Query.keywords(word), render=False)
+    return facts
+
+
+class TestCrashOnlyFuzz:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_recovers_to_truncated_clean_run(self, seed, clean_snapshots):
+        rng = random.Random(seed)
+        plan = FaultPlan(seed=seed)
+        site = rng.choice(registered_failpoints())
+        rule = plan.add(site, mode="crash", after=rng.randrange(2, 20))
+
+        holder = {}
+        progress = {"units": 0}
+        try:
+            session, dejaview = build_session(fault_plan=plan)
+            holder["session"] = session
+            holder["dejaview"] = dejaview
+            drive(session, dejaview, units=UNITS, progress=progress)
+        except InjectedCrash:
+            pass
+        session = holder["session"]
+        dejaview = holder["dejaview"]
+
+        report = dejaview.recover()
+        record_fault_matrix(plan)
+        assert report["ok"], report
+
+        facts = _assert_usable(session, dejaview, clean_snapshots["final"])
+
+        # Until the crash the two runs executed the same script, so
+        # everything committed through the last completed unit survives
+        # recovery: the truncation lower bound.
+        completed = progress["units"]
+        if rule.fired and completed > 0:
+            base = clean_snapshots["per_unit"][completed - 1]
+            assert set(base["texts"]) <= set(facts["texts"])
+            assert facts["timeline_entries"] >= base["timeline_entries"]
+            for token, count in base["posting_counts"].items():
+                assert facts["posting_counts"].get(token, 0) >= count, token
+            # The only checkpoint the crash may cost is the one being
+            # written; every earlier id must still verify and revive.
+            assert len(facts["checkpoint_ids"]) >= \
+                len(base["checkpoint_ids"]) - 1
+        if not rule.fired:
+            # The rule armed past the site's activity: the run completed
+            # cleanly and recover() must then be harmless (idempotence).
+            assert completed == UNITS
+            assert set(facts["texts"]) == \
+                set(clean_snapshots["final"]["texts"])
+
+
+class TestMixedFaultFuzz:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_transient_faults_plus_crash(self, seed, clean_snapshots):
+        rng = random.Random(seed ^ 0x5EED)
+        plan = FaultPlan(seed=seed)
+        sites = registered_failpoints()
+        for _ in range(rng.randrange(2, 5)):
+            # after >= 2 keeps transient faults out of session
+            # construction (the recorder's initial keyframe is hit 1 of
+            # its site); the driver only absorbs IOError once it runs.
+            plan.add(rng.choice(sites), mode="io",
+                     after=rng.randrange(2, 8),
+                     probability=rng.choice([1.0, 0.5]),
+                     once=rng.random() < 0.5)
+        plan.add(rng.choice(sites), mode="crash",
+                 after=rng.randrange(2, 15))
+
+        holder = {}
+        progress = {"units": 0}
+        crashed = False
+        try:
+            session, dejaview = build_session(fault_plan=plan)
+            holder["session"] = session
+            holder["dejaview"] = dejaview
+            drive(session, dejaview, units=UNITS, resilient=True,
+                  progress=progress)
+        except InjectedCrash:
+            crashed = True
+        session = holder["session"]
+        dejaview = holder["dejaview"]
+
+        report = dejaview.recover()
+        record_fault_matrix(plan)
+        assert report["ok"], report
+        _assert_usable(session, dejaview, clean_snapshots["final"])
+        assert crashed or progress["units"] == UNITS
+
+    def test_double_recover_is_stable(self, clean_snapshots):
+        """recover() twice in a row must be a fixpoint."""
+        plan = FaultPlan(seed=1)
+        plan.add("storage.store.pre_commit", mode="crash", after=3)
+        holder = {}
+        with pytest.raises(InjectedCrash):
+            session, dejaview = build_session(fault_plan=plan)
+            holder["session"] = session
+            holder["dejaview"] = dejaview
+            drive(session, dejaview, units=UNITS)
+        session = holder["session"]
+        dejaview = holder["dejaview"]
+        first = dejaview.recover()
+        assert first["ok"]
+        before = summarize(session, dejaview)
+        second = dejaview.recover()
+        assert second["ok"]
+        assert second["storage"]["torn_dropped"] == []
+        assert second["storage"]["chain_dropped"] == []
+        after = summarize(session, dejaview)
+        assert before["checkpoint_ids"] == after["checkpoint_ids"]
+        assert before["texts"] == after["texts"]
+        assert before["posting_counts"] == after["posting_counts"]

@@ -35,17 +35,17 @@ class TestMapping:
             space.munmap(0x1234000)
 
     def test_region_requires_positive_pages(self):
-        from repro.common.errors import MemoryError_
+        from repro.common.errors import VirtualMemoryError
         from repro.vex.memory import VMRegion
 
-        with pytest.raises(MemoryError_):
+        with pytest.raises(VirtualMemoryError):
             VMRegion(0, 0)
 
     def test_region_start_must_be_aligned(self):
-        from repro.common.errors import MemoryError_
+        from repro.common.errors import VirtualMemoryError
         from repro.vex.memory import VMRegion
 
-        with pytest.raises(MemoryError_):
+        with pytest.raises(VirtualMemoryError):
             VMRegion(123, 1)
 
 
@@ -89,9 +89,9 @@ class TestReadWrite:
 
     def test_write_page_requires_full_page(self):
         space, region = _space_with_region()
-        from repro.common.errors import MemoryError_
+        from repro.common.errors import VirtualMemoryError
 
-        with pytest.raises(MemoryError_):
+        with pytest.raises(VirtualMemoryError):
             space.write_page(region, 0, b"short")
 
     def test_dirty_tracking(self):
@@ -180,9 +180,9 @@ class TestInterceptedSyscalls:
 
     def test_mprotect_unknown_region(self):
         space = AddressSpace()
-        from repro.common.errors import MemoryError_
+        from repro.common.errors import VirtualMemoryError
 
-        with pytest.raises(MemoryError_):
+        with pytest.raises(VirtualMemoryError):
             space.mprotect(0x5000, PROT_READ)
 
     def test_mremap_shrink_discards_state(self):
@@ -202,9 +202,9 @@ class TestInterceptedSyscalls:
 
     def test_mremap_to_zero_rejected(self):
         space, region = _space_with_region()
-        from repro.common.errors import MemoryError_
+        from repro.common.errors import VirtualMemoryError
 
-        with pytest.raises(MemoryError_):
+        with pytest.raises(VirtualMemoryError):
             space.mremap(region.start, 0)
 
     def test_munmap_removes_from_incremental_state(self):
