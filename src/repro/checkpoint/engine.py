@@ -71,6 +71,9 @@ class CheckpointResult:
     process_count: int = 0
     image_bytes: int = 0
     image_bytes_compressed: int = 0
+    bytes_written: int = 0
+    pages_deduped: int = 0
+    dedup_bytes_saved: int = 0
 
     @property
     def pre_checkpoint_us(self):
@@ -424,14 +427,18 @@ class CheckpointEngine:
             self._cow_pending.clear()
         result.image_bytes = image.nbytes
         if deferred:
-            written = self.storage.store(image, charge_time=False)
-            duration = self.costs.disk_write_us(written, sequential=True)
+            receipt = self.storage.store(image, charge_time=False)
+            duration = self.costs.disk_write_us(
+                receipt.accounted_bytes, sequential=True)
             if self.storage.compress:
                 duration += self.costs.compress_us(image.nbytes)
             result.writeback_us = int(duration)
         else:
-            self.storage.store(image, charge_time=True)
+            receipt = self.storage.store(image, charge_time=True)
             result.writeback_us = 0  # included in the downtime instead
+        result.bytes_written = receipt.accounted_bytes
+        result.pages_deduped = receipt.pages_deduped
+        result.dedup_bytes_saved = receipt.dedup_bytes_saved
         _unc, comp = self.storage.size_of(image.checkpoint_id)
         result.image_bytes_compressed = comp
         self._recent_buffer_sizes.append(image.nbytes)

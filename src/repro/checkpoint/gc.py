@@ -12,7 +12,15 @@ Pruning a checkpoint has two parts, and both have dependencies:
   becomes unprotected, and the log cleaner can reclaim blocks reachable
   only from unprotected history (the NILFS checkpoint/snapshot model).
 
-:func:`prune_checkpoints` performs both, safely.
+With the content-addressed page store, deleting an image only decrements
+page refcounts; pages whose last reference goes away leave *dead bytes*
+inside their append-only extents.  :func:`prune_checkpoints` therefore
+finishes with a **compaction pass** (:meth:`CheckpointStorage.compact`)
+that reclaims orphaned pages and rewrites extents whose dead fraction
+crossed the threshold, so pruning actually returns disk space instead of
+just punching holes.
+
+:func:`prune_checkpoints` performs all of it, safely.
 """
 
 from dataclasses import dataclass
@@ -28,6 +36,10 @@ class PruneReport:
     deleted_images: tuple
     image_bytes_freed: int
     fs_bytes_reclaimed: int
+    cas_orphans_reclaimed: int = 0
+    extents_rewritten: int = 0
+    pages_moved: int = 0
+    extent_bytes_reclaimed: int = 0
 
 
 def required_images(storage, keep_ids):
@@ -70,9 +82,17 @@ def prune_checkpoints(storage, fsstore, keep_ids):
             pass  # the image may predate the fs binding (tests)
         deleted.append(image_id)
     reclaimed = fs.collect_garbage(fs.protected_txns())
+    compaction = {}
+    compactor = getattr(storage, "compact", None)
+    if compactor is not None:
+        compaction = compactor()
     return PruneReport(
         kept_images=tuple(sorted(required)),
         deleted_images=tuple(sorted(deleted)),
         image_bytes_freed=freed,
         fs_bytes_reclaimed=reclaimed,
+        cas_orphans_reclaimed=compaction.get("orphans_reclaimed", 0),
+        extents_rewritten=compaction.get("extents_rewritten", 0),
+        pages_moved=compaction.get("pages_moved", 0),
+        extent_bytes_reclaimed=compaction.get("bytes_reclaimed", 0),
     )

@@ -13,24 +13,47 @@ saved copy ("when the restoration process encounters a memory region that
 is contained in another file, as marked by its list of saved memory
 regions, it opens the appropriate file and retrieves the necessary pages").
 
-Serialization is TLV: a JSON metadata record (everything except page
-contents) followed by one record per saved page.  Page payloads dominate, as
-the paper observes ("the memory state of the processes dominates the
-checkpoint image").
+Serialization is TLV and comes in two on-disk formats:
+
+* **v2 (whole blob)** — a JSON metadata record followed by one
+  ``TAG_PAGE`` record per saved page carrying the page payload inline.
+  Page payloads dominate, as the paper observes ("the memory state of the
+  processes dominates the checkpoint image").
+* **v3 (manifest)** — the same metadata record followed by one
+  ``TAG_PAGE_REF`` record per saved page carrying only the SHA-1 digest
+  of the page content.  Payloads live in the storage layer's
+  content-addressed page store, shared across every image that saved an
+  identical page; the stream header's format version distinguishes the
+  two so v2 blobs remain readable.
 """
 
+import hashlib
 import json
 import struct
 
 from repro.common.errors import CheckpointError
-from repro.common.serial import RecordReader, RecordWriter
+from repro.common.serial import (
+    FORMAT_VERSION,
+    FORMAT_VERSION_MANIFEST,
+    RecordReader,
+    RecordWriter,
+)
 
 STREAM_KIND_CHECKPOINT = 0xC4E7
 
 TAG_METADATA = 1
 TAG_PAGE = 2
+TAG_PAGE_REF = 3
 
 _PAGE_HEADER = struct.Struct("<IQI")  # vpid, region start, page index
+
+#: SHA-1 digest length: the content address of one page.
+DIGEST_SIZE = hashlib.sha1().digest_size
+
+
+def page_digest(content):
+    """The content address of one page payload (raw SHA-1 digest)."""
+    return hashlib.sha1(bytes(content)).digest()
 
 
 def _page_key_str(key):
@@ -66,6 +89,11 @@ class CheckpointImage:
     page_locations:
         ``{(vpid, region_start, page_index): image_id}`` for every page
         resident at checkpoint time.
+    page_digests:
+        ``{(vpid, region_start, page_index): sha1 digest}`` manifest for
+        the pages saved in this image.  Populated by a v3 deserialize (the
+        payloads then live in the content-addressed page store) or by
+        :meth:`serialize` when writing format 3; empty for v2 round trips.
     """
 
     def __init__(self, checkpoint_id, timestamp_us, container_name,
@@ -80,6 +108,7 @@ class CheckpointImage:
         self.regions = {}
         self.pages = {}
         self.page_locations = {}
+        self.page_digests = {}
         self.relinked_files = []  # [(vpid, fd, relink path), ...]
 
     # ------------------------------------------------------------------ #
@@ -123,13 +152,48 @@ class CheckpointImage:
         }
         return json.dumps(meta, separators=(",", ":")).encode("utf-8")
 
-    def serialize(self):
-        """Encode the image as a TLV byte stream."""
-        writer = RecordWriter(kind=STREAM_KIND_CHECKPOINT)
+    def manifest(self):
+        """``{key: digest}`` for every page saved in this image.
+
+        Digests come from :attr:`page_digests` when present (a v3
+        deserialize carries no payloads) and are computed from
+        :attr:`pages` otherwise, so the manifest is always available no
+        matter which format the image came from.
+        """
+        out = {}
+        for key in set(self.pages) | set(self.page_digests):
+            digest = self.page_digests.get(key)
+            if digest is None:
+                digest = page_digest(self.pages[key])
+            out[key] = digest
+        return out
+
+    def serialize(self, format=FORMAT_VERSION):
+        """Encode the image as a TLV byte stream.
+
+        ``format=2`` (the default) writes the whole-blob layout with page
+        payloads inline; ``format=3`` writes the manifest layout with one
+        digest reference per page — the caller (the storage layer) owns
+        placing the payloads in the content-addressed store.
+        """
+        if format == FORMAT_VERSION:
+            writer = RecordWriter(kind=STREAM_KIND_CHECKPOINT)
+            writer.write(TAG_METADATA, self._metadata_json())
+            for (vpid, region_start, page_index), content in sorted(
+                    self.pages.items()):
+                header = _PAGE_HEADER.pack(vpid, region_start, page_index)
+                writer.write(TAG_PAGE, header + content)
+            return writer.getvalue()
+        if format != FORMAT_VERSION_MANIFEST:
+            raise CheckpointError("unknown image format %r" % (format,))
+        manifest = self.manifest()
+        writer = RecordWriter(kind=STREAM_KIND_CHECKPOINT,
+                              version=FORMAT_VERSION_MANIFEST)
         writer.write(TAG_METADATA, self._metadata_json())
-        for (vpid, region_start, page_index), content in sorted(self.pages.items()):
+        for (vpid, region_start, page_index), digest in sorted(
+                manifest.items()):
             header = _PAGE_HEADER.pack(vpid, region_start, page_index)
-            writer.write(TAG_PAGE, header + content)
+            writer.write(TAG_PAGE_REF, header + digest)
         return writer.getvalue()
 
     @classmethod
@@ -158,13 +222,21 @@ class CheckpointImage:
             for key, image_id in meta["page_locations"].items()
         }
         image.relinked_files = [tuple(item) for item in meta["relinked_files"]]
+        manifest_stream = reader.version == FORMAT_VERSION_MANIFEST
+        expected_tag = TAG_PAGE_REF if manifest_stream else TAG_PAGE
         for tag, payload, _off in records:
-            if tag != TAG_PAGE:
+            if tag != expected_tag:
                 raise CheckpointError("unexpected record tag %d in image" % tag)
             vpid, region_start, page_index = _PAGE_HEADER.unpack_from(payload)
-            image.pages[(vpid, region_start, page_index)] = payload[
-                _PAGE_HEADER.size :
-            ]
+            key = (vpid, region_start, page_index)
+            body = payload[_PAGE_HEADER.size:]
+            if manifest_stream:
+                if len(body) != DIGEST_SIZE:
+                    raise CheckpointError(
+                        "malformed digest reference for page %r" % (key,))
+                image.page_digests[key] = body
+            else:
+                image.pages[key] = body
         return image
 
     def __repr__(self):

@@ -90,13 +90,20 @@ class DemandPager:
             self._images[owner_id] = self._manager.storage.load(
                 owner_id, cached=self._cached, metadata_only=True
             )
-        # One page-sized random read from the image file.
-        page_len = len(self._images[owner_id].pages.get(key, b"")) or 4096
+        # Resolve the payload: inline for v2 images, via the manifest
+        # digest into the content-addressed page store for v3.
+        owner = self._images[owner_id]
+        content = owner.pages.get(key)
+        if content is None:
+            digest = owner.page_digests.get(key)
+            if digest is not None:
+                content = self._manager.storage.cas_page(digest)
+        # One page-sized random read from the image file / page store.
+        page_len = len(content) if content is not None else 4096
         if self._cached:
             clock.advance_us(page_len * costs.memcpy_us_per_byte)
         else:
             clock.advance_us(costs.disk_read_us(page_len, sequential=False))
-        content = self._images[owner_id].pages.get(key)
         if content is None:
             raise ReviveError("page %r missing from image %d" % (key, owner_id))
         region.pages[page_index] = content

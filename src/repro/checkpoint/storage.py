@@ -8,28 +8,61 @@ behind Figure 7's two revive series ("reviving using checkpoint files that
 have been cached due to recent file access more commonly occurs when users
 revive a session at a time relatively close to the current time").
 
-Host-side, images are kept zlib-compressed regardless of the *accounting*
-mode, so long experiments stay memory-friendly.
+Two on-disk layouts coexist:
 
-Durability: each stored blob carries a fixed-size trailer — magic,
-uncompressed length, compressed length, CRC-32 of the compressed bytes —
-so a write torn by a crash (the ``storage.store.pre_commit`` failpoint)
-is detected on read instead of silently misdecoding.  :meth:`recover`
-drops torn blobs and then repairs the checkpoint chain with
-:func:`repro.checkpoint.verify.verify_chain` until the survivors verify
-clean.  ``store`` is transactional: all fault/charge steps that can
-raise happen before any accounting is mutated, so a failed store leaves
-the totals untouched (and never double-counts on retry).
+* **Whole blob** (``page_store=False``, serial format v2) — each image is
+  one monolithic zlib frame; identical pages shared across the chain are
+  written and accounted once per checkpoint.
+* **Content-addressed page store** (``page_store=True``, the default,
+  serial format v3) — page payloads are stored once in a refcounted CAS
+  keyed by SHA-1 digest and shared across every image that saved an
+  identical page; images serialize as metadata plus a digest manifest.
+  ``store`` dedups against live pages, ``delete`` decrements refcounts and
+  reclaims only orphaned pages, and :meth:`compact` rewrites fragmented
+  page extents after pruning.  v2 blobs injected into a CAS store remain
+  readable (their pages are inline, so their manifest is empty).
+
+Accounting: per-image *logical* sizes (:meth:`size_of`, what a full read
+of that image costs) stay the manifest plus every referenced page, while
+``total_*_bytes`` are *physical* — each unique CAS page is charged once,
+which is exactly the Figure-4 dedup win.  The accounted mode (compressed
+vs raw) is snapshotted per blob and per page at store time, so toggling
+``compress`` between ``store`` and ``delete`` cannot drift the totals.
+
+Host-side, payloads are kept zlib-compressed regardless of the
+*accounting* mode, so long experiments stay memory-friendly.
+
+Durability: each stored manifest/blob carries a fixed-size trailer —
+magic, uncompressed length, compressed length, CRC-32 of the compressed
+bytes — so a write torn by a crash (the ``storage.store.pre_commit``
+failpoint) is detected on read instead of silently misdecoding.  The CAS
+write path adds two more sites: ``storage.cas.page_append`` (crash leaves
+a torn uncommitted page, with earlier pages committed but unreferenced)
+and ``storage.cas.manifest_commit`` (crash strands freshly committed
+pages as orphans).  :meth:`recover` is a full fsck: it drops torn frames,
+discards torn/corrupt CAS pages, drops manifests with dangling digests,
+rebuilds refcounts from the surviving manifests, reclaims orphans,
+repairs the chain with :func:`repro.checkpoint.verify.verify_chain` to a
+fixpoint, and recomputes the physical totals.  ``store`` stays
+transactional for *transient* faults: an :class:`InjectedFault` rolls
+back every page committed by that call, so a failed store leaves the
+totals untouched (and never double-counts on retry).
 """
 
 import struct
 import zlib
+from dataclasses import dataclass
 
 from repro.common.clock import VirtualClock
 from repro.common.costs import DEFAULT_COSTS
 from repro.common.errors import CheckpointError, SnapshotError
-from repro.common.faults import InjectedCrash, resolve_faults
-from repro.checkpoint.image import CheckpointImage
+from repro.common.faults import InjectedCrash, InjectedFault, resolve_faults
+from repro.common.telemetry import resolve_telemetry
+from repro.checkpoint.image import (
+    CheckpointImage,
+    FORMAT_VERSION_MANIFEST,
+    page_digest,
+)
 
 #: Blob trailer: magic, uncompressed length, compressed length, CRC-32 of
 #: the compressed payload.  Written after the payload, so a torn write is
@@ -38,27 +71,82 @@ _TRAILER = struct.Struct("<4sIII")
 TRAILER_MAGIC = b"DJCK"
 
 FP_STORE_PRE_COMMIT = "storage.store.pre_commit"
+FP_CAS_PAGE_APPEND = "storage.cas.page_append"
+FP_CAS_MANIFEST_COMMIT = "storage.cas.manifest_commit"
+
+#: CAS pages are appended to fixed-size extents (compressed bytes).  A
+#: reclaimed page leaves dead bytes in its extent; :meth:`compact`
+#: rewrites extents whose dead fraction crosses the threshold.
+EXTENT_TARGET_BYTES = 256 * 1024
+DEFAULT_DEAD_FRACTION = 0.25
+
+
+class _Extent:
+    """One append-only run of compressed page payloads."""
+
+    __slots__ = ("live", "dead", "digests")
+
+    def __init__(self):
+        self.live = 0
+        self.dead = 0
+        self.digests = set()
+
+
+@dataclass
+class StoreReceipt:
+    """What one ``store`` call actually wrote (as accounted)."""
+
+    image_id: int
+    accounted_bytes: int
+    pages_stored: int = 0
+    pages_deduped: int = 0
+    dedup_bytes_saved: int = 0
 
 
 class CheckpointStorage:
     """Stores serialized checkpoint images on a simulated disk."""
 
     def __init__(self, clock=None, costs=DEFAULT_COSTS, compress=False,
-                 faults=None):
+                 faults=None, telemetry=None, page_store=True):
         self.clock = clock if clock is not None else VirtualClock()
         self.costs = costs
         #: Whether the *accounted* storage format is compressed (the paper
         #: reports both "Process" and "Process (Compressed)" growth rates).
         self.compress = compress
+        #: Content-addressed page store (v3 manifests) vs whole blobs (v2).
+        self.page_store = page_store
         self.faults = resolve_faults(faults)
         self._blobs = {}  # image id -> framed blob (zlib payload + trailer)
-        self._sizes = {}  # image id -> (uncompressed, compressed)
+        self._sizes = {}  # image id -> logical (uncompressed, compressed)
         self._meta_sizes = {}  # image id -> metadata record bytes
         self._cached = set()
+        # Manifest bookkeeping (one entry per stored image).
+        self._manifests = {}  # image id -> tuple of page digests (key order)
+        self._manifest_sizes = {}  # image id -> (raw, compressed) blob bytes
+        self._stored_mode = {}  # image id -> accounted mode at store time
+        # The content-addressed store proper.
+        self._cas = {}  # digest -> page payload bytes
+        self._cas_refs = {}  # digest -> (image, key) reference count
+        self._cas_sizes = {}  # digest -> (raw, compressed) page bytes
+        self._cas_mode = {}  # digest -> accounted mode at first store
+        self._cas_extent = {}  # digest -> extent id
+        self._extents = {}  # extent id -> _Extent
+        self._extent_seq = 0
+        self._current_extent = None
+        # Physical totals: manifests plus unique CAS pages, charged once.
         self.total_uncompressed_bytes = 0
         self.total_compressed_bytes = 0
         self.write_count = 0
         self.read_count = 0
+        self.pages_deduped = 0
+        self.dedup_bytes_saved = 0
+        self.cas_orphans_reclaimed = 0
+        self.compaction_runs = 0
+        self.compaction_bytes_reclaimed = 0
+        metrics = resolve_telemetry(telemetry)
+        self._m_pages_deduped = metrics.counter("storage.pages_deduped")
+        self._m_dedup_saved = metrics.counter("storage.dedup_bytes_saved")
+        self._m_orphans = metrics.counter("storage.cas_orphans_reclaimed")
 
     def bind_faults(self, faults):
         self.faults = resolve_faults(faults)
@@ -67,53 +155,253 @@ class CheckpointStorage:
     # Write path
 
     def store(self, image, charge_time=True):
-        """Serialize and write an image; returns bytes written (as
-        accounted, i.e. compressed when compression is enabled).
+        """Serialize and write an image; returns a :class:`StoreReceipt`
+        whose ``accounted_bytes`` is the bytes actually written as
+        accounted (compressed when compression is enabled, with pages
+        already present in the CAS deduplicated away).
 
-        Transactional: everything that can raise (the failpoint check,
-        the cost-model charges) runs before any byte of accounting state
-        is mutated, so a failed store leaves the totals consistent.  An
-        injected *crash* instead commits a deliberately torn frame — the
-        on-disk state a real mid-write power cut leaves — before
-        propagating.
+        Transactional for transient faults: an :class:`InjectedFault`
+        rolls back every page this call committed, so a failed store
+        leaves the totals consistent.  An injected *crash* instead leaves
+        the on-disk state a real mid-write power cut would — a torn
+        frame, a torn page, or committed-but-unreferenced pages —
+        before propagating.
         """
         if image.checkpoint_id in self._blobs:
             raise CheckpointError(
                 "checkpoint %d already stored" % image.checkpoint_id
             )
-        raw = image.serialize()
+        if not self.page_store:
+            return self._store_blob(image, charge_time)
+        return self._store_manifest(image, charge_time)
+
+    def _frame(self, raw):
         blob = zlib.compress(raw, level=1)
-        frame = blob + _TRAILER.pack(
+        return blob, blob + _TRAILER.pack(
             TRAILER_MAGIC, len(raw), len(blob), zlib.crc32(blob))
-        written = len(blob) if self.compress else len(raw)
+
+    def _crash_torn_frame(self, image_id, frame):
+        """The host died mid-write: half the frame made it to disk,
+        trailer missing.  No cache entry — the machine is gone."""
+        torn = frame[:max(1, len(frame) // 2)]
+        self._blobs[image_id] = torn
+        self._sizes[image_id] = (0, len(torn))
+        self._meta_sizes[image_id] = 0
+        self.total_compressed_bytes += len(torn)
+
+    def _store_blob(self, image, charge_time):
+        """Legacy whole-blob write path (serial format v2)."""
+        raw = image.serialize()
+        blob, frame = self._frame(raw)
+        mode = self.compress
+        written = len(blob) if mode else len(raw)
+        image_id = image.checkpoint_id
         try:
             # A transient fault (InjectedFault/IOError) raises here,
             # before any mutation: the store simply did not happen.
             self.faults.check(FP_STORE_PRE_COMMIT)
         except InjectedCrash:
-            # The host died mid-write: half the frame made it to disk,
-            # trailer missing.  No cache entry — the machine is gone.
-            torn = frame[:max(1, len(frame) // 2)]
-            self._blobs[image.checkpoint_id] = torn
-            self._sizes[image.checkpoint_id] = (0, len(torn))
-            self._meta_sizes[image.checkpoint_id] = 0
-            self.total_compressed_bytes += len(torn)
+            self._crash_torn_frame(image_id, frame)
             raise
         if charge_time:
-            if self.compress:
+            if mode:
                 self.clock.advance_us(self.costs.compress_us(len(raw)))
             self.clock.advance_us(
                 self.costs.disk_write_us(written, sequential=True)
             )
-        self._blobs[image.checkpoint_id] = frame
-        self._sizes[image.checkpoint_id] = (len(raw), len(blob))
-        self._meta_sizes[image.checkpoint_id] = image.metadata_bytes
+        self._blobs[image_id] = frame
+        self._sizes[image_id] = (len(raw), len(blob))
+        self._meta_sizes[image_id] = image.metadata_bytes
+        self._manifests[image_id] = ()
+        self._manifest_sizes[image_id] = (len(raw), len(blob))
+        self._stored_mode[image_id] = mode
         self.total_uncompressed_bytes += len(raw)
         self.total_compressed_bytes += len(blob)
         self.write_count += 1
         # A freshly written image sits in the page cache.
-        self._cached.add(image.checkpoint_id)
-        return written
+        self._cached.add(image_id)
+        return StoreReceipt(image_id=image_id, accounted_bytes=written,
+                            pages_stored=len(image.pages))
+
+    def _store_manifest(self, image, charge_time):
+        """CAS write path: append new pages, then commit the manifest."""
+        image_id = image.checkpoint_id
+        mode = self.compress
+        manifest = image.manifest()
+        contents = {}
+        for key in manifest:
+            digest = manifest[key]
+            content = image.pages.get(key)
+            if content is None:
+                content = self._cas.get(digest)
+                if content is None or digest not in self._cas_refs:
+                    raise CheckpointError(
+                        "page %r of checkpoint %d has no payload and is "
+                        "not in the page store" % (key, image_id))
+            contents[digest] = bytes(content)
+        # Serialize the manifest from the digests just computed (no
+        # second hashing pass inside serialize).
+        image.page_digests = dict(manifest)
+        raw = image.serialize(format=FORMAT_VERSION_MANIFEST)
+        blob, frame = self._frame(raw)
+        # Dedup analysis, before any mutation.  ``ordered`` has one digest
+        # per page key; a digest already live in the CAS (or repeated
+        # within this image) is a dedup hit.
+        ordered = tuple(manifest[key] for key in sorted(manifest))
+        sizes = {}
+        for digest in set(ordered):
+            if digest in self._cas_sizes:
+                sizes[digest] = self._cas_sizes[digest]
+            else:
+                content = contents[digest]
+                sizes[digest] = (
+                    len(content), len(zlib.compress(content, 1)))
+
+        def accounted(digest):
+            raw_len, comp_len = sizes[digest]
+            return comp_len if mode else raw_len
+
+        new_digests = []
+        dup_count = 0
+        dup_saved = 0
+        seen = set()
+        for digest in ordered:
+            if digest in self._cas_refs or digest in seen:
+                dup_count += 1
+                dup_saved += accounted(digest)
+            else:
+                seen.add(digest)
+                new_digests.append(digest)
+        new_bytes = sum(accounted(digest) for digest in new_digests)
+        new_raw_bytes = sum(sizes[digest][0] for digest in new_digests)
+        written = (len(blob) if mode else len(raw)) + new_bytes
+        raw_logical = len(raw) + sum(sizes[d][0] for d in ordered)
+        comp_logical = len(blob) + sum(sizes[d][1] for d in ordered)
+        try:
+            self.faults.check(FP_STORE_PRE_COMMIT)
+        except InjectedCrash:
+            self._crash_torn_frame(image_id, frame)
+            raise
+        committed = []
+        index = -1
+        try:
+            for index, digest in enumerate(new_digests):
+                # Crash here tears the page being appended; every earlier
+                # page of this store stays committed with no manifest
+                # referencing it yet.
+                self.faults.check(FP_CAS_PAGE_APPEND)
+                raw_len, comp_len = sizes[digest]
+                self._cas[digest] = contents[digest]
+                self._cas_sizes[digest] = (raw_len, comp_len)
+                self._cas_mode[digest] = mode
+                self._cas_refs[digest] = 0  # referenced at manifest commit
+                self._extent_append(digest, comp_len)
+                self.total_uncompressed_bytes += raw_len
+                self.total_compressed_bytes += comp_len
+                committed.append(digest)
+            # Crash here strands every page of this store as an orphan:
+            # committed payloads, zero references, no manifest.
+            self.faults.check(FP_CAS_MANIFEST_COMMIT)
+        except InjectedCrash as crash:
+            if crash.site == FP_CAS_PAGE_APPEND and 0 <= index:
+                digest = new_digests[index]
+                content = contents[digest]
+                self._cas[digest] = content[:max(1, len(content) // 2)]
+            raise
+        except InjectedFault:
+            # Transient fault: roll back every page this call committed.
+            for digest in committed:
+                self._rollback_page(digest)
+            raise
+        if charge_time:
+            if mode:
+                self.clock.advance_us(
+                    self.costs.compress_us(len(raw) + new_raw_bytes))
+            self.clock.advance_us(
+                self.costs.disk_write_us(written, sequential=True))
+        self._blobs[image_id] = frame
+        self._sizes[image_id] = (raw_logical, comp_logical)
+        self._meta_sizes[image_id] = image.metadata_bytes
+        self._manifests[image_id] = ordered
+        self._manifest_sizes[image_id] = (len(raw), len(blob))
+        self._stored_mode[image_id] = mode
+        for digest in ordered:
+            self._cas_refs[digest] = self._cas_refs.get(digest, 0) + 1
+        self.total_uncompressed_bytes += len(raw)
+        self.total_compressed_bytes += len(blob)
+        self.write_count += 1
+        self._cached.add(image_id)
+        if dup_count:
+            self.pages_deduped += dup_count
+            self.dedup_bytes_saved += dup_saved
+            self._m_pages_deduped.inc(dup_count)
+            self._m_dedup_saved.inc(dup_saved)
+        return StoreReceipt(
+            image_id=image_id,
+            accounted_bytes=written,
+            pages_stored=len(new_digests),
+            pages_deduped=dup_count,
+            dedup_bytes_saved=dup_saved,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Extents
+
+    def _extent_append(self, digest, comp_len):
+        eid = self._current_extent
+        extent = self._extents.get(eid) if eid is not None else None
+        if extent is None or extent.live + extent.dead >= EXTENT_TARGET_BYTES:
+            self._extent_seq += 1
+            eid = self._extent_seq
+            extent = _Extent()
+            self._extents[eid] = extent
+            self._current_extent = eid
+        extent.live += comp_len
+        extent.digests.add(digest)
+        self._cas_extent[digest] = eid
+
+    def _rollback_page(self, digest):
+        """Undo an uncommitted page append (transient-fault rollback):
+        the write never happened, so no dead bytes are left behind."""
+        raw_len, comp_len = self._cas_sizes.pop(digest)
+        self._cas_mode.pop(digest, None)
+        self._cas_refs.pop(digest, None)
+        self._cas.pop(digest, None)
+        eid = self._cas_extent.pop(digest, None)
+        if eid is not None:
+            extent = self._extents[eid]
+            extent.live -= comp_len
+            extent.digests.discard(digest)
+        self.total_uncompressed_bytes -= raw_len
+        self.total_compressed_bytes -= comp_len
+
+    def _reclaim_page(self, digest):
+        """Free a committed CAS page; returns the bytes freed (as
+        accounted at its store time).  Its extent bytes turn dead."""
+        raw_len, comp_len = self._cas_sizes.pop(digest)
+        mode = self._cas_mode.pop(digest, self.compress)
+        self._cas_refs.pop(digest, None)
+        self._cas.pop(digest, None)
+        eid = self._cas_extent.pop(digest, None)
+        if eid is not None:
+            extent = self._extents.get(eid)
+            if extent is not None:
+                extent.live -= comp_len
+                extent.dead += comp_len
+                extent.digests.discard(digest)
+        self.total_uncompressed_bytes -= raw_len
+        self.total_compressed_bytes -= comp_len
+        return comp_len if mode else raw_len
+
+    def _unref(self, digest):
+        """Drop one manifest reference; reclaims the page at zero."""
+        refs = self._cas_refs.get(digest)
+        if refs is None:
+            return 0
+        if refs > 1:
+            self._cas_refs[digest] = refs - 1
+            return 0
+        return self._reclaim_page(digest)
 
     # ------------------------------------------------------------------ #
     # Frame integrity
@@ -147,12 +435,15 @@ class CheckpointStorage:
 
         ``metadata_only=True`` charges only for the image's metadata record
         (process/region/page-location tables) — the demand-paged revive
-        path, which reads page payloads lazily later.  The returned object
-        still carries the pages (the host keeps images whole); only the
-        *accounted* I/O differs.
+        path, which reads page payloads lazily later.  For a v3 manifest
+        the returned image then carries :attr:`page_digests` but no
+        payloads; the demand pager resolves digests via :meth:`cas_page`.
+        A full load hydrates ``pages`` from the CAS, so callers see the
+        same object either format produced.
 
-        A torn or corrupt frame raises :class:`CheckpointError` (after
-        charging for the attempted read — the seek still happened).
+        A torn or corrupt frame — or a manifest whose digest cannot be
+        resolved — raises :class:`CheckpointError` (after charging for
+        the attempted read; the seek still happened).
         """
         frame = self._blobs.get(image_id)
         if frame is None:
@@ -180,7 +471,21 @@ class CheckpointStorage:
             if not metadata_only:
                 self._cached.add(image_id)
         self.read_count += 1
-        return CheckpointImage.deserialize(zlib.decompress(blob))
+        image = CheckpointImage.deserialize(zlib.decompress(blob))
+        if not metadata_only and image.page_digests and not image.pages:
+            for key, digest in sorted(image.page_digests.items()):
+                content = self._cas.get(digest)
+                if content is None:
+                    raise CheckpointError(
+                        "checkpoint %d unreadable (missing page %r in "
+                        "page store)" % (image_id, key))
+                image.pages[key] = content
+        return image
+
+    def cas_page(self, digest):
+        """Resolve one page payload by digest (None when absent) — the
+        demand pager's per-page read."""
+        return self._cas.get(digest)
 
     def is_cached(self, image_id):
         return image_id in self._cached
@@ -193,24 +498,134 @@ class CheckpointStorage:
         return sorted(self._blobs)
 
     def size_of(self, image_id):
-        """``(uncompressed, compressed)`` byte sizes of one image."""
+        """Logical ``(uncompressed, compressed)`` byte sizes of one image
+        — what a full read of it costs, counting every referenced page."""
         if image_id not in self._sizes:
             raise CheckpointError("no stored checkpoint %d" % image_id)
         return self._sizes[image_id]
 
+    def manifest_digests(self, image_id):
+        """The stored page-digest manifest of one image (empty for whole
+        blobs, whose pages are inline)."""
+        if image_id not in self._blobs:
+            raise CheckpointError("no stored checkpoint %d" % image_id)
+        return self._manifests.get(image_id, ())
+
+    def cas_entries(self):
+        """``{digest: {"refs", "uncompressed", "compressed"}}`` for every
+        committed CAS page (the property-test observation surface)."""
+        return {
+            digest: {
+                "refs": self._cas_refs.get(digest, 0),
+                "uncompressed": raw_len,
+                "compressed": comp_len,
+            }
+            for digest, (raw_len, comp_len) in self._cas_sizes.items()
+        }
+
+    def fragmentation(self):
+        """Live/dead byte split across page extents."""
+        live = sum(extent.live for extent in self._extents.values())
+        dead = sum(extent.dead for extent in self._extents.values())
+        return {"extents": len(self._extents),
+                "live_bytes": live, "dead_bytes": dead}
+
+    def dedup_stats(self):
+        """Cumulative dedup and reclamation counters."""
+        return {
+            "pages_deduped": self.pages_deduped,
+            "dedup_bytes_saved": self.dedup_bytes_saved,
+            "cas_orphans_reclaimed": self.cas_orphans_reclaimed,
+            "cas_pages": len(self._cas_sizes),
+            "compaction_runs": self.compaction_runs,
+            "compaction_bytes_reclaimed": self.compaction_bytes_reclaimed,
+        }
+
     def delete(self, image_id):
         """Remove a stored image (checkpoint pruning); returns the bytes
-        freed (as accounted)."""
+        freed as accounted *at store time* — the manifest plus any CAS
+        page whose last reference this was."""
         if image_id not in self._blobs:
             raise CheckpointError("no stored checkpoint %d" % image_id)
         uncompressed, compressed = self._sizes.pop(image_id)
+        mode = self._stored_mode.pop(image_id, self.compress)
+        manifest_sizes = self._manifest_sizes.pop(image_id, None)
+        digests = self._manifests.pop(image_id, ())
         del self._blobs[image_id]
-        del self._meta_sizes[image_id]
+        self._meta_sizes.pop(image_id, None)
         self._cached.discard(image_id)
-        freed = compressed if self.compress else uncompressed
-        self.total_uncompressed_bytes -= uncompressed
-        self.total_compressed_bytes -= compressed
+        if manifest_sizes is None:
+            # Torn or externally injected frame: only its raw frame bytes
+            # were ever accounted.
+            manifest_sizes = (uncompressed, compressed)
+        man_raw, man_comp = manifest_sizes
+        freed = man_comp if mode else man_raw
+        self.total_uncompressed_bytes -= man_raw
+        self.total_compressed_bytes -= man_comp
+        for digest in digests:
+            freed += self._unref(digest)
         return freed
+
+    # ------------------------------------------------------------------ #
+    # Compaction
+
+    def compact(self, dead_fraction=DEFAULT_DEAD_FRACTION, charge_time=True):
+        """Reclaim orphaned CAS pages and rewrite fragmented extents.
+
+        Any page with zero references (crash leftovers, or entries whose
+        last manifest was pruned out from under them) is reclaimed first;
+        then every extent whose dead fraction is at least
+        ``dead_fraction`` has its live pages rewritten into the current
+        append head (charging sequential read + write of the live bytes)
+        and its dead bytes reclaimed.  Returns a report dict.
+        """
+        report = {
+            "orphans_reclaimed": 0,
+            "extents_rewritten": 0,
+            "pages_moved": 0,
+            "bytes_reclaimed": 0,
+        }
+        # Uncommitted (torn) payloads: present in the CAS map but never
+        # accounted — discard outright.
+        for digest in [d for d in self._cas if d not in self._cas_sizes]:
+            del self._cas[digest]
+            self._cas_refs.pop(digest, None)
+            report["orphans_reclaimed"] += 1
+        for digest in [d for d, refs in self._cas_refs.items() if refs <= 0]:
+            self._reclaim_page(digest)
+            report["orphans_reclaimed"] += 1
+        if report["orphans_reclaimed"]:
+            self.cas_orphans_reclaimed += report["orphans_reclaimed"]
+            self._m_orphans.inc(report["orphans_reclaimed"])
+        for eid in sorted(self._extents):
+            extent = self._extents.get(eid)
+            if extent is None:
+                continue
+            total = extent.live + extent.dead
+            if total == 0:
+                if eid != self._current_extent:
+                    del self._extents[eid]
+                continue
+            if extent.dead == 0 or extent.dead / total < dead_fraction:
+                continue
+            if eid == self._current_extent:
+                # Never rewrite an extent into itself: retire the append
+                # head and let the move open a fresh one.
+                self._current_extent = None
+            if charge_time and extent.live:
+                self.clock.advance_us(
+                    self.costs.disk_read_us(extent.live, sequential=True))
+                self.clock.advance_us(
+                    self.costs.disk_write_us(extent.live, sequential=True))
+            for digest in sorted(extent.digests):
+                self._extent_append(digest, self._cas_sizes[digest][1])
+                report["pages_moved"] += 1
+            del self._extents[eid]
+            report["extents_rewritten"] += 1
+            report["bytes_reclaimed"] += extent.dead
+        self.compaction_runs += 1
+        self.compaction_bytes_reclaimed += report["bytes_reclaimed"]
+        return report
 
     # ------------------------------------------------------------------ #
     # Recovery
@@ -218,13 +633,17 @@ class CheckpointStorage:
     def recover(self, fsstore=None):
         """Post-crash fsck of the image store.
 
-        Phase 1 scans every frame's trailer and drops torn/corrupt
-        blobs.  Phase 2 runs :func:`verify_chain` and deletes any image
-        it flags (an image with dangling page locations or a broken
-        parent chain cannot revive), iterating to a fixpoint because a
-        deletion can strand dependants.  When ``fsstore`` is given, the
-        file-system snapshot bindings of dropped checkpoints are
-        unprotected so the LFS cleaner can reclaim them.
+        Phases: (1) drop torn/corrupt manifest frames; (2) discard
+        torn/corrupt CAS pages (content hash mismatch, or payloads that
+        never committed); (3) drop manifests referencing missing digests
+        — a dangling manifest cannot revive; (4) rebuild refcounts from
+        the surviving manifests and reclaim orphaned pages; (5) run
+        :func:`verify_chain` and delete any image it flags, iterating to
+        a fixpoint (then re-reclaim any pages those drops orphaned); (6)
+        recompute the physical totals from what survived.  When
+        ``fsstore`` is given, the file-system snapshot bindings of
+        dropped checkpoints are unprotected so the LFS cleaner can
+        reclaim them.
 
         Returns a report dict; ``verify_ok`` is True when the surviving
         store passes a final verification pass.
@@ -234,17 +653,20 @@ class CheckpointStorage:
         report = {
             "torn_dropped": [],
             "chain_dropped": [],
+            "manifest_dropped": [],
+            "cas_pages_dropped": 0,
+            "cas_orphans_reclaimed": 0,
             "verify_ok": True,
             "remaining": 0,
         }
 
-        def drop(image_id):
-            del self._blobs[image_id]
-            if image_id in self._sizes:
-                uncompressed, compressed = self._sizes.pop(image_id)
-                self.total_uncompressed_bytes -= uncompressed
-                self.total_compressed_bytes -= compressed
+        def forget(image_id):
+            self._blobs.pop(image_id, None)
+            self._sizes.pop(image_id, None)
             self._meta_sizes.pop(image_id, None)
+            self._manifests.pop(image_id, None)
+            self._manifest_sizes.pop(image_id, None)
+            self._stored_mode.pop(image_id, None)
             self._cached.discard(image_id)
             if fsstore is not None:
                 try:
@@ -252,15 +674,75 @@ class CheckpointStorage:
                 except SnapshotError:
                     pass
 
+        # Phase 1: torn/corrupt manifest frames.
         for image_id in self.stored_ids():
             ok, reason = self.blob_ok(image_id)
             if not ok:
-                drop(image_id)
+                forget(image_id)
                 report["torn_dropped"].append({"image_id": image_id,
                                                "reason": reason})
 
-        # Chain repair to fixpoint: each pass can only delete, so the
-        # loop is bounded by the number of stored images.
+        # Phase 2: CAS page integrity.
+        for digest in list(self._cas):
+            if digest not in self._cas_sizes:
+                # Never committed (torn mid-append): discard outright.
+                del self._cas[digest]
+                self._cas_refs.pop(digest, None)
+                report["cas_pages_dropped"] += 1
+            elif page_digest(self._cas[digest]) != digest:
+                self._reclaim_page(digest)
+                report["cas_pages_dropped"] += 1
+
+        # Phase 3: manifests must resolve.  A frame injected without
+        # bookkeeping (or recovered from a foreign store) gets its
+        # manifest rebuilt from the blob itself.
+        for image_id in self.stored_ids():
+            digests = self._manifests.get(image_id)
+            if digests is None:
+                try:
+                    frame = self._blobs[image_id]
+                    _magic, raw_len, blob_len, _crc = _TRAILER.unpack(
+                        frame[-_TRAILER.size:])
+                    image = CheckpointImage.deserialize(
+                        zlib.decompress(frame[:-_TRAILER.size]))
+                    manifest = image.manifest()
+                    digests = tuple(manifest[key]
+                                    for key in sorted(manifest))
+                    if not image.page_digests:
+                        digests = ()  # v2 blob: pages inline
+                    self._manifests[image_id] = digests
+                    self._manifest_sizes[image_id] = (raw_len, blob_len)
+                    self._stored_mode.setdefault(image_id, self.compress)
+                except Exception:
+                    forget(image_id)
+                    report["torn_dropped"].append(
+                        {"image_id": image_id, "reason": "corrupt: undecodable"})
+                    continue
+            if any(digest not in self._cas for digest in digests):
+                forget(image_id)
+                report["manifest_dropped"].append(image_id)
+
+        def rebuild_refs():
+            refs = {}
+            for image_id in self._blobs:
+                for digest in self._manifests.get(image_id, ()):
+                    refs[digest] = refs.get(digest, 0) + 1
+            for digest in [d for d in self._cas if d not in refs]:
+                if digest in self._cas_sizes:
+                    self._reclaim_page(digest)
+                else:
+                    del self._cas[digest]
+                report["cas_orphans_reclaimed"] += 1
+            self._cas_refs = refs
+            self._manifests = {image_id: self._manifests.get(image_id, ())
+                               for image_id in self._blobs}
+
+        # Phase 4: refcounts come from the surviving manifests; anything
+        # unreferenced is an orphan.
+        rebuild_refs()
+
+        # Phase 5: chain repair to fixpoint — each pass can only delete,
+        # so the loop is bounded by the number of stored images.
         verdict = verify_chain(self, fsstore)
         for _ in range(len(self._blobs)):
             flagged = sorted({issue.image_id for issue in verdict.issues
@@ -268,10 +750,28 @@ class CheckpointStorage:
             if not flagged:
                 break
             for image_id in flagged:
-                drop(image_id)
+                forget(image_id)
                 report["chain_dropped"].append(image_id)
+            rebuild_refs()
             verdict = verify_chain(self, fsstore)
         report["verify_ok"] = verdict.ok
+
+        # Phase 6: recompute physical totals from the survivors.
+        total_raw = 0
+        total_comp = 0
+        for image_id in self._blobs:
+            man_raw, man_comp = self._manifest_sizes.get(
+                image_id, self._sizes.get(image_id, (0, 0)))
+            total_raw += man_raw
+            total_comp += man_comp
+        for raw_len, comp_len in self._cas_sizes.values():
+            total_raw += raw_len
+            total_comp += comp_len
+        self.total_uncompressed_bytes = total_raw
+        self.total_compressed_bytes = total_comp
+        if report["cas_orphans_reclaimed"]:
+            self.cas_orphans_reclaimed += report["cas_orphans_reclaimed"]
+            self._m_orphans.inc(report["cas_orphans_reclaimed"])
         report["remaining"] = len(self._blobs)
         return report
 

@@ -10,6 +10,8 @@ whole store the way a file system checker would:
   parents are fine — pruning removes images nobody's pages need);
 * every page-location entry resolves: the owning image exists and actually
   contains that page's data;
+* content-addressed manifests resolve: every digest an image references
+  is present in the page store and its payload hashes back to the digest;
 * full images are self-contained (every location points at themselves);
 * saved pages belong to a region the image declares, within bounds;
 * every image's checkpoint counter has a file system snapshot binding, and
@@ -23,6 +25,7 @@ from dataclasses import dataclass
 
 from repro.common.costs import PAGE_SIZE
 from repro.common.errors import SnapshotError
+from repro.checkpoint.image import page_digest
 
 
 @dataclass(frozen=True)
@@ -161,6 +164,25 @@ def verify_chain(storage, fsstore=None):
                     "unresolvable-page", image_id,
                     "page %r absent from image %d" % (key, owner_id),
                 ))
+
+        # Content-addressed manifests must resolve into the page store.
+        manifest_of = getattr(storage, "manifest_digests", None)
+        cas_page = getattr(storage, "cas_page", None)
+        if manifest_of is not None and cas_page is not None:
+            for digest in manifest_of(image_id):
+                payload = cas_page(digest)
+                if payload is None:
+                    issues.append(Issue(
+                        "dangling-digest", image_id,
+                        "manifest references digest %s absent from the "
+                        "page store" % digest.hex()[:12],
+                    ))
+                elif page_digest(payload) != digest:
+                    issues.append(Issue(
+                        "page-digest-mismatch", image_id,
+                        "page store payload for %s fails its content "
+                        "hash" % digest.hex()[:12],
+                    ))
 
         # File system binding (section 5.1.1).
         if fsstore is not None:

@@ -217,6 +217,12 @@ def cmd_run(args, out):
         format_bytes(report["display"]),
         format_bytes(report["index"]),
         format_bytes(report["checkpoint_uncompressed"])), file=out)
+    if report.get("pages_deduped"):
+        print("page-store dedup: %d page(s), %s saved (%d orphan(s) "
+              "reclaimed)" % (
+                  report["pages_deduped"],
+                  format_bytes(report["dedup_bytes_saved"]),
+                  report["cas_orphans_reclaimed"]), file=out)
     sample = _sample_search(dv)
     if sample is not None:
         print("sample search %r: %d hit(s)" % (

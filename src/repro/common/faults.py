@@ -44,6 +44,15 @@ FAILPOINTS = {
         "CheckpointStorage.store, after serialization but before the "
         "blob and its accounting are committed (crash leaves a torn "
         "half-written blob frame)",
+    "storage.cas.page_append":
+        "CheckpointStorage.store, mid-way through appending page "
+        "payloads to the content-addressed store (crash leaves a torn "
+        "uncommitted page plus earlier pages committed with no manifest "
+        "referencing them)",
+    "storage.cas.manifest_commit":
+        "CheckpointStorage.store, after every page is committed to the "
+        "content-addressed store but before the manifest blob is written "
+        "(crash strands the freshly committed pages as orphans)",
     "lfs.append.mid_block":
         "LogStructuredFS block append, mid-way through the chunk loop "
         "(crash leaves orphan blocks, the last one partial, with the "

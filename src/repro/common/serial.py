@@ -13,6 +13,11 @@ identifies the stream kind and format version.  The trailing CRC-32 covers
 the record header and payload, so a record torn by a crash mid-write is
 detected (truncated or mismatched checksum) rather than silently misparsed.
 Format version 2 added the checksum trailer; version-1 streams are rejected.
+Format version 3 (checkpoint images only) keeps the identical framing but
+marks streams whose page records are *digest references* into the
+content-addressed page store instead of inline payloads; readers accept
+both versions and expose :attr:`RecordReader.version` so the image codec
+can pick the right record interpretation.
 
 Streams are written to any file-like object with ``write``; in this
 reproduction that is usually a :class:`io.BytesIO` held by the simulated
@@ -34,6 +39,9 @@ _CRC = struct.Struct("<I")
 
 MAGIC = b"DJVW"
 FORMAT_VERSION = 2
+#: Streams whose page records reference the content-addressed store.
+FORMAT_VERSION_MANIFEST = 3
+SUPPORTED_VERSIONS = (FORMAT_VERSION, FORMAT_VERSION_MANIFEST)
 
 
 class StreamCorrupt(ValueError):
@@ -53,11 +61,14 @@ class RecordWriter:
         log vs checkpoint image), so readers can refuse mismatched streams.
     """
 
-    def __init__(self, fileobj=None, kind=0):
+    def __init__(self, fileobj=None, kind=0, version=FORMAT_VERSION):
+        if version not in SUPPORTED_VERSIONS:
+            raise ValueError("unsupported format version %r" % (version,))
         self.fileobj = fileobj if fileobj is not None else io.BytesIO()
         self.kind = kind
+        self.version = version
         self._bytes_written = 0
-        header = _HEADER.pack(MAGIC, FORMAT_VERSION, kind)
+        header = _HEADER.pack(MAGIC, version, kind)
         self.fileobj.write(header)
         self._bytes_written += len(header)
 
@@ -143,13 +154,14 @@ class RecordReader:
         magic, version, kind = _HEADER.unpack(header)
         if magic != MAGIC:
             raise StreamCorrupt("bad magic %r" % (magic,))
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise StreamCorrupt("unsupported format version %d" % version)
         if expect_kind is not None and kind != expect_kind:
             raise StreamCorrupt(
                 "stream kind %d does not match expected %d" % (kind, expect_kind)
             )
         self.kind = kind
+        self.version = version
 
     def __iter__(self):
         return self

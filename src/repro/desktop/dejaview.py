@@ -44,6 +44,10 @@ class RecordingConfig:
     engine_options: EngineOptions = field(default_factory=EngineOptions)
     recorder_config: RecorderConfig = field(default_factory=RecorderConfig)
     compress_checkpoints: bool = False
+    checkpoint_page_store: bool = True
+    """True (default) stores checkpoint pages in the content-addressed
+    page store (serial format v3, cross-checkpoint dedup); False keeps
+    the legacy whole-blob layout (v2) — the Figure 4 dedup baseline."""
     telemetry_enabled: bool = True
     """Metrics + tracing for this recording session.  Telemetry never
     charges the virtual clock, so disabling it changes no recorded
@@ -139,6 +143,8 @@ class DejaView:
             clock=clock, costs=costs,
             compress=self.config.compress_checkpoints,
             faults=self.faults,
+            telemetry=self.telemetry,
+            page_store=self.config.checkpoint_page_store,
         )
         self.engine = None
         self.policy = None
@@ -364,6 +370,7 @@ class DejaView:
             "fs_log": self.session.fs.log_bytes,
             "fs_visible": self.session.fs.visible_bytes(),
         }
+        report.update(self.storage.dedup_stats())
         return report
 
     @property

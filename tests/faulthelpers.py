@@ -79,6 +79,10 @@ def drive(session, dejaview, units=8, resilient=False, progress=None,
             nodes.append(node)
         op(editor.write_file, "/home/user/unit-%d.txt" % i,
            (b"unit %d contents\n" % i) * 40)
+        # Dirty two heap pages so every tick's checkpoint appends fresh
+        # payloads to the content-addressed page store (the
+        # ``storage.cas.*`` failpoints live on that path).
+        op(editor.dirty_memory, 2 * 4096)
         if i % 2 == 1 and nodes:
             # Exercise occurrence close (epoch back-fill) on odd units.
             op(editor.remove_text, nodes.pop(0))

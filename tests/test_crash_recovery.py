@@ -152,6 +152,99 @@ class TestReviveFallback:
         assert not ok and "checksum" in reason
 
 
+class TestCasCrashSemantics:
+    """Targeted checks for the two page-store failpoints: the on-disk
+    wreckage is exactly as advertised, and recovery cleans precisely it."""
+
+    def _crash_at(self, site, clean_run):
+        pre = clean_run["pre_drive"].get(site, 0)
+        total = clean_run["total"].get(site, 0)
+        after = pre + max(1, (total - pre) // 2)
+        plan = FaultPlan()
+        plan.add(site, mode="crash", after=after)
+        holder = {}
+        with pytest.raises(InjectedCrash):
+            session, dejaview = build_session(fault_plan=plan)
+            holder["session"] = session
+            holder["dejaview"] = dejaview
+            drive(session, dejaview, units=UNITS)
+        return holder["session"], holder["dejaview"]
+
+    def test_page_append_crash_reclaims_uncommitted_page(self, clean_run):
+        session, dejaview = self._crash_at("storage.cas.page_append",
+                                           clean_run)
+        storage = dejaview.storage
+        # The in-flight page is torn: present in the payload map but
+        # never committed (no size entry, no refcount).
+        torn = [digest for digest in storage._cas
+                if digest not in storage._cas_sizes]
+        assert torn, "page-append crash left no torn payload"
+        report = dejaview.recover()
+        assert report["ok"], report
+        assert report["storage"]["cas_pages_dropped"] >= 1
+        # Nothing uncommitted or unreferenced survives.
+        assert all(digest in storage._cas_sizes for digest in storage._cas)
+        assert all(refs >= 1 for refs in storage._cas_refs.values())
+        assert verify_chain(storage, session.fsstore).ok
+        if dejaview.engine.history:
+            revived = dejaview.take_me_back(session.clock.now_us)
+            assert revived.container is not session.container
+
+    def test_manifest_commit_crash_strands_then_reclaims_orphans(
+            self, clean_run):
+        session, dejaview = self._crash_at("storage.cas.manifest_commit",
+                                           clean_run)
+        storage = dejaview.storage
+        # Every page of the in-flight store committed, but the manifest
+        # never did: the pages sit in the CAS with zero references.
+        orphans = [digest for digest, refs in storage._cas_refs.items()
+                   if refs == 0]
+        assert orphans, "manifest-commit crash left no orphaned pages"
+        report = dejaview.recover()
+        assert report["ok"], report
+        assert report["storage"]["cas_orphans_reclaimed"] >= len(orphans)
+        assert all(refs >= 1 for refs in storage._cas_refs.values())
+        for digest in orphans:
+            assert storage.cas_page(digest) is None
+        assert verify_chain(storage, session.fsstore).ok
+        if dejaview.engine.history:
+            revived = dejaview.take_me_back(session.clock.now_us)
+            assert revived.container is not session.container
+
+    def test_dangling_manifest_dropped_on_recover(self):
+        """A manifest whose digest no longer resolves (lost page) cannot
+        revive; recover drops the image rather than leaving a landmine."""
+        session, dejaview = build_session()
+        drive(session, dejaview, units=4)
+        storage = dejaview.storage
+        victim = dejaview.engine.history[-1].checkpoint_id
+        digests = storage.manifest_digests(victim)
+        assert digests, "driver checkpoints should carry pages"
+        # Lose one referenced payload outright (bit-rot / lost sector).
+        del storage._cas[digests[0]]
+        report = storage.recover(fsstore=session.fsstore)
+        assert victim in report["manifest_dropped"] \
+            or victim in report["chain_dropped"]
+        assert victim not in storage
+        assert report["verify_ok"]
+
+    def test_corrupt_cas_payload_dropped_and_manifest_pruned(self):
+        session, dejaview = build_session()
+        drive(session, dejaview, units=4)
+        storage = dejaview.storage
+        victim = dejaview.engine.history[-1].checkpoint_id
+        digests = storage.manifest_digests(victim)
+        assert digests
+        # Flip a byte: the payload no longer hashes to its address.
+        payload = bytearray(storage._cas[digests[0]])
+        payload[0] ^= 0xFF
+        storage._cas[digests[0]] = bytes(payload)
+        report = storage.recover(fsstore=session.fsstore)
+        assert report["cas_pages_dropped"] >= 1
+        assert victim not in storage
+        assert report["verify_ok"]
+
+
 class TestFaultPlanUnit:
     def test_registered_failpoints_sorted_and_documented(self):
         sites = registered_failpoints()

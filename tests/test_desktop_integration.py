@@ -90,6 +90,8 @@ class TestRecordingLifecycle:
         assert set(report) == {
             "display", "index", "checkpoint_uncompressed",
             "checkpoint_compressed", "fs_log", "fs_visible",
+            "pages_deduped", "dedup_bytes_saved", "cas_orphans_reclaimed",
+            "cas_pages", "compaction_runs", "compaction_bytes_reclaimed",
         }
 
 

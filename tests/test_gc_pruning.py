@@ -136,3 +136,84 @@ class TestCheckpointPruning:
         report = prune_checkpoints(storage, fsstore, keep_ids=[4])
         assert len(storage) < before
         assert set(report.kept_images) == set(storage.stored_ids())
+
+
+def _image_with(image_id, pages):
+    """A self-contained full image with explicit page payloads."""
+    from repro.checkpoint.image import CheckpointImage
+
+    image = CheckpointImage(image_id, image_id * 1000, "gc", full=True)
+    image.regions = {1: [{"start": 0x1000_0000, "npages": 16, "prot": 3,
+                          "name": "heap"}]}
+    for index, content in enumerate(pages):
+        key = (1, 0x1000_0000, index)
+        image.pages[key] = content
+        image.page_locations[key] = image_id
+    return image
+
+
+class TestPageStoreReclamation:
+    """Refcounted deletes: pruning reclaims only orphaned pages."""
+
+    def test_delete_reclaims_only_orphaned_pages(self):
+        from repro.checkpoint.image import page_digest
+        from repro.checkpoint.storage import CheckpointStorage
+
+        storage = CheckpointStorage(clock=VirtualClock())
+        shared = bytes(range(64)) * 4
+        unique_a = b"A" * 256
+        unique_b = b"B" * 256
+        storage.store(_image_with(1, [shared, unique_a]), charge_time=False)
+        receipt = storage.store(_image_with(2, [shared, unique_b]),
+                                charge_time=False)
+        assert receipt.pages_deduped == 1  # the shared page was not rewritten
+        storage.delete(1)
+        entries = storage.cas_entries()
+        assert entries[page_digest(shared)]["refs"] == 1
+        assert page_digest(unique_a) not in entries
+        # The survivor still reads back whole.
+        loaded = storage.load(2, cached=True)
+        assert loaded.pages[(1, 0x1000_0000, 0)] == shared
+        assert loaded.pages[(1, 0x1000_0000, 1)] == unique_b
+
+    def test_compaction_rewrites_fragmented_extents(self):
+        from repro.checkpoint.storage import CheckpointStorage
+
+        storage = CheckpointStorage(clock=VirtualClock())
+        for image_id in range(1, 11):
+            pages = [bytes([image_id, page]) * 200 for page in range(4)]
+            storage.store(_image_with(image_id, pages), charge_time=False)
+        for image_id in range(1, 8):
+            storage.delete(image_id)
+        before = storage.fragmentation()
+        assert before["dead_bytes"] > 0
+        report = storage.compact(charge_time=False)
+        assert report["extents_rewritten"] >= 1
+        assert report["bytes_reclaimed"] > 0
+        after = storage.fragmentation()
+        assert after["dead_bytes"] < before["dead_bytes"]
+        # Survivors still load; no orphans remain.
+        for image_id in range(8, 11):
+            assert storage.load(image_id, cached=True).pages
+        assert all(entry["refs"] >= 1
+                   for entry in storage.cas_entries().values())
+
+    def test_prune_runs_compaction_and_reports_it(self):
+        kernel, container, fsstore, storage, engine, procs = make_rig(
+            nprocs=1, pages_per_proc=8
+        )
+        space = procs[0].address_space
+        region = space.regions()[0]
+        for i in range(6):
+            # Same page every round: checkpoint 6's directory only needs
+            # itself and the initial full image, so pruning can actually
+            # drop the middle of the chain.
+            space.write(region.start, b"prune-round-%d" % i)
+            engine.checkpoint()
+        report = prune_checkpoints(storage, fsstore, keep_ids=[6])
+        assert report.deleted_images
+        assert report.image_bytes_freed > 0
+        assert report.cas_orphans_reclaimed >= 0
+        assert report.extent_bytes_reclaimed >= 0
+        assert all(entry["refs"] >= 1
+                   for entry in storage.cas_entries().values())
