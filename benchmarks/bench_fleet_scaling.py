@@ -1,0 +1,127 @@
+"""Fleet scaling: per-session checkpoint downtime and cross-session dedup.
+
+Runs the mixed-scenario fleet at N in {1, 4, 16} sessions and reports,
+for each size:
+
+* the per-session checkpoint downtime p95 (worst member and the member
+  running the ``web`` scenario, which is present at every N) — sessions
+  run on independent virtual clocks, so downtime must NOT degrade as the
+  fleet grows;
+* the cross-session dedup ratio of the shared page store — the mix
+  repeats scenarios, and identical scenarios produce byte-identical page
+  streams, so the ratio must clear the acceptance gate (>= 20%) once the
+  fleet holds repeats (N >= 4).
+
+Writes ``BENCH_fleet.json`` in the pytest root for CI artifact upload.
+"""
+
+import json
+import os
+
+from benchmarks.conftest import print_table
+
+MB = 1e6
+
+ARTIFACT_SCHEMA = "dejaview.bench_fleet/v1"
+ARTIFACT_NAME = "BENCH_fleet.json"
+
+FLEET_SIZES = [1, 4, 16]
+SEED = 1
+
+#: Acceptance gate: cross-session dedup ratio at N >= 4.
+DEDUP_GATE = 0.20
+
+
+def _update_artifact(rootpath, section, payload):
+    """Merge one section into ``BENCH_fleet.json`` (tests may run alone)."""
+    path = os.path.join(str(rootpath), ARTIFACT_NAME)
+    data = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    data["schema"] = ARTIFACT_SCHEMA
+    data[section] = payload
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, default=str)
+
+
+def _downtime_p95(member):
+    snapshot = member.dejaview.telemetry.snapshot()
+    summary = snapshot["histograms"].get("checkpoint.downtime_us")
+    return summary["p95"] if summary else 0
+
+
+def _measure(sessions):
+    from repro.workloads import run_fleet
+
+    fleet = run_fleet(sessions, seed=SEED)
+    members = fleet.members()
+    assert all(m.state == "done" for m in members)
+    stats = fleet.stats()
+    downtime = {m.name: _downtime_p95(m) for m in members}
+    return {
+        "sessions": sessions,
+        "seed": SEED,
+        "dedup_ratio": fleet.dedup_ratio(),
+        "cross_pages_deduped": fleet.cas.cross_pages_deduped,
+        "cross_dedup_bytes_saved": fleet.cas.cross_dedup_bytes_saved,
+        "physical_page_bytes": stats["cas"]["physical_uncompressed_bytes"],
+        "service_clock_us": stats["service_clock_us"],
+        "downtime_p95_us": downtime,
+        "downtime_p95_web_us": downtime["s00"],  # s00 is web at every N
+        "downtime_p95_worst_us": max(downtime.values()),
+        "rollup_downtime_p95_us": stats["rollup"]["histograms"]
+        ["checkpoint.downtime_us"]["p95"],
+    }
+
+
+def test_fleet_scaling(request):
+    """Dedup ratio clears the gate once scenarios repeat, and per-session
+    downtime is flat in fleet size (isolation: the scheduler interleaves
+    virtual clocks, it never inflates a member's own costs)."""
+    results = [_measure(n) for n in FLEET_SIZES]
+
+    rows = [
+        [
+            str(r["sessions"]),
+            "%.1f%%" % (r["dedup_ratio"] * 100),
+            "%.2f" % (r["physical_page_bytes"] / MB),
+            "%.2f" % (r["downtime_p95_web_us"] / 1000.0),
+            "%.2f" % (r["downtime_p95_worst_us"] / 1000.0),
+            "%.2f" % (r["service_clock_us"] / 1e6),
+        ]
+        for r in results
+    ]
+    print_table(
+        "Fleet scaling -- shared-CAS dedup and per-session downtime",
+        ["N", "dedup", "phys MB", "web p95 ms", "worst p95 ms",
+         "svc clock s"],
+        rows,
+        note="gate: dedup >= %.0f%% at N >= 4; web downtime p95 "
+             "identical at every N" % (DEDUP_GATE * 100),
+    )
+
+    by_n = {r["sessions"]: r for r in results}
+
+    # A 1-session fleet has nothing to share.
+    assert by_n[1]["cross_pages_deduped"] == 0
+    assert by_n[1]["dedup_ratio"] == 0.0
+
+    # Repeated scenarios dedup across sessions: the acceptance gate.
+    for n in FLEET_SIZES:
+        if n >= 4:
+            assert by_n[n]["dedup_ratio"] >= DEDUP_GATE, (
+                "N=%d dedup %.3f below gate" % (n, by_n[n]["dedup_ratio"]))
+    assert by_n[16]["cross_dedup_bytes_saved"] > by_n[4][
+        "cross_dedup_bytes_saved"]
+
+    # Isolation in time: the web member's downtime p95 is the same number
+    # no matter how many other sessions the fleet interleaves.
+    web_p95 = {r["downtime_p95_web_us"] for r in results}
+    assert len(web_p95) == 1, "downtime varied with fleet size: %s" % (
+        sorted(web_p95),)
+
+    _update_artifact(request.config.rootpath, "scaling", results)

@@ -43,7 +43,8 @@ from repro.desktop import (
 )
 from repro.display import Framebuffer, PlaybackEngine, Region
 from repro.index import Clause, Query, SearchEngine
-from repro.workloads import SCENARIOS, get_workload, run_scenario
+from repro.server import Fleet, SessionQuotas
+from repro.workloads import SCENARIOS, get_workload, run_fleet, run_scenario
 
 __version__ = "1.0.0"
 
@@ -67,8 +68,11 @@ __all__ = [
     "ReviveManager",
     "VirtualClock",
     "CostModel",
+    "Fleet",
+    "SessionQuotas",
     "SCENARIOS",
     "get_workload",
     "run_scenario",
+    "run_fleet",
     "__version__",
 ]

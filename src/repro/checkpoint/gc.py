@@ -60,12 +60,17 @@ def required_images(storage, keep_ids):
     return required
 
 
-def prune_checkpoints(storage, fsstore, keep_ids):
+def prune_checkpoints(storage, fsstore, keep_ids, compact=True):
     """Delete every checkpoint not needed to revive ``keep_ids``.
 
     Returns a :class:`PruneReport`.  The file system's checkpoint bindings
     for deleted checkpoints are removed and the log cleaner runs, so both
     image storage and log space shrink.
+
+    ``compact=False`` skips the trailing compaction pass — a fleet prunes
+    each member storage with compaction off and then compacts the shared
+    CAS once, on the service clock, so one session's pruning never
+    charges another session for the extent rewrites.
     """
     keep_ids = set(keep_ids)
     required = required_images(storage, keep_ids)
@@ -84,7 +89,7 @@ def prune_checkpoints(storage, fsstore, keep_ids):
     reclaimed = fs.collect_garbage(fs.protected_txns())
     compaction = {}
     compactor = getattr(storage, "compact", None)
-    if compactor is not None:
+    if compact and compactor is not None:
         compaction = compactor()
     return PruneReport(
         kept_images=tuple(sorted(required)),

@@ -22,12 +22,27 @@ Two on-disk layouts coexist:
   page extents after pruning.  v2 blobs injected into a CAS store remain
   readable (their pages are inline, so their manifest is empty).
 
-Accounting: per-image *logical* sizes (:meth:`size_of`, what a full read
-of that image costs) stay the manifest plus every referenced page, while
-``total_*_bytes`` are *physical* — each unique CAS page is charged once,
-which is exactly the Figure-4 dedup win.  The accounted mode (compressed
-vs raw) is snapshotted per blob and per page at store time, so toggling
-``compress`` between ``store`` and ``delete`` cannot drift the totals.
+Fleet mode: the CAS proper lives in a :class:`PageCAS` that any number of
+``CheckpointStorage`` instances — one per recording session — may share
+(``CheckpointStorage(cas=shared, owner="session-name")``).  References are
+counted **per owner**: each owner's count is the number of (image, key)
+references across that owner's live manifests, and a page is physically
+reclaimed only when *every* owner's count is zero.  One session crashing
+and recovering rebuilds only its own counts, so recovery can never reclaim
+pages another session still references.
+
+Accounting under sharing: each storage's ``total_*_bytes`` stay **logical
+to the owner** — manifests plus every unique page the owner references,
+dedup'd against the owner's *own* pages only.  The shared CAS tracks the
+**physical** totals (each page charged once fleet-wide) plus cross-owner
+dedup counters; the gap between the sum of owner-logical totals and the
+physical totals is exactly the fleet's cross-session dedup win.  Charging
+the virtual clock also uses owner visibility, so what another session has
+stored never changes this session's simulated timings — the property the
+fleet's determinism contract (interleaved ≡ solo) rests on.  With a
+private CAS (the default) there is a single owner, owner visibility equals
+global visibility, and the accounting is bit-identical to the pre-fleet
+behavior.
 
 Host-side, payloads are kept zlib-compressed regardless of the
 *accounting* mode, so long experiments stay memory-friendly.
@@ -41,17 +56,17 @@ a torn uncommitted page, with earlier pages committed but unreferenced)
 and ``storage.cas.manifest_commit`` (crash strands freshly committed
 pages as orphans).  :meth:`recover` is a full fsck: it drops torn frames,
 discards torn/corrupt CAS pages, drops manifests with dangling digests,
-rebuilds refcounts from the surviving manifests, reclaims orphans,
-repairs the chain with :func:`repro.checkpoint.verify.verify_chain` to a
-fixpoint, and recomputes the physical totals.  ``store`` stays
-transactional for *transient* faults: an :class:`InjectedFault` rolls
-back every page committed by that call, so a failed store leaves the
-totals untouched (and never double-counts on retry).
+rebuilds this owner's refcounts from the surviving manifests, reclaims
+globally orphaned pages, repairs the chain with
+:func:`repro.checkpoint.verify.verify_chain` to a fixpoint, and recomputes
+the totals.  ``store`` stays transactional for *transient* faults: an
+:class:`InjectedFault` rolls back every page committed by that call, so a
+failed store leaves the totals untouched (and never double-counts on
+retry).
 """
 
 import struct
 import zlib
-from dataclasses import dataclass
 
 from repro.common.clock import VirtualClock
 from repro.common.costs import DEFAULT_COSTS
@@ -75,10 +90,12 @@ FP_CAS_PAGE_APPEND = "storage.cas.page_append"
 FP_CAS_MANIFEST_COMMIT = "storage.cas.manifest_commit"
 
 #: CAS pages are appended to fixed-size extents (compressed bytes).  A
-#: reclaimed page leaves dead bytes in its extent; :meth:`compact`
+#: reclaimed page leaves dead bytes in its extent; :meth:`PageCAS.compact`
 #: rewrites extents whose dead fraction crosses the threshold.
 EXTENT_TARGET_BYTES = 256 * 1024
 DEFAULT_DEAD_FRACTION = 0.25
+
+DEFAULT_OWNER = "local"
 
 
 class _Extent:
@@ -92,22 +109,319 @@ class _Extent:
         self.digests = set()
 
 
-@dataclass
+class PageCAS:
+    """A content-addressed page store shareable across storages.
+
+    Holds the page payloads, per-digest sizes and accounting modes,
+    per-owner and global refcounts, the append-only extents, and the
+    *physical* byte totals (each committed page charged exactly once no
+    matter how many owners reference it).  A private
+    :class:`CheckpointStorage` builds its own instance; a fleet builds one
+    and hands it to every member storage.
+    """
+
+    def __init__(self):
+        self.pages = {}  # digest -> page payload bytes
+        self.sizes = {}  # digest -> (raw, compressed) page bytes
+        self.mode = {}  # digest -> accounted mode at first store
+        self.refs = {}  # digest -> global (image, key) reference count
+        self.owner_refs = {}  # owner -> {digest -> (image, key) refs}
+        self.extent_of = {}  # digest -> extent id
+        self.extents = {}  # extent id -> _Extent
+        self._extent_seq = 0
+        self._current_extent = None
+        # Physical totals: each unique committed page charged once.
+        self.total_uncompressed_bytes = 0
+        self.total_compressed_bytes = 0
+        # Cross-owner dedup: pages an owner charged for (first time *it*
+        # saw them) that were already committed by another owner.
+        self.cross_pages_deduped = 0
+        self.cross_dedup_bytes_saved = 0
+        self.orphans_reclaimed = 0
+        self.compaction_runs = 0
+        self.compaction_bytes_reclaimed = 0
+
+    # ------------------------------------------------------------------ #
+    # Owner bookkeeping
+
+    def owner_refs_for(self, owner):
+        refs = self.owner_refs.get(owner)
+        if refs is None:
+            refs = self.owner_refs[owner] = {}
+        return refs
+
+    def owners(self):
+        return sorted(self.owner_refs)
+
+    # ------------------------------------------------------------------ #
+    # Write path
+
+    def commit_page(self, digest, payload, raw_len, comp_len, mode):
+        """Physically append one page (no references yet)."""
+        self.pages[digest] = payload
+        self.sizes[digest] = (raw_len, comp_len)
+        self.mode[digest] = mode
+        self.refs[digest] = 0  # referenced at manifest commit
+        self._extent_append(digest, comp_len)
+        self.total_uncompressed_bytes += raw_len
+        self.total_compressed_bytes += comp_len
+
+    def rollback_page(self, digest):
+        """Undo an uncommitted page append (transient-fault rollback):
+        the write never happened, so no dead bytes are left behind."""
+        raw_len, comp_len = self.sizes.pop(digest)
+        self.mode.pop(digest, None)
+        self.refs.pop(digest, None)
+        self.pages.pop(digest, None)
+        eid = self.extent_of.pop(digest, None)
+        if eid is not None:
+            extent = self.extents[eid]
+            extent.live -= comp_len
+            extent.digests.discard(digest)
+        self.total_uncompressed_bytes -= raw_len
+        self.total_compressed_bytes -= comp_len
+
+    def add_ref(self, owner, digest):
+        """Add one (image, key) reference for ``owner``; returns True when
+        this is the owner's *first* reference to the digest."""
+        own = self.owner_refs_for(owner)
+        previous = own.get(digest, 0)
+        own[digest] = previous + 1
+        self.refs[digest] = self.refs.get(digest, 0) + 1
+        return previous == 0
+
+    def unref(self, owner, digest):
+        """Drop one of ``owner``'s references.  Returns
+        ``(owner_dropped, reclaimed)``: whether the owner's last reference
+        went away, and whether the page was physically reclaimed (every
+        owner at zero)."""
+        own = self.owner_refs.get(owner)
+        count = own.get(digest) if own is not None else None
+        if count is None:
+            return False, False
+        if count > 1:
+            own[digest] = count - 1
+            self.refs[digest] -= 1
+            return False, False
+        del own[digest]
+        total = self.refs.get(digest, 0) - 1
+        if total > 0:
+            self.refs[digest] = total
+            return True, False
+        self.reclaim_page(digest)
+        return True, True
+
+    def reclaim_page(self, digest):
+        """Free a committed page regardless of references (fsck path).
+        Its extent bytes turn dead."""
+        raw_len, comp_len = self.sizes.pop(digest)
+        self.mode.pop(digest, None)
+        self.refs.pop(digest, None)
+        self.pages.pop(digest, None)
+        for own in self.owner_refs.values():
+            own.pop(digest, None)
+        eid = self.extent_of.pop(digest, None)
+        if eid is not None:
+            extent = self.extents.get(eid)
+            if extent is not None:
+                extent.live -= comp_len
+                extent.dead += comp_len
+                extent.digests.discard(digest)
+        self.total_uncompressed_bytes -= raw_len
+        self.total_compressed_bytes -= comp_len
+
+    def accounted_len(self, digest, fallback_mode):
+        raw_len, comp_len = self.sizes[digest]
+        mode = self.mode.get(digest, fallback_mode)
+        return comp_len if mode else raw_len
+
+    # ------------------------------------------------------------------ #
+    # Recovery support
+
+    def drop_uncommitted(self):
+        """Discard payloads that are present but never committed (torn
+        mid-append); returns how many were dropped."""
+        dropped = 0
+        for digest in [d for d in self.pages if d not in self.sizes]:
+            del self.pages[digest]
+            self.refs.pop(digest, None)
+            for own in self.owner_refs.values():
+                own.pop(digest, None)
+            dropped += 1
+        return dropped
+
+    def rebuild_owner_refs(self, owner, manifests):
+        """Recompute ``owner``'s refcounts from its surviving manifests
+        and reclaim pages no owner references any more.
+
+        ``manifests`` is an iterable of digest tuples (one per surviving
+        image).  Other owners' counts are never touched — the contract
+        that makes one session's crash recovery safe for the rest of the
+        fleet.  Returns the number of orphaned pages reclaimed.
+        """
+        own = {}
+        for digests in manifests:
+            for digest in digests:
+                own[digest] = own.get(digest, 0) + 1
+        self.owner_refs[owner] = own
+        # Global counts are the sum over owners (mutate the dict in place:
+        # storages alias it).
+        totals = {}
+        for refs in self.owner_refs.values():
+            for digest, count in refs.items():
+                totals[digest] = totals.get(digest, 0) + count
+        self.refs.clear()
+        self.refs.update(totals)
+        reclaimed = self.drop_uncommitted()
+        for digest in [d for d in self.pages
+                       if self.refs.get(d, 0) <= 0]:
+            self.reclaim_page(digest)
+            reclaimed += 1
+        if reclaimed:
+            self.orphans_reclaimed += reclaimed
+        return reclaimed
+
+    def owner_logical_totals(self, owner):
+        """(raw, compressed) bytes of the unique pages ``owner``
+        references — the owner-logical page accounting."""
+        raw = comp = 0
+        for digest in self.owner_refs.get(owner, ()):
+            raw_len, comp_len = self.sizes[digest]
+            raw += raw_len
+            comp += comp_len
+        return raw, comp
+
+    # ------------------------------------------------------------------ #
+    # Extents and compaction
+
+    def _extent_append(self, digest, comp_len):
+        eid = self._current_extent
+        extent = self.extents.get(eid) if eid is not None else None
+        if extent is None or extent.live + extent.dead >= EXTENT_TARGET_BYTES:
+            self._extent_seq += 1
+            eid = self._extent_seq
+            extent = _Extent()
+            self.extents[eid] = extent
+            self._current_extent = eid
+        extent.live += comp_len
+        extent.digests.add(digest)
+        self.extent_of[digest] = eid
+
+    def fragmentation(self):
+        """Live/dead byte split across page extents."""
+        live = sum(extent.live for extent in self.extents.values())
+        dead = sum(extent.dead for extent in self.extents.values())
+        return {"extents": len(self.extents),
+                "live_bytes": live, "dead_bytes": dead}
+
+    def compact(self, dead_fraction=DEFAULT_DEAD_FRACTION, clock=None,
+                costs=None):
+        """Reclaim orphaned pages and rewrite fragmented extents.
+
+        Any page with zero references fleet-wide (crash leftovers, or
+        entries whose last manifest was pruned out from under them) is
+        reclaimed first; then every extent whose dead fraction is at least
+        ``dead_fraction`` has its live pages rewritten into the current
+        append head and its dead bytes reclaimed.  Pass ``clock`` and
+        ``costs`` to charge the sequential read + write of the moved live
+        bytes — a private storage charges its session clock, a fleet
+        charges the service clock.  Returns a report dict.
+        """
+        report = {
+            "orphans_reclaimed": 0,
+            "extents_rewritten": 0,
+            "pages_moved": 0,
+            "bytes_reclaimed": 0,
+        }
+        report["orphans_reclaimed"] += self.drop_uncommitted()
+        for digest in [d for d, refs in self.refs.items() if refs <= 0]:
+            self.reclaim_page(digest)
+            report["orphans_reclaimed"] += 1
+        if report["orphans_reclaimed"]:
+            self.orphans_reclaimed += report["orphans_reclaimed"]
+        for eid in sorted(self.extents):
+            extent = self.extents.get(eid)
+            if extent is None:
+                continue
+            total = extent.live + extent.dead
+            if total == 0:
+                if eid != self._current_extent:
+                    del self.extents[eid]
+                continue
+            if extent.dead == 0 or extent.dead / total < dead_fraction:
+                continue
+            if eid == self._current_extent:
+                # Never rewrite an extent into itself: retire the append
+                # head and let the move open a fresh one.
+                self._current_extent = None
+            if clock is not None and costs is not None and extent.live:
+                clock.advance_us(
+                    costs.disk_read_us(extent.live, sequential=True))
+                clock.advance_us(
+                    costs.disk_write_us(extent.live, sequential=True))
+            for digest in sorted(extent.digests):
+                self._extent_append(digest, self.sizes[digest][1])
+                report["pages_moved"] += 1
+            del self.extents[eid]
+            report["extents_rewritten"] += 1
+            report["bytes_reclaimed"] += extent.dead
+        self.compaction_runs += 1
+        self.compaction_bytes_reclaimed += report["bytes_reclaimed"]
+        return report
+
+    # ------------------------------------------------------------------ #
+
+    def entries(self):
+        """``{digest: {"refs", "uncompressed", "compressed"}}`` for every
+        committed page (global refcounts)."""
+        return {
+            digest: {
+                "refs": self.refs.get(digest, 0),
+                "uncompressed": raw_len,
+                "compressed": comp_len,
+            }
+            for digest, (raw_len, comp_len) in self.sizes.items()
+        }
+
+    def stats(self):
+        """Fleet-level CAS facts (physical bytes + cross-owner dedup)."""
+        return {
+            "cas_pages": len(self.sizes),
+            "physical_uncompressed_bytes": self.total_uncompressed_bytes,
+            "physical_compressed_bytes": self.total_compressed_bytes,
+            "cross_pages_deduped": self.cross_pages_deduped,
+            "cross_dedup_bytes_saved": self.cross_dedup_bytes_saved,
+            "orphans_reclaimed": self.orphans_reclaimed,
+            "owners": self.owners(),
+        }
+
+
 class StoreReceipt:
     """What one ``store`` call actually wrote (as accounted)."""
 
-    image_id: int
-    accounted_bytes: int
-    pages_stored: int = 0
-    pages_deduped: int = 0
-    dedup_bytes_saved: int = 0
+    __slots__ = ("image_id", "accounted_bytes", "pages_stored",
+                 "pages_deduped", "dedup_bytes_saved")
+
+    def __init__(self, image_id, accounted_bytes, pages_stored=0,
+                 pages_deduped=0, dedup_bytes_saved=0):
+        self.image_id = image_id
+        self.accounted_bytes = accounted_bytes
+        self.pages_stored = pages_stored
+        self.pages_deduped = pages_deduped
+        self.dedup_bytes_saved = dedup_bytes_saved
 
 
 class CheckpointStorage:
-    """Stores serialized checkpoint images on a simulated disk."""
+    """Stores serialized checkpoint images on a simulated disk.
+
+    ``cas`` (optional) injects a shared :class:`PageCAS`; ``owner`` names
+    this storage's reference-count bucket inside it.  The default is a
+    private CAS with a single owner — the classic one-session layout.
+    """
 
     def __init__(self, clock=None, costs=DEFAULT_COSTS, compress=False,
-                 faults=None, telemetry=None, page_store=True):
+                 faults=None, telemetry=None, page_store=True,
+                 cas=None, owner=DEFAULT_OWNER):
         self.clock = clock if clock is not None else VirtualClock()
         self.costs = costs
         #: Whether the *accounted* storage format is compressed (the paper
@@ -116,6 +430,9 @@ class CheckpointStorage:
         #: Content-addressed page store (v3 manifests) vs whole blobs (v2).
         self.page_store = page_store
         self.faults = resolve_faults(faults)
+        self.cas = cas if cas is not None else PageCAS()
+        self.owner = owner
+        self.cas.owner_refs_for(owner)  # register the owner eagerly
         self._blobs = {}  # image id -> framed blob (zlib payload + trailer)
         self._sizes = {}  # image id -> logical (uncompressed, compressed)
         self._meta_sizes = {}  # image id -> metadata record bytes
@@ -124,32 +441,76 @@ class CheckpointStorage:
         self._manifests = {}  # image id -> tuple of page digests (key order)
         self._manifest_sizes = {}  # image id -> (raw, compressed) blob bytes
         self._stored_mode = {}  # image id -> accounted mode at store time
-        # The content-addressed store proper.
-        self._cas = {}  # digest -> page payload bytes
-        self._cas_refs = {}  # digest -> (image, key) reference count
-        self._cas_sizes = {}  # digest -> (raw, compressed) page bytes
-        self._cas_mode = {}  # digest -> accounted mode at first store
-        self._cas_extent = {}  # digest -> extent id
-        self._extents = {}  # extent id -> _Extent
-        self._extent_seq = 0
-        self._current_extent = None
-        # Physical totals: manifests plus unique CAS pages, charged once.
-        self.total_uncompressed_bytes = 0
-        self.total_compressed_bytes = 0
+        # Owner-logical totals: manifest/blob frames, plus each unique CAS
+        # page this owner references, charged once while referenced.
+        self._frame_raw_total = 0
+        self._frame_comp_total = 0
+        self._page_raw_total = 0
+        self._page_comp_total = 0
         self.write_count = 0
         self.read_count = 0
         self.pages_deduped = 0
         self.dedup_bytes_saved = 0
-        self.cas_orphans_reclaimed = 0
-        self.compaction_runs = 0
-        self.compaction_bytes_reclaimed = 0
         metrics = resolve_telemetry(telemetry)
         self._m_pages_deduped = metrics.counter("storage.pages_deduped")
         self._m_dedup_saved = metrics.counter("storage.dedup_bytes_saved")
         self._m_orphans = metrics.counter("storage.cas_orphans_reclaimed")
+        self._orphans_attributed = 0
 
     def bind_faults(self, faults):
         self.faults = resolve_faults(faults)
+
+    # -- accounting views ---------------------------------------------- #
+
+    @property
+    def total_uncompressed_bytes(self):
+        return self._frame_raw_total + self._page_raw_total
+
+    @property
+    def total_compressed_bytes(self):
+        return self._frame_comp_total + self._page_comp_total
+
+    @property
+    def cas_orphans_reclaimed(self):
+        return self.cas.orphans_reclaimed
+
+    @property
+    def compaction_runs(self):
+        return self.cas.compaction_runs
+
+    @property
+    def compaction_bytes_reclaimed(self):
+        return self.cas.compaction_bytes_reclaimed
+
+    # -- shared-CAS internals, aliased for tests and tooling ------------ #
+
+    @property
+    def _cas(self):
+        return self.cas.pages
+
+    @property
+    def _cas_sizes(self):
+        return self.cas.sizes
+
+    @property
+    def _cas_refs(self):
+        return self.cas.refs
+
+    @property
+    def _cas_mode(self):
+        return self.cas.mode
+
+    @property
+    def _cas_extent(self):
+        return self.cas.extent_of
+
+    @property
+    def _extents(self):
+        return self.cas.extents
+
+    @property
+    def _own_refs(self):
+        return self.cas.owner_refs_for(self.owner)
 
     # ------------------------------------------------------------------ #
     # Write path
@@ -158,7 +519,7 @@ class CheckpointStorage:
         """Serialize and write an image; returns a :class:`StoreReceipt`
         whose ``accounted_bytes`` is the bytes actually written as
         accounted (compressed when compression is enabled, with pages
-        already present in the CAS deduplicated away).
+        already referenced by this owner deduplicated away).
 
         Transactional for transient faults: an :class:`InjectedFault`
         rolls back every page this call committed, so a failed store
@@ -187,7 +548,7 @@ class CheckpointStorage:
         self._blobs[image_id] = torn
         self._sizes[image_id] = (0, len(torn))
         self._meta_sizes[image_id] = 0
-        self.total_compressed_bytes += len(torn)
+        self._frame_comp_total += len(torn)
 
     def _store_blob(self, image, charge_time):
         """Legacy whole-blob write path (serial format v2)."""
@@ -215,8 +576,8 @@ class CheckpointStorage:
         self._manifests[image_id] = ()
         self._manifest_sizes[image_id] = (len(raw), len(blob))
         self._stored_mode[image_id] = mode
-        self.total_uncompressed_bytes += len(raw)
-        self.total_compressed_bytes += len(blob)
+        self._frame_raw_total += len(raw)
+        self._frame_comp_total += len(blob)
         self.write_count += 1
         # A freshly written image sits in the page cache.
         self._cached.add(image_id)
@@ -224,7 +585,16 @@ class CheckpointStorage:
                             pages_stored=len(image.pages))
 
     def _store_manifest(self, image, charge_time):
-        """CAS write path: append new pages, then commit the manifest."""
+        """CAS write path: append new pages, then commit the manifest.
+
+        Dedup for *charging* (clock time, receipt, owner-logical totals)
+        is decided against this owner's own references, so the simulated
+        timings of a session never depend on what other fleet members have
+        stored.  Physical appends are decided against the whole CAS —
+        a page another owner committed is a cross-dedup hit: charged to
+        this owner, written by nobody.
+        """
+        cas = self.cas
         image_id = image.checkpoint_id
         mode = self.compress
         manifest = image.manifest()
@@ -233,8 +603,8 @@ class CheckpointStorage:
             digest = manifest[key]
             content = image.pages.get(key)
             if content is None:
-                content = self._cas.get(digest)
-                if content is None or digest not in self._cas_refs:
+                content = cas.pages.get(digest)
+                if content is None or digest not in cas.refs:
                     raise CheckpointError(
                         "page %r of checkpoint %d has no payload and is "
                         "not in the page store" % (key, image_id))
@@ -245,13 +615,14 @@ class CheckpointStorage:
         raw = image.serialize(format=FORMAT_VERSION_MANIFEST)
         blob, frame = self._frame(raw)
         # Dedup analysis, before any mutation.  ``ordered`` has one digest
-        # per page key; a digest already live in the CAS (or repeated
-        # within this image) is a dedup hit.
+        # per page key; a digest this owner already references (or one
+        # repeated within this image) is a charging dedup hit.
         ordered = tuple(manifest[key] for key in sorted(manifest))
+        own_refs = self._own_refs
         sizes = {}
         for digest in set(ordered):
-            if digest in self._cas_sizes:
-                sizes[digest] = self._cas_sizes[digest]
+            if digest in cas.sizes:
+                sizes[digest] = cas.sizes[digest]
             else:
                 content = contents[digest]
                 sizes[digest] = (
@@ -261,19 +632,22 @@ class CheckpointStorage:
             raw_len, comp_len = sizes[digest]
             return comp_len if mode else raw_len
 
-        new_digests = []
+        charge_new = []
         dup_count = 0
         dup_saved = 0
         seen = set()
         for digest in ordered:
-            if digest in self._cas_refs or digest in seen:
+            if digest in own_refs or digest in seen:
                 dup_count += 1
                 dup_saved += accounted(digest)
             else:
                 seen.add(digest)
-                new_digests.append(digest)
-        new_bytes = sum(accounted(digest) for digest in new_digests)
-        new_raw_bytes = sum(sizes[digest][0] for digest in new_digests)
+                charge_new.append(digest)
+        # Physical appends: only digests nobody has committed yet.
+        phys_new = [digest for digest in charge_new
+                    if digest not in cas.refs]
+        new_bytes = sum(accounted(digest) for digest in charge_new)
+        new_raw_bytes = sum(sizes[digest][0] for digest in charge_new)
         written = (len(blob) if mode else len(raw)) + new_bytes
         raw_logical = len(raw) + sum(sizes[d][0] for d in ordered)
         comp_logical = len(blob) + sum(sizes[d][1] for d in ordered)
@@ -285,33 +659,28 @@ class CheckpointStorage:
         committed = []
         index = -1
         try:
-            for index, digest in enumerate(new_digests):
+            for index, digest in enumerate(phys_new):
                 # Crash here tears the page being appended; every earlier
                 # page of this store stays committed with no manifest
                 # referencing it yet.
                 self.faults.check(FP_CAS_PAGE_APPEND)
                 raw_len, comp_len = sizes[digest]
-                self._cas[digest] = contents[digest]
-                self._cas_sizes[digest] = (raw_len, comp_len)
-                self._cas_mode[digest] = mode
-                self._cas_refs[digest] = 0  # referenced at manifest commit
-                self._extent_append(digest, comp_len)
-                self.total_uncompressed_bytes += raw_len
-                self.total_compressed_bytes += comp_len
+                cas.commit_page(digest, contents[digest], raw_len,
+                                comp_len, mode)
                 committed.append(digest)
             # Crash here strands every page of this store as an orphan:
             # committed payloads, zero references, no manifest.
             self.faults.check(FP_CAS_MANIFEST_COMMIT)
         except InjectedCrash as crash:
             if crash.site == FP_CAS_PAGE_APPEND and 0 <= index:
-                digest = new_digests[index]
+                digest = phys_new[index]
                 content = contents[digest]
-                self._cas[digest] = content[:max(1, len(content) // 2)]
+                cas.pages[digest] = content[:max(1, len(content) // 2)]
             raise
         except InjectedFault:
             # Transient fault: roll back every page this call committed.
             for digest in committed:
-                self._rollback_page(digest)
+                cas.rollback_page(digest)
             raise
         if charge_time:
             if mode:
@@ -326,9 +695,12 @@ class CheckpointStorage:
         self._manifest_sizes[image_id] = (len(raw), len(blob))
         self._stored_mode[image_id] = mode
         for digest in ordered:
-            self._cas_refs[digest] = self._cas_refs.get(digest, 0) + 1
-        self.total_uncompressed_bytes += len(raw)
-        self.total_compressed_bytes += len(blob)
+            if cas.add_ref(self.owner, digest):
+                raw_len, comp_len = sizes[digest]
+                self._page_raw_total += raw_len
+                self._page_comp_total += comp_len
+        self._frame_raw_total += len(raw)
+        self._frame_comp_total += len(blob)
         self.write_count += 1
         self._cached.add(image_id)
         if dup_count:
@@ -336,72 +708,36 @@ class CheckpointStorage:
             self.dedup_bytes_saved += dup_saved
             self._m_pages_deduped.inc(dup_count)
             self._m_dedup_saved.inc(dup_saved)
+        cross = len(charge_new) - len(phys_new)
+        if cross:
+            cross_saved = sum(accounted(digest) for digest in charge_new
+                              if digest not in phys_new)
+            cas.cross_pages_deduped += cross
+            cas.cross_dedup_bytes_saved += cross_saved
         return StoreReceipt(
             image_id=image_id,
             accounted_bytes=written,
-            pages_stored=len(new_digests),
+            pages_stored=len(charge_new),
             pages_deduped=dup_count,
             dedup_bytes_saved=dup_saved,
         )
 
-    # ------------------------------------------------------------------ #
-    # Extents
-
-    def _extent_append(self, digest, comp_len):
-        eid = self._current_extent
-        extent = self._extents.get(eid) if eid is not None else None
-        if extent is None or extent.live + extent.dead >= EXTENT_TARGET_BYTES:
-            self._extent_seq += 1
-            eid = self._extent_seq
-            extent = _Extent()
-            self._extents[eid] = extent
-            self._current_extent = eid
-        extent.live += comp_len
-        extent.digests.add(digest)
-        self._cas_extent[digest] = eid
-
-    def _rollback_page(self, digest):
-        """Undo an uncommitted page append (transient-fault rollback):
-        the write never happened, so no dead bytes are left behind."""
-        raw_len, comp_len = self._cas_sizes.pop(digest)
-        self._cas_mode.pop(digest, None)
-        self._cas_refs.pop(digest, None)
-        self._cas.pop(digest, None)
-        eid = self._cas_extent.pop(digest, None)
-        if eid is not None:
-            extent = self._extents[eid]
-            extent.live -= comp_len
-            extent.digests.discard(digest)
-        self.total_uncompressed_bytes -= raw_len
-        self.total_compressed_bytes -= comp_len
-
-    def _reclaim_page(self, digest):
-        """Free a committed CAS page; returns the bytes freed (as
-        accounted at its store time).  Its extent bytes turn dead."""
-        raw_len, comp_len = self._cas_sizes.pop(digest)
-        mode = self._cas_mode.pop(digest, self.compress)
-        self._cas_refs.pop(digest, None)
-        self._cas.pop(digest, None)
-        eid = self._cas_extent.pop(digest, None)
-        if eid is not None:
-            extent = self._extents.get(eid)
-            if extent is not None:
-                extent.live -= comp_len
-                extent.dead += comp_len
-                extent.digests.discard(digest)
-        self.total_uncompressed_bytes -= raw_len
-        self.total_compressed_bytes -= comp_len
-        return comp_len if mode else raw_len
-
     def _unref(self, digest):
-        """Drop one manifest reference; reclaims the page at zero."""
-        refs = self._cas_refs.get(digest)
-        if refs is None:
+        """Drop one of this owner's manifest references; returns the
+        owner-logical bytes freed (accounted at store time) when the
+        owner's last reference went away."""
+        cas = self.cas
+        sizes = cas.sizes.get(digest)
+        if sizes is None:
             return 0
-        if refs > 1:
-            self._cas_refs[digest] = refs - 1
+        raw_len, comp_len = sizes
+        mode = cas.mode.get(digest, self.compress)
+        owner_dropped, _reclaimed = cas.unref(self.owner, digest)
+        if not owner_dropped:
             return 0
-        return self._reclaim_page(digest)
+        self._page_raw_total -= raw_len
+        self._page_comp_total -= comp_len
+        return comp_len if mode else raw_len
 
     # ------------------------------------------------------------------ #
     # Frame integrity
@@ -474,7 +810,7 @@ class CheckpointStorage:
         image = CheckpointImage.deserialize(zlib.decompress(blob))
         if not metadata_only and image.page_digests and not image.pages:
             for key, digest in sorted(image.page_digests.items()):
-                content = self._cas.get(digest)
+                content = self.cas.pages.get(digest)
                 if content is None:
                     raise CheckpointError(
                         "checkpoint %d unreadable (missing page %r in "
@@ -485,7 +821,7 @@ class CheckpointStorage:
     def cas_page(self, digest):
         """Resolve one page payload by digest (None when absent) — the
         demand pager's per-page read."""
-        return self._cas.get(digest)
+        return self.cas.pages.get(digest)
 
     def is_cached(self, image_id):
         return image_id in self._cached
@@ -513,38 +849,32 @@ class CheckpointStorage:
 
     def cas_entries(self):
         """``{digest: {"refs", "uncompressed", "compressed"}}`` for every
-        committed CAS page (the property-test observation surface)."""
-        return {
-            digest: {
-                "refs": self._cas_refs.get(digest, 0),
-                "uncompressed": raw_len,
-                "compressed": comp_len,
-            }
-            for digest, (raw_len, comp_len) in self._cas_sizes.items()
-        }
+        committed CAS page (the property-test observation surface).  Refs
+        are global — fleet-wide — counts."""
+        return self.cas.entries()
 
     def fragmentation(self):
         """Live/dead byte split across page extents."""
-        live = sum(extent.live for extent in self._extents.values())
-        dead = sum(extent.dead for extent in self._extents.values())
-        return {"extents": len(self._extents),
-                "live_bytes": live, "dead_bytes": dead}
+        return self.cas.fragmentation()
 
     def dedup_stats(self):
-        """Cumulative dedup and reclamation counters."""
+        """Cumulative dedup and reclamation counters (owner-local dedup,
+        plus the shared CAS's cross-owner figures)."""
         return {
             "pages_deduped": self.pages_deduped,
             "dedup_bytes_saved": self.dedup_bytes_saved,
-            "cas_orphans_reclaimed": self.cas_orphans_reclaimed,
-            "cas_pages": len(self._cas_sizes),
-            "compaction_runs": self.compaction_runs,
-            "compaction_bytes_reclaimed": self.compaction_bytes_reclaimed,
+            "cas_orphans_reclaimed": self.cas.orphans_reclaimed,
+            "cas_pages": len(self.cas.sizes),
+            "compaction_runs": self.cas.compaction_runs,
+            "compaction_bytes_reclaimed": self.cas.compaction_bytes_reclaimed,
+            "cross_pages_deduped": self.cas.cross_pages_deduped,
+            "cross_dedup_bytes_saved": self.cas.cross_dedup_bytes_saved,
         }
 
     def delete(self, image_id):
         """Remove a stored image (checkpoint pruning); returns the bytes
         freed as accounted *at store time* — the manifest plus any CAS
-        page whose last reference this was."""
+        page whose last reference from this owner this was."""
         if image_id not in self._blobs:
             raise CheckpointError("no stored checkpoint %d" % image_id)
         uncompressed, compressed = self._sizes.pop(image_id)
@@ -560,8 +890,8 @@ class CheckpointStorage:
             manifest_sizes = (uncompressed, compressed)
         man_raw, man_comp = manifest_sizes
         freed = man_comp if mode else man_raw
-        self.total_uncompressed_bytes -= man_raw
-        self.total_compressed_bytes -= man_comp
+        self._frame_raw_total -= man_raw
+        self._frame_comp_total -= man_comp
         for digest in digests:
             freed += self._unref(digest)
         return freed
@@ -570,62 +900,29 @@ class CheckpointStorage:
     # Compaction
 
     def compact(self, dead_fraction=DEFAULT_DEAD_FRACTION, charge_time=True):
-        """Reclaim orphaned CAS pages and rewrite fragmented extents.
-
-        Any page with zero references (crash leftovers, or entries whose
-        last manifest was pruned out from under them) is reclaimed first;
-        then every extent whose dead fraction is at least
-        ``dead_fraction`` has its live pages rewritten into the current
-        append head (charging sequential read + write of the live bytes)
-        and its dead bytes reclaimed.  Returns a report dict.
-        """
-        report = {
-            "orphans_reclaimed": 0,
-            "extents_rewritten": 0,
-            "pages_moved": 0,
-            "bytes_reclaimed": 0,
-        }
-        # Uncommitted (torn) payloads: present in the CAS map but never
-        # accounted — discard outright.
-        for digest in [d for d in self._cas if d not in self._cas_sizes]:
-            del self._cas[digest]
-            self._cas_refs.pop(digest, None)
-            report["orphans_reclaimed"] += 1
-        for digest in [d for d, refs in self._cas_refs.items() if refs <= 0]:
-            self._reclaim_page(digest)
-            report["orphans_reclaimed"] += 1
-        if report["orphans_reclaimed"]:
-            self.cas_orphans_reclaimed += report["orphans_reclaimed"]
-            self._m_orphans.inc(report["orphans_reclaimed"])
-        for eid in sorted(self._extents):
-            extent = self._extents.get(eid)
-            if extent is None:
-                continue
-            total = extent.live + extent.dead
-            if total == 0:
-                if eid != self._current_extent:
-                    del self._extents[eid]
-                continue
-            if extent.dead == 0 or extent.dead / total < dead_fraction:
-                continue
-            if eid == self._current_extent:
-                # Never rewrite an extent into itself: retire the append
-                # head and let the move open a fresh one.
-                self._current_extent = None
-            if charge_time and extent.live:
-                self.clock.advance_us(
-                    self.costs.disk_read_us(extent.live, sequential=True))
-                self.clock.advance_us(
-                    self.costs.disk_write_us(extent.live, sequential=True))
-            for digest in sorted(extent.digests):
-                self._extent_append(digest, self._cas_sizes[digest][1])
-                report["pages_moved"] += 1
-            del self._extents[eid]
-            report["extents_rewritten"] += 1
-            report["bytes_reclaimed"] += extent.dead
-        self.compaction_runs += 1
-        self.compaction_bytes_reclaimed += report["bytes_reclaimed"]
+        """Reclaim orphaned CAS pages and rewrite fragmented extents
+        (see :meth:`PageCAS.compact`); time is charged to this storage's
+        clock.  With a shared CAS prefer the fleet-level entry point,
+        which charges the service clock instead of one member's."""
+        before = self.cas.orphans_reclaimed
+        report = self.cas.compact(
+            dead_fraction=dead_fraction,
+            clock=self.clock if charge_time else None,
+            costs=self.costs if charge_time else None,
+        )
+        reclaimed = self.cas.orphans_reclaimed - before
+        if reclaimed:
+            self._m_orphans.inc(reclaimed)
+        self._sync_page_totals()
         return report
+
+    def _sync_page_totals(self):
+        """Recompute the owner-logical page totals from the CAS (used
+        after operations that may reclaim pages out from under manifests:
+        compaction orphan sweeps, fsck)."""
+        raw, comp = self.cas.owner_logical_totals(self.owner)
+        self._page_raw_total = raw
+        self._page_comp_total = comp
 
     # ------------------------------------------------------------------ #
     # Recovery
@@ -636,20 +933,23 @@ class CheckpointStorage:
         Phases: (1) drop torn/corrupt manifest frames; (2) discard
         torn/corrupt CAS pages (content hash mismatch, or payloads that
         never committed); (3) drop manifests referencing missing digests
-        — a dangling manifest cannot revive; (4) rebuild refcounts from
-        the surviving manifests and reclaim orphaned pages; (5) run
-        :func:`verify_chain` and delete any image it flags, iterating to
-        a fixpoint (then re-reclaim any pages those drops orphaned); (6)
-        recompute the physical totals from what survived.  When
-        ``fsstore`` is given, the file-system snapshot bindings of
-        dropped checkpoints are unprotected so the LFS cleaner can
-        reclaim them.
+        — a dangling manifest cannot revive; (4) rebuild *this owner's*
+        refcounts from the surviving manifests and reclaim pages no owner
+        references (other owners' counts are never touched, so one
+        session's recovery cannot reclaim pages a fleet peer still
+        needs); (5) run :func:`verify_chain` and delete any image it
+        flags, iterating to a fixpoint (then re-reclaim any pages those
+        drops orphaned); (6) recompute the owner-logical totals from what
+        survived.  When ``fsstore`` is given, the file-system snapshot
+        bindings of dropped checkpoints are unprotected so the LFS
+        cleaner can reclaim them.
 
         Returns a report dict; ``verify_ok`` is True when the surviving
         store passes a final verification pass.
         """
         from repro.checkpoint.verify import verify_chain
 
+        cas = self.cas
         report = {
             "torn_dropped": [],
             "chain_dropped": [],
@@ -683,14 +983,10 @@ class CheckpointStorage:
                                                "reason": reason})
 
         # Phase 2: CAS page integrity.
-        for digest in list(self._cas):
-            if digest not in self._cas_sizes:
-                # Never committed (torn mid-append): discard outright.
-                del self._cas[digest]
-                self._cas_refs.pop(digest, None)
-                report["cas_pages_dropped"] += 1
-            elif page_digest(self._cas[digest]) != digest:
-                self._reclaim_page(digest)
+        report["cas_pages_dropped"] += cas.drop_uncommitted()
+        for digest in list(cas.pages):
+            if page_digest(cas.pages[digest]) != digest:
+                cas.reclaim_page(digest)
                 report["cas_pages_dropped"] += 1
 
         # Phase 3: manifests must resolve.  A frame injected without
@@ -718,27 +1014,19 @@ class CheckpointStorage:
                     report["torn_dropped"].append(
                         {"image_id": image_id, "reason": "corrupt: undecodable"})
                     continue
-            if any(digest not in self._cas for digest in digests):
+            if any(digest not in cas.pages for digest in digests):
                 forget(image_id)
                 report["manifest_dropped"].append(image_id)
 
         def rebuild_refs():
-            refs = {}
-            for image_id in self._blobs:
-                for digest in self._manifests.get(image_id, ()):
-                    refs[digest] = refs.get(digest, 0) + 1
-            for digest in [d for d in self._cas if d not in refs]:
-                if digest in self._cas_sizes:
-                    self._reclaim_page(digest)
-                else:
-                    del self._cas[digest]
-                report["cas_orphans_reclaimed"] += 1
-            self._cas_refs = refs
             self._manifests = {image_id: self._manifests.get(image_id, ())
                                for image_id in self._blobs}
+            reclaimed = cas.rebuild_owner_refs(
+                self.owner, self._manifests.values())
+            report["cas_orphans_reclaimed"] += reclaimed
 
-        # Phase 4: refcounts come from the surviving manifests; anything
-        # unreferenced is an orphan.
+        # Phase 4: this owner's refcounts come from its surviving
+        # manifests; anything no owner references is an orphan.
         rebuild_refs()
 
         # Phase 5: chain repair to fixpoint — each pass can only delete,
@@ -756,7 +1044,7 @@ class CheckpointStorage:
             verdict = verify_chain(self, fsstore)
         report["verify_ok"] = verdict.ok
 
-        # Phase 6: recompute physical totals from the survivors.
+        # Phase 6: recompute the owner-logical totals from the survivors.
         total_raw = 0
         total_comp = 0
         for image_id in self._blobs:
@@ -764,13 +1052,10 @@ class CheckpointStorage:
                 image_id, self._sizes.get(image_id, (0, 0)))
             total_raw += man_raw
             total_comp += man_comp
-        for raw_len, comp_len in self._cas_sizes.values():
-            total_raw += raw_len
-            total_comp += comp_len
-        self.total_uncompressed_bytes = total_raw
-        self.total_compressed_bytes = total_comp
+        self._frame_raw_total = total_raw
+        self._frame_comp_total = total_comp
+        self._sync_page_totals()
         if report["cas_orphans_reclaimed"]:
-            self.cas_orphans_reclaimed += report["cas_orphans_reclaimed"]
             self._m_orphans.inc(report["cas_orphans_reclaimed"])
         report["remaining"] = len(self._blobs)
         return report

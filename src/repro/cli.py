@@ -7,6 +7,8 @@ Usage::
                                 [--no-checkpoints] [--policy] [--compress]
     python -m repro.cli stats web [--units N]
     python -m repro.cli doctor web [--faults SPEC] [--seed N]
+    python -m repro.cli serve [--sessions N] [--seed S] [--units-scale F]
+    python -m repro.cli fleet-stats [--sessions N] [--seed S]
     python -m repro.cli demo
     python -m repro.cli figures
 
@@ -104,6 +106,25 @@ def build_parser():
                         help="RNG seed for probabilistic fault rules")
     doctor.add_argument("--list-failpoints", action="store_true",
                         help="print the registered failpoint catalog and exit")
+
+    def _add_fleet_args(command):
+        command.add_argument("--sessions", type=int, default=4,
+                             help="number of sessions to admit (default 4)")
+        command.add_argument("--seed", type=int, default=0,
+                             help="scheduler interleaving seed (default 0)")
+        command.add_argument("--units-scale", type=float, default=1.0,
+                             help="scale every session's unit count")
+
+    serve = sub.add_parser(
+        "serve",
+        help="record N sessions at once under the deterministic fleet "
+             "scheduler with a shared checkpoint page store")
+    _add_fleet_args(serve)
+
+    fleet_stats = sub.add_parser(
+        "fleet-stats",
+        help="run a fleet and print its rolled-up telemetry snapshot")
+    _add_fleet_args(fleet_stats)
 
     sub.add_parser("demo", help="record/search/revive guided tour")
     sub.add_parser("figures", help="map of paper figures to bench files")
@@ -382,6 +403,73 @@ def cmd_doctor(args, out):
     return 0 if verdict.ok else 1
 
 
+def _run_fleet(args):
+    from repro.workloads.fleet_wl import run_fleet
+
+    return run_fleet(args.sessions, seed=args.seed,
+                     units_scale=args.units_scale)
+
+
+def cmd_serve(args, out):
+    """Run N sessions to completion under the fleet scheduler and print
+    the service-level report."""
+    fleet = _run_fleet(args)
+    stats = fleet.stats()
+    if args.json:
+        json.dump(stats, out, indent=2, default=str)
+        print(file=out)
+        return 0
+    print("fleet: %d session(s), seed %d" % (len(fleet), args.seed),
+          file=out)
+    print("service clock: %s (sum of per-session activity)" %
+          format_duration_us(stats["service_clock_us"]), file=out)
+    for name, info in stats["sessions"].items():
+        print("  %-6s %-8s %-10s %3d/%3d units, %3d checkpoint(s), "
+              "clock %s" % (
+                  name, info["scenario"], info["state"],
+                  info["units_done"], info["units_total"],
+                  info["checkpoints"],
+                  format_duration_us(info["clock_us"])), file=out)
+    cas = stats["cas"]
+    print("shared page store: %d page(s), %s physical "
+          "(cross-session dedup ratio %.1f%%, %d page(s) shared)" % (
+              cas["cas_pages"],
+              format_bytes(cas["physical_uncompressed_bytes"]),
+              100.0 * cas["dedup_ratio"],
+              cas["cross_pages_deduped"]), file=out)
+    return 0
+
+
+def cmd_fleet_stats(args, out):
+    """Run a fleet and print the rolled-up telemetry (fleet counters plus
+    the per-session metric rollup)."""
+    fleet = _run_fleet(args)
+    stats = fleet.stats()
+    if args.json:
+        json.dump(stats, out, indent=2, default=str)
+        print(file=out)
+        return 0
+    print("fleet telemetry (%d session(s), seed %d):" % (
+        len(fleet), args.seed), file=out)
+    print("scheduler counters:", file=out)
+    for key, value in sorted(stats["fleet_metrics"]["counters"].items()):
+        print("  %-36s %d" % (key, value), file=out)
+    step = stats["fleet_metrics"]["histograms"].get("fleet.step_us")
+    if step and step["count"]:
+        print("step time (virtual us): count=%d p50=%.0f p95=%.0f max=%.0f"
+              % (step["count"], step["p50"], step["p95"], step["max"]),
+              file=out)
+    print("session rollup counters (summed):", file=out)
+    for key, value in sorted(stats["rollup"]["counters"].items()):
+        print("  %-36s %d" % (key, value), file=out)
+    cas = stats["cas"]
+    print("shared page store: dedup ratio %.1f%%, %d cross-session "
+          "page(s), %d orphan(s) reclaimed" % (
+              100.0 * cas["dedup_ratio"], cas["cross_pages_deduped"],
+              cas["orphans_reclaimed"]), file=out)
+    return 0
+
+
 def cmd_demo(_args, out):
     from repro.common.units import seconds
     from repro.desktop.dejaview import DejaView
@@ -430,6 +518,8 @@ def main(argv=None, out=None):
         "run": cmd_run,
         "stats": cmd_stats,
         "doctor": cmd_doctor,
+        "serve": cmd_serve,
+        "fleet-stats": cmd_fleet_stats,
         "demo": cmd_demo,
         "figures": cmd_figures,
     }[args.command]

@@ -296,6 +296,56 @@ class Telemetry:
         self.tracer.reset()
 
 
+def rollup_snapshots(snapshots):
+    """Merge per-session metric snapshots into one fleet-level view.
+
+    ``snapshots`` maps a session name to its ``metrics.snapshot()`` (or
+    ``Telemetry.snapshot()``) dict.  Counters and gauges sum across
+    sessions; histogram summaries merge with exact count/sum/min/max and
+    a count-weighted mean, while each percentile is reported as the
+    worst (maximum) across sessions — the raw samples are gone at
+    snapshot level, so the rollup takes the conservative upper bound.
+    The per-session snapshots ride along under ``"sessions"``.
+    """
+    counters = {}
+    gauges = {}
+    merged_hists = {}
+    for name in sorted(snapshots):
+        snap = snapshots[name]
+        for key, value in snap.get("counters", {}).items():
+            counters[key] = counters.get(key, 0) + value
+        for key, value in snap.get("gauges", {}).items():
+            gauges[key] = gauges.get(key, 0) + value
+        for key, summary in snap.get("histograms", {}).items():
+            merged = merged_hists.setdefault(
+                key, {"count": 0, "sum": 0.0, "min": None, "max": None,
+                      "mean": None, "p50": None, "p95": None, "p99": None})
+            if not summary.get("count"):
+                continue
+            merged["count"] += summary["count"]
+            merged["sum"] += summary["sum"]
+            for side, pick in (("min", min), ("max", max)):
+                if merged[side] is None:
+                    merged[side] = summary[side]
+                elif summary[side] is not None:
+                    merged[side] = pick(merged[side], summary[side])
+            for quantile in ("p50", "p95", "p99"):
+                if merged[quantile] is None:
+                    merged[quantile] = summary[quantile]
+                elif summary[quantile] is not None:
+                    merged[quantile] = max(merged[quantile],
+                                           summary[quantile])
+    for summary in merged_hists.values():
+        if summary["count"]:
+            summary["mean"] = summary["sum"] / summary["count"]
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(merged_hists.items())),
+        "sessions": dict(sorted(snapshots.items())),
+    }
+
+
 NULL_TELEMETRY = Telemetry(enabled=False)
 
 _default_telemetry = NULL_TELEMETRY

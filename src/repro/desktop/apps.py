@@ -11,6 +11,8 @@ Workload generators drive these objects; nothing below this layer knows
 which scenario is running.
 """
 
+import zlib
+
 import numpy as np
 
 from repro.common.costs import PAGE_SIZE
@@ -45,7 +47,12 @@ class SimApplication:
         )
         self._heap = self.process.address_space.mmap(1, name="heap")
         self._heap_pages = 1
-        self._rng = np.random.default_rng(abs(hash(name)) % (2**32))
+        # Seed from a *stable* digest of the name: builtin hash()
+        # varies with PYTHONHASHSEED across processes, which would
+        # make the same scripted workload draw different bytes in
+        # different runs (and break cross-session page dedup).
+        self._rng = np.random.default_rng(
+            zlib.crc32(name.encode("utf-8")))
         self._fill_cursor = 0
         self.closed = False
 

@@ -85,7 +85,12 @@ class TickReport:
 class DejaView:
     """The personal virtual computer recorder."""
 
-    def __init__(self, session, config=None, telemetry=None):
+    def __init__(self, session, config=None, telemetry=None, page_cas=None):
+        """``page_cas`` injects a shared
+        :class:`~repro.checkpoint.storage.PageCAS` so several recorders
+        dedup checkpoint pages against each other (fleet mode); the
+        session's name becomes its owner id in the shared store.  ``None``
+        — the default — keeps a private page store."""
         self.session = session
         self.config = config if config is not None else RecordingConfig()
         clock = session.clock
@@ -139,12 +144,17 @@ class DejaView:
                 telemetry=self.telemetry,
             )
 
+        storage_kwargs = {}
+        if page_cas is not None:
+            storage_kwargs["cas"] = page_cas
+            storage_kwargs["owner"] = getattr(session, "name", "local")
         self.storage = CheckpointStorage(
             clock=clock, costs=costs,
             compress=self.config.compress_checkpoints,
             faults=self.faults,
             telemetry=self.telemetry,
             page_store=self.config.checkpoint_page_store,
+            **storage_kwargs,
         )
         self.engine = None
         self.policy = None

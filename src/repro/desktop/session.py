@@ -29,6 +29,9 @@ class DesktopSession:
                  attach_viewer=True):
         self.clock = clock if clock is not None else VirtualClock()
         self.costs = costs
+        #: Session name: the container name, the viewer tab label, and —
+        #: under a fleet — this session's owner id in the shared page CAS.
+        self.name = name
         self.kernel = Kernel(clock=self.clock, costs=costs)
         self.container = self.kernel.create_container(name)
         self.fsstore = BranchableStore(clock=self.clock, costs=costs)

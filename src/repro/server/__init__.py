@@ -1,0 +1,8 @@
+"""Multi-session recording service (fleet mode)."""
+
+from repro.server.fleet import (  # noqa: F401
+    Fleet,
+    FleetError,
+    FleetSession,
+    SessionQuotas,
+)

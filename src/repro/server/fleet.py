@@ -1,0 +1,380 @@
+"""A multi-session recording service.
+
+The paper's viewer already revives several past sessions side by side;
+this module makes the *recording* side multi-tenant: a :class:`Fleet`
+hosts N independent :class:`~repro.desktop.dejaview.DejaView` sessions
+and multiplexes them on one service clock through a deterministic
+cooperative scheduler.
+
+**Shared vs. per-session ownership.**  Each admitted session keeps its
+own virtual clock, cost charging, telemetry registry, fault plan, display
+record, text index, and file system — the complete single-user recording
+stack — so its simulated behavior is *bit-identical* to running alone
+(the isolation property ``tests/test_fleet_isolation.py`` pins).  Exactly
+one thing is shared: the content-addressed checkpoint page store
+(:class:`~repro.checkpoint.storage.PageCAS`), where identical pages dedup
+across sessions.  Sharing stays invisible to the members because the
+storage layer charges clocks and accounts bytes by *owner visibility*:
+what another session has stored never changes what this session pays.
+
+**Scheduler determinism contract.**  Runnable sessions are stepped by a
+seeded weighted draw (``random.Random(seed)`` over the admission-ordered
+runnable set), so the same admissions + seed reproduce the same
+interleaving exactly.  Because sessions share no behavior-affecting
+state, *any* interleaving yields the same per-session recordings — the
+seed picks which one the service clock observes, not what gets recorded.
+
+**Service clock.**  The fleet's clock models the host multiplexing one
+core across sessions: each step advances it by the session virtual time
+that step consumed.  At completion it reads the sum of all session
+activity — the serialized cost of hosting the fleet.
+
+**Quotas.**  Per-session recording quotas (checkpoint bytes, display log
+bytes, index occurrences) are enforced *after* each step from the
+session's own telemetry counters; a session that crosses a limit is
+parked as ``throttled`` and stops being scheduled.  Enforcement reads
+counters only — it never reaches into subsystems — so an unquota'd fleet
+records exactly what solo runs would.
+
+**Crash containment.**  An :class:`~repro.common.faults.InjectedCrash`
+escaping a session's step kills *that session* (state ``crashed``); the
+scheduler drops it and the rest of the fleet keeps recording.
+:meth:`Fleet.recover_session` runs the member's full crash recovery —
+whose shared-CAS fsck rebuilds only that owner's refcounts, so recovery
+can never reclaim pages a healthy session still references.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.checkpoint.gc import prune_checkpoints
+from repro.checkpoint.storage import PageCAS
+from repro.common.clock import VirtualClock
+from repro.common.costs import DEFAULT_COSTS
+from repro.common.errors import DejaViewError
+from repro.common.faults import InjectedCrash
+from repro.common.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    rollup_snapshots,
+)
+from repro.desktop.session import DesktopSession
+
+#: Session lifecycle states.
+RUNNING = "running"
+DONE = "done"
+CRASHED = "crashed"
+THROTTLED = "throttled"
+RECOVERED = "recovered"
+
+
+class FleetError(DejaViewError):
+    """Admission or scheduling request the fleet cannot honor."""
+
+
+@dataclass
+class SessionQuotas:
+    """Per-session recording limits, enforced from telemetry counters.
+
+    ``None`` disables a limit.  A session exceeding any limit after a
+    step is parked as ``throttled`` — its recording stays valid and
+    revivable, it just stops being scheduled.
+    """
+
+    checkpoint_bytes: int = None  # counter checkpoint.image_bytes
+    log_bytes: int = None  # counter display.log_bytes
+    index_occurrences: int = None  # counter index.inserts
+
+    _COUNTERS = (
+        ("checkpoint_bytes", "checkpoint.image_bytes"),
+        ("log_bytes", "display.log_bytes"),
+        ("index_occurrences", "index.inserts"),
+    )
+
+    def violation(self, metrics):
+        """The first ``(quota_name, used, limit)`` exceeded, or None."""
+        for attr, counter in self._COUNTERS:
+            limit = getattr(self, attr)
+            if limit is None:
+                continue
+            used = metrics.counter(counter).value
+            if used > limit:
+                return (attr, used, limit)
+        return None
+
+
+class FleetSession:
+    """One admitted member: its stack plus scheduler bookkeeping."""
+
+    __slots__ = ("name", "scenario", "weight", "session", "dejaview",
+                 "run", "steps", "state", "units_done", "quotas",
+                 "quota_violation", "crash_site")
+
+    def __init__(self, name, scenario, weight, session, dejaview, run,
+                 steps, quotas):
+        self.name = name
+        self.scenario = scenario
+        self.weight = weight
+        self.session = session
+        self.dejaview = dejaview
+        self.run = run
+        self.steps = steps
+        self.state = RUNNING
+        self.units_done = 0
+        self.quotas = quotas
+        self.quota_violation = None
+        self.crash_site = None
+
+    @property
+    def runnable(self):
+        return self.state == RUNNING
+
+    def describe(self):
+        info = {
+            "scenario": self.scenario,
+            "state": self.state,
+            "units_done": self.units_done,
+            "units_total": self.run.units,
+            "weight": self.weight,
+            "clock_us": self.session.clock.now_us,
+            "checkpoints": self.dejaview.checkpoint_count,
+        }
+        if self.quota_violation is not None:
+            attr, used, limit = self.quota_violation
+            info["quota_violation"] = {
+                "quota": attr, "used": used, "limit": limit}
+        if self.crash_site is not None:
+            info["crash_site"] = self.crash_site
+        return info
+
+
+class Fleet:
+    """N recording sessions, one service clock, one shared page store."""
+
+    def __init__(self, seed=0, max_sessions=16, costs=DEFAULT_COSTS,
+                 quotas=None, telemetry_enabled=True):
+        self.seed = seed
+        self.max_sessions = max_sessions
+        self.costs = costs
+        self.default_quotas = quotas
+        self.clock = VirtualClock()
+        self.cas = PageCAS()
+        self._rng = random.Random(seed)
+        self._members = {}  # name -> FleetSession, admission order
+        if telemetry_enabled:
+            self.telemetry = Telemetry(self.clock)
+        else:
+            self.telemetry = NULL_TELEMETRY
+        metrics = self.telemetry.metrics
+        self._m_steps = metrics.counter("fleet.steps")
+        self._m_admitted = metrics.counter("fleet.sessions_admitted")
+        self._m_rejected = metrics.counter("fleet.admissions_rejected")
+        self._m_done = metrics.counter("fleet.sessions_done")
+        self._m_crashes = metrics.counter("fleet.sessions_crashed")
+        self._m_throttled = metrics.counter("fleet.sessions_throttled")
+        self._m_recoveries = metrics.counter("fleet.sessions_recovered")
+        self._h_step_us = metrics.histogram("fleet.step_us")
+
+    # ------------------------------------------------------------------ #
+    # Admission
+
+    def admit(self, name, scenario, units=None, recording=None, weight=1,
+              quotas=None, session_kwargs=None, fault_plan=None):
+        """Admit one session: build its full recording stack against the
+        shared page store and queue it for scheduling.
+
+        Raises :class:`FleetError` when the fleet is at ``max_sessions``
+        or the name is taken (admission control).  Returns the
+        :class:`FleetSession`.
+        """
+        if name in self._members:
+            self._m_rejected.inc()
+            raise FleetError("session %r already admitted" % name)
+        if len(self._members) >= self.max_sessions:
+            self._m_rejected.inc()
+            raise FleetError(
+                "fleet is full (%d sessions, max %d)"
+                % (len(self._members), self.max_sessions))
+        if weight < 1:
+            raise FleetError("weight must be >= 1, got %r" % (weight,))
+        # Imported here, not at module top: repro.workloads imports this
+        # module for the fleet load generator.
+        from repro.workloads.generator import get_workload
+
+        workload = get_workload(scenario)
+        kwargs = dict(session_kwargs or {})
+        kwargs["name"] = name
+        session = DesktopSession(**kwargs)
+        config = recording if recording is not None \
+            else workload.default_recording()
+        if fault_plan is not None:
+            config.fault_plan = fault_plan
+        run, steps = workload.start(recording=config, units=units,
+                                    session=session, page_cas=self.cas)
+        member = FleetSession(
+            name=name, scenario=scenario, weight=weight, session=session,
+            dejaview=run.dejaview, run=run, steps=steps,
+            quotas=quotas if quotas is not None else self.default_quotas,
+        )
+        self._members[name] = member
+        self._m_admitted.inc()
+        return member
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+
+    def members(self):
+        """Admission-ordered members (dicts preserve insertion order)."""
+        return list(self._members.values())
+
+    def member(self, name):
+        member = self._members.get(name)
+        if member is None:
+            raise FleetError("no session %r in the fleet" % name)
+        return member
+
+    def runnable(self):
+        return [m for m in self._members.values() if m.runnable]
+
+    def _pick(self, runnable):
+        if len(runnable) == 1:
+            return runnable[0]
+        weights = [m.weight for m in runnable]
+        return self._rng.choices(runnable, weights=weights, k=1)[0]
+
+    def step(self):
+        """Run one work unit of one seeded-randomly chosen runnable
+        session; returns its :class:`FleetSession` (None when nothing is
+        runnable).  The service clock advances by the session virtual
+        time the unit consumed."""
+        runnable = self.runnable()
+        if not runnable:
+            return None
+        member = self._pick(runnable)
+        before = member.session.clock.now_us
+        try:
+            next(member.steps)
+            member.units_done += 1
+        except StopIteration:
+            member.state = DONE
+            self._m_done.inc()
+        except InjectedCrash as crash:
+            # The member died mid-write (kill -9 semantics): contain it,
+            # keep the rest of the fleet recording.
+            member.state = CRASHED
+            member.crash_site = crash.site
+            self._m_crashes.inc()
+        consumed = member.session.clock.now_us - before
+        self.clock.advance_us(consumed)
+        self._m_steps.inc()
+        self._h_step_us.observe(consumed)
+        if member.state == RUNNING and member.quotas is not None:
+            violation = member.quotas.violation(
+                member.dejaview.telemetry.metrics)
+            if violation is not None:
+                member.state = THROTTLED
+                member.quota_violation = violation
+                self._m_throttled.inc()
+        return member
+
+    def run_to_completion(self, max_steps=None):
+        """Step until no session is runnable; returns steps taken."""
+        taken = 0
+        while self.runnable():
+            if max_steps is not None and taken >= max_steps:
+                break
+            self.step()
+            taken += 1
+        return taken
+
+    # ------------------------------------------------------------------ #
+    # Crash recovery
+
+    def recover_session(self, name):
+        """Run one crashed member's full crash recovery (fs, storage
+        fsck, engine, display, index).  The storage phase rebuilds only
+        this owner's CAS refcounts, so pages other sessions reference are
+        never reclaimed.  The member's workload cannot resume (the host
+        it simulated is gone) but its recording is consistent and
+        revivable; state becomes ``recovered``.
+        """
+        member = self.member(name)
+        if member.state not in (CRASHED, RECOVERED):
+            raise FleetError(
+                "session %r is %s, not crashed" % (name, member.state))
+        report = member.dejaview.recover()
+        member.state = RECOVERED
+        self._m_recoveries.inc()
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Fleet-wide GC / compaction
+
+    def compact(self, dead_fraction=None):
+        """Compact the shared page store on the *service* clock — extent
+        rewrites are fleet maintenance, charged to the host, never to a
+        member session."""
+        kwargs = {"clock": self.clock, "costs": self.costs}
+        if dead_fraction is not None:
+            kwargs["dead_fraction"] = dead_fraction
+        return self.cas.compact(**kwargs)
+
+    def gc(self, keep_last=1):
+        """Prune every member down to its last ``keep_last`` checkpoints
+        (plus whatever those depend on), then compact the shared store
+        once on the service clock.  Returns per-session prune reports
+        plus the compaction report."""
+        reports = {}
+        for member in self._members.values():
+            engine = member.dejaview.engine
+            if engine is None or not engine.history:
+                continue
+            keep = [result.checkpoint_id
+                    for result in engine.history[-keep_last:]]
+            reports[member.name] = prune_checkpoints(
+                member.dejaview.storage, member.session.fsstore, keep,
+                compact=False)
+        compaction = self.compact()
+        return {"sessions": reports, "compaction": compaction}
+
+    # ------------------------------------------------------------------ #
+    # Observability
+
+    def dedup_ratio(self):
+        """Cross-session dedup win: 1 − physical page bytes / the sum of
+        what each session logically references.  0.0 when nothing is
+        stored; equals each storage's *local* dedup ratio complement only
+        if sessions share nothing."""
+        logical = 0
+        for member in self._members.values():
+            raw, _comp = self.cas.owner_logical_totals(
+                member.dejaview.storage.owner)
+            logical += raw
+        if logical <= 0:
+            return 0.0
+        return 1.0 - self.cas.total_uncompressed_bytes / logical
+
+    def stats(self):
+        """JSON-ready fleet report: service clock, per-session states,
+        shared-CAS physical/dedup figures, and the telemetry rollup."""
+        sessions = {name: member.describe()
+                    for name, member in self._members.items()}
+        cas_stats = self.cas.stats()
+        cas_stats["dedup_ratio"] = self.dedup_ratio()
+        rollup = rollup_snapshots({
+            name: member.dejaview.telemetry.metrics.snapshot()
+            for name, member in self._members.items()
+            if member.dejaview.telemetry.enabled
+        })
+        rollup.pop("sessions", None)  # describe() already covers them
+        return {
+            "seed": self.seed,
+            "service_clock_us": self.clock.now_us,
+            "sessions": sessions,
+            "cas": cas_stats,
+            "fleet_metrics": self.telemetry.metrics.snapshot(),
+            "rollup": rollup,
+        }
+
+    def __len__(self):
+        return len(self._members)

@@ -31,6 +31,12 @@ from repro.workloads.generator import (
     get_workload,
     run_scenario,
 )
+from repro.workloads.fleet_wl import (
+    DEFAULT_MIX,
+    build_fleet,
+    fleet_mix,
+    run_fleet,
+)
 
 __all__ = [
     "Workload",
@@ -38,4 +44,8 @@ __all__ = [
     "SCENARIOS",
     "get_workload",
     "run_scenario",
+    "DEFAULT_MIX",
+    "build_fleet",
+    "fleet_mix",
+    "run_fleet",
 ]

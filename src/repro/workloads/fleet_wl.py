@@ -1,0 +1,71 @@
+"""Fleet load generator: many sessions, mixed Table 1 scenarios.
+
+Builds a :class:`~repro.server.fleet.Fleet` whose members run a
+deterministic mix of the existing workload scenarios.  The mix cycles a
+prefix of :data:`DEFAULT_MIX`, so fleets with more than a couple of
+sessions always contain *repeated* scenarios — and since every scenario
+is fully deterministic (each seeds its own RNGs, and app RNGs seed from a
+stable digest of the app name), two sessions running the same scenario
+generate byte-identical page streams.  That repetition is what the
+shared page store dedups across sessions; the bench gate on the
+cross-session dedup ratio rides on it.
+
+Unit counts here are smoke-sized (a fleet multiplies them by N); the
+figure-quality single-session runs keep using each scenario's
+``default_units``.
+"""
+
+from repro.server.fleet import Fleet
+
+#: (scenario, units) in mix order — cheap, deterministic smoke sizes.
+DEFAULT_MIX = (
+    ("web", 4),
+    ("gzip", 8),
+    ("cat", 15),
+    ("make", 8),
+    ("untar", 30),
+    ("octave", 2),
+    ("video", 12),
+    ("desktop", 10),
+)
+
+
+def fleet_mix(sessions):
+    """The (scenario, units) assignment for an N-session fleet.
+
+    Cycles the first ``max(2, N // 2)`` entries of :data:`DEFAULT_MIX`
+    (clamped to the mix size), so N ≥ 2 always repeats scenarios across
+    sessions: N=4 runs 2 scenarios twice, N=16 runs all 8 twice.
+    """
+    if sessions < 1:
+        raise ValueError("a fleet needs at least one session")
+    width = min(len(DEFAULT_MIX), max(2, sessions // 2))
+    return [DEFAULT_MIX[i % width] for i in range(sessions)]
+
+
+def build_fleet(sessions, seed=0, quotas=None, recording=None,
+                units_scale=1.0, **fleet_kwargs):
+    """Build a fleet and admit ``sessions`` members over the default mix.
+
+    ``units_scale`` scales every member's unit count (≥ 1 unit each);
+    ``recording`` (a factory returning a fresh
+    :class:`~repro.desktop.dejaview.RecordingConfig`, or None for each
+    scenario's default) applies to every member.  Members are named
+    ``s00 .. sNN`` in admission order.
+    """
+    fleet_kwargs.setdefault("max_sessions", max(sessions, 1))
+    fleet = Fleet(seed=seed, quotas=quotas, **fleet_kwargs)
+    for index, (scenario, units) in enumerate(fleet_mix(sessions)):
+        fleet.admit(
+            "s%02d" % index, scenario,
+            units=max(1, int(units * units_scale)),
+            recording=recording() if recording is not None else None,
+        )
+    return fleet
+
+
+def run_fleet(sessions, seed=0, **kwargs):
+    """Build the mixed fleet and run it to completion; returns it."""
+    fleet = build_fleet(sessions, seed=seed, **kwargs)
+    fleet.run_to_completion()
+    return fleet

@@ -96,12 +96,20 @@ class Workload:
 
     # ------------------------------------------------------------------ #
 
-    def run(self, recording=None, units=None, session_kwargs=None,
-            dejaview=None, session=None):
-        """Execute the scenario; returns a :class:`ScenarioRun`.
+    def start(self, recording=None, units=None, session_kwargs=None,
+              dejaview=None, session=None, page_cas=None):
+        """Set up the scenario and return ``(run, steps)``.
 
-        ``recording`` is a :class:`RecordingConfig` (None = full recording);
-        pass a config with everything disabled to measure the baseline.
+        ``run`` is the :class:`ScenarioRun` (setup already executed, start
+        markers taken); ``steps`` is a generator that executes one work
+        unit — app activity, :meth:`DejaView.tick`, pacing — per
+        ``next()`` and runs teardown when exhausted, at which point
+        ``run.end_us`` is final.  Draining it fully is exactly
+        :meth:`run`; a fleet scheduler instead interleaves ``next()``
+        calls across many sessions.
+
+        ``page_cas`` forwards a shared page store to the
+        :class:`DejaView` built here (ignored when ``dejaview`` is given).
         """
         if self.name is None:
             raise DejaViewError("workload subclass must set a name")
@@ -110,7 +118,7 @@ class Workload:
             session = DesktopSession(**(session_kwargs or {}))
         if dejaview is None:
             config = recording if recording is not None else self.default_recording()
-            dejaview = DejaView(session, config)
+            dejaview = DejaView(session, config, page_cas=page_cas)
         run = ScenarioRun(
             workload=self.name,
             session=session,
@@ -129,19 +137,38 @@ class Workload:
         start = clock.now_us
         run.start_us = start
         run.start_storage = dejaview.storage_report()
-        for index in range(units):
-            deadline = (
-                start + (index + 1) * self.pace_us if self.pace_us else None
-            )
-            flags = self.unit(run, index) or {}
-            dejaview.tick(**flags)
-            if deadline is not None:
-                if clock.now_us > deadline:
-                    run.overran_units += 1
-                else:
-                    clock.advance_to_us(deadline)
-        self.teardown(run)
-        run.end_us = clock.now_us
+
+        def steps():
+            for index in range(units):
+                deadline = (
+                    start + (index + 1) * self.pace_us if self.pace_us else None
+                )
+                flags = self.unit(run, index) or {}
+                dejaview.tick(**flags)
+                if deadline is not None:
+                    if clock.now_us > deadline:
+                        run.overran_units += 1
+                    else:
+                        clock.advance_to_us(deadline)
+                yield index
+            self.teardown(run)
+            run.end_us = clock.now_us
+
+        return run, steps()
+
+    def run(self, recording=None, units=None, session_kwargs=None,
+            dejaview=None, session=None, page_cas=None):
+        """Execute the scenario; returns a :class:`ScenarioRun`.
+
+        ``recording`` is a :class:`RecordingConfig` (None = full recording);
+        pass a config with everything disabled to measure the baseline.
+        """
+        run, steps = self.start(
+            recording=recording, units=units, session_kwargs=session_kwargs,
+            dejaview=dejaview, session=session, page_cas=page_cas,
+        )
+        for _ in steps:
+            pass
         return run
 
 

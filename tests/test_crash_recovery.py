@@ -353,3 +353,99 @@ class TestDeprecatedAlias:
 
         with pytest.raises(AttributeError):
             errors.NoSuchThing  # noqa: B018
+
+
+class TestFleetSharedCasCrash:
+    """One fleet member crashing at each storage failpoint: its
+    owner-scoped recovery reaches a verified fixpoint, and the peer
+    sharing the page store stays fully revivable — no shared page is ever
+    reclaimed out from under a healthy owner."""
+
+    # (site, armed hit) — pre_commit fires once per store, the CAS sites
+    # fire per page, so the page-level sites need a deeper hit count to
+    # land mid-checkpoint rather than on the first page.
+    CASES = [
+        ("storage.store.pre_commit", 2),
+        ("storage.cas.page_append", 40),
+        ("storage.cas.manifest_commit", 2),
+    ]
+
+    def _fleet_crash(self, site, after, seed=5):
+        from repro.server import Fleet
+
+        plan = FaultPlan()
+        plan.add(site, mode="crash", after=after)
+        fleet = Fleet(seed=seed)
+        # Heavy weight: the victim runs ahead, so it is the owner that
+        # physically commits the shared pages (guaranteeing its CAS
+        # failpoints actually fire) — and the peer's later identical
+        # stores *reference pages the victim committed*, which is exactly
+        # the state its recovery must never reclaim.
+        fleet.admit("victim", "web", units=3, fault_plan=plan, weight=16)
+        fleet.admit("peer", "web", units=3)
+        fleet.run_to_completion()
+        return fleet
+
+    @pytest.mark.parametrize("site,after", CASES)
+    def test_owner_scoped_recovery_spares_the_peer(self, site, after):
+        fleet = self._fleet_crash(site, after)
+        victim = fleet.member("victim")
+        peer = fleet.member("peer")
+        assert victim.state == "crashed"
+        assert victim.crash_site == site
+        assert peer.state == "done"
+
+        peer_storage = peer.dejaview.storage
+        peer_manifests = {
+            image_id: peer_storage.manifest_digests(image_id)
+            for image_id in peer_storage.stored_ids()
+        }
+        peer_totals = (peer_storage.total_uncompressed_bytes,
+                       peer_storage.total_compressed_bytes)
+
+        report = fleet.recover_session("victim")
+        assert report["storage"]["verify_ok"], report["storage"]
+
+        # Fixpoint: recovering again drops nothing further.
+        again = fleet.recover_session("victim")["storage"]
+        assert again["verify_ok"]
+        assert not again["torn_dropped"] and not again["chain_dropped"]
+        assert again["cas_orphans_reclaimed"] == 0
+
+        # The peer's view of the shared store is untouched: manifests,
+        # payload resolution, and its owner-logical accounting.
+        assert {
+            image_id: peer_storage.manifest_digests(image_id)
+            for image_id in peer_storage.stored_ids()
+        } == peer_manifests
+        for digests in peer_manifests.values():
+            for digest in digests:
+                assert fleet.cas.pages.get(digest) is not None
+        assert (peer_storage.total_uncompressed_bytes,
+                peer_storage.total_compressed_bytes) == peer_totals
+
+        # Global refcounts are exactly the sum over owners.
+        totals = {}
+        for refs in fleet.cas.owner_refs.values():
+            for digest, count in refs.items():
+                totals[digest] = totals.get(digest, 0) + count
+        live = {digest: count
+                for digest, count in fleet.cas.refs.items() if count}
+        assert totals == live
+
+        # The peer stays end-to-end usable.
+        assert verify_chain(peer_storage, peer.session.fsstore).ok
+        revived = peer.dejaview.take_me_back(peer.session.clock.now_us)
+        assert revived.container.live_processes()
+
+    def test_victim_survivors_stay_revivable(self):
+        """Whatever checkpoints the victim stored before the crash remain
+        revivable after recovery (the fallback chain holds)."""
+        fleet = self._fleet_crash("storage.cas.manifest_commit", after=2)
+        victim = fleet.member("victim")
+        fleet.recover_session("victim")
+        storage = victim.dejaview.storage
+        if victim.dejaview.engine.history and len(storage):
+            revived = victim.dejaview.take_me_back(
+                victim.session.clock.now_us)
+            assert revived.container.live_processes()

@@ -92,6 +92,7 @@ class TestRecordingLifecycle:
             "checkpoint_compressed", "fs_log", "fs_visible",
             "pages_deduped", "dedup_bytes_saved", "cas_orphans_reclaimed",
             "cas_pages", "compaction_runs", "compaction_bytes_reclaimed",
+            "cross_pages_deduped", "cross_dedup_bytes_saved",
         }
 
 

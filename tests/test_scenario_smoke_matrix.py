@@ -55,3 +55,62 @@ class TestScenarioSmoke:
         target = max(mid, record.timeline.first_time_us)
         fb, _stats = scenario_run.dejaview.browse(target)
         assert fb.width == record.width
+
+
+@pytest.fixture(scope="module")
+def fleet_run():
+    """Two mixed scenarios recorded interleaved under one fleet — the
+    same smoke battery must hold for each member of a shared-CAS fleet,
+    not just for solo recordings."""
+    from repro.server import Fleet
+
+    fleet = Fleet(seed=7)
+    fleet.admit("smoke-web", "web", units=SMOKE_UNITS["web"])
+    fleet.admit("smoke-gzip", "gzip", units=SMOKE_UNITS["gzip"])
+    fleet.run_to_completion()
+    return fleet
+
+
+class TestFleetSmoke:
+    """The smoke matrix row for fleet mode: each interleaved member must
+    pass every check a solo scenario passes."""
+
+    def test_recorded_time_advanced(self, fleet_run):
+        for member in fleet_run.members():
+            assert member.state == "done"
+            assert member.session.clock.now_us > 0
+
+    def test_display_record_replays_bit_exact(self, fleet_run):
+        for member in fleet_run.members():
+            record = member.dejaview.display_record()
+            fb, _stats = member.dejaview.playback(
+                0, record.end_us, fastest=True)
+            live = member.session.driver.framebuffer
+            assert fb.checksum() == live.checksum(), member.name
+
+    def test_checkpoint_chain_verifies(self, fleet_run):
+        for member in fleet_run.members():
+            report = verify_chain(member.dejaview.storage,
+                                  member.session.fsstore)
+            assert report.ok, [str(issue) for issue in report.issues]
+
+    def test_final_state_revivable(self, fleet_run):
+        for member in fleet_run.members():
+            if member.dejaview.checkpoint_count == 0:
+                continue
+            revived = member.dejaview.take_me_back(
+                member.session.clock.now_us)
+            assert revived.container.live_processes(), member.name
+            assert revived.container.mount.exists("/home/user")
+
+    def test_browse_mid_run(self, fleet_run):
+        for member in fleet_run.members():
+            record = member.dejaview.display_record()
+            mid = (record.start_us + record.end_us) // 2
+            target = max(mid, record.timeline.first_time_us)
+            fb, _stats = member.dejaview.browse(target)
+            assert fb.width == record.width, member.name
+
+    def test_members_share_pages(self, fleet_run):
+        assert fleet_run.cas.cross_pages_deduped >= 0
+        assert fleet_run.dedup_ratio() >= 0.0
