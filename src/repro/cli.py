@@ -5,10 +5,15 @@ Usage::
     python -m repro.cli scenarios
     python -m repro.cli run web [--units N] [--no-display] [--no-index]
                                 [--no-checkpoints] [--policy] [--compress]
-    python -m repro.cli stats web [--units N]
+    python -m repro.cli stats web [--units N] [--faults SPEC]
     python -m repro.cli doctor web [--faults SPEC] [--seed N]
+                                   [--post-mortem] [--journal-dir DIR]
     python -m repro.cli serve [--sessions N] [--seed S] [--units-scale F]
-    python -m repro.cli fleet-stats [--sessions N] [--seed S]
+                              [--journal-dir DIR] [--trace-out FILE]
+                              [--prom-out FILE] [--slo SPEC]
+    python -m repro.cli fleet-stats [--sessions N] [--seed S] [...]
+    python -m repro.cli top [--sessions N] [--frames K]
+                            [--steps-per-frame M] [...]
     python -m repro.cli demo
     python -m repro.cli figures
 
@@ -17,6 +22,14 @@ duration, checkpoint latency summary, storage growth decomposition, and a
 sample search.  ``stats`` runs a scenario and prints its telemetry
 snapshot (counters, histogram summaries, recent span trees).  ``demo``
 runs a 30-second guided record/search/revive tour.
+
+``doctor --post-mortem`` replays the flight-recorder journal after the
+crash-inject/recover cycle and prints the last-K-events timeline; ``top``
+is the live fleet dashboard (per-member downtime p95, dedup ratio,
+scheduler queue depth, quota/throttle state, SLO standings), refreshing
+on the service clock.  ``--trace-out`` writes a Chrome trace-event JSON
+(load it in Perfetto / ``chrome://tracing``); ``--prom-out`` writes the
+fleet rollup in the Prometheus text exposition format.
 
 ``--json`` (accepted globally or after any subcommand) switches ``run``
 and ``stats`` to machine-readable JSON on stdout.
@@ -90,6 +103,12 @@ def build_parser():
     _add_scenario_args(stats)
     stats.add_argument("--spans", type=int, default=4,
                        help="recent root spans to include (default 4)")
+    stats.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="run under a fault plan (io-mode rules recommended; the "
+             "per-site hit/fired table joins the output)")
+    stats.add_argument("--seed", type=int, default=0,
+                       help="RNG seed for probabilistic fault rules")
 
     doctor = sub.add_parser(
         "doctor",
@@ -106,6 +125,19 @@ def build_parser():
                         help="RNG seed for probabilistic fault rules")
     doctor.add_argument("--list-failpoints", action="store_true",
                         help="print the registered failpoint catalog and exit")
+    doctor.add_argument(
+        "--post-mortem", action="store_true",
+        help="journal the run in the flight recorder and replay the "
+             "last-K-events timeline after recovery")
+    doctor.add_argument("--journal-dir", default=None, metavar="DIR",
+                        help="flight-recorder journal directory (default: "
+                             "in-memory ring; a directory survives kill -9)")
+    doctor.add_argument("--last", type=int, default=40,
+                        help="post-mortem window: events to replay "
+                             "(default 40)")
+    doctor.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write the journal's span stream as Chrome "
+                             "trace-event JSON (Perfetto-loadable)")
 
     def _add_fleet_args(command):
         command.add_argument("--sessions", type=int, default=4,
@@ -114,6 +146,19 @@ def build_parser():
                              help="scheduler interleaving seed (default 0)")
         command.add_argument("--units-scale", type=float, default=1.0,
                              help="scale every session's unit count")
+        command.add_argument("--journal-dir", default=None, metavar="DIR",
+                             help="flight-recorder journal directory "
+                                  "(default: in-memory ring)")
+        command.add_argument("--trace-out", default=None, metavar="FILE",
+                             help="write the journal's span stream as "
+                                  "Chrome trace-event JSON")
+        command.add_argument("--prom-out", default=None, metavar="FILE",
+                             help="write the fleet rollup in Prometheus "
+                                  "text exposition format")
+        command.add_argument("--slo", default=None, metavar="SPEC",
+                             help="SLO watchdog rules, ';'-separated, e.g. "
+                                  "'downtime_p95<=25000;dedup_ratio>=0.15' "
+                                  "(default: the stock rules)")
 
     serve = sub.add_parser(
         "serve",
@@ -125,6 +170,17 @@ def build_parser():
         "fleet-stats",
         help="run a fleet and print its rolled-up telemetry snapshot")
     _add_fleet_args(fleet_stats)
+
+    top = sub.add_parser(
+        "top",
+        help="live fleet dashboard: run the fleet frame by frame and "
+             "render per-member state, downtime p95, dedup ratio, queue "
+             "depth, and SLO standings")
+    _add_fleet_args(top)
+    top.add_argument("--frames", type=int, default=8,
+                     help="dashboard frames to render (default 8)")
+    top.add_argument("--steps-per-frame", type=int, default=16,
+                     help="scheduler steps between frames (default 16)")
 
     sub.add_parser("demo", help="record/search/revive guided tour")
     sub.add_parser("figures", help="map of paper figures to bench files")
@@ -157,6 +213,21 @@ def _run_scenario(args):
     )
     if name == "desktop" and config.record_checkpoints:
         config.use_policy = True
+    if getattr(args, "faults", None):
+        # Under a fault plan the run may die mid-unit (crash) or lose a
+        # unit to a transient io fault; keep the partial run — its
+        # telemetry and per-site hit counters are the point.
+        from repro.common.faults import FaultPlan, InjectedCrash
+
+        config.fault_plan = FaultPlan.parse(
+            args.faults, seed=getattr(args, "seed", 0))
+        run, steps = workload.start(recording=config, units=args.units)
+        try:
+            for _ in steps:
+                pass
+        except (InjectedCrash, IOError):
+            pass
+        return name, run
     return name, workload.run(recording=config, units=args.units)
 
 
@@ -262,6 +333,18 @@ def _format_span(span_dict, out, depth=0):
         _format_span(child, out, depth + 1)
 
 
+def _print_fault_table(sites, out, indent="  "):
+    """Per-site hit/fired lines, skipping never-hit sites."""
+    hit = {site: counts for site, counts in sites.items()
+           if counts["hits"] or counts["fired"]}
+    if not hit:
+        print(indent + "(no failpoints hit)", file=out)
+        return
+    for site, counts in sorted(hit.items()):
+        print("%s%-32s hits=%-5d fired=%d" % (
+            indent, site, counts["hits"], counts["fired"]), file=out)
+
+
 def cmd_stats(args, out):
     name, run = _run_scenario(args)
     _sample_search(run.dejaview)  # exercise the query path for its metrics
@@ -285,6 +368,9 @@ def cmd_stats(args, out):
         print("  %-36s %d / %.0f / %.0f / %.0f" % (
             key, summary["count"], summary["p50"], summary["p95"],
             summary["max"]), file=out)
+    if "faults" in snapshot:
+        print("failpoints (hits / fired):", file=out)
+        _print_fault_table(snapshot["faults"], out)
     bus = snapshot["event_bus"]
     print("event bus: published=%d delivered=%d errors=%d" % (
         bus["published"], bus["delivered"], bus["errors"]), file=out)
@@ -319,7 +405,13 @@ def cmd_doctor(args, out):
     workload = get_workload(name)
     plan = (FaultPlan.parse(args.faults, seed=args.seed)
             if args.faults else FaultPlan(seed=args.seed))
-    config = RecordingConfig(fault_plan=plan)
+    flightrec = None
+    if args.post_mortem or args.journal_dir is not None \
+            or args.trace_out is not None:
+        from repro.common.flightrec import FlightRecorder
+
+        flightrec = FlightRecorder(directory=args.journal_dir)
+    config = RecordingConfig(fault_plan=plan, flightrec=flightrec)
     # Build the session and recorder up front (instead of letting the
     # workload build them) so the references survive an injected crash.
     session = DesktopSession()
@@ -351,6 +443,22 @@ def cmd_doctor(args, out):
         word = vocabulary[len(vocabulary) // 2]
         search_hits = len(dv.search(Query.keywords(word), render=False))
 
+    replay = None
+    if flightrec is not None:
+        from repro.common.flightrec import replay_journal
+
+        if args.journal_dir is not None:
+            # Post-crash entry point: replay the surviving on-disk bytes,
+            # not the live writer's state.
+            replay = replay_journal(args.journal_dir)
+        else:
+            replay = flightrec.replay()
+        if args.trace_out is not None:
+            from repro.common.export import chrome_trace_json
+
+            with open(args.trace_out, "w") as fh:
+                fh.write(chrome_trace_json(replay.records))
+
     summary = {
         "scenario": name,
         "faults": args.faults,
@@ -363,6 +471,8 @@ def cmd_doctor(args, out):
         "playback_ok": playback_ok,
         "search_hits": search_hits,
     }
+    if replay is not None:
+        summary["post_mortem"] = replay.to_dict(last=args.last)
     if args.json:
         json.dump(summary, out, indent=2, default=str)
         print(file=out)
@@ -400,14 +510,87 @@ def cmd_doctor(args, out):
         print("playback: ok (end to end)", file=out)
     if search_hits is not None:
         print("search: %d hit(s), no errors" % search_hits, file=out)
+    if replay is not None:
+        from repro.common.flightrec import format_post_mortem
+
+        for line in format_post_mortem(replay, last=args.last):
+            print(line, file=out)
+        if args.trace_out is not None:
+            print("wrote %s" % args.trace_out, file=out)
     return 0 if verdict.ok else 1
+
+
+def _fleet_observability(args, want_watchdog=False):
+    """Extra :class:`~repro.server.fleet.Fleet` kwargs for the fleet
+    observability flags: a flight recorder when journaling or trace
+    export is requested, and an SLO watchdog when rules are given (or
+    whenever the journal is on — alerts belong in it)."""
+    kwargs = {}
+    if args.journal_dir is not None or args.trace_out is not None:
+        from repro.common.flightrec import FlightRecorder
+
+        kwargs["flightrec"] = FlightRecorder(directory=args.journal_dir)
+    if args.slo is not None or want_watchdog or "flightrec" in kwargs:
+        from repro.common.slo import SLOWatchdog, parse_slos
+
+        rules = parse_slos(args.slo) if args.slo else None
+        kwargs["watchdog"] = SLOWatchdog(rules)
+    return kwargs
+
+
+def _write_fleet_exports(args, fleet, stats):
+    """Write ``--trace-out`` / ``--prom-out`` files; returns the paths."""
+    written = []
+    if getattr(args, "trace_out", None):
+        from repro.common.export import chrome_trace_json
+
+        replay = fleet.flightrec.replay()
+        with open(args.trace_out, "w") as fh:
+            fh.write(chrome_trace_json(replay.records))
+        written.append(args.trace_out)
+    if getattr(args, "prom_out", None):
+        from repro.common.export import prometheus_text
+
+        labels = {"fleet_seed": args.seed}
+        body = prometheus_text(stats["rollup"], labels=labels)
+        body += prometheus_text(stats["fleet_metrics"],
+                                prefix="dejaview_fleet", labels=labels)
+        with open(args.prom_out, "w") as fh:
+            fh.write(body)
+        written.append(args.prom_out)
+    return written
+
+
+def _print_slo(slo, out):
+    print("slo standings (%d evaluation(s), %d alert(s)):" % (
+        slo["evaluations"], slo["alerts_emitted"]), file=out)
+    for verdict in slo["verdicts"] or ():
+        state = ("no data" if verdict["ok"] is None
+                 else "ok" if verdict["ok"] else "VIOLATED")
+        metric = verdict["metric"] if not verdict["stat"] \
+            else "%s:%s" % (verdict["metric"], verdict["stat"])
+        value = verdict["value"]
+        if isinstance(value, float):
+            value = "%.4g" % value
+        print("  %-16s %-8s %s %s %g (value=%s)" % (
+            verdict["name"], state, metric, verdict["op"],
+            verdict["threshold"], value), file=out)
+
+
+def _print_journal_line(stats, out):
+    if "journal" in stats:
+        print("flight journal: %d record(s) written, %d segment(s) "
+              "retained" % (stats["journal"]["records_written"],
+                            stats["journal"]["segments_retained"]),
+              file=out)
 
 
 def _run_fleet(args):
     from repro.workloads.fleet_wl import run_fleet
 
     return run_fleet(args.sessions, seed=args.seed,
-                     units_scale=args.units_scale)
+                     units_scale=args.units_scale,
+                     **_fleet_observability(args))
 
 
 def cmd_serve(args, out):
@@ -415,6 +598,7 @@ def cmd_serve(args, out):
     the service-level report."""
     fleet = _run_fleet(args)
     stats = fleet.stats()
+    written = _write_fleet_exports(args, fleet, stats)
     if args.json:
         json.dump(stats, out, indent=2, default=str)
         print(file=out)
@@ -437,6 +621,11 @@ def cmd_serve(args, out):
               format_bytes(cas["physical_uncompressed_bytes"]),
               100.0 * cas["dedup_ratio"],
               cas["cross_pages_deduped"]), file=out)
+    if "slo" in stats:
+        _print_slo(stats["slo"], out)
+    _print_journal_line(stats, out)
+    for path in written:
+        print("wrote %s" % path, file=out)
     return 0
 
 
@@ -445,6 +634,7 @@ def cmd_fleet_stats(args, out):
     the per-session metric rollup)."""
     fleet = _run_fleet(args)
     stats = fleet.stats()
+    written = _write_fleet_exports(args, fleet, stats)
     if args.json:
         json.dump(stats, out, indent=2, default=str)
         print(file=out)
@@ -462,11 +652,120 @@ def cmd_fleet_stats(args, out):
     print("session rollup counters (summed):", file=out)
     for key, value in sorted(stats["rollup"]["counters"].items()):
         print("  %-36s %d" % (key, value), file=out)
+    if "faults" in stats:
+        print("failpoint rollup (all sessions):", file=out)
+        _print_fault_table(stats["faults"]["sites"], out)
     cas = stats["cas"]
     print("shared page store: dedup ratio %.1f%%, %d cross-session "
           "page(s), %d orphan(s) reclaimed" % (
               100.0 * cas["dedup_ratio"], cas["cross_pages_deduped"],
               cas["orphans_reclaimed"]), file=out)
+    if "slo" in stats:
+        _print_slo(stats["slo"], out)
+    _print_journal_line(stats, out)
+    for path in written:
+        print("wrote %s" % path, file=out)
+    return 0
+
+
+def _top_frame(fleet):
+    """One ``repro top`` dashboard frame as a JSON-ready dict."""
+    members = []
+    for member in fleet.members():
+        info = {
+            "name": member.name,
+            "scenario": member.scenario,
+            "state": member.state,
+            "units_done": member.units_done,
+            "units_total": member.run.units,
+            "clock_us": member.session.clock.now_us,
+            "checkpoints": member.dejaview.checkpoint_count,
+        }
+        telemetry = member.dejaview.telemetry
+        if telemetry.enabled:
+            down = telemetry.metrics.snapshot()["histograms"].get(
+                "checkpoint.downtime_us")
+            if down and down["count"]:
+                info["downtime_p95_us"] = down["p95"]
+        if member.quota_violation is not None:
+            attr, used, limit = member.quota_violation
+            info["quota"] = {"quota": attr, "used": used, "limit": limit}
+        members.append(info)
+    frame = {
+        "service_clock_us": fleet.clock.now_us,
+        "steps": fleet.telemetry.metrics.counter("fleet.steps").value,
+        "queue_depth": len(fleet.runnable()),
+        "dedup_ratio": fleet.dedup_ratio(),
+        "members": members,
+    }
+    if fleet.watchdog is not None:
+        fleet.check_slos()
+        frame["slo_standing"] = fleet.watchdog.standing()
+    return frame
+
+
+def _print_top_frame(frame, index, out):
+    slo_text = ""
+    standing = frame.get("slo_standing")
+    if standing is not None:
+        violated = sorted(name for name, ok in standing.items()
+                          if ok is False)
+        slo_text = " slo=%s" % (
+            "VIOLATED(%s)" % ",".join(violated) if violated else "ok")
+    print("frame %-3d t=%-10s steps=%-5d queue=%d dedup=%4.1f%%%s" % (
+        index, format_duration_us(frame["service_clock_us"]),
+        frame["steps"], frame["queue_depth"],
+        100.0 * frame["dedup_ratio"], slo_text), file=out)
+    for member in frame["members"]:
+        down = format_duration_us(member["downtime_p95_us"]) \
+            if "downtime_p95_us" in member else "-"
+        extra = ""
+        if "quota" in member:
+            extra = " quota:%s %d>%d" % (
+                member["quota"]["quota"], member["quota"]["used"],
+                member["quota"]["limit"])
+        print("  %-6s %-8s %-10s %3d/%3d units ckpt=%-3d p95=%-9s "
+              "clock=%s%s" % (
+                  member["name"], member["scenario"], member["state"],
+                  member["units_done"], member["units_total"],
+                  member["checkpoints"], down,
+                  format_duration_us(member["clock_us"]), extra), file=out)
+
+
+def cmd_top(args, out):
+    """The fleet dashboard: step the fleet frame by frame and render
+    per-member state, checkpoint-downtime p95, dedup ratio, scheduler
+    queue depth, and SLO standings on the service clock."""
+    from repro.workloads.fleet_wl import build_fleet
+
+    fleet = build_fleet(args.sessions, seed=args.seed,
+                        units_scale=args.units_scale,
+                        **_fleet_observability(args, want_watchdog=True))
+    frames = []
+    for index in range(args.frames):
+        fleet.run_to_completion(max_steps=args.steps_per_frame)
+        frame = _top_frame(fleet)
+        frames.append(frame)
+        if not args.json:
+            _print_top_frame(frame, index, out)
+        if not fleet.runnable():
+            break
+    stats = fleet.stats()
+    written = _write_fleet_exports(args, fleet, stats)
+    if args.json:
+        json.dump({"frames": frames, "final": stats}, out, indent=2,
+                  default=str)
+        print(file=out)
+        return 0
+    states = {}
+    for member in fleet.members():
+        states[member.state] = states.get(member.state, 0) + 1
+    print("fleet settled: %s; service clock %s" % (
+        " ".join("%s=%d" % kv for kv in sorted(states.items())),
+        format_duration_us(fleet.clock.now_us)), file=out)
+    _print_journal_line(stats, out)
+    for path in written:
+        print("wrote %s" % path, file=out)
     return 0
 
 
@@ -520,6 +819,7 @@ def main(argv=None, out=None):
         "doctor": cmd_doctor,
         "serve": cmd_serve,
         "fleet-stats": cmd_fleet_stats,
+        "top": cmd_top,
         "demo": cmd_demo,
         "figures": cmd_figures,
     }[args.command]

@@ -1,0 +1,160 @@
+"""Telemetry export adapters: Chrome trace-event JSON and Prometheus text.
+
+Two one-way bridges from the reproduction's internal observability state
+to the formats real tooling already reads:
+
+* :func:`chrome_trace_events` turns the flight journal's span stream
+  into Chrome trace-event *complete* events (``ph: "X"``) — load the
+  resulting JSON in Perfetto or ``chrome://tracing`` and the fleet's
+  per-member checkpoint pipelines render as nested slices on one
+  timeline.  Each owner becomes a ``pid`` row; virtual microseconds map
+  directly onto the trace's ``ts``/``dur`` microseconds.
+* :func:`prometheus_text` renders a metrics snapshot (per-session, or a
+  fleet :func:`~repro.common.telemetry.rollup_snapshots` rollup) in the
+  Prometheus text exposition format: counters, gauges, and histogram
+  summaries as ``{quantile="..."}`` gauge families, with metric names
+  sanitized to the Prometheus grammar (dots become underscores).
+
+Both adapters are pure functions over already-collected state — they
+never touch a clock, a session, or the journal writer.
+"""
+
+import json
+import re
+
+from repro.common.flightrec import REC_ALERT, REC_FAULT, REC_SPAN
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name, prefix="dejaview"):
+    """``checkpoint.downtime_us`` -> ``dejaview_checkpoint_downtime_us``."""
+    cleaned = _NAME_OK.sub("_", name)
+    if prefix:
+        cleaned = "%s_%s" % (prefix, cleaned)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _label_str(labels):
+    if not labels:
+        return ""
+    body = ",".join(
+        '%s="%s"' % (k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in sorted(labels.items()))
+    return "{%s}" % body
+
+
+# ---------------------------------------------------------------------- #
+# Chrome trace events
+
+
+def chrome_trace_events(records, instants=True):
+    """Trace-event dicts from journal records (the SPAN stream, plus
+    optional instant markers for faults and alerts).
+
+    Spans become complete events: ``ts`` = virtual start, ``dur`` =
+    virtual duration, ``pid`` = owner, ``tid`` = 0 (each owner is a
+    single simulated core; nesting comes from ts/dur containment).
+    Wall-clock nanoseconds ride along in ``args.wall_ns`` so both time
+    domains survive the export.
+    """
+    events = []
+    owners = set()
+    for record in records:
+        owners.add(record.owner)
+        if record.rtype == REC_SPAN:
+            data = record.data
+            if data.get("dur_us") is None:
+                continue
+            event = {
+                "name": data.get("name", "?"),
+                "ph": "X",
+                "ts": data.get("start_us", 0),
+                "dur": data.get("dur_us", 0),
+                "pid": record.owner,
+                "tid": 0,
+                "args": {"seq": record.seq,
+                         "wall_ns": data.get("wall_ns")},
+            }
+            if data.get("attrs"):
+                event["args"].update(data["attrs"])
+            events.append(event)
+        elif instants and record.rtype in (REC_FAULT, REC_ALERT):
+            events.append({
+                "name": ("fault:%s" % record.data.get("site")
+                         if record.rtype == REC_FAULT
+                         else "alert:%s" % record.data.get("rule")),
+                "ph": "i",
+                "ts": record.virtual_us,
+                "pid": record.owner,
+                "tid": 0,
+                "s": "p",  # process-scoped instant
+                "args": dict(record.data),
+            })
+    for owner in sorted(owners):
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": owner,
+            "tid": 0,
+            "args": {"name": str(owner)},
+        })
+    return events
+
+
+def chrome_trace_json(records, indent=None):
+    """The full ``{"traceEvents": [...]}`` document as a JSON string."""
+    return json.dumps(
+        {"traceEvents": chrome_trace_events(records),
+         "displayTimeUnit": "ms",
+         "otherData": {"producer": "dejaview flight recorder",
+                       "time_domain": "virtual_us"}},
+        indent=indent, default=str)
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text exposition
+
+
+_QUANTILES = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+
+def prometheus_text(snapshot, prefix="dejaview", labels=None):
+    """Render a metrics snapshot in the Prometheus text format.
+
+    ``snapshot`` is any dict with ``counters`` / ``gauges`` /
+    ``histograms`` keys (a session ``metrics.snapshot()`` or a fleet
+    rollup).  Histogram summaries become a summary-style family:
+    ``<name>{quantile="0.95"}``, ``<name>_count``, ``<name>_sum``.
+    ``labels`` (e.g. ``{"fleet_seed": 3}``) attach to every sample.
+    Returns the exposition body as a string ending in a newline.
+    """
+    labels = dict(labels or {})
+    lines = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append("# TYPE %s counter" % metric)
+        lines.append("%s%s %s" % (metric, _label_str(labels), value))
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append("# TYPE %s gauge" % metric)
+        lines.append("%s%s %s" % (metric, _label_str(labels), value))
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        if not summary.get("count"):
+            continue
+        metric = sanitize_metric_name(name, prefix)
+        lines.append("# TYPE %s summary" % metric)
+        for key, quantile in _QUANTILES:
+            value = summary.get(key)
+            if value is None:
+                continue
+            q_labels = dict(labels)
+            q_labels["quantile"] = quantile
+            lines.append("%s%s %s" % (metric, _label_str(q_labels), value))
+        lines.append("%s_count%s %s" % (metric, _label_str(labels),
+                                        summary["count"]))
+        lines.append("%s_sum%s %s" % (metric, _label_str(labels),
+                                      summary["sum"]))
+    return "\n".join(lines) + "\n"

@@ -34,6 +34,7 @@ machinery is outside the simulated cost model.
 import random
 
 from repro.common.errors import DejaViewError
+from repro.common.flightrec import REC_FAULT
 
 #: Canonical catalog of failpoint sites.  Registration lives here (not at
 #: subsystem import time) so ``registered_failpoints()`` is complete even
@@ -181,6 +182,7 @@ class FaultPlan:
         self._metrics = None
         self._m_hit = {}
         self._m_fired = {}
+        self._flight = None
         for rule in (rules or ()):
             self._register(rule)
 
@@ -242,6 +244,13 @@ class FaultPlan:
             self._m_hit[site] = metrics.counter("faults.hit.%s" % site)
             self._m_fired[site] = metrics.counter("faults.fired.%s" % site)
 
+    def bind_flightrec(self, flightscope):
+        """Journal every fired fault through a flight-recorder scope —
+        the record lands (and is flushed) *before* the injected
+        exception propagates, so the journal's last entry before a
+        simulated kill -9 is the failpoint that caused it."""
+        self._flight = flightscope
+
     # -------------------------------------------------------------- #
     # The hot path
 
@@ -269,6 +278,9 @@ class FaultPlan:
             fired = self._m_fired.get(site)
             if fired is not None:
                 fired.inc()
+            if self._flight is not None:
+                self._flight.record(REC_FAULT, {
+                    "site": site, "mode": rule.mode, "hit": hit})
             if rule.mode == "crash":
                 raise InjectedCrash(site, hit)
             raise InjectedFault(site, hit)

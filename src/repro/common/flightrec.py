@@ -1,0 +1,588 @@
+"""The fleet flight recorder: an always-on crash-surviving event journal.
+
+DejaView's pitch is that the *user* can always go back and see what
+happened; this module gives the system itself the same property.  Every
+closed telemetry span, counter-delta rollup, scheduler decision, quota
+throttle, failpoint fire, and recovery action is appended as a typed
+record to a size-bounded ring journal, so after a crash ``repro doctor
+--post-mortem`` can replay the last seconds of service history from the
+surviving bytes — the black-box recorder for the recorder (the rr lesson
+from PAPERS.md: a compact stream of events is cheap enough to leave on).
+
+Journal format
+--------------
+
+The journal is a directory (or an in-memory list, for tests and
+ephemeral fleets) of *segments*.  Each segment is a
+:mod:`repro.common.serial` format-v2 TLV stream (stream kind
+:data:`STREAM_KIND_FLIGHT`): one record per event, tag = record type,
+payload = compact JSON ``[seq, virtual_us, wall_ns, owner, data]``.  The
+per-record CRC-32 trailer means a record torn by ``kill -9`` is detected
+and dropped — :func:`replay_journal` only ever returns a *verified CRC
+prefix* of each segment.  When the active segment exceeds
+``segment_bytes`` the recorder rotates to a fresh one and deletes the
+oldest beyond ``max_segments``; the journal is therefore bounded at
+roughly ``segment_bytes * (max_segments + 1)`` bytes and always holds
+the most recent history.
+
+Reopening an existing journal directory *resumes* the newest segment:
+the torn tail (if any) is truncated via
+:meth:`~repro.common.serial.RecordWriter.resume` and appending
+continues after the last intact record, with the sequence counter
+carried forward — recovery actions land in the same timeline as the
+crash they repair.
+
+Invariants
+----------
+
+* **Journaling never charges the virtual clock.**  Records *read*
+  ``clock.now_us`` and ``time.perf_counter_ns()``; a journal-enabled run
+  is bit-identical (simulated results, recorded bytes) to a disabled
+  one.  ``benchmarks/bench_flightrec_overhead.py`` pins this.
+* **The disabled path is a guarded no-op.**  :data:`NULL_FLIGHTREC`
+  mirrors ``NULL_TELEMETRY`` / ``NULL_FAULTS``: scopes hand back shared
+  inert objects, and the tracer sink stays ``None`` so the span hot path
+  is untouched.
+* **Monotonic sequence numbers.**  One counter per recorder, across all
+  owners, so replay can interleave fleet-level scheduler decisions with
+  per-member spans in true order even though each runs on its own
+  virtual clock.
+"""
+
+import io
+import json
+import os
+import time
+
+from repro.common.serial import (
+    RecordWriter,
+    StreamCorrupt,
+    scan_valid_prefix,
+)
+
+#: Stream kind for journal segments (refused by other stream readers).
+STREAM_KIND_FLIGHT = 0xF17E
+
+# -- record types (TLV tags) ------------------------------------------- #
+
+REC_SPAN = 1        #: a closed telemetry span (name, start, durations)
+REC_COUNTERS = 2    #: a counter-delta rollup since the previous rollup
+REC_SCHED = 3       #: a fleet scheduler decision (who ran, queue depth)
+REC_QUOTA = 4       #: a quota violation parking a session as throttled
+REC_FAULT = 5       #: a failpoint fired (the event *before* the crash)
+REC_RECOVERY = 6    #: a recovery action (per-subsystem repair summary)
+REC_ALERT = 7       #: an SLO watchdog alert (violation or resolution)
+REC_EVENT = 8       #: lifecycle event (admission, app launch, done, ...)
+
+REC_NAMES = {
+    REC_SPAN: "SPAN",
+    REC_COUNTERS: "COUNTERS",
+    REC_SCHED: "SCHED",
+    REC_QUOTA: "QUOTA",
+    REC_FAULT: "FAULT",
+    REC_RECOVERY: "RECOVERY",
+    REC_ALERT: "ALERT",
+    REC_EVENT: "EVENT",
+}
+
+
+class FlightRecord:
+    """One decoded journal record."""
+
+    __slots__ = ("seq", "rtype", "virtual_us", "wall_ns", "owner", "data")
+
+    def __init__(self, seq, rtype, virtual_us, wall_ns, owner, data):
+        self.seq = seq
+        self.rtype = rtype
+        self.virtual_us = virtual_us
+        self.wall_ns = wall_ns
+        self.owner = owner
+        self.data = data
+
+    @property
+    def type_name(self):
+        return REC_NAMES.get(self.rtype, "REC_%d" % self.rtype)
+
+    def to_dict(self):
+        return {
+            "seq": self.seq,
+            "type": self.type_name,
+            "virtual_us": self.virtual_us,
+            "wall_ns": self.wall_ns,
+            "owner": self.owner,
+            "data": self.data,
+        }
+
+    def __repr__(self):
+        return "FlightRecord(#%d %s owner=%r t=%dus)" % (
+            self.seq, self.type_name, self.owner, self.virtual_us)
+
+
+def _encode(seq, virtual_us, wall_ns, owner, data):
+    return json.dumps([seq, virtual_us, wall_ns, owner, data],
+                      separators=(",", ":"), default=str).encode("utf-8")
+
+
+def _decode(tag, payload):
+    seq, virtual_us, wall_ns, owner, data = json.loads(
+        payload.decode("utf-8"))
+    return FlightRecord(seq, tag, virtual_us, wall_ns, owner, data)
+
+
+# ---------------------------------------------------------------------- #
+# The no-op fast path
+
+
+class _NullScope:
+    """Inert per-owner view: every record call is one empty method."""
+
+    active = False
+
+    def __bool__(self):
+        return False
+
+    def record(self, rtype, data):
+        pass
+
+    def record_counter_deltas(self, counter_values):
+        pass
+
+    def span_sink(self):
+        # None keeps the tracer's per-span `sink is None` fast path.
+        return None
+
+
+class _NullFlightRecorder:
+    """Shared disabled recorder (the telemetry NULL_* pattern)."""
+
+    active = False
+
+    def __bool__(self):
+        return False
+
+    def scope(self, owner, clock):
+        return NULL_SCOPE
+
+    def record(self, rtype, owner, virtual_us, data):
+        pass
+
+    def replay(self):
+        return JournalReplay([], segments=0, torn_tail_bytes=0)
+
+    def flush(self):
+        pass
+
+    def close(self):
+        pass
+
+
+NULL_SCOPE = _NullScope()
+NULL_FLIGHTREC = _NullFlightRecorder()
+
+
+def resolve_flightrec(flightrec):
+    """``flightrec`` if given, else the shared no-op recorder."""
+    return flightrec if flightrec is not None else NULL_FLIGHTREC
+
+
+# ---------------------------------------------------------------------- #
+# Scopes: one owner + one clock bound to a shared recorder
+
+
+class FlightScope:
+    """A recorder view bound to one owner and one virtual clock.
+
+    A fleet shares one :class:`FlightRecorder` across members whose
+    virtual clocks differ; each member (and the fleet itself, on the
+    service clock) records through its own scope so every record is
+    stamped with the right virtual time.
+    """
+
+    __slots__ = ("recorder", "owner", "clock")
+
+    active = True
+
+    def __init__(self, recorder, owner, clock):
+        self.recorder = recorder
+        self.owner = owner
+        self.clock = clock
+
+    def record(self, rtype, data):
+        self.recorder.record(rtype, self.owner, self.clock.now_us, data)
+
+    def record_counter_deltas(self, counter_values):
+        """Journal one REC_COUNTERS record with the counters that moved
+        since this owner's previous rollup (no record if none did)."""
+        deltas = self.recorder._counter_deltas(self.owner, counter_values)
+        if deltas:
+            self.record(REC_COUNTERS, {"deltas": deltas})
+
+    def span_sink(self):
+        """A callable for :attr:`~repro.common.tracing.Tracer.sink` that
+        journals every closed span under this scope's owner."""
+        record = self.record
+
+        def sink(span):
+            depth = 0
+            parent = span.parent
+            while parent is not None:
+                depth += 1
+                parent = parent.parent
+            data = {
+                "name": span.name,
+                "start_us": span.start_virtual_us,
+                "dur_us": span.virtual_us,
+                "wall_ns": span.wall_ns,
+                "depth": depth,
+            }
+            if span.parent is not None:
+                data["parent"] = span.parent.name
+            if span.attributes:
+                data["attrs"] = dict(span.attributes)
+            record(REC_SPAN, data)
+
+        return sink
+
+
+# ---------------------------------------------------------------------- #
+# The recorder
+
+
+class FlightRecorder:
+    """Appends typed records to a size-bounded ring of journal segments.
+
+    Parameters
+    ----------
+    directory:
+        Journal directory for on-disk segments (``flight-NNNNNN.djj``).
+        ``None`` keeps segments in memory (tests, ephemeral fleets) —
+        same framing, no crash survival.  An existing directory is
+        *resumed*: the newest segment's torn tail is truncated and the
+        sequence counter continues after the last intact record.
+    segment_bytes:
+        Rotation threshold; a segment that crosses it is closed and a
+        fresh one opened.
+    max_segments:
+        Closed segments retained besides the active one; older segments
+        are deleted (the ring bound).
+    """
+
+    active = True
+
+    def __init__(self, directory=None, segment_bytes=256 * 1024,
+                 max_segments=4):
+        if segment_bytes < 1024:
+            raise ValueError("segment_bytes must be >= 1024")
+        if max_segments < 1:
+            raise ValueError("max_segments must be >= 1")
+        self.directory = directory
+        self.segment_bytes = segment_bytes
+        self.max_segments = max_segments
+        self._seq = 0
+        self._segment_index = 0
+        #: (index, path-or-BytesIO) of retained segments, oldest first;
+        #: the last entry is the active segment.
+        self._segments = []
+        self._writer = None
+        self._last_counters = {}  # owner -> {counter: value}
+        self.records_written = 0
+        self.resumed_records = 0
+        self.resume_truncated_bytes = 0
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            self._resume_directory()
+        if self._writer is None:
+            self._open_segment()
+
+    # -- segment management -------------------------------------------- #
+
+    def _segment_path(self, index):
+        return os.path.join(self.directory, "flight-%06d.djj" % index)
+
+    def _resume_directory(self):
+        """Adopt existing on-disk segments: keep the ring bound, resume
+        the newest segment after its last intact record, and carry the
+        sequence counter forward."""
+        existing = sorted(
+            name for name in os.listdir(self.directory)
+            if name.startswith("flight-") and name.endswith(".djj"))
+        if not existing:
+            return
+        indices = [int(name[len("flight-"):-len(".djj")])
+                   for name in existing]
+        for index in indices:
+            self._segments.append((index, self._segment_path(index)))
+        self._segment_index = indices[-1]
+        # Carry the seq counter past everything already journaled.
+        replay = replay_journal(self.directory)
+        if replay.records:
+            self._seq = replay.records[-1].seq + 1
+            self.resumed_records = len(replay.records)
+        # Resume the newest segment in place (truncating a torn tail)
+        # so post-crash recovery records join the pre-crash timeline.
+        path = self._segment_path(self._segment_index)
+        try:
+            fileobj = open(path, "r+b")
+            writer, dropped, _count = RecordWriter.resume(
+                fileobj, expect_kind=STREAM_KIND_FLIGHT)
+        except (OSError, StreamCorrupt):
+            # Unreadable tail segment: leave it for replay-as-is and
+            # start a fresh segment after it.
+            return
+        self.resume_truncated_bytes = dropped
+        self._writer = writer
+        self._prune_segments()
+
+    def _open_segment(self):
+        self._segment_index += 1
+        if self.directory is not None:
+            path = self._segment_path(self._segment_index)
+            fileobj = open(path, "w+b")
+            handle = path
+        else:
+            fileobj = io.BytesIO()
+            handle = fileobj
+        if self._writer is not None and self.directory is not None:
+            self._writer.fileobj.close()
+        self._writer = RecordWriter(fileobj, kind=STREAM_KIND_FLIGHT)
+        if self.directory is not None:
+            fileobj.flush()
+        self._segments.append((self._segment_index, handle))
+        self._prune_segments()
+
+    def _prune_segments(self):
+        while len(self._segments) > self.max_segments + 1:
+            _index, handle = self._segments.pop(0)
+            if self.directory is not None:
+                try:
+                    os.remove(handle)
+                except OSError:
+                    pass
+
+    # -- the hot path --------------------------------------------------- #
+
+    def record(self, rtype, owner, virtual_us, data):
+        """Append one record.  Never charges any virtual clock."""
+        payload = _encode(self._seq, virtual_us, time.perf_counter_ns(),
+                          owner, data)
+        self._seq += 1
+        self._writer.write(rtype, payload)
+        self.records_written += 1
+        if self.directory is not None:
+            # User-space buffers die with the process on kill -9; the OS
+            # page cache does not.  flush() per record is what makes the
+            # journal a *flight* recorder (fsync would only add power-loss
+            # durability, which the simulated host does not model).
+            self._writer.fileobj.flush()
+        if self._writer.bytes_written >= self.segment_bytes:
+            self._open_segment()
+
+    def _counter_deltas(self, owner, counter_values):
+        last = self._last_counters.setdefault(owner, {})
+        deltas = {}
+        for name, value in counter_values.items():
+            previous = last.get(name, 0)
+            if value != previous:
+                deltas[name] = value - previous
+                last[name] = value
+        return deltas
+
+    # -- convenience ---------------------------------------------------- #
+
+    def scope(self, owner, clock):
+        """A per-owner, per-clock recording view."""
+        return FlightScope(self, owner, clock)
+
+    def flush(self):
+        if self.directory is not None and self._writer is not None:
+            self._writer.fileobj.flush()
+
+    def close(self):
+        if self.directory is not None and self._writer is not None:
+            self._writer.fileobj.flush()
+            self._writer.fileobj.close()
+            self._writer = None
+
+    # -- replay --------------------------------------------------------- #
+
+    def segment_data(self):
+        """Raw bytes of every retained segment, oldest first."""
+        blobs = []
+        for _index, handle in self._segments:
+            if self.directory is not None:
+                try:
+                    with open(handle, "rb") as fh:
+                        blobs.append(fh.read())
+                except OSError:
+                    continue
+            else:
+                blobs.append(handle.getvalue())
+        return blobs
+
+    def replay(self):
+        """Decode the retained journal (verified CRC prefix per
+        segment); see :func:`replay_segments`."""
+        return replay_segments(self.segment_data())
+
+
+class JournalReplay:
+    """Decoded journal state: records in seq order plus integrity info."""
+
+    def __init__(self, records, segments, torn_tail_bytes,
+                 undecodable_records=0):
+        #: :class:`FlightRecord` list, ascending seq.
+        self.records = records
+        #: Segments scanned.
+        self.segments = segments
+        #: Bytes past the last CRC-verified record across segments — a
+        #: crash mid-append leaves exactly this much torn tail.
+        self.torn_tail_bytes = torn_tail_bytes
+        #: Records whose CRC verified but whose payload did not decode.
+        self.undecodable_records = undecodable_records
+
+    @property
+    def verified(self):
+        """True when every retained byte belongs to an intact record."""
+        return self.torn_tail_bytes == 0 and self.undecodable_records == 0
+
+    def last(self, k):
+        """The most recent ``k`` records (the post-mortem window)."""
+        return self.records[-k:] if k else list(self.records)
+
+    def of_type(self, rtype):
+        return [r for r in self.records if r.rtype == rtype]
+
+    def by_owner(self, owner):
+        return [r for r in self.records if r.owner == owner]
+
+    def window_us(self, start_us, end_us):
+        """Records whose virtual stamp falls inside [start_us, end_us]
+        (owners run on their own clocks; filter per owner if needed)."""
+        return [r for r in self.records
+                if start_us <= r.virtual_us <= end_us]
+
+    def to_dict(self, last=None):
+        records = self.last(last) if last else self.records
+        return {
+            "segments": self.segments,
+            "records_total": len(self.records),
+            "torn_tail_bytes": self.torn_tail_bytes,
+            "undecodable_records": self.undecodable_records,
+            "verified": self.verified,
+            "records": [r.to_dict() for r in records],
+        }
+
+
+def replay_segments(blobs):
+    """Decode journal segments (byte blobs, oldest first) into a
+    :class:`JournalReplay`.  Each segment contributes only its longest
+    valid CRC prefix; a segment whose header is torn contributes
+    nothing but counts its bytes as torn tail."""
+    records = []
+    torn = 0
+    undecodable = 0
+    for blob in blobs:
+        try:
+            end_offset, raw = scan_valid_prefix(
+                blob, expect_kind=STREAM_KIND_FLIGHT)
+        except StreamCorrupt:
+            torn += len(blob)
+            continue
+        torn += len(blob) - end_offset
+        for tag, payload, _offset in raw:
+            try:
+                records.append(_decode(tag, payload))
+            except (ValueError, UnicodeDecodeError):
+                undecodable += 1
+    records.sort(key=lambda r: r.seq)
+    return JournalReplay(records, segments=len(blobs),
+                         torn_tail_bytes=torn,
+                         undecodable_records=undecodable)
+
+
+def replay_journal(directory):
+    """Replay an on-disk journal directory (the post-crash entry point:
+    works on the surviving bytes alone, no recorder needed)."""
+    blobs = []
+    try:
+        names = sorted(
+            name for name in os.listdir(directory)
+            if name.startswith("flight-") and name.endswith(".djj"))
+    except OSError:
+        names = []
+    for name in names:
+        try:
+            with open(os.path.join(directory, name), "rb") as fh:
+                blobs.append(fh.read())
+        except OSError:
+            continue
+    return replay_segments(blobs)
+
+
+# ---------------------------------------------------------------------- #
+# Post-mortem rendering
+
+
+def _summarize(record):
+    data = record.data
+    if record.rtype == REC_SPAN:
+        extra = ""
+        if data.get("attrs"):
+            extra = " " + " ".join(
+                "%s=%s" % kv for kv in sorted(data["attrs"].items()))
+        return "%s%s dur=%sus depth=%d%s" % (
+            "  " * data.get("depth", 0), data.get("name", "?"),
+            data.get("dur_us"), data.get("depth", 0), extra)
+    if record.rtype == REC_SCHED:
+        return "picked=%s runnable=%d consumed=%sus state=%s" % (
+            data.get("picked"), data.get("runnable", 0),
+            data.get("consumed_us"), data.get("state"))
+    if record.rtype == REC_QUOTA:
+        return "%s used=%s limit=%s -> throttled" % (
+            data.get("quota"), data.get("used"), data.get("limit"))
+    if record.rtype == REC_FAULT:
+        return "%s mode=%s hit=%s" % (
+            data.get("site"), data.get("mode"), data.get("hit"))
+    if record.rtype == REC_RECOVERY:
+        action = data.get("action", "?")
+        rest = " ".join("%s=%s" % (k, v) for k, v in sorted(data.items())
+                        if k != "action")
+        return ("%s %s" % (action, rest)).strip()
+    if record.rtype == REC_ALERT:
+        return "%s %s: %s %s %s (value=%s)" % (
+            data.get("state", "?"), data.get("rule"), data.get("metric"),
+            data.get("op"), data.get("threshold"), data.get("value"))
+    if record.rtype == REC_COUNTERS:
+        deltas = data.get("deltas", {})
+        shown = sorted(deltas.items())[:4]
+        line = " ".join("%s+%s" % kv for kv in shown)
+        if len(deltas) > len(shown):
+            line += " (+%d more)" % (len(deltas) - len(shown))
+        return line
+    # REC_EVENT and anything newer
+    event = data.get("event", "?")
+    rest = " ".join("%s=%s" % (k, v) for k, v in sorted(data.items())
+                    if k != "event")
+    return ("%s %s" % (event, rest)).strip()
+
+
+def format_post_mortem(replay, last=40):
+    """Human-readable last-K-events timeline from a
+    :class:`JournalReplay` — what ``repro doctor --post-mortem``
+    prints.  Returns a list of lines."""
+    lines = []
+    total = len(replay.records)
+    shown = replay.last(last)
+    lines.append(
+        "flight journal: %d record(s) across %d segment(s), %s"
+        % (total, replay.segments,
+           "CRC prefix verified" if replay.verified
+           else "torn tail: %d byte(s) dropped" % replay.torn_tail_bytes))
+    if len(shown) < total:
+        lines.append("... %d earlier record(s) rotated/omitted ..."
+                     % (total - len(shown)))
+    for record in shown:
+        lines.append("#%-5d t=%10.3fms %-8s %-8s %s" % (
+            record.seq, record.virtual_us / 1000.0, record.owner,
+            record.type_name, _summarize(record)))
+    return lines

@@ -119,6 +119,42 @@ class RecordWriter:
         """Return the full stream bytes (only for BytesIO-backed writers)."""
         return self.fileobj.getvalue()
 
+    @classmethod
+    def resume(cls, fileobj, expect_kind=None):
+        """Reopen an existing (possibly torn) stream for appending.
+
+        Validates the header, scans the longest valid record prefix,
+        truncates any torn tail, and returns ``(writer, dropped_bytes,
+        record_count)`` with the writer positioned to append after the
+        last intact record.  This is how the flight-recorder ring journal
+        reuses its newest segment after an unclean shutdown instead of
+        abandoning it.  Raises :class:`StreamCorrupt` if the header
+        itself is invalid (nothing is resumable then).
+        """
+        fileobj.seek(0)
+        reader = RecordReader(fileobj, expect_kind=expect_kind)
+        count = 0
+        end_offset = _HEADER.size
+        while True:
+            try:
+                record = next(reader, None)
+            except StreamCorrupt:
+                break
+            if record is None:
+                break
+            count += 1
+            end_offset = fileobj.tell()
+        fileobj.seek(0, io.SEEK_END)
+        stream_end = fileobj.tell()
+        writer = cls.__new__(cls)
+        writer.fileobj = fileobj
+        writer.kind = reader.kind
+        writer.version = reader.version
+        writer._bytes_written = stream_end
+        dropped = writer.truncate_to(end_offset) if stream_end > end_offset \
+            else 0
+        return writer, dropped, count
+
 
 def _read_record(fileobj, offset):
     """Read and verify one record at the stream's current position."""

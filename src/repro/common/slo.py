@@ -1,0 +1,206 @@
+"""Declarative SLO watchdogs over fleet telemetry.
+
+A fleet that records everything still needs something to *watch* the
+recordings.  An :class:`SLORule` names one quantity — a rollup histogram
+percentile, a counter, a counter rate per simulated second, or a derived
+service figure like the cross-session dedup ratio — and the threshold it
+must satisfy.  An :class:`SLOWatchdog` evaluates its rules against a
+fleet's observability context and journals a structured
+:data:`~repro.common.flightrec.REC_ALERT` record on every state
+*transition* (ok -> violated, violated -> ok), so the flight journal
+holds the alert history without one record per evaluation, and
+``fleet-stats`` can report the current standing of every objective.
+
+Rules are deliberately declarative (data, not callbacks): they parse
+from compact CLI specs, serialize into reports, and evaluate with no
+access to anything but the snapshot dict — a watchdog can never perturb
+the fleet it watches.
+"""
+
+from repro.common.errors import DejaViewError
+from repro.common.flightrec import NULL_SCOPE, REC_ALERT
+
+_OPS = {
+    "<=": lambda value, threshold: value <= threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<": lambda value, threshold: value < threshold,
+    ">": lambda value, threshold: value > threshold,
+}
+
+#: CLI shorthand -> (source, metric, stat).
+SHORTHANDS = {
+    "downtime_p95": ("histogram", "checkpoint.downtime_us", "p95"),
+    "downtime_p50": ("histogram", "checkpoint.downtime_us", "p50"),
+    "dedup_ratio": ("derived", "dedup_ratio", None),
+    "recovery_rate": ("derived", "recovery_rate_per_s", None),
+    "crash_count": ("counter", "fleet.sessions_crashed", None),
+    "throttle_count": ("counter", "fleet.sessions_throttled", None),
+}
+
+
+class SLOSpecError(DejaViewError):
+    """An SLO rule specification was malformed."""
+
+
+class SLORule:
+    """One objective: ``<value of metric> <op> <threshold>``.
+
+    ``source`` selects where the value comes from in the evaluation
+    context: ``histogram`` (a rollup histogram summary, read at
+    ``stat``, e.g. ``p95``), ``counter``, ``gauge``, or ``derived`` (the
+    fleet's computed figures: ``dedup_ratio``,
+    ``recovery_rate_per_s``, ...).
+    """
+
+    __slots__ = ("name", "source", "metric", "stat", "op", "threshold")
+
+    def __init__(self, name, source, metric, op, threshold, stat=None):
+        if source not in ("histogram", "counter", "gauge", "derived"):
+            raise SLOSpecError("unknown SLO source %r" % (source,))
+        if op not in _OPS:
+            raise SLOSpecError("unknown SLO op %r (have: %s)"
+                               % (op, ", ".join(sorted(_OPS))))
+        if source == "histogram" and not stat:
+            raise SLOSpecError("histogram rules need a stat (p50/p95/p99)")
+        self.name = name
+        self.source = source
+        self.metric = metric
+        self.stat = stat
+        self.op = op
+        self.threshold = threshold
+
+    @classmethod
+    def parse(cls, spec):
+        """Parse one rule from a compact spec.
+
+        Shorthand form: ``downtime_p95<=20000`` or ``dedup_ratio>=0.2``
+        (see :data:`SHORTHANDS`).  Explicit form:
+        ``histogram:checkpoint.downtime_us:p95<=20000`` /
+        ``counter:fleet.sessions_crashed<=0`` /
+        ``derived:dedup_ratio>=0.2``.
+        """
+        spec = spec.strip()
+        for op in ("<=", ">=", "<", ">"):  # two-char ops first
+            if op in spec:
+                left, _, right = spec.partition(op)
+                break
+        else:
+            raise SLOSpecError(
+                "no comparison operator in SLO spec %r" % (spec,))
+        left = left.strip()
+        try:
+            threshold = float(right.strip())
+        except ValueError:
+            raise SLOSpecError(
+                "bad threshold in SLO spec %r" % (spec,)) from None
+        if left in SHORTHANDS:
+            source, metric, stat = SHORTHANDS[left]
+            return cls(left, source, metric, op, threshold, stat=stat)
+        parts = left.split(":")
+        if len(parts) == 2:
+            source, metric = parts
+            stat = None
+        elif len(parts) == 3:
+            source, metric, stat = parts
+        else:
+            raise SLOSpecError(
+                "SLO spec %r is neither a shorthand (%s) nor "
+                "source:metric[:stat]" % (spec, ", ".join(sorted(SHORTHANDS))))
+        name = left.replace(":", ".")
+        return cls(name, source, metric, op, threshold, stat=stat)
+
+    def value_from(self, context):
+        """Read this rule's current value out of an evaluation context
+        (None when the quantity has no data yet)."""
+        if self.source == "derived":
+            return context.get("derived", {}).get(self.metric)
+        if self.source == "histogram":
+            summary = context.get("histograms", {}).get(self.metric)
+            return summary.get(self.stat) if summary else None
+        return context.get("%ss" % self.source, {}).get(self.metric)
+
+    def describe(self):
+        return {
+            "name": self.name,
+            "source": self.source,
+            "metric": self.metric,
+            "stat": self.stat,
+            "op": self.op,
+            "threshold": self.threshold,
+        }
+
+
+def parse_slos(spec):
+    """Parse a ``;``-separated rule list (the CLI ``--slo`` argument)."""
+    return [SLORule.parse(part)
+            for part in spec.split(";") if part.strip()]
+
+
+def default_slos():
+    """The stock fleet objectives: checkpoint downtime p95 under 25 ms,
+    cross-session dedup at or above 15 %, and recovery events rarer
+    than one per simulated second."""
+    return [
+        SLORule("downtime_p95", "histogram", "checkpoint.downtime_us",
+                "<=", 25_000.0, stat="p95"),
+        SLORule("dedup_ratio", "derived", "dedup_ratio", ">=", 0.15),
+        SLORule("recovery_rate", "derived", "recovery_rate_per_s",
+                "<=", 1.0),
+    ]
+
+
+class SLOWatchdog:
+    """Evaluates rules against fleet context and journals transitions.
+
+    ``evaluate(context)`` returns one verdict dict per rule; a rule
+    whose quantity has no data yet reports ``ok: None`` (no alert — an
+    empty fleet violates nothing).  Alert records (state ``violated`` /
+    ``resolved``) go to the bound flight scope only when a rule's
+    boolean state changes, so the journal carries the alert *history*,
+    bounded by the number of actual transitions.
+    """
+
+    def __init__(self, rules=None, flightscope=None):
+        self.rules = list(rules) if rules is not None else default_slos()
+        self._flight = flightscope if flightscope is not None else NULL_SCOPE
+        self._states = {}  # rule name -> last boolean ok
+        self.alerts_emitted = 0
+        self.evaluations = 0
+
+    def bind_flightscope(self, flightscope):
+        self._flight = flightscope
+
+    def evaluate(self, context):
+        self.evaluations += 1
+        verdicts = []
+        for rule in self.rules:
+            value = rule.value_from(context)
+            ok = None if value is None \
+                else _OPS[rule.op](value, rule.threshold)
+            verdict = rule.describe()
+            verdict["value"] = value
+            verdict["ok"] = ok
+            verdicts.append(verdict)
+            if ok is None:
+                continue
+            previous = self._states.get(rule.name)
+            self._states[rule.name] = ok
+            if previous is None and ok:
+                continue  # first sight, already healthy: nothing to say
+            if previous is None or previous != ok:
+                self.alerts_emitted += 1
+                self._flight.record(REC_ALERT, {
+                    "rule": rule.name,
+                    "state": "resolved" if ok else "violated",
+                    "metric": rule.metric if rule.stat is None
+                    else "%s:%s" % (rule.metric, rule.stat),
+                    "op": rule.op,
+                    "threshold": rule.threshold,
+                    "value": value,
+                })
+        return verdicts
+
+    def standing(self):
+        """Current per-rule boolean state (None = never had data)."""
+        return {rule.name: self._states.get(rule.name)
+                for rule in self.rules}

@@ -214,6 +214,12 @@ class MetricsRegistry:
             },
         }
 
+    def counter_values(self):
+        """Just the counters, as a plain dict — cheap enough to call on
+        a rollup cadence (no histogram sorting), which is what the
+        flight recorder's counter-delta records are built from."""
+        return {name: c.value for name, c in self._counters.items()}
+
     def reset(self):
         """Forget every instrument (new recording session)."""
         self._counters.clear()
@@ -241,6 +247,9 @@ class NullRegistry(MetricsRegistry):
 
     def snapshot(self):
         return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def counter_values(self):
+        return {}
 
 
 NULL_REGISTRY = NullRegistry()
@@ -302,14 +311,27 @@ def rollup_snapshots(snapshots):
     ``snapshots`` maps a session name to its ``metrics.snapshot()`` (or
     ``Telemetry.snapshot()``) dict.  Counters and gauges sum across
     sessions; histogram summaries merge with exact count/sum/min/max and
-    a count-weighted mean, while each percentile is reported as the
-    worst (maximum) across sessions — the raw samples are gone at
-    snapshot level, so the rollup takes the conservative upper bound.
-    The per-session snapshots ride along under ``"sessions"``.
+    a count-weighted mean.
+
+    Percentiles cannot be merged exactly from summaries (the raw samples
+    are gone), so each quantile is reported two ways:
+
+    * ``p50`` / ``p95`` / ``p99`` — the **count-weighted average** of the
+      per-session percentiles.  For sessions drawn from similar
+      distributions this tracks the true fleet-wide percentile closely;
+      the old max-merge overstated it whenever any single session ran
+      hot (one slow member of 16 used to define the whole fleet's p95).
+    * ``p50_upper`` / ``p95_upper`` / ``p99_upper`` — the maximum across
+      sessions: a guaranteed upper bound on the true fleet percentile
+      (the pre-fix behavior, kept for conservative gating).
+
+    ``merge: "count_weighted"`` marks the schema.  The per-session
+    snapshots ride along under ``"sessions"``.
     """
     counters = {}
     gauges = {}
     merged_hists = {}
+    weighted = {}  # key -> quantile -> [weighted sum, weight]
     for name in sorted(snapshots):
         snap = snapshots[name]
         for key, value in snap.get("counters", {}).items():
@@ -319,7 +341,9 @@ def rollup_snapshots(snapshots):
         for key, summary in snap.get("histograms", {}).items():
             merged = merged_hists.setdefault(
                 key, {"count": 0, "sum": 0.0, "min": None, "max": None,
-                      "mean": None, "p50": None, "p95": None, "p99": None})
+                      "mean": None, "p50": None, "p95": None, "p99": None,
+                      "p50_upper": None, "p95_upper": None,
+                      "p99_upper": None, "merge": "count_weighted"})
             if not summary.get("count"):
                 continue
             merged["count"] += summary["count"]
@@ -329,15 +353,25 @@ def rollup_snapshots(snapshots):
                     merged[side] = summary[side]
                 elif summary[side] is not None:
                     merged[side] = pick(merged[side], summary[side])
+            accum = weighted.setdefault(key, {})
             for quantile in ("p50", "p95", "p99"):
-                if merged[quantile] is None:
-                    merged[quantile] = summary[quantile]
-                elif summary[quantile] is not None:
-                    merged[quantile] = max(merged[quantile],
-                                           summary[quantile])
-    for summary in merged_hists.values():
+                value = summary.get(quantile)
+                if value is None:
+                    continue
+                upper = quantile + "_upper"
+                if merged[upper] is None:
+                    merged[upper] = value
+                else:
+                    merged[upper] = max(merged[upper], value)
+                pair = accum.setdefault(quantile, [0.0, 0])
+                pair[0] += value * summary["count"]
+                pair[1] += summary["count"]
+    for key, summary in merged_hists.items():
         if summary["count"]:
             summary["mean"] = summary["sum"] / summary["count"]
+        for quantile, (total, weight) in weighted.get(key, {}).items():
+            if weight:
+                summary[quantile] = total / weight
     return {
         "counters": dict(sorted(counters.items())),
         "gauges": dict(sorted(gauges.items())),

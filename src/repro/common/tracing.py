@@ -45,7 +45,17 @@ class Span:
         self.end_wall_ns = None
 
     def set(self, key, value):
-        """Attach an attribute to the span (e.g. pages saved)."""
+        """Attach an attribute to the span (e.g. pages saved).
+
+        Raises :class:`ValueError` once the span has closed: a finished
+        span may already have been exported (flight-recorder journal,
+        span histograms), so late mutation would silently diverge from
+        what observers saw.
+        """
+        if self.end_virtual_us is not None:
+            raise ValueError(
+                "span %r is closed; attributes are immutable after close"
+                % (self.name,))
         self.attributes[key] = value
         return self
 
@@ -125,6 +135,10 @@ class Tracer:
         self.roots = deque(maxlen=keep)
         self.span_count = 0
         self._active = None
+        #: Optional callable invoked with every finished span (the flight
+        #: recorder's journal hook).  Sinks only *read* the span; the
+        #: span is already closed and stamped when the sink sees it.
+        self.sink = None
 
     # ------------------------------------------------------------------ #
 
@@ -162,6 +176,8 @@ class Tracer:
                 "span.%s.virtual_us" % span.name).observe(span.virtual_us)
             self.registry.histogram(
                 "span.%s.wall_ns" % span.name).observe(span.wall_ns)
+        if self.sink is not None:
+            self.sink(span)
 
     # ------------------------------------------------------------------ #
 

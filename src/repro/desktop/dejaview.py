@@ -21,6 +21,7 @@ from repro.checkpoint.restore import ReviveManager
 from repro.checkpoint.storage import CheckpointStorage
 from repro.common.errors import CheckpointError, DejaViewError, ReviveError
 from repro.common.faults import resolve_faults
+from repro.common.flightrec import REC_RECOVERY, resolve_flightrec
 from repro.common.telemetry import NULL_TELEMETRY, Telemetry
 from repro.common.units import seconds
 from repro.access.daemon import IndexingDaemon
@@ -66,6 +67,17 @@ class RecordingConfig:
     """A :class:`~repro.common.faults.FaultPlan` injected into every
     write path (crash/IO fault testing).  ``None`` — the default — binds
     the shared no-op plan, which adds no measurable overhead."""
+    flightrec: object = None
+    """A :class:`~repro.common.flightrec.FlightRecorder` journaling this
+    session's closed spans, fault fires, recovery actions, and periodic
+    counter deltas (under the session name as owner).  ``None`` — the
+    default — binds the shared no-op recorder (NULL_FLIGHTREC): the
+    tracer sink stays unset and the hot path is unchanged.  Journaling
+    never charges the virtual clock, so enabling it keeps recordings
+    bit-identical."""
+    flightrec_rollup_ticks: int = 64
+    """With a flight recorder bound, journal a counter-delta rollup
+    record every this many recording ticks (0 disables the cadence)."""
 
 
 @dataclass
@@ -117,6 +129,22 @@ class DejaView:
         bind_faults = getattr(session.fs, "bind_faults", None)
         if bind_faults is not None:
             bind_faults(self.faults)
+
+        # Flight recorder: the always-on event journal.  The scope binds
+        # this session's owner name and virtual clock; spans, fault
+        # fires, lifecycle events, and recovery actions all land in one
+        # (possibly fleet-shared) ring journal.
+        self.flightrec = resolve_flightrec(self.config.flightrec)
+        self._flight = self.flightrec.scope(
+            getattr(session, "name", "local"), clock)
+        if self._flight.active:
+            if self.telemetry.enabled:
+                self.telemetry.tracer.sink = self._flight.span_sink()
+            if self.faults.active:
+                self.faults.bind_flightrec(self._flight)
+            bind_flight = getattr(session, "bind_flightrec", None)
+            if bind_flight is not None:
+                bind_flight(self._flight)
 
         self.recorder = None
         if self.config.record_display:
@@ -177,6 +205,9 @@ class DejaView:
         self._m_recoveries = self.telemetry.metrics.counter(
             "recover.sessions")
         self._last_checkpoint_us = None
+        self._flight_rollup_ticks = (
+            self.config.flightrec_rollup_ticks if self._flight.active else 0)
+        self._ticks_since_rollup = 0
 
     # ------------------------------------------------------------------ #
     # Recording loop
@@ -193,6 +224,12 @@ class DejaView:
             activity = self.session.driver.drain_activity()
             self._m_ticks.inc()
             self._m_tick_commands.inc(report.display_commands)
+            if self._flight_rollup_ticks:
+                self._ticks_since_rollup += 1
+                if self._ticks_since_rollup >= self._flight_rollup_ticks:
+                    self._ticks_since_rollup = 0
+                    self._flight.record_counter_deltas(
+                        self.telemetry.metrics.counter_values())
             if self.engine is None:
                 return report
             now = self.session.clock.now_us
@@ -333,6 +370,9 @@ class DejaView:
         ``report["ok"]`` is True when the surviving checkpoint chain
         verifies clean.
         """
+        flight = self._flight if self._flight.active else None
+        if flight is not None:
+            flight.record(REC_RECOVERY, {"action": "recover.begin"})
         with self.telemetry.span("recover"):
             report = {"ok": True}
             fs_recover = getattr(self.session.fs, "recover", None)
@@ -348,6 +388,30 @@ class DejaView:
             if self.database is not None:
                 report["index"] = self.database.recover()
             self._m_recoveries.inc()
+        if flight is not None:
+            storage = report["storage"]
+            summary = {
+                "action": "recover.done",
+                "ok": report["ok"],
+                "storage_torn_dropped": len(storage.get("torn_dropped", ())),
+                "storage_chain_dropped": len(
+                    storage.get("chain_dropped", ())),
+            }
+            display = report.get("display")
+            if display is not None:
+                summary["display_log_bytes_dropped"] = \
+                    display.get("log_bytes_dropped", 0)
+                summary["display_shot_bytes_dropped"] = \
+                    display.get("screenshot_bytes_dropped", 0)
+            index = report.get("index")
+            if index is not None:
+                summary["index_uncommitted_dropped"] = len(
+                    index.get("uncommitted_dropped", ()))
+                summary["index_postings_rebuilt"] = \
+                    index.get("postings_rebuilt", 0)
+            flight.record(REC_RECOVERY, summary)
+            flight.record_counter_deltas(
+                self.telemetry.metrics.counter_values())
         return report
 
     # ------------------------------------------------------------------ #
@@ -365,6 +429,10 @@ class DejaView:
             "delivered": bus.delivered_count,
             "errors": bus.error_count,
         }
+        if self.faults.active:
+            # Per-site failpoint hit/fired accounting, straight from the
+            # plan (reachable before only via the raw registry).
+            snap["faults"] = self.faults.hit_snapshot()
         return snap
 
     # ------------------------------------------------------------------ #

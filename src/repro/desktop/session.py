@@ -11,6 +11,7 @@ section 3), and the accessibility registry.
 
 from repro.common.clock import VirtualClock
 from repro.common.costs import DEFAULT_COSTS
+from repro.common.flightrec import NULL_SCOPE, REC_EVENT
 from repro.access.registry import DesktopRegistry
 from repro.display.driver import VirtualDisplayDriver
 from repro.display.viewer import Viewer
@@ -52,6 +53,9 @@ class DesktopSession:
             self.driver.attach_sink(self.viewer)
         self.registry = DesktopRegistry(self.clock, costs=costs)
         self.apps = {}
+        #: Flight-recorder scope for session lifecycle events (app
+        #: launch/quit); the no-op scope until a recorder is bound.
+        self.flight = NULL_SCOPE
         from repro.desktop.input import InputRouter
 
         self.input_router = InputRouter(self)
@@ -78,18 +82,30 @@ class DesktopSession:
     def height(self):
         return self.driver.framebuffer.height
 
+    def bind_flightrec(self, flightscope):
+        """Journal session lifecycle events (app launch/quit) through a
+        flight-recorder scope.  Reading state only — never charges the
+        clock."""
+        self.flight = flightscope
+
     def launch(self, name, accessible=True, nice=0):
         """Launch a simulated application in this session."""
         from repro.desktop.apps import SimApplication
 
         app = SimApplication(self, name, accessible=accessible, nice=nice)
         self.apps[name] = app
+        if self.flight.active:
+            self.flight.record(REC_EVENT, {"event": "app.launch",
+                                           "app": name})
         return app
 
     def quit(self, name):
         """Terminate an application and reap its process."""
         app = self.apps.pop(name)
         app.close()
+        if self.flight.active:
+            self.flight.record(REC_EVENT, {"event": "app.quit",
+                                           "app": name})
         return app
 
     def idle(self, duration_us):

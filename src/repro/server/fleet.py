@@ -52,7 +52,14 @@ from repro.checkpoint.storage import PageCAS
 from repro.common.clock import VirtualClock
 from repro.common.costs import DEFAULT_COSTS
 from repro.common.errors import DejaViewError
-from repro.common.faults import InjectedCrash
+from repro.common.faults import InjectedCrash, registered_failpoints
+from repro.common.flightrec import (
+    REC_EVENT,
+    REC_QUOTA,
+    REC_RECOVERY,
+    REC_SCHED,
+    resolve_flightrec,
+)
 from repro.common.telemetry import (
     NULL_TELEMETRY,
     Telemetry,
@@ -152,7 +159,17 @@ class Fleet:
     """N recording sessions, one service clock, one shared page store."""
 
     def __init__(self, seed=0, max_sessions=16, costs=DEFAULT_COSTS,
-                 quotas=None, telemetry_enabled=True):
+                 quotas=None, telemetry_enabled=True, flightrec=None,
+                 watchdog=None, rollup_every=64):
+        """``flightrec`` (a
+        :class:`~repro.common.flightrec.FlightRecorder`) journals
+        scheduler decisions, quota throttles, lifecycle events, and
+        counter-delta rollups on the service clock, and is injected into
+        every admitted member so their spans/faults/recoveries land in
+        the same journal under their own owner names.  ``watchdog`` (an
+        :class:`~repro.common.slo.SLOWatchdog`) is evaluated on the
+        rollup cadence (every ``rollup_every`` steps) and at
+        :meth:`stats`; its alert records join the journal."""
         self.seed = seed
         self.max_sessions = max_sessions
         self.costs = costs
@@ -165,6 +182,13 @@ class Fleet:
             self.telemetry = Telemetry(self.clock)
         else:
             self.telemetry = NULL_TELEMETRY
+        self.flightrec = resolve_flightrec(flightrec)
+        self._flight = self.flightrec.scope("fleet", self.clock)
+        self.watchdog = watchdog
+        if watchdog is not None:
+            watchdog.bind_flightscope(self._flight)
+        self.rollup_every = rollup_every
+        self._steps_since_rollup = 0
         metrics = self.telemetry.metrics
         self._m_steps = metrics.counter("fleet.steps")
         self._m_admitted = metrics.counter("fleet.sessions_admitted")
@@ -173,6 +197,7 @@ class Fleet:
         self._m_crashes = metrics.counter("fleet.sessions_crashed")
         self._m_throttled = metrics.counter("fleet.sessions_throttled")
         self._m_recoveries = metrics.counter("fleet.sessions_recovered")
+        self._m_alerts = metrics.counter("fleet.slo_alerts")
         self._h_step_us = metrics.histogram("fleet.step_us")
 
     # ------------------------------------------------------------------ #
@@ -209,6 +234,10 @@ class Fleet:
             else workload.default_recording()
         if fault_plan is not None:
             config.fault_plan = fault_plan
+        if self.flightrec.active and config.flightrec is None:
+            # Members journal into the fleet's shared ring under their
+            # own owner names (spans, fault fires, recovery actions).
+            config.flightrec = self.flightrec
         run, steps = workload.start(recording=config, units=units,
                                     session=session, page_cas=self.cas)
         member = FleetSession(
@@ -218,6 +247,10 @@ class Fleet:
         )
         self._members[name] = member
         self._m_admitted.inc()
+        if self._flight.active:
+            self._flight.record(REC_EVENT, {
+                "event": "admit", "session": name, "scenario": scenario,
+                "units": run.units, "weight": weight})
         return member
 
     # ------------------------------------------------------------------ #
@@ -275,7 +308,91 @@ class Fleet:
                 member.state = THROTTLED
                 member.quota_violation = violation
                 self._m_throttled.inc()
+        if self._flight.active:
+            self._flight.record(REC_SCHED, {
+                "picked": member.name,
+                "runnable": len(runnable),
+                "consumed_us": consumed,
+                "units_done": member.units_done,
+                "state": member.state,
+            })
+            if member.state == CRASHED:
+                self._flight.record(REC_EVENT, {
+                    "event": "session.crashed", "session": member.name,
+                    "site": member.crash_site})
+            elif member.state == DONE:
+                self._flight.record(REC_EVENT, {
+                    "event": "session.done", "session": member.name,
+                    "units": member.units_done})
+            elif member.state == THROTTLED:
+                attr, used, limit = member.quota_violation
+                self._flight.record(REC_QUOTA, {
+                    "session": member.name, "quota": attr,
+                    "used": used, "limit": limit})
+        if self.rollup_every:
+            self._steps_since_rollup += 1
+            if self._steps_since_rollup >= self.rollup_every:
+                self._steps_since_rollup = 0
+                self._rollup_tick()
         return member
+
+    def _rollup_tick(self):
+        """The journal's periodic heartbeat: counter-delta records for
+        the fleet and every member, then an SLO evaluation."""
+        if self._flight.active:
+            self._flight.record_counter_deltas(
+                self.telemetry.metrics.counter_values())
+            for member in self._members.values():
+                telemetry = member.dejaview.telemetry
+                if telemetry.enabled:
+                    self.flightrec.scope(
+                        member.name, member.session.clock,
+                    ).record_counter_deltas(
+                        telemetry.metrics.counter_values())
+        if self.watchdog is not None:
+            self.check_slos()
+
+    # ------------------------------------------------------------------ #
+    # SLO watchdog
+
+    def slo_context(self, rollup=None):
+        """The evaluation context the watchdog reads: the fleet metric
+        rollup plus derived service figures."""
+        if rollup is None:
+            rollup = rollup_snapshots({
+                name: member.dejaview.telemetry.metrics.snapshot()
+                for name, member in self._members.items()
+                if member.dejaview.telemetry.enabled
+            })
+        service_s = self.clock.now_us / 1e6
+        recoveries = self._m_recoveries.value
+        crashes = self._m_crashes.value
+        return {
+            "counters": dict(rollup.get("counters", {}),
+                             **self.telemetry.metrics.counter_values()),
+            "gauges": rollup.get("gauges", {}),
+            "histograms": rollup.get("histograms", {}),
+            "derived": {
+                "dedup_ratio": self.dedup_ratio(),
+                "recovery_rate_per_s": (
+                    (recoveries + crashes) / service_s if service_s > 0
+                    else 0.0),
+                "service_clock_s": service_s,
+            },
+        }
+
+    def check_slos(self, rollup=None):
+        """Evaluate the watchdog now; returns its verdicts (None when no
+        watchdog is configured).  Violation/resolution transitions are
+        journaled as ALERT records and counted as ``fleet.slo_alerts``."""
+        if self.watchdog is None:
+            return None
+        before = self.watchdog.alerts_emitted
+        verdicts = self.watchdog.evaluate(self.slo_context(rollup=rollup))
+        emitted = self.watchdog.alerts_emitted - before
+        if emitted:
+            self._m_alerts.inc(emitted)
+        return verdicts
 
     def run_to_completion(self, max_steps=None):
         """Step until no session is runnable; returns steps taken."""
@@ -305,6 +422,10 @@ class Fleet:
         report = member.dejaview.recover()
         member.state = RECOVERED
         self._m_recoveries.inc()
+        if self._flight.active:
+            self._flight.record(REC_RECOVERY, {
+                "action": "fleet.recover_session", "session": name,
+                "ok": report.get("ok"), "crash_site": member.crash_site})
         return report
 
     # ------------------------------------------------------------------ #
@@ -354,9 +475,37 @@ class Fleet:
             return 0.0
         return 1.0 - self.cas.total_uncompressed_bytes / logical
 
+    def fault_rollup(self):
+        """Per-site failpoint hit/fired totals summed across members
+        with active fault plans (plus a per-session breakdown of the
+        sites each actually hit)."""
+        totals = {site: {"hits": 0, "fired": 0}
+                  for site in registered_failpoints()}
+        per_session = {}
+        any_active = False
+        for name, member in self._members.items():
+            plan = member.dejaview.faults
+            if not plan.active:
+                continue
+            any_active = True
+            snapshot = plan.hit_snapshot()
+            hit_sites = {site: counts for site, counts in snapshot.items()
+                         if counts["hits"] or counts["fired"]}
+            if hit_sites:
+                per_session[name] = hit_sites
+            for site, counts in snapshot.items():
+                totals[site]["hits"] += counts["hits"]
+                totals[site]["fired"] += counts["fired"]
+        if not any_active:
+            return None
+        return {"sites": totals, "sessions": per_session}
+
     def stats(self):
         """JSON-ready fleet report: service clock, per-session states,
-        shared-CAS physical/dedup figures, and the telemetry rollup."""
+        shared-CAS physical/dedup figures, the telemetry rollup, the
+        failpoint rollup (when any member carries a fault plan), SLO
+        standings (when a watchdog is bound), and journal figures (when
+        a flight recorder is bound)."""
         sessions = {name: member.describe()
                     for name, member in self._members.items()}
         cas_stats = self.cas.stats()
@@ -367,7 +516,7 @@ class Fleet:
             if member.dejaview.telemetry.enabled
         })
         rollup.pop("sessions", None)  # describe() already covers them
-        return {
+        report = {
             "seed": self.seed,
             "service_clock_us": self.clock.now_us,
             "sessions": sessions,
@@ -375,6 +524,21 @@ class Fleet:
             "fleet_metrics": self.telemetry.metrics.snapshot(),
             "rollup": rollup,
         }
+        faults = self.fault_rollup()
+        if faults is not None:
+            report["faults"] = faults
+        if self.watchdog is not None:
+            report["slo"] = {
+                "verdicts": self.check_slos(rollup=rollup),
+                "alerts_emitted": self.watchdog.alerts_emitted,
+                "evaluations": self.watchdog.evaluations,
+            }
+        if self.flightrec.active:
+            report["journal"] = {
+                "records_written": self.flightrec.records_written,
+                "segments_retained": len(self.flightrec._segments),
+            }
+        return report
 
     def __len__(self):
         return len(self._members)

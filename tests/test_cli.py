@@ -65,3 +65,119 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestFlightRecorderCli:
+    CRASH = "storage.cas.page_append:after=2"
+
+    def test_doctor_post_mortem_text(self, tmp_path):
+        journal = str(tmp_path / "journal")
+        code, output = run_cli(
+            "doctor", "web", "--faults", self.CRASH,
+            "--post-mortem", "--journal-dir", journal, "--last", "12")
+        assert code == 0
+        assert "flight journal:" in output
+        assert "CRC prefix verified" in output
+        assert "FAULT" in output and "storage.cas.page_append" in output
+        assert "recover.done" in output
+
+    def test_doctor_post_mortem_json(self, tmp_path):
+        import json as _json
+
+        code, output = run_cli(
+            "doctor", "web", "--faults", self.CRASH, "--post-mortem",
+            "--journal-dir", str(tmp_path / "j"), "--json")
+        assert code == 0
+        data = _json.loads(output)
+        post = data["post_mortem"]
+        assert post["verified"] is True
+        assert post["records_total"] > 0
+        types = [r["type"] for r in post["records"]]
+        assert "FAULT" in types and "RECOVERY" in types
+
+    def test_doctor_post_mortem_in_memory(self):
+        code, output = run_cli("doctor", "gzip", "--units", "4",
+                               "--post-mortem")
+        assert code == 0
+        assert "flight journal:" in output
+
+    def test_doctor_trace_out(self, tmp_path):
+        import json as _json
+
+        trace = str(tmp_path / "trace.json")
+        code, _ = run_cli("doctor", "gzip", "--units", "4",
+                          "--post-mortem", "--trace-out", trace)
+        assert code == 0
+        document = _json.loads(open(trace).read())
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+    def test_stats_faults_table(self):
+        code, output = run_cli(
+            "stats", "web", "--units", "4", "--faults",
+            "recorder.log.append:mode=io,after=5")
+        assert code == 0
+        assert "failpoints (hits / fired):" in output
+        assert "recorder.log.append" in output
+        assert "fired=1" in output
+
+    def test_stats_faults_json(self):
+        import json as _json
+
+        code, output = run_cli(
+            "stats", "web", "--units", "4", "--json", "--faults",
+            "recorder.log.append:mode=io,after=5")
+        assert code == 0
+        faults = _json.loads(output)["faults"]
+        assert faults["recorder.log.append"]["fired"] == 1
+
+    def test_top_text(self):
+        code, output = run_cli("top", "--sessions", "2", "--frames", "3",
+                               "--steps-per-frame", "8")
+        assert code == 0
+        assert "frame 0" in output
+        assert "queue=" in output and "dedup=" in output
+        assert "slo=" in output
+        assert "fleet settled:" in output
+
+    def test_top_json(self):
+        import json as _json
+
+        code, output = run_cli("top", "--sessions", "2", "--frames", "2",
+                               "--steps-per-frame", "8", "--json")
+        assert code == 0
+        data = _json.loads(output)
+        assert data["frames"]
+        frame = data["frames"][0]
+        assert frame["queue_depth"] >= 0
+        assert {m["name"] for m in frame["members"]} == {"s00", "s01"}
+        assert "slo_standing" in frame
+        assert "final" in data
+
+    def test_serve_exports(self, tmp_path):
+        import json as _json
+
+        trace = str(tmp_path / "trace.json")
+        prom = str(tmp_path / "metrics.prom")
+        code, output = run_cli(
+            "serve", "--sessions", "2", "--trace-out", trace,
+            "--prom-out", prom)
+        assert code == 0
+        assert "slo standings" in output
+        assert "flight journal:" in output
+        document = _json.loads(open(trace).read())
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+        body = open(prom).read()
+        assert "# TYPE dejaview_checkpoint_count counter" in body
+        assert 'fleet_seed="0"' in body
+
+    def test_fleet_stats_slo_json(self):
+        import json as _json
+
+        code, output = run_cli(
+            "fleet-stats", "--sessions", "2", "--json",
+            "--slo", "dedup_ratio>=0.99;crash_count<=0")
+        assert code == 0
+        data = _json.loads(output)
+        verdicts = {v["name"]: v for v in data["slo"]["verdicts"]}
+        assert verdicts["dedup_ratio"]["ok"] is False
+        assert verdicts["crash_count"]["ok"] is True

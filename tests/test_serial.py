@@ -111,3 +111,47 @@ def test_property_tlv_roundtrip(records):
     assert out == records
     for offset, (tag, payload) in zip(offsets, records):
         assert read_at(writer.getvalue(), offset) == (tag, payload)
+
+
+class TestResume:
+    def _stream(self, kind=9, records=3):
+        writer = RecordWriter(kind=kind)
+        for i in range(records):
+            writer.write(i + 1, b"payload-%d" % i)
+        return writer
+
+    def test_resume_clean_stream_appends(self):
+        buf = io.BytesIO(self._stream().getvalue())
+        writer, dropped, count = RecordWriter.resume(buf, expect_kind=9)
+        assert (dropped, count) == (0, 3)
+        assert writer.kind == 9
+        writer.write(7, b"appended")
+        tags = [tag for tag, _p, _o in RecordReader(
+            io.BytesIO(buf.getvalue()), expect_kind=9)]
+        assert tags == [1, 2, 3, 7]
+
+    def test_resume_truncates_torn_tail(self):
+        data = self._stream().getvalue() + b"\xff\xee torn tail"
+        buf = io.BytesIO(data)
+        writer, dropped, count = RecordWriter.resume(buf, expect_kind=9)
+        assert count == 3
+        assert dropped == len(b"\xff\xee torn tail")
+        writer.write(4, b"after")
+        records = list(RecordReader(io.BytesIO(buf.getvalue())))
+        assert [tag for tag, _p, _o in records] == [1, 2, 3, 4]
+        assert writer.bytes_written == len(buf.getvalue())
+
+    def test_resume_header_only_stream(self):
+        buf = io.BytesIO(RecordWriter(kind=2).getvalue())
+        writer, dropped, count = RecordWriter.resume(buf, expect_kind=2)
+        assert (dropped, count) == (0, 0)
+        writer.write(1, b"first")
+        assert [t for t, _p, _o in RecordReader(
+            io.BytesIO(buf.getvalue()))] == [1]
+
+    def test_resume_rejects_wrong_kind_or_bad_header(self):
+        buf = io.BytesIO(self._stream(kind=9).getvalue())
+        with pytest.raises(StreamCorrupt):
+            RecordWriter.resume(buf, expect_kind=10)
+        with pytest.raises(StreamCorrupt):
+            RecordWriter.resume(io.BytesIO(b"not a stream at all"))

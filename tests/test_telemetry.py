@@ -337,3 +337,139 @@ class TestCliStats:
     def test_scenario_required(self):
         with pytest.raises(SystemExit):
             self._run("run", "--units", "4")
+
+
+class TestTracerEdgeCases:
+    def test_exception_still_closes_and_stamps_span(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        closed = []
+        tracer.sink = closed.append
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing") as span:
+                clock.advance_us(7)
+                raise RuntimeError("mid-span")
+        assert span.finished
+        assert span.virtual_us == 7
+        assert span.wall_ns is not None
+        assert tracer.current is None  # the active chain unwound
+        assert closed == [span]  # the sink still saw the closed span
+        assert list(tracer.roots) == [span]
+
+    def test_exception_in_child_restores_parent(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with tracer.span("outer") as outer:
+            with pytest.raises(ValueError):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+            assert tracer.current is outer
+            with tracer.span("sibling") as sibling:
+                pass
+        assert [c.name for c in outer.children] == ["inner", "sibling"]
+        assert sibling.parent is outer
+
+    def test_reentrant_same_name_parentage(self):
+        # A recursive operation re-enters the same span name; each level
+        # must parent under the previous one, not under a sibling.
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with tracer.span("visit") as a:
+            with tracer.span("visit") as b:
+                with tracer.span("visit") as c:
+                    pass
+        assert b.parent is a and c.parent is b
+        assert a.children == [b] and b.children == [c]
+        assert list(tracer.roots) == [a]
+
+    def test_set_after_close_rejected(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with tracer.span("op") as span:
+            span.set("inside", 1)  # fine while open
+        with pytest.raises(ValueError, match="closed"):
+            span.set("late", 2)
+        assert span.attributes == {"inside": 1}
+
+    def test_null_span_set_never_rejects(self):
+        tracer = NullTracer()
+        with tracer.span("op") as span:
+            pass
+        span.set("late", 1)  # the null span has no close to enforce
+
+
+class TestRollupMerge:
+    """The count-weighted percentile merge (and its upper-bound twin)."""
+
+    @staticmethod
+    def _snapshot(values):
+        h = Histogram("checkpoint.downtime_us")
+        for v in values:
+            h.observe(v)
+        return {"counters": {}, "gauges": {},
+                "histograms": {"checkpoint.downtime_us": h.summary()}}
+
+    def test_count_weighted_merge_and_upper_bound(self):
+        from repro.common.telemetry import rollup_snapshots
+
+        # 9 cool observations vs 1 hot one: the old max-merge let the
+        # single hot session define the fleet p95.
+        cool = self._snapshot([10] * 9)
+        hot = self._snapshot([1000])
+        merged = rollup_snapshots({"cool": cool, "hot": hot})
+        summary = merged["histograms"]["checkpoint.downtime_us"]
+        assert summary["merge"] == "count_weighted"
+        assert summary["count"] == 10
+        assert summary["sum"] == 9 * 10 + 1000
+        assert summary["min"] == 10 and summary["max"] == 1000
+        # Count-weighted: (10*9 + 1000*1) / 10 = 109, not 1000.
+        assert summary["p95"] == pytest.approx(109.0)
+        # The conservative bound is still available, and dominates.
+        assert summary["p95_upper"] == 1000
+        assert summary["p95"] <= summary["p95_upper"]
+
+    def test_identical_sessions_merge_exactly(self):
+        from repro.common.telemetry import rollup_snapshots
+
+        values = list(range(1, 101))
+        merged = rollup_snapshots(
+            {"a": self._snapshot(values), "b": self._snapshot(values)})
+        summary = merged["histograms"]["checkpoint.downtime_us"]
+        # Equal distributions: weighted average == each session's value
+        # == the true merged percentile; upper bound agrees too.
+        assert summary["p50"] == 50
+        assert summary["p95"] == 95
+        assert summary["p99"] == 99
+        assert summary["p50_upper"] == 50
+        assert summary["count"] == 200
+
+    def test_empty_and_missing_histograms(self):
+        from repro.common.telemetry import rollup_snapshots
+
+        empty = {"counters": {}, "gauges": {},
+                 "histograms": {"checkpoint.downtime_us": {
+                     "count": 0, "sum": 0, "min": None, "max": None,
+                     "mean": None, "p50": None, "p95": None, "p99": None}}}
+        merged = rollup_snapshots({"a": self._snapshot([5]), "b": empty})
+        summary = merged["histograms"]["checkpoint.downtime_us"]
+        assert summary["count"] == 1
+        assert summary["p95"] == 5 and summary["p95_upper"] == 5
+
+    def test_counters_and_gauges_still_sum(self):
+        from repro.common.telemetry import rollup_snapshots
+
+        merged = rollup_snapshots({
+            "a": {"counters": {"x": 2}, "gauges": {"g": 1},
+                  "histograms": {}},
+            "b": {"counters": {"x": 3, "y": 1}, "gauges": {"g": 2},
+                  "histograms": {}},
+        })
+        assert merged["counters"] == {"x": 5, "y": 1}
+        assert merged["gauges"] == {"g": 3}
+
+    def test_counter_values_is_plain_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(4)
+        reg.histogram("h").observe(1)
+        assert reg.counter_values() == {"a": 4}
+        assert NullRegistry().counter_values() == {}
