@@ -74,6 +74,11 @@ class CheckpointResult:
     bytes_written: int = 0
     pages_deduped: int = 0
     dedup_bytes_saved: int = 0
+    writeback_backlog_bytes: int = 0
+    """Bytes still queued (un-flushed) in the page store's append queues
+    when this checkpoint's writeback returned.  Always 0 for synchronous
+    writeback (the store force-flushes at manifest commit); under async
+    group commit the backlog drains on the service clock instead."""
 
     @property
     def pre_checkpoint_us(self):
@@ -114,6 +119,7 @@ class CheckpointEngine:
         self._m_bytes = metrics.counter("checkpoint.image_bytes")
         self._m_downtime = metrics.histogram("checkpoint.downtime_us")
         self._m_total = metrics.histogram("checkpoint.total_us")
+        self._m_backlog = metrics.histogram("checkpoint.writeback_backlog")
         self._next_id = 1
         self._last_image_id = None
         self._checkpoints_since_full = 0
@@ -412,6 +418,12 @@ class CheckpointEngine:
         Synchronous writeback (the ablation) charges everything inline —
         inside the stopped window, which is precisely why it is too slow
         for 1 Hz checkpointing.
+
+        When the underlying page store runs in async group-commit mode
+        (fleet service), ``store`` only *enqueues* the physical page
+        appends and returns — the stopped window and the session clock
+        never include storage work at all; the service flushes shard
+        queues on its own clock and ``drain()`` is the only barrier.
         """
         if self.options.use_cow:
             for key in sorted(save_keys):
@@ -439,6 +451,12 @@ class CheckpointEngine:
         result.bytes_written = receipt.accounted_bytes
         result.pages_deduped = receipt.pages_deduped
         result.dedup_bytes_saved = receipt.dedup_bytes_saved
+        # Pipelined writeback: under async group commit the store only
+        # enqueued the pages — record how deep the queue is so backlog
+        # growth is visible per checkpoint (always 0 in sync mode).
+        result.writeback_backlog_bytes = getattr(
+            self.storage, "writeback_backlog_bytes", 0)
+        self._m_backlog.observe(result.writeback_backlog_bytes)
         _unc, comp = self.storage.size_of(image.checkpoint_id)
         result.image_bytes_compressed = comp
         self._recent_buffer_sizes.append(image.nbytes)

@@ -40,6 +40,8 @@ class PruneReport:
     extents_rewritten: int = 0
     pages_moved: int = 0
     extent_bytes_reclaimed: int = 0
+    writeback_pages_drained: int = 0
+    writeback_bytes_drained: int = 0
 
 
 def required_images(storage, keep_ids):
@@ -74,6 +76,14 @@ def prune_checkpoints(storage, fsstore, keep_ids, compact=True):
     """
     keep_ids = set(keep_ids)
     required = required_images(storage, keep_ids)
+    # Drain the writeback pipeline first: GC must never race in-flight
+    # group commits (deleting a queued page cancels its append, but
+    # compaction reclaims extents — every queued byte must be on disk or
+    # cancelled before space accounting is trusted).
+    drained = {}
+    drainer = getattr(storage, "drain_writeback", None)
+    if drainer is not None:
+        drained = drainer()
     deleted = []
     freed = 0
     fs = fsstore.fs
@@ -100,4 +110,6 @@ def prune_checkpoints(storage, fsstore, keep_ids, compact=True):
         extents_rewritten=compaction.get("extents_rewritten", 0),
         pages_moved=compaction.get("pages_moved", 0),
         extent_bytes_reclaimed=compaction.get("bytes_reclaimed", 0),
+        writeback_pages_drained=drained.get("pages", 0),
+        writeback_bytes_drained=drained.get("bytes", 0),
     )

@@ -22,14 +22,41 @@ Two on-disk layouts coexist:
   page extents after pruning.  v2 blobs injected into a CAS store remain
   readable (their pages are inline, so their manifest is empty).
 
-Fleet mode: the CAS proper lives in a :class:`PageCAS` that any number of
-``CheckpointStorage`` instances — one per recording session — may share
-(``CheckpointStorage(cas=shared, owner="session-name")``).  References are
-counted **per owner**: each owner's count is the number of (image, key)
-references across that owner's live manifests, and a page is physically
-reclaimed only when *every* owner's count is zero.  One session crashing
-and recovering rebuilds only its own counts, so recovery can never reclaim
-pages another session still references.
+Fleet mode: the CAS proper lives in a :class:`ShardedPageCAS` that any
+number of ``CheckpointStorage`` instances — one per recording session —
+may share (``CheckpointStorage(cas=shared, owner="session-name")``).
+References are counted **per owner**: each owner's count is the number of
+(image, key) references across that owner's live manifests, and a page is
+physically reclaimed only when *every* owner's count is zero.  One session
+crashing and recovering rebuilds only its own counts, so recovery can
+never reclaim pages another session still references.
+
+Sharded physical layout, global logical state: the CAS splits its
+*physical* layout — extents and the append path — into K consistent-hash
+shards keyed by page digest (``crc32(digest) % K``), while every
+*logical* map (payloads, sizes, refcounts, owner refcounts) stays global
+and shard-layout-agnostic.  v3 manifests name digests, never extents, so
+the same store reopened with a different shard count (:meth:`reshard`)
+serves identical reads and identical accounting.
+
+Group-commit writeback: ``commit_page`` no longer appends to an extent
+inline — it *enqueues* the append on the digest's shard.  A later
+``flush_shard`` drains the shard's queue as one batched group commit.
+Two writeback modes share that machinery:
+
+* **sync** (the default, solo sessions): ``store`` force-flushes the
+  touched shards before the manifest commit, so every durability point
+  is exactly where it was before sharding — and the two flush failpoints
+  (``storage.shard.flush``, ``storage.shard.group_commit``) fire on the
+  session's own write path.
+* **async** (``async_writeback=True``, the fleet): ``store`` enqueues
+  and returns — the session never waits on storage.  The service flushes
+  shards on its own clock (size-triggered group commits, a rollup-cadence
+  sweep, backlog backpressure), and :meth:`drain` is the only barrier
+  (delete/GC/compact/recover, fleet shutdown).  A queued page is already
+  *logically* committed — readable, dedupable, refcountable — it just
+  has no extent yet; crash recovery treats queued pages nobody references
+  as lost in-flight writes and drops them.
 
 Accounting under sharing: each storage's ``total_*_bytes`` stay **logical
 to the owner** — manifests plus every unique page the owner references,
@@ -88,12 +115,23 @@ TRAILER_MAGIC = b"DJCK"
 FP_STORE_PRE_COMMIT = "storage.store.pre_commit"
 FP_CAS_PAGE_APPEND = "storage.cas.page_append"
 FP_CAS_MANIFEST_COMMIT = "storage.cas.manifest_commit"
+FP_SHARD_FLUSH = "storage.shard.flush"
+FP_SHARD_GROUP_COMMIT = "storage.shard.group_commit"
 
 #: CAS pages are appended to fixed-size extents (compressed bytes).  A
-#: reclaimed page leaves dead bytes in its extent; :meth:`PageCAS.compact`
-#: rewrites extents whose dead fraction crosses the threshold.
+#: reclaimed page leaves dead bytes in its extent;
+#: :meth:`ShardedPageCAS.compact` rewrites extents whose dead fraction
+#: crosses the threshold.
 EXTENT_TARGET_BYTES = 256 * 1024
 DEFAULT_DEAD_FRACTION = 0.25
+
+#: Solo sessions keep one shard: the physical layout (extent ids, append
+#: order) is then byte-for-byte what the unsharded store produced.
+DEFAULT_SHARDS = 1
+
+#: Async group commit: a shard whose queue holds at least this many bytes
+#: is flushed by the service's writeback tick.
+GROUP_COMMIT_BYTES = 64 * 1024
 
 DEFAULT_OWNER = "local"
 
@@ -101,35 +139,71 @@ DEFAULT_OWNER = "local"
 class _Extent:
     """One append-only run of compressed page payloads."""
 
-    __slots__ = ("live", "dead", "digests")
+    __slots__ = ("live", "dead", "digests", "shard")
 
-    def __init__(self):
+    def __init__(self, shard=0):
         self.live = 0
         self.dead = 0
         self.digests = set()
+        self.shard = shard
 
 
-class PageCAS:
-    """A content-addressed page store shareable across storages.
+class _Shard:
+    """One shard's physical state: its append queue and extent head.
 
-    Holds the page payloads, per-digest sizes and accounting modes,
-    per-owner and global refcounts, the append-only extents, and the
-    *physical* byte totals (each committed page charged exactly once no
-    matter how many owners reference it).  A private
-    :class:`CheckpointStorage` builds its own instance; a fleet builds one
-    and hands it to every member storage.
+    The queue is a list (append order) shadowed by a set: reclaiming or
+    rolling back a queued page just drops it from the set, and the next
+    flush skips the stale list entry — cancellation is O(1) and a
+    cancelled append never touches an extent.
     """
 
+    __slots__ = ("queue", "queued", "queued_bytes", "current_extent",
+                 "flushes", "flush_pages", "flush_bytes", "flush_us_total",
+                 "max_batch_pages", "backlog_highwater_bytes")
+
     def __init__(self):
+        self.queue = []
+        self.queued = set()
+        self.queued_bytes = 0
+        self.current_extent = None
+        self.flushes = 0
+        self.flush_pages = 0
+        self.flush_bytes = 0
+        self.flush_us_total = 0
+        self.max_batch_pages = 0
+        self.backlog_highwater_bytes = 0
+
+
+class ShardedPageCAS:
+    """A sharded content-addressed page store shareable across storages.
+
+    Holds the page payloads, per-digest sizes and accounting modes,
+    per-owner and global refcounts, the sharded append-only extents, and
+    the *physical* byte totals (each committed page charged exactly once
+    no matter how many owners reference it).  A private
+    :class:`CheckpointStorage` builds its own instance; a fleet builds one
+    and hands it to every member storage.
+
+    The logical maps are global; only the extent layout and the append
+    queues are per-shard.  ``async_writeback=True`` makes ``store``
+    callers leave pages queued for a later service-driven group commit
+    (the fleet mode); the default flushes at every manifest commit.
+    """
+
+    def __init__(self, shards=DEFAULT_SHARDS, async_writeback=False):
+        if shards < 1:
+            raise ValueError("shard count must be >= 1, got %r" % (shards,))
         self.pages = {}  # digest -> page payload bytes
         self.sizes = {}  # digest -> (raw, compressed) page bytes
         self.mode = {}  # digest -> accounted mode at first store
         self.refs = {}  # digest -> global (image, key) reference count
         self.owner_refs = {}  # owner -> {digest -> (image, key) refs}
-        self.extent_of = {}  # digest -> extent id
-        self.extents = {}  # extent id -> _Extent
+        self.extent_of = {}  # digest -> extent id (absent while queued)
+        self.extents = {}  # extent id -> _Extent (ids unique CAS-wide)
         self._extent_seq = 0
-        self._current_extent = None
+        self.shard_count = shards
+        self.shards = [_Shard() for _ in range(shards)]
+        self.async_writeback = async_writeback
         # Physical totals: each unique committed page charged once.
         self.total_uncompressed_bytes = 0
         self.total_compressed_bytes = 0
@@ -140,6 +214,10 @@ class PageCAS:
         self.orphans_reclaimed = 0
         self.compaction_runs = 0
         self.compaction_bytes_reclaimed = 0
+
+    def shard_of(self, digest):
+        """The consistent-hash home shard of a digest."""
+        return zlib.crc32(digest) % self.shard_count
 
     # ------------------------------------------------------------------ #
     # Owner bookkeeping
@@ -157,14 +235,32 @@ class PageCAS:
     # Write path
 
     def commit_page(self, digest, payload, raw_len, comp_len, mode):
-        """Physically append one page (no references yet)."""
+        """Logically commit one page (no references yet) and *enqueue*
+        its physical append on the digest's home shard.  The payload is
+        immediately readable and dedupable; the extent write happens at
+        the next group commit of that shard (:meth:`flush_shard`)."""
         self.pages[digest] = payload
         self.sizes[digest] = (raw_len, comp_len)
         self.mode[digest] = mode
         self.refs[digest] = 0  # referenced at manifest commit
-        self._extent_append(digest, comp_len)
+        shard = self.shards[self.shard_of(digest)]
+        shard.queue.append(digest)
+        shard.queued.add(digest)
+        shard.queued_bytes += comp_len
+        if shard.queued_bytes > shard.backlog_highwater_bytes:
+            shard.backlog_highwater_bytes = shard.queued_bytes
         self.total_uncompressed_bytes += raw_len
         self.total_compressed_bytes += comp_len
+
+    def _unqueue(self, digest, comp_len):
+        """Cancel a pending queued append (the page is going away before
+        its group commit, so the write simply never happens)."""
+        shard = self.shards[self.shard_of(digest)]
+        if digest in shard.queued:
+            shard.queued.discard(digest)
+            shard.queued_bytes -= comp_len
+            return True
+        return False
 
     def rollback_page(self, digest):
         """Undo an uncommitted page append (transient-fault rollback):
@@ -178,6 +274,8 @@ class PageCAS:
             extent = self.extents[eid]
             extent.live -= comp_len
             extent.digests.discard(digest)
+        else:
+            self._unqueue(digest, comp_len)
         self.total_uncompressed_bytes -= raw_len
         self.total_compressed_bytes -= comp_len
 
@@ -227,6 +325,10 @@ class PageCAS:
                 extent.live -= comp_len
                 extent.dead += comp_len
                 extent.digests.discard(digest)
+        else:
+            # Still queued: cancel the append — it never reaches an
+            # extent, so no dead bytes either.
+            self._unqueue(digest, comp_len)
         self.total_uncompressed_bytes -= raw_len
         self.total_compressed_bytes -= comp_len
 
@@ -292,39 +394,205 @@ class PageCAS:
         return raw, comp
 
     # ------------------------------------------------------------------ #
+    # Group-commit writeback
+
+    def flush_shard(self, sid, faults=None, costs=None, clock=None):
+        """Drain one shard's append queue as a single group commit.
+
+        Appends every still-pending queued page to the shard's extents in
+        enqueue order and returns a batch report (None when the queue was
+        empty).  ``faults`` arms the two flush failpoints — the *sync*
+        store path passes its own plan so a solo crash sweep exercises
+        them; the fleet's service-driven flushes leave them unarmed.
+        ``costs`` prices the batch as one sequential write (reported as
+        ``flush_us``); ``clock`` (rarely used — flushes model background
+        I/O that overlaps execution) would charge it.
+
+        Crash semantics: a crash at ``storage.shard.flush`` leaves the
+        queue intact — the batch never reached disk; a crash at
+        ``storage.shard.group_commit`` leaves the batch appended but the
+        commit record torn, so fsck decides by refcount (an interrupted
+        store has not referenced its pages yet and they are reclaimed).
+        """
+        shard = self.shards[sid]
+        if not shard.queued:
+            shard.queue = []  # drop stale cancelled entries
+            return None
+        if faults is not None:
+            faults.check(FP_SHARD_FLUSH)
+        batch = [digest for digest in shard.queue
+                 if digest in shard.queued and digest in self.sizes
+                 and digest not in self.extent_of]
+        shard.queue = []
+        shard.queued.clear()
+        shard.queued_bytes = 0
+        bytes_flushed = 0
+        for digest in batch:
+            comp_len = self.sizes[digest][1]
+            self._extent_append(digest, comp_len, sid)
+            bytes_flushed += comp_len
+        if faults is not None:
+            faults.check(FP_SHARD_GROUP_COMMIT)
+        flush_us = 0
+        if costs is not None and bytes_flushed:
+            flush_us = int(costs.disk_write_us(bytes_flushed,
+                                               sequential=True))
+            if clock is not None:
+                clock.advance_us(flush_us)
+        shard.flushes += 1
+        shard.flush_pages += len(batch)
+        shard.flush_bytes += bytes_flushed
+        shard.flush_us_total += flush_us
+        if len(batch) > shard.max_batch_pages:
+            shard.max_batch_pages = len(batch)
+        return {"shard": sid, "pages": len(batch),
+                "bytes": bytes_flushed, "flush_us": flush_us}
+
+    def flush_all(self, faults=None, costs=None, clock=None):
+        """Group-commit every shard with a non-empty queue; returns the
+        list of batch reports."""
+        reports = []
+        for sid in range(self.shard_count):
+            report = self.flush_shard(sid, faults=faults, costs=costs,
+                                      clock=clock)
+            if report is not None:
+                reports.append(report)
+        return reports
+
+    def drain(self, costs=None):
+        """The writeback barrier: flush every queued append and return
+        aggregate totals.  Delete/GC/compact/recover and fleet shutdown
+        call this — it is the only place anything waits on storage."""
+        reports = self.flush_all(costs=costs)
+        return {
+            "batches": len(reports),
+            "pages": sum(r["pages"] for r in reports),
+            "bytes": sum(r["bytes"] for r in reports),
+        }
+
+    def backlog_pages(self):
+        """Queued page appends not yet group-committed, CAS-wide."""
+        return sum(len(shard.queued) for shard in self.shards)
+
+    def backlog_bytes(self):
+        """Compressed bytes sitting in append queues, CAS-wide."""
+        return sum(shard.queued_bytes for shard in self.shards)
+
+    def unflushed_digests(self):
+        """Digests committed logically but not yet in any extent."""
+        pending = set()
+        for shard in self.shards:
+            pending.update(shard.queued)
+        return pending
+
+    def drop_queued_orphans(self):
+        """Fsck: drop queued-but-unflushed pages nobody references — a
+        crash lost those in-flight writes.  Queued pages a (surviving)
+        owner's manifest references are kept queued: in async mode the
+        service outlives a member crash and its queues with it.  Returns
+        how many pages were dropped."""
+        dropped = 0
+        for shard in self.shards:
+            for digest in sorted(shard.queued):
+                if self.refs.get(digest, 0) <= 0:
+                    self.reclaim_page(digest)
+                    dropped += 1
+        return dropped
+
+    def reshard(self, shards):
+        """Rebuild the physical layout under a new shard count.
+
+        Drains the queues, then re-appends every committed page to its
+        new home shard in digest order.  The logical maps — and with
+        them every manifest, refcount, and accounting figure — are
+        untouched: v3 manifests name digests, not extents, so a store
+        reopened with a different K serves identical reads.  (The
+        rewrite squeezes out dead bytes as a side effect, like a full
+        compaction.)
+        """
+        if shards < 1:
+            raise ValueError("shard count must be >= 1, got %r" % (shards,))
+        self.flush_all()
+        self.shard_count = shards
+        self.shards = [_Shard() for _ in range(shards)]
+        self.extents = {}
+        self.extent_of = {}
+        self._extent_seq = 0
+        for digest in sorted(self.sizes):
+            self._extent_append(digest, self.sizes[digest][1])
+
+    def shard_stats(self):
+        """Per-shard physical and writeback figures (JSON-ready)."""
+        per_extents = {}
+        per_live = {}
+        per_dead = {}
+        for extent in self.extents.values():
+            per_extents[extent.shard] = per_extents.get(extent.shard, 0) + 1
+            per_live[extent.shard] = per_live.get(extent.shard, 0) \
+                + extent.live
+            per_dead[extent.shard] = per_dead.get(extent.shard, 0) \
+                + extent.dead
+        rows = []
+        for sid, shard in enumerate(self.shards):
+            rows.append({
+                "shard": sid,
+                "extents": per_extents.get(sid, 0),
+                "live_bytes": per_live.get(sid, 0),
+                "dead_bytes": per_dead.get(sid, 0),
+                "queued_pages": len(shard.queued),
+                "queued_bytes": shard.queued_bytes,
+                "flushes": shard.flushes,
+                "flush_pages": shard.flush_pages,
+                "flush_bytes": shard.flush_bytes,
+                "flush_us_total": shard.flush_us_total,
+                "max_batch_pages": shard.max_batch_pages,
+                "backlog_highwater_bytes": shard.backlog_highwater_bytes,
+            })
+        return rows
+
+    # ------------------------------------------------------------------ #
     # Extents and compaction
 
-    def _extent_append(self, digest, comp_len):
-        eid = self._current_extent
+    def _extent_append(self, digest, comp_len, sid=None):
+        if sid is None:
+            sid = self.shard_of(digest)
+        shard = self.shards[sid]
+        eid = shard.current_extent
         extent = self.extents.get(eid) if eid is not None else None
         if extent is None or extent.live + extent.dead >= EXTENT_TARGET_BYTES:
             self._extent_seq += 1
             eid = self._extent_seq
-            extent = _Extent()
+            extent = _Extent(shard=sid)
             self.extents[eid] = extent
-            self._current_extent = eid
+            shard.current_extent = eid
         extent.live += comp_len
         extent.digests.add(digest)
         self.extent_of[digest] = eid
 
     def fragmentation(self):
-        """Live/dead byte split across page extents."""
+        """Live/dead byte split across page extents (plus the writeback
+        backlog still waiting on a group commit)."""
         live = sum(extent.live for extent in self.extents.values())
         dead = sum(extent.dead for extent in self.extents.values())
         return {"extents": len(self.extents),
-                "live_bytes": live, "dead_bytes": dead}
+                "live_bytes": live, "dead_bytes": dead,
+                "queued_bytes": self.backlog_bytes()}
 
     def compact(self, dead_fraction=DEFAULT_DEAD_FRACTION, clock=None,
                 costs=None):
         """Reclaim orphaned pages and rewrite fragmented extents.
 
-        Any page with zero references fleet-wide (crash leftovers, or
+        Begins with a :meth:`drain` barrier — compaction must never
+        rewrite an extent while appends for its shard are still in
+        flight, so every queued page is group-committed (or has been
+        cancelled by an earlier reclaim) before any extent moves.  Then
+        any page with zero references fleet-wide (crash leftovers, or
         entries whose last manifest was pruned out from under them) is
-        reclaimed first; then every extent whose dead fraction is at least
-        ``dead_fraction`` has its live pages rewritten into the current
-        append head and its dead bytes reclaimed.  Pass ``clock`` and
-        ``costs`` to charge the sequential read + write of the moved live
-        bytes — a private storage charges its session clock, a fleet
+        reclaimed, and every extent whose dead fraction is at least
+        ``dead_fraction`` has its live pages rewritten into its shard's
+        current append head and its dead bytes reclaimed.  Pass ``clock``
+        and ``costs`` to charge the sequential read + write of the moved
+        live bytes — a private storage charges its session clock, a fleet
         charges the service clock.  Returns a report dict.
         """
         report = {
@@ -333,6 +601,9 @@ class PageCAS:
             "pages_moved": 0,
             "bytes_reclaimed": 0,
         }
+        drained = self.drain(costs=costs)
+        report["drained_pages"] = drained["pages"]
+        report["drained_bytes"] = drained["bytes"]
         report["orphans_reclaimed"] += self.drop_uncommitted()
         for digest in [d for d, refs in self.refs.items() if refs <= 0]:
             self.reclaim_page(digest)
@@ -343,17 +614,19 @@ class PageCAS:
             extent = self.extents.get(eid)
             if extent is None:
                 continue
+            shard = self.shards[extent.shard] \
+                if extent.shard < self.shard_count else None
             total = extent.live + extent.dead
             if total == 0:
-                if eid != self._current_extent:
+                if shard is None or shard.current_extent != eid:
                     del self.extents[eid]
                 continue
             if extent.dead == 0 or extent.dead / total < dead_fraction:
                 continue
-            if eid == self._current_extent:
+            if shard is not None and shard.current_extent == eid:
                 # Never rewrite an extent into itself: retire the append
                 # head and let the move open a fresh one.
-                self._current_extent = None
+                shard.current_extent = None
             if clock is not None and costs is not None and extent.live:
                 clock.advance_us(
                     costs.disk_read_us(extent.live, sequential=True))
@@ -384,7 +657,8 @@ class PageCAS:
         }
 
     def stats(self):
-        """Fleet-level CAS facts (physical bytes + cross-owner dedup)."""
+        """Fleet-level CAS facts (physical bytes + cross-owner dedup +
+        per-shard writeback figures)."""
         return {
             "cas_pages": len(self.sizes),
             "physical_uncompressed_bytes": self.total_uncompressed_bytes,
@@ -393,7 +667,25 @@ class PageCAS:
             "cross_dedup_bytes_saved": self.cross_dedup_bytes_saved,
             "orphans_reclaimed": self.orphans_reclaimed,
             "owners": self.owners(),
+            "shard_count": self.shard_count,
+            "writeback": {
+                "async": self.async_writeback,
+                "backlog_pages": self.backlog_pages(),
+                "backlog_bytes": self.backlog_bytes(),
+                "backlog_highwater_bytes": max(
+                    (s.backlog_highwater_bytes for s in self.shards),
+                    default=0),
+                "flush_batches": sum(s.flushes for s in self.shards),
+                "flush_pages": sum(s.flush_pages for s in self.shards),
+                "flush_bytes": sum(s.flush_bytes for s in self.shards),
+            },
+            "shards": self.shard_stats(),
         }
+
+
+#: Backwards-compatible name: the unsharded store is the K=1 special
+#: case of the sharded one (identical extent ids and append order).
+PageCAS = ShardedPageCAS
 
 
 class StoreReceipt:
@@ -421,7 +713,7 @@ class CheckpointStorage:
 
     def __init__(self, clock=None, costs=DEFAULT_COSTS, compress=False,
                  faults=None, telemetry=None, page_store=True,
-                 cas=None, owner=DEFAULT_OWNER):
+                 cas=None, owner=DEFAULT_OWNER, shards=DEFAULT_SHARDS):
         self.clock = clock if clock is not None else VirtualClock()
         self.costs = costs
         #: Whether the *accounted* storage format is compressed (the paper
@@ -430,7 +722,9 @@ class CheckpointStorage:
         #: Content-addressed page store (v3 manifests) vs whole blobs (v2).
         self.page_store = page_store
         self.faults = resolve_faults(faults)
-        self.cas = cas if cas is not None else PageCAS()
+        #: ``shards`` sizes a *private* CAS; an injected shared ``cas``
+        #: arrives already sharded by its builder (the fleet).
+        self.cas = cas if cas is not None else ShardedPageCAS(shards=shards)
         self.owner = owner
         self.cas.owner_refs_for(owner)  # register the owner eagerly
         self._blobs = {}  # image id -> framed blob (zlib payload + trailer)
@@ -455,6 +749,11 @@ class CheckpointStorage:
         self._m_pages_deduped = metrics.counter("storage.pages_deduped")
         self._m_dedup_saved = metrics.counter("storage.dedup_bytes_saved")
         self._m_orphans = metrics.counter("storage.cas_orphans_reclaimed")
+        self._m_flush_batches = metrics.counter("storage.writeback_flushes")
+        self._m_flush_pages = metrics.counter(
+            "storage.writeback_flush_pages")
+        self._m_flush_bytes = metrics.counter(
+            "storage.writeback_flush_bytes")
         self._orphans_attributed = 0
 
     def bind_faults(self, faults):
@@ -668,6 +967,15 @@ class CheckpointStorage:
                 cas.commit_page(digest, contents[digest], raw_len,
                                 comp_len, mode)
                 committed.append(digest)
+            if committed and not cas.async_writeback:
+                # Sync durability point: force-flush the touched shards
+                # (one group commit each) before the manifest commits, so
+                # sharding moved no durability boundary.  Async callers
+                # skip this — the service group-commits on its own clock
+                # and ``drain`` is the only barrier.
+                for sid in sorted({cas.shard_of(d) for d in committed}):
+                    self._account_flush(cas.flush_shard(
+                        sid, faults=self.faults, costs=self.costs))
             # Crash here strands every page of this store as an orphan:
             # committed payloads, zero references, no manifest.
             self.faults.check(FP_CAS_MANIFEST_COMMIT)
@@ -738,6 +1046,45 @@ class CheckpointStorage:
         self._page_raw_total -= raw_len
         self._page_comp_total -= comp_len
         return comp_len if mode else raw_len
+
+    # ------------------------------------------------------------------ #
+    # Writeback pipeline
+
+    def _account_flush(self, report):
+        """Fold one group-commit batch into this storage's counters."""
+        if report is None:
+            return
+        self._m_flush_batches.inc()
+        self._m_flush_pages.inc(report["pages"])
+        self._m_flush_bytes.inc(report["bytes"])
+
+    def drain_writeback(self):
+        """Flush every queued page append — the writeback barrier.  Used
+        before operations that must see a settled physical layout
+        (delete/GC/compact/recover) and at fleet shutdown.  Returns the
+        aggregate ``{"batches", "pages", "bytes"}`` totals."""
+        reports = self.cas.flush_all(costs=self.costs)
+        for report in reports:
+            self._account_flush(report)
+        return {
+            "batches": len(reports),
+            "pages": sum(r["pages"] for r in reports),
+            "bytes": sum(r["bytes"] for r in reports),
+        }
+
+    @property
+    def writeback_backlog_bytes(self):
+        """Bytes enqueued in the CAS but not yet group-committed."""
+        return self.cas.backlog_bytes()
+
+    @property
+    def writeback_async(self):
+        return self.cas.async_writeback
+
+    def unflushed_digests(self):
+        """Digests committed logically but still queued (no extent yet);
+        the chain verifier's durability-invariant probe."""
+        return self.cas.unflushed_digests()
 
     # ------------------------------------------------------------------ #
     # Frame integrity
@@ -874,7 +1221,12 @@ class CheckpointStorage:
     def delete(self, image_id):
         """Remove a stored image (checkpoint pruning); returns the bytes
         freed as accounted *at store time* — the manifest plus any CAS
-        page whose last reference from this owner this was."""
+        page whose last reference from this owner this was.
+
+        Pages still sitting in an append queue are handled without a
+        drain: reclaiming a queued page *cancels* the pending append
+        (it never reaches an extent), so a delete can never race a
+        group commit into a half-dead extent."""
         if image_id not in self._blobs:
             raise CheckpointError("no stored checkpoint %d" % image_id)
         uncompressed, compressed = self._sizes.pop(image_id)
@@ -982,8 +1334,10 @@ class CheckpointStorage:
                 report["torn_dropped"].append({"image_id": image_id,
                                                "reason": reason})
 
-        # Phase 2: CAS page integrity.
+        # Phase 2: CAS page integrity.  Queued appends nobody references
+        # were in flight when the crash hit — those writes are gone.
         report["cas_pages_dropped"] += cas.drop_uncommitted()
+        report["cas_queued_dropped"] = cas.drop_queued_orphans()
         for digest in list(cas.pages):
             if page_digest(cas.pages[digest]) != digest:
                 cas.reclaim_page(digest)

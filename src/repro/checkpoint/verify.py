@@ -206,6 +206,23 @@ def verify_chain(storage, fsstore=None):
                         "bound txn %d is in the future" % txn,
                     ))
 
+    # Writeback-pipeline tripwire: in synchronous mode every manifest
+    # commit force-flushes the touched shards, so the append queues must
+    # be empty whenever verification runs.  Async (fleet) storage keeps
+    # a live backlog by design — queued pages are readable and owned, so
+    # a non-empty queue is not an integrity issue there.
+    unflushed = getattr(storage, "unflushed_digests", None)
+    if unflushed is not None and not getattr(storage, "writeback_async",
+                                             False):
+        stale = unflushed()
+        if stale:
+            issues.append(Issue(
+                "unflushed-pages", -1,
+                "%d page(s) stuck in the sync-mode append queue "
+                "(e.g. %s)" % (len(stale),
+                               sorted(stale)[0].hex()[:12]),
+            ))
+
     return VerifyReport(
         images_checked=len(images),
         pages_checked=pages_checked,

@@ -146,6 +146,10 @@ def build_parser():
                              help="scheduler interleaving seed (default 0)")
         command.add_argument("--units-scale", type=float, default=1.0,
                              help="scale every session's unit count")
+        command.add_argument("--shards", type=int, default=4,
+                             help="consistent-hash shard count for the "
+                                  "shared page store (default 4); group "
+                                  "commits batch per shard")
         command.add_argument("--journal-dir", default=None, metavar="DIR",
                              help="flight-recorder journal directory "
                                   "(default: in-memory ring)")
@@ -345,12 +349,43 @@ def _print_fault_table(sites, out, indent="  "):
             indent, site, counts["hits"], counts["fired"]), file=out)
 
 
+def _print_shard_table(cas_stats, out, indent="  "):
+    """Per-shard extent/backlog/flush table from a page store's
+    ``stats()`` dict (``repro stats`` / ``serve`` / ``fleet-stats``)."""
+    shards = cas_stats.get("shards")
+    if not shards:
+        return
+    wb = cas_stats.get("writeback", {})
+    print("%swriteback: %s, backlog %d page(s) / %s "
+          "(highwater %s), %d flush batch(es) / %s flushed" % (
+              indent, "async" if wb.get("async") else "sync",
+              wb.get("backlog_pages", 0),
+              format_bytes(wb.get("backlog_bytes", 0)),
+              format_bytes(wb.get("backlog_highwater_bytes", 0)),
+              wb.get("flush_batches", 0),
+              format_bytes(wb.get("flush_bytes", 0))), file=out)
+    print("%s%5s %7s %10s %10s %7s %7s %8s %9s" % (
+        indent, "shard", "extents", "live", "dead", "queued",
+        "flushes", "maxbatch", "highwater"), file=out)
+    for row in shards:
+        print("%s%5d %7d %10s %10s %7d %7d %8d %9s" % (
+            indent, row["shard"], row["extents"],
+            format_bytes(row["live_bytes"]),
+            format_bytes(row["dead_bytes"]), row["queued_pages"],
+            row["flushes"], row["max_batch_pages"],
+            format_bytes(row["backlog_highwater_bytes"])), file=out)
+
+
 def cmd_stats(args, out):
     name, run = _run_scenario(args)
     _sample_search(run.dejaview)  # exercise the query path for its metrics
     snapshot = run.dejaview.telemetry_snapshot(span_limit=args.spans)
+    cas = getattr(run.dejaview.storage, "cas", None)
+    cas_stats = cas.stats() if cas is not None else None
     if args.json:
         snapshot["scenario"] = name
+        if cas_stats is not None:
+            snapshot["page_store"] = cas_stats
         json.dump(snapshot, out, indent=2, default=str)
         print(file=out)
         return 0
@@ -368,6 +403,10 @@ def cmd_stats(args, out):
         print("  %-36s %d / %.0f / %.0f / %.0f" % (
             key, summary["count"], summary["p50"], summary["p95"],
             summary["max"]), file=out)
+    if cas_stats is not None:
+        print("page store (%d shard(s)):" % cas_stats["shard_count"],
+              file=out)
+        _print_shard_table(cas_stats, out)
     if "faults" in snapshot:
         print("failpoints (hits / fired):", file=out)
         _print_fault_table(snapshot["faults"], out)
@@ -589,7 +628,7 @@ def _run_fleet(args):
     from repro.workloads.fleet_wl import run_fleet
 
     return run_fleet(args.sessions, seed=args.seed,
-                     units_scale=args.units_scale,
+                     units_scale=args.units_scale, shards=args.shards,
                      **_fleet_observability(args))
 
 
@@ -621,6 +660,7 @@ def cmd_serve(args, out):
               format_bytes(cas["physical_uncompressed_bytes"]),
               100.0 * cas["dedup_ratio"],
               cas["cross_pages_deduped"]), file=out)
+    _print_shard_table(cas, out)
     if "slo" in stats:
         _print_slo(stats["slo"], out)
     _print_journal_line(stats, out)
@@ -660,6 +700,14 @@ def cmd_fleet_stats(args, out):
           "page(s), %d orphan(s) reclaimed" % (
               100.0 * cas["dedup_ratio"], cas["cross_pages_deduped"],
               cas["orphans_reclaimed"]), file=out)
+    _print_shard_table(cas, out)
+    wb = stats.get("writeback")
+    if wb is not None:
+        print("writeback scheduling: %d shard(s), group commit at %s, "
+              "backpressure at %s (%d force flush(es))" % (
+                  wb["shards"], format_bytes(wb["group_commit_bytes"]),
+                  format_bytes(wb["max_backlog_bytes"]),
+                  wb["backlog_force_flushes"]), file=out)
     if "slo" in stats:
         _print_slo(stats["slo"], out)
     _print_journal_line(stats, out)
@@ -696,6 +744,9 @@ def _top_frame(fleet):
         "steps": fleet.telemetry.metrics.counter("fleet.steps").value,
         "queue_depth": len(fleet.runnable()),
         "dedup_ratio": fleet.dedup_ratio(),
+        "writeback_backlog": fleet.cas.backlog_bytes(),
+        "flush_batches": fleet.telemetry.metrics.counter(
+            "fleet.flush_batches").value,
         "members": members,
     }
     if fleet.watchdog is not None:
@@ -712,10 +763,13 @@ def _print_top_frame(frame, index, out):
                           if ok is False)
         slo_text = " slo=%s" % (
             "VIOLATED(%s)" % ",".join(violated) if violated else "ok")
-    print("frame %-3d t=%-10s steps=%-5d queue=%d dedup=%4.1f%%%s" % (
-        index, format_duration_us(frame["service_clock_us"]),
-        frame["steps"], frame["queue_depth"],
-        100.0 * frame["dedup_ratio"], slo_text), file=out)
+    print("frame %-3d t=%-10s steps=%-5d queue=%d dedup=%4.1f%% "
+          "writeback_backlog=%-8s flushes=%d%s" % (
+              index, format_duration_us(frame["service_clock_us"]),
+              frame["steps"], frame["queue_depth"],
+              100.0 * frame["dedup_ratio"],
+              format_bytes(frame["writeback_backlog"]),
+              frame["flush_batches"], slo_text), file=out)
     for member in frame["members"]:
         down = format_duration_us(member["downtime_p95_us"]) \
             if "downtime_p95_us" in member else "-"
@@ -739,7 +793,7 @@ def cmd_top(args, out):
     from repro.workloads.fleet_wl import build_fleet
 
     fleet = build_fleet(args.sessions, seed=args.seed,
-                        units_scale=args.units_scale,
+                        units_scale=args.units_scale, shards=args.shards,
                         **_fleet_observability(args, want_watchdog=True))
     frames = []
     for index in range(args.frames):

@@ -54,6 +54,16 @@ FAILPOINTS = {
         "CheckpointStorage.store, after every page is committed to the "
         "content-addressed store but before the manifest blob is written "
         "(crash strands the freshly committed pages as orphans)",
+    "storage.shard.flush":
+        "ShardedPageCAS.flush_shard, before a shard's queued page "
+        "appends are written as one group commit (crash leaves the "
+        "whole batch queued in memory — the writes never happened, and "
+        "fsck drops the un-referenced queued pages)",
+    "storage.shard.group_commit":
+        "ShardedPageCAS.flush_shard, after a shard's batch is appended "
+        "to its extents but before the group commit is durable (crash "
+        "leaves the batch on disk with no commit record; fsck decides "
+        "by refcount and reclaims pages of the interrupted store)",
     "lfs.append.mid_block":
         "LogStructuredFS block append, mid-way through the chunk loop "
         "(crash leaves orphan blocks, the last one partial, with the "

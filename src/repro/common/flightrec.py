@@ -73,6 +73,7 @@ REC_FAULT = 5       #: a failpoint fired (the event *before* the crash)
 REC_RECOVERY = 6    #: a recovery action (per-subsystem repair summary)
 REC_ALERT = 7       #: an SLO watchdog alert (violation or resolution)
 REC_EVENT = 8       #: lifecycle event (admission, app launch, done, ...)
+REC_FLUSH = 9       #: a shard group commit (batch size, backlog highwater)
 
 REC_NAMES = {
     REC_SPAN: "SPAN",
@@ -83,6 +84,7 @@ REC_NAMES = {
     REC_RECOVERY: "RECOVERY",
     REC_ALERT: "ALERT",
     REC_EVENT: "EVENT",
+    REC_FLUSH: "FLUSH",
 }
 
 
@@ -552,6 +554,10 @@ def _summarize(record):
         return "%s %s: %s %s %s (value=%s)" % (
             data.get("state", "?"), data.get("rule"), data.get("metric"),
             data.get("op"), data.get("threshold"), data.get("value"))
+    if record.rtype == REC_FLUSH:
+        return "shard=%s pages=%s bytes=%s backlog=%s highwater=%s" % (
+            data.get("shard"), data.get("pages"), data.get("bytes"),
+            data.get("backlog_bytes"), data.get("backlog_highwater_bytes"))
     if record.rtype == REC_COUNTERS:
         deltas = data.get("deltas", {})
         shown = sorted(deltas.items())[:4]

@@ -35,6 +35,7 @@ SHORTHANDS = {
     "recovery_rate": ("derived", "recovery_rate_per_s", None),
     "crash_count": ("counter", "fleet.sessions_crashed", None),
     "throttle_count": ("counter", "fleet.sessions_throttled", None),
+    "writeback_backlog_p95": ("histogram", "fleet.writeback_backlog", "p95"),
 }
 
 

@@ -49,6 +49,12 @@ class RecordingConfig:
     """True (default) stores checkpoint pages in the content-addressed
     page store (serial format v3, cross-checkpoint dedup); False keeps
     the legacy whole-blob layout (v2) — the Figure 4 dedup baseline."""
+    cas_shards: int = 1
+    """Shard count for this session's private page store (ignored when a
+    shared fleet ``page_cas`` is injected).  v3 manifests name digests,
+    not extents, so the on-disk logical state is shard-layout-agnostic;
+    sharding only changes the physical extent layout and lets group
+    commits batch per shard."""
     telemetry_enabled: bool = True
     """Metrics + tracing for this recording session.  Telemetry never
     charges the virtual clock, so disabling it changes no recorded
@@ -176,6 +182,8 @@ class DejaView:
         if page_cas is not None:
             storage_kwargs["cas"] = page_cas
             storage_kwargs["owner"] = getattr(session, "name", "local")
+        else:
+            storage_kwargs["shards"] = self.config.cas_shards
         self.storage = CheckpointStorage(
             clock=clock, costs=costs,
             compress=self.config.compress_checkpoints,

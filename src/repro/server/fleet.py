@@ -12,10 +12,24 @@ record, text index, and file system — the complete single-user recording
 stack — so its simulated behavior is *bit-identical* to running alone
 (the isolation property ``tests/test_fleet_isolation.py`` pins).  Exactly
 one thing is shared: the content-addressed checkpoint page store
-(:class:`~repro.checkpoint.storage.PageCAS`), where identical pages dedup
-across sessions.  Sharing stays invisible to the members because the
-storage layer charges clocks and accounts bytes by *owner visibility*:
-what another session has stored never changes what this session pays.
+(:class:`~repro.checkpoint.storage.ShardedPageCAS`), where identical
+pages dedup across sessions.  Sharing stays invisible to the members
+because the storage layer charges clocks and accounts bytes by *owner
+visibility*: what another session has stored never changes what this
+session pays.
+
+**Async group-commit writeback.**  The shared store runs with
+``async_writeback=True``: a member's checkpoint writeback only *enqueues*
+page appends on the store's consistent-hash shards and returns — no
+member ever waits on fleet storage.  The service flushes shard queues as
+group commits on its own schedule (per-shard size threshold after each
+step, every queue on the rollup heartbeat, everything when the total
+backlog crosses the backpressure quota) and journals each batch as a
+:data:`~repro.common.flightrec.REC_FLUSH` record.  Flushes are physical
+background I/O overlapping member execution, so they advance neither the
+service clock nor any member clock; :meth:`drain_writeback` (used by GC,
+compaction, and shutdown) is the only barrier that waits for the queues
+to empty.
 
 **Scheduler determinism contract.**  Runnable sessions are stepped by a
 seeded weighted draw (``random.Random(seed)`` over the admission-ordered
@@ -48,13 +62,14 @@ import random
 from dataclasses import dataclass
 
 from repro.checkpoint.gc import prune_checkpoints
-from repro.checkpoint.storage import PageCAS
+from repro.checkpoint.storage import GROUP_COMMIT_BYTES, ShardedPageCAS
 from repro.common.clock import VirtualClock
 from repro.common.costs import DEFAULT_COSTS
 from repro.common.errors import DejaViewError
 from repro.common.faults import InjectedCrash, registered_failpoints
 from repro.common.flightrec import (
     REC_EVENT,
+    REC_FLUSH,
     REC_QUOTA,
     REC_RECOVERY,
     REC_SCHED,
@@ -160,7 +175,9 @@ class Fleet:
 
     def __init__(self, seed=0, max_sessions=16, costs=DEFAULT_COSTS,
                  quotas=None, telemetry_enabled=True, flightrec=None,
-                 watchdog=None, rollup_every=64):
+                 watchdog=None, rollup_every=64, shards=4,
+                 group_commit_bytes=GROUP_COMMIT_BYTES,
+                 max_backlog_bytes=None):
         """``flightrec`` (a
         :class:`~repro.common.flightrec.FlightRecorder`) journals
         scheduler decisions, quota throttles, lifecycle events, and
@@ -169,13 +186,23 @@ class Fleet:
         the same journal under their own owner names.  ``watchdog`` (an
         :class:`~repro.common.slo.SLOWatchdog`) is evaluated on the
         rollup cadence (every ``rollup_every`` steps) and at
-        :meth:`stats`; its alert records join the journal."""
+        :meth:`stats`; its alert records join the journal.
+
+        ``shards`` sets the shared store's consistent-hash shard count;
+        ``group_commit_bytes`` is the per-shard queue depth that triggers
+        a flush after a step; ``max_backlog_bytes`` (default ``8 *
+        group_commit_bytes``) is the total-backlog backpressure quota
+        that force-flushes every shard at once."""
         self.seed = seed
         self.max_sessions = max_sessions
         self.costs = costs
         self.default_quotas = quotas
         self.clock = VirtualClock()
-        self.cas = PageCAS()
+        self.cas = ShardedPageCAS(shards=shards, async_writeback=True)
+        self.group_commit_bytes = group_commit_bytes
+        self.max_backlog_bytes = (max_backlog_bytes
+                                  if max_backlog_bytes is not None
+                                  else 8 * group_commit_bytes)
         self._rng = random.Random(seed)
         self._members = {}  # name -> FleetSession, admission order
         if telemetry_enabled:
@@ -199,6 +226,14 @@ class Fleet:
         self._m_recoveries = metrics.counter("fleet.sessions_recovered")
         self._m_alerts = metrics.counter("fleet.slo_alerts")
         self._h_step_us = metrics.histogram("fleet.step_us")
+        self._m_flush_batches = metrics.counter("fleet.flush_batches")
+        self._m_flush_pages = metrics.counter("fleet.flush_pages")
+        self._m_flush_bytes = metrics.counter("fleet.flush_bytes")
+        self._m_force_flushes = metrics.counter(
+            "fleet.backlog_force_flushes")
+        self._h_backlog = metrics.histogram("fleet.writeback_backlog")
+        self._h_flush_pages = metrics.histogram("fleet.flush_batch_pages")
+        self._h_flush_us = metrics.histogram("fleet.flush_us")
 
     # ------------------------------------------------------------------ #
     # Admission
@@ -329,6 +364,7 @@ class Fleet:
                 self._flight.record(REC_QUOTA, {
                     "session": member.name, "quota": attr,
                     "used": used, "limit": limit})
+        self._writeback_tick()
         if self.rollup_every:
             self._steps_since_rollup += 1
             if self._steps_since_rollup >= self.rollup_every:
@@ -336,9 +372,77 @@ class Fleet:
                 self._rollup_tick()
         return member
 
+    # ------------------------------------------------------------------ #
+    # Async group-commit writeback
+
+    def _writeback_tick(self):
+        """Group-commit scheduling, run after every step.
+
+        Observes the total backlog, then flushes any shard whose queue
+        crossed ``group_commit_bytes``; when the *total* backlog crosses
+        ``max_backlog_bytes`` the backpressure quota force-flushes every
+        shard.  Flushes model background I/O overlapping execution, so
+        they never advance the service clock or count as steps.
+        """
+        cas = self.cas
+        backlog = cas.backlog_bytes()
+        self._h_backlog.observe(backlog)
+        if not backlog:
+            return
+        if backlog > self.max_backlog_bytes:
+            self._m_force_flushes.inc()
+            for sid in range(cas.shard_count):
+                self._flush_shard(sid, reason="backlog")
+            return
+        for sid, shard in enumerate(cas.shards):
+            if shard.queued_bytes >= self.group_commit_bytes:
+                self._flush_shard(sid, reason="threshold")
+
+    def _flush_shard(self, sid, reason):
+        """Flush one shard's queue as a group commit; journals the batch
+        and feeds the flush telemetry.  Returns the flush report (None
+        when the queue was empty)."""
+        report = self.cas.flush_shard(sid, costs=self.costs)
+        if report is None:
+            return None
+        self._m_flush_batches.inc()
+        self._m_flush_pages.inc(report["pages"])
+        self._m_flush_bytes.inc(report["bytes"])
+        self._h_flush_pages.observe(report["pages"])
+        self._h_flush_us.observe(report["flush_us"])
+        if self._flight.active:
+            self._flight.record(REC_FLUSH, {
+                "shard": sid,
+                "pages": report["pages"],
+                "bytes": report["bytes"],
+                "flush_us": report["flush_us"],
+                "reason": reason,
+                "backlog_bytes": self.cas.backlog_bytes(),
+                "backlog_highwater_bytes":
+                    self.cas.shards[sid].backlog_highwater_bytes,
+            })
+        return report
+
+    def drain_writeback(self, reason="drain"):
+        """Flush every shard queue to empty — the pipeline's only
+        barrier, used before GC/compaction and at shutdown.  Returns an
+        aggregate ``{"batches", "pages", "bytes"}`` report."""
+        batches = pages = nbytes = 0
+        for sid, shard in enumerate(self.cas.shards):
+            if not shard.queued:
+                continue
+            report = self._flush_shard(sid, reason=reason)
+            if report is not None:
+                batches += 1
+                pages += report["pages"]
+                nbytes += report["bytes"]
+        return {"batches": batches, "pages": pages, "bytes": nbytes}
+
     def _rollup_tick(self):
-        """The journal's periodic heartbeat: counter-delta records for
-        the fleet and every member, then an SLO evaluation."""
+        """The journal's periodic heartbeat: flush every shard queue (the
+        service-clock group-commit cadence), then counter-delta records
+        for the fleet and every member, then an SLO evaluation."""
+        self.drain_writeback(reason="rollup")
         if self._flight.active:
             self._flight.record_counter_deltas(
                 self.telemetry.metrics.counter_values())
@@ -367,17 +471,25 @@ class Fleet:
         service_s = self.clock.now_us / 1e6
         recoveries = self._m_recoveries.value
         crashes = self._m_crashes.value
+        # The fleet's own histograms (step_us, writeback_backlog, flush
+        # figures) live in the service registry, not the member rollup —
+        # merge them in so rules like writeback_backlog_p95 can see them
+        # (the name spaces are disjoint: members never emit fleet.*).
+        fleet_hists = self.telemetry.metrics.snapshot().get(
+            "histograms", {})
         return {
             "counters": dict(rollup.get("counters", {}),
                              **self.telemetry.metrics.counter_values()),
             "gauges": rollup.get("gauges", {}),
-            "histograms": rollup.get("histograms", {}),
+            "histograms": dict(rollup.get("histograms", {}),
+                               **fleet_hists),
             "derived": {
                 "dedup_ratio": self.dedup_ratio(),
                 "recovery_rate_per_s": (
                     (recoveries + crashes) / service_s if service_s > 0
                     else 0.0),
                 "service_clock_s": service_s,
+                "writeback_backlog_bytes": self.cas.backlog_bytes(),
             },
         }
 
@@ -395,13 +507,18 @@ class Fleet:
         return verdicts
 
     def run_to_completion(self, max_steps=None):
-        """Step until no session is runnable; returns steps taken."""
+        """Step until no session is runnable, then drain the writeback
+        queues (service shutdown is a barrier — every enqueued page must
+        be on disk before the fleet reports itself finished); returns
+        steps taken."""
         taken = 0
         while self.runnable():
             if max_steps is not None and taken >= max_steps:
                 break
             self.step()
             taken += 1
+        if not self.runnable():
+            self.drain_writeback(reason="shutdown")
         return taken
 
     # ------------------------------------------------------------------ #
@@ -444,7 +561,9 @@ class Fleet:
         """Prune every member down to its last ``keep_last`` checkpoints
         (plus whatever those depend on), then compact the shared store
         once on the service clock.  Returns per-session prune reports
-        plus the compaction report."""
+        plus the compaction report.  Drains the writeback pipeline first
+        so reclamation never races an in-flight group commit."""
+        drained = self.drain_writeback(reason="gc")
         reports = {}
         for member in self._members.values():
             engine = member.dejaview.engine
@@ -456,7 +575,8 @@ class Fleet:
                 member.dejaview.storage, member.session.fsstore, keep,
                 compact=False)
         compaction = self.compact()
-        return {"sessions": reports, "compaction": compaction}
+        return {"sessions": reports, "compaction": compaction,
+                "writeback_drained": drained}
 
     # ------------------------------------------------------------------ #
     # Observability
@@ -521,6 +641,17 @@ class Fleet:
             "service_clock_us": self.clock.now_us,
             "sessions": sessions,
             "cas": cas_stats,
+            "writeback": {
+                "shards": self.cas.shard_count,
+                "group_commit_bytes": self.group_commit_bytes,
+                "max_backlog_bytes": self.max_backlog_bytes,
+                "backlog_pages": self.cas.backlog_pages(),
+                "backlog_bytes": self.cas.backlog_bytes(),
+                "flush_batches": self._m_flush_batches.value,
+                "flush_pages": self._m_flush_pages.value,
+                "flush_bytes": self._m_flush_bytes.value,
+                "backlog_force_flushes": self._m_force_flushes.value,
+            },
             "fleet_metrics": self.telemetry.metrics.snapshot(),
             "rollup": rollup,
         }

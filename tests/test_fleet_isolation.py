@@ -181,3 +181,92 @@ def test_isolation_survives_single_member_crash(seed, solo_fingerprints):
         assert verdict.ok, [str(i) for i in verdict.issues]
         revived = member.dejaview.take_me_back(member.session.clock.now_us)
         assert revived.container.live_processes()
+
+
+SHARD_COUNTS = [1, 2, 4, 8]
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_interleaved_equals_solo_across_shard_counts(
+        shards, solo_fingerprints):
+    """The owner-visibility invariant is shard-layout-independent: for
+    every shard count the interleaved recordings stay byte-identical to
+    solo (sharding moves physical appends around; it must never move a
+    logical byte or a charged microsecond)."""
+    fleet = Fleet(seed=SEEDS[0], shards=shards)
+    for index, (scenario, units) in enumerate(MEMBERS):
+        fleet.admit("m%d" % index, scenario, units=units)
+    fleet.run_to_completion()
+    assert {m.state for m in fleet.members()} == {DONE}
+    assert fleet.cas.shard_count == shards
+    # Shutdown drained the pipeline; every page is physically placed in
+    # an extent of its own consistent-hash shard.
+    assert fleet.cas.backlog_pages() == 0
+    for digest, eid in fleet.cas.extent_of.items():
+        assert fleet.cas.extents[eid].shard == fleet.cas.shard_of(digest)
+    for member in fleet.members():
+        assert_fingerprints_equal(
+            fingerprint(member.dejaview, member.session),
+            solo_fingerprints[member.name],
+            "shards=%d, member %s" % (shards, member.name))
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_crash_with_nonempty_append_queue(shards, solo_fingerprints):
+    """A member dies while the shared store's append queues are loaded
+    (group-commit triggers disabled, so every stored page is still
+    in flight): the victim's owner-scoped fsck drops only *its own*
+    unreferenced queued pages, healthy members' queued pages survive to
+    the next flush, and the final recordings stay byte-identical to
+    solo."""
+    huge = 1 << 40  # never triggers a size-based flush
+    plan = FaultPlan.parse("storage.cas.page_append:after=40",
+                           seed=SEEDS[0])
+    fleet = Fleet(seed=SEEDS[0], shards=shards, rollup_every=0,
+                  group_commit_bytes=huge, max_backlog_bytes=huge)
+    for index, (scenario, units) in enumerate(MEMBERS):
+        name = "m%d" % index
+        fleet.admit(name, scenario, units=units,
+                    fault_plan=plan if name == "m0" else None)
+
+    victim = fleet.member("m0")
+    while fleet.runnable() and victim.state != CRASHED:
+        fleet.step()
+    assert victim.state == CRASHED
+    assert victim.crash_site == "storage.cas.page_append"
+    # The crash landed with a non-empty append queue.
+    assert fleet.cas.backlog_pages() > 0
+
+    # Owner-scoped recovery while the backlog is live: queued pages the
+    # healthy members reference must survive the victim's fsck.
+    healthy_queued = set()
+    for member in fleet.members():
+        if member.name == "m0":
+            continue
+        storage = member.dejaview.storage
+        for image_id in storage.stored_ids():
+            healthy_queued.update(
+                d for d in storage.manifest_digests(image_id)
+                if d in fleet.cas.unflushed_digests())
+    report = fleet.recover_session("m0")
+    assert report["storage"]["verify_ok"]
+    still_queued = fleet.cas.unflushed_digests()
+    for digest in healthy_queued:
+        assert digest in still_queued or digest in fleet.cas.extent_of, \
+            "victim fsck reclaimed a healthy member's queued page"
+
+    # Finish the fleet; shutdown drains what recovery left queued.
+    fleet.run_to_completion()
+    assert fleet.cas.backlog_pages() == 0
+    for member in fleet.members():
+        if member.name == "m0":
+            continue
+        assert member.state == DONE
+        assert_fingerprints_equal(
+            fingerprint(member.dejaview, member.session),
+            solo_fingerprints[member.name],
+            "shards=%d, member %s (m0 crashed mid-queue)"
+            % (shards, member.name))
+        verdict = verify_chain(member.dejaview.storage,
+                               member.session.fsstore)
+        assert verdict.ok, [str(i) for i in verdict.issues]

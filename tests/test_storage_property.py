@@ -28,7 +28,7 @@ from repro.common.errors import CheckpointError
 from repro.checkpoint.engine import EngineOptions
 from repro.checkpoint.gc import prune_checkpoints
 from repro.checkpoint.image import CheckpointImage, page_digest
-from repro.checkpoint.storage import CheckpointStorage
+from repro.checkpoint.storage import CheckpointStorage, ShardedPageCAS
 from repro.checkpoint.verify import verify_chain
 from tests.test_checkpoint_engine import make_rig
 
@@ -251,3 +251,171 @@ class TestEngineInterleaving:
             for key, owner_id in image.page_locations.items():
                 owner = storage.load(owner_id, cached=True)
                 assert key in owner.pages
+
+
+class TestShardedLayout:
+    """Sharding is a *physical* layout choice: every shard count yields
+    the same logical state (payloads, refcounts, totals), extents only
+    ever hold digests of their own shard, and a shard-count change on
+    reopen (``reshard``) is invisible to readers — v3 manifests name
+    digests, never extents."""
+
+    SHARD_COUNTS = [1, 2, 4, 8]
+
+    @staticmethod
+    def _logical_state(storage):
+        cas = storage.cas
+        return (
+            dict(cas.pages),
+            dict(cas.sizes),
+            dict(cas.refs),
+            {owner: dict(refs)
+             for owner, refs in cas.owner_refs.items()},
+            cas.total_uncompressed_bytes,
+            cas.total_compressed_bytes,
+        )
+
+    @staticmethod
+    def _drive(storage, seed, steps=60):
+        rng = random.Random(seed)
+        model = {}
+        pool = []
+        next_id = 1
+        for _step in range(steps):
+            op = rng.random()
+            if op < 0.55 or not model:
+                image = _make_image(next_id, rng, pool)
+                storage.store(image, charge_time=False)
+                model[next_id] = dict(image.pages)
+                next_id += 1
+            elif op < 0.8:
+                victim = rng.choice(sorted(model))
+                storage.delete(victim)
+                del model[victim]
+            else:
+                storage.compact(charge_time=False)
+        return model
+
+    def _check_placement(self, cas):
+        """Every committed digest sits in an extent tagged with its own
+        consistent-hash shard."""
+        for digest, eid in cas.extent_of.items():
+            extent = cas.extents[eid]
+            assert extent.shard == cas.shard_of(digest), \
+                "digest %s landed on shard %d, hashes to %d" % (
+                    digest.hex()[:12], extent.shard, cas.shard_of(digest))
+            assert digest in extent.digests
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_logical_state_is_shard_count_invariant(self, seed, shards):
+        baseline = CheckpointStorage(clock=VirtualClock(), shards=1)
+        sharded = CheckpointStorage(clock=VirtualClock(), shards=shards)
+        model_a = self._drive(baseline, seed)
+        model_b = self._drive(sharded, seed)
+        assert model_a == model_b
+        assert self._logical_state(baseline) == self._logical_state(sharded)
+        assert baseline.cas_entries() == sharded.cas_entries()
+        self._check_placement(sharded.cas)
+        # Readers see identical bytes regardless of physical layout.
+        for image_id, pages in model_b.items():
+            assert sharded.load(image_id, cached=True).pages == pages
+
+    @pytest.mark.parametrize("reopen_shards", [2, 4, 8])
+    def test_reshard_preserves_logical_state(self, reopen_shards):
+        storage = CheckpointStorage(clock=VirtualClock(), shards=1)
+        model = self._drive(storage, seed=SEEDS[0])
+        before = self._logical_state(storage)
+        cas = storage.cas
+        cas.reshard(reopen_shards)
+        assert cas.shard_count == reopen_shards
+        assert self._logical_state(storage) == before
+        assert set(cas.extent_of) == set(cas.sizes)
+        self._check_placement(cas)
+        for image_id, pages in model.items():
+            assert storage.load(image_id, cached=True).pages == pages
+        # And back down to one shard: still lossless.
+        cas.reshard(1)
+        assert self._logical_state(storage) == before
+        for image_id, pages in model.items():
+            assert storage.load(image_id, cached=True).pages == pages
+
+    def test_async_store_queues_then_drain_flushes(self):
+        cas = ShardedPageCAS(shards=4, async_writeback=True)
+        storage = CheckpointStorage(clock=VirtualClock(), cas=cas)
+        rng = random.Random(SEEDS[0])
+        pool = []
+        image = _make_image(1, rng, pool)
+        storage.store(image, charge_time=False)
+        assert storage.writeback_async
+        assert storage.writeback_backlog_bytes > 0
+        assert cas.backlog_pages() > 0
+        # Queued pages are fully readable: logical commit is immediate.
+        assert storage.load(1, cached=True).pages == dict(image.pages)
+        assert cas.unflushed_digests()
+        report = storage.drain_writeback()
+        assert report["pages"] > 0 and report["bytes"] > 0
+        assert storage.writeback_backlog_bytes == 0
+        assert cas.backlog_pages() == 0
+        assert set(cas.extent_of) == set(cas.sizes)
+        self._check_placement(cas)
+
+    def test_compact_drains_pending_appends_first(self):
+        """Regression (satellite): compaction must never rewrite an
+        extent while appends for its shard are still queued — compact()
+        drains everything before touching extents."""
+        cas = ShardedPageCAS(shards=2, async_writeback=True)
+        storage = CheckpointStorage(clock=VirtualClock(), cas=cas)
+        rng = random.Random(SEEDS[1])
+        pool = []
+        for image_id in (1, 2, 3):
+            storage.store(_make_image(image_id, rng, pool),
+                          charge_time=False)
+        storage.delete(2)  # make some dead bytes worth compacting
+        assert cas.backlog_pages() > 0  # appends still in flight
+        report = storage.compact(charge_time=False)
+        assert report["drained_pages"] > 0
+        assert cas.backlog_pages() == 0
+        assert cas.backlog_bytes() == 0
+        # Post-compaction: every committed digest physically placed.
+        assert set(cas.extent_of) == set(cas.sizes)
+        self._check_placement(cas)
+        for image_id in (1, 3):
+            assert storage.load(image_id, cached=True) is not None
+
+    def test_delete_cancels_queued_appends(self):
+        """Regression (satellite): deleting an image whose pages are
+        still queued cancels the pending appends in place — no stale
+        payload ever reaches an extent, and a later flush writes only
+        surviving pages."""
+        cas = ShardedPageCAS(shards=2, async_writeback=True)
+        storage = CheckpointStorage(clock=VirtualClock(), cas=cas)
+        rng = random.Random(SEEDS[2])
+        pool = []
+        image = _make_image(1, rng, pool)
+        storage.store(image, charge_time=False)
+        queued_before = cas.backlog_pages()
+        assert queued_before > 0
+        storage.delete(1)
+        assert cas.backlog_pages() == 0  # every queued append cancelled
+        assert cas.backlog_bytes() == 0
+        report = storage.drain_writeback()
+        assert report["pages"] == 0  # nothing stale left to write
+        assert cas.pages == {} and cas.extent_of == {}
+        assert storage.total_uncompressed_bytes == 0
+
+    def test_sync_mode_never_leaves_a_backlog(self):
+        """Sync stores force-flush at manifest commit, so the queue is
+        empty at every durability point — for every shard count."""
+        for shards in self.SHARD_COUNTS:
+            storage = CheckpointStorage(clock=VirtualClock(),
+                                        shards=shards)
+            rng = random.Random(SEEDS[0])
+            pool = []
+            for image_id in (1, 2):
+                storage.store(_make_image(image_id, rng, pool),
+                              charge_time=False)
+                assert storage.writeback_backlog_bytes == 0
+                assert not storage.cas.unflushed_digests()
+            verdict = verify_chain(storage)
+            assert verdict.ok, [str(i) for i in verdict.issues]
