@@ -92,6 +92,7 @@ failed store leaves the totals untouched (and never double-counts on
 retry).
 """
 
+import hashlib
 import struct
 import zlib
 
@@ -1106,6 +1107,21 @@ class CheckpointStorage:
         if crc != zlib.crc32(blob):
             return False, "corrupt: payload checksum mismatch"
         return True, None
+
+    def blob_fingerprint(self, image_id):
+        """SHA-1 hexdigest of one stored frame's bytes — the checkpoint's
+        bit-identity, as replay anchors assert it.
+
+        The frame covers the serialized metadata and, for v3 images, the
+        page-digest manifest; digest equality implies page-payload
+        equality in the content-addressed store, so fingerprint equality
+        is whole-checkpoint equality under both layouts.  Pure hashing:
+        never charges the virtual clock.
+        """
+        frame = self._blobs.get(image_id)
+        if frame is None:
+            raise CheckpointError("no stored checkpoint %d" % image_id)
+        return hashlib.sha1(frame).hexdigest()
 
     # ------------------------------------------------------------------ #
     # Read path

@@ -8,6 +8,9 @@ Usage::
     python -m repro.cli stats web [--units N] [--faults SPEC]
     python -m repro.cli doctor web [--faults SPEC] [--seed N]
                                    [--post-mortem] [--journal-dir DIR]
+    python -m repro.cli replay web [--units N] [--from-checkpoint ID]
+                                   [--verify] [--faults SPEC] [--seed N]
+                                   [--log-out FILE] [--report-out FILE]
     python -m repro.cli serve [--sessions N] [--seed S] [--units-scale F]
                               [--journal-dir DIR] [--trace-out FILE]
                               [--prom-out FILE] [--slo SPEC]
@@ -22,6 +25,14 @@ duration, checkpoint latency summary, storage growth decomposition, and a
 sample search.  ``stats`` runs a scenario and prints its telemetry
 snapshot (counters, histogram summaries, recent span trees).  ``demo``
 runs a 30-second guided record/search/revive tour.
+
+``replay`` records one scenario run with the deterministic-replay event
+log enabled, then re-executes it in lockstep and verifies every logged
+nondeterministic event — framebuffer SHA-1s and checkpoint fingerprints
+included.  With ``--faults`` the recorded run crashes/recovers first and
+the surviving log prefix must still re-derive bit-identically (the
+replay-divergence oracle); ``--from-checkpoint`` starts verification at
+that checkpoint's anchor.  Exit status 1 on divergence.
 
 ``doctor --post-mortem`` replays the flight-recorder journal after the
 crash-inject/recover cycle and prints the last-K-events timeline; ``top``
@@ -138,6 +149,33 @@ def build_parser():
     doctor.add_argument("--trace-out", default=None, metavar="FILE",
                         help="write the journal's span stream as Chrome "
                              "trace-event JSON (Perfetto-loadable)")
+
+    replay = sub.add_parser(
+        "replay",
+        help="record a scenario, then re-execute it in lockstep and "
+             "verify bit-identical framebuffer/checkpoint fingerprints "
+             "(the deterministic-replay divergence oracle)")
+    _add_scenario_args(replay)
+    replay.add_argument("--from-checkpoint", type=int, default=None,
+                        metavar="ID",
+                        help="start verification at this checkpoint's "
+                             "anchor (fast-forwards the re-derivation)")
+    replay.add_argument("--verify", action="store_true",
+                        help="strict mode: demand a complete replay "
+                             "covering at least one checkpoint anchor, "
+                             "not just the absence of divergence")
+    replay.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="record under a fault plan (see doctor --faults), recover, "
+             "then replay the surviving log prefix with the same plan "
+             "re-armed")
+    replay.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for probabilistic fault rules")
+    replay.add_argument("--log-out", default=None, metavar="FILE",
+                        help="write the recorded event-log bytes")
+    replay.add_argument("--report-out", default=None, metavar="FILE",
+                        help="write the replay report as JSON (the CI "
+                             "divergence artifact)")
 
     def _add_fleet_args(command):
         command.add_argument("--sessions", type=int, default=4,
@@ -559,6 +597,72 @@ def cmd_doctor(args, out):
     return 0 if verdict.ok else 1
 
 
+def cmd_replay(args, out):
+    """Record one scenario run with the replay event log on, re-execute
+    it in lockstep, and verify every logged nondeterministic event.
+    Exit status 1 on divergence (or, under ``--verify``, on anything
+    short of a complete anchor-covering replay)."""
+    from repro.common.faults import FaultPlan
+    from repro.replay import anchor_ids, record_scenario, replay
+
+    name = _resolve_scenario(args)
+    plan = FaultPlan.parse(args.faults, seed=args.seed) \
+        if args.faults else None
+    recording = None
+    if plan is not None:
+        recording = get_workload(name).default_recording()
+        recording.fault_plan = plan
+    recorded = record_scenario(name, units=args.units, recording=recording)
+    recovery = None
+    if recorded.crashed is not None:
+        # The reopen path runs on a fresh host; recover appends the
+        # replay barrier so verification covers the pre-crash prefix.
+        if plan is not None:
+            plan.disarm()
+        recovery = recorded.dejaview.recover()
+    data = recorded.tap.getvalue()
+    if args.log_out:
+        with open(args.log_out, "wb") as fh:
+            fh.write(data)
+    fresh = plan.fresh_copy() if plan is not None else None
+    report = replay(data, from_checkpoint=args.from_checkpoint,
+                    faults=fresh)
+    verified = report.ok and (not args.verify or report.anchors_total >= 1)
+    summary = {
+        "scenario": name,
+        "log_bytes": len(data),
+        "anchors": anchor_ids(data),
+        "crash": (str(recorded.crashed)
+                  if recorded.crashed is not None else None),
+        "recovery_ok": recovery["ok"] if recovery is not None else None,
+        "verified": verified,
+        "report": report.to_dict(),
+    }
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(summary, fh, indent=2, default=str)
+            fh.write("\n")
+    if args.json:
+        json.dump(summary, out, indent=2, default=str)
+        print(file=out)
+        return 0 if verified else 1
+    print("replay: %s scenario, %d-byte event log, anchors %s" % (
+        name, len(data), summary["anchors"]), file=out)
+    if recorded.crashed is not None:
+        print("injected: %s (recovery %s)" % (
+            recorded.crashed, "ok" if recovery["ok"] else "FAILED"),
+            file=out)
+    print(report.describe(), file=out)
+    if args.verify and report.ok and report.anchors_total < 1:
+        print("verify: FAILED (no checkpoint anchor in the verification "
+              "window)", file=out)
+    if args.log_out:
+        print("wrote %s" % args.log_out, file=out)
+    if args.report_out:
+        print("wrote %s" % args.report_out, file=out)
+    return 0 if verified else 1
+
+
 def _fleet_observability(args, want_watchdog=False):
     """Extra :class:`~repro.server.fleet.Fleet` kwargs for the fleet
     observability flags: a flight recorder when journaling or trace
@@ -871,6 +975,7 @@ def main(argv=None, out=None):
         "run": cmd_run,
         "stats": cmd_stats,
         "doctor": cmd_doctor,
+        "replay": cmd_replay,
         "serve": cmd_serve,
         "fleet-stats": cmd_fleet_stats,
         "top": cmd_top,

@@ -20,6 +20,12 @@ class VirtualClock:
         if start_us < 0:
             raise ValueError("clock cannot start before t=0")
         self._now_us = int(start_us)
+        self._replay = None
+
+    def bind_replay(self, tap):
+        """Notify a replay tap of every advance (record/replay mode).
+        The tap observes; it never charges the clock."""
+        self._replay = tap if tap is not None and tap.active else None
 
     @property
     def now_us(self):
@@ -47,12 +53,17 @@ class VirtualClock:
         if delta_us < 0:
             raise ValueError("cannot advance the clock by a negative amount")
         self._now_us += delta_us
+        if self._replay is not None:
+            self._replay.clock(delta_us, self._now_us)
         return self._now_us
 
     def advance_to_us(self, deadline_us):
         """Move time forward to an absolute deadline (no-op if in the past)."""
         if deadline_us > self._now_us:
+            delta_us = int(deadline_us) - self._now_us
             self._now_us = int(deadline_us)
+            if self._replay is not None:
+                self._replay.clock(delta_us, self._now_us)
         return self._now_us
 
     def stopwatch(self):

@@ -81,6 +81,11 @@ FAILPOINTS = {
     "index.close.mid_backfill":
         "TemporalTextDatabase.close_occurrence, mid-way through epoch "
         "bucket back-fill (crash leaves unback-filled buckets)",
+    "replay.log.append":
+        "EventLog.append (execution record/replay), after the event is "
+        "encoded but before the record lands (crash leaves a torn TLV "
+        "event at the log tail; recovery truncates to the valid prefix "
+        "and appends an EV_RECOVER barrier)",
 }
 
 
@@ -186,6 +191,9 @@ class FaultPlan:
 
     def __init__(self, rules=None, rng=None, seed=0):
         self.rng = rng if rng is not None else random.Random(seed)
+        #: Seed for :meth:`fresh_copy`; None when an external RNG was
+        #: injected (its consumed state cannot be reconstructed).
+        self._seed = None if rng is not None else seed
         self.rules = []
         self.hits = {}
         self._rules_by_site = {}
@@ -243,6 +251,34 @@ class FaultPlan:
                         "unknown fault option %r in %r" % (opt, part))
             plan.add(site, **kwargs)
         return plan
+
+    def fresh_copy(self):
+        """An unfired clone: same rules, same seed, zero hit state.
+
+        Replaying a faulted recording re-injects its faults through a
+        fresh copy — the plan is deterministic under its seed, so the
+        clone fires at the same execution points the original did.
+        Raises :class:`FaultSpecError` for plans built on an external
+        RNG, whose consumed state cannot be reconstructed.
+        """
+        if self._seed is None:
+            raise FaultSpecError(
+                "cannot fresh_copy a plan built on an external rng")
+        plan = type(self)(seed=self._seed)
+        for rule in self.rules:
+            plan.add(rule.site, mode=rule.mode, after=rule.after,
+                     probability=rule.probability, once=rule.once)
+        return plan
+
+    def disarm(self):
+        """Stop firing permanently; hit counting continues.
+
+        The reopen path runs on a fresh host — the injected faults died
+        with the simulated machine — so recovery code must not be
+        subject to the plan that killed the run.  Rules stay visible to
+        :meth:`fired` and :meth:`hit_snapshot` (and to
+        :meth:`fresh_copy`, which clones the original armed rules)."""
+        self._rules_by_site = {}
 
     # -------------------------------------------------------------- #
     # Telemetry

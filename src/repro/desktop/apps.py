@@ -70,6 +70,12 @@ class SimApplication:
         rng = self._rng if seed is None else np.random.default_rng(seed)
         pixels = rng.integers(0, 2**32, size=(region.h, region.w),
                               dtype=np.uint32)
+        if seed is None and self.session.replay.active:
+            # Stateful draw from the app's own RNG: a nondeterministic
+            # input for the replay log (seeded draws are pure functions).
+            self.session.replay.rng(self.name, "draw_raw",
+                                    zlib.crc32(pixels.tobytes()),
+                                    pixels.nbytes)
         self.draw(RawCmd(region, pixels))
 
     def draw_video_frame(self, region, seed=None):
@@ -77,6 +83,10 @@ class SimApplication:
         rng = self._rng if seed is None else np.random.default_rng(seed)
         region = Region(region.x, region.y, region.w & ~1, region.h & ~1)
         luma = rng.integers(0, 256, size=(region.h, region.w), dtype=np.uint8)
+        if seed is None and self.session.replay.active:
+            self.session.replay.rng(self.name, "video_frame",
+                                    zlib.crc32(luma.tobytes()),
+                                    luma.nbytes)
         self.draw(VideoFrameCmd(region, luma))
 
     def draw_text_line(self, region, seed=0):
@@ -167,6 +177,9 @@ class SimApplication:
         """
         random_bytes = max(16, int(PAGE_SIZE / compress_ratio))
         head = self._rng.bytes(random_bytes)
+        if self.session.replay.active:
+            self.session.replay.rng(self.name, "page",
+                                    zlib.crc32(head), len(head))
         pad = PAGE_SIZE - random_bytes
         return head + bytes(pad)
 
@@ -235,9 +248,13 @@ class SimApplication:
         self.session.clock.advance_us(duration_us)
 
     def connect(self, remote, proto="tcp", internal=False):
-        sock = Socket(proto, "10.0.0.5:%d" % (40_000 + len(self.process.open_files)),
-                      remote, state=SocketState.ESTABLISHED, internal=internal)
+        local = "10.0.0.5:%d" % (40_000 + len(self.process.open_files))
+        sock = Socket(proto, local, remote,
+                      state=SocketState.ESTABLISHED, internal=internal)
         entry = self.process.open_fd(kind="socket", socket=sock)
+        if self.session.replay.active:
+            self.session.replay.socket(self.name, proto, local, remote,
+                                       internal)
         return sock, entry
 
     # ------------------------------------------------------------------ #

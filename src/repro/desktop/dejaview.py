@@ -29,6 +29,7 @@ from repro.display.playback import PlaybackEngine
 from repro.display.recorder import DisplayRecorder, RecorderConfig
 from repro.index.database import DEFAULT_EPOCH_WIDTH_US, TemporalTextDatabase
 from repro.index.search import SearchEngine
+from repro.replay.tap import NULL_TAP
 
 
 @dataclass
@@ -152,6 +153,16 @@ class DejaView:
             if bind_flight is not None:
                 bind_flight(self._flight)
 
+        # Replay tap: the session carries it (it observes the whole vex
+        # substrate, not just recording); here it learns about telemetry,
+        # the fault plan (the ``replay.log.append`` site), checkpoint
+        # anchors, and crash recovery.  Revived sessions have no tap.
+        self.replay = getattr(session, "replay", NULL_TAP)
+        if self.replay.active:
+            self.replay.bind_telemetry(self.telemetry.metrics)
+            if self.faults.active:
+                self.replay.bind_faults(self.faults)
+
         self.recorder = None
         if self.config.record_display:
             width = max(1, int(session.width * self.config.record_scale))
@@ -266,6 +277,16 @@ class DejaView:
                 report.checkpoint_result = self.engine.checkpoint()
                 report.checkpointed = True
                 self._last_checkpoint_us = now
+                if self.replay.active:
+                    # Anchor: the checkpoint's identity plus the exact
+                    # screen contents, the bit-identity replay verifies
+                    # (and the resume point for --from-checkpoint).
+                    result = report.checkpoint_result
+                    self.replay.anchor(
+                        result.checkpoint_id, result.timestamp_us,
+                        self.session.driver.framebuffer.checksum(),
+                        self.storage.blob_fingerprint(
+                            result.checkpoint_id))
             span.set("checkpointed", report.checkpointed)
             span.set("display_commands", report.display_commands)
         return report
@@ -383,6 +404,11 @@ class DejaView:
             flight.record(REC_RECOVERY, {"action": "recover.begin"})
         with self.telemetry.span("recover"):
             report = {"ok": True}
+            # The replay event log recovers first: its barrier must land
+            # before recovery work starts advancing the clock, so replays
+            # verify exactly the pre-crash prefix.
+            if self.replay.active:
+                report["replay_log"] = self.replay.recover_mark()
             fs_recover = getattr(self.session.fs, "recover", None)
             if fs_recover is not None:
                 report["fs"] = fs_recover()

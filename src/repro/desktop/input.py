@@ -56,6 +56,13 @@ class InputRouter:
         app = self._focused_app()
         if app is None:
             raise DejaViewError("no application holds the input focus")
+        # The replay tap is not the user's record (the paper's privacy
+        # stance above is about the *recording*): it is a diagnostic
+        # event log, on only for record/replay verification runs.
+        if self.session.replay.active:
+            self.session.replay.input_event(
+                "key", {"app": app.name, "text": event.text,
+                        "combo": event.combo})
         app.handle_key(event)
         self.keys_delivered += 1
         return app
@@ -65,6 +72,10 @@ class InputRouter:
         app = self._focused_app()
         if app is None:
             raise DejaViewError("no application holds the input focus")
+        if self.session.replay.active:
+            self.session.replay.input_event(
+                "mouse", {"app": app.name, "x": event.x, "y": event.y,
+                          "kind": event.kind, "payload": event.payload})
         app.handle_mouse(event)
         self.mouse_delivered += 1
         return app

@@ -16,6 +16,7 @@ from repro.access.registry import DesktopRegistry
 from repro.display.driver import VirtualDisplayDriver
 from repro.display.viewer import Viewer
 from repro.fs.branch import BranchableStore
+from repro.replay.tap import resolve_tap
 from repro.vex.kernel import Kernel
 
 DEFAULT_WIDTH = 320
@@ -27,13 +28,21 @@ class DesktopSession:
 
     def __init__(self, width=DEFAULT_WIDTH, height=DEFAULT_HEIGHT,
                  costs=DEFAULT_COSTS, clock=None, name="desktop",
-                 attach_viewer=True):
+                 attach_viewer=True, replay_tap=None):
         self.clock = clock if clock is not None else VirtualClock()
         self.costs = costs
         #: Session name: the container name, the viewer tab label, and —
         #: under a fleet — this session's owner id in the shared page CAS.
         self.name = name
+        #: Replay tap: records (or, in replay mode, verifies) every
+        #: nondeterministic input crossing the vex boundary.  Bound
+        #: before anything below is built so session construction itself
+        #: is covered; the no-op tap when record/replay is off.
+        self.replay = resolve_tap(replay_tap)
+        if self.replay.active:
+            self.clock.bind_replay(self.replay)
         self.kernel = Kernel(clock=self.clock, costs=costs)
+        self.kernel.replay = self.replay
         self.container = self.kernel.create_container(name)
         self.fsstore = BranchableStore(clock=self.clock, costs=costs)
         self._populate_home()

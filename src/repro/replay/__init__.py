@@ -1,0 +1,65 @@
+"""Deterministic execution record/replay (rr-style) for vex sessions.
+
+Record every nondeterministic input crossing the vex boundary into an
+:class:`~repro.replay.log.EventLog`; replay re-executes the same script
+on a fresh session and verifies, in lockstep, that every event — up to
+and including framebuffer hashes and checkpoint fingerprints at every
+anchor — re-derives bit-identically.  The first mismatch is reported as
+a :class:`~repro.replay.tap.ReplayDivergence` naming the exact sequence
+number and site.
+
+This package stays import-light (no desktop/workload imports at module
+scope): the vex kernel and session bind taps from here.
+"""
+
+from repro.replay.log import (
+    EV_ANCHOR,
+    EV_BEGIN,
+    EV_CLOCK,
+    EV_END,
+    EV_INPUT,
+    EV_RECOVER,
+    EV_RNG,
+    EV_SCHED,
+    EV_SIGNAL,
+    EV_SOCKET,
+    FP_LOG_APPEND,
+    STREAM_KIND_REPLAY,
+    EventLog,
+    ReplayError,
+    ReplayEvent,
+    event_name,
+    read_events,
+    write_events,
+)
+from repro.replay.tap import (
+    DEFAULT_CLOCK_BATCH,
+    NULL_TAP,
+    DivergenceAbort,
+    RecordingTap,
+    ReplayDivergence,
+    VerifyingTap,
+    resolve_tap,
+)
+from repro.replay.replayer import (
+    RecordedScenario,
+    ReplayReport,
+    anchor_ids,
+    assert_replays_clean,
+    prepare_events,
+    record_scenario,
+    replay,
+    scenario_driver,
+)
+
+__all__ = [
+    "EV_ANCHOR", "EV_BEGIN", "EV_CLOCK", "EV_END", "EV_INPUT",
+    "EV_RECOVER", "EV_RNG", "EV_SCHED", "EV_SIGNAL", "EV_SOCKET",
+    "FP_LOG_APPEND", "STREAM_KIND_REPLAY", "EventLog", "ReplayError",
+    "ReplayEvent", "event_name", "read_events", "write_events",
+    "DEFAULT_CLOCK_BATCH", "NULL_TAP", "DivergenceAbort", "RecordingTap",
+    "ReplayDivergence", "VerifyingTap", "resolve_tap",
+    "RecordedScenario", "ReplayReport", "anchor_ids",
+    "assert_replays_clean", "prepare_events", "record_scenario", "replay",
+    "scenario_driver",
+]

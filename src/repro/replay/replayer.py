@@ -1,0 +1,285 @@
+"""Re-execution with lockstep verification, and the divergence oracle.
+
+The replayer's contract: given the bytes of an event log and a *driver*
+(a callable that rebuilds the session and re-runs the same deterministic
+script with a tap plugged in), re-execute and verify that every logged
+nondeterministic event re-derives bit-identically — framebuffer SHA-1s
+and checkpoint fingerprints included, via the ``EV_ANCHOR`` events.  For
+scenario recordings made with :func:`record_scenario`, the driver is
+rebuilt automatically from the log's ``EV_BEGIN`` metadata; bespoke
+scripts (the fault-injection suites) pass their own.
+
+Prefix semantics: a crash-truncated log is a *valid prefix* — replay
+verifies every surviving event and ignores execution past the log's end;
+conversely, an execution that ends (or crashes) before consuming every
+logged event is reported as incomplete.  A log recovered after a crash
+carries an ``EV_RECOVER`` barrier; verification covers exactly the
+events before the first barrier.  Replaying a *faulted* recording
+faithfully requires re-injecting the same faults: pass
+``faults=plan.fresh_copy()`` and the re-armed plan fires at the same
+execution points (hit counters and the seeded RNG evolve identically,
+because the verifying tap mirrors the recorder's per-append failpoint
+check).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.faults import InjectedCrash
+from repro.replay.log import (
+    EV_ANCHOR,
+    EV_BEGIN,
+    EV_RECOVER,
+    ReplayError,
+    read_events,
+)
+from repro.replay.tap import (
+    DEFAULT_CLOCK_BATCH,
+    DivergenceAbort,
+    RecordingTap,
+    VerifyingTap,
+)
+
+
+@dataclass
+class ReplayReport:
+    """The verdict of one replay."""
+
+    ok: bool = False
+    divergence: object = None
+    events_total: int = 0
+    """Logged events in the verification window (after ``EV_BEGIN``
+    stripping, recovery-barrier truncation, and anchor fast-forward)."""
+    events_verified: int = 0
+    anchors_total: int = 0
+    anchors_verified: int = 0
+    stopped_at_recover: bool = False
+    """The log carried a crash-recovery barrier; verification covered
+    the surviving prefix before it."""
+    replay_crashed: bool = False
+    """The re-executed run died on an injected crash (expected when
+    replaying a faulted recording with its fault plan re-armed)."""
+    crash_site: str = None
+    log_exhausted: bool = False
+    """Re-execution continued past the end of the (truncated) log."""
+    torn_tail_bytes: int = 0
+    from_checkpoint: object = None
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self):
+        return {
+            "ok": self.ok,
+            "divergence": (self.divergence.to_dict()
+                           if self.divergence is not None else None),
+            "events_total": self.events_total,
+            "events_verified": self.events_verified,
+            "anchors_total": self.anchors_total,
+            "anchors_verified": self.anchors_verified,
+            "stopped_at_recover": self.stopped_at_recover,
+            "replay_crashed": self.replay_crashed,
+            "crash_site": self.crash_site,
+            "log_exhausted": self.log_exhausted,
+            "torn_tail_bytes": self.torn_tail_bytes,
+            "from_checkpoint": self.from_checkpoint,
+            "meta": self.meta,
+        }
+
+    def describe(self):
+        if self.ok:
+            lines = ["replay clean: %d/%d events verified, %d/%d anchors"
+                     % (self.events_verified, self.events_total,
+                        self.anchors_verified, self.anchors_total)]
+            if self.from_checkpoint is not None:
+                lines.append("fast-forwarded to checkpoint %r anchor"
+                             % (self.from_checkpoint,))
+            if self.stopped_at_recover:
+                lines.append("verified the surviving prefix up to the "
+                             "crash-recovery barrier")
+            if self.replay_crashed:
+                lines.append("re-execution died at %s, exactly like the "
+                             "recorded run" % self.crash_site)
+            return "\n".join(lines)
+        if self.divergence is not None:
+            return self.divergence.describe()
+        return ("replay incomplete: %d/%d events verified "
+                "(re-execution ended early%s)"
+                % (self.events_verified, self.events_total,
+                   ", crashed at %s" % self.crash_site
+                   if self.replay_crashed else ""))
+
+
+def prepare_events(data):
+    """Decode log bytes into the verification window.
+
+    Returns ``(meta, events, torn_tail_bytes, stopped_at_recover)``:
+    the ``EV_BEGIN`` metadata (``{}`` if absent), the events with the
+    begin record stripped and everything at and after the first
+    ``EV_RECOVER`` barrier cut off, the torn-tail byte count, and
+    whether a barrier was found.
+    """
+    events, torn = read_events(data)
+    meta = {}
+    if events and events[0].etype == EV_BEGIN:
+        meta = events[0].data
+        events = events[1:]
+    stopped = False
+    for index, event in enumerate(events):
+        if event.etype == EV_RECOVER:
+            events = events[:index]
+            stopped = True
+            break
+    return meta, events, torn, stopped
+
+
+def anchor_ids(data):
+    """Checkpoint ids anchored in a log, in recording order."""
+    _, events, _, _ = prepare_events(data)
+    return [event.data["checkpoint_id"] for event in events
+            if event.etype == EV_ANCHOR]
+
+
+def scenario_driver(meta, faults=None):
+    """Rebuild the re-execution driver for a :func:`record_scenario`
+    recording from its ``EV_BEGIN`` metadata.
+
+    ``faults`` (a fresh copy of the recorded run's plan) is wired into
+    the rebuilt session's recording config, so re-execution injects the
+    same faults at the same points."""
+    scenario = meta.get("scenario")
+    if not scenario:
+        raise ReplayError(
+            "event log carries no scenario metadata; pass an explicit "
+            "driver to replay()")
+
+    def driver(tap):
+        from repro.desktop.dejaview import DejaView
+        from repro.desktop.session import DesktopSession
+        from repro.workloads.generator import get_workload
+
+        workload = get_workload(scenario)
+        kwargs = {"name": meta.get("name", "desktop")}
+        if "width" in meta:
+            kwargs["width"] = meta["width"]
+        if "height" in meta:
+            kwargs["height"] = meta["height"]
+        session = DesktopSession(replay_tap=tap, **kwargs)
+        config = workload.default_recording()
+        if faults is not None:
+            config.fault_plan = faults
+        dejaview = DejaView(session, config)
+        workload.run(units=meta.get("units"), session=session,
+                     dejaview=dejaview)
+        tap.close(session.clock.now_us)
+
+    return driver
+
+
+def replay(data, driver=None, from_checkpoint=None, faults=None):
+    """Re-execute and verify one event log; returns a
+    :class:`ReplayReport`.
+
+    ``driver`` is ``driver(tap) -> None``; ``None`` rebuilds a scenario
+    driver from the log's metadata.  ``from_checkpoint`` starts
+    verification at that checkpoint's anchor (fast-forwarding the
+    re-derivation, which is cheap in simulation).  ``faults`` re-injects
+    a fault plan into the verifying tap's append-site mirror (see module
+    docstring); the driver itself decides whether that plan also reaches
+    the rebuilt session's write paths.
+    """
+    meta, events, torn, stopped = prepare_events(data)
+    if driver is None:
+        driver = scenario_driver(meta, faults=faults)
+    clock_batch = int(meta.get("clock_batch", DEFAULT_CLOCK_BATCH))
+    tap = VerifyingTap(events, from_checkpoint=from_checkpoint,
+                       clock_batch=clock_batch, faults=faults)
+    report = ReplayReport(meta=meta, torn_tail_bytes=torn,
+                          stopped_at_recover=stopped,
+                          from_checkpoint=from_checkpoint)
+    try:
+        driver(tap)
+    except DivergenceAbort:
+        pass
+    except InjectedCrash as crash:
+        report.replay_crashed = True
+        report.crash_site = crash.site
+    window = events[tap.window_start:]
+    report.events_total = len(window)
+    report.anchors_total = sum(
+        1 for event in window if event.etype == EV_ANCHOR)
+    report.events_verified = tap.events_verified
+    report.anchors_verified = tap.anchors_verified
+    report.divergence = tap.divergence
+    report.log_exhausted = tap.log_exhausted
+    report.ok = tap.complete
+    return report
+
+
+@dataclass
+class RecordedScenario:
+    """What :func:`record_scenario` hands back."""
+
+    tap: RecordingTap
+    session: object
+    dejaview: object
+    run: object = None
+    crashed: object = None
+
+    @property
+    def log_bytes(self):
+        return self.tap.getvalue()
+
+
+def record_scenario(scenario, units=None, recording=None,
+                    session_kwargs=None, page_cas=None,
+                    clock_batch=DEFAULT_CLOCK_BATCH):
+    """Run a registered scenario with recording enabled.
+
+    Returns a :class:`RecordedScenario`; if an injected crash killed the
+    run mid-way it is caught and stored (``crashed``), with the torn
+    event log still reachable through the tap — exactly the state
+    :meth:`DejaView.recover` then repairs.
+
+    The ``EV_BEGIN`` metadata captures scenario name, units, and session
+    geometry, which is everything :func:`scenario_driver` needs to
+    rebuild the run; custom ``session_kwargs`` beyond name/width/height
+    (costs, clocks) are not serialized — replay such recordings with an
+    explicit driver.
+    """
+    from repro.desktop.dejaview import DejaView
+    from repro.desktop.session import DesktopSession
+    from repro.workloads.generator import get_workload
+
+    workload = get_workload(scenario)
+    kwargs = dict(session_kwargs or {})
+    meta = {
+        "scenario": scenario,
+        "units": units if units is not None else workload.default_units,
+        "name": kwargs.get("name", "desktop"),
+    }
+    for dim in ("width", "height"):
+        if dim in kwargs:
+            meta[dim] = kwargs[dim]
+    tap = RecordingTap(meta=meta, clock_batch=clock_batch)
+    kwargs["replay_tap"] = tap
+    session = DesktopSession(**kwargs)
+    config = recording if recording is not None \
+        else workload.default_recording()
+    dejaview = DejaView(session, config, page_cas=page_cas)
+    recorded = RecordedScenario(tap=tap, session=session, dejaview=dejaview)
+    try:
+        recorded.run = workload.run(units=units, session=session,
+                                    dejaview=dejaview)
+        tap.close(session.clock.now_us)
+    except InjectedCrash as crash:
+        recorded.crashed = crash
+    return recorded
+
+
+def assert_replays_clean(data, driver=None, from_checkpoint=None,
+                         faults=None):
+    """Pytest-facing oracle: replay and raise ``AssertionError`` with
+    the formatted divergence (or incompleteness) unless the replay is
+    clean.  Returns the :class:`ReplayReport` for further assertions."""
+    report = replay(data, driver=driver, from_checkpoint=from_checkpoint,
+                    faults=faults)
+    assert report.ok, report.describe()
+    return report

@@ -1,0 +1,425 @@
+"""Replay taps: the two ends of the nondeterminism boundary.
+
+A *tap* is the object the vex substrate notifies whenever a
+nondeterministic input crosses into the simulation: the virtual clock on
+every advance, the kernel on every signal delivery, applications on
+every RNG draw and socket open, the input router on every routed event,
+the workload generator and fleet scheduler on every dispatch decision,
+and DejaView itself at every checkpoint (anchor) and crash recovery
+(barrier).
+
+Three implementations share one call surface:
+
+* :data:`NULL_TAP` — the shared inert tap (``active = False``); the
+  default everywhere, mirroring ``NULL_TELEMETRY``/``NULL_FAULTS`` so an
+  untapped session pays one attribute test per site.
+* :class:`RecordingTap` — appends events to an :class:`EventLog`.
+* :class:`VerifyingTap` — replay mode: consumes a previously recorded
+  event list and checks each derived event against it in lockstep,
+  raising :class:`DivergenceAbort` at the first mismatch.
+
+Taps never charge the virtual clock — like telemetry and fault checks
+they live outside the simulated cost model, so recording is bit-identical
+on or off (property-tested in ``tests/test_replay.py``).
+
+Clock advances are far too frequent to log individually; they are
+batched: a rolling CRC-32 over the packed deltas plus a count, flushed
+as one ``EV_CLOCK`` record every ``clock_batch`` advances and before any
+other event, which keeps the stream canonical (the same execution always
+frames batches identically).
+"""
+
+import struct
+import zlib
+
+from repro.common.faults import InjectedFault, resolve_faults
+from repro.replay.log import (
+    EV_ANCHOR,
+    EV_BEGIN,
+    EV_CLOCK,
+    EV_END,
+    EV_INPUT,
+    EV_RECOVER,
+    EV_RNG,
+    EV_SCHED,
+    EV_SIGNAL,
+    EV_SOCKET,
+    FP_LOG_APPEND,
+    EventLog,
+    ReplayError,
+    event_name,
+)
+
+#: Clock advances folded into one EV_CLOCK record.
+DEFAULT_CLOCK_BATCH = 64
+
+_DELTA = struct.Struct("<q")
+
+
+class _NullTap:
+    """Shared inert tap: every site method is a no-op."""
+
+    active = False
+
+    def __bool__(self):
+        return False
+
+    def clock(self, delta_us, now_us):
+        pass
+
+    def signal(self, pid, signum, now_us, acted):
+        pass
+
+    def socket(self, app, proto, local, remote, internal):
+        pass
+
+    def sched(self, owner, unit, **extra):
+        pass
+
+    def rng(self, app, op, crc, nbytes):
+        pass
+
+    def input_event(self, kind, detail):
+        pass
+
+    def anchor(self, checkpoint_id, timestamp_us, framebuffer_sha1,
+               checkpoint_fp):
+        pass
+
+    def recover_mark(self):
+        return {}
+
+    def close(self, clock_us=None):
+        pass
+
+    def bind_faults(self, faults):
+        pass
+
+    def bind_telemetry(self, metrics):
+        pass
+
+
+NULL_TAP = _NullTap()
+
+
+def resolve_tap(tap):
+    """``tap`` if given, else the shared no-op tap (the
+    ``resolve_telemetry`` pattern)."""
+    return tap if tap is not None else NULL_TAP
+
+
+class _TapBase:
+    """Shared clock batching + canonical event construction.
+
+    Both active taps must build *identical* event data from identical
+    inputs — the lockstep comparison depends on it — so every site
+    method lives here and funnels through :meth:`emit`; subclasses
+    implement only ``_emit`` (append vs verify).
+    """
+
+    active = True
+
+    def __init__(self, clock_batch=DEFAULT_CLOCK_BATCH):
+        self._clock_batch = max(1, int(clock_batch))
+        self._clock_n = 0
+        self._clock_crc = 0
+        self._clock_now = 0
+        self._closed = False
+
+    # -------------------------------------------------------------- #
+    # Clock batching
+
+    def clock(self, delta_us, now_us):
+        self._clock_n += 1
+        self._clock_crc = zlib.crc32(_DELTA.pack(int(delta_us)),
+                                     self._clock_crc)
+        self._clock_now = int(now_us)
+        if self._clock_n >= self._clock_batch:
+            self._emit_clock()
+
+    def _emit_clock(self):
+        data = {"n": self._clock_n, "crc": self._clock_crc,
+                "now_us": self._clock_now}
+        self._clock_n = 0
+        self._clock_crc = 0
+        self._emit(EV_CLOCK, data)
+
+    def _flush_clock(self):
+        if self._clock_n:
+            self._emit_clock()
+
+    def _discard_clock(self):
+        """Drop a partial batch (crash recovery: those advances died
+        with the crash; the replay side leaves its partial batch
+        unflushed symmetrically)."""
+        self._clock_n = 0
+        self._clock_crc = 0
+
+    # -------------------------------------------------------------- #
+    # Sites (canonical event data lives here, nowhere else)
+
+    def signal(self, pid, signum, now_us, acted):
+        self.emit(EV_SIGNAL, {"pid": int(pid), "signum": int(signum),
+                              "now_us": int(now_us), "acted": bool(acted)})
+
+    def socket(self, app, proto, local, remote, internal):
+        self.emit(EV_SOCKET, {"app": app, "proto": proto, "local": local,
+                              "remote": remote, "internal": bool(internal)})
+
+    def sched(self, owner, unit, **extra):
+        data = {"owner": owner, "unit": int(unit)}
+        data.update(extra)
+        self.emit(EV_SCHED, data)
+
+    def rng(self, app, op, crc, nbytes):
+        self.emit(EV_RNG, {"app": app, "op": op, "crc": int(crc),
+                           "nbytes": int(nbytes)})
+
+    def input_event(self, kind, detail):
+        self.emit(EV_INPUT, {"kind": kind, "detail": detail})
+
+    def anchor(self, checkpoint_id, timestamp_us, framebuffer_sha1,
+               checkpoint_fp):
+        self.emit(EV_ANCHOR, {"checkpoint_id": int(checkpoint_id),
+                              "timestamp_us": int(timestamp_us),
+                              "framebuffer_sha1": framebuffer_sha1,
+                              "checkpoint_fp": checkpoint_fp})
+
+    def close(self, clock_us=None):
+        """End of a clean recording (or of the replay of one)."""
+        if self._closed:
+            return
+        self._closed = True
+        data = {} if clock_us is None else {"clock_us": int(clock_us)}
+        self.emit(EV_END, data)
+
+    def emit(self, etype, data):
+        """One non-clock event: flush any pending clock batch first so
+        the stream interleaving is canonical."""
+        self._flush_clock()
+        self._emit(etype, data)
+
+
+class RecordingTap(_TapBase):
+    """Record mode: every site event is appended to the
+    :class:`EventLog`.
+
+    The constructor writes ``EV_BEGIN`` (seq 0) carrying the stream
+    format, the clock batch size, and caller metadata — for scenario
+    recordings that is enough for :func:`repro.replay.replayer.replay`
+    to rebuild the driver without any side channel.
+    """
+
+    def __init__(self, meta=None, log=None,
+                 clock_batch=DEFAULT_CLOCK_BATCH):
+        super().__init__(clock_batch)
+        self.log = log if log is not None else EventLog()
+        begin = {"format": 1, "clock_batch": self._clock_batch}
+        if meta:
+            begin.update(meta)
+        self.log.append(EV_BEGIN, begin)
+        self._m_anchors = None
+
+    def bind_faults(self, faults):
+        self.log.bind_faults(faults)
+
+    def bind_telemetry(self, metrics):
+        self.log.bind_telemetry(metrics)
+        self._m_anchors = metrics.counter("replay.anchors")
+
+    def _emit(self, etype, data):
+        self.log.append(etype, data)
+        if etype == EV_ANCHOR and self._m_anchors is not None:
+            self._m_anchors.inc()
+
+    def recover_mark(self):
+        """Crash recovery for the event log itself: discard the partial
+        clock batch (those advances died with the crash), truncate the
+        torn tail, and append an ``EV_RECOVER`` barrier so later replays
+        verify exactly the surviving prefix."""
+        self._discard_clock()
+        report = self.log.recover()
+        self.log.append(EV_RECOVER, dict(report))
+        return report
+
+    def getvalue(self):
+        return self.log.getvalue()
+
+
+class ReplayDivergence:
+    """The first event where re-execution disagreed with the recording."""
+
+    __slots__ = ("seq", "expected_type", "expected_data", "actual_type",
+                 "actual_data")
+
+    def __init__(self, seq, expected_type, expected_data, actual_type,
+                 actual_data):
+        self.seq = seq
+        self.expected_type = expected_type
+        self.expected_data = expected_data
+        self.actual_type = actual_type
+        self.actual_data = actual_data
+
+    @property
+    def site(self):
+        """The nondeterminism site that diverged (the event type name of
+        what the replay actually produced)."""
+        return event_name(self.actual_type)
+
+    def to_dict(self):
+        return {
+            "seq": self.seq,
+            "site": self.site,
+            "expected": {"type": event_name(self.expected_type),
+                         "data": self.expected_data},
+            "actual": {"type": event_name(self.actual_type),
+                       "data": self.actual_data},
+        }
+
+    def describe(self):
+        return (
+            "replay diverged at seq %d (site %s):\n"
+            "  expected: %s %r\n"
+            "  actual:   %s %r"
+            % (self.seq, self.site,
+               event_name(self.expected_type), self.expected_data,
+               event_name(self.actual_type), self.actual_data)
+        )
+
+    def __repr__(self):
+        return "ReplayDivergence(seq=%d, site=%s)" % (self.seq, self.site)
+
+
+class DivergenceAbort(BaseException):
+    """Stops the replayed execution at the first divergent event.
+
+    Derives from :class:`BaseException` so blanket ``except Exception``
+    handlers in intermediate layers cannot swallow the verdict; the
+    replayer catches it and turns it into the report.
+    """
+
+    def __init__(self, divergence):
+        super().__init__(divergence.describe())
+        self.divergence = divergence
+
+
+class VerifyingTap(_TapBase):
+    """Replay mode: lockstep comparison against a recorded event list.
+
+    ``events`` is the decoded log with ``EV_BEGIN`` stripped and
+    truncated at the first ``EV_RECOVER`` (the replayer prepares this).
+    With ``from_checkpoint`` set, the tap fast-forwards silently until
+    its own execution reaches the anchor with that checkpoint id,
+    verifies it against the logged anchor, and goes lockstep from there
+    — anchor-synchronized verification rather than state restoration,
+    which a fully deterministic substrate makes equivalent and cheap.
+
+    The fault plan bound here is consulted (``replay.log.append``) once
+    per verified event even though nothing is written: the recording run
+    checked it once per appended event, and replaying a faulted run
+    faithfully requires the plan's hit counters and RNG to evolve
+    identically.
+    """
+
+    def __init__(self, events, from_checkpoint=None,
+                 clock_batch=DEFAULT_CLOCK_BATCH, faults=None):
+        super().__init__(clock_batch)
+        self.faults = resolve_faults(faults)
+        self._events = list(events)
+        self.divergence = None
+        self.events_verified = 0
+        self.anchors_verified = 0
+        self.log_exhausted = False
+        self._m_verified = None
+        self.from_checkpoint = from_checkpoint
+        if from_checkpoint is None:
+            self._armed = True
+            self._cursor = 0
+            self.window_start = 0
+        else:
+            self._armed = False
+            self._cursor = self._find_anchor(from_checkpoint)
+            self.window_start = self._cursor
+
+    def _find_anchor(self, checkpoint_id):
+        for index, event in enumerate(self._events):
+            if (event.etype == EV_ANCHOR
+                    and event.data.get("checkpoint_id") == checkpoint_id):
+                return index
+        have = sorted(event.data["checkpoint_id"] for event in self._events
+                      if event.etype == EV_ANCHOR)
+        raise ReplayError(
+            "no anchor for checkpoint %r in the event log (anchored: %s)"
+            % (checkpoint_id, have or "none"))
+
+    def bind_faults(self, faults):
+        self.faults = resolve_faults(faults)
+
+    def bind_telemetry(self, metrics):
+        self._m_verified = metrics.counter("replay.events_verified")
+
+    @property
+    def cursor(self):
+        """Index of the next unverified event."""
+        return self._cursor
+
+    @property
+    def complete(self):
+        """Every logged event in the verification window was re-derived
+        and matched."""
+        return self.divergence is None and self._cursor >= len(self._events)
+
+    # -------------------------------------------------------------- #
+
+    def clock(self, delta_us, now_us):
+        if not self._armed or self.divergence is not None:
+            return
+        super().clock(delta_us, now_us)
+
+    def emit(self, etype, data):
+        if not self._armed or self.divergence is not None:
+            return
+        self._flush_clock()
+        self._emit(etype, data)
+
+    def anchor(self, checkpoint_id, timestamp_us, framebuffer_sha1,
+               checkpoint_fp):
+        if not self._armed and self.divergence is None:
+            if checkpoint_id != self.from_checkpoint:
+                return
+            # Reached the requested anchor: verify it against the logged
+            # one and go lockstep for the suffix.
+            self._discard_clock()
+            self._armed = True
+        super().anchor(checkpoint_id, timestamp_us, framebuffer_sha1,
+                       checkpoint_fp)
+
+    def recover_mark(self):
+        # Replays never recover the (absent) log; keep the surface.
+        return {}
+
+    def _emit(self, etype, data):
+        # Mirror the recording side's per-append fault check so a
+        # re-armed plan fires at the same execution points; transient IO
+        # faults were absorbed by the recorder's retry, crashes
+        # propagate exactly like the original death.
+        try:
+            self.faults.check(FP_LOG_APPEND)
+        except InjectedFault:
+            pass
+        if self._cursor >= len(self._events):
+            # The recording ends here (crash-truncated prefix); the rest
+            # of the execution is beyond the log — nothing to verify.
+            self.log_exhausted = True
+            return
+        expected = self._events[self._cursor]
+        if expected.etype != etype or expected.data != data:
+            self.divergence = ReplayDivergence(
+                expected.seq, expected.etype, expected.data, etype, data)
+            raise DivergenceAbort(self.divergence)
+        self._cursor += 1
+        self.events_verified += 1
+        if self._m_verified is not None:
+            self._m_verified.inc()
+        if etype == EV_ANCHOR:
+            self.anchors_verified += 1

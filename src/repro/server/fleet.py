@@ -81,6 +81,7 @@ from repro.common.telemetry import (
     rollup_snapshots,
 )
 from repro.desktop.session import DesktopSession
+from repro.replay.tap import resolve_tap
 
 #: Session lifecycle states.
 RUNNING = "running"
@@ -177,7 +178,7 @@ class Fleet:
                  quotas=None, telemetry_enabled=True, flightrec=None,
                  watchdog=None, rollup_every=64, shards=4,
                  group_commit_bytes=GROUP_COMMIT_BYTES,
-                 max_backlog_bytes=None):
+                 max_backlog_bytes=None, replay_tap=None):
         """``flightrec`` (a
         :class:`~repro.common.flightrec.FlightRecorder`) journals
         scheduler decisions, quota throttles, lifecycle events, and
@@ -204,6 +205,9 @@ class Fleet:
                                   if max_backlog_bytes is not None
                                   else 8 * group_commit_bytes)
         self._rng = random.Random(seed)
+        #: Replay tap observing scheduler picks (the fleet-level
+        #: nondeterminism source; members tap their own sessions).
+        self.replay = resolve_tap(replay_tap)
         self._members = {}  # name -> FleetSession, admission order
         if telemetry_enabled:
             self.telemetry = Telemetry(self.clock)
@@ -334,6 +338,10 @@ class Fleet:
             self._m_crashes.inc()
         consumed = member.session.clock.now_us - before
         self.clock.advance_us(consumed)
+        if self.replay.active:
+            self.replay.sched(member.name, member.units_done,
+                              runnable=len(runnable),
+                              consumed_us=consumed)
         self._m_steps.inc()
         self._h_step_us.observe(consumed)
         if member.state == RUNNING and member.quotas is not None:

@@ -9,6 +9,7 @@ manipulates containers from the outside.
 
 from repro.common.clock import VirtualClock
 from repro.common.costs import DEFAULT_COSTS
+from repro.replay.tap import NULL_TAP
 from repro.vex.container import Container
 from repro.vex.signals import SIGCONT, SIGSTOP
 
@@ -21,6 +22,9 @@ class Kernel:
         self.costs = costs
         self.containers = []
         self._next_container_id = 1
+        #: Replay tap observing signal deliveries (bound by the session
+        #: that owns this kernel; the no-op tap otherwise).
+        self.replay = NULL_TAP
 
     def create_container(self, name):
         container = Container(self._next_container_id, name, self.clock)
@@ -37,7 +41,11 @@ class Kernel:
     def signal_process(self, process, signum):
         """Deliver a signal, charging its cost to the clock."""
         self.clock.advance_us(self.costs.signal_deliver_us)
-        return process.deliver_signal(signum, self.clock.now_us)
+        acted = process.deliver_signal(signum, self.clock.now_us)
+        if self.replay.active:
+            self.replay.signal(process.vpid, signum, self.clock.now_us,
+                               acted)
+        return acted
 
     def stop_all(self, container):
         """SIGSTOP every live process; returns how many acted immediately."""

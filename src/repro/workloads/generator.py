@@ -139,11 +139,18 @@ class Workload:
         run.start_storage = dejaview.storage_report()
 
         def steps():
+            tap = session.replay
             for index in range(units):
                 deadline = (
                     start + (index + 1) * self.pace_us if self.pace_us else None
                 )
                 flags = self.unit(run, index) or {}
+                if tap.active:
+                    # One scheduler decision: this session ran this unit
+                    # (the fleet scheduler's pick lands here too, via its
+                    # own tap).
+                    tap.sched(session.name, index,
+                              flags=[k for k in sorted(flags) if flags[k]])
                 dejaview.tick(**flags)
                 if deadline is not None:
                     if clock.now_us > deadline:

@@ -16,20 +16,27 @@ from repro.desktop.dejaview import DejaView, RecordingConfig
 from repro.desktop.session import DesktopSession
 from repro.display.commands import Region
 from repro.display.recorder import RecorderConfig
+from repro.replay import RecordingTap, assert_replays_clean
 
 WORDS = ["alpha", "beta", "gamma", "delta",
          "epsilon", "zeta", "theta", "kappa"]
 COLORS = [0xFF0000, 0x00FF00, 0x0000FF, 0xFFFF00, 0x00FFFF, 0xFF00FF]
 
 
-def build_session(fault_plan=None):
+def build_session(fault_plan=None, replay_tap=None):
     """A small session configured so every failpoint is reachable.
 
     Keyframes every simulated second (the default ten-minute interval
     would leave ``recorder.screenshot.mid_write`` unexercised by a short
-    drive).
+    drive).  Replay recording is on by default (``replay_tap=None``
+    builds a fresh :class:`RecordingTap`): the ``replay.log.append``
+    failpoint must be reachable by the crash sweep, and every faulted
+    run's event log feeds the replay-divergence oracle.  The tap is
+    reachable as ``session.replay``.
     """
-    session = DesktopSession(width=64, height=48)
+    if replay_tap is None:
+        replay_tap = RecordingTap(meta={"script": "faulthelpers.drive"})
+    session = DesktopSession(width=64, height=48, replay_tap=replay_tap)
     config = RecordingConfig(
         fault_plan=fault_plan,
         recorder_config=RecorderConfig(screenshot_interval_us=seconds(1)),
@@ -93,6 +100,33 @@ def drive(session, dejaview, units=8, resilient=False, progress=None,
         if after_unit is not None:
             after_unit(i)
     return editor
+
+
+def replay_driver(units=8, fault_plan=None, resilient=False):
+    """A replay driver re-running the scripted workload above.
+
+    ``fault_plan`` should be a :meth:`FaultPlan.fresh_copy` of the plan
+    the recorded run used, so re-execution injects the same faults at
+    the same points (crashes kill the replay exactly where they killed
+    the recording — the surviving log prefix then verifies completely).
+    """
+    def driver(tap):
+        session, dejaview = build_session(fault_plan=fault_plan,
+                                          replay_tap=tap)
+        drive(session, dejaview, units=units, resilient=resilient)
+    return driver
+
+
+def assert_recovered_run_replays(session, plan, units=8, resilient=False):
+    """The replay-divergence oracle for a recovered faulted run: the
+    surviving event-log prefix must re-derive bit-identically when the
+    same script runs under a fresh copy of the same fault plan.  Returns
+    the :class:`~repro.replay.replayer.ReplayReport`."""
+    fresh = plan.fresh_copy() if plan is not None and plan.active else None
+    return assert_replays_clean(
+        session.replay.getvalue(),
+        driver=replay_driver(units=units, fault_plan=fresh,
+                             resilient=resilient))
 
 
 def summarize(session, dejaview):

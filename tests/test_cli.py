@@ -170,6 +170,44 @@ class TestFlightRecorderCli:
         assert "# TYPE dejaview_checkpoint_count counter" in body
         assert 'fleet_seed="0"' in body
 
+    def test_replay_clean_text(self):
+        code, output = run_cli("replay", "web", "--units", "4")
+        assert code == 0
+        assert "replay clean:" in output
+        assert "anchors [1, 2]" in output
+
+    def test_replay_from_checkpoint_verify(self):
+        code, output = run_cli("replay", "web", "--units", "4",
+                               "--from-checkpoint", "2", "--verify")
+        assert code == 0
+        assert "fast-forwarded to checkpoint 2 anchor" in output
+
+    def test_replay_faulted_json(self, tmp_path):
+        import json as _json
+
+        report_path = str(tmp_path / "replay.json")
+        code, output = run_cli(
+            "replay", "web", "--units", "4", "--faults", self.CRASH,
+            "--report-out", report_path, "--json")
+        assert code == 0
+        data = _json.loads(output)
+        assert data["verified"] is True
+        assert data["crash"] and data["recovery_ok"] is True
+        report = data["report"]
+        assert report["stopped_at_recover"] is True
+        assert report["replay_crashed"] is True
+        assert report["crash_site"] == "storage.cas.page_append"
+        assert _json.loads(open(report_path).read()) == data
+
+    def test_replay_log_out(self, tmp_path):
+        from repro.replay import assert_replays_clean
+
+        log_path = str(tmp_path / "events.bin")
+        code, _ = run_cli("replay", "gzip", "--units", "4",
+                          "--log-out", log_path)
+        assert code == 0
+        assert_replays_clean(open(log_path, "rb").read())
+
     def test_fleet_stats_slo_json(self):
         import json as _json
 

@@ -34,6 +34,7 @@ from repro.common.faults import (
 
 from tests.faulthelpers import (
     WORDS,
+    assert_recovered_run_replays,
     build_session,
     drive,
     record_fault_matrix,
@@ -116,6 +117,14 @@ class TestCrashSweep:
         if dejaview.engine.history:
             revived = dejaview.take_me_back(session.clock.now_us)
             assert revived.container is not session.container
+
+        # Replay-divergence oracle: re-run the script under a fresh copy
+        # of the plan.  The replay crashes at the same site, and every
+        # event before the recovery barrier re-derives bit-identically.
+        replay_report = assert_recovered_run_replays(session, plan,
+                                                     units=UNITS)
+        assert replay_report.replay_crashed
+        assert replay_report.crash_site == site
 
 
 class TestReviveFallback:

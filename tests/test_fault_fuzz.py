@@ -28,6 +28,7 @@ from repro.common.faults import FaultPlan, InjectedCrash, registered_failpoints
 
 from tests.faulthelpers import (
     WORDS,
+    assert_recovered_run_replays,
     build_session,
     drive,
     record_fault_matrix,
@@ -98,11 +99,18 @@ class TestCrashOnlyFuzz:
         session = holder["session"]
         dejaview = holder["dejaview"]
 
+        # The reopen path runs on a fresh host: the plan's faults died
+        # with the simulated machine.
+        plan.disarm()
         report = dejaview.recover()
         record_fault_matrix(plan)
         assert report["ok"], report
 
         facts = _assert_usable(session, dejaview, clean_snapshots["final"])
+
+        # Replay-divergence oracle: whatever the crash left behind, the
+        # surviving event-log prefix must re-derive bit-identically.
+        assert_recovered_run_replays(session, plan, units=UNITS)
 
         # Until the crash the two runs executed the same script, so
         # everything committed through the last completed unit survives
@@ -157,11 +165,21 @@ class TestMixedFaultFuzz:
         session = holder["session"]
         dejaview = holder["dejaview"]
 
+        # Disarm before reopening: repeat-mode io rules must not fire
+        # inside recover() — the injected faults belong to the host that
+        # just died, not to the fresh one running recovery.
+        plan.disarm()
         report = dejaview.recover()
         record_fault_matrix(plan)
         assert report["ok"], report
         _assert_usable(session, dejaview, clean_snapshots["final"])
         assert crashed or progress["units"] == UNITS
+
+        # Replay-divergence oracle: re-executing under a fresh copy of
+        # the same plan (transient faults and all) must re-derive the
+        # surviving event-log prefix bit-identically.
+        assert_recovered_run_replays(session, plan, units=UNITS,
+                                     resilient=True)
 
     def test_double_recover_is_stable(self, clean_snapshots):
         """recover() twice in a row must be a fixpoint."""
@@ -180,6 +198,9 @@ class TestMixedFaultFuzz:
         before = summarize(session, dejaview)
         second = dejaview.recover()
         assert second["ok"]
+        # Each recover appends a replay barrier; the oracle verifies the
+        # pre-crash prefix before the *first* one regardless.
+        assert_recovered_run_replays(session, plan, units=UNITS)
         assert second["storage"]["torn_dropped"] == []
         assert second["storage"]["chain_dropped"] == []
         after = summarize(session, dejaview)

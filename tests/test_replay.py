@@ -1,0 +1,300 @@
+"""Deterministic execution replay: framing, oracle, and mutation tests.
+
+Four layers:
+
+* **Framing** — event-log round trips through the v2 CRC-framed TLV
+  codec, torn tails are tolerated on read and truncated by
+  ``EventLog.recover`` / ``EventLog.resume``.
+* **Golden fixture** — ``tests/data/replay_log_v1.bin`` pins the on-disk
+  format (like the ``ckpt_v2``/``ckpt_v3`` goldens): the committed bytes
+  must parse forever and today's writer must still produce them.
+* **Oracle** — a short recorded scenario replays clean, in full and from
+  every checkpoint anchor; recording on/off leaves the session
+  bit-identical (taps live outside the cost model).
+* **Mutation** — flipping one logged event must produce a divergence
+  report naming exactly that sequence number and site; this is the
+  proof that the oracle can actually localize a determinism bug.
+"""
+
+import io
+import os
+import random
+
+import pytest
+
+from repro.common.faults import FaultPlan, InjectedCrash
+from repro.replay import (
+    EV_ANCHOR,
+    EV_BEGIN,
+    EV_CLOCK,
+    EV_END,
+    EV_RNG,
+    NULL_TAP,
+    EventLog,
+    RecordingTap,
+    ReplayError,
+    anchor_ids,
+    assert_replays_clean,
+    prepare_events,
+    read_events,
+    record_scenario,
+    replay,
+    write_events,
+)
+
+from tests.faulthelpers import (
+    assert_recovered_run_replays,
+    build_session,
+    drive,
+    summarize,
+)
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+GOLDEN = "replay_log_v1.bin"
+
+
+def _fixture(name):
+    with open(os.path.join(DATA_DIR, name), "rb") as handle:
+        return handle.read()
+
+
+def golden_log():
+    """A small deterministic log touching every event type the format
+    defines (regenerate the fixture by writing these bytes).  The clock
+    batch of 4 exercises both a full-batch flush and a partial batch
+    flushed by the next non-clock event."""
+    tap = RecordingTap(meta={"scenario": "golden", "units": 2,
+                             "name": "gold"}, clock_batch=4)
+    now = 0
+    for delta in (100, 250, 50, 600):  # full batch -> one EV_CLOCK
+        now += delta
+        tap.clock(delta, now)
+    tap.signal(3, 19, now, True)
+    tap.socket("web", "tcp", "10.0.0.1:3000", "93.184.216.34:80", False)
+    tap.sched("gold", 0, flags=["display"])
+    tap.rng("web", "page", 0x12345678, 4096)
+    tap.input_event("key", {"app": "editor", "text": "hi", "combo": None})
+    now += 40
+    tap.clock(40, now)  # partial batch, flushed by the anchor below
+    tap.anchor(1, now, "a" * 40, "b" * 40)
+    tap.close(now)
+    return tap.getvalue()
+
+
+class TestEventLogFraming:
+    def _random_events(self, seed, count=40):
+        rng = random.Random(seed)
+        log = EventLog()
+        expected = []
+        for index in range(count):
+            etype = rng.choice([EV_CLOCK, EV_RNG, EV_ANCHOR])
+            data = {"k": rng.randrange(1 << 30), "index": index,
+                    "tag": "t%d" % rng.randrange(9)}
+            expected.append((index, etype, dict(data)))
+            log.append(etype, data)
+        return log, expected
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_round_trip(self, seed):
+        log, expected = self._random_events(seed)
+        events, torn = read_events(log.getvalue())
+        assert torn == 0
+        assert [(e.seq, e.etype, e.data) for e in events] == expected
+        # Re-serializing the decoded events is byte-identical: the
+        # payload encoding is canonical (sorted keys).
+        assert write_events(events).getvalue() == log.getvalue()
+
+    def test_torn_tail_tolerated_on_read(self):
+        log, expected = self._random_events(21, count=10)
+        clean = log.getvalue()
+        events, torn = read_events(clean + b"\x07garbage-torn-tail")
+        assert torn == len(b"\x07garbage-torn-tail")
+        assert len(events) == len(expected)
+
+    def test_recover_truncates_and_rewinds_seq(self):
+        log, _ = self._random_events(31, count=6)
+        clean_len = log.bytes_written
+        # Die mid-append, as an injected crash at replay.log.append does.
+        log._writer.write_torn(EV_RNG, b"[6,{\"partial\":")
+        report = log.recover()
+        assert report["torn_bytes_dropped"] > 0
+        assert report["events"] == 6
+        assert log.bytes_written == clean_len
+        assert log.next_seq == 6
+        log.append(EV_RNG, {"after": "recover"})
+        events, torn = read_events(log.getvalue())
+        assert torn == 0
+        assert [e.seq for e in events] == list(range(7))
+
+    def test_resume_reopens_torn_stream(self):
+        log, _ = self._random_events(41, count=5)
+        log._writer.write_torn(EV_RNG, b"[5,{\"parti")
+        torn_bytes = log.getvalue()
+        reopened, dropped, count = EventLog.resume(io.BytesIO(torn_bytes))
+        assert dropped > 0
+        assert count == 5
+        reopened.append(EV_RNG, {"resumed": True})
+        events, torn = read_events(reopened.getvalue())
+        assert torn == 0
+        assert [e.seq for e in events] == list(range(6))
+        assert events[-1].data == {"resumed": True}
+
+    def test_crash_at_append_site_tears_the_tail(self):
+        plan = FaultPlan()
+        plan.add("replay.log.append", mode="crash", after=4)
+        log = EventLog(faults=plan)
+        with pytest.raises(InjectedCrash):
+            for index in range(10):
+                log.append(EV_RNG, {"index": index})
+        events, torn = read_events(log.getvalue())
+        assert torn > 0  # header + partial payload, no checksum
+        assert len(events) == 3
+        report = log.recover()
+        assert report["torn_bytes_dropped"] == torn
+        assert read_events(log.getvalue())[1] == 0
+
+
+class TestGoldenFixture:
+    """Committed on-disk blob: the format must stay readable forever."""
+
+    def test_fixture_matches_current_writer(self):
+        assert golden_log() == _fixture(GOLDEN)
+
+    def test_fixture_parses(self):
+        meta, events, torn, stopped = prepare_events(_fixture(GOLDEN))
+        assert torn == 0 and not stopped
+        assert meta["scenario"] == "golden"
+        assert meta["clock_batch"] == 4
+        assert [e.type_name for e in events] == [
+            "clock", "signal", "socket", "sched", "rng", "input",
+            "clock", "anchor", "end"]
+        assert [e.seq for e in events] == list(range(1, 10))
+        anchor = events[-2]
+        assert anchor.data["checkpoint_id"] == 1
+        assert anchor.data["framebuffer_sha1"] == "a" * 40
+
+    def test_fixture_reserializes_byte_identical(self):
+        data = _fixture(GOLDEN)
+        events, _ = read_events(data)
+        assert events[0].etype == EV_BEGIN
+        assert write_events(events).getvalue() == data
+
+
+@pytest.fixture(scope="module")
+def recorded_web():
+    """One short clean scenario recording shared by the oracle tests."""
+    recorded = record_scenario("web", units=4)
+    assert recorded.crashed is None
+    return recorded.log_bytes
+
+
+class TestReplayOracle:
+    def test_full_replay_is_clean(self, recorded_web):
+        report = assert_replays_clean(recorded_web)
+        assert report.events_verified == report.events_total > 0
+        assert report.anchors_verified == report.anchors_total >= 1
+        assert not report.stopped_at_recover
+        assert not report.log_exhausted
+
+    def test_replay_from_every_anchor(self, recorded_web):
+        anchors = anchor_ids(recorded_web)
+        assert anchors, "short web run anchored no checkpoints"
+        for checkpoint_id in anchors:
+            report = assert_replays_clean(recorded_web,
+                                          from_checkpoint=checkpoint_id)
+            assert report.from_checkpoint == checkpoint_id
+            assert report.events_verified == report.events_total > 0
+            assert report.anchors_verified >= 1
+
+    def test_unknown_anchor_raises_with_catalog(self, recorded_web):
+        with pytest.raises(ReplayError) as excinfo:
+            replay(recorded_web, from_checkpoint=999)
+        message = str(excinfo.value)
+        assert "999" in message
+        for checkpoint_id in anchor_ids(recorded_web):
+            assert str(checkpoint_id) in message
+
+    def test_crash_truncated_prefix_replays(self):
+        plan = FaultPlan(seed=5)
+        plan.add("replay.log.append", mode="crash", after=100)
+        holder = {}
+        with pytest.raises(InjectedCrash):
+            session, dejaview = build_session(fault_plan=plan)
+            holder["session"] = session
+            holder["dejaview"] = dejaview
+            drive(session, dejaview)
+        session, dejaview = holder["session"], holder["dejaview"]
+        _, torn_before = read_events(session.replay.getvalue())
+        assert torn_before > 0
+        recovery = dejaview.recover()
+        assert recovery["replay_log"]["torn_bytes_dropped"] == torn_before
+        report = assert_recovered_run_replays(session, plan)
+        assert report.stopped_at_recover
+        assert report.replay_crashed
+        assert report.crash_site == "replay.log.append"
+
+
+class TestMutationPinpointsDivergence:
+    """Seeded single-event corruption: the report must name the exact
+    first bad event, not just "diverged"."""
+
+    def _mutate(self, data, seed, etype, field, flip):
+        events, _ = read_events(data)
+        rng = random.Random(seed)
+        victim = rng.choice([e for e in events if e.etype == etype])
+        victim.data[field] = flip(victim.data[field])
+        return write_events(events).getvalue(), victim
+
+    def test_flipped_rng_draw(self, recorded_web):
+        mutated, victim = self._mutate(recorded_web, 7, EV_RNG, "crc",
+                                       lambda crc: crc ^ 1)
+        report = replay(mutated)
+        assert not report.ok
+        divergence = report.divergence
+        assert divergence.seq == victim.seq
+        assert divergence.site == "rng"
+        assert "seq %d" % victim.seq in divergence.describe()
+
+    def test_flipped_anchor_fingerprint(self, recorded_web):
+        mutated, victim = self._mutate(
+            recorded_web, 9, EV_ANCHOR, "framebuffer_sha1",
+            lambda sha: ("f" if sha[0] != "f" else "0") + sha[1:])
+        report = replay(mutated)
+        assert not report.ok
+        assert report.divergence.seq == victim.seq
+        assert report.divergence.site == "anchor"
+
+    def test_flipped_clock_batch(self, recorded_web):
+        mutated, victim = self._mutate(recorded_web, 13, EV_CLOCK, "crc",
+                                       lambda crc: crc ^ 0x80)
+        report = replay(mutated)
+        assert not report.ok
+        assert report.divergence.seq == victim.seq
+        assert report.divergence.site == "clock"
+
+
+class TestRecordingTransparency:
+    """Recording on or off must not perturb the session: taps never
+    charge the virtual clock, so the recorded facts are bit-identical."""
+
+    def test_tap_on_off_bit_identical(self):
+        tapped_session, tapped_dv = build_session()
+        drive(tapped_session, tapped_dv, units=4)
+        bare_session, bare_dv = build_session(replay_tap=NULL_TAP)
+        drive(bare_session, bare_dv, units=4)
+
+        assert tapped_session.replay.active
+        assert not bare_session.replay.active
+        assert summarize(tapped_session, tapped_dv) == \
+            summarize(bare_session, bare_dv)
+        assert tapped_session.clock.now_us == bare_session.clock.now_us
+        assert tapped_session.driver.framebuffer.checksum() == \
+            bare_session.driver.framebuffer.checksum()
+        last = tapped_dv.engine.history[-1].checkpoint_id
+        assert tapped_dv.storage.blob_fingerprint(last) == \
+            bare_dv.storage.blob_fingerprint(last)
+
+    def test_end_event_carries_final_clock(self, recorded_web):
+        _, events, _, _ = prepare_events(recorded_web)
+        assert events[-1].etype == EV_END
+        assert events[-1].data["clock_us"] > 0
