@@ -14,10 +14,11 @@ Reviving a checkpointed desktop session:
    restored precisely, network access disabled by default.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.errors import ReviveError
 from repro.common.telemetry import resolve_telemetry
+from repro.replay.tap import resolve_tap
 from repro.vex.process import ProcessState
 from repro.vex.sockets import Socket
 
@@ -40,6 +41,9 @@ class ReviveResult:
     pages_deferred: int = 0
     #: The :class:`DemandPager` serving this revive (demand-paging only).
     pager: object = None
+    #: Every image id the revived memory may page from: the checkpoint
+    #: plus its incremental chain (what a forked branch must pin).
+    required_images: tuple = field(default_factory=tuple)
 
 
 class DemandPager:
@@ -67,6 +71,9 @@ class DemandPager:
             "revive.demand_faults")
         self.faults = 0
         self.pages_loaded = 0
+        #: Page bytes streamed in by faults so far — the demand-paged
+        #: complement of the eager path's up-front ``bytes_read``.
+        self.bytes_streamed = 0
 
     def remaining(self):
         return len(self._page_owner)
@@ -88,7 +95,8 @@ class DemandPager:
         if owner_id not in self._images:
             # First touch of this image: read its metadata record only.
             self._images[owner_id] = self._manager.storage.load(
-                owner_id, cached=self._cached, metadata_only=True
+                owner_id, cached=self._cached, metadata_only=True,
+                clock=clock,
             )
         # Resolve the payload: inline for v2 images, via the manifest
         # digest into the content-addressed page store for v3.
@@ -110,7 +118,11 @@ class DemandPager:
         clock.advance_us(costs.page_restore_us)
         self.faults += 1
         self.pages_loaded += 1
+        self.bytes_streamed += page_len
         self._m_faults.inc()
+        # Faulted bytes accrue to the revive read counter as they
+        # stream — the fork itself charged only metadata.
+        self._manager._m_bytes.inc(page_len)
 
     def touch_all(self):
         """Fault in every remaining page (used by tests/benchmarks to
@@ -130,12 +142,19 @@ class DemandPager:
 class ReviveManager:
     """Revives checkpoints into fresh containers."""
 
-    def __init__(self, kernel, fsstore, storage, telemetry=None):
+    def __init__(self, kernel, fsstore, storage, telemetry=None,
+                 replay=None):
         self.kernel = kernel
         self.fsstore = fsstore
         self.storage = storage
         self.clock = kernel.clock
         self.costs = kernel.costs
+        #: Replay tap for *branch forks*: revive-time nondeterminism
+        #: (socket resets, the fresh container identity) is logged as
+        #: events so replay verifies it instead of re-deriving it.
+        #: Solo revives keep the null tap — their recordings are closed
+        #: by the time ``take_me_back`` runs.
+        self.replay = resolve_tap(replay)
         self.telemetry = resolve_telemetry(telemetry)
         metrics = self.telemetry.metrics
         self._m_revives = metrics.counter("revive.count")
@@ -173,13 +192,23 @@ class ReviveManager:
 
     def _revive(self, checkpoint_id, cached, network_enabled, demand_paging):
         watch = self.clock.stopwatch()
-        if cached is False:
+        # A branch fork revives out of *another* session's storage: reads
+        # charge this reviver's clock, and the parent's cache state is
+        # left alone (evicting it would perturb the parent's timeline).
+        foreign = self.clock is not self.storage.clock
+        if cached is False and not foreign:
             self.storage.evict_all()
 
         image = self.storage.load(checkpoint_id, cached=cached,
-                                  metadata_only=demand_paging)
+                                  metadata_only=demand_paging,
+                                  clock=self.clock)
         images = {checkpoint_id: image}
-        bytes_read = self.storage.size_of(checkpoint_id)[0]
+        if demand_paging:
+            # Only the metadata record was read at fork; page bytes are
+            # accounted by the pager as faults stream them in.
+            bytes_read = self.storage.metadata_size_of(checkpoint_id)
+        else:
+            bytes_read = self.storage.size_of(checkpoint_id)[0]
 
         self._revive_count += 1
         container = self.kernel.create_container(
@@ -187,12 +216,16 @@ class ReviveManager:
         )
         container.network_enabled = network_enabled
 
-        # File system: branch the bound snapshot into a writable view.
-        mount = self.fsstore.branch_at(checkpoint_id)
+        # File system: branch the bound snapshot into a writable view
+        # charging *this* reviver's clock (a fork must not advance the
+        # parent session's timeline).
+        mount = self.fsstore.branch_at(checkpoint_id, clock=self.clock,
+                                       costs=self.costs)
         container.mount = mount
 
         # Process forest.
         reset_sockets = 0
+        reset_records = []
         by_vpid = {}
         for record in image.processes:
             parent = by_vpid.get(record["parent_vpid"])
@@ -204,7 +237,8 @@ class ReviveManager:
                 gid=record["gid"],
                 nice=record["nice"],
             )
-            reset_sockets += self._restore_process_state(process, record)
+            reset_sockets += self._restore_process_state(
+                process, record, reset_records)
             by_vpid[record["vpid"]] = process
             self.clock.advance_us(self.costs.process_state_restore_us)
 
@@ -244,6 +278,19 @@ class ReviveManager:
         for process in container.live_processes():
             process.state = ProcessState.RUNNABLE
 
+        # Branch-fork nondeterminism is *logged*, never re-derived: the
+        # fresh container identity and every section 5.2 socket reset
+        # become replay events that a re-fork must reproduce verbatim.
+        if self.replay.active:
+            self.replay.input_event("revive.fork", {
+                "checkpoint_id": checkpoint_id,
+                "container": container.name,
+                "processes": len(by_vpid),
+                "reset_sockets": reset_sockets,
+            })
+            for app, proto, local, remote, internal in reset_records:
+                self.replay.socket(app, proto, local, remote, internal)
+
         result = ReviveResult(
             container=container,
             checkpoint_id=checkpoint_id,
@@ -256,14 +303,18 @@ class ReviveManager:
             processes=len(by_vpid),
             demand_paged=demand_paging,
             pages_deferred=pager.remaining() if pager else 0,
+            required_images=tuple(sorted(
+                {checkpoint_id} | set(image.page_locations.values()))),
         )
         result.pager = pager
         return result
 
     # ------------------------------------------------------------------ #
 
-    def _restore_process_state(self, process, record):
-        """Restore the non-memory state vector; returns sockets reset."""
+    def _restore_process_state(self, process, record, reset_records=None):
+        """Restore the non-memory state vector; returns sockets reset.
+        Reset socket descriptors are appended to ``reset_records`` for
+        replay logging."""
         from repro.vex.process import FileDescriptor, Thread
 
         process.pending_signals = list(record["pending_signals"])
@@ -284,6 +335,10 @@ class ReviveManager:
                 socket = Socket.from_snapshot(fd_record["socket"])
                 if not socket.restore_for_revive():
                     reset += 1
+                    if reset_records is not None:
+                        reset_records.append((
+                            process.name, socket.proto, socket.local,
+                            socket.remote, socket.internal))
             entry = FileDescriptor(
                 fd=fd_record["fd"],
                 kind=fd_record["kind"],
@@ -328,7 +383,8 @@ class ReviveManager:
         chain_bytes = 0
         for owner_id in sorted(by_owner, reverse=True):
             if owner_id not in images:
-                images[owner_id] = self.storage.load(owner_id, cached=cached)
+                images[owner_id] = self.storage.load(owner_id, cached=cached,
+                                                     clock=self.clock)
                 chain_bytes += self.storage.size_of(owner_id)[0]
             owner = images[owner_id]
             for key in by_owner[owner_id]:

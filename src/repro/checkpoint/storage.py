@@ -118,6 +118,7 @@ FP_CAS_PAGE_APPEND = "storage.cas.page_append"
 FP_CAS_MANIFEST_COMMIT = "storage.cas.manifest_commit"
 FP_SHARD_FLUSH = "storage.shard.flush"
 FP_SHARD_GROUP_COMMIT = "storage.shard.group_commit"
+FP_BRANCH_REFS = "revive.branch.refs"
 
 #: CAS pages are appended to fixed-size extents (compressed bytes).  A
 #: reclaimed page leaves dead bytes in its extent;
@@ -657,11 +658,24 @@ class ShardedPageCAS:
             for digest, (raw_len, comp_len) in self.sizes.items()
         }
 
+    def refcount_consistent(self):
+        """The refcount fsck: every live page's global count must be
+        exactly the sum of the per-owner counts (no owner bucket can
+        drift from the global ledger, no ref can exist ownerless)."""
+        totals = {}
+        for refs in self.owner_refs.values():
+            for digest, count in refs.items():
+                totals[digest] = totals.get(digest, 0) + count
+        live = {digest: count
+                for digest, count in self.refs.items() if count}
+        return totals == live
+
     def stats(self):
         """Fleet-level CAS facts (physical bytes + cross-owner dedup +
         per-shard writeback figures)."""
         return {
             "cas_pages": len(self.sizes),
+            "refcount_consistent": self.refcount_consistent(),
             "physical_uncompressed_bytes": self.total_uncompressed_bytes,
             "physical_compressed_bytes": self.total_compressed_bytes,
             "cross_pages_deduped": self.cross_pages_deduped,
@@ -736,6 +750,11 @@ class CheckpointStorage:
         self._manifests = {}  # image id -> tuple of page digests (key order)
         self._manifest_sizes = {}  # image id -> (raw, compressed) blob bytes
         self._stored_mode = {}  # image id -> accounted mode at store time
+        # Base-manifest pins: a revived branch's claim on the page digests
+        # of its *source* checkpoint chain, held in the shared CAS under
+        # this owner so the parent (or a sibling) pruning the source never
+        # reclaims pages the branch still demand-pages.
+        self._base_manifests = {}  # source image id -> tuple of digests
         # Owner-logical totals: manifest/blob frames, plus each unique CAS
         # page this owner references, charged once while referenced.
         self._frame_raw_total = 0
@@ -1126,7 +1145,7 @@ class CheckpointStorage:
     # ------------------------------------------------------------------ #
     # Read path
 
-    def load(self, image_id, cached=None, metadata_only=False):
+    def load(self, image_id, cached=None, metadata_only=False, clock=None):
         """Read and decode an image.
 
         ``cached=None`` uses the storage's own cache state; True/False
@@ -1140,16 +1159,23 @@ class CheckpointStorage:
         A full load hydrates ``pages`` from the CAS, so callers see the
         same object either format produced.
 
+        ``clock`` charges the read to a *foreign* clock — a revived
+        branch demand-pages out of its parent's storage but pays on its
+        own timeline, and must not mutate the parent's cache state (the
+        branch host's page cache is not the parent's).
+
         A torn or corrupt frame — or a manifest whose digest cannot be
         resolved — raises :class:`CheckpointError` (after charging for
         the attempted read; the seek still happened).
         """
+        charge = clock if clock is not None else self.clock
+        foreign = charge is not self.clock
         frame = self._blobs.get(image_id)
         if frame is None:
             raise CheckpointError("no stored checkpoint %d" % image_id)
         ok, reason = self.blob_ok(image_id)
         if not ok:
-            self.clock.advance_us(
+            charge.advance_us(
                 self.costs.disk_read_us(len(frame), sequential=False))
             self.read_count += 1
             raise CheckpointError(
@@ -1162,12 +1188,12 @@ class CheckpointStorage:
         if cached is None:
             cached = image_id in self._cached
         if cached:
-            self.clock.advance_us(read_bytes * self.costs.memcpy_us_per_byte)
+            charge.advance_us(read_bytes * self.costs.memcpy_us_per_byte)
         else:
-            self.clock.advance_us(
+            charge.advance_us(
                 self.costs.disk_read_us(read_bytes, sequential=False)
             )
-            if not metadata_only:
+            if not metadata_only and not foreign:
                 self._cached.add(image_id)
         self.read_count += 1
         image = CheckpointImage.deserialize(zlib.decompress(blob))
@@ -1202,6 +1228,15 @@ class CheckpointStorage:
         if image_id not in self._sizes:
             raise CheckpointError("no stored checkpoint %d" % image_id)
         return self._sizes[image_id]
+
+    def metadata_size_of(self, image_id):
+        """Byte size of one image's metadata record alone — what a
+        demand-paged fork actually reads up front."""
+        if image_id not in self._meta_sizes:
+            raise CheckpointError("no stored checkpoint %d" % image_id)
+        uncompressed, compressed = self._sizes[image_id]
+        logical = compressed if self.compress else uncompressed
+        return min(logical, self._meta_sizes[image_id])
 
     def manifest_digests(self, image_id):
         """The stored page-digest manifest of one image (empty for whole
@@ -1262,6 +1297,67 @@ class CheckpointStorage:
         self._frame_comp_total -= man_comp
         for digest in digests:
             freed += self._unref(digest)
+        return freed
+
+    # ------------------------------------------------------------------ #
+    # Base-manifest pins (branchable revive)
+
+    @property
+    def base_manifests(self):
+        """``{source image id: digest tuple}`` of committed pins."""
+        return dict(self._base_manifests)
+
+    def pin_base_manifest(self, source_id, digests):
+        """Take owner references on a source checkpoint's page digests.
+
+        A branch forked from another owner's checkpoint pins the
+        checkpoint chain's manifests under *its own* owner bucket, so
+        (a) the parent pruning the source never reclaims pages the
+        branch still demand-pages, and (b) the branch's first own
+        checkpoints dedup against the base — only diverged pages cost
+        bytes.  Pinned bytes are charged to the branch's owner-logical
+        totals exactly like stored pages.
+
+        The pin commits (``_base_manifests``) only after every ref is
+        taken: a crash mid-loop (failpoint ``revive.branch.refs``)
+        leaves partial raw refs that :meth:`recover`'s owner-scoped
+        rebuild wipes, because no committed record derives them.  An
+        injected transient fault rolls the partial refs back.
+        """
+        digests = tuple(digests)
+        if source_id in self._base_manifests:
+            return 0
+        cas = self.cas
+        pinned_bytes = 0
+        taken = []
+        midpoint = len(digests) // 2
+        try:
+            for index, digest in enumerate(digests):
+                if index == midpoint:
+                    self.faults.check(FP_BRANCH_REFS)
+                if cas.add_ref(self.owner, digest):
+                    raw_len, comp_len = cas.sizes.get(digest, (0, 0))
+                    self._page_raw_total += raw_len
+                    self._page_comp_total += comp_len
+                    mode = cas.mode.get(digest, self.compress)
+                    pinned_bytes += comp_len if mode else raw_len
+                taken.append(digest)
+        except InjectedFault:
+            for digest in reversed(taken):
+                self._unref(digest)
+            raise
+        self._base_manifests[source_id] = digests
+        return pinned_bytes
+
+    def release_base_manifests(self):
+        """Drop every base-manifest pin; returns owner-logical bytes
+        freed.  Deleting a branch releases exactly its private pages:
+        base pages still referenced by the parent or a sibling survive."""
+        freed = 0
+        for digests in self._base_manifests.values():
+            for digest in digests:
+                freed += self._unref(digest)
+        self._base_manifests.clear()
         return freed
 
     # ------------------------------------------------------------------ #
@@ -1388,11 +1484,26 @@ class CheckpointStorage:
                 forget(image_id)
                 report["manifest_dropped"].append(image_id)
 
+        # Phase 3b: base-manifest pins must resolve too.  A pin whose
+        # digests vanished (the source chain was torn away) is dropped —
+        # the branch can no longer demand-page that image.
+        report["base_manifests_dropped"] = []
+        for source_id in sorted(self._base_manifests):
+            if any(digest not in cas.pages
+                   for digest in self._base_manifests[source_id]):
+                del self._base_manifests[source_id]
+                report["base_manifests_dropped"].append(source_id)
+
         def rebuild_refs():
             self._manifests = {image_id: self._manifests.get(image_id, ())
                                for image_id in self._blobs}
-            reclaimed = cas.rebuild_owner_refs(
-                self.owner, self._manifests.values())
+            # Owner refs derive from committed state only: surviving
+            # manifests plus committed base-manifest pins.  Partial pins
+            # from a crash mid-``pin_base_manifest`` have no committed
+            # record and are wiped here — the branch-fork fsck.
+            derived = list(self._manifests.values())
+            derived.extend(self._base_manifests.values())
+            reclaimed = cas.rebuild_owner_refs(self.owner, derived)
             report["cas_orphans_reclaimed"] += reclaimed
 
         # Phase 4: this owner's refcounts come from its surviving

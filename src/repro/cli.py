@@ -224,6 +224,28 @@ def build_parser():
     top.add_argument("--steps-per-frame", type=int, default=16,
                      help="scheduler steps between frames (default 16)")
 
+    storm = sub.add_parser(
+        "revive-storm",
+        help="fork N branches from one checkpoint of a recorded parent "
+             "and run them as fleet members (section 5.2 branchable "
+             "revive)")
+    storm.add_argument("--branches", type=int, default=16,
+                       help="simultaneous branches to fork (default 16)")
+    storm.add_argument("--scenario", default="web",
+                       help="parent scenario to record (default web)")
+    storm.add_argument("--seed", type=int, default=0,
+                       help="scheduler interleaving seed (default 0)")
+    storm.add_argument("--parent-units", type=int, default=24,
+                       help="parent work units before the fork point")
+    storm.add_argument("--branch-units", type=int, default=4,
+                       help="work units per branch after the fork")
+    storm.add_argument("--crash-branch", type=int, default=None,
+                       metavar="N",
+                       help="kill branch N mid-fork (revive.branch.refs) "
+                            "and recover it — storm resilience demo")
+    storm.add_argument("--shards", type=int, default=4,
+                       help="shared page store shard count (default 4)")
+
     sub.add_parser("demo", help="record/search/revive guided tour")
     sub.add_parser("figures", help="map of paper figures to bench files")
     for command in sub.choices.values():
@@ -799,6 +821,15 @@ def cmd_fleet_stats(args, out):
     if "faults" in stats:
         print("failpoint rollup (all sessions):", file=out)
         _print_fault_table(stats["faults"]["sites"], out)
+    if "branches" in stats:
+        br = stats["branches"]
+        print("branches: %d forked, %d fork failure(s), %d deleted" % (
+            br["forked"], br["fork_failures"], br["deleted"]), file=out)
+        for name, info in sorted(br["live"].items()):
+            print("  %-6s parent=%s@%d shared=%s private=%s" % (
+                name, info["parent"], info["source_checkpoint"],
+                format_bytes(info["shared_bytes"]),
+                format_bytes(info["private_bytes"])), file=out)
     cas = stats["cas"]
     print("shared page store: dedup ratio %.1f%%, %d cross-session "
           "page(s), %d orphan(s) reclaimed" % (
@@ -820,6 +851,63 @@ def cmd_fleet_stats(args, out):
     return 0
 
 
+def cmd_revive_storm(args, out):
+    """Fork ``--branches`` members from one checkpoint of a recorded
+    parent and run them to completion, printing fork latency and the
+    shared/private page economics (section 5.2 branchable revive)."""
+    from repro.workloads.fleet_wl import run_revive_storm
+
+    fleet, report = run_revive_storm(
+        args.branches, seed=args.seed, scenario=args.scenario,
+        parent_units=args.parent_units, branch_units=args.branch_units,
+        crash_branch=args.crash_branch, shards=args.shards)
+    stats = fleet.stats()
+    if args.json:
+        json.dump({"storm": report, "final": stats}, out, indent=2,
+                  default=str)
+        print(file=out)
+        return 0
+    print("revive storm: %d branch(es) from checkpoint %d of %r "
+          "(scenario %s, seed %d)" % (
+              args.branches, report["source_checkpoint"], "p0",
+              args.scenario, args.seed), file=out)
+    forks = sorted(report["fork_us"])
+    if forks:
+        print("fork latency (virtual us): p50=%d p95=%d max=%d" % (
+            forks[len(forks) // 2],
+            forks[min(len(forks) - 1, int(len(forks) * 0.95))],
+            forks[-1]), file=out)
+    at_fork = report["split_at_fork"].values()
+    total_shared = sum(s["shared_bytes"] for s in at_fork)
+    total_private = sum(s["private_bytes"] for s in at_fork)
+    denom = total_shared + total_private
+    print("pages at fork: %s shared, %s private (%.1f%% shared)" % (
+        format_bytes(total_shared), format_bytes(total_private),
+        100.0 * total_shared / denom if denom else 0.0), file=out)
+    if report["crashed"] is not None:
+        print("injected crash: %s at %s, recovery %s" % (
+            report["crashed"]["name"], report["crashed"]["site"],
+            "ok" if report["crashed"]["recovery_ok"] else "FAILED"),
+            file=out)
+    for name, info in sorted(stats["sessions"].items()):
+        if info.get("kind") != "branch":
+            continue
+        split = report["split_after_run"].get(name, {})
+        print("  %-6s %-8s %-10s %3d/%3d units, %d checkpoint(s), "
+              "shared %s / private %s" % (
+                  name, info["scenario"], info["state"],
+                  info["units_done"], info["units_total"],
+                  info["checkpoints"],
+                  format_bytes(split.get("shared_bytes", 0)),
+                  format_bytes(split.get("private_bytes", 0))), file=out)
+    cas = stats["cas"]
+    print("shared page store: %s physical, cross-session dedup "
+          "ratio %.1f%%" % (
+              format_bytes(cas["physical_uncompressed_bytes"]),
+              100.0 * cas["dedup_ratio"]), file=out)
+    return 0
+
+
 def _top_frame(fleet):
     """One ``repro top`` dashboard frame as a JSON-ready dict."""
     members = []
@@ -829,12 +917,19 @@ def _top_frame(fleet):
             "scenario": member.scenario,
             "state": member.state,
             "units_done": member.units_done,
-            "units_total": member.run.units,
-            "clock_us": member.session.clock.now_us,
-            "checkpoints": member.dejaview.checkpoint_count,
+            "units_total": member.run.units if member.run else 0,
+            "clock_us": (member.session.clock.now_us
+                         if member.session else 0),
+            "checkpoints": (member.dejaview.checkpoint_count
+                            if member.dejaview else 0),
         }
-        telemetry = member.dejaview.telemetry
-        if telemetry.enabled:
+        if member.is_branch:
+            info["kind"] = "branch"
+            info["parent"] = member.parent
+            info["source_checkpoint"] = member.source_checkpoint
+        telemetry = member.dejaview.telemetry \
+            if member.dejaview is not None else None
+        if telemetry is not None and telemetry.enabled:
             down = telemetry.metrics.snapshot()["histograms"].get(
                 "checkpoint.downtime_us")
             if down and down["count"]:
@@ -878,8 +973,11 @@ def _print_top_frame(frame, index, out):
         down = format_duration_us(member["downtime_p95_us"]) \
             if "downtime_p95_us" in member else "-"
         extra = ""
+        if member.get("kind") == "branch":
+            extra = " branch-of:%s@%d" % (
+                member["parent"], member["source_checkpoint"])
         if "quota" in member:
-            extra = " quota:%s %d>%d" % (
+            extra += " quota:%s %d>%d" % (
                 member["quota"]["quota"], member["quota"]["used"],
                 member["quota"]["limit"])
         print("  %-6s %-8s %-10s %3d/%3d units ckpt=%-3d p95=%-9s "
@@ -978,6 +1076,7 @@ def main(argv=None, out=None):
         "replay": cmd_replay,
         "serve": cmd_serve,
         "fleet-stats": cmd_fleet_stats,
+        "revive-storm": cmd_revive_storm,
         "top": cmd_top,
         "demo": cmd_demo,
         "figures": cmd_figures,

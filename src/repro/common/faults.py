@@ -86,6 +86,18 @@ FAILPOINTS = {
         "encoded but before the record lands (crash leaves a torn TLV "
         "event at the log tail; recovery truncates to the valid prefix "
         "and appends an EV_RECOVER barrier)",
+    "revive.branch.mount":
+        "Fleet.revive, after the branch member is admitted but before "
+        "the revived container and its COW union mount exist (crash "
+        "leaves a fleet member shell with no session behind it; "
+        "recovery reclaims the shell and any owner refs without "
+        "touching the parent or sibling branches)",
+    "revive.branch.refs":
+        "Fleet.revive, mid-way through pinning the source checkpoint's "
+        "page manifests under the branch owner (crash leaves partial "
+        "owner refcounts with no base-manifest record committed; the "
+        "branch's storage fsck rebuilds owner refs from committed "
+        "manifests only, wiping the partial pins)",
 }
 
 

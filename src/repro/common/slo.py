@@ -36,6 +36,10 @@ SHORTHANDS = {
     "crash_count": ("counter", "fleet.sessions_crashed", None),
     "throttle_count": ("counter", "fleet.sessions_throttled", None),
     "writeback_backlog_p95": ("histogram", "fleet.writeback_backlog", "p95"),
+    "fork_p95": ("histogram", "fleet.fork_us", "p95"),
+    "fork_p50": ("histogram", "fleet.fork_us", "p50"),
+    "branch_count": ("counter", "fleet.branches_forked", None),
+    "branch_fork_failures": ("counter", "fleet.branch_forks_failed", None),
 }
 
 

@@ -482,6 +482,12 @@ class DejaView:
             "fs_log": self.session.fs.log_bytes,
             "fs_visible": self.session.fs.visible_bytes(),
         }
+        fs = self.session.fs
+        if hasattr(fs, "copy_up_bytes"):
+            # A revived branch records over a COW union mount: copy-ups
+            # are the branch's private divergence cost (section 5.2).
+            report["fs_copy_up"] = fs.copy_up_bytes
+            report["fs_copy_up_files"] = fs.copy_up_count
         report.update(self.storage.dedup_stats())
         return report
 

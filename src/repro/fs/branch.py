@@ -43,17 +43,24 @@ class BranchableStore:
     # ------------------------------------------------------------------ #
     # Revive-side interface
 
-    def branch_at(self, checkpoint_counter):
+    def branch_at(self, checkpoint_counter, clock=None, costs=None):
         """Create an independent writable view of the file system exactly
         as it was at ``checkpoint_counter``.
 
         The branch's writable layer is itself a log-structured file system,
         so "the revived session retains DejaView's ability to continuously
         checkpoint session state and later revive it" (section 5.2).
+
+        ``clock``/``costs`` put the branch's writable layer on a *foreign*
+        timeline — a fleet branch forked from this store runs on its own
+        clock, and its writes must never advance the parent's.  Lower-layer
+        reads are clock-free, so sharing the snapshot is safe.
         """
+        clock = clock if clock is not None else self.clock
+        costs = costs if costs is not None else self.costs
         lower = self.fs.view_for_checkpoint(checkpoint_counter)
-        upper = LogStructuredFS(clock=self.clock, costs=self.costs)
-        branch = UnionMount(lower, upper, clock=self.clock, costs=self.costs)
+        upper = LogStructuredFS(clock=clock, costs=costs)
+        branch = UnionMount(lower, upper, clock=clock, costs=costs)
         self.branches.append(branch)
         return branch
 
@@ -97,12 +104,13 @@ class RevivedStore:
         self.fs.associate_checkpoint(checkpoint_counter, txn)
         return txn
 
-    def branch_at(self, checkpoint_counter):
+    def branch_at(self, checkpoint_counter, clock=None, costs=None):
+        clock = clock if clock is not None else self.clock
+        costs = costs if costs is not None else self.costs
         upper_view = self.fs.view_for_checkpoint(checkpoint_counter)
         lower = ReadOnlyUnionView([upper_view, self.mount.lower])
-        fresh_upper = LogStructuredFS(clock=self.clock, costs=self.costs)
-        branch = UnionMount(lower, fresh_upper, clock=self.clock,
-                            costs=self.costs)
+        fresh_upper = LogStructuredFS(clock=clock, costs=costs)
+        branch = UnionMount(lower, fresh_upper, clock=clock, costs=costs)
         self.branches.append(branch)
         return branch
 

@@ -214,6 +214,66 @@ class UnionMount:
         self.write_file(dst, data)
         self.unlink(src)
 
+    def create(self, path, data=b"", mode=0o644):
+        path = normalize_path(path)
+        if self.exists(path):
+            raise FileSystemError("path already exists: %s" % path)
+        self._ensure_upper_dirs(path)
+        self._clear_whiteout(path)
+        return self.upper.create(path, data, mode=mode)
+
+    def open(self, path):
+        """Open a file handle in the writable layer, copying up a
+        lower-only file first — handles carry upper-layer inode ids so
+        the checkpoint engine's open-unlinked relinking keeps working on
+        a branch."""
+        path = normalize_path(path)
+        if not self._in_upper(path):
+            if not self._in_lower(path):
+                raise FileSystemError(
+                    "no such file or directory: %s" % path)
+            self._copy_up(path)
+        return self.upper.open(path)
+
+    # ------------------------------------------------------------------ #
+    # Session-grade surface: a revived branch uses the union mount as its
+    # primary file system, so it must also carry the bookkeeping API a
+    # recording session expects (sync barriers, byte accounting, crash
+    # recovery, telemetry/fault bindings).  All of it delegates to the
+    # writable layer — the lower snapshot is immutable and costless.
+
+    def sync(self):
+        """Flush the writable layer's dirty blocks."""
+        return self.upper.sync()
+
+    @property
+    def log_bytes(self):
+        return self.upper.log_bytes
+
+    def visible_bytes(self, txn=None):
+        """Visible size of the union: the writable layer plus every
+        lower-layer file not shadowed or whited out."""
+        total = self.upper.visible_bytes(txn)
+        for path in self.lower.walk_files("/"):
+            if not self._in_upper(path) and self._in_lower(path):
+                total += self.lower.stat(path)["size"]
+        return total
+
+    def recover(self):
+        """Post-crash recovery of the writable layer (the lower snapshot
+        is read-only and cannot tear)."""
+        return self.upper.recover()
+
+    def bind_telemetry(self, telemetry):
+        bind = getattr(self.upper, "bind_telemetry", None)
+        if bind is not None:
+            bind(telemetry)
+
+    def bind_faults(self, faults):
+        bind = getattr(self.upper, "bind_faults", None)
+        if bind is not None:
+            bind(faults)
+
     # ------------------------------------------------------------------ #
 
     @property

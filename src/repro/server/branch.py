@@ -1,0 +1,119 @@
+"""A fleet member forked from another member's checkpoint.
+
+"DejaView's combination of unioning and file system snapshots provides a
+branchable file system to enable DejaView to create multiple revived
+sessions from a single checkpoint" (section 5.2).  A
+:class:`BranchSession` is the session-shaped stack around one such
+revived moment: the parent's checkpoint is demand-paged out of the
+shared page store, the file system is a COW union mount over the
+parent's read-only LFS snapshot, and everything that *charges* — reads,
+copy-ups, new writes — lands on the branch's own virtual clock, so the
+fork never perturbs the parent's timeline (the fleet's byte-identity
+invariant extends to branches).
+
+Branch-visible nondeterminism at fork time — section 5.2 socket resets
+and the fresh container identity — is logged through the branch's
+replay tap, never re-derived: a replayed fork must reproduce the
+recorded resets verbatim.
+"""
+
+from repro.access.registry import DesktopRegistry
+from repro.checkpoint.restore import ReviveManager
+from repro.common.clock import VirtualClock
+from repro.common.costs import DEFAULT_COSTS
+from repro.common.faults import resolve_faults
+from repro.common.flightrec import NULL_SCOPE
+from repro.desktop.session import DEFAULT_HEIGHT, DEFAULT_WIDTH, \
+    DesktopSession
+from repro.display.driver import VirtualDisplayDriver
+from repro.display.viewer import Viewer
+from repro.fs.branch import RevivedStore
+from repro.replay.tap import resolve_tap
+from repro.vex.kernel import Kernel
+
+FP_BRANCH_MOUNT = "revive.branch.mount"
+
+
+class BranchSession(DesktopSession):
+    """A desktop session revived from a *foreign* checkpoint.
+
+    Reuses the :class:`DesktopSession` surface (launch/quit/input/fs)
+    over a stack assembled by forking instead of booting: the kernel and
+    clock are fresh (the clock starts at the source checkpoint's
+    timestamp — the branch resumes the past moment on its own timeline),
+    the container and process forest come from
+    :class:`~repro.checkpoint.restore.ReviveManager`, and the file
+    system is the revive's COW union mount used *directly* as the
+    session fs, so copy-up/whiteout semantics govern every write while
+    un-diverged files stay shared with the parent snapshot.
+    """
+
+    def __init__(self, name, source_fsstore, source_storage, checkpoint_id,
+                 start_us, width=DEFAULT_WIDTH, height=DEFAULT_HEIGHT,
+                 costs=DEFAULT_COSTS, cached=True, network_enabled=False,
+                 demand_paging=True, attach_viewer=False, replay_tap=None,
+                 faults=None):
+        self.clock = VirtualClock(start_us=start_us)
+        self.costs = costs
+        self.name = name
+        self.replay = resolve_tap(replay_tap)
+        if self.replay.active:
+            self.clock.bind_replay(self.replay)
+        self.kernel = Kernel(clock=self.clock, costs=costs)
+        self.kernel.replay = self.replay
+        # The mount failpoint: the fleet has admitted the branch but the
+        # revived container and its union mount do not exist yet.  A
+        # crash here leaves only the member shell to reclaim.
+        resolve_faults(faults).check(FP_BRANCH_MOUNT)
+        # The forker reads the *parent's* storage and file-system store
+        # but charges this branch's clock (foreign-clock reads) and logs
+        # fork nondeterminism through this branch's tap.
+        self.forker = ReviveManager(self.kernel, source_fsstore,
+                                    source_storage, replay=self.replay)
+        self.revive_result = self.forker.revive(
+            checkpoint_id, cached=cached,
+            network_enabled=network_enabled,
+            demand_paging=demand_paging,
+        )
+        self.container = self.revive_result.container
+        self.mount = self.container.mount
+        self.fsstore = RevivedStore(self.mount, clock=self.clock,
+                                    costs=costs)
+        self.source_checkpoint = checkpoint_id
+        self.pager = self.revive_result.pager
+        # The restored forest carries the parent's init and display
+        # server under their original vpids.
+        self.init_process = self._find_process("init")
+        if self.init_process is None:
+            self.init_process = self.container.spawn("init")
+        self.display_server = self._find_process("display-server")
+        if self.display_server is not None:
+            self.container.namespace.bind(
+                "display", ":0", self.display_server)
+        self.driver = VirtualDisplayDriver(width, height, clock=self.clock,
+                                           costs=costs)
+        self.viewer = None
+        if attach_viewer:
+            self.viewer = Viewer(width, height, clock=self.clock,
+                                 costs=costs)
+            self.driver.attach_sink(self.viewer)
+        self.registry = DesktopRegistry(self.clock, costs=costs)
+        self.apps = {}
+        self.flight = NULL_SCOPE
+        from repro.desktop.input import InputRouter
+
+        self.input_router = InputRouter(self)
+
+    def _find_process(self, name):
+        for process in self.container.live_processes():
+            if process.name == name:
+                return process
+        return None
+
+    @property
+    def fs(self):
+        """The branch's live file system: the COW union mount itself.
+        Whole-file rewrites land in the writable layer for free; appends
+        and in-place writes copy up; deletes whiteout — exactly the
+        section 5.2 branch semantics."""
+        return self.mount

@@ -66,7 +66,11 @@ from repro.checkpoint.storage import GROUP_COMMIT_BYTES, ShardedPageCAS
 from repro.common.clock import VirtualClock
 from repro.common.costs import DEFAULT_COSTS
 from repro.common.errors import DejaViewError
-from repro.common.faults import InjectedCrash, registered_failpoints
+from repro.common.faults import (
+    InjectedCrash,
+    registered_failpoints,
+    resolve_faults,
+)
 from repro.common.flightrec import (
     REC_EVENT,
     REC_FLUSH,
@@ -127,14 +131,25 @@ class SessionQuotas:
 
 
 class FleetSession:
-    """One admitted member: its stack plus scheduler bookkeeping."""
+    """One admitted member: its stack plus scheduler bookkeeping.
+
+    ``kind`` is ``"member"`` for a forward-recording admission or
+    ``"branch"`` for a session forked from another member's checkpoint
+    (``parent``/``source_checkpoint`` name the fork point; ``fork``
+    carries the fork's latency and sharing figures).  A branch killed
+    mid-fork is registered as a *shell* — ``session``/``dejaview``/
+    ``run``/``steps`` may be None until :meth:`Fleet.recover_session`
+    reclaims it.
+    """
 
     __slots__ = ("name", "scenario", "weight", "session", "dejaview",
                  "run", "steps", "state", "units_done", "quotas",
-                 "quota_violation", "crash_site")
+                 "quota_violation", "crash_site", "kind", "parent",
+                 "source_checkpoint", "fork")
 
     def __init__(self, name, scenario, weight, session, dejaview, run,
-                 steps, quotas):
+                 steps, quotas, kind="member", parent=None,
+                 source_checkpoint=None, fork=None):
         self.name = name
         self.scenario = scenario
         self.weight = weight
@@ -147,21 +162,37 @@ class FleetSession:
         self.quotas = quotas
         self.quota_violation = None
         self.crash_site = None
+        self.kind = kind
+        self.parent = parent
+        self.source_checkpoint = source_checkpoint
+        self.fork = fork
 
     @property
     def runnable(self):
-        return self.state == RUNNING
+        return self.state == RUNNING and self.steps is not None
+
+    @property
+    def is_branch(self):
+        return self.kind == "branch"
 
     def describe(self):
         info = {
             "scenario": self.scenario,
             "state": self.state,
             "units_done": self.units_done,
-            "units_total": self.run.units,
+            "units_total": self.run.units if self.run is not None else 0,
             "weight": self.weight,
-            "clock_us": self.session.clock.now_us,
-            "checkpoints": self.dejaview.checkpoint_count,
+            "clock_us": (self.session.clock.now_us
+                         if self.session is not None else 0),
+            "checkpoints": (self.dejaview.checkpoint_count
+                            if self.dejaview is not None else 0),
+            "kind": self.kind,
         }
+        if self.is_branch:
+            info["parent"] = self.parent
+            info["source_checkpoint"] = self.source_checkpoint
+            if self.fork is not None:
+                info["fork"] = dict(self.fork)
         if self.quota_violation is not None:
             attr, used, limit = self.quota_violation
             info["quota_violation"] = {
@@ -238,6 +269,11 @@ class Fleet:
         self._h_backlog = metrics.histogram("fleet.writeback_backlog")
         self._h_flush_pages = metrics.histogram("fleet.flush_batch_pages")
         self._h_flush_us = metrics.histogram("fleet.flush_us")
+        self._m_branches = metrics.counter("fleet.branches_forked")
+        self._m_branch_forks_failed = metrics.counter(
+            "fleet.branch_forks_failed")
+        self._m_branches_deleted = metrics.counter("fleet.branches_deleted")
+        self._h_fork_us = metrics.histogram("fleet.fork_us")
 
     # ------------------------------------------------------------------ #
     # Admission
@@ -291,6 +327,183 @@ class Fleet:
                 "event": "admit", "session": name, "scenario": scenario,
                 "units": run.units, "weight": weight})
         return member
+
+    # ------------------------------------------------------------------ #
+    # Branchable revive (section 5.2: "multiple revived sessions from a
+    # single checkpoint")
+
+    def revive(self, owner, t=None, checkpoint_id=None, name=None,
+               scenario=None, units=None, recording=None, weight=1,
+               quotas=None, cached=True, network_enabled=False,
+               demand_paging=True, fault_plan=None, replay_tap=None):
+        """Fork a new fleet member from a surviving checkpoint of member
+        ``owner``.
+
+        The branch revives the last checkpoint at or before virtual time
+        ``t`` on the parent's timeline (or an explicit
+        ``checkpoint_id``), demand-pages its memory image out of the
+        shared CAS under its *own* owner refcounts (the source chain's
+        manifests are pinned so parent GC can never pull pages out from
+        under it), mounts a COW union branch over the parent's read-only
+        LFS snapshot, and then records, checkpoints, crash-recovers, and
+        GCs like any other member under the same scheduler, quota, and
+        admission machinery.  Network stays disabled unless overridden
+        and revived external TCP connections are reset (section 5.2).
+
+        ``scenario`` defaults to the parent's scenario — the divergent
+        workload the branch runs from the revived moment.  Raises
+        :class:`FleetError` on admission failure; an
+        :class:`~repro.common.faults.InjectedCrash` during the fork
+        registers the branch as a crashed shell (reclaimable via
+        :meth:`recover_session`) and re-raises.
+        """
+        parent = self.member(owner)
+        if parent.dejaview is None or parent.dejaview.engine is None:
+            raise FleetError(
+                "session %r has no checkpoints to branch from" % owner)
+        if checkpoint_id is None:
+            when = t if t is not None else parent.session.clock.now_us
+            source = parent.dejaview.checkpoint_before(when)
+        else:
+            source = None
+            for result in parent.dejaview.engine.history:
+                if result.checkpoint_id == checkpoint_id:
+                    source = result
+                    break
+            if source is None:
+                raise FleetError(
+                    "session %r has no checkpoint %d"
+                    % (owner, checkpoint_id))
+        storage = parent.dejaview.storage
+        ok, reason = (storage.blob_ok(source.checkpoint_id)
+                      if source.checkpoint_id in storage
+                      else (False, "missing"))
+        if not ok:
+            raise FleetError(
+                "checkpoint %d of %r is not revivable (%s)"
+                % (source.checkpoint_id, owner, reason))
+        if name is None:
+            name = "%s@%d" % (owner, source.checkpoint_id)
+            suffix = 1
+            while name in self._members:
+                suffix += 1
+                name = "%s@%d.%d" % (owner, source.checkpoint_id, suffix)
+        if name in self._members:
+            self._m_rejected.inc()
+            raise FleetError("session %r already admitted" % name)
+        if len(self._members) >= self.max_sessions:
+            self._m_rejected.inc()
+            raise FleetError(
+                "fleet is full (%d sessions, max %d)"
+                % (len(self._members), self.max_sessions))
+        if weight < 1:
+            raise FleetError("weight must be >= 1, got %r" % (weight,))
+        from repro.server.branch import BranchSession
+        from repro.workloads.generator import get_workload
+
+        scenario = scenario if scenario is not None else parent.scenario
+        workload = get_workload(scenario)
+        config = recording if recording is not None \
+            else workload.default_recording()
+        if fault_plan is not None:
+            config.fault_plan = fault_plan
+        if self.flightrec.active and config.flightrec is None:
+            config.flightrec = self.flightrec
+        plan = resolve_faults(config.fault_plan)
+        session = None
+        dejaview = None
+        try:
+            session = BranchSession(
+                name=name,
+                source_fsstore=parent.session.fsstore,
+                source_storage=storage,
+                checkpoint_id=source.checkpoint_id,
+                start_us=source.timestamp_us,
+                width=parent.session.width,
+                height=parent.session.height,
+                costs=self.costs,
+                cached=cached,
+                network_enabled=network_enabled,
+                demand_paging=demand_paging,
+                replay_tap=replay_tap,
+                faults=plan,
+            )
+            from repro.desktop.dejaview import DejaView
+
+            dejaview = DejaView(session, config, page_cas=self.cas)
+            # Pin the source chain's page manifests under the branch
+            # owner: N branches from one checkpoint share the physical
+            # pages, each holding its own refcounts, and the parent
+            # pruning the source can never reclaim what a branch still
+            # demand-pages.  The branch's own checkpoints dedup against
+            # these pins, so only diverged pages cost bytes.
+            pinned_bytes = 0
+            for image_id in session.revive_result.required_images:
+                pinned_bytes += dejaview.storage.pin_base_manifest(
+                    image_id, storage.manifest_digests(image_id))
+            run, steps = workload.start(recording=config, units=units,
+                                        session=session, dejaview=dejaview)
+        except InjectedCrash as crash:
+            # The fork died mid-flight: register what exists as a
+            # crashed shell so recover_session can reclaim it, then
+            # propagate (kill -9 semantics — nothing survives).
+            shell = FleetSession(
+                name=name, scenario=scenario, weight=weight,
+                session=session, dejaview=dejaview, run=None, steps=None,
+                quotas=quotas if quotas is not None
+                else self.default_quotas,
+                kind="branch", parent=owner,
+                source_checkpoint=source.checkpoint_id,
+            )
+            shell.state = CRASHED
+            shell.crash_site = crash.site
+            self._members[name] = shell
+            self._m_branch_forks_failed.inc()
+            self._m_crashes.inc()
+            if self._flight.active:
+                self._flight.record(REC_EVENT, {
+                    "event": "branch.fork_crashed", "session": name,
+                    "parent": owner,
+                    "checkpoint": source.checkpoint_id,
+                    "site": crash.site})
+            raise
+        fork_us = session.revive_result.duration_us
+        member = FleetSession(
+            name=name, scenario=scenario, weight=weight, session=session,
+            dejaview=dejaview, run=run, steps=steps,
+            quotas=quotas if quotas is not None else self.default_quotas,
+            kind="branch", parent=owner,
+            source_checkpoint=source.checkpoint_id,
+            fork={
+                "fork_us": fork_us,
+                "bytes_read": session.revive_result.bytes_read,
+                "pages_deferred": session.revive_result.pages_deferred,
+                "reset_sockets": session.revive_result.reset_sockets,
+                "pinned_bytes": pinned_bytes,
+                "cached": session.revive_result.cached,
+            },
+        )
+        self._members[name] = member
+        self._m_admitted.inc()
+        self._m_branches.inc()
+        self._h_fork_us.observe(fork_us)
+        # The fork ran on the service host: its virtual cost joins the
+        # service clock exactly like a scheduled step's.
+        self.clock.advance_us(fork_us)
+        if self._flight.active:
+            self._flight.record(REC_EVENT, {
+                "event": "branch.fork", "session": name, "parent": owner,
+                "checkpoint": source.checkpoint_id, "scenario": scenario,
+                "fork_us": fork_us,
+                "pages_deferred": member.fork["pages_deferred"],
+                "reset_sockets": member.fork["reset_sockets"]})
+        return member
+
+    def branches(self, owner=None):
+        """Admission-ordered branch members (of one parent when
+        ``owner`` is given)."""
+        return [m for m in self._members.values()
+                if m.is_branch and (owner is None or m.parent == owner)]
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -455,6 +668,8 @@ class Fleet:
             self._flight.record_counter_deltas(
                 self.telemetry.metrics.counter_values())
             for member in self._members.values():
+                if member.dejaview is None:
+                    continue  # branch shell crashed mid-fork
                 telemetry = member.dejaview.telemetry
                 if telemetry.enabled:
                     self.flightrec.scope(
@@ -474,7 +689,8 @@ class Fleet:
             rollup = rollup_snapshots({
                 name: member.dejaview.telemetry.metrics.snapshot()
                 for name, member in self._members.items()
-                if member.dejaview.telemetry.enabled
+                if member.dejaview is not None
+                and member.dejaview.telemetry.enabled
             })
         service_s = self.clock.now_us / 1e6
         recoveries = self._m_recoveries.value
@@ -544,9 +760,22 @@ class Fleet:
         if member.state not in (CRASHED, RECOVERED):
             raise FleetError(
                 "session %r is %s, not crashed" % (name, member.state))
-        report = member.dejaview.recover()
-        member.state = RECOVERED
-        self._m_recoveries.inc()
+        if member.dejaview is None:
+            # A branch killed before its storage existed: the only
+            # durable residue it can have left is owner refcounts in the
+            # shared CAS (none, in practice, since pinning happens after
+            # storage construction — but the fsck is the invariant, not
+            # the happy path).  Rebuilding this owner from zero manifests
+            # wipes any partial pins without touching other owners.
+            reclaimed = self.cas.rebuild_owner_refs(name, [])
+            member.state = RECOVERED
+            self._m_recoveries.inc()
+            report = {"ok": True, "shell": True,
+                      "cas_pages_reclaimed": reclaimed}
+        else:
+            report = member.dejaview.recover()
+            member.state = RECOVERED
+            self._m_recoveries.inc()
         if self._flight.active:
             self._flight.record(REC_RECOVERY, {
                 "action": "fleet.recover_session", "session": name,
@@ -572,19 +801,97 @@ class Fleet:
         plus the compaction report.  Drains the writeback pipeline first
         so reclamation never races an in-flight group commit."""
         drained = self.drain_writeback(reason="gc")
+        # A live branch demand-pages its source checkpoint chain out of
+        # the parent's images: those checkpoints must survive the
+        # parent's prune for as long as any branch is rooted in them.
+        # (The branch also *pins* the pages in the CAS, so even a buggy
+        # prune could not reclaim them — the keep-list is what preserves
+        # the parent-side image metadata.)
+        branch_roots = {}
+        for member in self._members.values():
+            if member.is_branch and member.source_checkpoint is not None:
+                branch_roots.setdefault(member.parent, set()).add(
+                    member.source_checkpoint)
         reports = {}
         for member in self._members.values():
+            if member.dejaview is None:
+                continue  # branch shell crashed mid-fork
             engine = member.dejaview.engine
             if engine is None or not engine.history:
                 continue
-            keep = [result.checkpoint_id
-                    for result in engine.history[-keep_last:]]
+            keep = {result.checkpoint_id
+                    for result in engine.history[-keep_last:]}
+            keep.update(branch_roots.get(member.name, ()))
             reports[member.name] = prune_checkpoints(
-                member.dejaview.storage, member.session.fsstore, keep,
-                compact=False)
+                member.dejaview.storage, member.session.fsstore,
+                sorted(keep), compact=False)
         compaction = self.compact()
         return {"sessions": reports, "compaction": compaction,
                 "writeback_drained": drained}
+
+    def delete_branch(self, name):
+        """Remove a branch member and release everything it holds in the
+        shared store: its own checkpoint images and their page refs, plus
+        the base-manifest pins on its source chain.  Refcount charging is
+        branch-aware by construction — unref only reclaims a page when
+        *no* owner references it — so deleting a fully-diverged branch
+        releases exactly its private pages, and the parent snapshot and
+        sibling branches are untouched.  Returns a reclaim report."""
+        member = self.member(name)
+        if not member.is_branch:
+            raise FleetError("session %r is not a branch" % name)
+        physical_before = self.cas.total_compressed_bytes
+        released = {"images_deleted": 0, "pin_bytes_released": 0,
+                    "cas_pages_reclaimed": 0}
+        if member.dejaview is not None:
+            self.drain_writeback(reason="branch-delete")
+            storage = member.dejaview.storage
+            for image_id in list(storage.stored_ids()):
+                storage.delete(image_id)
+                released["images_deleted"] += 1
+            released["pin_bytes_released"] = \
+                storage.release_base_manifests()
+        else:
+            # Crashed shell: nothing durable beyond possible partial
+            # pins; rebuild-from-nothing wipes them.
+            released["cas_pages_reclaimed"] = \
+                self.cas.rebuild_owner_refs(name, [])
+        del self._members[name]
+        self._m_branches_deleted.inc()
+        released["physical_bytes_freed"] = max(
+            0, physical_before - self.cas.total_compressed_bytes)
+        if self._flight.active:
+            self._flight.record(REC_EVENT, {
+                "event": "branch.delete", "session": name,
+                "parent": member.parent,
+                "physical_bytes_freed": released["physical_bytes_freed"]})
+        return released
+
+    def branch_page_split(self, name):
+        """How much of a branch's page footprint is shared vs. private.
+
+        A digest this owner references is *private* when no other owner
+        also references it (every global ref is this owner's) — those are
+        the bytes that deleting the branch would free.  Everything else
+        is shared with the parent chain or sibling branches.  Returns
+        ``{"shared_bytes", "private_bytes", "shared_fraction"}`` over
+        compressed (stored) sizes."""
+        member = self.member(name)
+        cas = self.cas
+        own = cas.owner_refs.get(name, {})
+        shared = private = 0
+        for digest, count in own.items():
+            size = len(cas.pages.get(digest, b""))
+            if cas.refs.get(digest, 0) == count:
+                private += size
+            else:
+                shared += size
+        total = shared + private
+        return {
+            "shared_bytes": shared,
+            "private_bytes": private,
+            "shared_fraction": shared / total if total else 0.0,
+        }
 
     # ------------------------------------------------------------------ #
     # Observability
@@ -596,6 +903,8 @@ class Fleet:
         if sessions share nothing."""
         logical = 0
         for member in self._members.values():
+            if member.dejaview is None:
+                continue  # branch shell crashed mid-fork
             raw, _comp = self.cas.owner_logical_totals(
                 member.dejaview.storage.owner)
             logical += raw
@@ -612,6 +921,8 @@ class Fleet:
         per_session = {}
         any_active = False
         for name, member in self._members.items():
+            if member.dejaview is None:
+                continue  # branch shell crashed mid-fork
             plan = member.dejaview.faults
             if not plan.active:
                 continue
@@ -641,7 +952,8 @@ class Fleet:
         rollup = rollup_snapshots({
             name: member.dejaview.telemetry.metrics.snapshot()
             for name, member in self._members.items()
-            if member.dejaview.telemetry.enabled
+            if member.dejaview is not None
+            and member.dejaview.telemetry.enabled
         })
         rollup.pop("sessions", None)  # describe() already covers them
         report = {
@@ -663,6 +975,19 @@ class Fleet:
             "fleet_metrics": self.telemetry.metrics.snapshot(),
             "rollup": rollup,
         }
+        branch_members = self.branches()
+        if branch_members or self._m_branches.value:
+            report["branches"] = {
+                "forked": self._m_branches.value,
+                "fork_failures": self._m_branch_forks_failed.value,
+                "deleted": self._m_branches_deleted.value,
+                "live": {
+                    m.name: dict(self.branch_page_split(m.name),
+                                 parent=m.parent,
+                                 source_checkpoint=m.source_checkpoint)
+                    for m in branch_members
+                },
+            }
         faults = self.fault_rollup()
         if faults is not None:
             report["faults"] = faults

@@ -69,3 +69,78 @@ def run_fleet(sessions, seed=0, **kwargs):
     fleet = build_fleet(sessions, seed=seed, **kwargs)
     fleet.run_to_completion()
     return fleet
+
+
+#: Branch workloads for a revive storm, cycled per branch.  Every entry
+#: must tolerate running over the parent's existing file tree (their
+#: setup only uses idempotent ``makedirs``); scenarios whose setup
+#: ``create``s fixed paths (cat, gzip) would collide with the revived
+#: image and are deliberately absent.
+STORM_MIX = ("web", "make", "untar", "desktop")
+
+
+def run_revive_storm(branches, seed=0, scenario="web", parent_units=24,
+                     branch_units=4, crash_branch=None,
+                     diverge=True, **fleet_kwargs):
+    """One parent, ``branches`` simultaneous forks of its *single*
+    checkpoint — the section 5.2 storm.
+
+    Records the parent to completion, picks its last checkpoint, forks
+    every branch from that same checkpoint, then runs the branches (each
+    on a divergent workload cycled from :data:`STORM_MIX` unless
+    ``diverge`` is False) under the normal fleet scheduler.
+    ``crash_branch`` (an index) forks that branch under a
+    ``revive.branch.refs`` crash plan and immediately recovers it —
+    the storm must survive a member dying mid-fork.
+
+    Returns ``(fleet, report)``; the report carries per-branch fork
+    latency, the shared/private page split at fork time (pre-divergence)
+    and after the run, and the crashed branch's recovery report.
+    """
+    from repro.common.faults import FaultPlan, InjectedCrash
+
+    fleet_kwargs.setdefault("max_sessions", branches + 1)
+    fleet = Fleet(seed=seed, **fleet_kwargs)
+    fleet.admit("p0", scenario, units=parent_units)
+    fleet.run_to_completion()
+    parent = fleet.member("p0")
+    source = parent.dejaview.engine.history[-1]
+    report = {
+        "branches": branches,
+        "source_checkpoint": source.checkpoint_id,
+        "fork_us": [],
+        "crashed": None,
+    }
+    for index in range(branches):
+        name = "br%02d" % index
+        branch_scenario = STORM_MIX[index % len(STORM_MIX)] if diverge \
+            else scenario
+        if crash_branch is not None and index == crash_branch:
+            plan = FaultPlan(seed=seed)
+            plan.add("revive.branch.refs", mode="crash")
+            try:
+                fleet.revive("p0", checkpoint_id=source.checkpoint_id,
+                             name=name, scenario=branch_scenario,
+                             units=branch_units, fault_plan=plan)
+            except InjectedCrash:
+                pass
+            recovery = fleet.recover_session(name)
+            report["crashed"] = {
+                "name": name, "site": "revive.branch.refs",
+                "recovery_ok": bool(recovery.get("ok", True)),
+            }
+            continue
+        member = fleet.revive("p0", checkpoint_id=source.checkpoint_id,
+                              name=name, scenario=branch_scenario,
+                              units=branch_units)
+        report["fork_us"].append(member.fork["fork_us"])
+    report["split_at_fork"] = {
+        member.name: fleet.branch_page_split(member.name)
+        for member in fleet.branches() if member.runnable
+    }
+    fleet.run_to_completion()
+    report["split_after_run"] = {
+        member.name: fleet.branch_page_split(member.name)
+        for member in fleet.branches() if member.dejaview is not None
+    }
+    return fleet, report

@@ -43,6 +43,16 @@ from tests.faulthelpers import (
 
 UNITS = 8
 
+#: Failpoints that only a *fleet* exercise reaches (branch forks run
+#: through :meth:`Fleet.revive`, never the solo desktop driver).  The
+#: solo sweep below excludes them — its coverage assert would otherwise
+#: demand the impossible — and :class:`TestBranchForkCrash` gives each a
+#: dedicated row with the same recover-and-verify contract.
+FLEET_ONLY_SITES = ("revive.branch.mount", "revive.branch.refs")
+
+SOLO_SITES = [site for site in registered_failpoints()
+              if site not in FLEET_ONLY_SITES]
+
 
 @pytest.fixture(scope="module")
 def clean_run():
@@ -69,7 +79,7 @@ def clean_run():
 
 
 class TestCrashSweep:
-    @pytest.mark.parametrize("site", registered_failpoints())
+    @pytest.mark.parametrize("site", SOLO_SITES)
     def test_crash_then_recover(self, site, clean_run):
         pre = clean_run["pre_drive"].get(site, 0)
         total = clean_run["total"].get(site, 0)
@@ -458,3 +468,76 @@ class TestFleetSharedCasCrash:
             revived = victim.dejaview.take_me_back(
                 victim.session.clock.now_us)
             assert revived.container.live_processes()
+
+
+class TestBranchForkCrash:
+    """The two fleet-only failpoints: a branch killed mid-fork — during
+    the union mount (``revive.branch.mount``) or halfway through pinning
+    the source manifests (``revive.branch.refs``) — must be reclaimed by
+    :meth:`Fleet.recover_session` without orphaning CAS refs and without
+    perturbing the parent or a healthy sibling branch."""
+
+    def _storm(self, seed=9):
+        from repro.server import Fleet
+
+        fleet = Fleet(seed=seed)
+        fleet.admit("p0", "web", units=6)
+        fleet.run_to_completion()
+        source = fleet.member("p0").dejaview.engine.history[-1]
+        fleet.revive("p0", checkpoint_id=source.checkpoint_id,
+                     name="sib", scenario="make", units=2)
+        fleet.run_to_completion()
+        return fleet, source
+
+    def _cas_snapshot(self, fleet):
+        return (
+            {digest: count for digest, count in fleet.cas.refs.items()
+             if count},
+            {owner: dict(refs)
+             for owner, refs in fleet.cas.owner_refs.items() if refs},
+            set(fleet.cas.pages),
+        )
+
+    @pytest.mark.parametrize("site", FLEET_ONLY_SITES)
+    def test_fork_crash_reclaims_without_touching_siblings(self, site):
+        from repro.server.fleet import CRASHED
+
+        fleet, source = self._storm()
+        parent = fleet.member("p0")
+        sibling = fleet.member("sib")
+        parent_refs = dict(fleet.cas.owner_refs.get("p0", {}))
+        sibling_refs = dict(fleet.cas.owner_refs.get("sib", {}))
+
+        plan = FaultPlan()
+        rule = plan.add(site, mode="crash")
+        with pytest.raises(InjectedCrash):
+            fleet.revive("p0", checkpoint_id=source.checkpoint_id,
+                         name="doomed", scenario="untar", units=2,
+                         fault_plan=plan)
+        record_fault_matrix(plan)
+        assert rule.fired == 1
+        doomed = fleet.member("doomed")
+        assert doomed.state == CRASHED
+        assert doomed.crash_site == site
+
+        report = fleet.recover_session("doomed")
+        assert report["ok"], report
+        # No orphaned refs under the dead branch's owner.
+        assert not fleet.cas.owner_refs.get("doomed")
+
+        # fsck fixpoint: a second recovery finds nothing left to fix.
+        snapshot = self._cas_snapshot(fleet)
+        again = fleet.recover_session("doomed")
+        assert again["ok"], again
+        assert self._cas_snapshot(fleet) == snapshot
+
+        # Parent and sibling: refcounts byte-identical, chains verify,
+        # and both still revive.
+        assert dict(fleet.cas.owner_refs.get("p0", {})) == parent_refs
+        assert dict(fleet.cas.owner_refs.get("sib", {})) == sibling_refs
+        assert verify_chain(parent.dejaview.storage,
+                            parent.session.fsstore).ok
+        assert verify_chain(sibling.dejaview.storage,
+                            sibling.session.fsstore).ok
+        revived = parent.dejaview.take_me_back(parent.session.clock.now_us)
+        assert revived.container.live_processes()

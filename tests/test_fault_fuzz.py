@@ -270,3 +270,88 @@ class TestFleetFuzz:
             revived = peer.dejaview.take_me_back(
                 peer.session.clock.now_us)
             assert revived.container.live_processes()
+
+
+class TestBranchForkFuzz:
+    """Seeded random crash plans against a *branch fork*: the fork dies
+    at one of the two branch failpoints (union mount / manifest
+    pinning), recovery reclaims the shell, the refcount fsck converges,
+    and neither the parent nor a healthy sibling branch moves."""
+
+    BRANCH_SITES = [site for site in registered_failpoints()
+                    if site.startswith("revive.branch.")]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_fork_crash_is_contained(self, seed):
+        from repro.server import Fleet
+
+        rng = random.Random(seed ^ 0xB4A9C4)
+        site = rng.choice(self.BRANCH_SITES)
+        plan = FaultPlan(seed=seed)
+        rule = plan.add(site, mode="crash",
+                        after=rng.randrange(1, 4), once=True)
+
+        fleet = Fleet(seed=seed)
+        fleet.admit("p0", "web", units=6)
+        fleet.run_to_completion()
+        source = fleet.member("p0").dejaview.engine.history[-1]
+        fleet.revive("p0", checkpoint_id=source.checkpoint_id,
+                     name="sib", scenario="untar", units=2)
+        fleet.run_to_completion()
+        parent_refs = dict(fleet.cas.owner_refs.get("p0", {}))
+        sibling_refs = dict(fleet.cas.owner_refs.get("sib", {}))
+
+        crashed = False
+        try:
+            fleet.revive("p0", checkpoint_id=source.checkpoint_id,
+                         name="doomed", scenario="make", units=2,
+                         fault_plan=plan)
+        except InjectedCrash:
+            crashed = True
+        record_fault_matrix(plan)
+
+        if crashed:
+            assert rule.fired == 1
+            doomed = fleet.member("doomed")
+            assert doomed.state == "crashed"
+            assert doomed.crash_site == site
+            report = fleet.recover_session("doomed")
+            assert report["ok"], report
+            # No *uncommitted* refs survive: whatever the dead branch
+            # still holds is exactly what its durably committed
+            # base-manifest pins account for (the crash may land after
+            # an earlier pin committed — those refs are legitimate
+            # on-disk state until the shell is deleted).
+            if doomed.dejaview is None:
+                assert not fleet.cas.owner_refs.get("doomed")
+            else:
+                committed = set()
+                for digests in \
+                        doomed.dejaview.storage.base_manifests.values():
+                    committed.update(digests)
+                assert set(fleet.cas.owner_refs.get("doomed", ())) \
+                    <= committed
+            # Fixpoint: the second fsck changes nothing.
+            live = {digest: count
+                    for digest, count in fleet.cas.refs.items() if count}
+            again = fleet.recover_session("doomed")
+            assert again["ok"], again
+            assert live == {digest: count for digest, count
+                            in fleet.cas.refs.items() if count}
+            # Deleting the shell returns every last ref it held.
+            fleet.delete_branch("doomed")
+            assert not fleet.cas.owner_refs.get("doomed")
+        else:
+            # The armed hit count outran the (short) fork: a valid
+            # draw — the branch must then simply run to completion.
+            fleet.run_to_completion()
+            assert fleet.member("doomed").state == "done"
+
+        # Blast radius: parent and sibling refcounts are untouched and
+        # both remain verified.
+        assert dict(fleet.cas.owner_refs.get("p0", {})) == parent_refs
+        assert dict(fleet.cas.owner_refs.get("sib", {})) == sibling_refs
+        for name in ("p0", "sib"):
+            member = fleet.member(name)
+            assert verify_chain(member.dejaview.storage,
+                                member.session.fsstore).ok

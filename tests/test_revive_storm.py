@@ -1,0 +1,384 @@
+"""Revive storms, property-tested end to end.
+
+The section 5.2 branchable-revive contract, as three properties over a
+storm of N branches forked from *one* checkpoint of one parent:
+
+* **Identity** — every branch's recording is byte-identical to the same
+  branch run solo (parent + that single fork, nothing else).  The storm
+  interleaving, the sibling count, and the scheduler seed must all be
+  invisible to any one branch's bytes.
+* **Economics** — N branches never cost N copies: the shared store holds
+  at most one logical parent copy plus the branches' novel (diverged)
+  pages, and at fork time every branch byte is shared.
+* **Independence** — deleting any subset of branches leaves the
+  survivors' fingerprints and the parent's checkpoint chain intact, and
+  the parent's GC keeps the fork-point checkpoint alive while branches
+  are rooted in it.
+
+Plus the satellite regressions: the demand-paging ``bytes_read`` charge
+(metadata at fork, faulted pages streamed) and the replay oracle wired
+through a branch (fork nondeterminism is logged, never re-derived; a
+seeded mutation is pinpointed inside the branch's log).
+"""
+
+import random
+
+import pytest
+
+from repro.checkpoint.restore import ReviveManager
+from repro.checkpoint.verify import verify_chain
+from repro.replay import (
+    EV_INPUT,
+    RecordingTap,
+    anchor_ids,
+    assert_replays_clean,
+    prepare_events,
+    read_events,
+    replay,
+    write_events,
+)
+from repro.server import Fleet
+from repro.server.fleet import DONE
+
+from tests.test_checkpoint_engine import make_rig
+from tests.test_fleet_isolation import assert_fingerprints_equal, fingerprint
+
+SEEDS = [11, 47]
+PARENT_UNITS = 8
+BRANCH_UNITS = 3
+
+#: Divergent branch workloads (all setup-idempotent over the parent's
+#: revived file tree — see ``repro.workloads.fleet_wl.STORM_MIX``).
+BRANCH_MIX = ("web", "make", "untar", "desktop")
+
+
+def storm_fleet(seed, max_sessions=16):
+    """One recorded parent and its last checkpoint (the fork point)."""
+    fleet = Fleet(seed=seed, max_sessions=max_sessions)
+    fleet.admit("p0", "web", units=PARENT_UNITS)
+    fleet.run_to_completion()
+    source = fleet.member("p0").dejaview.engine.history[-1]
+    return fleet, source
+
+
+def fork_branch(fleet, source, index, **kwargs):
+    kwargs.setdefault("scenario", BRANCH_MIX[index % len(BRANCH_MIX)])
+    kwargs.setdefault("units", BRANCH_UNITS)
+    return fleet.revive("p0", checkpoint_id=source.checkpoint_id,
+                        name="br%02d" % index, **kwargs)
+
+
+class TestStormIdentity:
+    """Property (a): storm branch == solo branch, byte for byte."""
+
+    N = 4
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_storm_equals_solo(self, seed):
+        fleet, source = storm_fleet(seed)
+        for index in range(self.N):
+            fork_branch(fleet, source, index)
+        fleet.run_to_completion()
+        assert all(m.state == DONE for m in fleet.branches())
+        storm_prints = {
+            member.name: fingerprint(member.dejaview, member.session)
+            for member in fleet.branches()
+        }
+
+        for index in range(self.N):
+            solo_fleet, solo_source = storm_fleet(seed)
+            assert solo_source.checkpoint_id == source.checkpoint_id
+            member = fork_branch(solo_fleet, solo_source, index)
+            solo_fleet.run_to_completion()
+            assert member.state == DONE
+            assert_fingerprints_equal(
+                storm_prints[member.name],
+                fingerprint(member.dejaview, member.session),
+                "seed %d, branch %s" % (seed, member.name))
+
+    def test_identity_holds_across_seeds(self):
+        """The scheduler seed picks an interleaving, nothing more: the
+        same storm under two seeds yields identical branch bytes."""
+        prints = []
+        for seed in SEEDS:
+            fleet, source = storm_fleet(seed)
+            for index in range(self.N):
+                fork_branch(fleet, source, index)
+            fleet.run_to_completion()
+            prints.append({
+                member.name: fingerprint(member.dejaview, member.session)
+                for member in fleet.branches()
+            })
+        for name in prints[0]:
+            assert_fingerprints_equal(
+                prints[0][name], prints[1][name],
+                "seeds %s, branch %s" % (SEEDS, name))
+
+
+class TestStormEconomics:
+    """Property (b): physical bytes <= one parent copy + novel pages."""
+
+    N = 6
+
+    def test_shared_not_copied(self):
+        fleet, source = storm_fleet(seed=SEEDS[0])
+        for index in range(self.N):
+            fork_branch(fleet, source, index)
+
+        # At fork: every branch byte is shared (pins on the parent
+        # chain), and each branch holds its own refs on those digests.
+        for member in fleet.branches():
+            split = fleet.branch_page_split(member.name)
+            assert split["private_bytes"] == 0
+            assert split["shared_fraction"] == 1.0
+            pins = member.dejaview.storage.base_manifests
+            assert source.checkpoint_id in pins
+
+        fleet.run_to_completion()
+        fleet.drain_writeback()
+
+        cas = fleet.cas
+        parent_raw, _ = cas.owner_logical_totals("p0")
+        parent_digests = set(cas.owner_refs.get("p0", ()))
+        novel = sum(
+            cas.sizes[digest][0]
+            for member in fleet.branches()
+            for digest in set(cas.owner_refs.get(member.name, ()))
+            - parent_digests)
+        assert cas.total_uncompressed_bytes <= parent_raw + novel, (
+            "storm stored %d > one parent copy (%d) + novel (%d)"
+            % (cas.total_uncompressed_bytes, parent_raw, novel))
+
+    def test_fork_charges_metadata_not_pages(self):
+        """Under demand paging the fork's bytes_read is the metadata
+        record, not the checkpoint size (the regression at the heart of
+        the ReviveManager charge fix, seen through the fleet)."""
+        fleet, source = storm_fleet(seed=SEEDS[0])
+        member = fork_branch(fleet, source, 0)
+        storage = fleet.member("p0").dejaview.storage
+        full_size = storage.size_of(source.checkpoint_id)[0]
+        assert member.fork["bytes_read"] < full_size / 10
+        assert member.fork["pages_deferred"] > 0
+
+
+class TestStormIndependence:
+    """Property (c): GC of any subset spares survivors and the parent."""
+
+    N = 4
+
+    def test_delete_subset_spares_survivors(self):
+        fleet, source = storm_fleet(seed=SEEDS[1])
+        for index in range(self.N):
+            fork_branch(fleet, source, index)
+        fleet.run_to_completion()
+
+        parent = fleet.member("p0")
+        survivors = ["br00", "br02"]
+        before = {
+            name: fingerprint(fleet.member(name).dejaview,
+                              fleet.member(name).session)
+            for name in ["p0"] + survivors
+        }
+        # Fingerprinting itself observes (its searches charge the
+        # session clock), so pin the post-observation clocks: the
+        # deletes must not advance them at all.
+        clocks = {name: fleet.member(name).session.clock.now_us
+                  for name in ["p0"] + survivors}
+
+        for name in ("br01", "br03"):
+            fleet.delete_branch(name)
+        fleet.compact()
+
+        for name in ["p0"] + survivors:
+            member = fleet.member(name)
+            assert member.session.clock.now_us == clocks[name], (
+                "%s's clock moved during sibling delete" % name)
+            after = fingerprint(member.dejaview, member.session)
+            after["clock_us"] = before[name]["clock_us"] = 0
+            assert_fingerprints_equal(
+                after, before[name], "%s after branch delete" % name)
+            chain = verify_chain(member.dejaview.storage,
+                                 member.session.fsstore)
+            assert chain.ok, chain.issues
+        chain = verify_chain(parent.dejaview.storage,
+                             parent.session.fsstore)
+        assert chain.ok, chain.issues
+
+    def test_parent_gc_keeps_fork_point_alive(self):
+        """The parent pruning down to its newest checkpoints must keep
+        the branch's source checkpoint (and the branch must still be
+        able to demand-page through it afterwards)."""
+        fleet = Fleet(seed=SEEDS[0], max_sessions=16)
+        fleet.admit("p0", "web", units=PARENT_UNITS)
+        fleet.run_to_completion()
+        history = fleet.member("p0").dejaview.engine.history
+        assert len(history) >= 3
+        early = history[1]  # old enough that keep_last=1 would drop it
+        member = fleet.revive("p0", checkpoint_id=early.checkpoint_id,
+                              name="br00", scenario="make",
+                              units=BRANCH_UNITS)
+        fleet.gc(keep_last=1)
+        storage = fleet.member("p0").dejaview.storage
+        assert early.checkpoint_id in storage
+        # Survives GC *functionally*: fault every deferred page in.
+        pager = member.session.pager
+        assert pager is not None
+        pager.touch_all()
+        assert pager.remaining() == 0
+        fleet.run_to_completion()
+        assert member.state == DONE
+
+    def test_deleting_diverged_branch_frees_only_private_pages(self):
+        fleet, source = storm_fleet(seed=SEEDS[0])
+        for index in range(2):
+            fork_branch(fleet, source, index, scenario="untar")
+        fleet.run_to_completion()
+        fleet.drain_writeback()
+        parent_pages = dict(fleet.cas.owner_refs.get("p0", ()))
+        split = fleet.branch_page_split("br01")
+        report = fleet.delete_branch("br01")
+        # The parent's refs are untouched and the sibling still
+        # verifies; what was freed is bounded by br01's private bytes.
+        assert dict(fleet.cas.owner_refs.get("p0", ())) == parent_pages
+        assert "br01" not in [m.name for m in fleet.branches()]
+        assert report["physical_bytes_freed"] <= split["private_bytes"]
+        sibling = fleet.member("br00")
+        chain = verify_chain(sibling.dejaview.storage,
+                             sibling.session.fsstore)
+        assert chain.ok, chain.issues
+
+
+class TestDemandPagingCharge:
+    """Satellite regression: ``bytes_read`` under demand paging charges
+    metadata at fork and streams faulted pages, across the cached/cold x
+    demand-paging matrix."""
+
+    def _rig(self):
+        from repro.common.telemetry import Telemetry
+
+        kernel, container, fsstore, storage, engine, procs = make_rig(
+            nprocs=2, pages_per_proc=64)
+        engine.checkpoint()
+        manager = ReviveManager(kernel, fsstore, storage,
+                                telemetry=Telemetry(kernel.clock))
+        return storage, procs, manager
+
+    @pytest.mark.parametrize("cached", [True, False])
+    def test_demand_fork_charges_metadata_only(self, cached):
+        storage, _procs, manager = self._rig()
+        result = manager.revive(1, cached=cached, demand_paging=True)
+        assert result.bytes_read == storage.metadata_size_of(1)
+        assert result.bytes_read < storage.size_of(1)[0] / 10
+
+    @pytest.mark.parametrize("cached", [True, False])
+    def test_eager_fork_still_charges_full_read(self, cached):
+        storage, _procs, manager = self._rig()
+        result = manager.revive(1, cached=cached, demand_paging=False)
+        assert result.bytes_read >= storage.size_of(1)[0]
+
+    def test_faulted_pages_stream_into_the_counter(self):
+        storage, procs, manager = self._rig()
+        result = manager.revive(1, demand_paging=True)
+        at_fork = manager._m_bytes.value
+        clone = result.container.process_by_vpid(procs[0].vpid)
+        region = clone.address_space.regions()[0]
+        clone.address_space.read(region.start, 1)
+        after_one = manager._m_bytes.value
+        assert after_one > at_fork
+        streamed_one = result.pager.bytes_streamed
+        assert after_one - at_fork == streamed_one
+        result.pager.touch_all()
+        assert result.pager.bytes_streamed > streamed_one
+        assert manager._m_bytes.value == at_fork + \
+            result.pager.bytes_streamed
+
+    def test_touch_all_converges_to_eager_charge(self):
+        """Faulting everything in brings the lazy run's total charge to
+        the same order as the eager read (they differ only in how the
+        metadata record is folded into the totals)."""
+        storage, _procs, manager = self._rig()
+        lazy = manager.revive(1, demand_paging=True)
+        lazy.pager.touch_all()
+        assert lazy.pager.remaining() == 0
+        lazy_total = lazy.bytes_read + lazy.pager.bytes_streamed
+        eager = manager.revive(1, demand_paging=False)
+        assert lazy_total >= 0.95 * eager.bytes_read
+        # The fork alone charged an order of magnitude less than that.
+        assert lazy.bytes_read < eager.bytes_read / 10
+
+
+REPLAY_SEED = 23
+
+
+def branch_driver(tap):
+    """Deterministic record/replay driver: one parent, one tapped
+    branch.  Used for both the recording run (RecordingTap) and the
+    verification run (VerifyingTap) — the branch's fork events, sched
+    taps, clock batches, and anchors must re-derive identically."""
+    fleet, source = storm_fleet(REPLAY_SEED)
+    member = fleet.revive("p0", checkpoint_id=source.checkpoint_id,
+                          name="br00", scenario="make",
+                          units=BRANCH_UNITS, replay_tap=tap)
+    fleet.run_to_completion()
+    tap.close(member.session.clock.now_us)
+    return fleet, member
+
+
+@pytest.fixture(scope="module")
+def recorded_branch():
+    tap = RecordingTap(meta={"script": "revive-storm branch"})
+    fleet, member = branch_driver(tap)
+    assert member.state == DONE
+    assert member.dejaview.checkpoint_count >= 1
+    return tap.getvalue()
+
+
+class TestBranchReplayOracle:
+    """Satellite: the replay oracle wired through a revived branch."""
+
+    def test_fork_nondeterminism_is_logged(self, recorded_branch):
+        """Socket resets and the fresh container identity are replay
+        *inputs* — recorded at fork, never re-derived."""
+        _, events, _, _ = prepare_events(recorded_branch)
+        forks = [event for event in events
+                 if event.etype == EV_INPUT
+                 and event.data.get("kind") == "revive.fork"]
+        assert len(forks) == 1
+        detail = forks[0].data["detail"]
+        assert detail["checkpoint_id"] >= 1
+        assert "revived" in detail["container"]
+        assert detail["processes"] >= 1
+
+    def test_branch_replays_clean(self, recorded_branch):
+        report = assert_replays_clean(recorded_branch,
+                                      driver=branch_driver)
+        assert report.events_verified == report.events_total > 0
+        assert report.anchors_verified == report.anchors_total >= 1
+
+    def test_replay_from_first_branch_anchor(self, recorded_branch):
+        """Anchor-synchronized replay from the branch's first
+        checkpoint: fast-forward the re-fork, verify from the anchor."""
+        first = anchor_ids(recorded_branch)[0]
+        report = assert_replays_clean(recorded_branch,
+                                      driver=branch_driver,
+                                      from_checkpoint=first)
+        assert report.from_checkpoint == first
+        assert report.anchors_verified >= 1
+
+    def test_seeded_mutation_pinpoints_divergence(self, recorded_branch):
+        """Flip one recorded fork event: the report must name that exact
+        event, proving divergence detection reaches inside a branch."""
+        events, _ = read_events(recorded_branch)
+        rng = random.Random(REPLAY_SEED)
+        candidates = [event for event in events
+                      if event.etype == EV_INPUT
+                      and event.data.get("kind") == "revive.fork"]
+        victim = rng.choice(candidates)
+        victim.data["detail"] = dict(victim.data["detail"],
+                                     processes=victim.data["detail"]
+                                     ["processes"] + 1)
+        mutated = write_events(events).getvalue()
+        report = replay(mutated, driver=branch_driver)
+        assert not report.ok
+        assert report.divergence is not None
+        assert report.divergence.seq == victim.seq
