@@ -501,12 +501,21 @@ class CheckpointEngine:
         in-flight COW capture state the crash interrupted.
         """
         stored = set(self.storage.stored_ids())
+        # THINNED instants keep their place on the timeline: the
+        # tombstone makes them revivable by replay, so history retains
+        # them even though their bytes are gone.
+        thinner = getattr(self.storage, "thinned_ids", None)
+        keep = stored | (set(thinner()) if thinner is not None else set())
         removed = [r for r in self.history
-                   if r.checkpoint_id not in stored]
+                   if r.checkpoint_id not in keep]
         self.history = [r for r in self.history
-                        if r.checkpoint_id in stored]
-        self._last_image_id = (self.history[-1].checkpoint_id
-                               if self.history else None)
+                        if r.checkpoint_id in keep]
+        # The incremental parent must be a *stored* image (thinned
+        # parents have no pages to chain from); recovery forces the next
+        # checkpoint full anyway, but keep the pointer honest.
+        last_stored = [r.checkpoint_id for r in self.history
+                       if r.checkpoint_id in stored]
+        self._last_image_id = last_stored[-1] if last_stored else None
         self._page_locations = {}
         self._checkpoints_since_full = self.options.full_checkpoint_interval
         self._capture_keys = None

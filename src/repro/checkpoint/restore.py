@@ -44,6 +44,16 @@ class ReviveResult:
     #: Every image id the revived memory may page from: the checkpoint
     #: plus its incremental chain (what a forked branch must pin).
     required_images: tuple = field(default_factory=tuple)
+    #: True when this revive re-derived a THINNED instant by replaying
+    #: forward from a surviving anchor instead of reading stored bytes.
+    replayed: bool = False
+    #: The surviving anchor checkpoint the replay seeded from.
+    replay_anchor_id: object = None
+    #: Events verified in lockstep during the replay leg.
+    replay_events_verified: int = 0
+    #: Virtual time re-executed between the anchor and the target — the
+    #: replay distance this revive paid for (included in duration_us).
+    replay_us: int = 0
 
 
 class DemandPager:
@@ -155,12 +165,19 @@ class ReviveManager:
         #: Solo revives keep the null tap — their recordings are closed
         #: by the time ``take_me_back`` runs.
         self.replay = resolve_tap(replay)
+        #: Override for :meth:`revive_thinned`'s driver rebuild —
+        #: ``factory(meta, capture) -> driver``.  Recordings of bespoke
+        #: scripts (no scenario metadata) set this so ``take_me_back``
+        #: can replay-revive their thinned instants.
+        self.replay_driver_factory = None
         self.telemetry = resolve_telemetry(telemetry)
         metrics = self.telemetry.metrics
         self._m_revives = metrics.counter("revive.count")
         self._m_pages = metrics.counter("revive.pages_restored")
         self._m_bytes = metrics.counter("revive.bytes_read")
         self._m_duration = metrics.histogram("revive.duration_us")
+        self._m_replays = metrics.counter("revive.replays")
+        self._m_replay_us = metrics.histogram("revive.replay_us")
         self._revive_count = 0
 
     def revive(self, checkpoint_id, cached=None, network_enabled=False,
@@ -187,6 +204,81 @@ class ReviveManager:
         self._m_revives.inc()
         self._m_pages.inc(result.pages_restored)
         self._m_bytes.inc(result.bytes_read)
+        self._m_duration.observe(result.duration_us)
+        return result
+
+    def revive_thinned(self, checkpoint_id, tombstone, log_data,
+                       cached=None, network_enabled=False,
+                       driver_factory=None):
+        """Revive a THINNED instant by replaying forward from its anchor.
+
+        The stored bytes of ``checkpoint_id`` are gone; its ``tombstone``
+        names the nearest surviving earlier anchor and the fingerprints
+        the re-derived state must match.  This restores nothing from the
+        thinned image directly — it re-executes the recording
+        (``log_data``) from the anchor in lockstep
+        (:func:`repro.replay.replayer.replay_to_checkpoint`), verifies
+        the reconstructed framebuffer SHA-1 and checkpoint fingerprint
+        against the tombstone, and then revives the freshly re-derived
+        checkpoint out of the replayed session's storage.  The returned
+        :class:`ReviveResult` is marked ``replayed`` and its
+        ``duration_us`` includes the replay distance.
+
+        Raises :class:`ReviveError` — never a silent fallback — when the
+        anchor is gone, the replay diverges or ends early, or a
+        fingerprint mismatches the tombstone.
+        """
+        from repro.replay.replayer import replay_to_checkpoint
+
+        anchor_id = tombstone.get("anchor_id")
+        if (anchor_id is None or anchor_id not in self.storage
+                or not self.storage.blob_ok(anchor_id)[0]):
+            raise ReviveError(
+                "thinned checkpoint %d has no surviving anchor "
+                "(anchor %r)" % (checkpoint_id, anchor_id))
+        if not log_data:
+            raise ReviveError(
+                "thinned checkpoint %d needs the recording's event log "
+                "to replay" % checkpoint_id)
+        if driver_factory is None:
+            driver_factory = self.replay_driver_factory
+        outcome = replay_to_checkpoint(
+            log_data, checkpoint_id, from_checkpoint=anchor_id,
+            driver_factory=driver_factory)
+        if not outcome.ok:
+            raise ReviveError(
+                "replay-revive of thinned checkpoint %d failed: %s"
+                % (checkpoint_id, outcome.describe()))
+        expected_fp = tombstone.get("checkpoint_fp")
+        if expected_fp and outcome.reached["checkpoint_fp"] != expected_fp:
+            raise ReviveError(
+                "replayed checkpoint %d fingerprint %s does not match "
+                "its tombstone (%s)" % (
+                    checkpoint_id, outcome.reached["checkpoint_fp"],
+                    expected_fp))
+        expected_fb = tombstone.get("framebuffer_sha1")
+        if (expected_fb
+                and outcome.reached["framebuffer_sha1"] != expected_fb):
+            raise ReviveError(
+                "replayed checkpoint %d framebuffer %s does not match "
+                "its tombstone (%s)" % (
+                    checkpoint_id, outcome.reached["framebuffer_sha1"],
+                    expected_fb))
+        # The replayed session's storage now holds a fingerprint-verified
+        # re-creation of the thinned image; revive it from there.  The
+        # replay distance is charged to this session's clock — the
+        # re-execution is the price a thinned revive pays.
+        result = outcome.dejaview.reviver.revive(
+            checkpoint_id, cached=cached,
+            network_enabled=network_enabled)
+        self.clock.advance_us(outcome.replay_us)
+        result.replayed = True
+        result.replay_anchor_id = anchor_id
+        result.replay_events_verified = outcome.events_verified
+        result.replay_us = outcome.replay_us
+        result.duration_us += outcome.replay_us
+        self._m_replays.inc()
+        self._m_replay_us.observe(outcome.replay_us)
         self._m_duration.observe(result.duration_us)
         return result
 

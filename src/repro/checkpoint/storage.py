@@ -93,6 +93,7 @@ retry).
 """
 
 import hashlib
+import json
 import struct
 import zlib
 
@@ -119,6 +120,15 @@ FP_CAS_MANIFEST_COMMIT = "storage.cas.manifest_commit"
 FP_SHARD_FLUSH = "storage.shard.flush"
 FP_SHARD_GROUP_COMMIT = "storage.shard.group_commit"
 FP_BRANCH_REFS = "revive.branch.refs"
+FP_THIN_TOMBSTONE = "thin.tombstone"
+FP_THIN_DROP_REFS = "thin.drop_refs"
+
+#: TLV stream kind for serialized THINNED tombstone records (the golden
+#: fixture format): one ``REC_THIN_TOMBSTONE`` per tombstone plus an
+#: optional embedded replay-log segment that re-derives them.
+STREAM_KIND_THIN = 0x7417
+REC_THIN_TOMBSTONE = 0x01
+REC_THIN_LOG = 0x02
 
 #: CAS pages are appended to fixed-size extents (compressed bytes).  A
 #: reclaimed page leaves dead bytes in its extent;
@@ -755,6 +765,10 @@ class CheckpointStorage:
         # this owner so the parent (or a sibling) pruning the source never
         # reclaims pages the branch still demand-pages.
         self._base_manifests = {}  # source image id -> tuple of digests
+        # THINNED tombstones: image id -> fingerprint record of a
+        # checkpoint whose bytes were dropped but whose instant is still
+        # re-derivable by replaying forward from a surviving anchor.
+        self._tombstones = {}
         # Owner-logical totals: manifest/blob frames, plus each unique CAS
         # page this owner references, charged once while referenced.
         self._frame_raw_total = 0
@@ -1300,6 +1314,199 @@ class CheckpointStorage:
         return freed
 
     # ------------------------------------------------------------------ #
+    # THINNED tombstones (checkpoint thinning via replay)
+
+    def thin(self, image_id, anchor_id, timestamp_us=None,
+             framebuffer_sha1=None):
+        """Drop a stored checkpoint's bytes, leaving a THINNED tombstone.
+
+        The tombstone records the checkpoint's bit-identity (its frame
+        fingerprint, plus the framebuffer checksum its replay anchor
+        logged) and the ``anchor_id`` of the nearest *surviving* earlier
+        checkpoint — replay from that anchor re-derives the thinned
+        instant and is verified against the tombstone before any revive
+        hands the session back.  Returns the owner-logical bytes freed
+        (0 when the image is already thinned — thinning is idempotent).
+
+        Failpoints: ``thin.tombstone`` fires before the tombstone
+        commits (a crash there leaves the image fully intact);
+        ``thin.drop_refs`` fires mid-way through the unref loop (a crash
+        there leaves the tombstone committed with partial refs — fsck
+        rebuilds this owner's counts from surviving manifests).  A
+        *transient* fault rolls the whole thin back, including the
+        tombstone.
+        """
+        if image_id in self._tombstones:
+            return 0
+        if image_id not in self._blobs:
+            raise CheckpointError("no stored checkpoint %d" % image_id)
+        ok, reason = self.blob_ok(image_id)
+        if not ok:
+            raise CheckpointError(
+                "cannot thin unreadable checkpoint %d (%s)"
+                % (image_id, reason))
+        if anchor_id is None:
+            raise CheckpointError(
+                "checkpoint %d needs a surviving replay anchor to thin"
+                % image_id)
+        if anchor_id not in self._blobs or not self.blob_ok(anchor_id)[0]:
+            raise CheckpointError(
+                "thin anchor %d for checkpoint %d is not stored intact"
+                % (anchor_id, image_id))
+        tombstone = {
+            "image_id": image_id,
+            "anchor_id": anchor_id,
+            "timestamp_us": timestamp_us,
+            "checkpoint_fp": self.blob_fingerprint(image_id),
+            "framebuffer_sha1": framebuffer_sha1,
+        }
+        # Crash before the tombstone record lands: nothing changed, the
+        # next thinning pass simply picks the image up again.
+        self.faults.check(FP_THIN_TOMBSTONE)
+        self._tombstones[image_id] = tombstone
+        # From here the drop mirrors :meth:`delete`, with a mid-loop
+        # failpoint and a transient-fault rollback snapshot.
+        cas = self.cas
+        uncompressed, compressed = self._sizes.pop(image_id)
+        mode = self._stored_mode.pop(image_id, self.compress)
+        manifest_sizes = self._manifest_sizes.pop(image_id, None)
+        digests = self._manifests.pop(image_id, ())
+        frame = self._blobs.pop(image_id)
+        meta_size = self._meta_sizes.pop(image_id, None)
+        was_cached = image_id in self._cached
+        self._cached.discard(image_id)
+        if manifest_sizes is None:
+            manifest_sizes = (uncompressed, compressed)
+        man_raw, man_comp = manifest_sizes
+        freed = man_comp if mode else man_raw
+        self._frame_raw_total -= man_raw
+        self._frame_comp_total -= man_comp
+        snapshot = {
+            digest: (cas.pages.get(digest), cas.sizes[digest],
+                     cas.mode.get(digest, mode))
+            for digest in set(digests) if digest in cas.sizes
+        }
+        dropped = []
+        midpoint = len(digests) // 2
+        try:
+            for index, digest in enumerate(digests):
+                if index == midpoint:
+                    self.faults.check(FP_THIN_DROP_REFS)
+                freed += self._unref(digest)
+                dropped.append(digest)
+        except InjectedFault:
+            # Transient fault: the thin never happened.  Resurrect any
+            # page the partial unrefs reclaimed, retake the refs, restore
+            # the image bookkeeping, and withdraw the tombstone.
+            for digest in reversed(dropped):
+                payload, (raw_len, comp_len), pmode = snapshot[digest]
+                if digest not in cas.sizes:
+                    cas.commit_page(digest, payload, raw_len, comp_len,
+                                    pmode)
+                if cas.add_ref(self.owner, digest):
+                    self._page_raw_total += raw_len
+                    self._page_comp_total += comp_len
+            self._blobs[image_id] = frame
+            self._sizes[image_id] = (uncompressed, compressed)
+            self._stored_mode[image_id] = mode
+            self._manifest_sizes[image_id] = manifest_sizes
+            self._manifests[image_id] = digests
+            if meta_size is not None:
+                self._meta_sizes[image_id] = meta_size
+            if was_cached:
+                self._cached.add(image_id)
+            self._frame_raw_total += man_raw
+            self._frame_comp_total += man_comp
+            del self._tombstones[image_id]
+            raise
+        return freed
+
+    def is_thinned(self, image_id):
+        """True when ``image_id`` was thinned: its bytes are gone but a
+        tombstone keeps its instant replay-revivable."""
+        return image_id in self._tombstones
+
+    def tombstone_of(self, image_id):
+        """The THINNED tombstone record for ``image_id`` (None when the
+        image is not thinned)."""
+        tombstone = self._tombstones.get(image_id)
+        return dict(tombstone) if tombstone is not None else None
+
+    def thinned_ids(self):
+        """Sorted ids of every thinned (tombstoned) checkpoint."""
+        return sorted(self._tombstones)
+
+    @property
+    def tombstones(self):
+        """``{image id: tombstone record}`` for every thinned image."""
+        return {image_id: dict(ts)
+                for image_id, ts in self._tombstones.items()}
+
+    def reconcile_tombstones(self):
+        """Drop tombstones that can no longer serve a replay-based
+        revive: the image's blob is (still) stored intact — the thin
+        never completed, the intact image wins — or the anchor the
+        tombstone replays from is gone or unreadable.  Returns the list
+        of ``{"image_id", "reason"}`` drops (the fsck and prune paths
+        fold it into their reports)."""
+        dropped = []
+        for image_id in sorted(self._tombstones):
+            anchor_id = self._tombstones[image_id].get("anchor_id")
+            reason = None
+            if image_id in self._blobs:
+                reason = "image intact"
+            elif anchor_id is None or anchor_id not in self._blobs:
+                reason = "anchor gone"
+            elif not self.blob_ok(anchor_id)[0]:
+                reason = "anchor unreadable"
+            if reason is not None:
+                del self._tombstones[image_id]
+                dropped.append({"image_id": image_id, "reason": reason})
+        return dropped
+
+    def export_tombstones(self, log_data=None):
+        """Serialize the tombstones (plus, optionally, the replay-log
+        segment that re-derives them) as one TLV stream — the
+        pre-thinned-recording fixture format."""
+        from repro.common.serial import RecordWriter
+
+        writer = RecordWriter(kind=STREAM_KIND_THIN)
+        for image_id in sorted(self._tombstones):
+            payload = json.dumps(
+                self._tombstones[image_id], sort_keys=True,
+                separators=(",", ":")).encode("utf-8")
+            writer.write(REC_THIN_TOMBSTONE, payload)
+        if log_data:
+            writer.write(REC_THIN_LOG, bytes(log_data))
+        return writer.getvalue()
+
+    def import_tombstones(self, data):
+        """Load tombstone records from :meth:`export_tombstones` bytes.
+
+        Unknown record tags are skipped (forward compatibility); a
+        tombstone for an image this store holds intact is *not* imported
+        (the intact image wins, exactly as in
+        :meth:`reconcile_tombstones`).  Returns ``(loaded_count,
+        embedded_log_bytes_or_None)``.
+        """
+        from repro.common.serial import RecordReader
+
+        loaded = 0
+        log_data = None
+        for tag, payload, _offset in RecordReader(
+                data, expect_kind=STREAM_KIND_THIN):
+            if tag == REC_THIN_TOMBSTONE:
+                tombstone = json.loads(payload.decode("utf-8"))
+                image_id = tombstone.get("image_id")
+                if image_id is None or image_id in self._blobs:
+                    continue
+                self._tombstones[image_id] = tombstone
+                loaded += 1
+            elif tag == REC_THIN_LOG:
+                log_data = payload
+        return loaded, log_data
+
+    # ------------------------------------------------------------------ #
     # Base-manifest pins (branchable revive)
 
     @property
@@ -1524,6 +1731,15 @@ class CheckpointStorage:
             rebuild_refs()
             verdict = verify_chain(self, fsstore)
         report["verify_ok"] = verdict.ok
+
+        # Phase 5b: reconcile THINNED tombstones against the survivors.
+        # An imported tombstone may conflict with an intact image (the
+        # image wins); chain repair may have dropped an anchor out from
+        # under a tombstone (unreplayable — dropped too).  Partial
+        # unrefs from a ``thin.drop_refs`` crash were already converged
+        # by the owner-scoped ref rebuild above.
+        report["tombstones_dropped"] = self.reconcile_tombstones()
+        report["tombstones"] = len(self._tombstones)
 
         # Phase 6: recompute the owner-logical totals from the survivors.
         total_raw = 0

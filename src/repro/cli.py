@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli replay web [--units N] [--from-checkpoint ID]
                                    [--verify] [--faults SPEC] [--seed N]
                                    [--log-out FILE] [--report-out FILE]
+    python -m repro.cli thin web [--units N] [--recent-window S]
+                                 [--tiers SPEC] [--verify] [--crash]
     python -m repro.cli serve [--sessions N] [--seed S] [--units-scale F]
                               [--journal-dir DIR] [--trace-out FILE]
                               [--prom-out FILE] [--slo SPEC]
@@ -177,6 +179,31 @@ def build_parser():
                         help="write the replay report as JSON (the CI "
                              "divergence artifact)")
 
+    thin = sub.add_parser(
+        "thin",
+        help="record a scenario with the replay log on, thin older "
+             "checkpoints down to age-tiered anchors, and (optionally) "
+             "replay-revive the tombstoned instants to verify "
+             "bit-identical fingerprints")
+    _add_scenario_args(thin)
+    thin.add_argument("--recent-window", type=float, default=None,
+                      metavar="SECONDS",
+                      help="keep everything younger than this untouched "
+                           "(default 5)")
+    thin.add_argument("--tiers", default=None, metavar="SPEC",
+                      help="age tiers as 'LIMIT:EVERY[,LIMIT:EVERY...]', "
+                           "LIMIT in seconds or 'inf', e.g. '60:2,inf:4' "
+                           "(the default)")
+    thin.add_argument("--verify", action="store_true",
+                      help="take_me_back to every thinned instant and "
+                           "demand a fingerprint-verified replay-revive")
+    thin.add_argument("--crash", action="store_true",
+                      help="inject a crash mid-thin (thin.drop_refs), "
+                           "recover, and re-run the pass — the "
+                           "idempotence / fsck demo")
+    thin.add_argument("--seed", type=int, default=0,
+                      help="RNG seed for the fault plan (--crash)")
+
     def _add_fleet_args(command):
         command.add_argument("--sessions", type=int, default=4,
                              help="number of sessions to admit (default 4)")
@@ -201,6 +228,10 @@ def build_parser():
                              help="SLO watchdog rules, ';'-separated, e.g. "
                                   "'downtime_p95<=25000;dedup_ratio>=0.15' "
                                   "(default: the stock rules)")
+        command.add_argument("--thin", action="store_true",
+                             help="thin member checkpoints on the rollup "
+                                  "cadence under the default age-tiered "
+                                  "policy (fork points stay pinned)")
 
     serve = sub.add_parser(
         "serve",
@@ -685,6 +716,139 @@ def cmd_replay(args, out):
     return 0 if verified else 1
 
 
+def _parse_tiers(spec):
+    """Parse ``--tiers`` 'LIMIT:EVERY[,...]' (LIMIT in seconds, 'inf'
+    for unbounded) into :class:`ThinningPolicy` tier tuples."""
+    from repro.common.units import seconds
+
+    tiers = []
+    for part in spec.split(","):
+        limit, _sep, every = part.partition(":")
+        limit = limit.strip().lower()
+        limit_us = None if limit in ("inf", "none", "*") \
+            else seconds(float(limit))
+        tiers.append((limit_us, int(every)))
+    return tuple(tiers)
+
+
+def cmd_thin(args, out):
+    """Record a scenario with the replay event log on, apply an
+    age-tiered thinning pass, and optionally replay-revive every
+    tombstoned instant to prove the equivalence (exit 1 on any
+    verification failure)."""
+    from repro.checkpoint.gc import ThinningPolicy
+    from repro.common.faults import FaultPlan, InjectedCrash
+    from repro.common.units import seconds
+    from repro.replay.replayer import record_scenario
+
+    name = _resolve_scenario(args)
+    recording = None
+    plan = None
+    if args.crash:
+        # Armed at recording time but only ever hit inside thin():
+        # the recording itself runs clean.
+        plan = FaultPlan.parse("thin.drop_refs", seed=args.seed)
+        recording = get_workload(name).default_recording()
+        recording.fault_plan = plan
+    recorded = record_scenario(name, units=args.units, recording=recording)
+    dv = recorded.dejaview
+    policy_kwargs = {}
+    if args.recent_window is not None:
+        policy_kwargs["recent_window_us"] = seconds(args.recent_window)
+    if args.tiers is not None:
+        policy_kwargs["tiers"] = _parse_tiers(args.tiers)
+    policy = ThinningPolicy(**policy_kwargs)
+    checkpoints = dv.checkpoint_count
+    bytes_before = dv.storage.total_compressed_bytes
+    crash = None
+    recovery = None
+    try:
+        report = dv.thin_checkpoints(policy=policy, compact=True)
+    except InjectedCrash as exc:
+        crash = exc
+        plan.disarm()
+        recovery = dv.recover()
+        # Idempotent completion: the re-run selects the same survivors
+        # and picks up whatever the crash interrupted.
+        report = dv.thin_checkpoints(policy=policy, compact=True)
+    bytes_after = dv.storage.total_compressed_bytes
+    verified = []
+    failures = []
+    if args.verify:
+        from repro.checkpoint.restore import ReviveError
+
+        timestamps = {r.checkpoint_id: r.timestamp_us
+                      for r in dv.engine.history}
+        for image_id in dv.storage.thinned_ids():
+            if image_id not in timestamps:
+                continue
+            try:
+                result = dv.take_me_back(timestamps[image_id])
+            except ReviveError as exc:
+                failures.append({"checkpoint": image_id,
+                                 "error": str(exc)})
+                continue
+            if result.checkpoint_id == image_id and result.replayed:
+                verified.append(image_id)
+            else:
+                failures.append({
+                    "checkpoint": image_id,
+                    "error": "revived %d (replayed=%s) instead"
+                             % (result.checkpoint_id, result.replayed)})
+    ok = not failures
+    summary = {
+        "scenario": name,
+        "checkpoints": checkpoints,
+        "thinned": list(report.thinned_images),
+        "tombstones": report.tombstones,
+        "skipped_required": list(report.skipped_required),
+        "skipped_unanchored": list(report.skipped_unanchored),
+        "bytes_before": bytes_before,
+        "bytes_after": bytes_after,
+        "bytes_freed": report.image_bytes_freed,
+        "crash": str(crash) if crash is not None else None,
+        "recovery_ok": recovery["ok"] if recovery is not None else None,
+        "verified": verified,
+        "failures": failures,
+        "ok": ok,
+    }
+    if args.json:
+        json.dump(summary, out, indent=2, default=str)
+        print(file=out)
+        return 0 if ok else 1
+    print("thin: %s scenario, %d checkpoint(s), policy recent=%s "
+          "tiers=%s" % (name, checkpoints,
+                        format_duration_us(policy.recent_window_us),
+                        ",".join("%s:%d" % (
+                            "inf" if limit is None
+                            else format_duration_us(limit), every)
+                            for limit, every in policy.tiers)), file=out)
+    if crash is not None:
+        print("injected: %s (recovery %s, pass re-run)" % (
+            crash, "ok" if recovery["ok"] else "FAILED"), file=out)
+    reduction = (1.0 - bytes_after / bytes_before) if bytes_before else 0.0
+    print("tombstoned %d instant(s): %s" % (
+        len(report.thinned_images),
+        list(report.thinned_images) or "none"), file=out)
+    print("storage: %s -> %s (%.1f%% reduction, %s of image bytes "
+          "freed)" % (format_bytes(bytes_before),
+                      format_bytes(bytes_after), 100.0 * reduction,
+                      format_bytes(report.image_bytes_freed)), file=out)
+    if report.skipped_required or report.skipped_unanchored:
+        print("pinned: %s required by survivors, %s without a surviving "
+              "anchor" % (list(report.skipped_required) or "none",
+                          list(report.skipped_unanchored) or "none"),
+              file=out)
+    if args.verify:
+        print("replay-revive: %d/%d thinned instant(s) verified "
+              "bit-identical" % (len(verified),
+                                 len(verified) + len(failures)), file=out)
+        for failure in failures:
+            print("  FAILED checkpoint %s: %s" % (
+                failure["checkpoint"], failure["error"]), file=out)
+    return 0 if ok else 1
+
+
 def _fleet_observability(args, want_watchdog=False):
     """Extra :class:`~repro.server.fleet.Fleet` kwargs for the fleet
     observability flags: a flight recorder when journaling or trace
@@ -700,6 +864,10 @@ def _fleet_observability(args, want_watchdog=False):
 
         rules = parse_slos(args.slo) if args.slo else None
         kwargs["watchdog"] = SLOWatchdog(rules)
+    if getattr(args, "thin", False):
+        from repro.checkpoint.gc import ThinningPolicy
+
+        kwargs["thinning"] = ThinningPolicy()
     return kwargs
 
 
@@ -787,12 +955,24 @@ def cmd_serve(args, out):
               100.0 * cas["dedup_ratio"],
               cas["cross_pages_deduped"]), file=out)
     _print_shard_table(cas, out)
+    _print_thinning(stats, out)
     if "slo" in stats:
         _print_slo(stats["slo"], out)
     _print_journal_line(stats, out)
     for path in written:
         print("wrote %s" % path, file=out)
     return 0
+
+
+def _print_thinning(stats, out):
+    if "thinning" not in stats:
+        return
+    th = stats["thinning"]
+    print("thinning: %d pass(es), %d checkpoint(s) tombstoned, %s freed"
+          % (th["passes"], th["checkpoints_thinned"],
+             format_bytes(th["bytes_freed"])), file=out)
+    for name, count in sorted(th["tombstones"].items()):
+        print("  %-6s %d tombstone(s)" % (name, count), file=out)
 
 
 def cmd_fleet_stats(args, out):
@@ -821,6 +1001,7 @@ def cmd_fleet_stats(args, out):
     if "faults" in stats:
         print("failpoint rollup (all sessions):", file=out)
         _print_fault_table(stats["faults"]["sites"], out)
+    _print_thinning(stats, out)
     if "branches" in stats:
         br = stats["branches"]
         print("branches: %d forked, %d fork failure(s), %d deleted" % (
@@ -922,6 +1103,8 @@ def _top_frame(fleet):
                          if member.session else 0),
             "checkpoints": (member.dejaview.checkpoint_count
                             if member.dejaview else 0),
+            "thinned": (len(member.dejaview.storage.thinned_ids())
+                        if member.dejaview else 0),
         }
         if member.is_branch:
             info["kind"] = "branch"
@@ -946,6 +1129,8 @@ def _top_frame(fleet):
         "writeback_backlog": fleet.cas.backlog_bytes(),
         "flush_batches": fleet.telemetry.metrics.counter(
             "fleet.flush_batches").value,
+        "checkpoints_thinned": fleet.telemetry.metrics.counter(
+            "fleet.checkpoints_thinned").value,
         "members": members,
     }
     if fleet.watchdog is not None:
@@ -962,17 +1147,22 @@ def _print_top_frame(frame, index, out):
                           if ok is False)
         slo_text = " slo=%s" % (
             "VIOLATED(%s)" % ",".join(violated) if violated else "ok")
+    thin_text = ""
+    if frame.get("checkpoints_thinned"):
+        thin_text = " thinned=%d" % frame["checkpoints_thinned"]
     print("frame %-3d t=%-10s steps=%-5d queue=%d dedup=%4.1f%% "
-          "writeback_backlog=%-8s flushes=%d%s" % (
+          "writeback_backlog=%-8s flushes=%d%s%s" % (
               index, format_duration_us(frame["service_clock_us"]),
               frame["steps"], frame["queue_depth"],
               100.0 * frame["dedup_ratio"],
               format_bytes(frame["writeback_backlog"]),
-              frame["flush_batches"], slo_text), file=out)
+              frame["flush_batches"], thin_text, slo_text), file=out)
     for member in frame["members"]:
         down = format_duration_us(member["downtime_p95_us"]) \
             if "downtime_p95_us" in member else "-"
         extra = ""
+        if member.get("thinned"):
+            extra = " thin=%d" % member["thinned"]
         if member.get("kind") == "branch":
             extra = " branch-of:%s@%d" % (
                 member["parent"], member["source_checkpoint"])
@@ -1074,6 +1264,7 @@ def main(argv=None, out=None):
         "stats": cmd_stats,
         "doctor": cmd_doctor,
         "replay": cmd_replay,
+        "thin": cmd_thin,
         "serve": cmd_serve,
         "fleet-stats": cmd_fleet_stats,
         "revive-storm": cmd_revive_storm,

@@ -98,6 +98,18 @@ FAILPOINTS = {
         "owner refcounts with no base-manifest record committed; the "
         "branch's storage fsck rebuilds owner refs from committed "
         "manifests only, wiping the partial pins)",
+    "thin.tombstone":
+        "CheckpointStorage.thin, after the thinned checkpoint's replay "
+        "fingerprints are captured but before the THINNED tombstone "
+        "commits (crash leaves the image fully intact with no "
+        "tombstone; re-running the thinning pass picks it up again — "
+        "thinning is idempotent)",
+    "thin.drop_refs":
+        "CheckpointStorage.thin, mid-way through dropping the thinned "
+        "manifest's page references (crash leaves the tombstone "
+        "committed and the manifest gone with only part of its refs "
+        "dropped; fsck rebuilds this owner's refcounts from surviving "
+        "manifests and base pins, reclaiming the remainder)",
 }
 
 

@@ -40,6 +40,10 @@ SHORTHANDS = {
     "fork_p50": ("histogram", "fleet.fork_us", "p50"),
     "branch_count": ("counter", "fleet.branches_forked", None),
     "branch_fork_failures": ("counter", "fleet.branch_forks_failed", None),
+    "thinned_count": ("counter", "fleet.checkpoints_thinned", None),
+    "thin_bytes_freed": ("counter", "fleet.thin_bytes_freed", None),
+    "replay_revive_p95": ("histogram", "revive.replay_us", "p95"),
+    "replay_revive_p50": ("histogram", "revive.replay_us", "p50"),
 }
 
 

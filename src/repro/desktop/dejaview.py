@@ -21,7 +21,7 @@ from repro.checkpoint.restore import ReviveManager
 from repro.checkpoint.storage import CheckpointStorage
 from repro.common.errors import CheckpointError, DejaViewError, ReviveError
 from repro.common.faults import resolve_faults
-from repro.common.flightrec import REC_RECOVERY, resolve_flightrec
+from repro.common.flightrec import REC_EVENT, REC_RECOVERY, resolve_flightrec
 from repro.common.telemetry import NULL_TELEMETRY, Telemetry
 from repro.common.units import seconds
 from repro.access.daemon import IndexingDaemon
@@ -223,6 +223,10 @@ class DejaView:
             "revive.fallbacks")
         self._m_recoveries = self.telemetry.metrics.counter(
             "recover.sessions")
+        self._m_thinned = self.telemetry.metrics.counter(
+            "thin.checkpoints")
+        self._m_thin_bytes = self.telemetry.metrics.counter(
+            "thin.bytes_freed")
         self._last_checkpoint_us = None
         self._flight_rollup_ticks = (
             self.config.flightrec_rollup_ticks if self._flight.active else 0)
@@ -357,7 +361,10 @@ class DejaView:
         Falls back over progressively older checkpoints when the newest
         candidate is torn, corrupt, or fails to revive (counted as
         ``revive.fallbacks``) — a damaged image costs temporal precision,
-        never the whole operation.
+        never the whole operation.  A *thinned* candidate is not damage:
+        its tombstone names a surviving replay anchor, so it is revived
+        by replaying forward from that anchor — never silently skipped,
+        and never counted as a fallback.
         """
         if self.engine is None:
             raise DejaViewError("checkpointing is not enabled")
@@ -370,6 +377,14 @@ class DejaView:
         last_error = None
         for candidate in reversed(candidates):
             image_id = candidate.checkpoint_id
+            if self.storage.is_thinned(image_id):
+                # Replayable by construction (the tombstone was only
+                # written with a verified surviving anchor); a failure
+                # here is a real error, not a reason to lose precision.
+                return self._revive_thinned(
+                    image_id, cached=cached,
+                    network_enabled=network_enabled,
+                )
             ok = image_id in self.storage and self.storage.blob_ok(image_id)[0]
             if ok:
                 try:
@@ -384,6 +399,61 @@ class DejaView:
             "no checkpoint at or before t=%dus survived verification"
             % time_us
         ) from last_error
+
+    def _revive_thinned(self, image_id, cached=None, network_enabled=False):
+        """Revive a THINNED instant by replay from its anchor."""
+        tombstone = self.storage.tombstone_of(image_id)
+        if tombstone is None:
+            raise ReviveError("checkpoint %d is not thinned" % image_id)
+        log_data = None
+        if self.replay.active and hasattr(self.replay, "getvalue"):
+            log_data = self.replay.getvalue()
+        return self.reviver.revive_thinned(
+            image_id, tombstone, log_data,
+            cached=cached, network_enabled=network_enabled,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint thinning
+
+    def thin_checkpoints(self, policy=None, now_us=None, protect=(),
+                         compact=False):
+        """Apply an age-tiered :class:`ThinningPolicy` to this session's
+        checkpoint timeline (see :func:`repro.checkpoint.gc.
+        thin_checkpoints`).
+
+        Anchors are harvested from the session's replay log when one is
+        recording, so only instants replay can verify are thinned and
+        tombstones carry the recorded framebuffer fingerprints.  Returns
+        the :class:`ThinReport`.
+        """
+        from repro.checkpoint.gc import ThinningPolicy, thin_checkpoints
+
+        if self.engine is None:
+            raise DejaViewError("checkpointing is not enabled")
+        if policy is None:
+            policy = ThinningPolicy()
+        if now_us is None:
+            now_us = self.session.clock.now_us
+        anchors = None
+        if self.replay.active and hasattr(self.replay, "getvalue"):
+            from repro.replay.replayer import anchor_index
+            anchors = anchor_index(self.replay.getvalue())
+        report = thin_checkpoints(
+            self.storage, self.engine.history, policy, now_us,
+            anchors=anchors, protect=protect, compact=compact,
+        )
+        if report.thinned_images:
+            self._m_thinned.inc(len(report.thinned_images))
+            self._m_thin_bytes.inc(report.image_bytes_freed)
+            if self._flight.active:
+                self._flight.record(REC_EVENT, {
+                    "action": "thin",
+                    "thinned": len(report.thinned_images),
+                    "bytes_freed": report.image_bytes_freed,
+                    "tombstones": report.tombstones,
+                })
+        return report
 
     # ------------------------------------------------------------------ #
     # Crash recovery

@@ -137,13 +137,25 @@ def anchor_ids(data):
             if event.etype == EV_ANCHOR]
 
 
-def scenario_driver(meta, faults=None):
+def anchor_index(data):
+    """``{checkpoint_id: anchor event data}`` for every ``EV_ANCHOR`` in
+    a log — the thinning pass harvests per-instant fingerprints (and the
+    set of replayable instants) from this."""
+    _, events, _, _ = prepare_events(data)
+    return {event.data["checkpoint_id"]: dict(event.data)
+            for event in events if event.etype == EV_ANCHOR}
+
+
+def scenario_driver(meta, faults=None, capture=None):
     """Rebuild the re-execution driver for a :func:`record_scenario`
     recording from its ``EV_BEGIN`` metadata.
 
     ``faults`` (a fresh copy of the recorded run's plan) is wired into
     the rebuilt session's recording config, so re-execution injects the
-    same faults at the same points."""
+    same faults at the same points.  ``capture`` (a dict) receives the
+    rebuilt ``session`` and ``dejaview`` before the run starts, so a
+    caller that halts re-execution mid-way — replay-based revive — can
+    hand the reconstructed state back."""
     scenario = meta.get("scenario")
     if not scenario:
         raise ReplayError(
@@ -166,6 +178,9 @@ def scenario_driver(meta, faults=None):
         if faults is not None:
             config.fault_plan = faults
         dejaview = DejaView(session, config)
+        if capture is not None:
+            capture["session"] = session
+            capture["dejaview"] = dejaview
         workload.run(units=meta.get("units"), session=session,
                      dejaview=dejaview)
         tap.close(session.clock.now_us)
@@ -211,6 +226,140 @@ def replay(data, driver=None, from_checkpoint=None, faults=None):
     report.log_exhausted = tap.log_exhausted
     report.ok = tap.complete
     return report
+
+
+class AnchorReached(BaseException):
+    """Control flow for :func:`replay_to_checkpoint`: the stop-at tap
+    verified the target checkpoint's anchor, so re-execution halts with
+    the rebuilt session frozen at exactly that instant.  A
+    ``BaseException`` so workload ``except Exception`` handlers cannot
+    swallow the stop."""
+
+    def __init__(self, anchor):
+        super().__init__("reached anchor of checkpoint %r"
+                         % (anchor.get("checkpoint_id"),))
+        self.anchor = anchor
+
+
+class StopAtAnchorTap(VerifyingTap):
+    """A verifying tap that halts re-execution at a target anchor.
+
+    Fast-forwards like :class:`VerifyingTap` (``from_checkpoint``
+    names the surviving anchor replay seeds from), verifies every event
+    in lockstep, and the moment the *target* checkpoint's anchor event
+    re-derives bit-identically raises :class:`AnchorReached`.  The
+    re-derived anchor data lands in :attr:`reached`."""
+
+    def __init__(self, events, target_checkpoint, from_checkpoint=None,
+                 clock_batch=DEFAULT_CLOCK_BATCH, faults=None):
+        super().__init__(events, from_checkpoint=from_checkpoint,
+                         clock_batch=clock_batch, faults=faults)
+        self.target_checkpoint = target_checkpoint
+        self.reached = None
+
+    def anchor(self, checkpoint_id, timestamp_us, framebuffer_sha1,
+               checkpoint_fp):
+        super().anchor(checkpoint_id, timestamp_us, framebuffer_sha1,
+                       checkpoint_fp)
+        if (self._armed and self.divergence is None
+                and checkpoint_id == self.target_checkpoint):
+            self.reached = {
+                "checkpoint_id": int(checkpoint_id),
+                "timestamp_us": int(timestamp_us),
+                "framebuffer_sha1": framebuffer_sha1,
+                "checkpoint_fp": checkpoint_fp,
+            }
+            raise AnchorReached(self.reached)
+
+
+@dataclass
+class ReplayedState:
+    """What :func:`replay_to_checkpoint` hands back: the re-executed
+    session frozen at the target instant (``ok`` when the target's
+    anchor verified), plus the verification figures."""
+
+    reached: dict = None
+    session: object = None
+    dejaview: object = None
+    events_verified: int = 0
+    anchors_verified: int = 0
+    divergence: object = None
+    replay_crashed: bool = False
+    crash_site: str = None
+    anchor_id: object = None
+    replay_us: int = 0
+    """Virtual time re-executed between the seed anchor and the target
+    — the replay distance a thinned revive pays for."""
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def ok(self):
+        return self.reached is not None
+
+    def describe(self):
+        if self.ok:
+            return ("replayed to checkpoint %d (+%dus from anchor %r, "
+                    "%d events verified)"
+                    % (self.reached["checkpoint_id"], self.replay_us,
+                       self.anchor_id, self.events_verified))
+        if self.divergence is not None:
+            return self.divergence.describe()
+        if self.replay_crashed:
+            return ("replay crashed at %s before reaching the target "
+                    "anchor" % self.crash_site)
+        return ("re-execution ended after %d verified events without "
+                "reaching the target anchor" % self.events_verified)
+
+
+def replay_to_checkpoint(data, checkpoint_id, from_checkpoint=None,
+                         driver_factory=None, faults=None):
+    """Re-execute a recording up to one checkpoint's instant.
+
+    The replay-revive core: drives the recording's deterministic script
+    forward — fast-forwarding to ``from_checkpoint``'s anchor when
+    given, then in lockstep — and stops the moment ``checkpoint_id``'s
+    anchor event re-derives bit-identically.  Returns a
+    :class:`ReplayedState` carrying the rebuilt session/dejaview (their
+    storage holds a freshly re-created, fingerprint-verified copy of the
+    target checkpoint) and the re-derived anchor data.
+
+    ``driver_factory`` is ``factory(meta, capture) -> driver`` for
+    recordings without scenario metadata; the default rebuilds the
+    scenario driver and captures its session.
+    """
+    meta, events, _torn, _stopped = prepare_events(data)
+    capture = {}
+    if driver_factory is None:
+        driver = scenario_driver(meta, faults=faults, capture=capture)
+    else:
+        driver = driver_factory(meta, capture)
+    clock_batch = int(meta.get("clock_batch", DEFAULT_CLOCK_BATCH))
+    tap = StopAtAnchorTap(events, checkpoint_id,
+                          from_checkpoint=from_checkpoint,
+                          clock_batch=clock_batch, faults=faults)
+    result = ReplayedState(meta=meta, anchor_id=from_checkpoint)
+    try:
+        driver(tap)
+    except AnchorReached:
+        pass
+    except DivergenceAbort:
+        pass
+    except InjectedCrash as crash:
+        result.replay_crashed = True
+        result.crash_site = crash.site
+    result.reached = tap.reached
+    result.session = capture.get("session")
+    result.dejaview = capture.get("dejaview")
+    result.events_verified = tap.events_verified
+    result.anchors_verified = tap.anchors_verified
+    result.divergence = tap.divergence
+    if tap.reached is not None:
+        start_us = 0
+        if from_checkpoint is not None and tap.window_start < len(events):
+            start_us = events[tap.window_start].data.get("timestamp_us", 0)
+        result.replay_us = max(
+            0, tap.reached["timestamp_us"] - start_us)
+    return result
 
 
 @dataclass

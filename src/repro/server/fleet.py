@@ -209,7 +209,7 @@ class Fleet:
                  quotas=None, telemetry_enabled=True, flightrec=None,
                  watchdog=None, rollup_every=64, shards=4,
                  group_commit_bytes=GROUP_COMMIT_BYTES,
-                 max_backlog_bytes=None, replay_tap=None):
+                 max_backlog_bytes=None, replay_tap=None, thinning=None):
         """``flightrec`` (a
         :class:`~repro.common.flightrec.FlightRecorder`) journals
         scheduler decisions, quota throttles, lifecycle events, and
@@ -224,7 +224,15 @@ class Fleet:
         ``group_commit_bytes`` is the per-shard queue depth that triggers
         a flush after a step; ``max_backlog_bytes`` (default ``8 *
         group_commit_bytes``) is the total-backlog backpressure quota
-        that force-flushes every shard at once."""
+        that force-flushes every shard at once.
+
+        ``thinning`` (a :class:`~repro.checkpoint.gc.ThinningPolicy`)
+        enables age-tiered checkpoint thinning on the rollup cadence:
+        every member's older instants are tombstoned down to sparse
+        replay anchors, with branch fork points pinned so a
+        ``revive.branch.*`` survivor is never thinned out from under a
+        live branch.  ``None`` (the default) disables automatic
+        thinning; :meth:`thin` still works on demand."""
         self.seed = seed
         self.max_sessions = max_sessions
         self.costs = costs
@@ -274,6 +282,10 @@ class Fleet:
             "fleet.branch_forks_failed")
         self._m_branches_deleted = metrics.counter("fleet.branches_deleted")
         self._h_fork_us = metrics.histogram("fleet.fork_us")
+        self.thinning = thinning
+        self._m_thin_passes = metrics.counter("fleet.thin_passes")
+        self._m_thinned = metrics.counter("fleet.checkpoints_thinned")
+        self._m_thin_bytes = metrics.counter("fleet.thin_bytes_freed")
 
     # ------------------------------------------------------------------ #
     # Admission
@@ -676,6 +688,8 @@ class Fleet:
                         member.name, member.session.clock,
                     ).record_counter_deltas(
                         telemetry.metrics.counter_values())
+        if self.thinning is not None:
+            self.thin(policy=self.thinning, compact=False)
         if self.watchdog is not None:
             self.check_slos()
 
@@ -829,6 +843,57 @@ class Fleet:
         return {"sessions": reports, "compaction": compaction,
                 "writeback_drained": drained}
 
+    def thin(self, policy=None, compact=True):
+        """Run one thinning pass over every member's checkpoint timeline.
+
+        Each member applies the age-tiered policy on its own clock (see
+        :meth:`DejaView.thin_checkpoints`); the fleet contributes the
+        *protect* set — branch fork points (a live branch demand-pages
+        its source checkpoint, so that instant must keep its bytes) and
+        each member's last stored checkpoint (the last-good anchor a
+        post-crash revive falls back to).  Compaction of the shared CAS
+        then runs once, on the service clock.  Returns per-session
+        :class:`ThinReport` objects plus the fleet summary."""
+        policy = policy if policy is not None else self.thinning
+        drained = self.drain_writeback(reason="thin")
+        branch_roots = {}
+        for member in self._members.values():
+            if member.is_branch and member.source_checkpoint is not None:
+                branch_roots.setdefault(member.parent, set()).add(
+                    member.source_checkpoint)
+        reports = {}
+        thinned = 0
+        freed = 0
+        for member in self._members.values():
+            if member.dejaview is None:
+                continue  # branch shell crashed mid-fork
+            engine = member.dejaview.engine
+            if engine is None or not engine.history:
+                continue
+            protect = set(branch_roots.get(member.name, ()))
+            if engine.last_checkpoint_id is not None:
+                protect.add(engine.last_checkpoint_id)
+            report = member.dejaview.thin_checkpoints(
+                policy=policy, protect=sorted(protect), compact=False)
+            reports[member.name] = report
+            thinned += len(report.thinned_images)
+            freed += report.image_bytes_freed
+        compaction = self.compact() if (compact and thinned) else {}
+        self._m_thin_passes.inc()
+        if thinned:
+            self._m_thinned.inc(thinned)
+            self._m_thin_bytes.inc(freed)
+            if self._flight.active:
+                self._flight.record(REC_EVENT, {
+                    "event": "thin", "thinned": thinned,
+                    "bytes_freed": freed,
+                    "sessions": sorted(
+                        name for name, report in reports.items()
+                        if report.thinned_images)})
+        return {"sessions": reports, "thinned": thinned,
+                "bytes_freed": freed, "compaction": compaction,
+                "writeback_drained": drained}
+
     def delete_branch(self, name):
         """Remove a branch member and release everything it holds in the
         shared store: its own checkpoint images and their page refs, plus
@@ -975,6 +1040,19 @@ class Fleet:
             "fleet_metrics": self.telemetry.metrics.snapshot(),
             "rollup": rollup,
         }
+        if self.thinning is not None or self._m_thin_passes.value:
+            report["thinning"] = {
+                "enabled": self.thinning is not None,
+                "passes": self._m_thin_passes.value,
+                "checkpoints_thinned": self._m_thinned.value,
+                "bytes_freed": self._m_thin_bytes.value,
+                "tombstones": {
+                    name: len(member.dejaview.storage.thinned_ids())
+                    for name, member in self._members.items()
+                    if member.dejaview is not None
+                    and member.dejaview.storage.thinned_ids()
+                },
+            }
         branch_members = self.branches()
         if branch_members or self._m_branches.value:
             report["branches"] = {

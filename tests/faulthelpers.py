@@ -102,6 +102,45 @@ def drive(session, dejaview, units=8, resilient=False, progress=None,
     return editor
 
 
+def thin_drive(session, dejaview, units=12):
+    """A scripted workload whose checkpoints *thin* well.
+
+    Every unit rewrites the same leading heap pages (hot churn) and
+    repaints the screen, so each instant's pages are fully superseded by
+    the next checkpoint: older incrementals stop being required by
+    survivors, and an age-tiered thinning pass can actually drop their
+    bytes.  (The round-robin sweep in :func:`drive` keeps every image's
+    pages live for several units, which pins nearly everything.)
+    """
+    editor = session.apps.get("editor")
+    if editor is None:
+        editor = session.launch("editor")
+        editor.focus()
+    for i in range(units):
+        editor.draw_fill(Region(0, 0, session.width, session.height),
+                         COLORS[i % len(COLORS)])
+        editor.dirty_memory(4 * 4096, hot=True)
+        dejaview.tick()
+        session.clock.advance_us(seconds(1))
+    return editor
+
+
+def thin_replay_driver_factory(units=12):
+    """``factory(meta, capture) -> driver`` re-running
+    :func:`thin_drive` — wire it into
+    :attr:`ReviveManager.replay_driver_factory` (or pass it to
+    :func:`replay_to_checkpoint`) so thinned instants of these bespoke
+    recordings can replay-revive."""
+    def factory(_meta, capture):
+        def driver(tap):
+            session, dejaview = build_session(replay_tap=tap)
+            capture["session"] = session
+            capture["dejaview"] = dejaview
+            thin_drive(session, dejaview, units=units)
+        return driver
+    return factory
+
+
 def replay_driver(units=8, fault_plan=None, resilient=False):
     """A replay driver re-running the scripted workload above.
 

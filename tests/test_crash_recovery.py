@@ -20,7 +20,9 @@ import zlib
 import pytest
 
 from repro import Query
+from repro.checkpoint.gc import ThinningPolicy
 from repro.checkpoint.verify import verify_chain
+from repro.common.units import seconds
 from repro.common.faults import (
     FAILPOINTS,
     FaultPlan,
@@ -39,6 +41,8 @@ from tests.faulthelpers import (
     drive,
     record_fault_matrix,
     summarize,
+    thin_drive,
+    thin_replay_driver_factory,
 )
 
 UNITS = 8
@@ -50,8 +54,13 @@ UNITS = 8
 #: dedicated row with the same recover-and-verify contract.
 FLEET_ONLY_SITES = ("revive.branch.mount", "revive.branch.refs")
 
+#: Failpoints inside the checkpoint-thinning pass.  The sweep driver
+#: records but never thins, so these too get dedicated rows
+#: (:class:`TestThinCrash`) instead of sweep parametrizations.
+THIN_SITES = ("thin.drop_refs", "thin.tombstone")
+
 SOLO_SITES = [site for site in registered_failpoints()
-              if site not in FLEET_ONLY_SITES]
+              if site not in FLEET_ONLY_SITES + THIN_SITES]
 
 
 @pytest.fixture(scope="module")
@@ -541,3 +550,104 @@ class TestBranchForkCrash:
                             sibling.session.fsstore).ok
         revived = parent.dejaview.take_me_back(parent.session.clock.now_us)
         assert revived.container.live_processes()
+
+
+class TestThinCrash:
+    """Dedicated rows for the two thinning failpoints: a crash while
+    committing a THINNED tombstone (``thin.tombstone``) or halfway
+    through dropping the thinned image's page refs (``thin.drop_refs``)
+    must recover to a verified fixpoint, a re-run of the same pass must
+    converge on the same survivors as a crash-free pass, and every
+    tombstoned instant must still replay-revive afterwards."""
+
+    UNITS = 12
+    POLICY = ThinningPolicy(recent_window_us=seconds(2),
+                            tiers=((None, 2),))
+
+    def _record(self, fault_plan=None):
+        session, dejaview = build_session(fault_plan=fault_plan)
+        thin_drive(session, dejaview, units=self.UNITS)
+        return session, dejaview
+
+    @pytest.fixture(scope="class")
+    def control(self):
+        """A crash-free pass over the identical timeline: the thinned
+        set every faulted run must converge to."""
+        _session, dejaview = self._record()
+        report = dejaview.thin_checkpoints(policy=self.POLICY)
+        assert report.thinned_images, \
+            "thin_drive produced no thinnable instants"
+        return report
+
+    @pytest.mark.parametrize("site", THIN_SITES)
+    def test_crash_mid_thin_recovers_and_converges(self, site, control):
+        plan = FaultPlan()
+        rule = plan.add(site, mode="crash")
+        session, dejaview = self._record(fault_plan=plan)
+        history_ids = [r.checkpoint_id for r in dejaview.engine.history]
+        with pytest.raises(InjectedCrash):
+            dejaview.thin_checkpoints(policy=self.POLICY)
+        record_fault_matrix(plan)
+        assert rule.fired == 1
+        storage = dejaview.storage
+
+        # Site semantics: the tombstone commit is the atom.  A crash
+        # *before* it (thin.tombstone fires on the first target) leaves
+        # the image fully intact and no tombstone; a crash after it
+        # (thin.drop_refs, mid-unref) leaves exactly one tombstone with
+        # the image bytes gone.
+        if site == "thin.tombstone":
+            assert not storage.thinned_ids()
+        else:
+            assert len(storage.thinned_ids()) == 1
+            (victim,) = storage.thinned_ids()
+            assert victim == control.thinned_images[0]
+            assert victim not in storage
+
+        report = dejaview.recover()
+        assert report["ok"], report
+        # Fixpoint: recovering again finds nothing further to fix.
+        again = dejaview.recover()
+        assert again["ok"]
+        assert not again["storage"]["torn_dropped"]
+        assert not again["storage"]["chain_dropped"]
+        assert again["storage"]["cas_orphans_reclaimed"] == 0
+        assert not again["storage"].get("tombstones_dropped", ())
+
+        # The timeline survives whole: every instant is stored or
+        # tombstoned, never silently gone.
+        assert [r.checkpoint_id for r in dejaview.engine.history] \
+            == history_ids
+        for checkpoint_id in history_ids:
+            assert checkpoint_id in storage \
+                or storage.is_thinned(checkpoint_id)
+        chain = verify_chain(storage, session.fsstore)
+        assert chain.ok, chain.issues
+
+        # The interrupted pass completes idempotently and converges on
+        # the crash-free survivors (tier positions count the full
+        # timeline, tombstones included).
+        dejaview.thin_checkpoints(policy=self.POLICY)
+        assert tuple(sorted(storage.thinned_ids())) \
+            == tuple(sorted(control.thinned_images))
+        rerun = dejaview.thin_checkpoints(policy=self.POLICY)
+        assert not rerun.thinned_images
+
+        # The clean recording replays end-to-end (the crash hit the
+        # thinning pass, not the recorded timeline), and a thinned
+        # instant still revives bit-identically through replay.
+        from repro.replay import assert_replays_clean
+
+        factory = thin_replay_driver_factory(units=self.UNITS)
+        assert_replays_clean(session.replay.getvalue(),
+                             driver=factory(None, {}))
+        dejaview.reviver.replay_driver_factory = factory
+        timestamps = {r.checkpoint_id: r.timestamp_us
+                      for r in dejaview.engine.history}
+        target = control.thinned_images[-1]
+        fallbacks = dejaview.telemetry.metrics.counter("revive.fallbacks")
+        before = fallbacks.value
+        revived = dejaview.take_me_back(timestamps[target])
+        assert revived.checkpoint_id == target
+        assert revived.replayed
+        assert fallbacks.value == before

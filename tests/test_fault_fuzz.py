@@ -23,8 +23,11 @@ import random
 import pytest
 
 from repro import Query
+from repro.checkpoint.gc import ThinningPolicy
 from repro.checkpoint.verify import verify_chain
 from repro.common.faults import FaultPlan, InjectedCrash, registered_failpoints
+from repro.common.units import seconds
+from repro.replay import assert_replays_clean
 
 from tests.faulthelpers import (
     WORDS,
@@ -33,6 +36,8 @@ from tests.faulthelpers import (
     drive,
     record_fault_matrix,
     summarize,
+    thin_drive,
+    thin_replay_driver_factory,
 )
 
 UNITS = 8
@@ -270,6 +275,78 @@ class TestFleetFuzz:
             revived = peer.dejaview.take_me_back(
                 peer.session.clock.now_us)
             assert revived.container.live_processes()
+
+
+class TestThinFuzz:
+    """Seeded random crash plans against the *thinning pass*: wherever
+    the crash lands among the pass's tombstone commits and ref drops,
+    recovery converges, a re-run of the pass reaches the crash-free
+    outcome, and the (clean — the crash hit the pass, not the recording)
+    event log still replays and replay-revives thinned instants."""
+
+    THIN_SITES = [site for site in registered_failpoints()
+                  if site.startswith("thin.")]
+    POLICY = ThinningPolicy(recent_window_us=seconds(2),
+                            tiers=((None, 2),))
+    THIN_UNITS = 12
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_mid_thin_crash_converges(self, seed):
+        rng = random.Random(seed ^ 0x7417)
+        site = rng.choice(self.THIN_SITES)
+        plan = FaultPlan(seed=seed)
+        rule = plan.add(site, mode="crash",
+                        after=rng.randrange(1, 8), once=True)
+
+        # The crash-free control over the identical timeline: whatever
+        # the faulted run goes through, it must converge to this.
+        control_session, control_dv = build_session()
+        thin_drive(control_session, control_dv, units=self.THIN_UNITS)
+        control = control_dv.thin_checkpoints(policy=self.POLICY)
+        assert control.thinned_images
+
+        session, dejaview = build_session(fault_plan=plan)
+        thin_drive(session, dejaview, units=self.THIN_UNITS)
+        crashed = False
+        try:
+            dejaview.thin_checkpoints(policy=self.POLICY)
+        except InjectedCrash:
+            crashed = True
+        record_fault_matrix(plan)
+        plan.disarm()
+        if crashed:
+            assert rule.fired == 1
+            report = dejaview.recover()
+            assert report["ok"], report
+            # Double-recover fixpoint.
+            second = dejaview.recover()
+            assert second["ok"]
+            assert not second["storage"]["torn_dropped"]
+            assert not second["storage"]["chain_dropped"]
+            assert second["storage"]["cas_orphans_reclaimed"] == 0
+            dejaview.thin_checkpoints(policy=self.POLICY)
+        # Converged on the control's survivors either way (the armed
+        # hit count may outrun a short pass: a valid draw — the pass
+        # then simply completed clean), and another pass is a no-op.
+        assert sorted(dejaview.storage.thinned_ids()) \
+            == sorted(control.thinned_images)
+        assert not dejaview.thin_checkpoints(policy=self.POLICY) \
+            .thinned_images
+        chain = verify_chain(dejaview.storage, session.fsstore)
+        assert chain.ok, chain.issues
+
+        # The recording itself never crashed: it replays end-to-end,
+        # and a randomly drawn tombstone still replay-revives.
+        factory = thin_replay_driver_factory(units=self.THIN_UNITS)
+        assert_replays_clean(session.replay.getvalue(),
+                             driver=factory(None, {}))
+        dejaview.reviver.replay_driver_factory = factory
+        timestamps = {r.checkpoint_id: r.timestamp_us
+                      for r in dejaview.engine.history}
+        target = rng.choice(sorted(control.thinned_images))
+        revived = dejaview.take_me_back(timestamps[target])
+        assert revived.checkpoint_id == target
+        assert revived.replayed
 
 
 class TestBranchForkFuzz:

@@ -114,3 +114,104 @@ class TestFleetSmoke:
     def test_members_share_pages(self, fleet_run):
         assert fleet_run.cas.cross_pages_deduped >= 0
         assert fleet_run.dedup_ratio() >= 0.0
+
+
+def _dense_recording():
+    """Checkpoint every 150 ms so the short desktop run yields a
+    timeline deep enough for the thinning tiers to bite."""
+    from repro.common.units import ms
+    from repro.desktop.dejaview import RecordingConfig
+
+    return RecordingConfig(fixed_interval_us=ms(150))
+
+
+def _dense_driver_factory(meta, capture):
+    """Replay driver matching :func:`_dense_recording` — the scenario
+    metadata alone rebuilds the default cadence, not the dense one."""
+    def driver(tap):
+        from repro.desktop.dejaview import DejaView
+        from repro.desktop.session import DesktopSession
+        from repro.workloads.generator import get_workload
+
+        workload = get_workload(meta["scenario"])
+        session = DesktopSession(replay_tap=tap,
+                                 name=meta.get("name", "desktop"))
+        dejaview = DejaView(session, _dense_recording())
+        if capture is not None:
+            capture["session"] = session
+            capture["dejaview"] = dejaview
+        workload.run(units=meta.get("units"), session=session,
+                     dejaview=dejaview)
+        tap.close(session.clock.now_us)
+    return driver
+
+
+@pytest.fixture(scope="module")
+def thinned_run():
+    """The desktop scenario recorded with replay on, then run through an
+    age-tiered thinning pass — the smoke battery must hold on a timeline
+    where many instants are tombstones, not stored bytes."""
+    from repro.checkpoint.gc import ThinningPolicy
+    from repro.common.units import seconds
+    from repro.replay.replayer import record_scenario
+
+    recorded = record_scenario("desktop", units=SMOKE_UNITS["desktop"],
+                               recording=_dense_recording())
+    assert recorded.crashed is None
+    recorded.dejaview.reviver.replay_driver_factory = _dense_driver_factory
+    policy = ThinningPolicy(recent_window_us=seconds(1),
+                            tiers=((None, 2),))
+    report = recorded.dejaview.thin_checkpoints(policy=policy,
+                                                compact=True)
+    return recorded, report
+
+
+class TestThinnedSmoke:
+    """The smoke matrix row for a thinned timeline."""
+
+    def test_pass_actually_thinned(self, thinned_run):
+        recorded, report = thinned_run
+        assert report.thinned_images
+        assert report.image_bytes_freed > 0
+        assert len(recorded.dejaview.storage.thinned_ids()) \
+            == len(report.thinned_images)
+
+    def test_checkpoint_chain_verifies(self, thinned_run):
+        recorded, _report = thinned_run
+        chain = verify_chain(recorded.dejaview.storage,
+                             recorded.session.fsstore)
+        assert chain.ok, [str(issue) for issue in chain.issues]
+
+    def test_display_record_replays_bit_exact(self, thinned_run):
+        recorded, _report = thinned_run
+        record = recorded.dejaview.display_record()
+        fb, _stats = recorded.dejaview.playback(0, record.end_us,
+                                                fastest=True)
+        live = recorded.session.driver.framebuffer
+        assert fb.checksum() == live.checksum()
+
+    def test_browse_mid_run(self, thinned_run):
+        recorded, _report = thinned_run
+        record = recorded.dejaview.display_record()
+        mid = (record.start_us + record.end_us) // 2
+        target = max(mid, record.timeline.first_time_us)
+        fb, _stats = recorded.dejaview.browse(target)
+        assert fb.width == record.width
+
+    def test_final_state_revivable(self, thinned_run):
+        recorded, _report = thinned_run
+        revived = recorded.dejaview.take_me_back(
+            recorded.session.clock.now_us)
+        assert revived.container.live_processes()
+        assert not revived.replayed  # the newest instant keeps its bytes
+
+    def test_thinned_instant_replay_revives(self, thinned_run):
+        recorded, report = thinned_run
+        dv = recorded.dejaview
+        timestamps = {r.checkpoint_id: r.timestamp_us
+                      for r in dv.engine.history}
+        target = report.thinned_images[-1]
+        revived = dv.take_me_back(timestamps[target])
+        assert revived.checkpoint_id == target
+        assert revived.replayed
+        assert revived.container.live_processes()
